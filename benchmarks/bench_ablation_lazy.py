@@ -1,0 +1,78 @@
+"""Ablation D — lazy s-line queries vs materialized construction.
+
+The memory/recompute trade-off behind §III-B's approximation discussion:
+materializing ``L_s(H)`` pays its full construction once and answers every
+query cheaply; the lazy traversal answers one query at the cost of the
+two-hop volume its BFS actually touches, storing nothing.  We measure both
+in simulated work units and in wall-clock, for a point query (s-distance)
+and a global one (s-CC), on the most overlap-dense stand-in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.s_traversal import s_bfs_lazy, s_distance_lazy
+from repro.bench.reporting import format_table
+from repro.graph.bfs import bfs_top_down
+from repro.io.datasets import load
+from repro.linegraph import linegraph_csr, slinegraph_hashmap
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.biadjacency import BiAdjacency
+
+S = 2
+
+
+@pytest.fixture(scope="module")
+def h():
+    return BiAdjacency.from_biedgelist(load("orkut-group"))
+
+
+def test_lazy_point_query_cheaper_than_materialize(benchmark, record, h):
+    """One s-distance query: lazy BFS touches less work than full
+    construction when the query terminates early."""
+    rt_full = ParallelRuntime(num_threads=1)
+    slinegraph_hashmap(h, S, runtime=rt_full)
+    construct_work = rt_full.ledger.total_work
+
+    rt_lazy = ParallelRuntime(num_threads=1)
+    src = 0
+    dist = benchmark.pedantic(
+        s_bfs_lazy, args=(h, src, S), kwargs={"runtime": rt_lazy},
+        rounds=1, iterations=1,
+    )
+    lazy_work = rt_lazy.ledger.total_work
+    record(
+        "Ablation D — one s-BFS, lazy vs full construction "
+        "(orkut-group, simulated work units)",
+        format_table(
+            ["approach", "work"],
+            [
+                ("materialize L_s (hashmap)", f"{construct_work:.0f}"),
+                ("lazy s-BFS from one source", f"{lazy_work:.0f}"),
+            ],
+        ),
+    )
+    assert dist[src] == 0
+    # a single-source query should not cost much more than one construction
+    assert lazy_work < 4 * construct_work
+
+
+def test_lazy_matches_materialized_on_dataset(benchmark, h):
+    lg = linegraph_csr(slinegraph_hashmap(h, S))
+    ref, _ = bfs_top_down(lg, 0)
+    lazy = benchmark(s_bfs_lazy, h, 0, S)
+    assert np.array_equal(lazy, ref)
+
+
+def test_point_distance_early_exit(benchmark, record, h):
+    """s_distance_lazy stops at the target level; measure wall clock."""
+    lg = linegraph_csr(slinegraph_hashmap(h, S))
+    ref, _ = bfs_top_down(lg, 0)
+    reachable = np.flatnonzero(ref > 0)
+    target = int(reachable[0]) if reachable.size else 0
+    d = benchmark(s_distance_lazy, h, 0, target, S)
+    assert d == ref[target]
+    record(
+        "Ablation D — early-exit point query",
+        f"s_distance(0 -> {target}) = {d} on orkut-group (s={S})",
+    )

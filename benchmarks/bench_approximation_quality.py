@@ -1,0 +1,109 @@
+"""Approximation-quality study — how faithful are s-metrics? ([17], [18])
+
+The paper leans on its companion works' finding that s-line metrics
+approximate hypergraph metrics well "even though information loss is
+existent".  This study quantifies that on the stand-ins:
+
+* **distance fidelity**: 1-line distances are *exact* (half the bipartite
+  distance — proven by `tests/test_approximation.py`); for s > 1 we report
+  how much of the hyperedge pair space stays mutually reachable and the
+  mean distance inflation among still-reachable pairs;
+* **centrality fidelity**: Spearman rank correlation between hyperedge
+  betweenness computed exactly (Brandes on the adjoin graph, restricted to
+  hyperedge vertices) and on the s-line approximation, per s.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.bench.reporting import format_table
+from repro.graph.betweenness import betweenness_centrality
+from repro.graph.bfs import bfs_top_down
+from repro.io.datasets import load
+from repro.linegraph import linegraph_csr, slinegraph_ensemble
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+S_VALUES = [1, 2, 4]
+SOURCES = 24  # distance sampling
+
+
+def _distance_fidelity(h: BiAdjacency, graphs: dict[int]) -> list[tuple]:
+    rng = np.random.default_rng(0)
+    n = h.num_hyperedges()
+    sources = rng.choice(n, size=min(SOURCES, n), replace=False)
+    base = {
+        int(src): bfs_top_down(graphs[1], int(src))[0] for src in sources
+    }
+    rows = []
+    for s in S_VALUES:
+        reachable = 0
+        kept = 0
+        inflation: list[float] = []
+        for src in sources:
+            d1 = base[int(src)]
+            ds = bfs_top_down(graphs[s], int(src))[0]
+            mask1 = d1 > 0
+            reachable += int(mask1.sum())
+            still = mask1 & (ds > 0)
+            kept += int(still.sum())
+            if still.any():
+                inflation.append(float((ds[still] / d1[still]).mean()))
+        rows.append(
+            (
+                f"s={s}",
+                f"{kept / reachable:.2f}" if reachable else "n/a",
+                f"{np.mean(inflation):.2f}x" if inflation else "n/a",
+            )
+        )
+    return rows
+
+
+def _betweenness_fidelity(
+    el, h: BiAdjacency, graphs: dict[int]
+) -> list[tuple]:
+    g = AdjoinGraph.from_biedgelist(el)
+    exact_full = betweenness_centrality(g.graph, normalized=False)
+    exact_edges, _ = g.split_result(exact_full)
+    rows = []
+    for s in S_VALUES:
+        approx = betweenness_centrality(graphs[s], normalized=False)
+        rho, _p = stats.spearmanr(exact_edges, approx)
+        rows.append((f"s={s}", f"{rho:.3f}"))
+    return rows, exact_edges
+
+
+@pytest.mark.parametrize("name", ["orkut-group"])
+def test_approximation_quality(benchmark, record, name):
+    el = load(name)
+    h = BiAdjacency.from_biedgelist(el)
+
+    def study():
+        graphs = {
+            s: linegraph_csr(e)
+            for s, e in slinegraph_ensemble(h, S_VALUES).items()
+        }
+        dist_rows = _distance_fidelity(h, graphs)
+        bc_rows, exact = _betweenness_fidelity(el, h, graphs)
+        return dist_rows, bc_rows
+
+    dist_rows, bc_rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    record(
+        f"Approximation quality — distances ({name}): pair coverage and "
+        "mean inflation vs the exact (s=1) distances",
+        format_table(["s", "pairs kept", "distance inflation"], dist_rows),
+    )
+    record(
+        f"Approximation quality — hyperedge betweenness ({name}): "
+        "Spearman rank correlation vs exact adjoin-graph betweenness",
+        format_table(["s", "spearman rho"], bc_rows),
+    )
+    # s=1 must correlate strongly (same reachability structure)
+    rho1 = float(bc_rows[0][1])
+    assert rho1 > 0.6
+    # correlation decays (information loss) but stays meaningfully positive
+    rhos = [float(r[1]) for r in bc_rows]
+    assert rhos[-1] > 0.2
+    # s=1 keeps every pair by the exactness identity
+    assert dist_rows[0][1] == "1.00"

@@ -1,0 +1,32 @@
+"""Construction strong scaling — the companion papers' [17, 18] panel.
+
+Figures 7–8 scale the exact algorithms; the HiPC'21/IPDPS'22 companion
+papers show the same doubling-thread experiment for s-line *construction*.
+Regenerated here for the hashmap algorithm and both queue-based algorithms
+over the skewed and uniform stand-ins.
+"""
+
+import pytest
+
+from repro.bench.harness import strong_scaling_construction
+from repro.bench.reporting import format_scaling
+
+GRID = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.mark.parametrize("name", ["orkut-group", "com-orkut", "rand1"])
+def test_construction_scaling(benchmark, record, name):
+    series = benchmark.pedantic(
+        strong_scaling_construction, args=(name,), kwargs={"s": 2,
+        "thread_counts": GRID}, rounds=1, iterations=1,
+    )
+    record(
+        f"Construction strong scaling (s=2): {name}",
+        format_scaling(series),
+    )
+    for s in series:
+        # the counting kernels are embarrassingly parallel: good scaling
+        assert s.speedup_at(64) > 16.0, s.algorithm
+        # and monotone up the grid
+        speedups = [p.speedup for p in s.points]
+        assert all(b >= a * 0.9 for a, b in zip(speedups, speedups[1:]))

@@ -1,0 +1,68 @@
+"""Figure 9 companion — the queue algorithms' versatility axis.
+
+The paper's point about Algorithms 1–2 is not only parity with the
+non-queue algorithms (bench_fig9_slinegraph) but *representation
+independence*: they run unchanged on the adjoin (single-index-set) form,
+which the contiguous-range algorithms cannot.  This bench measures the
+queue algorithms on both representations of each dataset and asserts the
+adjoin runs stay within a small factor of the bipartite runs — i.e. the
+flexibility costs (almost) nothing.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.io.datasets import load
+from repro.linegraph import (
+    slinegraph_queue_hashmap,
+    slinegraph_queue_intersection,
+)
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+S = 2
+THREADS = 32
+
+ALGOS = {
+    "Alg1 (queue hashmap)": slinegraph_queue_hashmap,
+    "Alg2 (queue intersect)": slinegraph_queue_intersection,
+}
+
+
+def _span(fn, rep) -> float:
+    rt = ParallelRuntime(num_threads=THREADS, partitioner="cyclic")
+    rt.new_run()
+    fn(rep, S, runtime=rt)
+    return rt.makespan
+
+
+@pytest.mark.parametrize("name", ["orkut-group", "rand1"])
+def test_adjoin_costs_little_extra(benchmark, record, name):
+    el = load(name)
+    h = BiAdjacency.from_biedgelist(el)
+    g = AdjoinGraph.from_biedgelist(el)
+
+    def sweep():
+        return {
+            alg: (_span(fn, h), _span(fn, g)) for alg, fn in ALGOS.items()
+        }
+
+    spans = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (alg, f"{bi:.0f}", f"{ad:.0f}", f"{ad / bi:.2f}x")
+        for alg, (bi, ad) in spans.items()
+    ]
+    record(
+        f"Fig. 9 companion — queue algorithms, bipartite vs adjoin: {name} "
+        f"(s={S}, t={THREADS})",
+        format_table(
+            ["algorithm", "bipartite", "adjoin", "ratio"], rows
+        ),
+    )
+    for alg, (bi, ad) in spans.items():
+        assert 0.5 < ad / bi < 2.0, alg
+
+    # and, of course, identical line graphs from both representations
+    for fn in ALGOS.values():
+        assert fn(h, S) == fn(g, S)

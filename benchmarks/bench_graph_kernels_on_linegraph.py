@@ -1,0 +1,66 @@
+"""GAP-style kernel suite on a materialized s-line graph.
+
+The framework's "leverage highly-tuned graph algorithms" workflow (§I, §V;
+NWGraph was evaluated with the GAP benchmark suite [4]): once the s-line
+approximation exists, the standard kernel set — BFS, CC, SSSP, PageRank,
+Betweenness, Triangle Counting — runs on it directly.  Wall-clock
+benchmarks of every kernel over the 2-line graph of the densest stand-in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.betweenness import betweenness_centrality
+from repro.graph.bfs import bfs_direction_optimizing
+from repro.graph.cc import connected_components
+from repro.graph.kcore import core_number
+from repro.graph.pagerank import pagerank
+from repro.graph.sssp import delta_stepping
+from repro.graph.triangles import triangle_count
+from repro.io.datasets import load
+from repro.linegraph import linegraph_csr, slinegraph_hashmap
+from repro.structures.biadjacency import BiAdjacency
+
+
+@pytest.fixture(scope="module")
+def lg():
+    h = BiAdjacency.from_biedgelist(load("rand1"))
+    return linegraph_csr(slinegraph_hashmap(h, 2))
+
+
+def test_gap_bfs(benchmark, lg):
+    dist, _ = benchmark(bfs_direction_optimizing, lg, 0)
+    assert dist[0] == 0
+
+
+def test_gap_cc(benchmark, lg):
+    labels = benchmark(connected_components, lg, "afforest")
+    assert labels.size == lg.num_vertices()
+
+
+def test_gap_sssp(benchmark, lg):
+    dist, _ = benchmark(delta_stepping, lg, 0)
+    assert dist[0] == 0.0
+
+
+def test_gap_pagerank(benchmark, lg):
+    pr = benchmark(pagerank, lg)
+    assert pr.sum() == pytest.approx(1.0)
+
+
+def test_gap_betweenness_sampled(benchmark, lg):
+    sources = np.arange(0, lg.num_vertices(), 50)
+    bc = benchmark(
+        betweenness_centrality, lg, True, sources
+    )
+    assert bc.size == lg.num_vertices()
+
+
+def test_gap_triangle_count(benchmark, lg):
+    tc = benchmark(triangle_count, lg)
+    assert tc >= 0
+
+
+def test_kcore_extra(benchmark, lg):
+    cores = benchmark(core_number, lg)
+    assert cores.max() >= 1

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the hot kernels (performance regression surface).
+
+Wall-clock timings of the vectorized primitives every algorithm is built
+from: CSR indexing (counting sort), frontier gathering, two-hop multiplicity
+counting, batched set intersection, and the atomics.  These are the pieces
+the hpc-parallel guides say to profile first — if one of them regresses,
+every figure above it moves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.traversal import gather_neighbors, multi_slice
+from repro.io.datasets import load
+from repro.linegraph.common import batch_intersect_counts, two_hop_pair_counts
+from repro.parallel.atomics import write_min
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.csr import CSR
+
+
+@pytest.fixture(scope="module")
+def h() -> BiAdjacency:
+    return BiAdjacency.from_biedgelist(load("com-orkut"))
+
+
+def test_csr_from_coo(benchmark, h):
+    src = np.repeat(
+        np.arange(h.num_hyperedges(), dtype=np.int64), h.edge_sizes()
+    )
+    dst = h.edges.indices
+    g = benchmark(
+        CSR.from_coo, src, dst, None, h.num_hyperedges(), h.num_hypernodes()
+    )
+    assert g.num_edges() == h.num_incidences()
+
+
+def test_gather_neighbors_full_frontier(benchmark, h):
+    frontier = np.arange(h.num_hyperedges(), dtype=np.int64)
+    src, dst = benchmark(gather_neighbors, h.edges, frontier)
+    assert dst.size == h.num_incidences()
+
+
+def test_multi_slice(benchmark, h):
+    ids = np.arange(h.num_hyperedges(), dtype=np.int64)
+    starts = h.edges.indptr[ids]
+    counts = h.edges.indptr[ids + 1] - starts
+    out = benchmark(multi_slice, h.edges.indices, starts, counts)
+    assert out.size == h.num_incidences()
+
+
+def test_two_hop_counting(benchmark, h):
+    ids = np.arange(h.num_hyperedges(), dtype=np.int64)
+    src, dst, cnt, work = benchmark(
+        two_hop_pair_counts, h.edges, h.nodes, ids
+    )
+    assert cnt.size > 0 and work > 0
+
+
+def test_batch_intersection(benchmark, h):
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, h.num_hyperedges(), size=(5000, 2))
+    counts = benchmark(batch_intersect_counts, h.edges, pairs)
+    assert counts.size == 5000
+
+
+def test_write_min_atomic(benchmark):
+    rng = np.random.default_rng(1)
+    idx = rng.integers(0, 10_000, size=200_000)
+    vals = rng.integers(0, 1_000_000, size=200_000)
+
+    def run():
+        arr = np.full(10_000, np.iinfo(np.int64).max)
+        return write_min(arr, idx, vals)
+
+    changed = benchmark(run)
+    assert changed > 0
+
+
+def test_transpose(benchmark, h):
+    t = benchmark(h.edges.transpose)
+    assert t.num_edges() == h.num_incidences()

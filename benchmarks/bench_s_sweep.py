@@ -1,0 +1,65 @@
+"""Construction cost vs s — the pruning curve behind the s-line design.
+
+How much does the degree filter (Alg. 1 line 6) and the count threshold
+actually save as s grows?  Sweeps s over each skewed stand-in, reporting
+eligible-hyperedge fraction, output size, and simulated construction work
+relative to s = 1 — quantifying §III-B.4's "lower-order approximation"
+trade-off curve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.io.datasets import load
+from repro.linegraph import slinegraph_hashmap
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.biadjacency import BiAdjacency
+
+S_SWEEP = [1, 2, 4, 8, 16]
+THREADS = 16
+
+
+@pytest.mark.parametrize("name", ["orkut-group", "com-orkut"])
+def test_cost_vs_s(benchmark, record, name):
+    h = BiAdjacency.from_biedgelist(load(name))
+    sizes = h.edge_sizes()
+
+    def sweep():
+        out = []
+        for s in S_SWEEP:
+            rt = ParallelRuntime(num_threads=THREADS, partitioner="cyclic")
+            rt.new_run()
+            el = slinegraph_hashmap(h, s, runtime=rt)
+            out.append(
+                (
+                    s,
+                    float((sizes >= s).mean()),
+                    el.num_edges(),
+                    rt.ledger.total_work,
+                )
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base_work = results[0][3]
+    rows = [
+        (
+            f"s={s}",
+            f"{frac:.2f}",
+            f"{edges}",
+            f"{work / base_work:.2f}x",
+        )
+        for s, frac, edges, work in results
+    ]
+    record(
+        f"s-sweep — construction cost and output vs s: {name} "
+        f"(relative to s=1, t={THREADS})",
+        format_table(
+            ["s", "eligible frac", "line edges", "work vs s=1"], rows
+        ),
+    )
+    # pruning must be monotone in both output and (weakly) work
+    edges_seq = [r[2] for r in results]
+    assert all(a >= b for a, b in zip(edges_seq, edges_seq[1:]))
+    assert results[-1][3] <= results[0][3]

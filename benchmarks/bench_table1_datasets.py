@@ -1,0 +1,45 @@
+"""Table I — input characteristics of the (stand-in) datasets.
+
+Regenerates the paper's Table I over the seeded stand-ins and prints it
+next to the published values.  The wall-clock benchmark times dataset
+generation + statistics (the ingestion path of the framework).
+"""
+
+import pytest
+
+from repro.io.datasets import DATASETS, PAPER_TABLE1, dataset_stats, table1
+from repro.bench.reporting import format_table, format_table1
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_generate_dataset(benchmark, name):
+    spec = DATASETS[name]
+    el = benchmark.pedantic(spec.build, rounds=3, iterations=1)
+    assert el.num_vertices(0) > 0
+
+
+def test_table1_report(benchmark, record):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record("Table I (measured over stand-ins)", format_table1(rows))
+    paper_rows = [PAPER_TABLE1[r.name] for r in rows]
+    record("Table I (paper, original scale)", format_table1(paper_rows))
+    side = [
+        (
+            r.name,
+            f"{r.avg_node_degree:.1f}/{p.avg_node_degree:g}",
+            f"{r.avg_edge_size:.1f}/{p.avg_edge_size:g}",
+            f"{r.max_node_degree / max(r.avg_node_degree, 1e-9):.0f}x"
+            f"/{p.max_node_degree / p.avg_node_degree:.0f}x",
+            f"{r.max_edge_size / max(r.avg_edge_size, 1e-9):.0f}x"
+            f"/{p.max_edge_size / p.avg_edge_size:.0f}x",
+        )
+        for r, p in zip(rows, paper_rows)
+    ]
+    record(
+        "Table I shape check (ours/paper)",
+        format_table(
+            ["dataset", "avg d_v", "avg d_e", "skew d_v", "skew d_e"], side
+        ),
+    )
+    for r, p in zip(rows, paper_rows):
+        assert 0.5 <= r.avg_node_degree / p.avg_node_degree <= 2.0

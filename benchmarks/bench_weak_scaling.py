@@ -1,0 +1,54 @@
+"""Weak scaling — constant work per thread (the strong-scaling complement).
+
+Figures 7–8 hold the input fixed and grow threads; the dual experiment
+grows the input *with* the threads (Gustafson's view): a uniform
+hypergraph of ``t × base`` hyperedges on ``t`` threads should keep the
+simulated makespan roughly flat if the algorithms scale.  Run for CC on
+the Rand1 recipe (the only generator whose per-edge work is constant by
+construction).
+"""
+
+import pytest
+
+from repro.algorithms.adjoincc import adjoincc
+from repro.bench.harness import nwhy_runtime
+from repro.bench.reporting import format_table
+from repro.io.generators import uniform_random_hypergraph
+from repro.structures.adjoin import AdjoinGraph
+
+BASE_EDGES = 600
+EDGE_SIZE = 10
+GRID = (1, 2, 4, 8, 16)
+
+
+def _makespan(threads: int) -> float:
+    el = uniform_random_hypergraph(
+        num_edges=BASE_EDGES * threads,
+        num_nodes=BASE_EDGES * threads,
+        edge_size=EDGE_SIZE,
+        seed=1000 + threads,
+    )
+    g = AdjoinGraph.from_biedgelist(el)
+    rt = nwhy_runtime(threads)
+    rt.new_run()
+    adjoincc(g, runtime=rt)
+    return rt.makespan
+
+
+def test_weak_scaling_cc(benchmark, record):
+    spans = benchmark.pedantic(
+        lambda: {t: _makespan(t) for t in GRID}, rounds=1, iterations=1
+    )
+    base = spans[GRID[0]]
+    rows = [
+        (f"t={t} (n={BASE_EDGES * t})", f"{span:.0f}",
+         f"{span / base:.2f}x")
+        for t, span in spans.items()
+    ]
+    record(
+        "Weak scaling — AdjoinCC on Rand1-style inputs "
+        f"({BASE_EDGES} hyperedges per thread)",
+        format_table(["config", "makespan", "vs t=1"], rows),
+    )
+    # flat within 2x across a 16x size range = weak-scalable
+    assert max(spans.values()) / min(spans.values()) < 2.0

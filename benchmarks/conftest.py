@@ -1,0 +1,47 @@
+"""Benchmark-suite plumbing.
+
+Figure/table data produced by the benchmarks is collected through the
+``record`` fixture and emitted in the terminal summary, so the full
+regenerated evaluation (Table I, Figs. 7–9, ablations) appears at the end
+of ``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Register a (title, preformatted text) block for the final summary."""
+
+    def _record(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables & figures")
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    _maybe_dump_json()
+
+
+def _maybe_dump_json() -> None:
+    """With REPRO_RESULTS_JSON set, also dump the reports machine-readably."""
+    import json
+    import os
+
+    target = os.environ.get("REPRO_RESULTS_JSON")
+    if not target:
+        return
+    payload = [{"title": title, "text": text} for title, text in _REPORTS]
+    with open(target, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)

@@ -1,0 +1,83 @@
+"""Listing 4 — three ways to iterate a hypergraph in parallel.
+
+The paper shows three C++ iteration idioms over the bi-adjacency
+representation: ``std::for_each`` with a parallel execution policy,
+``tbb::parallel_for`` over a ``blocked_range``, and ``tbb::parallel_for``
+over NWHy's custom ``cyclic_neighbor_range``.  This example is the Python
+mirror: the same computation (sum of neighbor IDs per hyperedge) expressed
+through each adaptor of the simulated runtime, with identical results and
+visibly different load-balance profiles on a skewed input.
+
+Run:  python examples/iteration_styles.py
+"""
+
+import numpy as np
+
+from repro.io.datasets import load
+from repro.parallel import (
+    ParallelRuntime,
+    TaskResult,
+    blocked_range,
+    cyclic_neighbor_range,
+    cyclic_range,
+)
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.relabel import relabel_hyperedges
+
+THREADS = 8
+
+
+def main() -> None:
+    h = BiAdjacency.from_biedgelist(load("orkut-group"))
+    # worst case for blocked partitioning: degree-sorted IDs (§III-D)
+    h, _ = relabel_hyperedges(h, "descending")
+    edges = h.edges
+    n = edges.num_vertices()
+    expected = np.array([int(edges[e].sum()) for e in range(n)])
+
+    def run(chunks, label: str, with_neighbors: bool) -> np.ndarray:
+        rt = ParallelRuntime(num_threads=THREADS, scheduler="static")
+        out = np.zeros(n, dtype=np.int64)
+
+        def body(chunk) -> TaskResult:
+            work = 0
+            if with_neighbors:  # cyclic_neighbor_range yields (ids, hoods)
+                ids, hoods = chunk
+                for e, hood in zip(ids.tolist(), hoods):
+                    out[e] = int(hood.sum())
+                    work += hood.size
+            else:  # plain ID chunks: fetch neighborhoods from the CSR
+                for e in chunk.tolist():
+                    hood = edges[e]
+                    out[e] = int(hood.sum())
+                    work += hood.size
+            return TaskResult(None, float(work))
+
+        rt.parallel_for(chunks, body, phase=label)
+        phase = rt.ledger.phases[-1]
+        print(f"{label:28s} makespan {phase.makespan:10.0f}   "
+              f"imbalance {phase.load_imbalance:5.2f}")
+        assert np.array_equal(out, expected)
+        return out
+
+    print(f"summing neighbor IDs over {n} hyperedges, {THREADS} threads, "
+          "degree-sorted (skewed) IDs\n")
+    # 1) std::for_each(par_unseq, ...) — no partitioning control:
+    #    one contiguous block per thread
+    run(blocked_range(n, THREADS), "std::for_each (blocked)", False)
+    # 2) tbb::parallel_for(blocked_range(...)) — finer contiguous chunks
+    run(blocked_range(n, THREADS * 8), "tbb blocked_range", False)
+    # 3) NWHy cyclic_range — strided IDs smooth the skew
+    run(cyclic_range(n, THREADS * 8), "NWHy cyclic_range", False)
+    # 4) NWHy cyclic_neighbor_range — strided (id, neighborhood) tuples
+    run(
+        cyclic_neighbor_range(edges, THREADS * 8),
+        "NWHy cyclic_neighbor_range",
+        True,
+    )
+    print("\nsame results from every adaptor; cyclic variants balance the "
+          "degree-sorted skew (lower imbalance).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Four representations of one hypergraph — the framework's core idea.
+
+Takes one hypergraph through all four representations of §III-B (bipartite
+bi-adjacency, adjoin graph, clique expansion, s-line graphs), shows the
+matrix views of §II, and demonstrates that exact algorithms agree across
+representations while approximations trade fidelity for generality.
+
+Run:  python examples/representations_tour.py
+"""
+
+import numpy as np
+
+from repro import NWHypergraph
+from repro.structures.matrices import (
+    adjoin_adjacency_matrix,
+    incidence_matrix,
+    overlap_matrix,
+)
+
+
+def main() -> None:
+    # The running example of the test suite (4 hyperedges, 9 hypernodes).
+    members = [[0, 1, 2], [1, 2, 3], [2, 3, 4, 5, 7, 8], [0, 1, 2, 6]]
+    hg = NWHypergraph.from_hyperedge_lists(members, num_nodes=9)
+
+    # -- Representation 1: bipartite, two mutually indexed CSRs -----------
+    bi = hg.biadjacency
+    print("1) bipartite (two index sets)")
+    print(f"   hyperedge incidence rows: {bi.num_hyperedges()}, "
+          f"hypernode incidence rows: {bi.num_hypernodes()}")
+    print(f"   incidence matrix (9x4):\n{incidence_matrix(bi).toarray().astype(int)}")
+
+    # -- Representation 2: adjoin graph, one consolidated index set --------
+    ag = hg.adjoin_graph
+    print("\n2) adjoin graph (one index set)")
+    print(f"   hyperedges own IDs {list(ag.edge_range())}, "
+          f"hypernodes own IDs {list(ag.node_range())}")
+    a = adjoin_adjacency_matrix(ag).toarray().astype(int)
+    print(f"   A_G is {a.shape[0]}x{a.shape[1]}, symmetric: "
+          f"{bool((a == a.T).all())}, zero diagonal blocks: "
+          f"{not a[:4, :4].any() and not a[4:, 4:].any()}")
+
+    # exact algorithms agree across representations
+    cc_adjoin = hg.connected_components("adjoin")
+    cc_bipartite = hg.connected_components("bipartite")
+    print(f"   AdjoinCC == HyperCC: "
+          f"{np.array_equal(cc_adjoin[0], cc_bipartite[0])}")
+
+    # -- Representation 3: clique expansion ---------------------------------
+    ce = hg.clique_expansion()
+    print("\n3) clique expansion (hypernode co-occurrence graph)")
+    print(f"   {ce.num_vertices()} vertices, {ce.num_edges()} edges "
+          "(inclusion structure is lost — the paper's §III-B.3 caveat)")
+
+    # -- Representation 4: s-line graphs ---------------------------------------
+    print("\n4) s-line graphs (hyperedge overlap graphs)")
+    print(f"   overlap matrix diag = edge sizes: "
+          f"{np.diag(overlap_matrix(bi).toarray()).astype(int).tolist()}")
+    for s, lg in hg.s_linegraphs([1, 2, 3]).items():
+        pairs = list(zip(lg.edgelist.src.tolist(), lg.edgelist.dst.tolist()))
+        print(f"   s={s}: edges {pairs}")
+
+    print("\nany graph algorithm runs on the approximations, e.g. "
+          "2-line betweenness:",
+          hg.s_linegraph(2).s_betweenness_centrality(False).tolist())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""s-measure sweep — hypernetwork science à la Aksoy et al. [2].
+
+The paper's approximate-analytics story: sweep the connection-strength
+parameter s and watch the hypergraph's structure resolve — weak incidental
+overlaps dissolve first, leaving the strongly-bound cores.  One ensemble
+pass computes every s-line graph; the report aggregates components,
+distances, clustering and density per s.
+
+Run:  python examples/s_measure_sweep.py [dataset]
+"""
+
+import sys
+
+from repro.core.smetrics import s_metrics_report
+from repro.io.datasets import load
+from repro.structures.biadjacency import BiAdjacency
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "com-orkut"
+    h = BiAdjacency.from_biedgelist(load(dataset))
+    print(f"dataset: {dataset} ({h.num_hyperedges()} hyperedges, "
+          f"{h.num_hypernodes()} hypernodes)")
+    print()
+
+    s_values = [1, 2, 3, 4, 6, 8]
+    reports = s_metrics_report(h, s_values)
+    header = (f"{'s':>3} {'edges':>9} {'comps':>6} {'largest':>8} "
+              f"{'diam':>5} {'avg dist':>9} {'clust':>6} {'isolated':>9}")
+    print(header)
+    print("-" * len(header))
+    for s in s_values:
+        r = reports[s]
+        print(f"{r.s:>3} {r.num_edges:>9} {r.num_components:>6} "
+              f"{r.largest_component:>8} {r.diameter_largest:>5} "
+              f"{r.avg_distance_largest:>9.2f} {r.mean_clustering:>6.3f} "
+              f"{r.num_isolated:>9}")
+
+    print()
+    print("reading the sweep:")
+    print(" * edges shrink monotonically — only strong overlaps survive;")
+    print(" * isolated hyperedges grow — weakly-tied groups drop out;")
+    print(" * clustering typically RISES with s: what survives is the")
+    print("   densely inter-overlapping cores of the hypergraph.")
+
+
+if __name__ == "__main__":
+    main()

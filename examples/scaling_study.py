@@ -1,0 +1,51 @@
+"""Strong-scaling study — regenerate one panel of Figures 7 and 8.
+
+Runs the CC and BFS scaling drivers for a chosen dataset on the simulated
+runtime and prints the speedup series, exactly as the benchmark harness
+does for every dataset.
+
+Run:  python examples/scaling_study.py [dataset]
+      (dataset in: com-orkut friendster orkut-group livejournal web rand1)
+"""
+
+import sys
+
+from repro.bench.harness import (
+    DEFAULT_THREADS,
+    fig9_slinegraph,
+    strong_scaling_bfs,
+    strong_scaling_cc,
+)
+from repro.bench.reporting import format_fig9, format_scaling
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "com-orkut"
+
+    print("== Figure 7 panel: connected components ==")
+    print(format_scaling(strong_scaling_cc(dataset, DEFAULT_THREADS)))
+
+    print("\n== Figure 8 panel: breadth-first search ==")
+    print(format_scaling(strong_scaling_bfs(dataset, DEFAULT_THREADS)))
+
+    print("\n== Figure 9 panel: s-line graph construction ==")
+    print(format_fig9(fig9_slinegraph(dataset, s=2)))
+
+    # where does the time go? per-phase profile of one CC run
+    from repro.algorithms.adjoincc import adjoincc
+    from repro.bench.harness import nwhy_runtime
+    from repro.io.datasets import load
+    from repro.structures.adjoin import AdjoinGraph
+
+    rt = nwhy_runtime(32)
+    rt.new_run()
+    adjoincc(AdjoinGraph.from_biedgelist(load(dataset)), runtime=rt)
+    print(f"\n== AdjoinCC phase profile (t=32, dominant: "
+          f"{rt.ledger.dominant_phase()}) ==")
+    for name, span, imbalance, tasks in rt.ledger.timeline():
+        print(f"  {name:24s} makespan {span:9.0f}  imbalance "
+              f"{imbalance:5.2f}  tasks {tasks}")
+
+
+if __name__ == "__main__":
+    main()

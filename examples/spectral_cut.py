@@ -1,0 +1,92 @@
+"""Spectral partitioning + null model — structure beyond degrees.
+
+Two classical hypergraph analyses the framework enables ([29] and the
+hypernetwork-science null-model workflow):
+
+1. plant two overlapping community blocks, cut the hypergraph with the
+   Fiedler vector of Zhou's normalized Laplacian, and recover the blocks;
+2. rewire the hypergraph with the degree-preserving configuration model
+   and show the planted cut quality vanishes — the structure lived in the
+   wiring, not the degree sequences.
+
+Run:  python examples/spectral_cut.py
+"""
+
+import numpy as np
+
+from repro.core.spectral import fiedler_vector, hypergraph_laplacian, \
+    spectral_bipartition
+from repro.io.generators import configuration_model_hypergraph
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+
+
+def planted_two_blocks(
+    block: int = 40, edges_per_block: int = 60, bridges: int = 3,
+    seed: int = 4,
+) -> BiAdjacency:
+    """Two node blocks, hyperedges mostly within a block, few bridges."""
+    rng = np.random.default_rng(seed)
+    rows: list[int] = []
+    cols: list[int] = []
+    e = 0
+    for base in (0, block):
+        for _ in range(edges_per_block):
+            members = base + rng.choice(block, size=4, replace=False)
+            rows += [e] * 4
+            cols += members.tolist()
+            e += 1
+    for _ in range(bridges):
+        members = np.concatenate([
+            rng.choice(block, size=2, replace=False),
+            block + rng.choice(block, size=2, replace=False),
+        ])
+        rows += [e] * 4
+        cols += members.tolist()
+        e += 1
+    return BiAdjacency.from_biedgelist(
+        BiEdgeList(rows, cols, n0=e, n1=2 * block)
+    )
+
+
+def cut_quality(h: BiAdjacency, labels: np.ndarray) -> float:
+    """Fraction of hyperedges fully inside one side of the cut."""
+    inside = sum(
+        1 for e in range(h.num_hyperedges())
+        if np.unique(labels[h.members(e)]).size == 1
+    )
+    return inside / h.num_hyperedges()
+
+
+def main() -> None:
+    block = 40
+    h = planted_two_blocks(block=block)
+    lam, _ = fiedler_vector(hypergraph_laplacian(h))
+    labels = spectral_bipartition(h)
+    accuracy = max(
+        (labels[:block] == 0).mean() / 2 + (labels[block:] == 1).mean() / 2,
+        (labels[:block] == 1).mean() / 2 + (labels[block:] == 0).mean() / 2,
+    )
+    print(f"planted hypergraph: {h.num_hyperedges()} hyperedges over "
+          f"{h.num_hypernodes()} nodes")
+    print(f"algebraic connectivity lambda_2 = {lam:.4f}")
+    print(f"Fiedler cut recovers the blocks with accuracy {accuracy:.2f}")
+    print(f"hyperedges uncut: {cut_quality(h, labels):.2f}")
+
+    # degree-preserving rewiring destroys the planted structure
+    null_el = configuration_model_hypergraph(
+        h.edge_sizes(), h.node_degrees(), seed=9
+    )
+    h_null = BiAdjacency.from_biedgelist(null_el)
+    labels_null = spectral_bipartition(h_null)
+    print("\nafter configuration-model rewiring (same degree sequences):")
+    lam_null, _ = fiedler_vector(hypergraph_laplacian(h_null))
+    print(f"algebraic connectivity lambda_2 = {lam_null:.4f} "
+          "(no weak cut any more)")
+    print(f"hyperedges uncut by the best spectral cut: "
+          f"{cut_quality(h_null, labels_null):.2f} "
+          "(the planted separability is gone)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml.  This file exists so the
+package can be installed editable on environments whose setuptools predates
+bundled bdist_wheel (no `wheel` package available offline):
+
+    python setup.py develop        # or: pip install -e . (newer toolchains)
+"""
+
+from setuptools import setup
+
+setup()

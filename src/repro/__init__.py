@@ -1,0 +1,64 @@
+"""repro — a Python reproduction of NWHy, the Northwest Hypergraph framework.
+
+Liu, Firoz, Gebremedhin, Lumsdaine: "NWHy: A Framework for Hypergraph
+Analytics: Representations, Data structures, and Algorithms" (IPDPS 2022).
+
+Quickstart (paper Listing 5)::
+
+    import numpy as np
+    from repro import NWHypergraph
+
+    row = np.array([0, 1, 2, 0, 1, 2])   # hyperedge IDs
+    col = np.array([0, 0, 0, 1, 1, 1])   # hypernode IDs
+    hg = NWHypergraph(row, col)
+    s2lg = hg.s_linegraph(s=2)
+    s2lg.is_s_connected()
+    s2lg.s_connected_components()
+    s2lg.s_betweenness_centrality(normalized=True)
+
+Subpackages
+-----------
+``repro.core``
+    ``NWHypergraph`` / ``SLineGraph`` public API.
+``repro.structures``
+    Edge lists, CSR, bi-adjacency, adjoin graphs, sparse-matrix views.
+``repro.linegraph``
+    Six s-line construction algorithms incl. the paper's queue-based
+    Algorithms 1–2, the ensemble builder, and clique expansion.
+``repro.algorithms``
+    Exact hypergraph algorithms: HyperBFS/HyperCC, AdjoinBFS/AdjoinCC,
+    toplexes.
+``repro.graph``
+    NWGraph-style graph algorithm substrate (BFS/CC/SSSP/centralities).
+``repro.parallel``
+    Simulated work-stealing runtime, range adaptors, cost model.
+``repro.baselines``
+    Hygra (HygraBFS/HygraCC) comparators.
+``repro.io``
+    MatrixMarket I/O, seeded hypergraph generators, Table I stand-ins.
+"""
+
+from .core import NWHypergraph, SLineGraph
+from .parallel import CostModel, ParallelRuntime
+from .structures import (
+    AdjoinGraph,
+    BiAdjacency,
+    BiEdgeList,
+    CSR,
+    EdgeList,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdjoinGraph",
+    "BiAdjacency",
+    "BiEdgeList",
+    "CSR",
+    "CostModel",
+    "EdgeList",
+    "NWHypergraph",
+    "ParallelRuntime",
+    "SLineGraph",
+    "__version__",
+]

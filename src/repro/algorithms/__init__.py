@@ -1,0 +1,43 @@
+"""Exact hypergraph algorithms (paper §III-C.1, C.2, C.4).
+
+HyperBFS/HyperCC operate on the bipartite (two-index-set) representation;
+AdjoinBFS/AdjoinCC run stock graph algorithms on the adjoin (one-index-set)
+representation; toplex computation finds maximal hyperedges.
+"""
+
+from .adjoinbfs import adjoinbfs
+from .adjoincc import adjoincc
+from .hyperbfs import (
+    hyperbfs,
+    hyperbfs_bottom_up,
+    hyperbfs_direction_optimizing,
+    hyperbfs_top_down,
+)
+from .hypercc import hypercc
+from .hyperpath import Entity, hyperpath, hypertree
+from .s_traversal import (
+    s_bfs_lazy,
+    s_connected_components_lazy,
+    s_distance_lazy,
+    s_neighbors_lazy,
+)
+from .toplex import toplexes, toplexes_algorithm3
+
+__all__ = [
+    "adjoinbfs",
+    "adjoincc",
+    "hyperbfs",
+    "hyperbfs_bottom_up",
+    "hyperbfs_direction_optimizing",
+    "hyperbfs_top_down",
+    "Entity",
+    "hypercc",
+    "hyperpath",
+    "hypertree",
+    "s_bfs_lazy",
+    "s_connected_components_lazy",
+    "s_distance_lazy",
+    "s_neighbors_lazy",
+    "toplexes",
+    "toplexes_algorithm3",
+]

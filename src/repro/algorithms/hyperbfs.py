@@ -1,0 +1,255 @@
+"""HyperBFS — breadth-first search on the bipartite representation.
+
+Paper §III-C.1: BFS over a hypergraph held as two mutually indexed
+incidence CSRs.  The frontier alternates between the hyperedge and
+hypernode index spaces, and the algorithm must maintain **two** of every
+per-vertex structure (distance, parent, visited) — the bookkeeping overhead
+the paper names as the bi-adjacency representation's main drawback.
+
+Distances are *bipartite hops*: a hypernode and an incident hyperedge are
+one hop apart, two hypernodes sharing a hyperedge are two hops apart.
+Top-down and bottom-up variants are provided (the paper's HyperBFS includes
+both [5]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.traversal import gather_neighbors
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.structures.biadjacency import BiAdjacency
+
+__all__ = [
+    "hyperbfs_top_down",
+    "hyperbfs_bottom_up",
+    "hyperbfs_direction_optimizing",
+    "hyperbfs",
+]
+
+
+def _claim(dist: np.ndarray, parent: np.ndarray, src, dst, level: int):
+    """First-writer-wins level assignment (CAS semantics)."""
+    fresh = dist[dst] < 0
+    src, dst = src[fresh], dst[fresh]
+    uniq, first = np.unique(dst, return_index=True)
+    dist[uniq] = level
+    parent[uniq] = src[first]
+    return uniq, int(fresh.size)
+
+
+def hyperbfs_top_down(
+    h: BiAdjacency,
+    source: int,
+    source_is_edge: bool = False,
+    runtime: ParallelRuntime | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-down HyperBFS.  Returns ``(edge_dist, node_dist)``.
+
+    ``source`` is a hypernode ID unless ``source_is_edge``.  Unreached
+    entities keep distance ``-1``.
+    """
+    ne, nv = h.vertex_cardinality
+    edge_dist = np.full(ne, -1, dtype=np.int64)
+    node_dist = np.full(nv, -1, dtype=np.int64)
+    edge_parent = np.full(ne, -1, dtype=np.int64)
+    node_parent = np.full(nv, -1, dtype=np.int64)
+    if source_is_edge:
+        edge_dist[source] = 0
+        frontier, on_edges = np.array([source], dtype=np.int64), True
+    else:
+        node_dist[source] = 0
+        frontier, on_edges = np.array([source], dtype=np.int64), False
+    level = 0
+    while frontier.size:
+        level += 1
+        graph = h.edges if on_edges else h.nodes
+        dist = node_dist if on_edges else edge_dist
+        parent = node_parent if on_edges else edge_parent
+        if runtime is None:
+            src, dst = gather_neighbors(graph, frontier)
+            frontier, _ = _claim(dist, parent, src, dst, level)
+        else:
+            parts = runtime.parallel_for(
+                runtime.partition(frontier),
+                lambda c: _td_task(graph, dist, parent, c, level),
+                phase=f"hyperbfs_{'E' if on_edges else 'N'}_{level}",
+            )
+            frontier = (
+                np.unique(np.concatenate(parts))
+                if parts
+                else np.empty(0, dtype=np.int64)
+            )
+        on_edges = not on_edges
+    return edge_dist, node_dist
+
+
+def _td_task(graph, dist, parent, chunk, level):
+    src, dst = gather_neighbors(graph, chunk)
+    nxt, work = _claim(dist, parent, src, dst, level)
+    return TaskResult(nxt, float(work + chunk.size))
+
+
+def hyperbfs_bottom_up(
+    h: BiAdjacency,
+    source: int,
+    source_is_edge: bool = False,
+    runtime: ParallelRuntime | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bottom-up HyperBFS: each level scans the *unvisited* opposite side.
+
+    At an odd level every unvisited hypernode (resp. hyperedge) probes its
+    incidence list for a member of the current frontier.  Same results as
+    :func:`hyperbfs_top_down`; different work profile.
+    """
+    ne, nv = h.vertex_cardinality
+    edge_dist = np.full(ne, -1, dtype=np.int64)
+    node_dist = np.full(nv, -1, dtype=np.int64)
+    if source_is_edge:
+        edge_dist[source] = 0
+        on_edges = True
+        in_frontier = np.zeros(ne, dtype=bool)
+    else:
+        node_dist[source] = 0
+        on_edges = False
+        in_frontier = np.zeros(nv, dtype=bool)
+    in_frontier[source] = True
+    level = 0
+    frontier_size = 1
+    while frontier_size:
+        level += 1
+        # scanning side: the opposite index space of the current frontier
+        graph = h.nodes if on_edges else h.edges  # rows = scanning side
+        dist = node_dist if on_edges else edge_dist
+        candidates = np.flatnonzero(dist < 0)
+        if runtime is None:
+            nxt, _ = _bu_scan(graph, in_frontier, dist, candidates, level)
+        else:
+            parts = runtime.parallel_for(
+                runtime.partition(candidates),
+                lambda c: _bu_task(graph, in_frontier, dist, c, level),
+                phase=f"hyperbfs_bu_{level}",
+            )
+            nxt = (
+                np.unique(np.concatenate(parts))
+                if parts
+                else np.empty(0, dtype=np.int64)
+            )
+        in_frontier = np.zeros(dist.size, dtype=bool)
+        in_frontier[nxt] = True
+        frontier_size = nxt.size
+        on_edges = not on_edges
+    return edge_dist, node_dist
+
+
+def _bu_scan(graph, in_frontier, dist, candidates, level):
+    src, dst = gather_neighbors(graph, candidates)
+    hits = in_frontier[dst]
+    found = np.unique(src[hits])
+    dist[found] = level
+    return found, int(dst.size)
+
+
+def _bu_task(graph, in_frontier, dist, chunk, level):
+    nxt, work = _bu_scan(graph, in_frontier, dist, chunk, level)
+    return TaskResult(nxt, float(work + chunk.size))
+
+
+def hyperbfs_direction_optimizing(
+    h: BiAdjacency,
+    source: int,
+    source_is_edge: bool = False,
+    runtime: ParallelRuntime | None = None,
+    alpha: float = 15.0,
+    beta: float = 18.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """HyperBFS switching top-down/bottom-up per level (Beamer heuristic).
+
+    The paper's NWHy "HyperBFS" ships both sweep directions [5]; this
+    combines them: switch to bottom-up when the frontier's incidence count
+    exceeds ``unexplored / alpha``, back to top-down when the frontier
+    shrinks below ``side_size / beta``.  Distances are identical to the
+    single-direction variants.
+    """
+    ne, nv = h.vertex_cardinality
+    edge_dist = np.full(ne, -1, dtype=np.int64)
+    node_dist = np.full(nv, -1, dtype=np.int64)
+    edge_parent = np.full(ne, -1, dtype=np.int64)
+    node_parent = np.full(nv, -1, dtype=np.int64)
+    if source_is_edge:
+        edge_dist[source] = 0
+    else:
+        node_dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    on_edges = source_is_edge
+    unexplored = 2 * h.num_incidences()
+    bottom_up = False
+    level = 0
+    while frontier.size:
+        level += 1
+        fwd = h.edges if on_edges else h.nodes  # frontier side -> opposite
+        rev = h.nodes if on_edges else h.edges  # opposite side -> frontier
+        dist = node_dist if on_edges else edge_dist
+        parent = node_parent if on_edges else edge_parent
+        scout = int(
+            (fwd.indptr[frontier + 1] - fwd.indptr[frontier]).sum()
+        )
+        if not bottom_up and scout > unexplored / alpha:
+            bottom_up = True
+        elif bottom_up and frontier.size < dist.size / beta:
+            bottom_up = False
+        unexplored -= scout
+        if bottom_up:
+            in_frontier = np.zeros(
+                ne if on_edges else nv, dtype=bool
+            )
+            in_frontier[frontier] = True
+            candidates = np.flatnonzero(dist < 0)
+            if runtime is None:
+                nxt, _ = _bu_scan(rev, in_frontier, dist, candidates, level)
+            else:
+                parts = runtime.parallel_for(
+                    runtime.partition(candidates),
+                    lambda c: _bu_task(rev, in_frontier, dist, c, level),
+                    phase=f"hyperbfs_do_bu_{level}",
+                )
+                nxt = (
+                    np.unique(np.concatenate(parts))
+                    if parts
+                    else np.empty(0, dtype=np.int64)
+                )
+        else:
+            if runtime is None:
+                src, dst = gather_neighbors(fwd, frontier)
+                nxt, _ = _claim(dist, parent, src, dst, level)
+            else:
+                parts = runtime.parallel_for(
+                    runtime.partition(frontier),
+                    lambda c: _td_task(fwd, dist, parent, c, level),
+                    phase=f"hyperbfs_do_td_{level}",
+                )
+                nxt = (
+                    np.unique(np.concatenate(parts))
+                    if parts
+                    else np.empty(0, dtype=np.int64)
+                )
+        frontier = nxt
+        on_edges = not on_edges
+    return edge_dist, node_dist
+
+
+def hyperbfs(
+    h: BiAdjacency,
+    source: int,
+    source_is_edge: bool = False,
+    direction: str = "top_down",
+    runtime: ParallelRuntime | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch between the HyperBFS variants."""
+    if direction == "top_down":
+        return hyperbfs_top_down(h, source, source_is_edge, runtime)
+    if direction == "bottom_up":
+        return hyperbfs_bottom_up(h, source, source_is_edge, runtime)
+    if direction == "direction_optimizing":
+        return hyperbfs_direction_optimizing(h, source, source_is_edge, runtime)
+    raise ValueError(f"unknown direction {direction!r}")

@@ -1,0 +1,112 @@
+"""Hypertrees and hyperpaths — Hygra/MESH-style reachability artifacts.
+
+The frameworks the paper compares against ship *hypertree* and *hyperpath*
+computations (§V): a hypertree is the BFS forest of the bipartite
+expansion rooted at an entity, and a hyperpath is one shortest alternating
+node–edge–node… chain between two entities.  Both drop out of HyperBFS's
+parent arrays; this module materializes them with explicit types so users
+get labeled ``('node', id)`` / ``('edge', id)`` steps rather than raw
+consolidated IDs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.traversal import gather_neighbors
+from repro.structures.biadjacency import BiAdjacency
+
+__all__ = ["hypertree", "hyperpath", "Entity"]
+
+#: A typed entity reference: ``('node', id)`` or ``('edge', id)``.
+Entity = tuple[str, int]
+
+
+def _bfs_with_parents(
+    h: BiAdjacency, source: int, source_is_edge: bool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """HyperBFS keeping parents on both sides (top-down)."""
+    ne, nv = h.vertex_cardinality
+    edge_dist = np.full(ne, -1, dtype=np.int64)
+    node_dist = np.full(nv, -1, dtype=np.int64)
+    edge_parent = np.full(ne, -1, dtype=np.int64)  # parent is a node ID
+    node_parent = np.full(nv, -1, dtype=np.int64)  # parent is an edge ID
+    if source_is_edge:
+        edge_dist[source] = 0
+    else:
+        node_dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    on_edges = source_is_edge
+    level = 0
+    while frontier.size:
+        level += 1
+        graph = h.edges if on_edges else h.nodes
+        dist = node_dist if on_edges else edge_dist
+        parent = node_parent if on_edges else edge_parent
+        src, dst = gather_neighbors(graph, frontier)
+        fresh = dist[dst] < 0
+        src, dst = src[fresh], dst[fresh]
+        uniq, first = np.unique(dst, return_index=True)
+        dist[uniq] = level
+        parent[uniq] = src[first]
+        frontier = uniq
+        on_edges = not on_edges
+    return edge_dist, node_dist, edge_parent, node_parent
+
+
+def hypertree(
+    h: BiAdjacency, source: int, source_is_edge: bool = False
+) -> dict[Entity, Entity | None]:
+    """The BFS hypertree rooted at an entity.
+
+    Maps every *reached* entity to its tree parent (the root maps to
+    ``None``).  Parents alternate types: a hyperedge's parent is a
+    hypernode and vice versa.
+    """
+    edge_dist, node_dist, edge_parent, node_parent = _bfs_with_parents(
+        h, source, source_is_edge
+    )
+    tree: dict[Entity, Entity | None] = {}
+    root: Entity = ("edge" if source_is_edge else "node", int(source))
+    for e in np.flatnonzero(edge_dist >= 0).tolist():
+        tree[("edge", e)] = (
+            None if ("edge", e) == root else ("node", int(edge_parent[e]))
+        )
+    for v in np.flatnonzero(node_dist >= 0).tolist():
+        tree[("node", v)] = (
+            None if ("node", v) == root else ("edge", int(node_parent[v]))
+        )
+    return tree
+
+
+def hyperpath(
+    h: BiAdjacency,
+    source: Entity,
+    target: Entity,
+) -> list[Entity]:
+    """One shortest alternating path between two entities (``[]`` if none).
+
+    Entities are ``('node', id)`` or ``('edge', id)``.  The returned list
+    starts at ``source`` and ends at ``target``; consecutive entries
+    alternate between hypernodes and hyperedges.
+    """
+    for kind, _ in (source, target):
+        if kind not in ("node", "edge"):
+            raise ValueError(f"entity kind must be 'node' or 'edge', got {kind!r}")
+    src_kind, src_id = source
+    edge_dist, node_dist, edge_parent, node_parent = _bfs_with_parents(
+        h, src_id, src_kind == "edge"
+    )
+    kind, ident = target
+    dist = edge_dist if kind == "edge" else node_dist
+    if dist[ident] < 0:
+        return []
+    path: list[Entity] = [(kind, int(ident))]
+    while path[-1] != source:
+        k, i = path[-1]
+        if k == "edge":
+            path.append(("node", int(edge_parent[i])))
+        else:
+            path.append(("edge", int(node_parent[i])))
+    path.reverse()
+    return path

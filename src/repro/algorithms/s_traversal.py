@@ -1,0 +1,142 @@
+"""Lazy s-line traversal — s-metrics without materializing the line graph.
+
+Materializing ``L_s(H)`` can dwarf the hypergraph itself (the same blow-up
+§III-B.3 describes for clique expansion).  For one-off queries —
+"are these two hyperedges s-connected?", "what is their s-distance?" — the
+line graph's neighborhoods can instead be generated **on demand** from the
+bipartite structure: the s-neighbors of hyperedge *e* are exactly the
+two-hop co-incident hyperedges whose multiplicity reaches *s*
+(:func:`repro.linegraph.common.two_hop_pair_counts` with ``upper_only``
+off).
+
+This trades recomputation for memory: each BFS level costs the two-hop
+volume of its frontier, but nothing is stored beyond the visited set.
+Results are bit-identical to running the graph algorithms on the
+materialized s-line graph (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linegraph.common import resolve_incidence, two_hop_pair_counts
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+
+__all__ = [
+    "s_neighbors_lazy",
+    "s_bfs_lazy",
+    "s_distance_lazy",
+    "s_connected_components_lazy",
+]
+
+
+def s_neighbors_lazy(h, e: int, s: int = 1) -> np.ndarray:
+    """s-neighbors of hyperedge ``e``, generated on the fly (sorted)."""
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    edges, nodes, n_e, sizes = resolve_incidence(h)
+    if sizes[e] < s:
+        return np.empty(0, dtype=np.int64)
+    _, cand, cnt, _ = two_hop_pair_counts(
+        edges, nodes, np.array([e], dtype=np.int64), upper_only=False
+    )
+    keep = (cnt >= s) & (cand != e)
+    return np.sort(cand[keep])
+
+
+def s_bfs_lazy(
+    h,
+    source: int,
+    s: int = 1,
+    runtime: ParallelRuntime | None = None,
+) -> np.ndarray:
+    """BFS over the *implicit* s-line graph from hyperedge ``source``.
+
+    Returns hop distances per hyperedge (``-1`` unreachable).  A source
+    below the size threshold is its own sole reachable vertex.
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    edges, nodes, n_e, sizes = resolve_incidence(h)
+    dist = np.full(n_e, -1, dtype=np.int64)
+    dist[source] = 0
+    if sizes[source] < s:
+        return dist
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+
+        def expand(chunk: np.ndarray) -> TaskResult:
+            src, cand, cnt, work = two_hop_pair_counts(
+                edges, nodes, chunk, upper_only=False
+            )
+            keep = (cnt >= s) & (dist[cand] < 0)
+            return TaskResult(np.unique(cand[keep]), float(work + chunk.size))
+
+        if runtime is None:
+            parts = [expand(frontier).value]
+        else:
+            parts = runtime.parallel_for(
+                runtime.partition(frontier), expand,
+                phase=f"s_bfs_lazy_{level}",
+            )
+        nxt = (
+            np.unique(np.concatenate(parts))
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+        nxt = nxt[dist[nxt] < 0]
+        dist[nxt] = level
+        frontier = nxt
+    return dist
+
+
+def s_distance_lazy(h, src: int, dest: int, s: int = 1) -> int:
+    """s-distance between two hyperedges without materializing ``L_s``.
+
+    Early-exits as soon as ``dest`` is reached.
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    if src == dest:
+        return 0
+    edges, nodes, n_e, sizes = resolve_incidence(h)
+    if sizes[src] < s or sizes[dest] < s:
+        return -1
+    visited = np.zeros(n_e, dtype=bool)
+    visited[src] = True
+    frontier = np.array([src], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        _, cand, cnt, _ = two_hop_pair_counts(
+            edges, nodes, frontier, upper_only=False
+        )
+        keep = (cnt >= s) & ~visited[cand]
+        nxt = np.unique(cand[keep])
+        if np.any(nxt == dest):
+            return level
+        visited[nxt] = True
+        frontier = nxt
+    return -1
+
+
+def s_connected_components_lazy(h, s: int = 1) -> np.ndarray:
+    """Canonical min-ID s-component labels, lazily (repeated s-BFS).
+
+    Hyperedges below the size threshold are isolated (own label).
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    edges, nodes, n_e, sizes = resolve_incidence(h)
+    labels = np.arange(n_e, dtype=np.int64)
+    seen = np.zeros(n_e, dtype=bool)
+    for e in range(n_e):
+        if seen[e] or sizes[e] < s:
+            continue
+        dist = s_bfs_lazy(h, e, s)
+        members = np.flatnonzero(dist >= 0)
+        labels[members] = e  # e is the smallest unseen ID in its component
+        seen[members] = True
+    return labels

@@ -1,0 +1,5 @@
+"""Baseline implementations the paper compares against (Hygra)."""
+
+from .hygra import hygra_bfs, hygra_cc
+
+__all__ = ["hygra_bfs", "hygra_cc"]

@@ -1,0 +1,104 @@
+"""Hygra baseline — the comparator of Figures 7 and 8.
+
+Hygra (Shun, PPoPP'20 [25]) represents hypergraphs as bipartite structures
+and drives everything through ``edgeMap`` over *frontiers* (vertex
+subsets).  The two algorithms the paper benchmarks against:
+
+* **HygraBFS** — top-down only frontier BFS (no direction optimization);
+* **HygraCC** — frontier-based label propagation: each round only the
+  vertices whose label changed last round push to their neighbors.
+
+Re-implementing these algorithm choices on this repo's substrate isolates
+exactly the algorithmic difference the paper's comparison is about
+(direction-optimization + Afforest vs. top-down + LP).  The scheduling
+difference is modeled in the benchmark harness: Hygra (OpenMP, blocked
+static loops) runs on a static/blocked runtime, NWHy (oneTBB) on the
+work-stealing/cyclic runtime — see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.hyperbfs import hyperbfs_top_down
+from repro.graph.traversal import gather_neighbors
+from repro.parallel.atomics import write_min
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.structures.biadjacency import BiAdjacency
+
+__all__ = ["hygra_bfs", "hygra_cc"]
+
+
+def hygra_bfs(
+    h: BiAdjacency,
+    source: int,
+    source_is_edge: bool = False,
+    runtime: ParallelRuntime | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """HygraBFS: strictly top-down bipartite BFS.
+
+    Semantically identical to NWHy's HyperBFS — distances agree exactly;
+    the work/scheduling profile (never switching to bottom-up) is what
+    Figs. 7–8 compare.
+    """
+    return hyperbfs_top_down(h, source, source_is_edge, runtime=runtime)
+
+
+def hygra_cc(
+    h: BiAdjacency,
+    runtime: ParallelRuntime | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """HygraCC: frontier-based label-propagation CC (edgeMap style).
+
+    Starts with every entity active; each round, only entities whose label
+    improved push to the opposite index set.  Converges to the same
+    canonical consolidated-ID labels as HyperCC/AdjoinCC.
+    """
+    ne, nv = h.vertex_cardinality
+    edge_labels = np.arange(ne, dtype=np.int64)
+    node_labels = np.arange(ne, ne + nv, dtype=np.int64)
+    edge_frontier = np.arange(ne, dtype=np.int64)
+    node_frontier = np.arange(nv, dtype=np.int64)
+    rounds = 0
+    while edge_frontier.size or node_frontier.size:
+        rounds += 1
+        new_nodes = _push_frontier(
+            h.edges, edge_labels, node_labels, edge_frontier, runtime,
+            phase=f"hygracc_E_{rounds}",
+        )
+        new_edges = _push_frontier(
+            h.nodes, node_labels, edge_labels, node_frontier, runtime,
+            phase=f"hygracc_N_{rounds}",
+        )
+        node_frontier, edge_frontier = new_nodes, new_edges
+    return edge_labels, node_labels
+
+
+def _push_frontier(
+    graph,
+    from_labels: np.ndarray,
+    to_labels: np.ndarray,
+    frontier: np.ndarray,
+    runtime: ParallelRuntime | None,
+    phase: str,
+) -> np.ndarray:
+    """Push ``from_labels`` along the frontier's incidence; return changed IDs."""
+    if frontier.size == 0:
+        return frontier
+
+    def body(chunk: np.ndarray) -> TaskResult:
+        src, dst = gather_neighbors(graph, chunk)
+        before = to_labels[dst]
+        write_min(to_labels, dst, from_labels[src])
+        improved = np.unique(dst[to_labels[dst] < before])
+        return TaskResult(improved, float(dst.size + chunk.size))
+
+    if runtime is None:
+        parts = [body(frontier).value]
+    else:
+        parts = runtime.parallel_for(
+            runtime.partition(frontier), body, phase=phase
+        )
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))

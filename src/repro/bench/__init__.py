@@ -1,0 +1,34 @@
+"""Benchmark harness: drivers + reporting for the paper's tables/figures."""
+
+from .harness import (
+    DEFAULT_THREADS,
+    Fig9Row,
+    ScalingPoint,
+    ScalingSeries,
+    bfs_source,
+    fig9_slinegraph,
+    hygra_runtime,
+    nwhy_runtime,
+    strong_scaling_bfs,
+    strong_scaling_cc,
+    strong_scaling_construction,
+)
+from .reporting import format_fig9, format_scaling, format_table, format_table1
+
+__all__ = [
+    "DEFAULT_THREADS",
+    "Fig9Row",
+    "ScalingPoint",
+    "ScalingSeries",
+    "bfs_source",
+    "fig9_slinegraph",
+    "format_fig9",
+    "format_scaling",
+    "format_table",
+    "format_table1",
+    "hygra_runtime",
+    "nwhy_runtime",
+    "strong_scaling_bfs",
+    "strong_scaling_cc",
+    "strong_scaling_construction",
+]

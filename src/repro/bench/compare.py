@@ -1,0 +1,83 @@
+"""Compare two benchmark result dumps (regression diffing).
+
+``pytest benchmarks/ --benchmark-only`` with ``REPRO_RESULTS_JSON=path``
+writes every reproduced table as JSON.  This module diffs two such dumps —
+run before and after a change — and reports added/removed/changed tables,
+so benchmark-visible regressions show up as text instead of eyeballing.
+
+Usage::
+
+    REPRO_RESULTS_JSON=before.json pytest benchmarks/ --benchmark-only
+    # ... make changes ...
+    REPRO_RESULTS_JSON=after.json pytest benchmarks/ --benchmark-only
+    python -m repro.bench.compare before.json after.json
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["load_results", "diff_results", "main"]
+
+
+def load_results(path: str | Path) -> dict[str, str]:
+    """Load a REPRO_RESULTS_JSON dump as ``{title: text}``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, list):
+        raise ValueError("results dump must be a JSON list")
+    out: dict[str, str] = {}
+    for entry in payload:
+        if not isinstance(entry, dict) or "title" not in entry:
+            raise ValueError("each entry needs 'title' and 'text'")
+        out[entry["title"]] = entry.get("text", "")
+    return out
+
+
+def diff_results(
+    before: dict[str, str], after: dict[str, str]
+) -> tuple[list[str], bool]:
+    """Human-readable diff lines + whether anything changed."""
+    lines: list[str] = []
+    changed = False
+    for title in sorted(set(before) - set(after)):
+        lines.append(f"- removed: {title}")
+        changed = True
+    for title in sorted(set(after) - set(before)):
+        lines.append(f"+ added:   {title}")
+        changed = True
+    for title in sorted(set(before) & set(after)):
+        if before[title] == after[title]:
+            continue
+        changed = True
+        lines.append(f"~ changed: {title}")
+        diff = difflib.unified_diff(
+            before[title].splitlines(),
+            after[title].splitlines(),
+            lineterm="",
+            n=1,
+        )
+        lines.extend(f"    {d}" for d in list(diff)[3:])
+    if not changed:
+        lines.append("no differences")
+    return lines, changed
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: exit 1 when the dumps differ (CI-friendly)."""
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 2:
+        print("usage: python -m repro.bench.compare BEFORE.json AFTER.json")
+        return 2
+    before = load_results(args[0])
+    after = load_results(args[1])
+    lines, changed = diff_results(before, after)
+    for line in lines:
+        print(line)
+    return 1 if changed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Plain-text reporting: the rows/series the paper's tables and figures show.
+
+No plotting dependencies — benchmarks print aligned ASCII so the output in
+``bench_output.txt`` is directly comparable to the paper's figures (series
+of speedups per thread count; normalized bars per algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.io.datasets import DatasetStats
+
+from .harness import Fig9Row, ScalingSeries
+
+__all__ = ["format_table", "format_table1", "format_scaling", "format_fig9"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Align a list of rows under headers (numbers right-aligned)."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                  for c, w in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join([line, sep, *body])
+
+
+def _fmt(c: object) -> str:
+    if isinstance(c, float):
+        return f"{c:.2f}"
+    return str(c)
+
+
+def _numeric(c: str) -> bool:
+    try:
+        float(c)
+        return True
+    except ValueError:
+        return False
+
+
+def format_table1(stats: Sequence[DatasetStats]) -> str:
+    """Table I layout: dataset, |V|, |E|, d̄_v, d̄_e, Δ_v, Δ_e."""
+    headers = ["hypergraph", "|V|", "|E|", "avg d_v", "avg d_e", "max d_v", "max d_e"]
+    return format_table(headers, [s.row() for s in stats])
+
+
+def format_scaling(series: Sequence[ScalingSeries]) -> str:
+    """One strong-scaling panel: speedup per algorithm per thread count."""
+    if not series:
+        return "(empty)"
+    threads = [p.threads for p in series[0].points]
+    headers = ["algorithm"] + [f"t={t}" for t in threads]
+    rows = [
+        [s.algorithm] + [f"{p.speedup:.2f}x" for p in s.points] for s in series
+    ]
+    title = f"dataset: {series[0].dataset} (simulated speedup vs 1 thread)"
+    return title + "\n" + format_table(headers, rows)
+
+
+def format_fig9(rows: Sequence[Fig9Row]) -> str:
+    """Fig. 9 panel: normalized best-config construction time per algorithm."""
+    if not rows:
+        return "(empty)"
+    headers = ["algorithm", "normalized", "best config"]
+    body = [[r.algorithm, f"{r.normalized:.2f}", r.best_config] for r in rows]
+    title = (
+        f"dataset: {rows[0].dataset}, s={rows[0].s} "
+        "(runtime relative to Hashmap, lower is better)"
+    )
+    return title + "\n" + format_table(headers, body)

@@ -1,0 +1,143 @@
+"""One-button reproduction self-check: the paper's headline claims, fast.
+
+``verify_headline_claims()`` runs a compressed version of every claim
+EXPERIMENTS.md asserts — on the smallest stand-ins, in well under a minute
+— and returns pass/fail lines.  Exposed as ``python -m repro verify`` so a
+fresh checkout can validate itself without running the full benchmark
+suite.
+
+Checks:
+
+1. **correctness parity** — AdjoinCC == HyperCC == HygraCC labels and
+   AdjoinBFS == HyperBFS == HygraBFS distances;
+2. **construction agreement** — all s-line algorithms equal the scipy
+   oracle, on bipartite and adjoin inputs;
+3. **Fig. 7 shape** — AdjoinCC out-scales HygraCC on a skewed input;
+4. **Fig. 8 shape** — AdjoinBFS ≈ HygraBFS on the uniform input;
+5. **Fig. 9 shape** — Algorithm 1 ≈ Hashmap, Algorithm 2 ≈ Intersection;
+6. **approximation identity** — 1-line distance = bipartite distance / 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["verify_headline_claims"]
+
+
+def verify_headline_claims(verbose: bool = False) -> tuple[list[str], bool]:
+    """Run the compressed claim checks; returns ``(report_lines, all_ok)``."""
+    from repro.algorithms.adjoincc import adjoincc
+    from repro.algorithms.hyperbfs import hyperbfs_direction_optimizing
+    from repro.algorithms.hypercc import hypercc
+    from repro.algorithms.adjoinbfs import adjoinbfs
+    from repro.baselines.hygra import hygra_bfs, hygra_cc
+    from repro.bench.harness import (
+        bfs_source,
+        fig9_slinegraph,
+        strong_scaling_bfs,
+        strong_scaling_cc,
+    )
+    from repro.graph.bfs import bfs_top_down
+    from repro.io.datasets import load
+    from repro.linegraph import (
+        ALGORITHMS,
+        linegraph_csr,
+        slinegraph_matrix,
+        to_two_graph,
+    )
+    from repro.structures.adjoin import AdjoinGraph
+    from repro.structures.biadjacency import BiAdjacency
+
+    lines: list[str] = []
+    ok = True
+
+    def check(name: str, passed: bool, detail: str = "") -> None:
+        nonlocal ok
+        ok = ok and passed
+        mark = "PASS" if passed else "FAIL"
+        suffix = f" — {detail}" if (detail and (verbose or not passed)) else ""
+        lines.append(f"[{mark}] {name}{suffix}")
+
+    el = load("orkut-group")
+    h = BiAdjacency.from_biedgelist(el)
+    g = AdjoinGraph.from_biedgelist(el)
+
+    # 1. exact-algorithm parity
+    e1, n1 = hypercc(h)
+    e2, n2 = adjoincc(g)
+    e3, n3 = hygra_cc(h)
+    check(
+        "CC parity (Hyper == Adjoin == Hygra)",
+        np.array_equal(e1, e2) and np.array_equal(e1, e3)
+        and np.array_equal(n1, n2) and np.array_equal(n1, n3),
+    )
+    src = bfs_source(h)
+    b1 = hyperbfs_direction_optimizing(h, src)
+    b2 = adjoinbfs(g, src)
+    b3 = hygra_bfs(h, src)
+    check(
+        "BFS parity (Hyper == Adjoin == Hygra)",
+        all(
+            np.array_equal(b1[i], b2[i]) and np.array_equal(b1[i], b3[i])
+            for i in (0, 1)
+        ),
+    )
+
+    # 2. construction agreement (skip the quadratic reference on size)
+    ref = slinegraph_matrix(h, 2)
+    names = sorted(set(ALGORITHMS) - {"naive", "matrix"})
+    agree = all(to_two_graph(h, 2, name) == ref for name in names)
+    agree = agree and to_two_graph(g, 2, "queue_hashmap") == ref
+    check("construction agreement (all algorithms == oracle)", agree,
+          f"{len(names) + 1} variants")
+
+    # 3. Fig. 7 shape
+    cc = {s.algorithm: s for s in strong_scaling_cc("orkut-group", (1, 64))}
+    check(
+        "Fig. 7 shape (AdjoinCC out-scales HygraCC on skew)",
+        cc["AdjoinCC"].speedup_at(64) > cc["HygraCC"].speedup_at(64),
+        f"{cc['AdjoinCC'].speedup_at(64):.1f}x vs "
+        f"{cc['HygraCC'].speedup_at(64):.1f}x",
+    )
+
+    # 4. Fig. 8 shape
+    bfs = {s.algorithm: s for s in strong_scaling_bfs("rand1", (1, 64))}
+    ratio = bfs["AdjoinBFS"].speedup_at(64) / bfs["HygraBFS"].speedup_at(64)
+    check(
+        "Fig. 8 shape (AdjoinBFS ≈ HygraBFS on uniform input)",
+        0.5 < ratio < 2.0,
+        f"ratio {ratio:.2f}",
+    )
+
+    # 5. Fig. 9 shape
+    rows = {r.algorithm: r for r in fig9_slinegraph("rand1", s=2, threads=16)}
+    alg1_ok = rows["Alg1 (queue hashmap)"].best_makespan < (
+        2.0 * rows["Hashmap"].best_makespan
+    )
+    alg2_ratio = (
+        rows["Alg2 (queue intersect)"].best_makespan
+        / rows["Intersection"].best_makespan
+    )
+    check(
+        "Fig. 9 shape (queue ≈ non-queue counterparts)",
+        alg1_ok and 0.5 < alg2_ratio < 2.0,
+        f"Alg1 {rows['Alg1 (queue hashmap)'].normalized:.2f}x of Hashmap, "
+        f"Alg2/Intersection {alg2_ratio:.2f}",
+    )
+
+    # 6. the s=1 exactness identity on a slice of sources
+    lg1 = linegraph_csr(slinegraph_matrix(h, 1))
+    identity = True
+    for e_src in range(0, h.num_hyperedges(), max(h.num_hyperedges() // 4, 1)):
+        from repro.algorithms.hyperbfs import hyperbfs_top_down
+
+        line_dist, _ = bfs_top_down(lg1, e_src)
+        edge_dist, _ = hyperbfs_top_down(h, e_src, source_is_edge=True)
+        reached = edge_dist >= 0
+        identity = identity and np.array_equal(
+            line_dist[reached] * 2, edge_dist[reached]
+        ) and np.all(line_dist[~reached] == -1)
+    check("approximation identity (d_L1 = d_bipartite / 2)", identity)
+
+    return lines, ok

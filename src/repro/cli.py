@@ -1,0 +1,398 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Thin argparse front end over the library, covering the operational loop a
+framework user runs from a shell: inspect a hypergraph file, convert
+between formats, run exact CC/BFS, construct s-line graphs, extract
+toplexes, and regenerate the paper's tables.
+
+Supported file formats (selected by extension): ``.mtx`` (MatrixMarket,
+Listing 2's reader), ``.hygra``/``.adj`` (Hygra's AdjacencyHypergraph),
+and ``.csv`` (incidence tables).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.toplex import toplexes
+from repro.core.hypergraph import NWHypergraph
+from repro.io.datasets import dataset_stats, load, table1
+from repro.io.generators import (
+    community_hypergraph,
+    powerlaw_hypergraph,
+    uniform_random_hypergraph,
+)
+from repro.io.hygra import read_hygra, write_hygra
+from repro.io.mmio import read_mm, write_mm
+from repro.structures.edgelist import BiEdgeList
+
+__all__ = ["main", "build_parser"]
+
+
+def _read(path: str) -> BiEdgeList:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".mtx":
+        return read_mm(path)
+    if suffix in (".hygra", ".adj"):
+        return read_hygra(path)
+    if suffix == ".csv":
+        from repro.io.csv import read_incidence_csv
+
+        el, _, _ = read_incidence_csv(path)
+        return el
+    raise SystemExit(
+        f"unsupported input format: {suffix!r} (use .mtx/.hygra/.csv)"
+    )
+
+
+def _write(path: str, el: BiEdgeList) -> None:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".mtx":
+        write_mm(path, el)
+    elif suffix in (".hygra", ".adj"):
+        write_hygra(path, el)
+    elif suffix == ".csv":
+        from repro.io.csv import write_incidence_csv
+
+        write_incidence_csv(path, el)
+    else:
+        raise SystemExit(
+            f"unsupported output format: {suffix!r} (use .mtx/.hygra/.csv)"
+        )
+
+
+def _hypergraph(path: str) -> NWHypergraph:
+    el = _read(path)
+    return NWHypergraph(
+        el.part0, el.part1, el.weights,
+        num_edges=el.num_vertices(0), num_nodes=el.num_vertices(1),
+    )
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    stats = dataset_stats(Path(args.file).stem, _read(args.file))
+    print(f"hypergraph      {stats.name}")
+    print(f"hypernodes      {stats.num_nodes}")
+    print(f"hyperedges      {stats.num_edges}")
+    print(f"avg node degree {stats.avg_node_degree:.2f}")
+    print(f"avg edge size   {stats.avg_edge_size:.2f}")
+    print(f"max node degree {stats.max_node_degree}")
+    print(f"max edge size   {stats.max_edge_size}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    _write(args.output, _read(args.input))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_cc(args: argparse.Namespace) -> int:
+    hg = _hypergraph(args.file)
+    edge_labels, node_labels = hg.connected_components(
+        representation=args.representation, algorithm=args.algorithm
+    )
+    combined = np.unique(np.concatenate([edge_labels, node_labels]))
+    print(f"components      {combined.size}")
+    sizes = np.bincount(
+        np.searchsorted(combined, np.concatenate([edge_labels, node_labels]))
+    )
+    print(f"largest         {int(sizes.max())} entities")
+    print(f"singletons      {int((sizes == 1).sum())}")
+    return 0
+
+
+def cmd_bfs(args: argparse.Namespace) -> int:
+    hg = _hypergraph(args.file)
+    edge_dist, node_dist = hg.bfs(
+        args.source, source_is_edge=args.edge,
+        representation=args.representation,
+    )
+    reached_e = int((edge_dist >= 0).sum())
+    reached_n = int((node_dist >= 0).sum())
+    print(f"reached         {reached_e} hyperedges, {reached_n} hypernodes")
+    both = np.concatenate([edge_dist, node_dist])
+    both = both[both >= 0]
+    print(f"max distance    {int(both.max()) if both.size else 0}")
+    hist = np.bincount(both) if both.size else np.array([], dtype=int)
+    for d, count in enumerate(hist.tolist()):
+        print(f"  level {d}: {count}")
+    return 0
+
+
+def cmd_slinegraph(args: argparse.Namespace) -> int:
+    hg = _hypergraph(args.file)
+    lg = hg.s_linegraph(args.s, algorithm=args.algorithm)
+    print(f"s={args.s} line graph: {lg.num_vertices()} vertices, "
+          f"{lg.num_edges()} edges")
+    comps = lg.s_connected_components()
+    print(f"components (non-singleton): {len(comps)}")
+    if args.output:
+        el = lg.edgelist
+        _write(
+            args.output,
+            BiEdgeList(
+                el.src, el.dst, el.weights,
+                n0=el.num_vertices(), n1=el.num_vertices(),
+            ),
+        )
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.core.smetrics import format_smetrics_table, s_metrics_report
+
+    hg = _hypergraph(args.file)
+    reports = s_metrics_report(hg.biadjacency, args.s)
+    if args.table:
+        print(format_smetrics_table(reports))
+    else:
+        for s in sorted(reports):
+            print(reports[s].summary())
+    return 0
+
+
+def cmd_toplex(args: argparse.Namespace) -> int:
+    hg = _hypergraph(args.file)
+    tops = toplexes(hg.biadjacency)
+    print(f"toplexes        {tops.size} / {hg.number_of_edges()} hyperedges")
+    if args.verbose:
+        for t in tops.tolist():
+            print(f"  edge {t}: {hg.edge_incidence(t).tolist()}")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from repro.io.dot import bipartite_dot, linegraph_dot
+
+    hg = _hypergraph(args.file)
+    if args.linegraph:
+        lg = hg.s_linegraph(args.s)
+        text = linegraph_dot(lg.edgelist, s=args.s, path=args.output)
+    else:
+        text = bipartite_dot(hg.biadjacency, path=args.output)
+    if args.output:
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.algorithms.hypercc import hypercc
+    from repro.parallel import ParallelRuntime, export_chrome_trace
+
+    hg = _hypergraph(args.file)
+    rt = ParallelRuntime(
+        num_threads=args.threads,
+        scheduler=args.scheduler,
+        partitioner=args.partitioner,
+        trace=True,
+    )
+    if args.algorithm == "cc":
+        hypercc(hg.biadjacency, runtime=rt)
+    elif args.algorithm == "bfs":
+        hg.bfs(args.source, representation="bipartite", runtime=rt)
+    else:  # slinegraph
+        from repro.linegraph import slinegraph_hashmap
+
+        slinegraph_hashmap(hg.biadjacency, args.s, runtime=rt)
+    count = export_chrome_trace(rt.ledger, args.output)
+    print(f"wrote {args.output} ({count} events, simulated makespan "
+          f"{rt.makespan:.0f}); open at chrome://tracing")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table1
+
+    print(format_table1(table1()))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.bench.verify import verify_headline_claims
+
+    lines, ok = verify_headline_claims(verbose=args.verbose)
+    for line in lines:
+        print(line)
+    print("\nreproduction self-check:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import (
+        fig9_slinegraph,
+        strong_scaling_bfs,
+        strong_scaling_cc,
+    )
+    from repro.bench.reporting import format_fig9, format_scaling
+
+    threads = tuple(args.threads)
+    if args.figure == 7:
+        print(format_scaling(strong_scaling_cc(args.dataset, threads)))
+    elif args.figure == 8:
+        print(format_scaling(strong_scaling_bfs(args.dataset, threads)))
+    elif args.figure == 9:
+        print(format_fig9(
+            fig9_slinegraph(args.dataset, s=args.s, threads=max(threads))
+        ))
+    else:
+        raise SystemExit(f"no driver for figure {args.figure} (use 7, 8, 9)")
+    return 0
+
+
+_GENERATORS = {
+    "uniform": lambda a: uniform_random_hypergraph(
+        a.edges, a.nodes, max(1, int(a.mean_size)), seed=a.seed
+    ),
+    "powerlaw": lambda a: powerlaw_hypergraph(
+        a.edges, a.nodes, mean_edge_size=a.mean_size, seed=a.seed
+    ),
+    "community": lambda a: community_hypergraph(
+        a.edges, a.nodes, mean_community_size=a.mean_size, seed=a.seed
+    ),
+}
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind in _GENERATORS:
+        el = _GENERATORS[args.kind](args)
+    else:  # a Table I stand-in by name
+        el = load(args.kind)
+    _write(args.output, el)
+    print(f"wrote {args.output} "
+          f"({el.num_vertices(0)} edges, {el.num_vertices(1)} nodes, "
+          f"{len(el)} incidences)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NWHy reproduction: hypergraph analytics from the shell",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="Table-I style statistics of a file")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("convert", help="convert between .mtx and .hygra")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("cc", help="exact connected components")
+    p.add_argument("file")
+    p.add_argument("--representation", default="adjoin",
+                   choices=["adjoin", "bipartite"])
+    p.add_argument("--algorithm", default="afforest",
+                   choices=["afforest", "label_propagation",
+                            "shiloach_vishkin"])
+    p.set_defaults(func=cmd_cc)
+
+    p = sub.add_parser("bfs", help="exact BFS from a hypernode/hyperedge")
+    p.add_argument("file")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--edge", action="store_true",
+                   help="source is a hyperedge ID")
+    p.add_argument("--representation", default="adjoin",
+                   choices=["adjoin", "bipartite"])
+    p.set_defaults(func=cmd_bfs)
+
+    p = sub.add_parser("slinegraph", help="construct an s-line graph")
+    p.add_argument("file")
+    p.add_argument("-s", type=int, default=1)
+    p.add_argument("--algorithm", default="hashmap",
+                   choices=["naive", "intersection", "hashmap",
+                            "queue_hashmap", "queue_intersection", "matrix"])
+    p.add_argument("-o", "--output", default=None,
+                   help="write the line graph as .mtx/.hygra")
+    p.set_defaults(func=cmd_slinegraph)
+
+    p = sub.add_parser("metrics", help="s-measure report (Aksoy et al.)")
+    p.add_argument("file")
+    p.add_argument("-s", type=int, nargs="+", default=[1, 2, 3])
+    p.add_argument("--table", action="store_true",
+                   help="one aligned table instead of per-s summaries")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("toplex", help="maximal hyperedges (Algorithm 3)")
+    p.add_argument("file")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_toplex)
+
+    p = sub.add_parser("trace", help="export a simulated schedule trace")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", default="trace.json")
+    p.add_argument("--algorithm", default="cc",
+                   choices=["cc", "bfs", "slinegraph"])
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--scheduler", default="work_stealing",
+                   choices=["work_stealing", "static"])
+    p.add_argument("--partitioner", default="cyclic",
+                   choices=["cyclic", "blocked"])
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("-s", type=int, default=2)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("dot", help="Graphviz export (bipartite or s-line)")
+    p.add_argument("file")
+    p.add_argument("--linegraph", action="store_true")
+    p.add_argument("-s", type=int, default=1)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("table1", help="regenerate Table I over the stand-ins")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("verify",
+                       help="fast self-check of the paper's headline claims")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("bench", help="regenerate a paper figure's panel")
+    p.add_argument("--figure", type=int, required=True, choices=[7, 8, 9])
+    p.add_argument("--dataset", default="rand1")
+    p.add_argument("--threads", type=int, nargs="+",
+                   default=[1, 2, 4, 8, 16, 32, 64])
+    p.add_argument("-s", type=int, default=2, help="s for figure 9")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("generate", help="generate a hypergraph file")
+    p.add_argument("kind",
+                   help="uniform | powerlaw | community | <Table I name>")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--edges", type=int, default=1000)
+    p.add_argument("--nodes", type=int, default=1000)
+    p.add_argument("--mean-size", type=float, default=8.0, dest="mean_size")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) closed early: exit quietly
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's primary contribution as a public API.
+
+``NWHypergraph`` + ``SLineGraph`` reproduce the pybind11 ``nwhy`` Python
+package surface (paper Listing 5) on top of the pure-Python substrates.
+"""
+
+from .builder import HypergraphBuilder
+from .hypergraph import NWHypergraph
+from .labeled import LabeledHypergraph
+from .slinegraph import SLineGraph
+from .spectral import fiedler_vector, hypergraph_laplacian, spectral_bipartition
+from .smetrics import SMetricsReport, report_from_linegraph, s_metrics_report
+from .swalks import is_s_walk, random_s_walk, s_walk_visit_distribution
+
+__all__ = [
+    "HypergraphBuilder",
+    "LabeledHypergraph",
+    "NWHypergraph",
+    "SLineGraph",
+    "SMetricsReport",
+    "fiedler_vector",
+    "hypergraph_laplacian",
+    "spectral_bipartition",
+    "report_from_linegraph",
+    "is_s_walk",
+    "random_s_walk",
+    "s_metrics_report",
+    "s_walk_visit_distribution",
+]

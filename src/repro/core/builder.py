@@ -1,0 +1,105 @@
+"""Incremental hypergraph construction — the mutable ingestion front end.
+
+The array constructors of :class:`~repro.core.hypergraph.NWHypergraph` suit
+bulk loading; interactive and streaming use wants incremental mutation.
+``HypergraphBuilder`` buffers edits cheaply (Python lists of incidences)
+and freezes into an immutable ``NWHypergraph`` — mirroring the
+edge-list → indexed-structure split of the C++ design (Listing 1:
+``biedgelist`` is the mutable form, ``biadjacency`` the frozen one).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .hypergraph import NWHypergraph
+
+__all__ = ["HypergraphBuilder"]
+
+
+class HypergraphBuilder:
+    """Accumulate hyperedges / incidences, then :meth:`freeze`.
+
+    IDs may be added out of order; cardinalities grow automatically.
+    Duplicate incidences are tolerated (dropped at freeze, like the array
+    constructor).
+    """
+
+    def __init__(self) -> None:
+        self._rows: list[int] = []
+        self._cols: list[int] = []
+        self._weights: list[float] = []
+        self._any_weight = False
+        self._num_edges = 0
+        self._num_nodes = 0
+
+    # -- mutation -----------------------------------------------------------
+    def add_incidence(
+        self, edge: int, node: int, weight: float = 1.0
+    ) -> "HypergraphBuilder":
+        """Record that ``node`` belongs to ``edge``; returns self (chainable)."""
+        if edge < 0 or node < 0:
+            raise ValueError("IDs must be non-negative")
+        self._rows.append(int(edge))
+        self._cols.append(int(node))
+        self._weights.append(float(weight))
+        if weight != 1.0:
+            self._any_weight = True
+        self._num_edges = max(self._num_edges, edge + 1)
+        self._num_nodes = max(self._num_nodes, node + 1)
+        return self
+
+    def add_edge(
+        self, members: Iterable[int], edge: int | None = None
+    ) -> int:
+        """Add a whole hyperedge; returns its ID (auto-assigned by default)."""
+        eid = self._num_edges if edge is None else int(edge)
+        members = list(members)
+        for v in members:
+            self.add_incidence(eid, int(v))
+        if not members:  # still reserve the (empty) edge ID
+            self._num_edges = max(self._num_edges, eid + 1)
+        return eid
+
+    def add_node(self, node: int | None = None) -> int:
+        """Reserve a hypernode ID (possibly isolated); returns it."""
+        nid = self._num_nodes if node is None else int(node)
+        self._num_nodes = max(self._num_nodes, nid + 1)
+        return nid
+
+    def extend(
+        self, rows: Iterable[int], cols: Iterable[int]
+    ) -> "HypergraphBuilder":
+        """Bulk-append parallel incidence arrays."""
+        for e, v in zip(rows, cols):
+            self.add_incidence(e, v)
+        return self
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_incidences(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return self.num_incidences
+
+    # -- freeze ------------------------------------------------------------------
+    def freeze(self) -> NWHypergraph:
+        """Materialize an immutable :class:`NWHypergraph` (builder reusable)."""
+        return NWHypergraph(
+            np.array(self._rows, dtype=np.int64),
+            np.array(self._cols, dtype=np.int64),
+            np.array(self._weights) if self._any_weight else None,
+            num_edges=self._num_edges,
+            num_nodes=self._num_nodes,
+        )

@@ -1,0 +1,212 @@
+"""Labeled hypergraphs — arbitrary hashable edge/node names.
+
+The integer-ID core is the right substrate for algorithms, but real data
+names its entities: authors, papers, communities.  HyperNetX (which the
+paper's §V notes can delegate s-line construction to NWHy) works in
+exactly this dict-of-named-edges shape.  ``LabeledHypergraph`` wraps an
+:class:`~repro.core.hypergraph.NWHypergraph` with bidirectional label
+encodings and relabels every query's inputs/outputs, so users never touch
+raw IDs:
+
+    lh = LabeledHypergraph.from_dict({
+        "paper1": ["alice", "bob"],
+        "paper2": ["bob", "carol", "dave"],
+    })
+    lh.s_neighbors("paper1", s=1)      # -> ["paper2"]
+
+Label order is insertion order (edges) / first-appearance order (nodes),
+so encodings are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .hypergraph import NWHypergraph
+
+__all__ = ["LabeledHypergraph"]
+
+
+class _Encoder:
+    """Bidirectional label ↔ dense-ID mapping (insertion-ordered)."""
+
+    __slots__ = ("_to_id", "_labels")
+
+    def __init__(self) -> None:
+        self._to_id: dict[Hashable, int] = {}
+        self._labels: list[Hashable] = []
+
+    def encode(self, label: Hashable) -> int:
+        try:
+            return self._to_id[label]
+        except KeyError:
+            ident = len(self._labels)
+            self._to_id[label] = ident
+            self._labels.append(label)
+            return ident
+
+    def lookup(self, label: Hashable) -> int:
+        try:
+            return self._to_id[label]
+        except KeyError:
+            raise KeyError(f"unknown label {label!r}") from None
+
+    def decode(self, ident: int) -> Hashable:
+        return self._labels[ident]
+
+    def decode_many(self, ids: Iterable[int]) -> list[Hashable]:
+        return [self._labels[int(i)] for i in ids]
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    @property
+    def labels(self) -> list[Hashable]:
+        return list(self._labels)
+
+
+class LabeledHypergraph:
+    """A hypergraph over arbitrary hashable edge and node labels."""
+
+    def __init__(
+        self, edges: Mapping[Hashable, Sequence[Hashable]]
+    ) -> None:
+        self._edge_enc = _Encoder()
+        self._node_enc = _Encoder()
+        rows: list[int] = []
+        cols: list[int] = []
+        for edge_label, members in edges.items():
+            e = self._edge_enc.encode(edge_label)
+            for node_label in members:
+                rows.append(e)
+                cols.append(self._node_enc.encode(node_label))
+        self.hypergraph = NWHypergraph(
+            np.array(rows, dtype=np.int64),
+            np.array(cols, dtype=np.int64),
+            num_edges=len(self._edge_enc),
+            num_nodes=len(self._node_enc),
+        )
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls, edges: Mapping[Hashable, Sequence[Hashable]]
+    ) -> "LabeledHypergraph":
+        """Build from ``{edge_name: [node_name, ...]}`` (HyperNetX shape)."""
+        return cls(edges)
+
+    def to_dict(self) -> dict[Hashable, list[Hashable]]:
+        """Back to the dict-of-named-edges shape."""
+        return {
+            self._edge_enc.decode(e): self._node_enc.decode_many(
+                self.hypergraph.edge_incidence(e)
+            )
+            for e in range(self.hypergraph.number_of_edges())
+        }
+
+    # -- label access ------------------------------------------------------------
+    @property
+    def edge_labels(self) -> list[Hashable]:
+        return self._edge_enc.labels
+
+    @property
+    def node_labels(self) -> list[Hashable]:
+        return self._node_enc.labels
+
+    def edge_id(self, label: Hashable) -> int:
+        """Dense ID of an edge label (KeyError if unknown)."""
+        return self._edge_enc.lookup(label)
+
+    def node_id(self, label: Hashable) -> int:
+        return self._node_enc.lookup(label)
+
+    # -- labeled queries -------------------------------------------------------------
+    def members(self, edge: Hashable) -> list[Hashable]:
+        """Node labels of a named hyperedge."""
+        ids = self.hypergraph.edge_incidence(self._edge_enc.lookup(edge))
+        return self._node_enc.decode_many(ids)
+
+    def memberships(self, node: Hashable) -> list[Hashable]:
+        """Edge labels a named node belongs to."""
+        ids = self.hypergraph.node_incidence(self._node_enc.lookup(node))
+        return self._edge_enc.decode_many(ids)
+
+    def degree(self, node: Hashable, **kwargs) -> int:
+        return self.hypergraph.degree(self._node_enc.lookup(node), **kwargs)
+
+    def size(self, edge: Hashable) -> int:
+        return self.hypergraph.size(self._edge_enc.lookup(edge))
+
+    def neighbors(self, node: Hashable) -> list[Hashable]:
+        ids = self.hypergraph.neighbors(self._node_enc.lookup(node))
+        return self._node_enc.decode_many(ids)
+
+    def toplexes(self) -> list[Hashable]:
+        return self._edge_enc.decode_many(self.hypergraph.toplexes())
+
+    # -- labeled s-analytics ----------------------------------------------------------
+    def s_neighbors(self, edge: Hashable, s: int = 1) -> list[Hashable]:
+        """Edge labels sharing ≥ s nodes with ``edge`` (lazy query)."""
+        from repro.algorithms.s_traversal import s_neighbors_lazy
+
+        ids = s_neighbors_lazy(
+            self.hypergraph.biadjacency, self._edge_enc.lookup(edge), s
+        )
+        return self._edge_enc.decode_many(ids)
+
+    def s_distance(self, src: Hashable, dest: Hashable, s: int = 1) -> int:
+        """s-distance between two named edges (``-1`` if unreachable)."""
+        from repro.algorithms.s_traversal import s_distance_lazy
+
+        return s_distance_lazy(
+            self.hypergraph.biadjacency,
+            self._edge_enc.lookup(src),
+            self._edge_enc.lookup(dest),
+            s,
+        )
+
+    def s_connected_components(
+        self, s: int = 1, return_singletons: bool = False
+    ) -> list[list[Hashable]]:
+        """s-components as lists of edge labels."""
+        lg = self.hypergraph.s_linegraph(s)
+        return [
+            self._edge_enc.decode_many(comp)
+            for comp in lg.s_connected_components(
+                return_singletons=return_singletons
+            )
+        ]
+
+    def s_betweenness_centrality(
+        self, s: int = 1, normalized: bool = True
+    ) -> dict[Hashable, float]:
+        """Betweenness per edge label."""
+        bc = self.hypergraph.s_linegraph(s).s_betweenness_centrality(
+            normalized=normalized
+        )
+        return {
+            self._edge_enc.decode(e): float(bc[e]) for e in range(bc.size)
+        }
+
+    def connected_components(self) -> list[dict[str, list[Hashable]]]:
+        """Exact hypergraph components as labeled edge/node groups."""
+        e_lab, n_lab = self.hypergraph.connected_components()
+        groups: dict[int, dict[str, list[Hashable]]] = {}
+        for e, lab in enumerate(e_lab.tolist()):
+            groups.setdefault(lab, {"edges": [], "nodes": []})["edges"].append(
+                self._edge_enc.decode(e)
+            )
+        for v, lab in enumerate(n_lab.tolist()):
+            groups.setdefault(lab, {"edges": [], "nodes": []})["nodes"].append(
+                self._node_enc.decode(v)
+            )
+        return [groups[k] for k in sorted(groups)]
+
+    # -- misc ----------------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LabeledHypergraph(edges={len(self._edge_enc)}, "
+            f"nodes={len(self._node_enc)})"
+        )

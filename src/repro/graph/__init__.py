@@ -1,0 +1,69 @@
+"""NWGraph substrate: parallel graph algorithms on CSR structures.
+
+BFS (top-down / bottom-up / direction-optimizing), connected components
+(label propagation / Shiloach–Vishkin / Afforest), SSSP (Dijkstra /
+delta-stepping), Brandes betweenness, and distance-derived centralities.
+Every algorithm optionally runs through the simulated
+:class:`~repro.parallel.runtime.ParallelRuntime` for scaling studies.
+"""
+
+from .betweenness import betweenness_centrality, betweenness_centrality_weighted
+from .bfs import bfs_bottom_up, bfs_direction_optimizing, bfs_top_down
+from .kcore import core_number, k_core_subgraph
+from .mis import maximal_independent_set
+from .pagerank import pagerank
+from .communities import label_propagation_communities
+from .cc import (
+    cc_afforest,
+    cc_label_propagation,
+    cc_shiloach_vishkin,
+    compress_labels,
+    connected_components,
+)
+from .paths import (
+    all_pairs_hop_distance,
+    closeness_centrality,
+    diameter,
+    eccentricity,
+    harmonic_closeness_centrality,
+)
+from .sssp import delta_stepping, dijkstra, shortest_path, sssp
+from .triangles import (
+    clustering_coefficient,
+    triangle_count,
+    triangles_per_vertex,
+)
+from .traversal import frontier_edge_count, gather_neighbors, multi_slice
+
+__all__ = [
+    "all_pairs_hop_distance",
+    "betweenness_centrality",
+    "betweenness_centrality_weighted",
+    "bfs_bottom_up",
+    "bfs_direction_optimizing",
+    "bfs_top_down",
+    "cc_afforest",
+    "cc_label_propagation",
+    "cc_shiloach_vishkin",
+    "closeness_centrality",
+    "clustering_coefficient",
+    "compress_labels",
+    "connected_components",
+    "core_number",
+    "delta_stepping",
+    "diameter",
+    "dijkstra",
+    "eccentricity",
+    "frontier_edge_count",
+    "gather_neighbors",
+    "harmonic_closeness_centrality",
+    "k_core_subgraph",
+    "label_propagation_communities",
+    "maximal_independent_set",
+    "multi_slice",
+    "pagerank",
+    "shortest_path",
+    "sssp",
+    "triangle_count",
+    "triangles_per_vertex",
+]

@@ -1,0 +1,64 @@
+"""k-core decomposition — backs ``s_core_number`` on line graphs.
+
+Hygra/MESH/HyperX ship k-core (paper §V); on an s-line graph the core
+number measures how deeply a hyperedge sits inside a strongly-overlapping
+cluster.  Implemented as the standard peeling algorithm, processed in
+whole degree-levels per round (the "bucket" formulation parallel versions
+use), so the runtime-accounted variant charges one phase per peel level.
+
+Self-loops are not expected (construction never emits them); parallel
+edges contribute multiplicity like networkx's ``core_number`` on
+multigraphs would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.structures.csr import CSR
+
+from .traversal import gather_neighbors
+
+__all__ = ["core_number", "k_core_subgraph"]
+
+
+def core_number(
+    graph: CSR, runtime: ParallelRuntime | None = None
+) -> np.ndarray:
+    """Core number of every vertex of an undirected (symmetric) CSR."""
+    n = graph.num_vertices()
+    degree = graph.degrees().astype(np.int64).copy()
+    core = np.zeros(n, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    remaining = n
+    k = 0
+    rounds = 0
+    while remaining:
+        k = max(k, int(degree[alive].min()))
+        peel = np.flatnonzero(alive & (degree <= k))
+        while peel.size:
+            rounds += 1
+            core[peel] = k
+            alive[peel] = False
+            remaining -= peel.size
+            src, dst = gather_neighbors(graph, peel)
+            if runtime is not None:
+                runtime.parallel_for(
+                    runtime.partition(peel),
+                    lambda c: TaskResult(
+                        None,
+                        float((graph.indptr[c + 1] - graph.indptr[c]).sum()
+                              + c.size),
+                    ),
+                    phase=f"kcore_peel_{rounds}",
+                )
+            live_hits = dst[alive[dst]]
+            np.subtract.at(degree, live_hits, 1)
+            peel = np.flatnonzero(alive & (degree <= k))
+    return core
+
+
+def k_core_subgraph(graph: CSR, k: int) -> np.ndarray:
+    """Vertices of the k-core (maximal subgraph of min degree ≥ k)."""
+    return np.flatnonzero(core_number(graph) >= k)

@@ -1,0 +1,154 @@
+"""Distance-derived metrics: eccentricity, closeness, harmonic closeness.
+
+These back the remaining ``s_*`` queries of Listing 5
+(``s_eccentricity``, ``s_closeness_centrality``,
+``s_harmonic_closeness_centrality``).  Conventions follow the hypergraph
+literature (Aksoy et al. [2]) and networkx:
+
+* distances are **hop counts** on the (s-line) graph, i.e. unweighted BFS;
+* closeness of *v* is computed over the vertices *reachable from v*
+  (per-component), scaled by the Wasserman–Faust component factor so
+  disconnected graphs behave like networkx's default;
+* harmonic closeness sums ``1/d`` over reachable vertices (no scaling
+  needed — it is well-defined for disconnected graphs);
+* eccentricity of *v* is the max distance within *v*'s component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.structures.csr import CSR
+
+from .bfs import bfs_top_down
+
+__all__ = [
+    "all_pairs_hop_distance",
+    "eccentricity",
+    "closeness_centrality",
+    "harmonic_closeness_centrality",
+    "diameter",
+]
+
+
+def all_pairs_hop_distance(
+    graph: CSR, sources: np.ndarray | None = None
+) -> np.ndarray:
+    """Dense hop-distance matrix (``-1`` = unreachable), one BFS per source.
+
+    Intended for the moderate-size s-line graphs the metrics run on; for
+    large graphs compute per-source with :func:`repro.graph.bfs.bfs_top_down`.
+    """
+    n = graph.num_vertices()
+    srcs = np.arange(n, dtype=np.int64) if sources is None else (
+        np.asarray(sources, dtype=np.int64)
+    )
+    out = np.full((srcs.size, n), -1, dtype=np.int64)
+    for row, s in enumerate(srcs.tolist()):
+        out[row], _ = bfs_top_down(graph, s)
+    return out
+
+
+def eccentricity(
+    graph: CSR,
+    vertices: np.ndarray | None = None,
+    runtime: ParallelRuntime | None = None,
+) -> np.ndarray:
+    """Max hop distance from each vertex within its own component.
+
+    Isolated vertices get eccentricity 0.
+    """
+    n = graph.num_vertices()
+    verts = np.arange(n, dtype=np.int64) if vertices is None else (
+        np.asarray(vertices, dtype=np.int64)
+    )
+
+    def one(v: int) -> tuple[float, int]:
+        dist, _ = bfs_top_down(graph, v)
+        reach = dist[dist >= 0]
+        return float(reach.max()) if reach.size else 0.0, int(reach.size)
+
+    return _per_vertex(graph, verts, one, runtime, "eccentricity")
+
+
+def closeness_centrality(
+    graph: CSR,
+    vertices: np.ndarray | None = None,
+    runtime: ParallelRuntime | None = None,
+) -> np.ndarray:
+    """Wasserman–Faust closeness: ``((r-1)/(n-1)) * ((r-1)/Σd)``.
+
+    ``r`` is the size of the vertex's reachable set (incl. itself); 0 for
+    isolated vertices.  Matches ``networkx.closeness_centrality`` with
+    ``wf_improved=True``.
+    """
+    n = graph.num_vertices()
+    verts = np.arange(n, dtype=np.int64) if vertices is None else (
+        np.asarray(vertices, dtype=np.int64)
+    )
+
+    def one(v: int) -> tuple[float, int]:
+        dist, _ = bfs_top_down(graph, v)
+        reach = dist[dist > 0]
+        if reach.size == 0 or n <= 1:
+            return 0.0, 1
+        r = reach.size + 1
+        value = ((r - 1) / (n - 1)) * ((r - 1) / float(reach.sum()))
+        return value, r
+
+    return _per_vertex(graph, verts, one, runtime, "closeness")
+
+
+def harmonic_closeness_centrality(
+    graph: CSR,
+    vertices: np.ndarray | None = None,
+    normalized: bool = True,
+    runtime: ParallelRuntime | None = None,
+) -> np.ndarray:
+    """Harmonic closeness: ``Σ_{u≠v reachable} 1/d(v,u)``.
+
+    ``normalized=True`` divides by ``n - 1`` (so a star center scores 1.0).
+    """
+    n = graph.num_vertices()
+    verts = np.arange(n, dtype=np.int64) if vertices is None else (
+        np.asarray(vertices, dtype=np.int64)
+    )
+    scale = 1.0 / (n - 1) if (normalized and n > 1) else 1.0
+
+    def one(v: int) -> tuple[float, int]:
+        dist, _ = bfs_top_down(graph, v)
+        reach = dist[dist > 0].astype(np.float64)
+        return (float((1.0 / reach).sum()) * scale if reach.size else 0.0), (
+            reach.size + 1
+        )
+
+    return _per_vertex(graph, verts, one, runtime, "harmonic")
+
+
+def diameter(graph: CSR) -> int:
+    """Max eccentricity over all vertices (per-component; -∞-free).
+
+    Returns 0 for the empty graph.
+    """
+    ecc = eccentricity(graph)
+    return int(ecc.max()) if ecc.size else 0
+
+
+def _per_vertex(graph, verts, one, runtime, phase) -> np.ndarray:
+    values = np.zeros(verts.size, dtype=np.float64)
+    if runtime is None:
+        for i, v in enumerate(verts.tolist()):
+            values[i], _ = one(v)
+        return values
+    chunks = runtime.partition(np.arange(verts.size, dtype=np.int64))
+
+    def body(chunk: np.ndarray) -> TaskResult:
+        work = 0
+        for i in chunk.tolist():
+            values[i], touched = one(int(verts[i]))
+            work += touched
+        return TaskResult(None, float(work + chunk.size))
+
+    runtime.parallel_for(chunks, body, phase=phase)
+    return values

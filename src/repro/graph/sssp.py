@@ -1,0 +1,169 @@
+"""Single-source shortest paths: Dijkstra and delta-stepping.
+
+Backs the ``s_distance`` / ``s_path`` queries of the Python API
+(Listing 5).  s-line graphs are unweighted by default (every edge is one
+"s-walk step"), but the constructions can carry overlap sizes as weights,
+so both engines handle arbitrary non-negative weights.
+
+Delta-stepping is the classic parallel-friendly formulation (bucketed
+relaxation); it runs bucket-synchronously and, given a runtime, charges the
+relaxation work per bucket so SSSP scaling can be studied like BFS/CC.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.structures.csr import CSR
+
+from .traversal import gather_neighbors, multi_slice
+
+__all__ = ["dijkstra", "delta_stepping", "shortest_path", "sssp"]
+
+_INF = np.inf
+
+
+def _edge_weights(graph: CSR, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    if graph.weights is None:
+        return np.ones(int(counts.sum()), dtype=np.float64)
+    return multi_slice(graph.weights, starts, counts)
+
+
+def dijkstra(
+    graph: CSR, source: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Binary-heap Dijkstra. Returns ``(dist, parent)``; unreachable = inf/-1."""
+    n = graph.num_vertices()
+    dist = np.full(n, _INF, dtype=np.float64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0.0
+    parent[source] = source
+    heap: list[tuple[float, int]] = [(0.0, int(source))]
+    done = np.zeros(n, dtype=bool)
+    indptr, indices = graph.indptr, graph.indices
+    weights = graph.weights
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        lo, hi = indptr[u], indptr[u + 1]
+        nbrs = indices[lo:hi]
+        w = np.ones(hi - lo) if weights is None else weights[lo:hi]
+        nd = d + w
+        better = nd < dist[nbrs]
+        for v, dv in zip(nbrs[better].tolist(), nd[better].tolist()):
+            dist[v] = dv
+            parent[v] = u
+            heapq.heappush(heap, (dv, v))
+    return dist, parent
+
+
+def delta_stepping(
+    graph: CSR,
+    source: int,
+    delta: float | None = None,
+    runtime: ParallelRuntime | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bucketed SSSP (Meyer & Sanders). Returns ``(dist, parent)``.
+
+    ``delta`` defaults to ``max(1, average edge weight)``.  Each bucket is
+    settled by repeated vectorized relaxation of its out-edges; vertices
+    whose tentative distance improves re-enter the bucket structure.
+    """
+    n = graph.num_vertices()
+    dist = np.full(n, _INF, dtype=np.float64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0.0
+    parent[source] = source
+    if delta is None:
+        if graph.weights is None or graph.weights.size == 0:
+            delta = 1.0
+        else:
+            delta = max(1.0, float(graph.weights.mean()))
+    bucket_of = lambda d: np.floor(d / delta).astype(np.int64)  # noqa: E731
+    current = 0
+    pending = {int(source)}
+    max_rounds = 0
+    while pending:
+        in_bucket = np.array(sorted(pending), dtype=np.int64)
+        sel = in_bucket[bucket_of(dist[in_bucket]) == current]
+        if sel.size == 0:
+            finite = np.array(sorted(pending), dtype=np.int64)
+            remaining = bucket_of(dist[finite])
+            current = int(remaining.min())
+            continue
+        for v in sel.tolist():
+            pending.discard(v)
+        frontier = sel
+        while frontier.size:
+            max_rounds += 1
+            src, dst = gather_neighbors(graph, frontier)
+            starts = graph.indptr[frontier]
+            counts = graph.indptr[frontier + 1] - starts
+            w = _edge_weights(graph, starts, counts)
+            cand = dist[src] + w
+            if runtime is not None:
+                runtime.parallel_for(
+                    runtime.partition(frontier),
+                    lambda c: TaskResult(
+                        None,
+                        float(
+                            (graph.indptr[c + 1] - graph.indptr[c]).sum()
+                            + c.size
+                        ),
+                    ),
+                    phase=f"delta_relax_{max_rounds}",
+                )
+            improved = cand < dist[dst]
+            dst_i, cand_i, src_i = dst[improved], cand[improved], src[improved]
+            # combine duplicates: keep the minimum per target
+            order = np.lexsort((cand_i, dst_i))
+            dst_i, cand_i, src_i = dst_i[order], cand_i[order], src_i[order]
+            keep = np.ones(dst_i.size, dtype=bool)
+            keep[1:] = dst_i[1:] != dst_i[:-1]
+            dst_i, cand_i, src_i = dst_i[keep], cand_i[keep], src_i[keep]
+            really = cand_i < dist[dst_i]
+            dst_i, cand_i, src_i = dst_i[really], cand_i[really], src_i[really]
+            dist[dst_i] = cand_i
+            parent[dst_i] = src_i
+            same = bucket_of(cand_i) == current
+            frontier = dst_i[same]
+            for v in dst_i[~same].tolist():
+                pending.add(v)
+        if not pending:
+            break
+        finite = np.array(sorted(pending), dtype=np.int64)
+        current = int(bucket_of(dist[finite]).min())
+    return dist, parent
+
+
+def sssp(
+    graph: CSR,
+    source: int,
+    algorithm: str = "dijkstra",
+    runtime: ParallelRuntime | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch: ``'dijkstra'`` or ``'delta_stepping'``."""
+    if algorithm == "dijkstra":
+        return dijkstra(graph, source)
+    if algorithm == "delta_stepping":
+        return delta_stepping(graph, source, runtime=runtime)
+    raise ValueError(f"unknown SSSP algorithm {algorithm!r}")
+
+
+def shortest_path(
+    graph: CSR, source: int, target: int, algorithm: str = "dijkstra"
+) -> list[int]:
+    """Reconstruct one shortest path ``source → target`` (empty if none)."""
+    dist, parent = sssp(graph, source, algorithm)
+    if not np.isfinite(dist[target]):
+        return []
+    path = [int(target)]
+    while path[-1] != source:
+        path.append(int(parent[path[-1]]))
+    path.reverse()
+    return path

@@ -1,0 +1,86 @@
+"""Triangle counting and clustering coefficients on CSR graphs.
+
+A staple of the NWGraph substrate (triangle counting is one of its
+flagship kernels) and the engine behind the s-clustering-coefficient
+metric of :mod:`repro.core.smetrics`: how clique-ish is the neighborhood
+of a hyperedge in the s-line graph?
+
+The kernel is the standard sorted-adjacency merge: for every edge
+``(u, v)`` with ``u < v``, count common neighbors ``w > v`` — each
+triangle counted exactly once, fully vectorized per vertex block via the
+same batched intersection used by the line-graph algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.structures.csr import CSR
+
+__all__ = ["triangle_count", "triangles_per_vertex", "clustering_coefficient"]
+
+
+def _per_vertex_triangles(graph: CSR, chunk: np.ndarray) -> tuple[np.ndarray, int]:
+    """Triangles per vertex, each triangle credited to ALL three corners."""
+    counts = np.zeros(graph.num_vertices(), dtype=np.int64)
+    in_nbr = np.zeros(graph.num_vertices(), dtype=bool)  # reused scratch
+    work = 0
+    for u in chunk.tolist():
+        nbrs = graph[u]
+        nbrs = nbrs[nbrs != u]
+        if nbrs.size < 2:
+            continue
+        in_nbr[nbrs] = True
+        # count, for each neighbor v, how many of v's neighbors are also
+        # neighbors of u: sum over closed wedges at u
+        starts = graph.indptr[nbrs]
+        sizes = graph.indptr[nbrs + 1] - starts
+        from .traversal import multi_slice
+
+        two_hop = multi_slice(graph.indices, starts, sizes)
+        work += int(two_hop.size)
+        counts[u] = int(in_nbr[two_hop].sum()) // 2  # each triangle seen twice
+        in_nbr[nbrs] = False  # reset scratch for the next vertex
+    return counts, work
+
+
+def triangles_per_vertex(
+    graph: CSR, runtime: ParallelRuntime | None = None
+) -> np.ndarray:
+    """Number of triangles through each vertex (undirected simple CSR)."""
+    ids = np.arange(graph.num_vertices(), dtype=np.int64)
+    if runtime is None:
+        counts, _ = _per_vertex_triangles(graph, ids)
+        return counts
+    total = np.zeros(graph.num_vertices(), dtype=np.int64)
+
+    def body(chunk: np.ndarray) -> TaskResult:
+        counts, work = _per_vertex_triangles(graph, chunk)
+        total[:] += counts
+        return TaskResult(None, float(work + chunk.size))
+
+    runtime.parallel_for(runtime.partition(ids), body, phase="triangles")
+    return total
+
+
+def triangle_count(
+    graph: CSR, runtime: ParallelRuntime | None = None
+) -> int:
+    """Total number of distinct triangles."""
+    return int(triangles_per_vertex(graph, runtime).sum()) // 3
+
+
+def clustering_coefficient(
+    graph: CSR, runtime: ParallelRuntime | None = None
+) -> np.ndarray:
+    """Local clustering coefficient per vertex (0 for degree < 2).
+
+    Matches ``networkx.clustering`` on simple undirected graphs.
+    """
+    tri = triangles_per_vertex(graph, runtime)
+    deg = graph.degrees().astype(np.float64)
+    possible = deg * (deg - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cc = np.where(possible > 0, tri / possible, 0.0)
+    return cc

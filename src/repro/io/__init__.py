@@ -1,0 +1,58 @@
+"""Hypergraph I/O: MatrixMarket files, generators, Table I stand-ins."""
+
+from .datasets import (
+    DATASETS,
+    PAPER_TABLE1,
+    DatasetStats,
+    dataset_stats,
+    load,
+    table1,
+)
+from .generators import (
+    community_hypergraph,
+    configuration_model_hypergraph,
+    path_hypergraph,
+    powerlaw_hypergraph,
+    star_hypergraph,
+    uniform_random_hypergraph,
+)
+from .csv import read_incidence_csv, write_incidence_csv
+from .dot import bipartite_dot, linegraph_dot
+from .hygra import read_hygra, write_hygra
+from .json_io import read_json, write_json
+from .pipeline import (
+    communities_to_hypergraph,
+    hypergraph_from_graph_communities,
+)
+from .mmio import graph_reader, graph_reader_adjoin, read_mm, write_mm
+from .snap import read_snap_edgelist
+
+__all__ = [
+    "DATASETS",
+    "DatasetStats",
+    "bipartite_dot",
+    "PAPER_TABLE1",
+    "communities_to_hypergraph",
+    "community_hypergraph",
+    "configuration_model_hypergraph",
+    "dataset_stats",
+    "graph_reader",
+    "graph_reader_adjoin",
+    "hypergraph_from_graph_communities",
+    "linegraph_dot",
+    "load",
+    "path_hypergraph",
+    "powerlaw_hypergraph",
+    "read_hygra",
+    "read_incidence_csv",
+    "read_json",
+    "read_snap_edgelist",
+    "read_mm",
+    "star_hypergraph",
+    "table1",
+    "uniform_random_hypergraph",
+    "write_hygra",
+    "write_incidence_csv",
+    "write_json",
+    "write_mm",
+]

@@ -1,0 +1,113 @@
+"""Two-column incidence CSV — the data-science ingestion format.
+
+Most tabular hypergraph data arrives as an incidence table: one row per
+(edge, node) membership, e.g. an author–paper CSV export.  This module
+reads/writes that shape with optional header detection and arbitrary
+string labels (integers stay integers; anything else becomes a label
+mapping, returned alongside the edge list).
+"""
+
+from __future__ import annotations
+
+import csv as _csv
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.structures.edgelist import BiEdgeList
+
+__all__ = ["read_incidence_csv", "write_incidence_csv"]
+
+
+def read_incidence_csv(
+    path: str | Path | TextIO,
+    delimiter: str = ",",
+    header: bool | None = None,
+) -> tuple[BiEdgeList, list, list]:
+    """Read an ``edge,node`` incidence table.
+
+    ``header=None`` auto-detects: if the first row's cells are not both
+    integers, it is treated as a header.  Labels need not be integers;
+    the return value is ``(biedgelist, edge_labels, node_labels)`` where
+    the label lists map dense IDs back to the original values (pure-integer
+    inputs get identity-style labels preserving the integer values).
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        fh = open(path, "r", encoding="utf-8", newline="")
+        close = True
+    else:
+        fh = path
+    try:
+        reader = _csv.reader(fh, delimiter=delimiter)
+        rows = [row for row in reader if row and any(c.strip() for c in row)]
+    finally:
+        if close:
+            fh.close()
+    if not rows:
+        return BiEdgeList(), [], []
+    for lineno, row in enumerate(rows, 1):
+        if len(row) < 2:
+            raise ValueError(f"row {lineno}: expected 2 columns, got {row!r}")
+
+    def _is_int(cell: str) -> bool:
+        try:
+            int(cell)
+            return True
+        except ValueError:
+            return False
+
+    if header is None:
+        header = not (_is_int(rows[0][0]) and _is_int(rows[0][1]))
+    body = rows[1:] if header else rows
+    edge_ids: dict = {}
+    node_ids: dict = {}
+    e_col: list[int] = []
+    v_col: list[int] = []
+    for raw_e, raw_v, *_ in body:
+        e_key = int(raw_e) if _is_int(raw_e) else raw_e.strip()
+        v_key = int(raw_v) if _is_int(raw_v) else raw_v.strip()
+        e_col.append(edge_ids.setdefault(e_key, len(edge_ids)))
+        v_col.append(node_ids.setdefault(v_key, len(node_ids)))
+    el = BiEdgeList(
+        np.array(e_col, dtype=np.int64),
+        np.array(v_col, dtype=np.int64),
+        n0=len(edge_ids),
+        n1=len(node_ids),
+    ).deduplicate()
+    return el, list(edge_ids), list(node_ids)
+
+
+def write_incidence_csv(
+    path: str | Path | TextIO,
+    el: BiEdgeList,
+    edge_labels: list | None = None,
+    node_labels: list | None = None,
+    delimiter: str = ",",
+    header: tuple[str, str] | None = ("edge", "node"),
+) -> None:
+    """Write a bipartite edge list as an incidence table.
+
+    Optional label lists translate dense IDs back to original values.
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        fh = open(path, "w", encoding="utf-8", newline="")
+        close = True
+    else:
+        fh = path
+    try:
+        writer = _csv.writer(fh, delimiter=delimiter)
+        if header is not None:
+            writer.writerow(header)
+        for e, v in zip(el.part0.tolist(), el.part1.tolist()):
+            writer.writerow(
+                [
+                    edge_labels[e] if edge_labels is not None else e,
+                    node_labels[v] if node_labels is not None else v,
+                ]
+            )
+    finally:
+        if close:
+            fh.close()

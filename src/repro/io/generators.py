@@ -1,0 +1,326 @@
+"""Seeded hypergraph generators — the reproduction's dataset factory.
+
+Three families, matching the provenance of the paper's Table I inputs:
+
+* :func:`uniform_random_hypergraph` — Hygra's random generator: each
+  hyperedge draws its members uniformly (the **Rand1** recipe; uniform
+  degree distribution, single giant component at the paper's density);
+* :func:`powerlaw_hypergraph` — skewed hyperedge sizes (truncated Zipf)
+  with preferential hypernode attachment, reproducing the "skewed
+  hyperedge degree distribution" the paper reports for every real-world
+  input (social/web stand-ins);
+* :func:`community_hypergraph` — the SNAP pipeline stand-in: plant
+  overlapping communities over a node universe and materialize each
+  community as one hyperedge (how com-Orkut/Friendster hypergraphs were
+  built in [25]).
+
+Everything is driven by an explicit seed; the Table I stand-ins in
+:mod:`repro.io.datasets` pin their seeds so every run of the benchmarks
+sees identical inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.structures.edgelist import BiEdgeList
+
+__all__ = [
+    "uniform_random_hypergraph",
+    "powerlaw_hypergraph",
+    "community_hypergraph",
+    "chung_lu_hypergraph",
+    "configuration_model_hypergraph",
+    "star_hypergraph",
+    "path_hypergraph",
+]
+
+
+def uniform_random_hypergraph(
+    num_edges: int,
+    num_nodes: int,
+    edge_size: int,
+    seed: int = 0,
+) -> BiEdgeList:
+    """Every hyperedge draws ``edge_size`` distinct hypernodes uniformly.
+
+    The Rand1 recipe (§IV-B): uniform node-degree distribution, no skew.
+    """
+    if edge_size > num_nodes:
+        raise ValueError("edge_size cannot exceed num_nodes")
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(num_edges, dtype=np.int64), edge_size)
+    # vectorized sampling-without-replacement per edge: argpartition of
+    # random keys would be O(E·V); instead draw with replacement and fix
+    # collisions per edge (few, for edge_size << num_nodes)
+    cols = rng.integers(0, num_nodes, size=num_edges * edge_size, dtype=np.int64)
+    cols = cols.reshape(num_edges, edge_size)
+    for i in range(num_edges):  # collision repair, rarely triggered
+        row = cols[i]
+        uniq = np.unique(row)
+        while uniq.size < edge_size:
+            extra = rng.integers(0, num_nodes, size=edge_size - uniq.size)
+            uniq = np.unique(np.concatenate([uniq, extra]))
+        cols[i] = uniq[:edge_size]
+    return BiEdgeList(
+        rows, cols.reshape(-1), n0=num_edges, n1=num_nodes
+    ).deduplicate()
+
+
+def _zipf_sizes(
+    rng: np.random.Generator,
+    count: int,
+    mean_target: float,
+    exponent: float,
+    max_size: int,
+) -> np.ndarray:
+    """Truncated-Zipf sizes rescaled toward a target mean (≥ 1 each)."""
+    raw = rng.zipf(exponent, size=count).astype(np.float64)
+    raw = np.minimum(raw, max_size)
+    scale = mean_target / raw.mean()
+    sizes = np.maximum(1, np.round(raw * scale)).astype(np.int64)
+    return np.minimum(sizes, max_size)
+
+
+def powerlaw_hypergraph(
+    num_edges: int,
+    num_nodes: int,
+    mean_edge_size: float = 8.0,
+    exponent: float = 2.0,
+    seed: int = 0,
+) -> BiEdgeList:
+    """Skewed hypergraph: Zipf hyperedge sizes + preferential node choice.
+
+    Node popularity follows a Zipf law as well, so both the hyperedge-size
+    and the node-degree distributions come out heavy-tailed — the shape
+    class of all real-world rows of Table I.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = _zipf_sizes(rng, num_edges, mean_edge_size, exponent, num_nodes)
+    # preferential attachment: node v drawn with probability ∝ (v+1)^-a,
+    # then shuffled so popularity is not correlated with ID
+    weights = 1.0 / np.arange(1, num_nodes + 1, dtype=np.float64)
+    weights /= weights.sum()
+    popularity = rng.permutation(num_nodes)
+    total = int(sizes.sum())
+    draws = popularity[
+        rng.choice(num_nodes, size=total, replace=True, p=weights)
+    ]
+    rows = np.repeat(np.arange(num_edges, dtype=np.int64), sizes)
+    return BiEdgeList(rows, draws, n0=num_edges, n1=num_nodes).deduplicate()
+
+
+def community_hypergraph(
+    num_communities: int,
+    num_nodes: int,
+    mean_community_size: float = 10.0,
+    locality: float = 0.9,
+    exponent: float = 2.0,
+    seed: int = 0,
+) -> BiEdgeList:
+    """SNAP-pipeline stand-in: planted overlapping communities as hyperedges.
+
+    Each community picks a home region of the node space and draws
+    ``locality`` of its members locally (dense overlap with neighboring
+    communities) and the rest globally (long-range bridges) — producing
+    the many-components / giant-component structure of the curated social
+    inputs.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = _zipf_sizes(
+        rng, num_communities, mean_community_size, exponent, num_nodes
+    )
+    # skewed center popularity: a few hot regions host many communities,
+    # giving their nodes the heavy-tailed degrees of Table I's social rows
+    pop = 1.0 / np.arange(1, num_nodes + 1, dtype=np.float64) ** 0.8
+    pop /= pop.sum()
+    hot = rng.permutation(num_nodes)
+    centers = hot[rng.choice(num_nodes, size=num_communities, p=pop)]
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    for c in range(num_communities):
+        k = int(sizes[c])
+        n_local = int(round(k * locality))
+        n_global = k - n_local
+        # local members: without replacement from a window ~2k wide
+        window = min(max(2 * k, k + 2), num_nodes)
+        offsets = rng.choice(window, size=min(n_local, window), replace=False)
+        local_members = (centers[c] + offsets) % num_nodes
+        global_members = rng.integers(0, num_nodes, size=n_global)
+        members = np.unique(np.concatenate([local_members, global_members]))
+        rows_parts.append(np.full(members.size, c, dtype=np.int64))
+        cols_parts.append(members.astype(np.int64))
+    return BiEdgeList(
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        n0=num_communities,
+        n1=num_nodes,
+    )
+
+
+def chung_lu_hypergraph(
+    edge_sizes: np.ndarray,
+    node_weights: np.ndarray,
+    seed: int = 0,
+) -> BiEdgeList:
+    """Chung–Lu style hypergraph with prescribed shape sequences.
+
+    Hyperedge *e* draws ``edge_sizes[e]`` member samples with node *v*
+    chosen with probability ∝ ``node_weights[v]`` (duplicates within an
+    edge collapse, so realized sizes are ≤ targets — the standard
+    Chung–Lu behaviour).  Expected node degrees are proportional to
+    ``node_weights``; use a real graph's degree sequence to clone its
+    shape at any scale.
+    """
+    rng = np.random.default_rng(seed)
+    edge_sizes = np.asarray(edge_sizes, dtype=np.int64)
+    node_weights = np.asarray(node_weights, dtype=np.float64)
+    if edge_sizes.ndim != 1 or node_weights.ndim != 1:
+        raise ValueError("edge_sizes and node_weights must be 1-D")
+    if edge_sizes.size and edge_sizes.min() < 0:
+        raise ValueError("edge sizes must be non-negative")
+    if node_weights.size == 0 or node_weights.min() < 0 or (
+        node_weights.sum() <= 0
+    ):
+        raise ValueError("node_weights must be non-negative, not all zero")
+    p = node_weights / node_weights.sum()
+    num_edges = edge_sizes.size
+    num_nodes = node_weights.size
+    total = int(edge_sizes.sum())
+    draws = rng.choice(num_nodes, size=total, replace=True, p=p)
+    rows = np.repeat(np.arange(num_edges, dtype=np.int64), edge_sizes)
+    return BiEdgeList(
+        rows, draws, n0=num_edges, n1=num_nodes
+    ).deduplicate()
+
+
+def configuration_model_hypergraph(
+    edge_sizes: np.ndarray,
+    node_degrees: np.ndarray,
+    seed: int = 0,
+    swap_factor: int = 10,
+) -> BiEdgeList:
+    """Degree-preserving null model: exact sequences on both sides.
+
+    The bipartite configuration model — stub matching of the given
+    hyperedge-size and hypernode-degree sequences (their sums must agree),
+    followed by ``swap_factor × incidences`` double-edge swaps that
+    randomize the wiring while *exactly* preserving both sequences and
+    never introducing duplicate incidences.  The standard null model for
+    "is this s-component structure more than degrees?" questions.
+    """
+    edge_sizes = np.asarray(edge_sizes, dtype=np.int64)
+    node_degrees = np.asarray(node_degrees, dtype=np.int64)
+    if edge_sizes.ndim != 1 or node_degrees.ndim != 1:
+        raise ValueError("sequences must be 1-D")
+    if (edge_sizes.size and edge_sizes.min() < 0) or (
+        node_degrees.size and node_degrees.min() < 0
+    ):
+        raise ValueError("sequences must be non-negative")
+    total = int(edge_sizes.sum())
+    if total != int(node_degrees.sum()):
+        raise ValueError(
+            f"sequence sums disagree: {total} vs {int(node_degrees.sum())}"
+        )
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(edge_sizes.size, dtype=np.int64), edge_sizes)
+    cols = np.repeat(
+        np.arange(node_degrees.size, dtype=np.int64), node_degrees
+    )
+    rng.shuffle(cols)
+    # repair stub-matching collisions (duplicate (edge, node) incidences)
+    # and then randomize with duplicate-avoiding double-edge swaps
+    occupied = set(zip(rows.tolist(), cols.tolist()))
+    if len(occupied) < total:  # collisions exist: resolve by swapping
+        occupied = _repair_duplicates(rows, cols, rng)
+    m = rows.size
+    for _ in range(swap_factor * m):
+        i, j = rng.integers(0, m, size=2)
+        if i == j:
+            continue
+        a, b = int(rows[i]), int(cols[i])
+        c, d = int(rows[j]), int(cols[j])
+        if a == c or b == d:
+            continue
+        if (a, d) in occupied or (c, b) in occupied:
+            continue
+        occupied.discard((a, b))
+        occupied.discard((c, d))
+        occupied.add((a, d))
+        occupied.add((c, b))
+        cols[i], cols[j] = d, b
+    return BiEdgeList(
+        rows, cols, n0=edge_sizes.size, n1=node_degrees.size
+    )
+
+
+def _repair_duplicates(
+    rows: np.ndarray, cols: np.ndarray, rng: np.random.Generator,
+    tries_per_duplicate: int = 2000,
+) -> set[tuple[int, int]]:
+    """Resolve stub-matching collisions with targeted *safe* swaps.
+
+    For every duplicated incidence, pick random partners until a
+    double-edge swap strictly reduces multiplicity without creating new
+    duplicates.  Raises ``ValueError`` if a duplicate cannot be placed
+    (e.g. a hyperedge larger than the node universe makes the sequences
+    unrealizable without multi-incidence).
+    """
+    from collections import Counter
+
+    m = rows.size
+    count: Counter = Counter(zip(rows.tolist(), cols.tolist()))
+    dup_positions = [
+        k for k in range(m)
+        if count[(int(rows[k]), int(cols[k]))] > 1
+    ]
+    for k in dup_positions:
+        pair_k = (int(rows[k]), int(cols[k]))
+        if count[pair_k] <= 1:
+            continue  # an earlier swap already fixed this duplicate
+        for _ in range(tries_per_duplicate):
+            j = int(rng.integers(0, m))
+            pair_j = (int(rows[j]), int(cols[j]))
+            if pair_j == pair_k:
+                continue
+            new_k = (pair_k[0], pair_j[1])
+            new_j = (pair_j[0], pair_k[1])
+            if count[new_k] or count[new_j]:
+                continue
+            count[pair_k] -= 1
+            count[pair_j] -= 1
+            cols[k], cols[j] = cols[j], cols[k]
+            count[new_k] += 1
+            count[new_j] += 1
+            break
+        else:
+            raise ValueError(
+                "could not realize the degree sequences without duplicate "
+                "incidences (a hyperedge may exceed the node universe)"
+            )
+    return {pair for pair, c in count.items() if c}
+
+
+def star_hypergraph(num_edges: int, hub: int = 0) -> BiEdgeList:
+    """Every hyperedge = {hub, leaf_i}: the s=1 line graph is a clique."""
+    rows = np.repeat(np.arange(num_edges, dtype=np.int64), 2)
+    leaves = np.arange(1, num_edges + 1, dtype=np.int64) + hub
+    cols = np.empty(2 * num_edges, dtype=np.int64)
+    cols[0::2] = hub
+    cols[1::2] = leaves
+    return BiEdgeList(rows, cols, n0=num_edges, n1=num_edges + 1 + hub)
+
+
+def path_hypergraph(num_edges: int, overlap: int = 1, size: int = 3) -> BiEdgeList:
+    """Chain of hyperedges, consecutive ones sharing ``overlap`` nodes.
+
+    The s-line graph is a path for ``s ≤ overlap`` and empty above — handy
+    for exact expectations in tests.
+    """
+    if not 0 < overlap < size:
+        raise ValueError("need 0 < overlap < size")
+    stride = size - overlap
+    rows = np.repeat(np.arange(num_edges, dtype=np.int64), size)
+    starts = np.arange(num_edges, dtype=np.int64) * stride
+    cols = (starts[:, None] + np.arange(size, dtype=np.int64)[None, :]).reshape(-1)
+    return BiEdgeList(rows, cols, n0=num_edges)

@@ -1,0 +1,105 @@
+"""Hygra's AdjacencyHypergraph file format (Shun, PPoPP'20 [25]).
+
+The baseline framework's native text format, so hypergraphs move between
+this reproduction and Hygra directly (and so the curated datasets of the
+paper, which ship in this format, can be loaded as-is):
+
+    AdjacencyHypergraph
+    <nv>                 # number of hypernodes
+    <mv>                 # number of hypernode incidence entries
+    <nh>                 # number of hyperedges
+    <mh>                 # number of hyperedge incidence entries
+    <nv offsets>         # one per line: start of each hypernode's list
+    <mv values>          # hyperedge IDs incident on each hypernode
+    <nh offsets>         # start of each hyperedge's list
+    <mh values>          # hypernode IDs in each hyperedge
+
+(``mv == mh`` always — both list the same incidences from opposite sides;
+the format stores them redundantly and this reader validates they agree.)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.csr import CSR
+from repro.structures.edgelist import BiEdgeList
+
+__all__ = ["read_hygra", "write_hygra"]
+
+_HEADER = "AdjacencyHypergraph"
+
+
+def read_hygra(path: str | Path | TextIO) -> BiEdgeList:
+    """Parse an AdjacencyHypergraph file into a bipartite edge list."""
+    close = False
+    if isinstance(path, (str, Path)):
+        fh = open(path, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = path
+    try:
+        tokens = fh.read().split()
+    finally:
+        if close:
+            fh.close()
+    if not tokens or tokens[0] != _HEADER:
+        raise ValueError(f"missing {_HEADER!r} header")
+    nums = np.array(tokens[1:], dtype=np.int64)
+    if nums.size < 4:
+        raise ValueError("truncated AdjacencyHypergraph file")
+    nv, mv, nh, mh = (int(x) for x in nums[:4])
+    if mv != mh:
+        raise ValueError(f"incidence counts disagree: mv={mv}, mh={mh}")
+    body = nums[4:]
+    expected = nv + mv + nh + mh
+    if body.size != expected:
+        raise ValueError(
+            f"expected {expected} entries after the header, got {body.size}"
+        )
+    v_off = body[:nv]
+    v_adj = body[nv : nv + mv]
+    h_off = body[nv + mv : nv + mv + nh]
+    h_adj = body[nv + mv + nh :]
+    nodes = CSR(
+        np.concatenate([v_off, [mv]]), v_adj, num_targets=nh
+    )
+    edges = CSR(
+        np.concatenate([h_off, [mh]]), h_adj, num_targets=nv
+    )
+    # cross-validate the two redundant halves
+    h = BiAdjacency(edges, nodes.sort_rows())
+    if h.edges != h.nodes.transpose().sort_rows():
+        raise ValueError("vertex and hyperedge incidence lists disagree")
+    rows = np.repeat(np.arange(nh, dtype=np.int64), h.edges.degrees())
+    return BiEdgeList(rows, h.edges.indices, n0=nh, n1=nv)
+
+
+def write_hygra(path: str | Path | TextIO, el: BiEdgeList) -> None:
+    """Write a bipartite edge list as an AdjacencyHypergraph file."""
+    h = BiAdjacency.from_biedgelist(el)
+    close = False
+    if isinstance(path, (str, Path)):
+        fh = open(path, "w", encoding="utf-8")
+        close = True
+    else:
+        fh = path
+    try:
+        nv, nh = h.num_hypernodes(), h.num_hyperedges()
+        mv = mh = h.num_incidences()
+        fh.write(f"{_HEADER}\n{nv}\n{mv}\n{nh}\n{mh}\n")
+        for off in h.nodes.indptr[:-1]:
+            fh.write(f"{off}\n")
+        for x in h.nodes.indices:
+            fh.write(f"{x}\n")
+        for off in h.edges.indptr[:-1]:
+            fh.write(f"{off}\n")
+        for x in h.edges.indices:
+            fh.write(f"{x}\n")
+    finally:
+        if close:
+            fh.close()

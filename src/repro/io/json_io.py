@@ -1,0 +1,83 @@
+"""JSON interchange for (labeled) hypergraphs.
+
+A self-describing, dependency-free wire format:
+
+    {
+      "format": "repro-hypergraph",
+      "version": 1,
+      "edges": {"paper1": ["alice", "bob"], "paper2": ["bob"]}
+    }
+
+Edge names are JSON object keys (strings); node labels may be strings or
+numbers.  The natural pairing is :class:`repro.core.labeled.LabeledHypergraph`;
+integer-core hypergraphs round-trip through stringified IDs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.core.labeled import LabeledHypergraph
+
+__all__ = ["read_json", "write_json"]
+
+_FORMAT = "repro-hypergraph"
+_VERSION = 1
+
+
+def write_json(
+    path: str | Path | TextIO, lh: LabeledHypergraph, indent: int = 2
+) -> None:
+    """Serialize a labeled hypergraph (edge names become strings)."""
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "edges": {
+            str(edge): list(members)
+            for edge, members in lh.to_dict().items()
+        },
+    }
+    close = False
+    if isinstance(path, (str, Path)):
+        fh = open(path, "w", encoding="utf-8")
+        close = True
+    else:
+        fh = path
+    try:
+        json.dump(payload, fh, indent=indent)
+    finally:
+        if close:
+            fh.close()
+
+
+def read_json(path: str | Path | TextIO) -> LabeledHypergraph:
+    """Parse the JSON hypergraph format back into a labeled hypergraph."""
+    close = False
+    if isinstance(path, (str, Path)):
+        fh = open(path, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = path
+    try:
+        payload = json.load(fh)
+    finally:
+        if close:
+            fh.close()
+    if not isinstance(payload, dict):
+        raise ValueError("top-level JSON value must be an object")
+    if payload.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a {_FORMAT} document (format={payload.get('format')!r})"
+        )
+    version = payload.get("version")
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version!r}")
+    edges = payload.get("edges")
+    if not isinstance(edges, dict):
+        raise ValueError("'edges' must be an object of edge -> member list")
+    for name, members in edges.items():
+        if not isinstance(members, list):
+            raise ValueError(f"edge {name!r}: members must be a list")
+    return LabeledHypergraph.from_dict(edges)

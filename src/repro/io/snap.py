@@ -1,0 +1,74 @@
+"""SNAP edge-list format reader (the §IV-B pipeline's raw input).
+
+The Stanford SNAP collection ships plain-text undirected edge lists
+(``com-orkut.ungraph.txt`` style): ``#``-prefixed comment/header lines,
+then one ``u<TAB>v`` (or whitespace-separated) pair per line.  Node IDs
+may be arbitrary non-negative integers with gaps; ``compact=True``
+renumbers them densely (preserving numeric order) the way the curated
+pipelines do.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.structures.edgelist import EdgeList
+
+__all__ = ["read_snap_edgelist"]
+
+
+def read_snap_edgelist(
+    path: str | Path | TextIO, compact: bool = True
+) -> EdgeList:
+    """Parse a SNAP ungraph file into an (undirected, deduplicated) EdgeList.
+
+    Self-loops are dropped; duplicate pairs collapse.  With ``compact``
+    the vertex space is exactly the set of IDs seen (renumbered 0..n-1);
+    without it, IDs are kept and the space spans ``max ID + 1``.
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        fh = open(path, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = path
+    try:
+        us: list[int] = []
+        vs: list[int] = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"line {lineno}: expected 'u v', got {line!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: non-integer endpoint in {line!r}"
+                ) from None
+            if u < 0 or v < 0:
+                raise ValueError(f"line {lineno}: negative vertex ID")
+            if u == v:
+                continue  # self-loops carry no hypergraph information
+            us.append(u)
+            vs.append(v)
+    finally:
+        if close:
+            fh.close()
+    src = np.array(us, dtype=np.int64)
+    dst = np.array(vs, dtype=np.int64)
+    if compact and src.size:
+        vocab = np.unique(np.concatenate([src, dst]))
+        src = np.searchsorted(vocab, src)
+        dst = np.searchsorted(vocab, dst)
+        n = int(vocab.size)
+    else:
+        n = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+    return EdgeList(src, dst, num_vertices=n).deduplicate()

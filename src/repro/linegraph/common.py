@@ -1,0 +1,234 @@
+"""Shared pieces of the s-line graph construction algorithms.
+
+Every construction algorithm in this package produces the same artifact: an
+undirected edge list over the **hyperedge ID space** where ``{e, f}`` is an
+edge iff ``|e ∩ f| ≥ s`` (paper §II-D), stored once with ``e < f`` and
+carrying the overlap size as the edge weight.  ``finalize_edges``
+canonicalizes to that form so algorithms can be compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.structures.csr import CSR
+from repro.structures.edgelist import EdgeList
+
+__all__ = [
+    "batch_intersect_counts",
+    "empty_linegraph",
+    "finalize_edges",
+    "intersect_count_sorted",
+    "two_hop_pair_counts",
+    "two_hop_pair_weighted",
+    "linegraph_csr",
+    "resolve_incidence",
+]
+
+
+def resolve_incidence(h) -> tuple[CSR, CSR, int, np.ndarray]:
+    """Normalize a hypergraph representation for line-graph construction.
+
+    Accepts either a :class:`~repro.structures.biadjacency.BiAdjacency`
+    (two index sets) or an :class:`~repro.structures.adjoin.AdjoinGraph`
+    (one consolidated index set) — the representation independence that
+    motivates the paper's queue-based algorithms.  Returns
+    ``(edge_incidence, node_incidence, num_hyperedges, edge_sizes)``; for
+    an adjoin graph both incidence roles are played by the single CSR and
+    hyperedge IDs are the low range ``[0, nrealedges)``.
+    """
+    from repro.structures.adjoin import AdjoinGraph
+    from repro.structures.biadjacency import BiAdjacency
+
+    if isinstance(h, BiAdjacency):
+        return h.edges, h.nodes, h.num_hyperedges(), h.edge_sizes()
+    if isinstance(h, AdjoinGraph):
+        g = h.graph
+        return g, g, h.nrealedges, g.degrees()[: h.nrealedges]
+    raise TypeError(
+        f"expected BiAdjacency or AdjoinGraph, got {type(h).__name__}"
+    )
+
+
+def finalize_edges(
+    src: np.ndarray,
+    dst: np.ndarray,
+    counts: np.ndarray | None,
+    num_hyperedges: int,
+) -> EdgeList:
+    """Canonical s-line edge list: ``src < dst``, sorted, deduplicated.
+
+    ``counts`` (overlap sizes) become weights; duplicates must agree on
+    their count (they always do — overlap is a function of the pair), so
+    first-wins dedup is safe.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    w = None if counts is None else np.asarray(counts, np.float64)[keep]
+    if lo.size:
+        key = lo * num_hyperedges + hi
+        uniq, first = np.unique(key, return_index=True)
+        lo, hi = uniq // num_hyperedges, uniq % num_hyperedges
+        w = None if w is None else w[first]
+    return EdgeList(lo, hi, w, num_vertices=num_hyperedges)
+
+
+def empty_linegraph(num_hyperedges: int) -> EdgeList:
+    """The canonical empty s-line graph (weighted, zero edges)."""
+    zero = np.empty(0, dtype=np.int64)
+    return finalize_edges(zero, zero, zero, num_hyperedges)
+
+
+def intersect_count_sorted(a: np.ndarray, b: np.ndarray) -> int:
+    """|a ∩ b| for two *sorted unique* int arrays (searchsorted merge).
+
+    The inner kernel of the set-intersection algorithms ([17], Algorithm 2).
+    """
+    if a.size > b.size:
+        a, b = b, a
+    if a.size == 0:
+        return 0
+    pos = np.searchsorted(b, a)
+    pos[pos == b.size] = b.size - 1
+    return int(np.count_nonzero(b[pos] == a))
+
+
+def batch_intersect_counts(
+    members: CSR, pairs: np.ndarray
+) -> np.ndarray:
+    """``|members[a] ∩ members[b]|`` for every row ``(a, b)`` of ``pairs``.
+
+    The batched form of :func:`intersect_count_sorted`: all pairs of one
+    chunk are intersected with two sorted-key-array passes instead of a
+    Python loop per pair.  Keys pack ``(pair_index, node)`` so collisions
+    across pairs are impossible; ``np.intersect1d`` on the two key arrays
+    yields exactly the common members, and a ``bincount`` over the pair
+    index recovers per-pair counts.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    from repro.graph.traversal import multi_slice
+
+    n_v = members.num_targets()
+    idx = np.arange(pairs.shape[0], dtype=np.int64)
+
+    def keyed(side: np.ndarray) -> np.ndarray:
+        starts = members.indptr[side]
+        counts = members.indptr[side + 1] - starts
+        vals = multi_slice(members.indices, starts, counts)
+        owner = np.repeat(idx, counts)
+        return owner * n_v + vals
+
+    common = np.intersect1d(
+        keyed(pairs[:, 0]), keyed(pairs[:, 1]), assume_unique=True
+    )
+    return np.bincount(common // n_v, minlength=pairs.shape[0]).astype(np.int64)
+
+
+def two_hop_pair_counts(
+    edges: CSR,
+    nodes: CSR,
+    hyperedge_ids: np.ndarray,
+    *,
+    upper_only: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Vectorized two-hop expansion with per-pair multiplicity counts.
+
+    For every hyperedge *e* in ``hyperedge_ids``, walks e → member
+    hypernode → co-incident hyperedge *f* and counts how often each ``(e,
+    f)`` pair appears — which is exactly ``|e ∩ f|``.  This is the hashmap
+    algorithm's counting step, done with one ``np.unique`` over packed keys
+    instead of a per-edge hash table.
+
+    Returns ``(src, dst, overlap, work)`` where ``work`` is the number of
+    two-hop traversals performed (the cost the paper's kernels are bound
+    by).  ``upper_only`` keeps only ``f > e`` pairs (line 10's ``i < j``).
+    """
+    hyperedge_ids = np.asarray(hyperedge_ids, dtype=np.int64)
+    if hyperedge_ids.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, 0
+    # hop 1: e -> its member hypernodes
+    starts = edges.indptr[hyperedge_ids]
+    sizes = edges.indptr[hyperedge_ids + 1] - starts
+    from repro.graph.traversal import multi_slice
+
+    members = multi_slice(edges.indices, starts, sizes)
+    e_for_member = np.repeat(hyperedge_ids, sizes)
+    # hop 2: member -> all hyperedges incident on it
+    m_starts = nodes.indptr[members]
+    m_sizes = nodes.indptr[members + 1] - m_starts
+    cand = multi_slice(nodes.indices, m_starts, m_sizes)
+    e_for_cand = np.repeat(e_for_member, m_sizes)
+    work = int(cand.size + members.size)
+    if upper_only:
+        keep = cand > e_for_cand
+        cand, e_for_cand = cand[keep], e_for_cand[keep]
+    if cand.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, work
+    n = edges.num_vertices()
+    key = e_for_cand * n + cand
+    uniq, counts = np.unique(key, return_counts=True)
+    return uniq // n, uniq % n, counts.astype(np.int64), work
+
+
+def two_hop_pair_weighted(
+    edges: CSR,
+    nodes: CSR,
+    hyperedge_ids: np.ndarray,
+    *,
+    upper_only: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`two_hop_pair_counts`, plus *weighted* overlaps.
+
+    The weighted overlap of ``(e, f)`` is ``Σ_{v ∈ e∩f} w(e,v)·w(f,v)`` —
+    the entries of the weighted ``BᵗB`` product — useful when incidences
+    carry intensities (e.g. author contribution shares).  Requires both
+    incidence CSRs to be weighted (as ``BiAdjacency.from_biedgelist``
+    produces); raises ``ValueError`` otherwise.
+
+    Returns ``(src, dst, count, weighted)``.
+    """
+    if edges.weights is None or nodes.weights is None:
+        raise ValueError("weighted overlap requires weighted incidences")
+    hyperedge_ids = np.asarray(hyperedge_ids, dtype=np.int64)
+    if hyperedge_ids.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, np.empty(0, dtype=np.float64)
+    from repro.graph.traversal import multi_slice
+
+    starts = edges.indptr[hyperedge_ids]
+    sizes = edges.indptr[hyperedge_ids + 1] - starts
+    members = multi_slice(edges.indices, starts, sizes)
+    w_first = multi_slice(edges.weights, starts, sizes)
+    e_for_member = np.repeat(hyperedge_ids, sizes)
+    m_starts = nodes.indptr[members]
+    m_sizes = nodes.indptr[members + 1] - m_starts
+    cand = multi_slice(nodes.indices, m_starts, m_sizes)
+    w_second = multi_slice(nodes.weights, m_starts, m_sizes)
+    e_for_cand = np.repeat(e_for_member, m_sizes)
+    w_prod = np.repeat(w_first, m_sizes) * w_second
+    if upper_only:
+        keep = cand > e_for_cand
+        cand, e_for_cand, w_prod = cand[keep], e_for_cand[keep], w_prod[keep]
+    if cand.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, np.empty(0, dtype=np.float64)
+    n = edges.num_vertices()
+    key = e_for_cand * n + cand
+    uniq, inverse, counts = np.unique(
+        key, return_inverse=True, return_counts=True
+    )
+    weighted = np.bincount(inverse, weights=w_prod, minlength=uniq.size)
+    return uniq // n, uniq % n, counts.astype(np.int64), weighted
+
+
+def linegraph_csr(el: EdgeList) -> CSR:
+    """Symmetrize an s-line edge list into a CSR graph ready for metrics."""
+    return CSR.from_edgelist(el.symmetrize(), num_targets=el.num_vertices())

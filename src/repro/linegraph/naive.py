@@ -1,0 +1,69 @@
+"""Naive s-line construction: test every hyperedge pair (paper §III-C.3).
+
+Considers all ``n_e·(n_e−1)/2`` pairs and intersects their member lists —
+quadratic, but simple and obviously correct.  Kept as the smallest oracle
+(besides the scipy one) the efficient algorithms are validated against, and
+as the baseline the paper's algorithm-count comparisons start from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import EdgeList
+
+from .common import finalize_edges, intersect_count_sorted
+
+__all__ = ["slinegraph_naive"]
+
+
+def slinegraph_naive(
+    h: BiAdjacency,
+    s: int = 1,
+    runtime: ParallelRuntime | None = None,
+) -> EdgeList:
+    """All-pairs set-intersection s-line construction.
+
+    O(n_e² + total intersection work); only sensible for small inputs.
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    n = h.num_hyperedges()
+    sizes = h.edge_sizes()
+
+    def pairs_for(block: np.ndarray) -> TaskResult:
+        src: list[int] = []
+        dst: list[int] = []
+        cnt: list[int] = []
+        work = 0
+        for e in block.tolist():
+            if sizes[e] < s:
+                continue
+            mem_e = h.members(e)
+            for f in range(e + 1, n):
+                if sizes[f] < s:
+                    continue
+                work += int(min(sizes[e], sizes[f]))
+                c = intersect_count_sorted(mem_e, h.members(f))
+                if c >= s:
+                    src.append(e)
+                    dst.append(f)
+                    cnt.append(c)
+        return TaskResult(
+            (np.array(src), np.array(dst), np.array(cnt)), float(work + block.size)
+        )
+
+    all_ids = np.arange(n, dtype=np.int64)
+    if runtime is None:
+        parts = [pairs_for(all_ids).value]
+    else:
+        runtime.new_run()
+        parts = runtime.parallel_for(
+            runtime.partition(all_ids), pairs_for, phase="naive_pairs"
+        )
+    src = np.concatenate([p[0] for p in parts]) if parts else np.empty(0)
+    dst = np.concatenate([p[1] for p in parts]) if parts else np.empty(0)
+    cnt = np.concatenate([p[2] for p in parts]) if parts else np.empty(0)
+    return finalize_edges(src, dst, cnt, n)

@@ -1,0 +1,120 @@
+"""Algorithm 2 — two-phase queue-based set-intersection construction.
+
+The paper's second new algorithm:
+
+* **Phase 1** (lines 1–6): walk every eligible hyperedge's two-hop
+  neighborhood and enqueue each candidate pair ``(e_i, e_j)``, ``i < j``,
+  into per-thread queues, then merge.
+* **Phase 2** (lines 9–13): drain the pair queue; per pair, a sorted-merge
+  set intersection of the two member lists decides ``|e_i ∩ e_j| ≥ s``.
+
+Because phase 2 iterates over *pairs* — a single flat loop — the workload
+granularity is much finer than the three-nested-loop one-phase algorithms,
+which is the load-balancing advantage §III-C.3 argues for.  Like
+Algorithm 1 it is representation-independent (``BiAdjacency`` or
+``AdjoinGraph``, original or permuted IDs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.parallel.workqueue import ThreadLocalQueues, WorkQueue
+from repro.structures.edgelist import EdgeList
+
+from .common import (
+    batch_intersect_counts,
+    empty_linegraph,
+    finalize_edges,
+    resolve_incidence,
+    two_hop_pair_counts,
+)
+
+__all__ = ["slinegraph_queue_intersection"]
+
+
+def slinegraph_queue_intersection(
+    h,
+    s: int = 1,
+    runtime: ParallelRuntime | None = None,
+    queue_ids: np.ndarray | None = None,
+) -> EdgeList:
+    """Two-phase queue-based construction (paper Algorithm 2)."""
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    edges, nodes, n_e, sizes = resolve_incidence(h)
+    if queue_ids is None:
+        queue_ids = np.arange(n_e, dtype=np.int64)
+    else:
+        # each hyperedge is enqueued once (duplicates would re-emit its
+        # candidate pairs; harmless for phase 2 but wasted work)
+        queue_ids = np.unique(np.asarray(queue_ids, dtype=np.int64))
+    nt = runtime.num_threads if runtime is not None else 1
+
+    # ---- Phase 1: enqueue eligible candidate pairs ------------------------
+    eligible = queue_ids[sizes[queue_ids] >= s]
+    local = ThreadLocalQueues(nt, width=2)
+
+    def gather_pairs(chunk: np.ndarray) -> TaskResult:
+        src, dst, _, work = two_hop_pair_counts(edges, nodes, chunk)
+        keep = sizes[dst] >= s  # candidate-side degree pruning
+        pairs = np.stack([src[keep], dst[keep]], axis=1)
+        return TaskResult(pairs, float(work + chunk.size))
+
+    if runtime is None:
+        local.push(0, gather_pairs(eligible).value)
+    else:
+        runtime.new_run()
+        parts = runtime.parallel_for(
+            runtime.partition(eligible), gather_pairs, phase="enqueue_pairs"
+        )
+        for i, pairs in enumerate(parts):
+            local.push(i % nt, pairs)
+    merged = local.merge()
+    if runtime is not None:
+        # merging per-thread queues = one prefix sum over thread counts
+        # (serial) + a parallel block copy; mirrors the C++ concatenation
+        runtime.serial_phase(float(nt), phase="merge_pair_queue_offsets")
+        runtime.parallel_for(
+            runtime.partition(max(merged.shape[0], 0)),
+            lambda c: TaskResult(None, float(c.size)),
+            phase="merge_pair_queue_copy",
+        )
+    queue = WorkQueue(merged.reshape(-1, 2) if merged.size else merged)
+
+    # ---- Phase 2: per-pair set intersection --------------------------------
+    def intersect_pairs(pairs: np.ndarray) -> TaskResult:
+        counts = batch_intersect_counts(edges, pairs)
+        work = int(
+            np.minimum(sizes[pairs[:, 0]], sizes[pairs[:, 1]]).sum()
+        ) if pairs.size else 0
+        keep = counts >= s
+        return TaskResult(
+            (pairs[keep, 0], pairs[keep, 1], counts[keep]),
+            float(work + pairs.shape[0]),
+        )
+
+    all_pairs = queue.drain()
+    if all_pairs.ndim == 1:
+        all_pairs = all_pairs.reshape(-1, 2)
+    if runtime is None:
+        results = [intersect_pairs(all_pairs).value]
+    else:
+        # the pair queue has one-row granularity; chunk by pair index
+        idx_chunks = runtime.partition(all_pairs.shape[0])
+        results = runtime.parallel_for(
+            idx_chunks,
+            lambda idx: intersect_pairs(all_pairs[idx]),
+            phase="intersect_pairs",
+        )
+
+    srcs = [r[0] for r in results if r[0].size]
+    if not srcs:
+        return empty_linegraph(n_e)
+    return finalize_edges(
+        np.concatenate(srcs),
+        np.concatenate([r[1] for r in results if r[1].size]),
+        np.concatenate([r[2] for r in results if r[2].size]),
+        n_e,
+    )

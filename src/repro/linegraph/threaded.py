@@ -1,0 +1,57 @@
+"""Thread-parallel s-line construction — real concurrency for pure kernels.
+
+``slinegraph_threaded`` chunks the eligible hyperedges cyclically (the
+paper's skew-smoothing adaptor), maps the pure hashmap-counting body over
+a genuine thread pool (:mod:`repro.parallel.threads`), and merges —
+bit-identical results to the serial/simulated constructions, with actual
+multi-core overlap where the host provides it (the NumPy kernels release
+the GIL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.partition import cyclic_range
+from repro.parallel.threads import ThreadedMap
+from repro.structures.edgelist import EdgeList
+
+from .common import (
+    empty_linegraph,
+    finalize_edges,
+    resolve_incidence,
+    two_hop_pair_counts,
+)
+
+__all__ = ["slinegraph_threaded"]
+
+
+def slinegraph_threaded(
+    h,
+    s: int = 1,
+    num_workers: int = 4,
+    chunks_per_worker: int = 4,
+) -> EdgeList:
+    """Hashmap-counting construction over a real thread pool.
+
+    Accepts ``BiAdjacency`` or ``AdjoinGraph`` (like the queue-based
+    algorithms).  Results equal every other construction algorithm.
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    edges, nodes, n_e, sizes = resolve_incidence(h)
+    eligible = np.flatnonzero(sizes >= s).astype(np.int64)
+    if eligible.size == 0:
+        return empty_linegraph(n_e)
+    chunks = cyclic_range(eligible, max(1, num_workers * chunks_per_worker))
+
+    def body(chunk: np.ndarray):
+        src, dst, cnt, _ = two_hop_pair_counts(edges, nodes, chunk)
+        keep = cnt >= s
+        return src[keep], dst[keep], cnt[keep]
+
+    parts = ThreadedMap(num_workers).map(body, chunks)
+    src = np.concatenate([p[0] for p in parts])
+    dst = np.concatenate([p[1] for p in parts])
+    cnt = np.concatenate([p[2] for p in parts])
+    return finalize_edges(src, dst, cnt, n_e)

@@ -1,0 +1,41 @@
+"""Simulated parallel substrate (the reproduction's oneTBB).
+
+Range adaptors (blocked/cyclic/cyclic-neighbor), deterministic static and
+work-stealing schedulers, a cost model producing simulated makespans, work
+queues for the paper's queue-based algorithms, and atomic-idiom helpers.
+See DESIGN.md §2 for why this substitution preserves the paper's
+scaling-behaviour claims on single-core hardware.
+"""
+
+from .atomics import compare_and_swap, fetch_or, write_max, write_min
+from .cost import CostModel, PhaseLedger, RunLedger
+from .partition import blocked_range, cyclic_neighbor_range, cyclic_range
+from .runtime import ParallelRuntime, TaskResult
+from .scheduler import StaticScheduler, WorkStealingScheduler, make_scheduler
+from .threads import ThreadedMap, thread_map
+from .trace import chrome_trace_events, export_chrome_trace
+from .workqueue import ThreadLocalQueues, WorkQueue
+
+__all__ = [
+    "CostModel",
+    "ParallelRuntime",
+    "PhaseLedger",
+    "RunLedger",
+    "StaticScheduler",
+    "ThreadedMap",
+    "TaskResult",
+    "ThreadLocalQueues",
+    "WorkQueue",
+    "WorkStealingScheduler",
+    "blocked_range",
+    "chrome_trace_events",
+    "compare_and_swap",
+    "cyclic_neighbor_range",
+    "cyclic_range",
+    "export_chrome_trace",
+    "fetch_or",
+    "thread_map",
+    "make_scheduler",
+    "write_max",
+    "write_min",
+]

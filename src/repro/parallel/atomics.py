@@ -1,0 +1,75 @@
+"""Deterministic emulation of the atomic idioms parallel algorithms use.
+
+The C++ kernels rely on ``compare_exchange`` / ``fetch_min`` style atomics
+(label propagation writes the minimum label; BFS claims a parent with CAS).
+Executed sequentially, the same result is obtained by *idempotent
+min-combining*: applying updates in any order converges to the same fixed
+point.  These helpers make that explicit — and vectorized — so algorithm
+code reads like its parallel original while staying schedule-independent
+(tested by running chunks in shuffled orders).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["write_min", "write_max", "compare_and_swap", "fetch_or"]
+
+
+def write_min(array: np.ndarray, idx: np.ndarray, values: np.ndarray) -> int:
+    """``array[idx] = min(array[idx], values)`` with duplicate-safe semantics.
+
+    Equivalent to a loop of atomic ``fetch_min``; duplicate indices in
+    ``idx`` are combined (``np.minimum.at``).  Returns how many entries
+    actually decreased (the "changed" count label-propagation loops test).
+    """
+    idx = np.asarray(idx)
+    values = np.asarray(values)
+    before = array[idx].copy()
+    np.minimum.at(array, idx, values)
+    return int(np.count_nonzero(array[idx] < before))
+
+
+def write_max(array: np.ndarray, idx: np.ndarray, values: np.ndarray) -> int:
+    """Dual of :func:`write_min` using atomic ``fetch_max`` semantics."""
+    idx = np.asarray(idx)
+    values = np.asarray(values)
+    before = array[idx].copy()
+    np.maximum.at(array, idx, values)
+    return int(np.count_nonzero(array[idx] > before))
+
+
+def compare_and_swap(
+    array: np.ndarray, idx: np.ndarray, expected, desired: np.ndarray
+) -> np.ndarray:
+    """Vectorized CAS: where ``array[idx] == expected``, store ``desired``.
+
+    For duplicate indices the *first* occurrence wins (matching the one
+    successful CAS among racing threads); returns a boolean mask of which
+    lanes won.  ``expected`` may be a scalar or an array.
+    """
+    idx = np.asarray(idx)
+    desired = np.asarray(desired)
+    # Keep only the first occurrence of each index: later lanes would see
+    # the winner's value and fail their CAS.
+    _, first_pos = np.unique(idx, return_index=True)
+    is_first = np.zeros(idx.shape, dtype=bool)
+    is_first[first_pos] = True
+    won = is_first & (array[idx] == expected)
+    array[idx[won]] = desired[won] if desired.ndim else desired
+    return won
+
+
+def fetch_or(array: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Atomic test-and-set on a boolean array; True where this call set it.
+
+    Duplicate indices: only the first occurrence reports ``True`` —
+    mirroring exactly one thread winning the bit.
+    """
+    idx = np.asarray(idx)
+    _, first_pos = np.unique(idx, return_index=True)
+    is_first = np.zeros(idx.shape, dtype=bool)
+    is_first[first_pos] = True
+    won = is_first & ~array[idx]
+    array[idx[won]] = True
+    return won

@@ -1,0 +1,135 @@
+"""Cost model for the simulated parallel runtime.
+
+The paper's strong-scaling figures (Figs. 7–8) and the load-balance claims
+behind the cyclic adaptors and queue-based algorithms are all statements
+about how *work* distributes over threads.  On this reproduction's 1-core
+host, wall-clock scaling cannot be measured, so we account work explicitly:
+
+* every task (chunk execution) reports a **cost** in abstract work units —
+  by convention the number of incidences/edges it touched, the quantity
+  that dominates the C++ kernels' runtime;
+* a schedule assigns tasks to ``num_threads`` threads; the **makespan** is
+  the maximum per-thread total, plus a serial fraction and a per-task
+  scheduling overhead.
+
+``simulated speedup(p) = makespan(1) / makespan(p)`` then reproduces the
+*shape* of the paper's curves: near-linear for balanced work, flattening
+under skew or serial fractions — deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CostModel", "PhaseLedger", "RunLedger"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parameters mapping task costs to simulated time.
+
+    Attributes
+    ----------
+    task_overhead:
+        Fixed cost added per task (models TBB task spawn/steal overhead;
+        makes many-tiny-chunk schedules measurably worse, as in practice).
+    serial_cost_per_phase:
+        Cost charged once per parallel phase regardless of thread count
+        (frontier swap, reduction tree, etc.) — an Amdahl serial fraction.
+    steal_cost:
+        Cost charged per simulated steal event (work-stealing scheduler).
+    """
+
+    task_overhead: float = 1.0
+    serial_cost_per_phase: float = 0.0
+    steal_cost: float = 0.5
+
+    def task_cost(self, work: float) -> float:
+        """Simulated time for one task performing ``work`` units."""
+        return float(work) + self.task_overhead
+
+
+@dataclass
+class PhaseLedger:
+    """Accounting for one parallel phase (one ``parallel_for``)."""
+
+    name: str
+    num_threads: int
+    thread_time: np.ndarray  # simulated busy time per thread
+    num_tasks: int
+    num_steals: int = 0
+    serial_time: float = 0.0
+    #: optional per-task schedule: (task_index, thread, start, end) —
+    #: populated when the scheduler runs with event recording (tracing)
+    events: list[tuple[int, int, float, float]] | None = None
+
+    @property
+    def makespan(self) -> float:
+        """Simulated elapsed time of the phase."""
+        busy = float(self.thread_time.max()) if self.thread_time.size else 0.0
+        return busy + self.serial_time
+
+    @property
+    def total_work(self) -> float:
+        return float(self.thread_time.sum()) + self.serial_time
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean per-thread time; 1.0 is perfectly balanced."""
+        if not self.thread_time.size:
+            return 1.0
+        mean = float(self.thread_time.mean())
+        return float(self.thread_time.max()) / mean if mean > 0 else 1.0
+
+
+@dataclass
+class RunLedger:
+    """Accumulated phases of one algorithm run on the simulated runtime."""
+
+    num_threads: int
+    phases: list[PhaseLedger] = field(default_factory=list)
+
+    def add(self, phase: PhaseLedger) -> None:
+        self.phases.append(phase)
+
+    @property
+    def makespan(self) -> float:
+        """Total simulated time: phases execute back to back (barriers)."""
+        return float(sum(p.makespan for p in self.phases))
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(p.total_work for p in self.phases))
+
+    @property
+    def num_tasks(self) -> int:
+        return int(sum(p.num_tasks for p in self.phases))
+
+    @property
+    def num_steals(self) -> int:
+        return int(sum(p.num_steals for p in self.phases))
+
+    def speedup_vs(self, baseline: "RunLedger") -> float:
+        """Simulated strong-scaling speedup against a (1-thread) run."""
+        if self.makespan == 0:
+            return float("inf") if baseline.makespan > 0 else 1.0
+        return baseline.makespan / self.makespan
+
+    def timeline(self) -> list[tuple[str, float, float, int]]:
+        """Per-phase profile: ``(name, makespan, load_imbalance, tasks)``.
+
+        The introspection view behind "where did the time go?" — phases
+        execute back to back, so the makespans sum to :attr:`makespan`.
+        """
+        return [
+            (p.name, p.makespan, p.load_imbalance, p.num_tasks)
+            for p in self.phases
+        ]
+
+    def dominant_phase(self) -> str | None:
+        """Name of the phase contributing the most simulated time."""
+        if not self.phases:
+            return None
+        return max(self.phases, key=lambda p: p.makespan).name

@@ -1,0 +1,194 @@
+"""The simulated parallel runtime — this reproduction's "oneTBB".
+
+A :class:`ParallelRuntime` executes ``parallel_for`` phases over chunked
+ranges.  Chunk bodies run as ordinary Python (so results are exact and the
+kernels inside stay vectorized); what is *simulated* is the placement of
+chunks onto ``num_threads`` threads and the resulting per-thread busy
+times, from which makespan/speedup derive (see :mod:`repro.parallel.cost`
+for why this substitution preserves the paper's scaling claims).
+
+Determinism contract: given the same ``(num_threads, partitioner,
+scheduler, cost model)`` the simulated timings are identical run to run,
+and the *computed values* are identical for **any** execution order — the
+algorithms built on top use idempotent min/CAS combining
+(:mod:`repro.parallel.atomics`).  ``execution_order='shuffled'`` lets tests
+verify that second property by actually permuting body execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .cost import CostModel, RunLedger
+from .partition import blocked_range, cyclic_range
+from .scheduler import make_scheduler
+
+__all__ = ["ParallelRuntime", "TaskResult"]
+
+
+class TaskResult:
+    """Explicit ``(value, work)`` pair a chunk body may return.
+
+    When a body returns a bare value, the runtime charges the chunk's
+    element count as its work — the right default for per-element kernels.
+    Returning ``TaskResult(value, work)`` lets irregular kernels (frontier
+    expansion, hash counting) charge the incidences they actually touched.
+    """
+
+    __slots__ = ("value", "work")
+
+    def __init__(self, value: Any, work: float) -> None:
+        self.value = value
+        self.work = float(work)
+
+
+class ParallelRuntime:
+    """Simulated work-stealing runtime with pluggable partitioning.
+
+    Parameters
+    ----------
+    num_threads:
+        Simulated thread count (the x-axis of Figs. 7–8).
+    scheduler:
+        ``'work_stealing'`` (default, models tbb::auto_partitioner +
+        stealing) or ``'static'``.
+    partitioner:
+        Default range adaptor for :meth:`partition`: ``'blocked'`` or
+        ``'cyclic'``.
+    grain:
+        Chunks per thread produced by :meth:`partition` (finer grain =
+        better stealing, more per-task overhead — a real TBB trade-off the
+        cost model reproduces).
+    cost_model:
+        See :class:`repro.parallel.cost.CostModel`.
+    execution_order:
+        ``'submission'`` (default) or ``'shuffled'`` — run chunk bodies in
+        a seeded random order to exercise schedule-independence.
+    seed:
+        RNG seed for ``'shuffled'`` execution.
+    trace:
+        Record per-task (thread, start, end) schedule events, exportable
+        with :func:`repro.parallel.trace.export_chrome_trace`.
+    """
+
+    def __init__(
+        self,
+        num_threads: int = 1,
+        scheduler: str = "work_stealing",
+        partitioner: str = "blocked",
+        grain: int = 4,
+        cost_model: CostModel | None = None,
+        execution_order: str = "submission",
+        seed: int = 0,
+        trace: bool = False,
+    ) -> None:
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        if partitioner not in ("blocked", "cyclic"):
+            raise ValueError("partitioner must be 'blocked' or 'cyclic'")
+        if execution_order not in ("submission", "shuffled"):
+            raise ValueError(
+                "execution_order must be 'submission' or 'shuffled'"
+            )
+        if grain <= 0:
+            raise ValueError("grain must be positive")
+        self.num_threads = int(num_threads)
+        self.scheduler = make_scheduler(scheduler)
+        self.partitioner = partitioner
+        self.grain = int(grain)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.execution_order = execution_order
+        self.trace = bool(trace)
+        self._rng = np.random.default_rng(seed)
+        self.ledger = RunLedger(num_threads=self.num_threads)
+
+    # -- bookkeeping -------------------------------------------------------------
+    def new_run(self) -> RunLedger:
+        """Start a fresh ledger (one algorithm invocation = one run)."""
+        self.ledger = RunLedger(num_threads=self.num_threads)
+        return self.ledger
+
+    @property
+    def makespan(self) -> float:
+        return self.ledger.makespan
+
+    # -- partitioning -----------------------------------------------------------------
+    def partition(
+        self, ids: int | Sequence[int] | np.ndarray
+    ) -> list[np.ndarray]:
+        """Chunk an ID range with the runtime's default adaptor and grain."""
+        n_chunks = self.num_threads * self.grain
+        if self.partitioner == "cyclic":
+            return cyclic_range(ids, n_chunks)
+        return blocked_range(ids, n_chunks)
+
+    # -- execution -----------------------------------------------------------------------
+    def parallel_for(
+        self,
+        chunks: Sequence[Any],
+        body: Callable[[Any], Any],
+        phase: str = "parallel_for",
+    ) -> list[Any]:
+        """Run ``body`` over every chunk; simulate the schedule; return values.
+
+        Values are returned in **submission order** regardless of execution
+        order, so callers can zip them with their chunks.
+        """
+        order = np.arange(len(chunks))
+        if self.execution_order == "shuffled" and len(chunks) > 1:
+            order = self._rng.permutation(len(chunks))
+        values: list[Any] = [None] * len(chunks)
+        costs = np.zeros(len(chunks), dtype=np.float64)
+        for i in order:
+            out = body(chunks[i])
+            if isinstance(out, TaskResult):
+                values[i] = out.value
+                costs[i] = out.work
+            else:
+                values[i] = out
+                costs[i] = _default_work(chunks[i])
+        ledger = self.scheduler.schedule(
+            costs,
+            self.num_threads,
+            self.cost_model,
+            phase_name=phase,
+            record_events=self.trace,
+        )
+        self.ledger.add(ledger)
+        return values
+
+    def parallel_reduce(
+        self,
+        chunks: Sequence[Any],
+        body: Callable[[Any], Any],
+        combine: Callable[[Any, Any], Any],
+        initial: Any,
+        phase: str = "parallel_reduce",
+    ) -> Any:
+        """``parallel_for`` + deterministic left fold of the chunk values."""
+        acc = initial
+        for value in self.parallel_for(chunks, body, phase=phase):
+            acc = combine(acc, value)
+        return acc
+
+    def serial_phase(self, work: float, phase: str = "serial") -> None:
+        """Charge purely serial work (queue merge, prefix sums) to the run."""
+        ledger = self.scheduler.schedule(
+            [], self.num_threads, self.cost_model, phase_name=phase
+        )
+        ledger.serial_time += float(work)
+        self.ledger.add(ledger)
+
+
+def _default_work(chunk: Any) -> float:
+    """Element count of a chunk (ID array or (ids, neighborhoods) tuple)."""
+    if isinstance(chunk, tuple):
+        chunk = chunk[0]
+    if isinstance(chunk, np.ndarray):
+        return float(chunk.shape[0])
+    try:
+        return float(len(chunk))
+    except TypeError:
+        return 1.0

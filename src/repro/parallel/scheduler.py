@@ -1,0 +1,132 @@
+"""Deterministic schedulers: static and work-stealing (list scheduling).
+
+oneTBB executes a ``parallel_for`` by splitting the range into tasks and
+letting a work-stealing scheduler place them: an idle thread steals the
+oldest task from a victim's deque.  The *effect* that matters for the
+paper's claims is that task completion order approximates **greedy list
+scheduling** — each task starts on the thread that frees up first — which
+is what :class:`WorkStealingScheduler` simulates with a deterministic
+event-driven loop (ties broken by thread ID, so runs are reproducible).
+
+:class:`StaticScheduler` models the no-stealing baseline
+(``static_partitioner``): task *i* is pinned to thread ``i % p`` (or to the
+thread its adaptor intended, one chunk per thread).  The gap between the
+two schedulers on skewed inputs is the load-imbalance effect §III-D
+describes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from .cost import CostModel, PhaseLedger
+
+__all__ = ["StaticScheduler", "WorkStealingScheduler", "make_scheduler"]
+
+
+class StaticScheduler:
+    """Pin task *i* to thread ``i % num_threads`` (round-robin, no stealing).
+
+    When an adaptor produced exactly ``num_threads`` chunks (one per
+    thread), round-robin degenerates to the intended 1:1 placement.
+    """
+
+    name = "static"
+
+    def schedule(
+        self,
+        costs: Sequence[float],
+        num_threads: int,
+        model: CostModel,
+        phase_name: str = "",
+        record_events: bool = False,
+    ) -> PhaseLedger:
+        thread_time = np.zeros(num_threads, dtype=np.float64)
+        events: list[tuple[int, int, float, float]] | None = (
+            [] if record_events else None
+        )
+        for i, work in enumerate(costs):
+            t = i % num_threads
+            start = float(thread_time[t])
+            thread_time[t] += model.task_cost(work)
+            if events is not None:
+                events.append((i, t, start, float(thread_time[t])))
+        return PhaseLedger(
+            name=phase_name,
+            num_threads=num_threads,
+            thread_time=thread_time,
+            num_tasks=len(costs),
+            num_steals=0,
+            serial_time=model.serial_cost_per_phase,
+            events=events,
+        )
+
+
+class WorkStealingScheduler:
+    """Greedy event-driven placement approximating TBB work stealing.
+
+    Tasks are released in submission order; each goes to the thread with
+    the smallest accumulated busy time (ties → lowest thread ID).  A task
+    landing on a thread other than ``i % p`` counts as a steal and pays
+    ``model.steal_cost``.  This is the classic (2 − 1/p)-competitive greedy
+    schedule — the right fidelity for reproducing scaling *shapes*.
+    """
+
+    name = "work_stealing"
+
+    def schedule(
+        self,
+        costs: Sequence[float],
+        num_threads: int,
+        model: CostModel,
+        phase_name: str = "",
+        record_events: bool = False,
+    ) -> PhaseLedger:
+        thread_time = np.zeros(num_threads, dtype=np.float64)
+        steals = 0
+        events: list[tuple[int, int, float, float]] | None = (
+            [] if record_events else None
+        )
+        # heap of (busy_time, thread_id): deterministic tie-break on id
+        heap: list[tuple[float, int]] = [(0.0, t) for t in range(num_threads)]
+        heapq.heapify(heap)
+        for i, work in enumerate(costs):
+            busy, t = heapq.heappop(heap)
+            cost = model.task_cost(work)
+            if t != i % num_threads:
+                steals += 1
+                cost += model.steal_cost
+            start = busy
+            busy += cost
+            thread_time[t] = busy
+            heapq.heappush(heap, (busy, t))
+            if events is not None:
+                events.append((i, t, start, busy))
+        return PhaseLedger(
+            name=phase_name,
+            num_threads=num_threads,
+            thread_time=thread_time,
+            num_tasks=len(costs),
+            num_steals=steals,
+            serial_time=model.serial_cost_per_phase,
+            events=events,
+        )
+
+
+_SCHEDULERS = {
+    StaticScheduler.name: StaticScheduler,
+    WorkStealingScheduler.name: WorkStealingScheduler,
+}
+
+
+def make_scheduler(name: str) -> StaticScheduler | WorkStealingScheduler:
+    """Look up a scheduler by name (``'static'`` or ``'work_stealing'``)."""
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(_SCHEDULERS)}"
+        ) from None

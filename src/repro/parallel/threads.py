@@ -1,0 +1,54 @@
+"""Real thread-pool execution for *pure* chunk bodies.
+
+The simulated runtime models scheduling; this module actually runs chunk
+bodies concurrently with ``concurrent.futures.ThreadPoolExecutor``.  The
+hot kernels are NumPy vectorized and release the GIL, so on multi-core
+hosts the pure construction bodies (two-hop counting, batched
+intersection) overlap for real — the closest a pure-Python build gets to
+the C++ original's parallelism.
+
+Safety contract: bodies must be **pure** (no shared mutable state; results
+returned, not written).  The s-line construction bodies satisfy this; the
+frontier algorithms (BFS/CC), which mutate shared arrays, do not and must
+stay on the deterministic simulated runtime.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = ["ThreadedMap", "thread_map"]
+
+
+class ThreadedMap:
+    """A reusable thread pool mapping pure bodies over chunks in order."""
+
+    def __init__(self, num_workers: int = 4) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = int(num_workers)
+
+    def map(
+        self, body: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``body`` to every chunk concurrently; results in order.
+
+        Exceptions raised inside a body propagate (after all futures
+        settle) — no partial results are returned.
+        """
+        if not chunks:
+            return []
+        if len(chunks) == 1 or self.num_workers == 1:
+            return [body(c) for c in chunks]
+        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+            return list(pool.map(body, chunks))
+
+
+def thread_map(
+    body: Callable[[Any], Any],
+    chunks: Sequence[Any],
+    num_workers: int = 4,
+) -> list[Any]:
+    """One-shot convenience wrapper around :class:`ThreadedMap`."""
+    return ThreadedMap(num_workers).map(body, chunks)

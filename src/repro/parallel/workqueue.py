@@ -1,0 +1,117 @@
+"""Work queues for the queue-based s-line algorithms (Algorithms 1–2).
+
+Both of the paper's new algorithms begin by enqueuing work items — raw
+hyperedge IDs (Algorithm 1) or candidate hyperedge *pairs* (Algorithm 2) —
+into per-thread queues that are then concatenated and re-partitioned.  The
+point of the queue is representation independence: items need not form a
+contiguous ``[0, n_e)`` range, so permuted IDs and adjoin-consolidated IDs
+work unchanged.
+
+``ThreadLocalQueues`` models the per-thread ``queue_t`` / ``L_t(H)``
+buffers; ``WorkQueue`` is the merged global queue with chunked draining.
+Everything is array-backed so drained chunks feed vectorized kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ThreadLocalQueues", "WorkQueue"]
+
+
+class ThreadLocalQueues:
+    """Per-thread append-only buffers merged with one concatenation.
+
+    Parameters
+    ----------
+    num_threads:
+        Number of thread-local buffers.
+    width:
+        Number of int64 columns per item (1 for IDs, 2 for ID pairs, 3 for
+        weighted edges, ...).
+    """
+
+    __slots__ = ("_buffers", "width")
+
+    def __init__(self, num_threads: int, width: int = 1) -> None:
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self._buffers: list[list[np.ndarray]] = [[] for _ in range(num_threads)]
+        self.width = int(width)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self._buffers)
+
+    def push(self, thread: int, items: np.ndarray) -> None:
+        """Append an ``(k, width)`` (or flat, if width==1) batch of items."""
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        if self.width == 1:
+            items = items.reshape(-1, 1)
+        if items.ndim != 2 or items.shape[1] != self.width:
+            raise ValueError(
+                f"expected shape (*, {self.width}), got {items.shape}"
+            )
+        if items.size:
+            self._buffers[thread].append(items)
+
+    def merge(self) -> np.ndarray:
+        """Concatenate every thread's buffer (thread order, then FIFO).
+
+        Deterministic: the merge order is fixed, so downstream chunking is
+        reproducible regardless of the simulated schedule that filled the
+        buffers.
+        """
+        parts = [b for buf in self._buffers for b in buf]
+        if not parts:
+            out = np.empty((0, self.width), dtype=np.int64)
+        else:
+            out = np.concatenate(parts, axis=0)
+        return out[:, 0] if self.width == 1 else out
+
+    def sizes(self) -> np.ndarray:
+        """Items currently buffered per thread (load-balance diagnostics)."""
+        return np.array(
+            [sum(b.shape[0] for b in buf) for buf in self._buffers],
+            dtype=np.int64,
+        )
+
+
+class WorkQueue:
+    """A merged, array-backed FIFO drained in chunks.
+
+    Supports non-contiguous, permuted or adjoin-consolidated IDs — the
+    entire reason the paper introduces queue-based construction.
+    """
+
+    __slots__ = ("_items", "_cursor")
+
+    def __init__(self, items: np.ndarray | Sequence[int]) -> None:
+        self._items = np.ascontiguousarray(items, dtype=np.int64)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return int(self._items.shape[0] - self._cursor)
+
+    @property
+    def items(self) -> np.ndarray:
+        """Remaining items (view)."""
+        return self._items[self._cursor :]
+
+    def drain(self, max_items: int | None = None) -> np.ndarray:
+        """Pop up to ``max_items`` items (all remaining when ``None``)."""
+        end = (
+            self._items.shape[0]
+            if max_items is None
+            else min(self._items.shape[0], self._cursor + int(max_items))
+        )
+        out = self._items[self._cursor : end]
+        self._cursor = end
+        return out
+
+    def empty(self) -> bool:
+        return len(self) == 0

@@ -1,0 +1,56 @@
+"""Data-structure substrate: edge lists, CSR, bi-adjacency, adjoin graphs.
+
+These are the Python analogues of the paper's Listing 1 classes
+(``biedgelist``, ``biadjacency``, ``bipartite_graph_base``) plus the adjoin
+graph of §III-B.2 and the sparse-matrix views of §II.
+"""
+
+from .adjoin import AdjoinGraph
+from .biadjacency import BiAdjacency, biadjacency
+from .csr import CSR
+from .edgelist import BiEdgeList, EdgeList
+from .matrices import (
+    adjoin_adjacency_matrix,
+    biadjacency_matrix,
+    dual_incidence_matrix,
+    incidence_matrix,
+    overlap_matrix,
+)
+from .validate import (
+    HypergraphInvariantError,
+    validate_adjoin,
+    validate_biadjacency,
+    validate_csr,
+)
+from .relabel import (
+    adjoin_safe_permutation,
+    degree_permutation,
+    inverse_permutation,
+    is_permutation,
+    relabel_by_degree,
+    relabel_hyperedges,
+)
+
+__all__ = [
+    "AdjoinGraph",
+    "HypergraphInvariantError",
+    "BiAdjacency",
+    "BiEdgeList",
+    "CSR",
+    "EdgeList",
+    "adjoin_adjacency_matrix",
+    "adjoin_safe_permutation",
+    "biadjacency",
+    "biadjacency_matrix",
+    "degree_permutation",
+    "dual_incidence_matrix",
+    "incidence_matrix",
+    "inverse_permutation",
+    "is_permutation",
+    "overlap_matrix",
+    "relabel_by_degree",
+    "relabel_hyperedges",
+    "validate_adjoin",
+    "validate_biadjacency",
+    "validate_csr",
+]

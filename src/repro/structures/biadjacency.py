@@ -1,0 +1,182 @@
+"""Bipartite (bi-adjacency) hypergraph representation — two index sets.
+
+Paper §III-B.1: a hypergraph ``H = (U, V)`` is represented as a bipartite
+graph whose bi-adjacency list is stored as **two separate but mutually
+indexed CSR structures** — the *hyperedge incidence list* (row = hyperedge,
+neighbors = its hypernodes) and the *hypernode incidence list* (row =
+hypernode, neighbors = the hyperedges it joins); see Figure 2 of the paper.
+
+``BiAdjacency`` bundles both CSRs with the ``vertex_cardinality_`` of the
+C++ ``bipartite_graph_base`` and guarantees they are mutual transposes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .csr import CSR
+from .edgelist import BiEdgeList
+
+__all__ = ["BiAdjacency", "biadjacency"]
+
+
+class BiAdjacency:
+    """Two mutually indexed incidence CSRs for one hypergraph.
+
+    Parameters
+    ----------
+    edges:
+        Hyperedge incidence CSR: ``edges[e]`` lists the hypernodes of
+        hyperedge *e* (``biadjacency<0>`` in Listing 2).
+    nodes:
+        Hypernode incidence CSR: ``nodes[v]`` lists the hyperedges incident
+        on hypernode *v* (``biadjacency<1>``).  If omitted it is derived by
+        transposition.
+    """
+
+    __slots__ = ("edges", "nodes")
+
+    def __init__(self, edges: CSR, nodes: CSR | None = None) -> None:
+        self.edges = edges.sort_rows()
+        self.nodes = (
+            self.edges.transpose() if nodes is None else nodes.sort_rows()
+        )
+        if self.nodes.num_vertices() < self.edges.num_targets():
+            raise ValueError(
+                "hypernode CSR too small for the IDs referenced by edges"
+            )
+        if self.edges.num_edges() != self.nodes.num_edges():
+            raise ValueError("edge/node incidence counts disagree")
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_biedgelist(cls, el: BiEdgeList) -> "BiAdjacency":
+        """Index a :class:`BiEdgeList` into both incidence CSRs (Listing 2)."""
+        n0, n1 = el.vertex_cardinality
+        edges = CSR.from_coo(
+            el.part0, el.part1, el.weights, num_sources=n0, num_targets=n1
+        )
+        nodes = CSR.from_coo(
+            el.part1, el.part0, el.weights, num_sources=n1, num_targets=n0
+        )
+        return cls(edges, nodes)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        edge_ids: Iterable[int] | np.ndarray,
+        node_ids: Iterable[int] | np.ndarray,
+        weights: Iterable[float] | np.ndarray | None = None,
+        num_edges: int | None = None,
+        num_nodes: int | None = None,
+    ) -> "BiAdjacency":
+        """Build from parallel (hyperedge, hypernode) incidence arrays."""
+        return cls.from_biedgelist(
+            BiEdgeList(edge_ids, node_ids, weights, n0=num_edges, n1=num_nodes)
+        )
+
+    @classmethod
+    def from_hyperedge_lists(
+        cls, members: Iterable[Iterable[int]], num_nodes: int | None = None
+    ) -> "BiAdjacency":
+        """Build from a list of hyperedges, each an iterable of hypernodes."""
+        eids: list[int] = []
+        vids: list[int] = []
+        count = 0
+        for e, mem in enumerate(members):
+            for v in mem:
+                eids.append(e)
+                vids.append(int(v))
+            count = e + 1
+        return cls.from_biedgelist(
+            BiEdgeList(eids, vids, n0=count, n1=num_nodes)
+        )
+
+    # -- cardinality / sizes -----------------------------------------------------
+    @property
+    def vertex_cardinality(self) -> tuple[int, int]:
+        """``(num_hyperedges, num_hypernodes)`` — Listing 1's base member."""
+        return (self.edges.num_vertices(), self.nodes.num_vertices())
+
+    def num_hyperedges(self) -> int:
+        return self.edges.num_vertices()
+
+    def num_hypernodes(self) -> int:
+        return self.nodes.num_vertices()
+
+    def num_incidences(self) -> int:
+        """Total vertex–edge incidences (nnz of the incidence matrix)."""
+        return self.edges.num_edges()
+
+    def nbytes(self) -> int:
+        """Memory footprint: both mutually indexed CSRs."""
+        return self.edges.nbytes() + self.nodes.nbytes()
+
+    # -- degrees -------------------------------------------------------------------
+    def edge_sizes(self) -> np.ndarray:
+        """``|e|`` for every hyperedge (the hyperedge "degrees")."""
+        return self.edges.degrees()
+
+    def node_degrees(self) -> np.ndarray:
+        """Number of hyperedges each hypernode joins."""
+        return self.nodes.degrees()
+
+    # -- iteration (Listing 3) --------------------------------------------------
+    def __iter__(self) -> Iterator[np.ndarray]:
+        """Iterate hyperedge neighborhoods (outer range over hyperedges)."""
+        return iter(self.edges)
+
+    def members(self, e: int) -> np.ndarray:
+        """Hypernodes of hyperedge ``e`` (sorted view)."""
+        return self.edges[e]
+
+    def memberships(self, v: int) -> np.ndarray:
+        """Hyperedges incident on hypernode ``v`` (sorted view)."""
+        return self.nodes[v]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BiAdjacency(num_hyperedges={self.num_hyperedges()}, "
+            f"num_hypernodes={self.num_hypernodes()}, "
+            f"num_incidences={self.num_incidences()})"
+        )
+
+    # -- dual -----------------------------------------------------------------------
+    def dual(self) -> "BiAdjacency":
+        """The dual hypergraph ``H*`` — swap the two incidence CSRs (§II-C)."""
+        return BiAdjacency(self.nodes, self.edges)
+
+    # -- misc --------------------------------------------------------------------------
+    def neighbors_of_edge(self, e: int, *, min_overlap: int = 1) -> np.ndarray:
+        """Hyperedges sharing ≥ ``min_overlap`` hypernodes with ``e`` (excl. e).
+
+        A direct exact query on the bipartite representation (used by the
+        naive s-line constructions and by tests as a tiny oracle).
+        """
+        counts = np.bincount(
+            np.concatenate([self.nodes[v] for v in self.edges[e]])
+            if self.edges.degree(e)
+            else np.empty(0, dtype=np.int64),
+            minlength=self.num_hyperedges(),
+        )
+        counts[e] = 0
+        return np.flatnonzero(counts >= min_overlap)
+
+
+def biadjacency(el: BiEdgeList, part: int = 0) -> CSR:
+    """Listing 2's ``biadjacency<part>(biedgelist&)`` constructor.
+
+    ``part=0`` indexes by hyperedge, ``part=1`` by hypernode.
+    """
+    n0, n1 = el.vertex_cardinality
+    if part == 0:
+        return CSR.from_coo(
+            el.part0, el.part1, el.weights, num_sources=n0, num_targets=n1
+        )
+    if part == 1:
+        return CSR.from_coo(
+            el.part1, el.part0, el.weights, num_sources=n1, num_targets=n0
+        )
+    raise ValueError(f"part must be 0 or 1, got {part}")

@@ -1,0 +1,300 @@
+"""Edge-list containers (struct-of-arrays).
+
+The paper's ``biedgelist``/``edgelist`` classes (Listing 1) are thin
+struct-of-arrays containers that a :class:`~repro.structures.csr.CSR` or
+:class:`~repro.structures.biadjacency.BiAdjacency` is later *indexed* from.
+We mirror that split: an edge list is the mutable ingestion format, CSR the
+frozen computation format.
+
+All index arrays are ``int64`` and contiguous; attribute columns (for
+example edge weights) ride along as parallel arrays, matching the
+``std::tuple<std::vector<Attributes>...>`` layout of the C++ original.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["EdgeList", "BiEdgeList"]
+
+_INDEX_DTYPE = np.int64
+
+
+def _as_index_array(values: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Coerce ``values`` to a contiguous int64 index array.
+
+    Raises ``ValueError`` for negative indices — vertex/hyperedge IDs are
+    non-negative in every representation the framework supports.
+    """
+    arr = np.ascontiguousarray(values, dtype=_INDEX_DTYPE)
+    if arr.ndim != 1:
+        raise ValueError(f"index array must be 1-D, got shape {arr.shape}")
+    if arr.size and arr.min() < 0:
+        raise ValueError("indices must be non-negative")
+    return arr
+
+
+class EdgeList:
+    """A directed edge list ``(src, dst, *attributes)`` over one index set.
+
+    Parameters
+    ----------
+    src, dst:
+        Endpoint index arrays (equal length).
+    weights:
+        Optional parallel attribute column (float64).
+    num_vertices:
+        Size of the (single) index space.  Defaults to ``max(src, dst) + 1``.
+    """
+
+    __slots__ = ("src", "dst", "weights", "_num_vertices")
+
+    def __init__(
+        self,
+        src: Iterable[int] | np.ndarray = (),
+        dst: Iterable[int] | np.ndarray = (),
+        weights: Iterable[float] | np.ndarray | None = None,
+        num_vertices: int | None = None,
+    ) -> None:
+        self.src = _as_index_array(src)
+        self.dst = _as_index_array(dst)
+        if self.src.shape != self.dst.shape:
+            raise ValueError(
+                f"src/dst length mismatch: {self.src.size} vs {self.dst.size}"
+            )
+        if weights is None:
+            self.weights = None
+        else:
+            self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+            if self.weights.shape != self.src.shape:
+                raise ValueError("weights length must match src/dst")
+        inferred = 0
+        if self.src.size:
+            inferred = int(max(self.src.max(), self.dst.max())) + 1
+        if num_vertices is None:
+            self._num_vertices = inferred
+        else:
+            if num_vertices < inferred:
+                raise ValueError(
+                    f"num_vertices={num_vertices} too small for max index "
+                    f"{inferred - 1}"
+                )
+            self._num_vertices = int(num_vertices)
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.src.size)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return zip(self.src.tolist(), self.dst.tolist())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(num_vertices={self.num_vertices()}, "
+            f"num_edges={len(self)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeList):
+            return NotImplemented
+        if self.num_vertices() != other.num_vertices():
+            return False
+        if not (
+            np.array_equal(self.src, other.src)
+            and np.array_equal(self.dst, other.dst)
+        ):
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        if self.weights is not None:
+            return bool(np.array_equal(self.weights, other.weights))
+        return True
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container
+
+    # -- paper API ----------------------------------------------------------
+    def num_vertices(self) -> int:
+        """Size of the index space (paper: ``num_vertices()``)."""
+        return self._num_vertices
+
+    def num_edges(self) -> int:
+        """Number of edges (paper: ``num_edges()``)."""
+        return len(self)
+
+    def nbytes(self) -> int:
+        """Memory footprint of the backing arrays in bytes."""
+        total = self.src.nbytes + self.dst.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return int(total)
+
+    # -- transformations ----------------------------------------------------
+    def symmetrize(self) -> "EdgeList":
+        """Return a new edge list with both ``(u, v)`` and ``(v, u)``.
+
+        Used to build undirected adjacency structures (for example the
+        adjoin graph, whose adjacency matrix is symmetric by construction).
+        """
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        w = None if self.weights is None else np.concatenate([self.weights] * 2)
+        return EdgeList(src, dst, w, num_vertices=self._num_vertices)
+
+    def deduplicate(self) -> "EdgeList":
+        """Return a new edge list with exact duplicate ``(src, dst)`` removed.
+
+        Keeps the first occurrence of each pair (so the first weight wins),
+        preserving sorted order of the unique pairs.
+        """
+        if not len(self):
+            return EdgeList(num_vertices=self._num_vertices)
+        key = self.src * max(self._num_vertices, 1) + self.dst
+        _, first = np.unique(key, return_index=True)
+        first.sort()
+        w = None if self.weights is None else self.weights[first]
+        return EdgeList(self.src[first], self.dst[first], w, self._num_vertices)
+
+    def sorted_by(self, order: Sequence[int] | np.ndarray) -> "EdgeList":
+        """Return a new edge list with rows permuted by ``order``."""
+        order = np.asarray(order, dtype=_INDEX_DTYPE)
+        w = None if self.weights is None else self.weights[order]
+        return EdgeList(self.src[order], self.dst[order], w, self._num_vertices)
+
+    def relabeled(self, perm: np.ndarray) -> "EdgeList":
+        """Return a new edge list with every endpoint mapped through ``perm``.
+
+        ``perm[old_id] == new_id``; ``perm`` must be a permutation of the
+        full index space.
+        """
+        perm = np.asarray(perm, dtype=_INDEX_DTYPE)
+        if perm.size != self._num_vertices:
+            raise ValueError("permutation size must equal num_vertices")
+        return EdgeList(
+            perm[self.src], perm[self.dst], self.weights, self._num_vertices
+        )
+
+
+class BiEdgeList:
+    """A bipartite edge list over **two separate index sets** (paper §III-B.1).
+
+    Rows connect part-0 entities (hyperedges) to part-1 entities
+    (hypernodes).  The class mirrors the C++ ``biedgelist`` and carries the
+    ``vertex_cardinality_`` array of ``bipartite_graph_base``.
+
+    Parameters
+    ----------
+    part0, part1:
+        Endpoint arrays: ``part0[k]`` is a hyperedge ID, ``part1[k]`` a
+        hypernode ID of incidence ``k``.
+    weights:
+        Optional incidence weights.
+    n0, n1:
+        Cardinalities of the two index sets.  Default to max-ID + 1.
+    """
+
+    __slots__ = ("part0", "part1", "weights", "_n0", "_n1")
+
+    def __init__(
+        self,
+        part0: Iterable[int] | np.ndarray = (),
+        part1: Iterable[int] | np.ndarray = (),
+        weights: Iterable[float] | np.ndarray | None = None,
+        n0: int | None = None,
+        n1: int | None = None,
+    ) -> None:
+        self.part0 = _as_index_array(part0)
+        self.part1 = _as_index_array(part1)
+        if self.part0.shape != self.part1.shape:
+            raise ValueError(
+                f"part0/part1 length mismatch: {self.part0.size} vs "
+                f"{self.part1.size}"
+            )
+        if weights is None:
+            self.weights = None
+        else:
+            self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+            if self.weights.shape != self.part0.shape:
+                raise ValueError("weights length must match part0/part1")
+        inferred0 = int(self.part0.max()) + 1 if self.part0.size else 0
+        inferred1 = int(self.part1.max()) + 1 if self.part1.size else 0
+        self._n0 = inferred0 if n0 is None else int(n0)
+        self._n1 = inferred1 if n1 is None else int(n1)
+        if self._n0 < inferred0 or self._n1 < inferred1:
+            raise ValueError("declared cardinality smaller than max index")
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.part0.size)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return zip(self.part0.tolist(), self.part1.tolist())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(n0={self._n0}, n1={self._n1}, "
+            f"num_edges={len(self)})"
+        )
+
+    # -- paper API ----------------------------------------------------------
+    @property
+    def vertex_cardinality(self) -> tuple[int, int]:
+        """``(n0, n1)`` — cardinalities of the two parts (Listing 1)."""
+        return (self._n0, self._n1)
+
+    def num_vertices(self, part: int | None = None) -> int:
+        """Cardinality of one part, or of both parts combined."""
+        if part is None:
+            return self._n0 + self._n1
+        if part == 0:
+            return self._n0
+        if part == 1:
+            return self._n1
+        raise ValueError(f"part must be 0 or 1, got {part}")
+
+    def num_edges(self) -> int:
+        return len(self)
+
+    def nbytes(self) -> int:
+        """Memory footprint of the backing arrays in bytes."""
+        total = self.part0.nbytes + self.part1.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return int(total)
+
+    # -- transformations ----------------------------------------------------
+    def deduplicate(self) -> "BiEdgeList":
+        """Drop exact duplicate incidences, keeping first occurrence."""
+        if not len(self):
+            return BiEdgeList(n0=self._n0, n1=self._n1)
+        key = self.part0 * max(self._n1, 1) + self.part1
+        _, first = np.unique(key, return_index=True)
+        first.sort()
+        w = None if self.weights is None else self.weights[first]
+        return BiEdgeList(
+            self.part0[first], self.part1[first], w, self._n0, self._n1
+        )
+
+    def swapped(self) -> "BiEdgeList":
+        """Return the dual edge list (parts exchanged).
+
+        The transpose of the incidence matrix is the incidence matrix of the
+        dual hypergraph ``H*`` (paper §II-C).
+        """
+        return BiEdgeList(self.part1, self.part0, self.weights, self._n1, self._n0)
+
+    def to_adjoin_edgelist(self) -> EdgeList:
+        """Consolidate both index sets into one (paper §III-B.2).
+
+        Part-0 entities (hyperedges) keep IDs ``[0, n0)``; part-1 entities
+        (hypernodes) are shifted to ``[n0, n0 + n1)``.  The result is the
+        (directed, edge→node) half of the adjoin graph; symmetrize to get
+        the full adjacency.
+        """
+        return EdgeList(
+            self.part0,
+            self.part1 + self._n0,
+            self.weights,
+            num_vertices=self._n0 + self._n1,
+        )

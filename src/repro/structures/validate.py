@@ -1,0 +1,89 @@
+"""Structural invariant checkers — the framework's self-diagnosis layer.
+
+Every representation has invariants the algorithms silently rely on
+(sorted unique neighbor rows, mutual transposition of the two incidence
+CSRs, the adjoin block structure).  ``validate_*`` functions verify them
+explicitly and raise ``HypergraphInvariantError`` with a precise message —
+used at trust boundaries (file ingestion), in failure-injection tests, and
+handy when debugging custom construction code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .adjoin import AdjoinGraph
+from .biadjacency import BiAdjacency
+from .csr import CSR
+
+__all__ = [
+    "HypergraphInvariantError",
+    "validate_csr",
+    "validate_biadjacency",
+    "validate_adjoin",
+]
+
+
+class HypergraphInvariantError(ValueError):
+    """A structural invariant of a hypergraph representation is violated."""
+
+
+def _fail(message: str) -> None:
+    raise HypergraphInvariantError(message)
+
+
+def validate_csr(
+    g: CSR, *, require_sorted: bool = True, require_unique: bool = True
+) -> None:
+    """Check indptr monotonicity, index bounds, and per-row order/uniqueness."""
+    if g.indptr[0] != 0 or g.indptr[-1] != g.indices.size:
+        _fail("indptr must start at 0 and end at nnz")
+    if np.any(np.diff(g.indptr) < 0):
+        _fail("indptr must be non-decreasing")
+    if g.indices.size:
+        if int(g.indices.min()) < 0:
+            _fail("negative neighbor index")
+        if int(g.indices.max()) >= g.num_targets():
+            _fail(
+                f"neighbor index {int(g.indices.max())} out of range "
+                f"[0, {g.num_targets()})"
+            )
+    if require_sorted or require_unique:
+        for i in range(g.num_vertices()):
+            row = g[i]
+            if require_sorted and row.size > 1 and np.any(np.diff(row) < 0):
+                _fail(f"row {i} is not sorted")
+            if require_unique and row.size > 1 and np.any(np.diff(row) == 0):
+                _fail(f"row {i} contains duplicate neighbors")
+
+
+def validate_biadjacency(h: BiAdjacency) -> None:
+    """Check both incidence CSRs and their mutual-transpose relationship."""
+    validate_csr(h.edges)
+    validate_csr(h.nodes)
+    if h.edges.num_edges() != h.nodes.num_edges():
+        _fail("edge/node incidence counts disagree")
+    if h.edges.transpose().sort_rows() != h.nodes.sort_rows():
+        _fail("hypernode incidence is not the transpose of hyperedge incidence")
+
+
+def validate_adjoin(g: AdjoinGraph) -> None:
+    """Check squareness, symmetry, and the bipartite block structure."""
+    validate_csr(g.graph)
+    if g.graph.num_vertices() != g.nrealedges + g.nrealnodes:
+        _fail("vertex count must equal nrealedges + nrealnodes")
+    src, dst = g.graph.neighborhood_pairs()
+    src_is_edge = src < g.nrealedges
+    dst_is_edge = dst < g.nrealedges
+    if np.any(src_is_edge == dst_is_edge):
+        bad = int(np.flatnonzero(src_is_edge == dst_is_edge)[0])
+        _fail(
+            "adjoin edge inside one partition: "
+            f"({int(src[bad])}, {int(dst[bad])})"
+        )
+    # symmetry: the multiset of (src, dst) equals the multiset of (dst, src)
+    n = g.graph.num_vertices()
+    fwd = np.sort(src * n + dst)
+    rev = np.sort(dst * n + src)
+    if not np.array_equal(fwd, rev):
+        _fail("adjoin graph is not symmetric")

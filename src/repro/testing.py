@@ -1,0 +1,92 @@
+"""Public test helpers — seeded factories and hypothesis strategies.
+
+Downstream users extending the framework need the same generators the
+internal suite uses: seeded random hypergraphs for example-based tests and
+a hypothesis strategy for property-based ones.  Importing the strategy
+requires hypothesis; everything else is dependency-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+
+__all__ = ["random_hypergraph", "assert_valid_hypergraph", "hypergraphs"]
+
+
+def random_hypergraph(
+    seed: int = 0,
+    num_edges: int = 40,
+    num_nodes: int = 60,
+    max_size: int = 5,
+    min_size: int = 1,
+) -> BiEdgeList:
+    """A seeded random hypergraph: each hyperedge draws distinct members.
+
+    The example-based workhorse of the internal suite, exported for
+    downstream tests.  Deterministic given the seed.
+    """
+    if not 0 < min_size <= max_size:
+        raise ValueError("need 0 < min_size <= max_size")
+    rng = np.random.default_rng(seed)
+    rows: list[int] = []
+    cols: list[int] = []
+    for e in range(num_edges):
+        size = int(rng.integers(min_size, max_size + 1))
+        members = rng.choice(num_nodes, size=min(size, num_nodes),
+                             replace=False)
+        rows.extend([e] * len(members))
+        cols.extend(members.tolist())
+    return BiEdgeList(rows, cols, n0=num_edges, n1=num_nodes)
+
+
+def assert_valid_hypergraph(el: BiEdgeList) -> BiAdjacency:
+    """Build both representations and run every invariant checker.
+
+    Returns the validated ``BiAdjacency`` for further assertions; raises
+    ``HypergraphInvariantError`` (or ``ValueError``) on any violation.
+    """
+    from repro.structures.adjoin import AdjoinGraph
+    from repro.structures.validate import (
+        validate_adjoin,
+        validate_biadjacency,
+    )
+
+    h = BiAdjacency.from_biedgelist(el)
+    validate_biadjacency(h)
+    validate_adjoin(AdjoinGraph.from_biedgelist(el))
+    return h
+
+
+def hypergraphs(max_edges: int = 12, max_nodes: int = 10):
+    """A hypothesis strategy generating small ``BiEdgeList`` hypergraphs.
+
+    Requires hypothesis (raises ``ImportError`` otherwise).  Hyperedges
+    may be empty; nodes may be isolated — the full space the framework
+    must tolerate.
+    """
+    try:
+        from hypothesis import strategies as st
+    except ImportError as exc:  # pragma: no cover - env without hypothesis
+        raise ImportError(
+            "hypergraphs() requires the optional hypothesis dependency"
+        ) from exc
+
+    @st.composite
+    def _build(draw):
+        n_e = draw(st.integers(1, max_edges))
+        n_v = draw(st.integers(1, max_nodes))
+        members = draw(
+            st.lists(
+                st.sets(st.integers(0, n_v - 1), max_size=n_v),
+                min_size=n_e,
+                max_size=n_e,
+            )
+        )
+        rows = [e for e, mem in enumerate(members) for _ in mem]
+        cols = [v for mem in members for v in mem]
+        return BiEdgeList(rows, cols, n0=n_e, n1=n_v)
+
+    return _build()

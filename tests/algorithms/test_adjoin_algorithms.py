@@ -1,0 +1,76 @@
+"""AdjoinBFS / AdjoinCC: agreement with the bipartite algorithms.
+
+The framework's central invariant (paper §III-B.2): the adjoin graph is the
+same hypergraph in a single index space, so range-aware graph algorithms on
+it must produce exactly the exact-hypergraph results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.adjoinbfs import adjoinbfs
+from repro.algorithms.adjoincc import adjoincc
+from repro.algorithms.hyperbfs import hyperbfs_top_down
+from repro.algorithms.hypercc import hypercc
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+
+@pytest.fixture(params=[0, 1, 2])
+def reps(request):
+    el = random_biedgelist(seed=request.param)
+    return BiAdjacency.from_biedgelist(el), AdjoinGraph.from_biedgelist(el)
+
+
+class TestAdjoinBFS:
+    def test_matches_hyperbfs_node_source(self, reps):
+        h, g = reps
+        ref = hyperbfs_top_down(h, 0)
+        for do in (True, False):
+            got = adjoinbfs(g, 0, direction_optimizing=do)
+            assert np.array_equal(got[0], ref[0])
+            assert np.array_equal(got[1], ref[1])
+
+    def test_matches_hyperbfs_edge_source(self, reps):
+        h, g = reps
+        ref = hyperbfs_top_down(h, 1, source_is_edge=True)
+        got = adjoinbfs(g, 1, source_is_edge=True)
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+
+    def test_runtime(self, reps):
+        h, g = reps
+        ref = adjoinbfs(g, 0)
+        rt = ParallelRuntime(num_threads=4, partitioner="cyclic")
+        got = adjoinbfs(g, 0, runtime=rt)
+        assert np.array_equal(got[0], ref[0])
+        assert rt.makespan > 0
+
+
+class TestAdjoinCC:
+    @pytest.mark.parametrize(
+        "alg", ["afforest", "label_propagation", "shiloach_vishkin"]
+    )
+    def test_matches_hypercc(self, reps, alg):
+        h, g = reps
+        ref = hypercc(h)
+        got = adjoincc(g, alg)
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+
+    def test_split_shapes(self, reps):
+        _, g = reps
+        e_lab, n_lab = adjoincc(g)
+        assert e_lab.shape == (g.nrealedges,)
+        assert n_lab.shape == (g.nrealnodes,)
+
+    def test_runtime(self, reps):
+        _, g = reps
+        ref = adjoincc(g)
+        rt = ParallelRuntime(num_threads=8)
+        got = adjoincc(g, runtime=rt)
+        assert np.array_equal(got[0], ref[0])
+        assert rt.makespan > 0

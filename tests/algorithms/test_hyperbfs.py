@@ -1,0 +1,84 @@
+"""HyperBFS tests: variants agree, bipartite-hop semantics vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.hyperbfs import (
+    hyperbfs,
+    hyperbfs_bottom_up,
+    hyperbfs_direction_optimizing,
+    hyperbfs_top_down,
+)
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+VARIANTS = [hyperbfs_top_down, hyperbfs_bottom_up, hyperbfs_direction_optimizing]
+
+
+def nx_bipartite(h: BiAdjacency) -> nx.Graph:
+    G = nx.Graph()
+    G.add_nodes_from(("e", e) for e in range(h.num_hyperedges()))
+    G.add_nodes_from(("v", v) for v in range(h.num_hypernodes()))
+    for e in range(h.num_hyperedges()):
+        for v in h.members(e):
+            G.add_edge(("e", e), ("v", int(v)))
+    return G
+
+
+@pytest.mark.parametrize("fn", VARIANTS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_node_source_matches_networkx(fn, seed):
+    h = BiAdjacency.from_biedgelist(random_biedgelist(seed=seed))
+    G = nx_bipartite(h)
+    expect = nx.single_source_shortest_path_length(G, ("v", 0))
+    edge_dist, node_dist = fn(h, 0)
+    for e in range(h.num_hyperedges()):
+        assert edge_dist[e] == expect.get(("e", e), -1)
+    for v in range(h.num_hypernodes()):
+        assert node_dist[v] == expect.get(("v", v), -1)
+
+
+@pytest.mark.parametrize("fn", VARIANTS)
+def test_edge_source(fn, paper_h):
+    edge_dist, node_dist = fn(paper_h, 0, source_is_edge=True)
+    assert edge_dist[0] == 0
+    # members of e0 at distance 1
+    assert all(node_dist[v] == 1 for v in [0, 1, 2])
+    # every other edge shares a node with e0 -> distance 2
+    assert edge_dist.tolist() == [0, 2, 2, 2]
+
+
+def test_variants_agree(random_h):
+    ref = hyperbfs_top_down(random_h, 0)
+    for fn in VARIANTS[1:]:
+        got = fn(random_h, 0)
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+
+
+@pytest.mark.parametrize("fn", VARIANTS)
+def test_runtime_same_result(fn, random_h):
+    ref = fn(random_h, 0)
+    rt = ParallelRuntime(num_threads=4, execution_order="shuffled", seed=3)
+    got = fn(random_h, 0, runtime=rt)
+    assert np.array_equal(got[0], ref[0])
+    assert np.array_equal(got[1], ref[1])
+    assert rt.makespan > 0
+
+
+def test_dispatch(paper_h):
+    for d in ("top_down", "bottom_up", "direction_optimizing"):
+        hyperbfs(paper_h, 0, direction=d)
+    with pytest.raises(ValueError, match="direction"):
+        hyperbfs(paper_h, 0, direction="diagonal")
+
+
+def test_alternating_parity(paper_h):
+    """Bipartite structure: node distances are even, edge distances odd
+    (from a node source)."""
+    edge_dist, node_dist = hyperbfs_top_down(paper_h, 0)
+    assert all(d % 2 == 1 for d in edge_dist if d >= 0)
+    assert all(d % 2 == 0 for d in node_dist if d >= 0)

@@ -1,0 +1,69 @@
+"""HyperCC tests: label propagation on the bipartite representation."""
+
+import networkx as nx
+import numpy as np
+
+from repro.algorithms.hypercc import hypercc
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+
+from ..conftest import random_biedgelist
+
+
+def components_via_networkx(h: BiAdjacency) -> set[frozenset]:
+    G = nx.Graph()
+    G.add_nodes_from(("e", e) for e in range(h.num_hyperedges()))
+    G.add_nodes_from(("v", v) for v in range(h.num_hypernodes()))
+    for e in range(h.num_hyperedges()):
+        for v in h.members(e):
+            G.add_edge(("e", e), ("v", int(v)))
+    return {frozenset(c) for c in nx.connected_components(G)}
+
+
+def partition(edge_labels, node_labels) -> set[frozenset]:
+    groups: dict[int, set] = {}
+    for e, lab in enumerate(edge_labels.tolist()):
+        groups.setdefault(lab, set()).add(("e", e))
+    for v, lab in enumerate(node_labels.tolist()):
+        groups.setdefault(lab, set()).add(("v", v))
+    return {frozenset(g) for g in groups.values()}
+
+
+def test_matches_networkx_components():
+    for seed in range(4):
+        h = BiAdjacency.from_biedgelist(random_biedgelist(seed=seed))
+        e_lab, n_lab = hypercc(h)
+        assert partition(e_lab, n_lab) == components_via_networkx(h)
+
+
+def test_labels_are_consolidated_min_ids(paper_h):
+    e_lab, n_lab = hypercc(paper_h)
+    # single component containing hyperedge 0 -> label 0 everywhere
+    assert np.all(e_lab == 0)
+    assert np.all(n_lab == 0)
+
+
+def test_isolated_hypernode_keeps_own_label():
+    el = BiEdgeList([0, 0], [0, 1], n0=1, n1=3)  # node 2 isolated
+    h = BiAdjacency.from_biedgelist(el)
+    e_lab, n_lab = hypercc(h)
+    assert e_lab.tolist() == [0]
+    assert n_lab.tolist() == [0, 0, 1 + 2]  # consolidated ID of node 2
+
+
+def test_two_components():
+    el = BiEdgeList([0, 0, 1, 1], [0, 1, 2, 3], n0=2, n1=4)
+    h = BiAdjacency.from_biedgelist(el)
+    e_lab, n_lab = hypercc(h)
+    assert e_lab.tolist() == [0, 1]
+    assert n_lab.tolist() == [0, 0, 1, 1]
+
+
+def test_runtime_schedule_independent(random_h):
+    ref = hypercc(random_h)
+    for seed in (0, 1):
+        rt = ParallelRuntime(num_threads=6, execution_order="shuffled", seed=seed)
+        got = hypercc(random_h, runtime=rt)
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])

@@ -1,0 +1,91 @@
+"""Hypertree / hyperpath tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.hyperbfs import hyperbfs_top_down
+from repro.algorithms.hyperpath import hyperpath, hypertree
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+
+class TestHypertree:
+    def test_root_maps_to_none(self, paper_h):
+        tree = hypertree(paper_h, 0)
+        assert tree[("node", 0)] is None
+
+    def test_parents_alternate_types(self, paper_h):
+        tree = hypertree(paper_h, 0)
+        for child, parent in tree.items():
+            if parent is None:
+                continue
+            assert child[0] != parent[0]
+
+    def test_covers_exactly_reachable(self, paper_h):
+        edge_dist, node_dist = hyperbfs_top_down(paper_h, 0)
+        tree = hypertree(paper_h, 0)
+        assert {("edge", e) for e in np.flatnonzero(edge_dist >= 0)} | {
+            ("node", v) for v in np.flatnonzero(node_dist >= 0)
+        } == set(tree)
+
+    def test_parent_depth_consistent(self):
+        h = BiAdjacency.from_biedgelist(random_biedgelist(seed=3))
+        edge_dist, node_dist = hyperbfs_top_down(h, 0)
+        tree = hypertree(h, 0)
+        depth = {
+            **{("edge", e): int(edge_dist[e])
+               for e in range(h.num_hyperedges()) if edge_dist[e] >= 0},
+            **{("node", v): int(node_dist[v])
+               for v in range(h.num_hypernodes()) if node_dist[v] >= 0},
+        }
+        for child, parent in tree.items():
+            if parent is not None:
+                assert depth[child] == depth[parent] + 1
+
+    def test_edge_rooted(self, paper_h):
+        tree = hypertree(paper_h, 1, source_is_edge=True)
+        assert tree[("edge", 1)] is None
+        assert ("node", 1) in tree
+
+
+class TestHyperpath:
+    def test_path_structure(self, paper_h):
+        path = hyperpath(paper_h, ("node", 0), ("node", 6))
+        assert path[0] == ("node", 0)
+        assert path[-1] == ("node", 6)
+        for a, b in zip(path, path[1:]):
+            assert a[0] != b[0]
+            # incidence holds at every step
+            edge = a if a[0] == "edge" else b
+            node = a if a[0] == "node" else b
+            assert node[1] in paper_h.members(edge[1])
+
+    def test_shortest_length(self, paper_h):
+        edge_dist, node_dist = hyperbfs_top_down(paper_h, 0)
+        for v in range(paper_h.num_hypernodes()):
+            path = hyperpath(paper_h, ("node", 0), ("node", v))
+            if node_dist[v] < 0:
+                assert path == []
+            else:
+                assert len(path) == node_dist[v] + 1
+
+    def test_node_to_edge(self, paper_h):
+        path = hyperpath(paper_h, ("node", 0), ("edge", 2))
+        assert path[-1] == ("edge", 2)
+        assert len(path) % 2 == 0  # alternating, opposite endpoint types
+
+    def test_trivial_path(self, paper_h):
+        assert hyperpath(paper_h, ("node", 0), ("node", 0)) == [("node", 0)]
+
+    def test_unreachable(self):
+        from repro.structures.edgelist import BiEdgeList
+
+        h = BiAdjacency.from_biedgelist(
+            BiEdgeList([0, 1], [0, 1], n0=2, n1=2)
+        )
+        assert hyperpath(h, ("node", 0), ("node", 1)) == []
+
+    def test_bad_entity_kind(self, paper_h):
+        with pytest.raises(ValueError, match="entity kind"):
+            hyperpath(paper_h, ("vertex", 0), ("node", 1))

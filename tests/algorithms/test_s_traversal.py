@@ -1,0 +1,101 @@
+"""Lazy s-line traversal == materialized s-line graph results."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.s_traversal import (
+    s_bfs_lazy,
+    s_connected_components_lazy,
+    s_distance_lazy,
+    s_neighbors_lazy,
+)
+from repro.graph.bfs import bfs_top_down
+from repro.graph.cc import connected_components
+from repro.linegraph import linegraph_csr, slinegraph_matrix
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+
+@pytest.fixture(params=[0, 1])
+def case(request):
+    el = random_biedgelist(seed=request.param, num_edges=30, num_nodes=25,
+                           max_size=6)
+    h = BiAdjacency.from_biedgelist(el)
+    return h, {s: linegraph_csr(slinegraph_matrix(h, s)) for s in (1, 2, 3)}
+
+
+@pytest.mark.parametrize("s", [1, 2, 3])
+def test_neighbors_match_materialized(case, s):
+    h, graphs = case
+    g = graphs[s]
+    for e in range(h.num_hyperedges()):
+        lazy = s_neighbors_lazy(h, e, s)
+        assert lazy.tolist() == sorted(g[e].tolist())
+
+
+@pytest.mark.parametrize("s", [1, 2, 3])
+def test_bfs_matches_materialized(case, s):
+    h, graphs = case
+    g = graphs[s]
+    for src in range(0, h.num_hyperedges(), 5):
+        ref, _ = bfs_top_down(g, src)
+        lazy = s_bfs_lazy(h, src, s)
+        assert np.array_equal(lazy, ref)
+
+
+@pytest.mark.parametrize("s", [1, 2, 3])
+def test_distance_matches_materialized(case, s):
+    h, graphs = case
+    g = graphs[s]
+    ref, _ = bfs_top_down(g, 0)
+    for dest in range(h.num_hyperedges()):
+        assert s_distance_lazy(h, 0, dest, s) == ref[dest]
+
+
+@pytest.mark.parametrize("s", [1, 2, 3])
+def test_components_match_materialized(case, s):
+    h, graphs = case
+    ref = connected_components(graphs[s])
+    lazy = s_connected_components_lazy(h, s)
+    assert np.array_equal(lazy, ref)
+
+
+def test_small_source_isolated(paper_h):
+    # s above the source's size: source alone
+    dist = s_bfs_lazy(paper_h, 0, s=4)
+    assert dist[0] == 0 and np.all(dist[1:] == -1)
+    assert s_distance_lazy(paper_h, 0, 1, s=4) == -1
+
+
+def test_distance_to_self(paper_h):
+    assert s_distance_lazy(paper_h, 2, 2, s=1) == 0
+
+
+def test_works_on_adjoin(paper_el, paper_h):
+    g = AdjoinGraph.from_biedgelist(paper_el)
+    for s in (1, 2, 3):
+        assert np.array_equal(
+            s_bfs_lazy(g, 0, s), s_bfs_lazy(paper_h, 0, s)
+        )
+
+
+def test_runtime_accounted(paper_h):
+    rt = ParallelRuntime(num_threads=2)
+    ref = s_bfs_lazy(paper_h, 0, 1)
+    got = s_bfs_lazy(paper_h, 0, 1, runtime=rt)
+    assert np.array_equal(ref, got)
+    assert rt.makespan > 0
+
+
+def test_invalid_s(paper_h):
+    for fn in (
+        lambda: s_neighbors_lazy(paper_h, 0, 0),
+        lambda: s_bfs_lazy(paper_h, 0, 0),
+        lambda: s_distance_lazy(paper_h, 0, 1, 0),
+        lambda: s_connected_components_lazy(paper_h, 0),
+    ):
+        with pytest.raises(ValueError, match="s must be"):
+            fn()

@@ -1,0 +1,69 @@
+"""Toplex tests (Algorithm 3 vs the vectorized containment test)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.toplex import toplexes, toplexes_algorithm3
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+
+from ..conftest import make_biedgelist, random_biedgelist
+
+
+def h_of(members, num_nodes=None):
+    return BiAdjacency.from_biedgelist(make_biedgelist(members, num_nodes))
+
+
+class TestKnownCases:
+    def test_paper_example(self, paper_h):
+        # e0={0,1,2} ⊂ e3={0,1,2,6}: only e1, e2, e3 are maximal
+        assert toplexes(paper_h).tolist() == [1, 2, 3]
+
+    def test_nested_chain(self):
+        h = h_of([[0], [0, 1], [0, 1, 2]])
+        assert toplexes(h).tolist() == [2]
+
+    def test_duplicates_keep_lowest_id(self):
+        h = h_of([[0, 1], [0, 1], [2]])
+        assert toplexes(h).tolist() == [0, 2]
+
+    def test_all_disjoint(self):
+        h = h_of([[0], [1], [2]])
+        assert toplexes(h).tolist() == [0, 1, 2]
+
+    def test_partial_overlap_not_containment(self):
+        h = h_of([[0, 1], [1, 2]])
+        assert toplexes(h).tolist() == [0, 1]
+
+    def test_empty_edges_dominated(self):
+        el = BiEdgeList([1, 1], [0, 1], n0=3, n1=2)  # e0, e2 empty
+        h = BiAdjacency.from_biedgelist(el)
+        assert toplexes(h).tolist() == [1]
+
+    def test_all_empty_edges(self):
+        el = BiEdgeList([], [], n0=3, n1=0)
+        h = BiAdjacency.from_biedgelist(el)
+        assert toplexes(h).tolist() == [0]
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_algorithm3(self, seed):
+        h = BiAdjacency.from_biedgelist(
+            random_biedgelist(seed=seed, num_edges=30, num_nodes=15,
+                              max_size=6)
+        )
+        assert np.array_equal(toplexes(h), toplexes_algorithm3(h))
+
+    def test_adjoin_representation(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        h = BiAdjacency.from_biedgelist(paper_el)
+        assert np.array_equal(toplexes(g), toplexes(h))
+
+    def test_runtime(self, paper_h):
+        rt = ParallelRuntime(num_threads=4)
+        got = toplexes(paper_h, runtime=rt)
+        assert got.tolist() == [1, 2, 3]
+        assert rt.makespan > 0

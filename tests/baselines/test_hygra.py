@@ -1,0 +1,54 @@
+"""Hygra baseline tests: same answers, Hygra-shaped work profile."""
+
+import numpy as np
+
+from repro.algorithms.hyperbfs import hyperbfs_top_down
+from repro.algorithms.hypercc import hypercc
+from repro.baselines.hygra import hygra_bfs, hygra_cc
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+
+def test_bfs_same_distances(random_h):
+    ref = hyperbfs_top_down(random_h, 0)
+    got = hygra_bfs(random_h, 0)
+    assert np.array_equal(got[0], ref[0])
+    assert np.array_equal(got[1], ref[1])
+
+
+def test_cc_same_labels():
+    for seed in range(3):
+        h = BiAdjacency.from_biedgelist(random_biedgelist(seed=seed))
+        ref = hypercc(h)
+        got = hygra_cc(h)
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+
+
+def test_cc_frontier_shrinks_work():
+    """HygraCC's frontier-based rounds touch no more incidences than
+    HyperCC's full-sweep rounds (the edgeMap optimization)."""
+    h = BiAdjacency.from_biedgelist(random_biedgelist(seed=1, num_edges=80,
+                                                      num_nodes=120))
+    rt_full = ParallelRuntime(num_threads=1)
+    hypercc(h, runtime=rt_full)
+    rt_front = ParallelRuntime(num_threads=1)
+    hygra_cc(h, runtime=rt_front)
+    assert rt_front.ledger.total_work <= rt_full.ledger.total_work
+
+
+def test_cc_runtime_schedule_independent(random_h):
+    ref = hygra_cc(random_h)
+    rt = ParallelRuntime(num_threads=8, execution_order="shuffled", seed=4)
+    got = hygra_cc(random_h, runtime=rt)
+    assert np.array_equal(got[0], ref[0])
+    assert np.array_equal(got[1], ref[1])
+
+
+def test_edge_source_bfs(paper_h):
+    e_ref, n_ref = hyperbfs_top_down(paper_h, 2, source_is_edge=True)
+    e_got, n_got = hygra_bfs(paper_h, 2, source_is_edge=True)
+    assert np.array_equal(e_ref, e_got)
+    assert np.array_equal(n_ref, n_got)

@@ -1,0 +1,54 @@
+"""Benchmark-dump comparison tests."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import diff_results, load_results, main
+
+
+def dump(path, entries):
+    path.write_text(json.dumps(entries), encoding="utf-8")
+    return str(path)
+
+
+def test_load(tmp_path):
+    p = dump(tmp_path / "r.json", [{"title": "A", "text": "1\n2"}])
+    assert load_results(p) == {"A": "1\n2"}
+
+
+def test_load_validation(tmp_path):
+    p = dump(tmp_path / "bad.json", {"not": "a list"})
+    with pytest.raises(ValueError, match="list"):
+        load_results(p)
+    p = dump(tmp_path / "bad2.json", [{"text": "x"}])
+    with pytest.raises(ValueError, match="title"):
+        load_results(p)
+
+
+def test_diff_identical():
+    lines, changed = diff_results({"A": "x"}, {"A": "x"})
+    assert not changed
+    assert lines == ["no differences"]
+
+
+def test_diff_added_removed_changed():
+    before = {"A": "same", "B": "old value", "C": "gone"}
+    after = {"A": "same", "B": "new value", "D": "fresh"}
+    lines, changed = diff_results(before, after)
+    assert changed
+    text = "\n".join(lines)
+    assert "- removed: C" in text
+    assert "+ added:   D" in text
+    assert "~ changed: B" in text
+    assert "-old value" in text and "+new value" in text
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    a = dump(tmp_path / "a.json", [{"title": "T", "text": "1"}])
+    b = dump(tmp_path / "b.json", [{"title": "T", "text": "2"}])
+    assert main([a, a]) == 0
+    assert main([a, b]) == 1
+    assert main([a]) == 2
+    out = capsys.readouterr().out
+    assert "usage:" in out

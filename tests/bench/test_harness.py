@@ -1,0 +1,124 @@
+"""Harness tests: the figures' qualitative shapes hold on the stand-ins.
+
+These assert the *claims* of the paper's evaluation section (who scales,
+who wins, what is comparable) rather than absolute numbers — the
+reproduction contract of EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    bfs_source,
+    fig9_slinegraph,
+    hygra_runtime,
+    nwhy_runtime,
+    strong_scaling_bfs,
+    strong_scaling_cc,
+)
+from repro.bench.reporting import (
+    format_fig9,
+    format_scaling,
+    format_table,
+    format_table1,
+)
+from repro.io.datasets import table1
+
+GRID = (1, 4, 16)
+
+
+class TestRuntimeFactories:
+    def test_configs(self):
+        nw = nwhy_runtime(8)
+        hy = hygra_runtime(8)
+        assert nw.scheduler.name == "work_stealing"
+        assert nw.partitioner == "cyclic"
+        assert hy.scheduler.name == "static"
+        assert hy.partitioner == "blocked"
+
+
+class TestScalingShapes:
+    def test_cc_all_algorithms_scale(self):
+        series = strong_scaling_cc("rand1", GRID)
+        assert {s.algorithm for s in series} == {
+            "AdjoinCC", "HyperCC", "HygraCC"
+        }
+        for s in series:
+            # monotone speedup on the uniform dataset
+            assert s.speedup_at(1) == 1.0
+            assert s.speedup_at(16) > s.speedup_at(4) > 1.5
+
+    def test_bfs_scales_on_uniform(self):
+        for s in strong_scaling_bfs("rand1", GRID):
+            assert s.speedup_at(16) > 4.0
+
+    def test_nwhy_cc_beats_hygra_on_skewed(self):
+        """Fig. 7's qualitative claim: better scalability than Hygra on the
+        skewed social inputs."""
+        series = {
+            s.algorithm: s for s in strong_scaling_cc("com-orkut", GRID)
+        }
+        assert (
+            series["AdjoinCC"].speedup_at(16)
+            > series["HygraCC"].speedup_at(16)
+        )
+
+    def test_makespan_decreases(self):
+        for s in strong_scaling_cc("orkut-group", GRID):
+            spans = [p.makespan for p in s.points]
+            assert spans[0] > spans[-1]
+
+
+class TestFig9Shapes:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig9_slinegraph("rand1", s=2, threads=16)
+
+    def test_hashmap_is_baseline(self, rows):
+        by = {r.algorithm: r for r in rows}
+        assert by["Hashmap"].normalized == 1.0
+
+    def test_queue_similar_to_nonqueue(self, rows):
+        """The paper's headline: queue-based ≈ best non-queue counterpart."""
+        by = {r.algorithm: r for r in rows}
+        assert by["Alg1 (queue hashmap)"].normalized < 1.5
+        ratio = (
+            by["Alg2 (queue intersect)"].best_makespan
+            / by["Intersection"].best_makespan
+        )
+        assert 0.5 < ratio < 2.0
+
+    def test_all_configs_reported(self, rows):
+        assert len(rows) == 4
+        for r in rows:
+            assert "/" in r.best_config
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, "x"], [22, "yyyy"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_format_table1(self):
+        out = format_table1(table1(["rand1"]))
+        assert "rand1" in out and "|V|" in out
+
+    def test_format_scaling(self):
+        out = format_scaling(strong_scaling_cc("rand1", (1, 2)))
+        assert "AdjoinCC" in out and "t=2" in out
+        assert format_scaling([]) == "(empty)"
+
+    def test_format_fig9(self):
+        out = format_fig9(fig9_slinegraph("rand1", s=2, threads=4,
+                                          relabels=("none",)))
+        assert "Hashmap" in out
+        assert format_fig9([]) == "(empty)"
+
+
+def test_bfs_source_deterministic():
+    from repro.io.datasets import load
+    from repro.structures.biadjacency import BiAdjacency
+
+    h = BiAdjacency.from_biedgelist(load("rand1"))
+    assert bfs_source(h) == bfs_source(h)

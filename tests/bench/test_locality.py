@@ -1,0 +1,54 @@
+"""Cache-line traffic estimator tests."""
+
+import numpy as np
+
+from repro.bench.locality import chunk_lines_touched, traversal_line_traffic
+from repro.structures.csr import CSR
+
+
+def test_empty_chunk():
+    g = CSR.from_coo(np.array([0]), np.array([1]))
+    assert chunk_lines_touched(g, np.array([], dtype=np.int64)) == 0
+
+
+def test_counts_three_access_streams():
+    # one vertex, neighbors spread across distinct lines
+    n = 100
+    src = np.zeros(12, dtype=np.int64)
+    dst = np.arange(12, dtype=np.int64) * 8  # one line each
+    g = CSR.from_coo(src, dst, num_sources=1, num_targets=n * 8)
+    lines = chunk_lines_touched(g, np.array([0]))
+    # 1 indptr line + ceil(12/8)=2 indices lines + 12 target lines
+    assert lines == 1 + 2 + 12
+
+
+def test_compact_targets_touch_fewer_lines():
+    src = np.zeros(12, dtype=np.int64)
+    spread = np.arange(12, dtype=np.int64) * 8
+    compact = np.arange(12, dtype=np.int64)
+    g_spread = CSR.from_coo(src, spread, num_sources=1, num_targets=96)
+    g_compact = CSR.from_coo(src, compact, num_sources=1, num_targets=96)
+    assert chunk_lines_touched(
+        g_compact, np.array([0])
+    ) < chunk_lines_touched(g_spread, np.array([0]))
+
+
+def test_traffic_sums_chunks():
+    g = CSR.from_coo(
+        np.array([0, 1, 2]), np.array([3, 4, 5]),
+        num_sources=3, num_targets=6,
+    )
+    chunks = [np.array([0]), np.array([1, 2])]
+    total, per_chunk = traversal_line_traffic(g, chunks)
+    assert total == per_chunk.sum()
+    assert per_chunk.size == 2
+    assert np.all(per_chunk > 0)
+
+
+def test_deterministic():
+    rng = np.random.default_rng(0)
+    src = rng.integers(0, 50, 300)
+    dst = rng.integers(0, 50, 300)
+    g = CSR.from_coo(src, dst, num_sources=50, num_targets=50)
+    ids = np.arange(50, dtype=np.int64)
+    assert chunk_lines_touched(g, ids) == chunk_lines_touched(g, ids)

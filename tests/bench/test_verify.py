@@ -1,0 +1,26 @@
+"""Self-check (python -m repro verify) tests."""
+
+import pytest
+
+from repro.bench.verify import verify_headline_claims
+from repro.cli import main
+
+
+def test_all_claims_pass():
+    lines, ok = verify_headline_claims()
+    assert ok
+    assert len(lines) == 7
+    assert all(line.startswith("[PASS]") for line in lines)
+
+
+def test_verbose_includes_details():
+    lines, ok = verify_headline_claims(verbose=True)
+    assert ok
+    assert any("x vs" in line for line in lines)  # the Fig. 7 numbers
+
+
+def test_cli_verify(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert "reproduction self-check: OK" in out
+    assert out.count("[PASS]") == 7

@@ -1,0 +1,74 @@
+"""Shared fixtures: random hypergraph factories and the running example.
+
+The running example mirrors the paper's Figure 1/3/5 setup (4 hyperedges,
+9 hypernodes, adjoin IDs 4–12, three non-trivial s-line graphs).  The
+figure's exact memberships are not recoverable from the paper text, so the
+example here is an analogous instance whose expectations below were derived
+BY HAND (see ``tests/test_paper_example.py``), independent of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+
+# e0={0,1,2}, e1={1,2,3}, e2={2,3,4,5,7,8}, e3={0,1,2,6}
+PAPER_MEMBERS = [
+    [0, 1, 2],
+    [1, 2, 3],
+    [2, 3, 4, 5, 7, 8],
+    [0, 1, 2, 6],
+]
+
+# hand-derived pairwise overlaps (e_i, e_j, |e_i ∩ e_j|), i < j
+PAPER_OVERLAPS = [
+    (0, 1, 2),
+    (0, 2, 1),
+    (0, 3, 3),
+    (1, 2, 2),
+    (1, 3, 2),
+    (2, 3, 1),
+]
+
+
+def make_biedgelist(members: list[list[int]], num_nodes: int | None = None) -> BiEdgeList:
+    rows = [e for e, mem in enumerate(members) for _ in mem]
+    cols = [v for mem in members for v in mem]
+    return BiEdgeList(rows, cols, n0=len(members), n1=num_nodes)
+
+
+@pytest.fixture
+def paper_el() -> BiEdgeList:
+    return make_biedgelist(PAPER_MEMBERS, num_nodes=9)
+
+
+@pytest.fixture
+def paper_h(paper_el) -> BiAdjacency:
+    return BiAdjacency.from_biedgelist(paper_el)
+
+
+def random_biedgelist(
+    seed: int = 0,
+    num_edges: int = 40,
+    num_nodes: int = 60,
+    max_size: int = 5,
+    min_size: int = 1,
+) -> BiEdgeList:
+    """Seeded random hypergraph with distinct members per hyperedge."""
+    rng = np.random.default_rng(seed)
+    rows: list[int] = []
+    cols: list[int] = []
+    for e in range(num_edges):
+        size = int(rng.integers(min_size, max_size + 1))
+        members = rng.choice(num_nodes, size=min(size, num_nodes), replace=False)
+        rows.extend([e] * len(members))
+        cols.extend(members.tolist())
+    return BiEdgeList(rows, cols, n0=num_edges, n1=num_nodes)
+
+
+@pytest.fixture
+def random_h() -> BiAdjacency:
+    return BiAdjacency.from_biedgelist(random_biedgelist(seed=7))

@@ -1,0 +1,73 @@
+"""NWHypergraph distance conveniences (edge/node distance, diameter)."""
+
+import networkx as nx
+import pytest
+
+from repro import NWHypergraph
+
+from ..conftest import PAPER_MEMBERS
+
+
+@pytest.fixture
+def hg():
+    return NWHypergraph.from_hyperedge_lists(PAPER_MEMBERS, num_nodes=9)
+
+
+class TestEdgeDistance:
+    def test_matches_slinegraph(self, hg):
+        for s in (1, 2, 3):
+            lg = hg.s_linegraph(s)
+            for src in range(4):
+                for dest in range(4):
+                    assert hg.edge_distance(src, dest, s) == lg.s_distance(
+                        src, dest
+                    )
+
+    def test_self(self, hg):
+        assert hg.edge_distance(2, 2) == 0
+
+
+class TestNodeDistance:
+    def test_adjacent_nodes(self, hg):
+        # nodes 0 and 1 share e0 -> distance 1
+        assert hg.node_distance(0, 1) == 1
+        # nodes 0 and 4: 0 in {e0,e3}, 4 in {e2}; via node 2/3 -> 2
+        assert hg.node_distance(0, 4) == 2
+
+    def test_matches_clique_expansion(self, hg):
+        ce = hg.clique_expansion()
+        G = ce.to_networkx()
+        lengths = dict(nx.all_pairs_shortest_path_length(G))
+        for u in range(9):
+            for v in range(9):
+                expect = lengths[u].get(v, -1)
+                assert hg.node_distance(u, v) == expect
+
+    def test_high_s_disconnects(self, hg):
+        # nodes 0, 3 share no pair of >= 3 common hyperedges
+        assert hg.node_distance(0, 3, s=3) == -1
+
+
+class TestDiameter:
+    def test_node_diameter(self, hg):
+        ce = hg.clique_expansion()
+        G = ce.to_networkx()
+        expect = max(
+            max(nx.eccentricity(G.subgraph(c)).values())
+            for c in nx.connected_components(G)
+        )
+        assert hg.diameter("node") == expect
+
+    def test_edge_diameter(self, hg):
+        lg = hg.s_linegraph(1)
+        assert hg.diameter("edge") == lg.s_diameter()
+        assert hg.diameter("edge", s=2) == hg.s_linegraph(2).s_diameter()
+
+    def test_bad_kind(self, hg):
+        with pytest.raises(ValueError, match="kind"):
+            hg.diameter("hyperloop")
+
+    def test_disconnected_singletons(self):
+        h = NWHypergraph.from_hyperedge_lists([[0], [1]])
+        assert h.diameter("edge") == 0
+        assert h.diameter("node") == 0

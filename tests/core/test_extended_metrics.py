@@ -1,0 +1,99 @@
+"""Extended s-metrics (PageRank, k-core, MIS, SSSP) on SLineGraph."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import NWHypergraph
+
+from ..conftest import random_biedgelist
+
+
+@pytest.fixture
+def case():
+    el = random_biedgelist(seed=3, num_edges=30, num_nodes=40, max_size=6)
+    hg = NWHypergraph(el.part0, el.part1, num_edges=30, num_nodes=40)
+    lg = hg.s_linegraph(2)
+    G = nx.Graph()
+    G.add_nodes_from(range(lg.num_vertices()))
+    G.add_edges_from(zip(lg.edgelist.src.tolist(), lg.edgelist.dst.tolist()))
+    return lg, G
+
+
+def test_s_pagerank(case):
+    lg, G = case
+    pr = lg.s_pagerank(tol=1e-12)
+    expect = nx.pagerank(G, tol=1e-12)
+    assert np.allclose(pr, [expect[v] for v in range(lg.num_vertices())],
+                       atol=1e-8)
+
+
+def test_s_core_number(case):
+    lg, G = case
+    cores = lg.s_core_number()
+    expect = nx.core_number(G)
+    assert cores.tolist() == [expect[v] for v in range(lg.num_vertices())]
+
+
+def test_s_mis(case):
+    lg, G = case
+    mis = set(lg.s_maximal_independent_set(seed=0).tolist())
+    for u, v in G.edges():
+        assert not (u in mis and v in mis)
+    for v in G:
+        if v not in mis:
+            assert any(n in mis for n in G.neighbors(v))
+
+
+def test_s_sssp_unweighted_matches_distance(case):
+    lg, _ = case
+    d = lg.s_sssp(0, weighted=False)
+    for t in range(lg.num_vertices()):
+        assert d[t] == lg.s_distance(0, t)
+
+
+def test_s_sssp_weighted_uses_inverse_overlap(case):
+    lg, G = case
+    d = lg.s_sssp(0, weighted=True)
+    # weighted graph in networkx with 1/overlap lengths
+    Gw = nx.Graph()
+    Gw.add_nodes_from(range(lg.num_vertices()))
+    for a, b, w in zip(
+        lg.edgelist.src.tolist(), lg.edgelist.dst.tolist(), lg.edgelist.weights
+    ):
+        Gw.add_edge(a, b, weight=1.0 / w)
+    expect = nx.single_source_dijkstra_path_length(Gw, 0)
+    for t in range(lg.num_vertices()):
+        e = expect.get(t, np.inf)
+        if np.isinf(e):
+            assert np.isinf(d[t])
+        else:
+            assert d[t] == pytest.approx(e)
+
+
+def test_weighted_sssp_prefers_strong_overlaps():
+    """Two routes to the same target: one weak (overlap 1) direct edge vs
+    two strong (overlap 3) hops — weighted SSSP prefers the strong path."""
+    members = [
+        [0, 1, 2],      # e0
+        [0, 1, 2, 9],   # e1: overlap 3 with e0
+        [2, 9, 5, 6],   # e2: overlap 2 with e1, 1 with e0
+    ]
+    hg = NWHypergraph.from_hyperedge_lists(members)
+    lg = hg.s_linegraph(1)
+    dw = lg.s_sssp(0, weighted=True)
+    # direct e0-e2 edge costs 1/1 = 1.0; via e1: 1/3 + 1/2 < 1
+    assert dw[2] == pytest.approx(1 / 3 + 1 / 2)
+
+
+def test_weighted_s_betweenness_matches_networkx(case):
+    lg, _ = case
+    Gw = nx.Graph()
+    Gw.add_nodes_from(range(lg.num_vertices()))
+    for a, b, w in zip(
+        lg.edgelist.src.tolist(), lg.edgelist.dst.tolist(), lg.edgelist.weights
+    ):
+        Gw.add_edge(a, b, weight=1.0 / w)
+    expect = nx.betweenness_centrality(Gw, normalized=True, weight="weight")
+    got = lg.s_betweenness_centrality(normalized=True, weighted=True)
+    assert np.allclose(got, [expect[v] for v in range(lg.num_vertices())])

@@ -1,0 +1,161 @@
+"""NWHypergraph unit tests (construction, degrees, dual, collapse, exact)."""
+
+import numpy as np
+import pytest
+
+from repro import NWHypergraph
+
+from ..conftest import PAPER_MEMBERS
+
+
+@pytest.fixture
+def hg():
+    return NWHypergraph.from_hyperedge_lists(PAPER_MEMBERS, num_nodes=9)
+
+
+class TestConstruction:
+    def test_duplicate_incidences_dropped(self):
+        h = NWHypergraph([0, 0, 0], [1, 1, 2])
+        assert h.size(0) == 2
+
+    def test_from_biadjacency_roundtrip(self, hg):
+        h2 = NWHypergraph.from_biadjacency(hg.biadjacency)
+        assert h2.number_of_edges() == hg.number_of_edges()
+        assert np.array_equal(h2.row, hg.row)
+
+    def test_explicit_cardinalities(self):
+        h = NWHypergraph([0], [0], num_edges=5, num_nodes=7)
+        assert h.number_of_edges() == 5
+        assert h.number_of_nodes() == 7
+
+    def test_row_col_properties(self, hg):
+        assert hg.row.size == hg.col.size == sum(len(m) for m in PAPER_MEMBERS)
+
+
+class TestDegreesAndSizes:
+    def test_size_and_dim(self, hg):
+        assert hg.size(2) == 6
+        assert hg.dim(2) == 5
+
+    def test_degree(self, hg):
+        assert hg.degree(2) == 4
+
+    def test_distributions(self, hg):
+        assert hg.edge_size_dist() == {3: 2, 4: 1, 6: 1}
+        dist = hg.node_degree_dist()
+        assert dist[1] == 5 and dist[4] == 1
+
+    def test_incidence_queries(self, hg):
+        assert hg.edge_incidence(0).tolist() == [0, 1, 2]
+        assert hg.node_incidence(3).tolist() == [1, 2]
+
+    def test_neighbors(self, hg):
+        # node 0 is in e0={0,1,2} and e3={0,1,2,6}
+        assert hg.neighbors(0).tolist() == [1, 2, 6]
+
+    def test_neighbors_isolated(self):
+        h = NWHypergraph([0], [0], num_nodes=2)
+        assert h.neighbors(1).size == 0
+
+
+class TestSingletons:
+    def test_detected(self):
+        h = NWHypergraph([0, 1, 1, 2], [0, 1, 2, 2])
+        # e0={0} with node 0 only in e0 -> singleton;
+        # e2={2} but node 2 also in e1 -> not a singleton
+        assert h.singletons().tolist() == [0]
+
+    def test_none(self, hg):
+        assert hg.singletons().size == 0
+
+
+class TestDualAndCollapse:
+    def test_dual_swaps(self, hg):
+        d = hg.dual()
+        assert d.number_of_edges() == 9
+        assert d.number_of_nodes() == 4
+        assert d.dual().edge_size_dist() == hg.edge_size_dist()
+
+    def test_collapse_edges(self):
+        h = NWHypergraph.from_hyperedge_lists([[0, 1], [2], [0, 1]])
+        collapsed, classes = h.collapse_edges()
+        assert collapsed.number_of_edges() == 2
+        assert classes == {0: [0, 2], 1: [1]}
+
+    def test_collapse_nodes(self):
+        # nodes 0 and 1 belong to exactly the same edges
+        h = NWHypergraph.from_hyperedge_lists([[0, 1, 2], [0, 1]])
+        collapsed, classes = h.collapse_nodes()
+        assert collapsed.number_of_nodes() == 2
+        assert classes[0] == [0, 1]
+
+    def test_collapse_nodes_and_edges(self):
+        # nodes 0,1,2 share memberships {e0, e1}; edges 0,1 are duplicates
+        h = NWHypergraph.from_hyperedge_lists([[0, 1, 2], [0, 1, 2], [3]])
+        collapsed, edge_classes, node_classes = h.collapse_nodes_and_edges()
+        assert node_classes[0] == [0, 1, 2]
+        assert node_classes[1] == [3]
+        assert edge_classes[0] == [0, 1]
+        assert collapsed.number_of_edges() == 2
+        assert collapsed.number_of_nodes() == 2
+
+    def test_collapse_identity_when_unique(self, hg):
+        collapsed, classes = hg.collapse_edges()
+        assert collapsed.number_of_edges() == 4
+        assert all(len(v) == 1 for v in classes.values())
+
+
+class TestExactAlgorithms:
+    def test_toplexes(self, hg):
+        assert hg.toplexes().tolist() == [1, 2, 3]
+
+    def test_cc_representations_agree(self, hg):
+        for alg in ("afforest", "label_propagation"):
+            e1, n1 = hg.connected_components("adjoin", alg)
+            e2, n2 = hg.connected_components("bipartite")
+            assert np.array_equal(e1, e2)
+            assert np.array_equal(n1, n2)
+
+    def test_bfs_representations_agree(self, hg):
+        for src, is_edge in ((0, False), (2, True)):
+            d1 = hg.bfs(src, is_edge, "adjoin")
+            d2 = hg.bfs(src, is_edge, "bipartite")
+            assert np.array_equal(d1[0], d2[0])
+            assert np.array_equal(d1[1], d2[1])
+
+    def test_bfs_source_range_checked(self, hg):
+        with pytest.raises(ValueError, match="hypernode source"):
+            hg.bfs(99)
+        with pytest.raises(ValueError, match="hyperedge source"):
+            hg.bfs(4, source_is_edge=True)
+
+    def test_bad_representation(self, hg):
+        with pytest.raises(ValueError):
+            hg.connected_components("holographic")
+        with pytest.raises(ValueError):
+            hg.bfs(0, representation="holographic")
+
+
+class TestApproximations:
+    def test_s_linegraphs_ensemble(self, hg):
+        graphs = hg.s_linegraphs([1, 2, 3])
+        for s, lg in graphs.items():
+            single = hg.s_linegraph(s)
+            assert lg.edgelist == single.edgelist
+            assert lg.s == s
+
+    def test_edges_false_is_clique_side(self, hg):
+        sc = hg.s_linegraph(1, edges=False)
+        assert sc.num_vertices() == hg.number_of_nodes()
+        assert sc.over_edges is False
+
+    def test_clique_expansion_shortcut(self, hg):
+        assert (
+            hg.clique_expansion().edgelist
+            == hg.s_linegraph(1, edges=False).edgelist
+        )
+
+    def test_algorithm_selection(self, hg):
+        for alg in ("hashmap", "queue_hashmap", "matrix", "naive"):
+            lg = hg.s_linegraph(2, algorithm=alg)
+            assert lg.num_edges() == 4

@@ -1,0 +1,96 @@
+"""LabeledHypergraph tests (named entities over the integer core)."""
+
+import pytest
+
+from repro.core.labeled import LabeledHypergraph
+
+PAPERS = {
+    "nwhy": ["liu", "firoz", "gebremedhin", "lumsdaine"],
+    "hiPC21": ["liu", "firoz", "lumsdaine"],
+    "aksoy20": ["aksoy", "joslyn", "praggastis"],
+    "hygra": ["shun"],
+    "dup-nwhy": ["liu", "firoz", "gebremedhin", "lumsdaine"],
+}
+
+
+@pytest.fixture
+def lh():
+    return LabeledHypergraph.from_dict(PAPERS)
+
+
+class TestConstruction:
+    def test_roundtrip_dict(self, lh):
+        back = lh.to_dict()
+        assert set(back) == set(PAPERS)
+        for name, members in PAPERS.items():
+            assert sorted(back[name]) == sorted(members)
+
+    def test_label_order_deterministic(self, lh):
+        assert lh.edge_labels[0] == "nwhy"
+        assert lh.node_labels[0] == "liu"
+
+    def test_ids_dense(self, lh):
+        assert lh.edge_id("nwhy") == 0
+        assert lh.node_id("shun") == lh.hypergraph.number_of_nodes() - 1
+
+    def test_unknown_label(self, lh):
+        with pytest.raises(KeyError, match="unknown label"):
+            lh.edge_id("nonexistent")
+        with pytest.raises(KeyError, match="unknown label"):
+            lh.members("nonexistent")
+
+    def test_nonstring_labels(self):
+        lh = LabeledHypergraph.from_dict({(2020, "a"): [1.5, 2.5], 7: [1.5]})
+        assert lh.size((2020, "a")) == 2
+        assert lh.memberships(1.5) == [(2020, "a"), 7]
+
+
+class TestQueries:
+    def test_members_and_memberships(self, lh):
+        assert sorted(lh.members("aksoy20")) == [
+            "aksoy", "joslyn", "praggastis"
+        ]
+        assert lh.memberships("liu") == ["nwhy", "hiPC21", "dup-nwhy"]
+
+    def test_degree_and_size(self, lh):
+        assert lh.degree("liu") == 3
+        assert lh.degree("liu", min_size=4) == 2  # nwhy + dup-nwhy
+        assert lh.size("hygra") == 1
+
+    def test_neighbors(self, lh):
+        assert "firoz" in lh.neighbors("gebremedhin")
+        assert "shun" not in lh.neighbors("liu")
+
+    def test_toplexes(self, lh):
+        tops = lh.toplexes()
+        # hiPC21 ⊂ nwhy; dup-nwhy duplicates nwhy (first kept)
+        assert set(tops) == {"nwhy", "aksoy20", "hygra"}
+
+
+class TestSAnalytics:
+    def test_s_neighbors(self, lh):
+        assert set(lh.s_neighbors("nwhy", s=3)) == {"hiPC21", "dup-nwhy"}
+        assert lh.s_neighbors("hygra", s=1) == []
+
+    def test_s_distance(self, lh):
+        assert lh.s_distance("nwhy", "dup-nwhy", s=4) == 1
+        assert lh.s_distance("nwhy", "aksoy20", s=1) == -1
+        assert lh.s_distance("nwhy", "nwhy", s=1) == 0
+
+    def test_s_components(self, lh):
+        comps = lh.s_connected_components(s=3)
+        assert [sorted(c) for c in comps] == [
+            sorted(["nwhy", "hiPC21", "dup-nwhy"])
+        ]
+
+    def test_s_betweenness(self, lh):
+        bc = lh.s_betweenness_centrality(s=1, normalized=False)
+        assert set(bc) == set(PAPERS)
+        assert bc["hygra"] == 0.0
+
+    def test_exact_components(self, lh):
+        comps = lh.connected_components()
+        assert len(comps) == 3
+        by_edges = {frozenset(c["edges"]) for c in comps}
+        assert frozenset(["nwhy", "hiPC21", "dup-nwhy"]) in by_edges
+        assert frozenset(["hygra"]) in by_edges

@@ -1,0 +1,64 @@
+"""Property-based tests for LabeledHypergraph (hypothesis over label dicts)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labeled import LabeledHypergraph
+
+labels = st.one_of(
+    st.text(min_size=1, max_size=6),
+    st.integers(-100, 100),
+    st.tuples(st.integers(0, 9), st.text(max_size=3)),
+)
+
+
+@st.composite
+def labeled_dicts(draw):
+    names = draw(st.lists(labels, min_size=1, max_size=8, unique=True))
+    universe = draw(st.lists(labels, min_size=1, max_size=10, unique=True))
+    return {
+        name: draw(
+            st.lists(st.sampled_from(universe), max_size=6, unique=True)
+        )
+        for name in names
+    }
+
+
+@settings(max_examples=50, deadline=None)
+@given(labeled_dicts())
+def test_dict_roundtrip(edges):
+    lh = LabeledHypergraph.from_dict(edges)
+    back = lh.to_dict()
+    assert set(back) == set(edges)
+    for name in edges:
+        assert sorted(map(repr, back[name])) == sorted(map(repr, edges[name]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(labeled_dicts())
+def test_memberships_invert_members(edges):
+    lh = LabeledHypergraph.from_dict(edges)
+    for name, members in edges.items():
+        for node in members:
+            assert name in lh.memberships(node)
+    for node in lh.node_labels:
+        for name in lh.memberships(node):
+            assert node in lh.members(name)
+
+
+@settings(max_examples=50, deadline=None)
+@given(labeled_dicts())
+def test_degree_size_consistent(edges):
+    lh = LabeledHypergraph.from_dict(edges)
+    total_by_edges = sum(lh.size(name) for name in edges)
+    total_by_nodes = sum(lh.degree(v) for v in lh.node_labels)
+    assert total_by_edges == total_by_nodes
+
+
+@settings(max_examples=30, deadline=None)
+@given(labeled_dicts())
+def test_components_cover_all_edges(edges):
+    lh = LabeledHypergraph.from_dict(edges)
+    comps = lh.connected_components()
+    seen = [e for comp in comps for e in comp["edges"]]
+    assert sorted(map(repr, seen)) == sorted(map(repr, edges))

@@ -1,0 +1,72 @@
+"""The paper's Listing 5, executed verbatim against our API."""
+
+import numpy as np
+import pytest
+
+from repro import NWHypergraph
+
+
+@pytest.fixture
+def listing5():
+    col = np.array([0, 0, 0, 1, 1, 1])
+    row = np.array([0, 1, 2, 0, 1, 2])
+    weight = np.array([1, 1, 1, 1, 1, 1])
+    return NWHypergraph(row, col, weight)
+
+
+def test_construction(listing5):
+    # three hyperedges each containing hypernodes {0, 1}
+    assert listing5.number_of_edges() == 3
+    assert listing5.number_of_nodes() == 2
+    assert listing5.edge_incidence(0).tolist() == [0, 1]
+
+
+def test_s_linegraph_queries(listing5):
+    s2lg = listing5.s_linegraph(s=2, edges=True)
+    # every pair of hyperedges shares both nodes -> triangle
+    assert s2lg.num_edges() == 3
+    assert s2lg.is_s_connected() is True
+    assert sorted(s2lg.s_neighbors(0).tolist()) == [1, 2]
+    assert s2lg.s_degree(0) == 2
+    scc = s2lg.s_connected_components()
+    assert len(scc) == 1 and scc[0].tolist() == [0, 1, 2]
+    assert s2lg.s_distance(src=0, dest=1) == 1
+    assert s2lg.s_path(src=0, dest=1) == [0, 1]
+    sbc = s2lg.s_betweenness_centrality(normalized=True)
+    assert np.allclose(sbc, 0.0)  # triangle: no one is between
+    assert np.allclose(s2lg.s_closeness_centrality(v=None), 1.0)
+    assert np.allclose(s2lg.s_harmonic_closeness_centrality(v=None), 1.0)
+    assert np.allclose(s2lg.s_eccentricity(v=None), 1.0)
+
+
+def test_scalar_query_forms(listing5):
+    s2lg = listing5.s_linegraph(s=2)
+    assert s2lg.s_closeness_centrality(v=0) == pytest.approx(1.0)
+    assert s2lg.s_harmonic_closeness_centrality(v=0) == pytest.approx(1.0)
+    assert s2lg.s_eccentricity(v=0) == pytest.approx(1.0)
+
+
+def test_s3_linegraph_empty(listing5):
+    # hyperedges only have 2 members; s=3 graph has no edges
+    s3 = listing5.s_linegraph(s=3)
+    assert s3.num_edges() == 0
+    assert s3.is_s_connected() is False
+    assert s3.s_connected_components() == []
+    assert s3.s_connected_components(return_singletons=True) != []
+    assert s3.s_distance(0, 1) == -1
+    assert s3.s_path(0, 1) == []
+
+
+def test_distance_vertex_range_checked(listing5):
+    lg = listing5.s_linegraph(2)
+    with pytest.raises(ValueError, match="out of range"):
+        lg.s_distance(0, 99)
+    with pytest.raises(ValueError, match="out of range"):
+        lg.s_path(-1, 0)
+
+
+def test_weight_default_is_ones():
+    col = np.array([0, 1])
+    row = np.array([0, 0])
+    hg = NWHypergraph(row, col)
+    assert hg.weights is None or np.all(hg.weights == 1)

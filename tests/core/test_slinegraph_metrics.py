@@ -1,0 +1,130 @@
+"""SLineGraph metric queries cross-checked against networkx.
+
+The s-line graph is materialized, loaded into networkx, and every s_*
+metric is compared against networkx's answer on the same graph.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import NWHypergraph
+
+from ..conftest import random_biedgelist
+
+
+@pytest.fixture(params=[0, 1])
+def case(request):
+    el = random_biedgelist(seed=request.param, num_edges=30, num_nodes=40,
+                           max_size=6)
+    hg = NWHypergraph(el.part0, el.part1, num_edges=30, num_nodes=40)
+    lg = hg.s_linegraph(2)
+    G = nx.Graph()
+    G.add_nodes_from(range(lg.num_vertices()))
+    G.add_edges_from(zip(lg.edgelist.src.tolist(), lg.edgelist.dst.tolist()))
+    return lg, G
+
+
+def test_components(case):
+    lg, G = case
+    got = {frozenset(c.tolist()) for c in lg.s_connected_components()}
+    expect = {
+        frozenset(c) for c in nx.connected_components(G) if len(c) > 1
+    }
+    assert got == expect
+
+
+def test_components_with_singletons(case):
+    lg, G = case
+    got = {frozenset(c.tolist()) for c in
+           lg.s_connected_components(return_singletons=True)}
+    assert got == {frozenset(c) for c in nx.connected_components(G)}
+
+
+def test_is_s_connected(case):
+    lg, G = case
+    live = [v for v in G if G.degree(v) > 0]
+    expect = bool(live) and nx.is_connected(G.subgraph(live))
+    assert lg.is_s_connected() == expect
+
+
+def test_distances(case):
+    lg, G = case
+    lengths = dict(nx.all_pairs_shortest_path_length(G))
+    n = lg.num_vertices()
+    for src in range(0, n, 7):
+        for dst in range(0, n, 5):
+            assert lg.s_distance(src, dst) == lengths[src].get(dst, -1)
+
+
+def test_paths_are_valid(case):
+    lg, G = case
+    lengths = dict(nx.all_pairs_shortest_path_length(G))
+    for src in range(0, lg.num_vertices(), 9):
+        for dst in range(0, lg.num_vertices(), 6):
+            path = lg.s_path(src, dst)
+            expect_len = lengths[src].get(dst, None)
+            if expect_len is None:
+                assert path == []
+            else:
+                assert len(path) == expect_len + 1
+                assert path[0] == src and path[-1] == dst
+                for a, b in zip(path, path[1:]):
+                    assert G.has_edge(a, b)
+
+
+def test_betweenness(case):
+    lg, G = case
+    expect = nx.betweenness_centrality(G, normalized=True)
+    got = lg.s_betweenness_centrality(normalized=True)
+    assert np.allclose(got, [expect[v] for v in range(lg.num_vertices())])
+
+
+def test_closeness(case):
+    lg, G = case
+    expect = nx.closeness_centrality(G)
+    got = lg.s_closeness_centrality()
+    assert np.allclose(got, [expect[v] for v in range(lg.num_vertices())])
+
+
+def test_harmonic(case):
+    lg, G = case
+    expect = nx.harmonic_centrality(G)
+    got = lg.s_harmonic_closeness_centrality(normalized=False)
+    assert np.allclose(got, [expect[v] for v in range(lg.num_vertices())])
+
+
+def test_eccentricity(case):
+    lg, G = case
+    got = lg.s_eccentricity()
+    for comp in nx.connected_components(G):
+        expect = nx.eccentricity(G.subgraph(comp))
+        for v in comp:
+            assert got[v] == expect[v]
+
+
+def test_eccentricity_vector_arg(case):
+    lg, _ = case
+    sub = lg.s_eccentricity(np.array([0, 1]))
+    full = lg.s_eccentricity()
+    assert sub.tolist() == [full[0], full[1]]
+
+
+def test_s_diameter(case):
+    lg, G = case
+    live = [v for v in G if G.degree(v) > 0]
+    if not live:
+        assert lg.s_diameter() == 0
+        return
+    expect = max(
+        max(nx.eccentricity(G.subgraph(c)).values())
+        for c in nx.connected_components(G.subgraph(live))
+    )
+    assert lg.s_diameter() == expect
+
+
+def test_neighbors_and_degree(case):
+    lg, G = case
+    for v in range(0, lg.num_vertices(), 3):
+        assert sorted(lg.s_neighbors(v).tolist()) == sorted(G.neighbors(v))
+        assert lg.s_degree(v) == G.degree(v)

@@ -1,0 +1,131 @@
+"""s-metrics report tests (cross-checked against networkx on L_s)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.smetrics import (
+    SMetricsReport,
+    report_from_linegraph,
+    s_metrics_report,
+)
+from repro.linegraph import linegraph_csr, slinegraph_matrix
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+
+@pytest.fixture
+def case():
+    el = random_biedgelist(seed=5, num_edges=30, num_nodes=25, max_size=6)
+    h = BiAdjacency.from_biedgelist(el)
+    lg = slinegraph_matrix(h, 2)
+    G = nx.Graph()
+    G.add_nodes_from(range(lg.num_vertices()))
+    G.add_edges_from(zip(lg.src.tolist(), lg.dst.tolist()))
+    return h, linegraph_csr(lg), G
+
+
+def test_component_fields(case):
+    h, g, G = case
+    rep = report_from_linegraph(g, 2)
+    live_comps = [c for c in nx.connected_components(G) if len(c) > 1]
+    assert rep.num_components == len(live_comps)
+    assert rep.largest_component == max(
+        (len(c) for c in live_comps), default=0
+    )
+    assert rep.num_isolated == sum(1 for v in G if G.degree(v) == 0)
+    assert sorted(rep.component_sizes, reverse=True) == sorted(
+        (len(c) for c in live_comps), reverse=True
+    )
+
+
+def test_distance_fields_exact_small(case):
+    h, g, G = case
+    rep = report_from_linegraph(g, 2)
+    live_comps = [c for c in nx.connected_components(G) if len(c) > 1]
+    if not live_comps:
+        pytest.skip("no non-trivial component in this instance")
+    big = max(live_comps, key=len)
+    sub = G.subgraph(big)
+    assert rep.diameter_largest == nx.diameter(sub)
+    expect_avg = nx.average_shortest_path_length(sub)
+    assert rep.avg_distance_largest == pytest.approx(expect_avg)
+
+
+def test_density_and_degree(case):
+    h, g, G = case
+    rep = report_from_linegraph(g, 2)
+    live = [v for v in G if G.degree(v) > 0]
+    possible = len(live) * (len(live) - 1) / 2
+    assert rep.density == pytest.approx(
+        G.number_of_edges() / possible if possible else 0.0
+    )
+    assert rep.mean_s_degree == pytest.approx(
+        np.mean([G.degree(v) for v in live]) if live else 0.0
+    )
+
+
+def test_clustering_field(case):
+    h, g, G = case
+    rep = report_from_linegraph(g, 2)
+    live = [v for v in G if G.degree(v) > 0]
+    expect = np.mean([nx.clustering(G, v) for v in live]) if live else 0.0
+    assert rep.mean_clustering == pytest.approx(expect)
+
+
+def test_report_dict_via_ensemble(case):
+    h, _, _ = case
+    reports = s_metrics_report(h, [1, 2, 3])
+    assert sorted(reports) == [1, 2, 3]
+    for s, rep in reports.items():
+        assert isinstance(rep, SMetricsReport)
+        assert rep.s == s
+        assert rep.num_vertices == h.num_hyperedges()
+    # monotonic: edges can only disappear as s grows
+    assert (
+        reports[1].num_edges >= reports[2].num_edges >= reports[3].num_edges
+    )
+
+
+def test_report_on_adjoin(case):
+    h, _, _ = case
+    src = np.repeat(np.arange(h.num_hyperedges()), h.edge_sizes())
+    from repro.structures.edgelist import BiEdgeList
+
+    el = BiEdgeList(src, h.edges.indices, n0=h.num_hyperedges(),
+                    n1=h.num_hypernodes())
+    g = AdjoinGraph.from_biedgelist(el)
+    a = s_metrics_report(g, [2])[2]
+    b = s_metrics_report(h, [2])[2]
+    assert a == b
+
+
+def test_empty_linegraph_report():
+    from repro.structures.csr import CSR
+
+    rep = report_from_linegraph(CSR.empty(5, num_targets=5), 3)
+    assert rep.num_components == 0
+    assert rep.largest_component == 0
+    assert rep.num_isolated == 5
+    assert rep.density == 0.0
+    assert rep.diameter_largest == 0
+    assert "s=3" in rep.summary()
+
+
+def test_sampled_distances_reasonable():
+    """Above the exact cap the diameter estimate is a lower bound and the
+    average is close to the truth (star graph: diameter 2)."""
+    from repro.core import smetrics
+    from repro.structures.csr import CSR
+
+    n = smetrics._EXACT_DISTANCE_CAP * 2
+    src = np.concatenate([np.zeros(n - 1, dtype=np.int64),
+                          np.arange(1, n, dtype=np.int64)])
+    dst = np.concatenate([np.arange(1, n, dtype=np.int64),
+                          np.zeros(n - 1, dtype=np.int64)])
+    g = CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+    rep = report_from_linegraph(g, 1)
+    assert rep.largest_component == n
+    assert rep.diameter_largest == 2

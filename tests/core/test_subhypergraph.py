@@ -1,0 +1,149 @@
+"""Subhypergraph operations, filtered degree, and networkx export."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import NWHypergraph
+
+from ..conftest import PAPER_MEMBERS
+
+
+@pytest.fixture
+def hg():
+    return NWHypergraph.from_hyperedge_lists(PAPER_MEMBERS, num_nodes=9)
+
+
+class TestFilteredDegree:
+    def test_unfiltered(self, hg):
+        assert hg.degree(2) == 4
+
+    def test_min_size(self, hg):
+        # node 2 is in e0(3), e1(3), e2(6), e3(4)
+        assert hg.degree(2, min_size=4) == 2
+        assert hg.degree(2, min_size=7) == 0
+
+    def test_max_size(self, hg):
+        assert hg.degree(2, max_size=3) == 2
+
+    def test_band(self, hg):
+        assert hg.degree(2, min_size=4, max_size=4) == 1
+
+
+class TestRestrictToEdges:
+    def test_renumbers_edges(self, hg):
+        sub = hg.restrict_to_edges([1, 3])
+        assert sub.number_of_edges() == 2
+        assert sub.edge_incidence(0).tolist() == sorted(PAPER_MEMBERS[1])
+        assert sub.edge_incidence(1).tolist() == sorted(PAPER_MEMBERS[3])
+
+    def test_preserves_node_space(self, hg):
+        sub = hg.restrict_to_edges([0])
+        assert sub.number_of_nodes() == 9
+        assert sub.degree(8) == 0
+
+    def test_empty_selection(self, hg):
+        sub = hg.restrict_to_edges([])
+        assert sub.number_of_edges() == 0
+        assert sub.number_of_nodes() == 9
+
+    def test_out_of_range(self, hg):
+        with pytest.raises(ValueError, match="edge id"):
+            hg.restrict_to_edges([9])
+
+
+class TestRestrictToNodes:
+    def test_drops_incidences(self, hg):
+        sub = hg.restrict_to_nodes([0, 1, 2])
+        assert sub.number_of_nodes() == 3
+        assert sub.number_of_edges() == 4  # edge space preserved
+        # e2 = {2,3,4,5,7,8} -> only node 2 survives (new id 2)
+        assert sub.edge_incidence(2).tolist() == [2]
+
+    def test_renumbering(self, hg):
+        sub = hg.restrict_to_nodes([6, 2])
+        # node 6 -> 0, node 2 -> 1 (order given)
+        assert sub.edge_incidence(3).tolist() == [0, 1]
+
+    def test_out_of_range(self, hg):
+        with pytest.raises(ValueError, match="node id"):
+            hg.restrict_to_nodes([100])
+
+
+class TestToplexReduction:
+    def test_drops_dominated(self, hg):
+        reduced, tops = hg.toplex_reduction()
+        assert tops.tolist() == [1, 2, 3]
+        assert reduced.number_of_edges() == 3
+        # reduced edge 2 is original e3
+        assert reduced.edge_incidence(2).tolist() == sorted(PAPER_MEMBERS[3])
+
+    def test_preserves_node_components(self, hg):
+        reduced, _ = hg.toplex_reduction()
+        _, full = hg.connected_components()
+        _, red = reduced.connected_components()
+
+        def partition(labels):
+            groups = {}
+            for v, lab in enumerate(labels.tolist()):
+                groups.setdefault(lab, set()).add(v)
+            return {frozenset(s) for s in groups.values()}
+
+        assert partition(full) == partition(red)
+
+    def test_idempotent(self, hg):
+        reduced, _ = hg.toplex_reduction()
+        again, tops2 = reduced.toplex_reduction()
+        assert again.number_of_edges() == reduced.number_of_edges()
+        assert tops2.tolist() == list(range(reduced.number_of_edges()))
+
+
+class TestWeightedPublicAPI:
+    def test_weighted_s_linegraph(self):
+        rng = np.random.default_rng(0)
+        rows = [0, 0, 1, 1, 2, 2]
+        cols = [0, 1, 0, 2, 1, 2]
+        w = rng.uniform(1, 3, 6)
+        hg = NWHypergraph(rows, cols, w)
+        lg_h = hg.s_linegraph(1, weighted=True, algorithm="hashmap")
+        lg_m = hg.s_linegraph(1, weighted=True, algorithm="matrix")
+        assert np.allclose(lg_h.edgelist.weights, lg_m.edgelist.weights)
+        # weighted graphs differ from plain counts
+        plain = hg.s_linegraph(1)
+        assert not np.allclose(lg_h.edgelist.weights, plain.edgelist.weights)
+
+    def test_requires_weights(self, hg):
+        with pytest.raises(ValueError, match="incidence weights"):
+            hg.s_linegraph(1, weighted=True)
+
+    def test_unsupported_algorithm(self):
+        h = NWHypergraph([0, 1], [0, 0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="weighted construction"):
+            h.s_linegraph(1, weighted=True, algorithm="naive")
+
+
+class TestAdjacencyMatrix:
+    def test_symmetric_and_weighted(self, hg):
+        lg = hg.s_linegraph(1)
+        m = lg.s_adjacency_matrix()
+        assert (m != m.T).nnz == 0
+        assert m[0, 3] == 3.0  # |e0 ∩ e3|
+        pattern = lg.s_adjacency_matrix(weighted=False)
+        assert pattern.data.max() == 1.0
+        assert pattern.nnz == m.nnz
+
+
+class TestToNetworkx:
+    def test_structure_and_weights(self, hg):
+        lg = hg.s_linegraph(1)
+        G = lg.to_networkx()
+        assert G.number_of_nodes() == 4
+        assert G.number_of_edges() == lg.num_edges()
+        assert G[0][3]["weight"] == 3.0  # |e0 ∩ e3|
+
+    def test_metrics_agree_via_export(self, hg):
+        lg = hg.s_linegraph(2)
+        G = lg.to_networkx()
+        bc_nx = nx.betweenness_centrality(G, normalized=False)
+        bc = lg.s_betweenness_centrality(normalized=False)
+        assert np.allclose(bc, [bc_nx[v] for v in range(4)])

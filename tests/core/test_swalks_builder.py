@@ -1,0 +1,173 @@
+"""Tests for s-walks and the incremental builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import HypergraphBuilder
+from repro.core.swalks import (
+    is_s_walk,
+    random_s_walk,
+    s_walk_visit_distribution,
+)
+from repro.linegraph import linegraph_csr, slinegraph_matrix
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist, random_biedgelist
+
+
+class TestIsSWalk:
+    def test_paper_example_walks(self, paper_h):
+        # overlaps: (0,1)=2 (0,3)=3 (1,2)=2 — so [2,1,0,3] is a 2-walk
+        assert is_s_walk(paper_h, [2, 1, 0, 3], s=2)
+        # but not a 3-walk (|e2∩e1| = 2 < 3)
+        assert not is_s_walk(paper_h, [2, 1, 0, 3], s=3)
+        assert is_s_walk(paper_h, [0, 3], s=3)
+
+    def test_single_edge(self, paper_h):
+        assert is_s_walk(paper_h, [0], s=3)  # |e0| = 3
+        assert not is_s_walk(paper_h, [0], s=4)
+
+    def test_empty_and_repeat(self, paper_h):
+        assert not is_s_walk(paper_h, [], s=1)
+        assert not is_s_walk(paper_h, [0, 0], s=1)
+
+    def test_out_of_range(self, paper_h):
+        with pytest.raises(ValueError, match="out-of-range"):
+            is_s_walk(paper_h, [99], s=1)
+
+    def test_invalid_s(self, paper_h):
+        with pytest.raises(ValueError, match="s must be"):
+            is_s_walk(paper_h, [0], s=0)
+
+
+class TestRandomSWalk:
+    def test_walks_are_valid(self, paper_h):
+        for seed in range(5):
+            walk = random_s_walk(paper_h, 0, 8, s=2, seed=seed)
+            assert walk[0] == 0
+            assert is_s_walk(paper_h, walk, s=2)
+
+    def test_deterministic(self, random_h):
+        a = random_s_walk(random_h, 0, 10, s=1, seed=3)
+        b = random_s_walk(random_h, 0, 10, s=1, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_stops_at_dead_end(self, paper_h):
+        # s=3: only edge pair (0, 3); from 0 the walk ping-pongs 0-3
+        walk = random_s_walk(paper_h, 1, 5, s=3, seed=0)
+        # e1 has no 3-neighbors -> walk is just [1]
+        assert walk.tolist() == [1]
+
+    def test_length_zero(self, paper_h):
+        assert random_s_walk(paper_h, 2, 0, s=1).tolist() == [2]
+
+    def test_negative_length(self, paper_h):
+        with pytest.raises(ValueError, match="length"):
+            random_s_walk(paper_h, 0, -1)
+
+
+class TestVisitDistribution:
+    def test_converges_to_degree_proportional(self):
+        """On a connected non-bipartite s-line graph, visit frequencies
+        approach degree/(2m)."""
+        h = BiAdjacency.from_biedgelist(
+            make_biedgelist([[0, 1], [1, 2], [2, 0], [0, 1, 2]])
+        )
+        g = linegraph_csr(slinegraph_matrix(h, 1))
+        deg = g.degrees().astype(float)
+        stationary = deg / deg.sum()
+        freq = s_walk_visit_distribution(
+            h, 0, s=1, num_walks=200, length=50, seed=1
+        )
+        assert np.abs(freq - stationary).max() < 0.05
+
+    def test_normalized(self, paper_h):
+        freq = s_walk_visit_distribution(paper_h, 0, s=2, num_walks=10,
+                                         length=10)
+        assert freq.sum() == pytest.approx(1.0)
+
+
+class TestBuilder:
+    def test_incremental_matches_bulk(self):
+        b = HypergraphBuilder()
+        for mem in PAPER_MEMBERS:
+            b.add_edge(mem)
+        hg = b.freeze()
+        assert hg.number_of_edges() == 4
+        assert hg.number_of_nodes() == 9
+        assert hg.edge_incidence(2).tolist() == sorted(PAPER_MEMBERS[2])
+        assert hg.toplexes().tolist() == [1, 2, 3]
+
+    def test_chaining_and_extend(self):
+        b = (HypergraphBuilder()
+             .add_incidence(0, 0)
+             .add_incidence(0, 1)
+             .extend([1, 1], [1, 2]))
+        hg = b.freeze()
+        assert hg.number_of_edges() == 2
+        assert hg.size(1) == 2
+
+    def test_explicit_ids_and_reservations(self):
+        b = HypergraphBuilder()
+        assert b.add_edge([0], edge=5) == 5
+        assert b.add_node(8) == 8
+        hg = b.freeze()
+        assert hg.number_of_edges() == 6
+        assert hg.number_of_nodes() == 9
+
+    def test_empty_edge_reserved(self):
+        b = HypergraphBuilder()
+        b.add_edge([])
+        assert b.num_edges == 1
+        hg = b.freeze()
+        assert hg.size(0) == 0
+
+    def test_weights_carried(self):
+        b = HypergraphBuilder().add_incidence(0, 0, weight=2.5)
+        hg = b.freeze()
+        assert hg.weights is not None and hg.weights[0] == 2.5
+
+    def test_unweighted_stays_unweighted(self):
+        hg = HypergraphBuilder().add_incidence(0, 0).freeze()
+        assert hg.weights is None
+
+    def test_duplicates_dropped_at_freeze(self):
+        b = HypergraphBuilder()
+        b.add_incidence(0, 1)
+        b.add_incidence(0, 1)
+        assert b.num_incidences == 2
+        assert b.freeze().size(0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            HypergraphBuilder().add_incidence(-1, 0)
+
+    def test_builder_reusable_after_freeze(self):
+        b = HypergraphBuilder()
+        b.add_edge([0, 1])
+        h1 = b.freeze()
+        b.add_edge([1, 2])
+        h2 = b.freeze()
+        assert h1.number_of_edges() == 1
+        assert h2.number_of_edges() == 2
+
+
+class TestNbytes:
+    def test_footprints_positive_and_consistent(self):
+        el = random_biedgelist(seed=2)
+        h = BiAdjacency.from_biedgelist(el)
+        from repro.structures.adjoin import AdjoinGraph
+
+        g = AdjoinGraph.from_biedgelist(el)
+        assert el.nbytes() > 0
+        assert h.nbytes() == h.edges.nbytes() + h.nodes.nbytes()
+        # adjoin stores the same incidences once, symmetrized
+        assert 0.5 < g.nbytes() / h.nbytes() < 1.5
+
+    def test_csr_nbytes_counts_weights(self):
+        from repro.structures.csr import CSR
+
+        a = CSR.from_coo(np.array([0]), np.array([1]))
+        b = CSR.from_coo(np.array([0]), np.array([1]),
+                         weights=np.array([1.0]))
+        assert b.nbytes() > a.nbytes()

@@ -1,0 +1,68 @@
+"""Brandes betweenness tests vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.betweenness import betweenness_centrality
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.csr import CSR
+
+
+def to_csr(G: nx.Graph, n: int) -> CSR:
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    return CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("normalized", [True, False])
+def test_matches_networkx(seed, normalized):
+    G = nx.gnm_random_graph(40, 80, seed=seed)
+    bc = betweenness_centrality(to_csr(G, 40), normalized=normalized)
+    expect = nx.betweenness_centrality(G, normalized=normalized)
+    assert np.allclose(bc, [expect[v] for v in range(40)])
+
+
+def test_path_graph_center_highest():
+    G = nx.path_graph(5)
+    bc = betweenness_centrality(to_csr(G, 5), normalized=False)
+    assert bc.tolist() == [0.0, 3.0, 4.0, 3.0, 0.0]
+
+
+def test_star_graph():
+    G = nx.star_graph(6)  # 7 vertices, center 0
+    bc = betweenness_centrality(to_csr(G, 7), normalized=True)
+    assert bc[0] == pytest.approx(1.0)
+    assert np.allclose(bc[1:], 0.0)
+
+
+def test_disconnected_graph():
+    G = nx.disjoint_union(nx.path_graph(3), nx.path_graph(3))
+    bc = betweenness_centrality(to_csr(G, 6), normalized=False)
+    expect = nx.betweenness_centrality(G, normalized=False)
+    assert np.allclose(bc, [expect[v] for v in range(6)])
+
+
+def test_sampled_sources_scale():
+    G = nx.gnm_random_graph(40, 120, seed=3)
+    g = to_csr(G, 40)
+    exact = betweenness_centrality(g, normalized=False)
+    sampled = betweenness_centrality(
+        g, normalized=False, sources=np.arange(40)
+    )
+    assert np.allclose(exact, sampled)  # all sources == exact
+
+
+def test_runtime_identical_values():
+    G = nx.gnm_random_graph(30, 60, seed=7)
+    g = to_csr(G, 30)
+    ref = betweenness_centrality(g)
+    rt = ParallelRuntime(num_threads=4, execution_order="shuffled", seed=2)
+    got = betweenness_centrality(g, runtime=rt)
+    assert np.allclose(ref, got)
+    assert rt.makespan > 0
+
+
+def test_empty_graph():
+    assert betweenness_centrality(CSR.empty(0)).size == 0

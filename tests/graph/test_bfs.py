@@ -1,0 +1,89 @@
+"""BFS tests: all variants against networkx and each other."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.bfs import bfs_bottom_up, bfs_direction_optimizing, bfs_top_down
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.csr import CSR
+
+ALL_BFS = [bfs_top_down, bfs_bottom_up, bfs_direction_optimizing]
+
+
+def to_csr(G: nx.Graph, n: int) -> CSR:
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    return CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+
+
+@pytest.fixture(params=[0, 1, 2])
+def case(request):
+    seed = request.param
+    G = nx.gnm_random_graph(80, 160, seed=seed)
+    return G, to_csr(G, 80)
+
+
+@pytest.mark.parametrize("fn", ALL_BFS)
+def test_distances_match_networkx(case, fn):
+    G, g = case
+    expect = nx.single_source_shortest_path_length(G, 0)
+    dist, parent = fn(g, 0)
+    got = {v: int(d) for v, d in enumerate(dist) if d >= 0}
+    assert got == expect
+    # parents form a valid BFS tree
+    for v, d in got.items():
+        if v == 0:
+            assert parent[v] == 0
+        else:
+            p = int(parent[v])
+            assert dist[p] == d - 1
+            assert v in g[p]
+
+
+@pytest.mark.parametrize("fn", ALL_BFS)
+def test_unreachable_marked(fn):
+    # two disconnected edges
+    g = CSR.from_coo(np.array([0, 1, 2, 3]), np.array([1, 0, 3, 2]))
+    dist, parent = fn(g, 0)
+    assert dist.tolist() == [0, 1, -1, -1]
+    assert parent[2] == -1
+
+
+@pytest.mark.parametrize("fn", ALL_BFS)
+def test_single_vertex(fn):
+    g = CSR.empty(1, num_targets=1)
+    dist, _ = fn(g, 0)
+    assert dist.tolist() == [0]
+
+
+@pytest.mark.parametrize("fn", ALL_BFS)
+def test_with_runtime_same_distances(case, fn):
+    G, g = case
+    ref, _ = fn(g, 0)
+    for order in ("submission", "shuffled"):
+        rt = ParallelRuntime(num_threads=4, execution_order=order, seed=5)
+        dist, _ = fn(g, 0, runtime=rt)
+        assert np.array_equal(dist, ref)
+        assert rt.makespan > 0
+
+
+def test_direction_optimizer_switches_on_dense_graph():
+    """On a dense small-diameter graph the optimizer must take a bottom-up
+    step (we detect it via phase names in the ledger)."""
+    G = nx.complete_graph(64)
+    g = to_csr(G, 64)
+    rt = ParallelRuntime(num_threads=2)
+    bfs_direction_optimizing(g, 0, runtime=rt)
+    names = [p.name for p in rt.ledger.phases]
+    assert any("bu" in n for n in names), names
+
+
+def test_star_graph_levels():
+    g = CSR.from_coo(
+        np.concatenate([np.zeros(5, dtype=np.int64), np.arange(1, 6)]),
+        np.concatenate([np.arange(1, 6), np.zeros(5, dtype=np.int64)]),
+    )
+    for fn in ALL_BFS:
+        dist, _ = fn(g, 0)
+        assert dist.tolist() == [0, 1, 1, 1, 1, 1]

@@ -1,0 +1,67 @@
+"""LPA community detection tests."""
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.communities import label_propagation_communities
+from repro.structures.csr import CSR
+
+
+def to_csr(G: nx.Graph, n: int) -> CSR:
+    if G.number_of_edges() == 0:
+        return CSR.empty(n, num_targets=n)
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    return CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+
+
+def partition(labels: np.ndarray) -> set[frozenset]:
+    groups: dict[int, set] = {}
+    for v, lab in enumerate(labels.tolist()):
+        groups.setdefault(lab, set()).add(v)
+    return {frozenset(g) for g in groups.values()}
+
+
+def test_recovers_disjoint_cliques():
+    G = nx.disjoint_union_all([nx.complete_graph(5) for _ in range(4)])
+    labels = label_propagation_communities(to_csr(G, 20), seed=0)
+    assert partition(labels) == {
+        frozenset(range(i * 5, (i + 1) * 5)) for i in range(4)
+    }
+
+
+def test_recovers_caveman_communities():
+    G = nx.connected_caveman_graph(8, 6)
+    labels = label_propagation_communities(to_csr(G, 48), seed=1)
+    parts = partition(labels)
+    # cliques are dense; LPA should find ~8 communities of ~6
+    assert 4 <= len(parts) <= 12
+    assert max(len(p) for p in parts) <= 14
+
+
+def test_deterministic_given_seed():
+    G = nx.gnm_random_graph(60, 150, seed=2)
+    g = to_csr(G, 60)
+    a = label_propagation_communities(g, seed=7)
+    b = label_propagation_communities(g, seed=7)
+    assert np.array_equal(a, b)
+
+
+def test_communities_are_connected():
+    """Every LPA community must induce a connected subgraph."""
+    G = nx.gnm_random_graph(50, 120, seed=3)
+    labels = label_propagation_communities(to_csr(G, 50), seed=3)
+    for comm in partition(labels):
+        if len(comm) > 1:
+            assert nx.is_connected(G.subgraph(comm))
+
+
+def test_isolated_vertices_singletons():
+    g = CSR.empty(3, num_targets=3)
+    assert label_propagation_communities(g).tolist() == [0, 1, 2]
+
+
+def test_labels_are_member_ids():
+    G = nx.complete_graph(4)
+    labels = label_propagation_communities(to_csr(G, 4), seed=0)
+    assert set(np.unique(labels)) <= set(range(4))

@@ -1,0 +1,98 @@
+"""Property-based tests over the graph substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bfs import bfs_top_down
+from repro.graph.cc import connected_components
+from repro.graph.kcore import core_number
+from repro.graph.mis import maximal_independent_set
+from repro.graph.pagerank import pagerank
+from repro.graph.triangles import clustering_coefficient, triangles_per_vertex
+from repro.structures.csr import CSR
+
+
+@st.composite
+def sym_graphs(draw, max_n=14):
+    """Small symmetric simple CSR graphs."""
+    n = draw(st.integers(1, max_n))
+    pairs = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=3 * n,
+        )
+    )
+    pairs = {(min(a, b), max(a, b)) for a, b in pairs if a != b}
+    if not pairs:
+        return CSR.empty(n, num_targets=n)
+    src = np.array([a for a, b in pairs] + [b for a, b in pairs])
+    dst = np.array([b for a, b in pairs] + [a for a, b in pairs])
+    return CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sym_graphs())
+def test_pagerank_is_a_distribution(g):
+    if g.num_vertices() == 0:
+        return
+    pr = pagerank(g)
+    assert pr.sum() == 1.0 or abs(pr.sum() - 1.0) < 1e-9
+    assert np.all(pr > 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sym_graphs())
+def test_core_number_bounded_by_degree(g):
+    cores = core_number(g)
+    assert np.all(cores <= g.degrees())
+    assert np.all(cores >= 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sym_graphs(), st.integers(0, 5))
+def test_mis_independent_and_maximal(g, seed):
+    mis = set(maximal_independent_set(g, seed=seed).tolist())
+    for u in range(g.num_vertices()):
+        nbrs = set(g[u].tolist())
+        if u in mis:
+            assert not (nbrs & mis - {u})
+        else:
+            assert nbrs & mis, u
+
+
+@settings(max_examples=50, deadline=None)
+@given(sym_graphs())
+def test_bfs_distance_is_metric_like(g):
+    """Triangle inequality along edges: |d(u) - d(v)| <= 1 for edges."""
+    dist, _ = bfs_top_down(g, 0)
+    src, dst = g.neighborhood_pairs()
+    for u, v in zip(src.tolist(), dst.tolist()):
+        if dist[u] >= 0 and dist[v] >= 0:
+            assert abs(dist[u] - dist[v]) <= 1
+        else:
+            # one reachable, the other not, yet adjacent -> impossible
+            assert dist[u] < 0 and dist[v] < 0 or not (
+                (dist[u] < 0) != (dist[v] < 0)
+            )
+
+
+@settings(max_examples=50, deadline=None)
+@given(sym_graphs())
+def test_cc_labels_constant_on_edges(g):
+    labels = connected_components(g)
+    src, dst = g.neighborhood_pairs()
+    assert np.array_equal(labels[src], labels[dst])
+
+
+@settings(max_examples=50, deadline=None)
+@given(sym_graphs())
+def test_clustering_in_unit_interval(g):
+    cc = clustering_coefficient(g)
+    assert np.all((0.0 <= cc) & (cc <= 1.0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(sym_graphs())
+def test_triangle_sum_divisible_by_three(g):
+    assert int(triangles_per_vertex(g).sum()) % 3 == 0

@@ -1,0 +1,83 @@
+"""k-core and MIS tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.kcore import core_number, k_core_subgraph
+from repro.graph.mis import maximal_independent_set
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.csr import CSR
+
+
+def to_csr(G: nx.Graph, n: int) -> CSR:
+    if G.number_of_edges() == 0:
+        return CSR.empty(n, num_targets=n)
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    return CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+
+
+class TestCoreNumber:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        G = nx.gnm_random_graph(60, 140, seed=seed)
+        cores = core_number(to_csr(G, 60))
+        expect = nx.core_number(G)
+        assert cores.tolist() == [expect[v] for v in range(60)]
+
+    def test_clique_core(self):
+        G = nx.complete_graph(6)
+        assert np.all(core_number(to_csr(G, 6)) == 5)
+
+    def test_isolated_zero(self):
+        g = CSR.empty(3, num_targets=3)
+        assert core_number(g).tolist() == [0, 0, 0]
+
+    def test_k_core_subgraph(self):
+        # a triangle plus a pendant
+        G = nx.Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert k_core_subgraph(to_csr(G, 4), 2).tolist() == [0, 1, 2]
+
+    def test_runtime(self):
+        G = nx.gnm_random_graph(40, 80, seed=3)
+        g = to_csr(G, 40)
+        ref = core_number(g)
+        rt = ParallelRuntime(num_threads=4)
+        got = core_number(g, runtime=rt)
+        assert np.array_equal(ref, got)
+        assert rt.makespan > 0
+
+
+class TestMIS:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_independent_and_maximal(self, seed):
+        G = nx.gnm_random_graph(50, 120, seed=seed)
+        g = to_csr(G, 50)
+        mis = set(maximal_independent_set(g, seed=seed).tolist())
+        # independent
+        for u, v in G.edges():
+            assert not (u in mis and v in mis)
+        # maximal: every vertex outside has a neighbor inside
+        for v in range(50):
+            if v not in mis:
+                assert any(n in mis for n in G.neighbors(v)), v
+
+    def test_deterministic(self):
+        G = nx.gnm_random_graph(40, 90, seed=5)
+        g = to_csr(G, 40)
+        a = maximal_independent_set(g, seed=1)
+        b = maximal_independent_set(g, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_isolated_vertices_always_in(self):
+        g = CSR.empty(4, num_targets=4)
+        assert maximal_independent_set(g).tolist() == [0, 1, 2, 3]
+
+    def test_runtime(self):
+        G = nx.cycle_graph(30)
+        g = to_csr(G, 30)
+        rt = ParallelRuntime(num_threads=2)
+        mis = maximal_independent_set(g, seed=0, runtime=rt)
+        assert mis.size >= 10  # MIS of C30 is >= n/3
+        assert rt.makespan > 0

@@ -1,0 +1,73 @@
+"""PageRank tests vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.pagerank import pagerank
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.csr import CSR
+
+
+def to_csr(G: nx.Graph, n: int) -> CSR:
+    if G.number_of_edges() == 0:
+        return CSR.empty(n, num_targets=n)
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    return CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_matches_networkx(seed):
+    G = nx.gnm_random_graph(60, 150, seed=seed)
+    pr = pagerank(to_csr(G, 60), tol=1e-12)
+    expect = nx.pagerank(G, tol=1e-12, max_iter=1000)
+    assert np.allclose(pr, [expect[v] for v in range(60)], atol=1e-8)
+
+
+def test_dangling_vertices_handled():
+    # directed-ish: isolated vertices are dangling
+    G = nx.path_graph(4)
+    G.add_node(4)  # isolated
+    pr = pagerank(to_csr(G, 5), tol=1e-12)
+    expect = nx.pagerank(G, tol=1e-12, max_iter=1000)
+    assert np.allclose(pr, [expect[v] for v in range(5)], atol=1e-8)
+    assert pr.sum() == pytest.approx(1.0)
+
+
+def test_personalization():
+    G = nx.path_graph(5)
+    p = np.array([1.0, 0, 0, 0, 0])
+    pr = pagerank(to_csr(G, 5), personalization=p, tol=1e-12)
+    expect = nx.pagerank(G, personalization={0: 1.0}, tol=1e-12, max_iter=1000)
+    assert np.allclose(pr, [expect[v] for v in range(5)], atol=1e-8)
+    assert pr[0] > pr[4]
+
+
+def test_sums_to_one_and_positive():
+    G = nx.gnm_random_graph(50, 80, seed=2)
+    pr = pagerank(to_csr(G, 50))
+    assert pr.sum() == pytest.approx(1.0)
+    assert np.all(pr > 0)
+
+
+def test_validation():
+    g = CSR.empty(2, num_targets=2)
+    with pytest.raises(ValueError, match="damping"):
+        pagerank(g, damping=1.5)
+    with pytest.raises(ValueError, match="personalization"):
+        pagerank(g, personalization=np.array([1.0]))
+    with pytest.raises(RuntimeError, match="converge"):
+        pagerank(to_csr(nx.path_graph(10), 10), max_iter=1, tol=1e-15)
+
+
+def test_empty_graph():
+    assert pagerank(CSR.empty(0)).size == 0
+
+
+def test_runtime_accounted():
+    G = nx.cycle_graph(20)
+    rt = ParallelRuntime(num_threads=4)
+    pr = pagerank(to_csr(G, 20), runtime=rt)
+    assert rt.makespan > 0
+    assert np.allclose(pr, 1 / 20)

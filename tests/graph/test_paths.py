@@ -1,0 +1,87 @@
+"""Distance-metric tests (eccentricity / closeness / harmonic) vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.paths import (
+    all_pairs_hop_distance,
+    closeness_centrality,
+    diameter,
+    eccentricity,
+    harmonic_closeness_centrality,
+)
+from repro.structures.csr import CSR
+
+
+def to_csr(G: nx.Graph, n: int) -> CSR:
+    if G.number_of_edges() == 0:
+        return CSR.empty(n, num_targets=n)
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    return CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+
+
+@pytest.fixture(params=[0, 1])
+def case(request):
+    G = nx.gnm_random_graph(50, 70, seed=request.param)  # disconnected
+    return G, to_csr(G, 50)
+
+
+def test_all_pairs_matches_bfs(case):
+    G, g = case
+    d = all_pairs_hop_distance(g)
+    lengths = dict(nx.all_pairs_shortest_path_length(G))
+    for u in range(50):
+        for v in range(50):
+            expect = lengths[u].get(v, -1)
+            assert d[u, v] == expect
+
+
+def test_eccentricity_per_component(case):
+    G, g = case
+    ecc = eccentricity(g)
+    for comp in nx.connected_components(G):
+        expect = nx.eccentricity(G.subgraph(comp))
+        for v in comp:
+            assert ecc[v] == expect[v]
+
+
+def test_closeness_matches_networkx(case):
+    G, g = case
+    cl = closeness_centrality(g)
+    expect = nx.closeness_centrality(G, wf_improved=True)
+    assert np.allclose(cl, [expect[v] for v in range(50)])
+
+
+def test_harmonic_matches_networkx(case):
+    G, g = case
+    hc = harmonic_closeness_centrality(g, normalized=False)
+    expect = nx.harmonic_centrality(G)
+    assert np.allclose(hc, [expect[v] for v in range(50)])
+
+
+def test_harmonic_normalization_star():
+    G = nx.star_graph(9)
+    hc = harmonic_closeness_centrality(to_csr(G, 10), normalized=True)
+    assert hc[0] == pytest.approx(1.0)
+
+
+def test_isolated_vertices():
+    g = CSR.empty(3, num_targets=3)
+    assert eccentricity(g).tolist() == [0, 0, 0]
+    assert closeness_centrality(g).tolist() == [0, 0, 0]
+    assert harmonic_closeness_centrality(g).tolist() == [0, 0, 0]
+
+
+def test_diameter():
+    G = nx.path_graph(6)
+    assert diameter(to_csr(G, 6)) == 5
+    assert diameter(CSR.empty(0)) == 0
+
+
+def test_vertex_subset():
+    G = nx.path_graph(5)
+    g = to_csr(G, 5)
+    sub = eccentricity(g, vertices=np.array([0, 2]))
+    assert sub.tolist() == [4.0, 2.0]

@@ -1,0 +1,84 @@
+"""SSSP tests: Dijkstra and delta-stepping vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.sssp import delta_stepping, dijkstra, shortest_path, sssp
+from repro.structures.csr import CSR
+
+
+def weighted_case(seed: int, n: int = 80, m: int = 160):
+    rng = np.random.default_rng(seed)
+    G = nx.gnm_random_graph(n, m, seed=seed)
+    w = rng.uniform(0.5, 5.0, G.number_of_edges())
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    ww = np.concatenate([w, w])
+    g = CSR.from_coo(src, dst, ww, num_sources=n, num_targets=n)
+    Gw = nx.Graph()
+    Gw.add_nodes_from(range(n))
+    for (u, v), wt in zip(G.edges(), w):
+        Gw.add_edge(u, v, weight=float(wt))
+    return Gw, g
+
+
+@pytest.mark.parametrize("engine", [dijkstra, delta_stepping])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_matches_networkx(engine, seed):
+    Gw, g = weighted_case(seed)
+    expect = nx.single_source_dijkstra_path_length(Gw, 0)
+    dist, parent = engine(g, 0)
+    for v in range(g.num_vertices()):
+        e = expect.get(v)
+        if e is None:
+            assert np.isinf(dist[v])
+        else:
+            assert dist[v] == pytest.approx(e)
+    # parent pointers are consistent with distances
+    for v in range(g.num_vertices()):
+        if np.isfinite(dist[v]) and v != 0:
+            p = int(parent[v])
+            assert p >= 0
+            assert dist[v] >= dist[p]
+
+
+@pytest.mark.parametrize("engine", [dijkstra, delta_stepping])
+def test_unweighted_defaults_to_hops(engine):
+    g = CSR.from_coo(np.array([0, 1, 1, 2]), np.array([1, 0, 2, 1]))
+    dist, _ = engine(g, 0)
+    assert dist.tolist() == [0.0, 1.0, 2.0]
+
+
+@pytest.mark.parametrize("delta", [0.5, 1.0, 3.0, 100.0])
+def test_delta_insensitive_to_bucket_width(delta):
+    Gw, g = weighted_case(5)
+    ref, _ = dijkstra(g, 0)
+    got, _ = delta_stepping(g, 0, delta=delta)
+    finite = np.isfinite(ref)
+    assert np.allclose(got[finite], ref[finite])
+    assert np.all(np.isinf(got[~finite]))
+
+
+def test_shortest_path_reconstruction():
+    g = CSR.from_coo(
+        np.array([0, 1, 2, 1, 0, 3]),
+        np.array([1, 2, 3, 0, 3, 0]),
+        np.array([1.0, 1.0, 1.0, 1.0, 10.0, 10.0]),
+    )
+    assert shortest_path(g, 0, 3) == [0, 1, 2, 3]
+
+
+def test_shortest_path_unreachable():
+    g = CSR.from_coo(np.array([0]), np.array([1]), num_sources=3,
+                     num_targets=3)
+    assert shortest_path(g, 0, 2) == []
+
+
+def test_sssp_dispatch():
+    g = CSR.from_coo(np.array([0, 1]), np.array([1, 0]))
+    d1, _ = sssp(g, 0, "dijkstra")
+    d2, _ = sssp(g, 0, "delta_stepping")
+    assert np.array_equal(d1, d2)
+    with pytest.raises(ValueError, match="unknown SSSP"):
+        sssp(g, 0, "astar")

@@ -1,0 +1,60 @@
+"""Unit tests for the vectorized traversal primitives."""
+
+import numpy as np
+
+from repro.graph.traversal import frontier_edge_count, gather_neighbors, multi_slice
+from repro.structures.csr import CSR
+
+
+def graph() -> CSR:
+    return CSR.from_coo(
+        np.array([0, 0, 1, 2, 2, 2]),
+        np.array([1, 2, 2, 0, 1, 3]),
+        num_sources=4, num_targets=4,
+    )
+
+
+class TestMultiSlice:
+    def test_basic(self):
+        data = np.arange(10) * 10
+        out = multi_slice(data, np.array([0, 5]), np.array([2, 3]))
+        assert out.tolist() == [0, 10, 50, 60, 70]
+
+    def test_empty_counts(self):
+        out = multi_slice(np.arange(5), np.array([1, 3]), np.array([0, 0]))
+        assert out.size == 0
+
+    def test_mixed_zero_counts(self):
+        out = multi_slice(np.arange(5), np.array([0, 2, 4]), np.array([1, 0, 1]))
+        assert out.tolist() == [0, 4]
+
+    def test_no_slices(self):
+        assert multi_slice(np.arange(5), np.array([]), np.array([])).size == 0
+
+
+class TestGatherNeighbors:
+    def test_sources_repeat(self):
+        src, dst = gather_neighbors(graph(), np.array([0, 2]))
+        assert src.tolist() == [0, 0, 2, 2, 2]
+        assert dst.tolist() == [1, 2, 0, 1, 3]
+
+    def test_zero_degree_vertex(self):
+        src, dst = gather_neighbors(graph(), np.array([3]))
+        assert src.size == 0 and dst.size == 0
+
+    def test_empty_frontier(self):
+        src, dst = gather_neighbors(graph(), np.array([], dtype=np.int64))
+        assert src.size == 0
+
+    def test_matches_explicit_loop(self):
+        g = graph()
+        frontier = np.array([2, 0])
+        src, dst = gather_neighbors(g, frontier)
+        expected = [(v, n) for v in frontier for n in g[v]]
+        assert list(zip(src.tolist(), dst.tolist())) == expected
+
+
+class TestFrontierEdgeCount:
+    def test_counts_out_degree(self):
+        assert frontier_edge_count(graph(), np.array([0, 1])) == 3
+        assert frontier_edge_count(graph(), np.array([3])) == 0

@@ -1,0 +1,68 @@
+"""Triangle counting / clustering coefficient tests vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.triangles import (
+    clustering_coefficient,
+    triangle_count,
+    triangles_per_vertex,
+)
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.csr import CSR
+
+
+def to_csr(G: nx.Graph, n: int) -> CSR:
+    if G.number_of_edges() == 0:
+        return CSR.empty(n, num_targets=n)
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    return CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_per_vertex_matches_networkx(seed):
+    G = nx.gnm_random_graph(50, 160, seed=seed)
+    tri = triangles_per_vertex(to_csr(G, 50))
+    expect = nx.triangles(G)
+    assert tri.tolist() == [expect[v] for v in range(50)]
+
+
+def test_total_count_complete_graph():
+    G = nx.complete_graph(7)
+    assert triangle_count(to_csr(G, 7)) == 7 * 6 * 5 // 6
+
+
+def test_triangle_free():
+    G = nx.cycle_graph(10)
+    assert triangle_count(to_csr(G, 10)) == 0
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_clustering_matches_networkx(seed):
+    G = nx.gnm_random_graph(40, 120, seed=seed)
+    cc = clustering_coefficient(to_csr(G, 40))
+    expect = nx.clustering(G)
+    assert np.allclose(cc, [expect[v] for v in range(40)])
+
+
+def test_clustering_degree_lt_2_is_zero():
+    G = nx.path_graph(3)  # endpoints have degree 1
+    cc = clustering_coefficient(to_csr(G, 3))
+    assert cc[0] == 0.0 and cc[2] == 0.0
+
+
+def test_runtime_identical():
+    G = nx.gnm_random_graph(30, 90, seed=4)
+    g = to_csr(G, 30)
+    ref = triangles_per_vertex(g)
+    rt = ParallelRuntime(num_threads=4)
+    got = triangles_per_vertex(g, runtime=rt)
+    assert np.array_equal(ref, got)
+    assert rt.makespan > 0
+
+
+def test_empty():
+    assert triangle_count(CSR.empty(0)) == 0
+    assert triangles_per_vertex(CSR.empty(5, num_targets=5)).tolist() == [0] * 5

@@ -1,0 +1,79 @@
+"""Weighted Brandes betweenness tests vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.betweenness import (
+    betweenness_centrality,
+    betweenness_centrality_weighted,
+)
+from repro.structures.csr import CSR
+
+
+def weighted_case(seed: int, n: int = 35, m: int = 80):
+    rng = np.random.default_rng(seed)
+    G = nx.gnm_random_graph(n, m, seed=seed)
+    w = rng.uniform(0.5, 4.0, G.number_of_edges())
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    g = CSR.from_coo(src, dst, np.concatenate([w, w]),
+                     num_sources=n, num_targets=n)
+    Gw = nx.Graph()
+    Gw.add_nodes_from(range(n))
+    for (u, v), wt in zip(G.edges(), w):
+        Gw.add_edge(u, v, weight=float(wt))
+    return g, Gw
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("normalized", [True, False])
+def test_matches_networkx(seed, normalized):
+    g, Gw = weighted_case(seed)
+    ours = betweenness_centrality_weighted(g, normalized=normalized)
+    ref = nx.betweenness_centrality(Gw, normalized=normalized,
+                                    weight="weight")
+    assert np.allclose(ours, [ref[v] for v in range(g.num_vertices())])
+
+
+def test_unit_weights_reduce_to_unweighted():
+    G = nx.gnm_random_graph(30, 70, seed=4)
+    src = np.array([u for u, v in G.edges()] + [v for u, v in G.edges()])
+    dst = np.array([v for u, v in G.edges()] + [u for u, v in G.edges()])
+    ones = np.ones(src.size)
+    g = CSR.from_coo(src, dst, ones, num_sources=30, num_targets=30)
+    g_plain = CSR.from_coo(src, dst, num_sources=30, num_targets=30)
+    assert np.allclose(
+        betweenness_centrality_weighted(g),
+        betweenness_centrality(g_plain),
+    )
+
+
+def test_weights_change_paths():
+    """A heavy direct edge loses to a light two-hop detour."""
+    # triangle 0-1-2 with edge (0,2) heavy
+    src = np.array([0, 1, 1, 2, 0, 2])
+    dst = np.array([1, 0, 2, 1, 2, 0])
+    w = np.array([1.0, 1.0, 1.0, 1.0, 10.0, 10.0])
+    g = CSR.from_coo(src, dst, w, num_sources=3, num_targets=3)
+    bc = betweenness_centrality_weighted(g, normalized=False)
+    assert bc[1] == pytest.approx(1.0)  # on the 0->2 shortest path
+    unweighted = betweenness_centrality(
+        CSR.from_coo(src, dst, num_sources=3, num_targets=3),
+        normalized=False,
+    )
+    assert unweighted[1] == 0.0  # triangle: no strict middleman
+
+
+def test_disconnected_and_empty():
+    g = CSR.empty(4, num_targets=4)
+    assert betweenness_centrality_weighted(g).tolist() == [0, 0, 0, 0]
+
+
+def test_sampled_sources():
+    g, Gw = weighted_case(5)
+    exact = betweenness_centrality_weighted(g, normalized=False)
+    sampled = betweenness_centrality_weighted(
+        g, normalized=False, sources=np.arange(g.num_vertices())
+    )
+    assert np.allclose(exact, sampled)

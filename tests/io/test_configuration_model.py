@@ -1,0 +1,75 @@
+"""Configuration-model null-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.io.datasets import load
+from repro.io.generators import configuration_model_hypergraph
+from repro.structures.biadjacency import BiAdjacency
+
+
+def test_exact_sequences_preserved():
+    rng = np.random.default_rng(0)
+    sizes = rng.integers(1, 8, size=60)
+    degrees = np.zeros(40, dtype=np.int64)
+    # distribute the same total over nodes
+    total = int(sizes.sum())
+    for _ in range(total):
+        degrees[rng.integers(0, 40)] += 1
+    el = configuration_model_hypergraph(sizes, degrees, seed=1)
+    h = BiAdjacency.from_biedgelist(el)
+    assert np.array_equal(h.edge_sizes(), sizes)
+    assert np.array_equal(h.node_degrees(), degrees)
+
+
+def test_no_duplicate_incidences():
+    sizes = np.full(30, 4)
+    degrees = np.full(40, 3)
+    el = configuration_model_hypergraph(sizes, degrees, seed=2)
+    assert len(el) == len(el.deduplicate())
+
+
+def test_deterministic():
+    sizes = np.full(10, 3)
+    degrees = np.full(15, 2)
+    a = configuration_model_hypergraph(sizes, degrees, seed=5)
+    b = configuration_model_hypergraph(sizes, degrees, seed=5)
+    assert np.array_equal(a.part1, b.part1)
+
+
+def test_rewiring_randomizes():
+    sizes = np.full(40, 5)
+    degrees = np.full(50, 4)
+    a = configuration_model_hypergraph(sizes, degrees, seed=1)
+    b = configuration_model_hypergraph(sizes, degrees, seed=2)
+    assert not np.array_equal(a.part1, b.part1)
+
+
+def test_sum_mismatch_rejected():
+    with pytest.raises(ValueError, match="disagree"):
+        configuration_model_hypergraph(np.array([3]), np.array([1, 1]))
+
+
+def test_unrealizable_rejected():
+    # a hyperedge of size 3 over a 2-node universe cannot avoid duplicates
+    with pytest.raises(ValueError, match="duplicate"):
+        configuration_model_hypergraph(
+            np.array([3]), np.array([2, 1]), seed=0
+        )
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="1-D"):
+        configuration_model_hypergraph(np.zeros((2, 2)), np.zeros(4))
+    with pytest.raises(ValueError, match="non-negative"):
+        configuration_model_hypergraph(np.array([-1]), np.array([-1]))
+
+
+def test_real_sequences_from_standin():
+    h = BiAdjacency.from_biedgelist(load("orkut-group"))
+    null = configuration_model_hypergraph(
+        h.edge_sizes(), h.node_degrees(), seed=3, swap_factor=1
+    )
+    hn = BiAdjacency.from_biedgelist(null)
+    assert np.array_equal(hn.edge_sizes(), h.edge_sizes())
+    assert np.array_equal(hn.node_degrees(), h.node_degrees())

@@ -1,0 +1,91 @@
+"""Incidence-CSV I/O tests."""
+
+import io
+
+import pytest
+
+from repro.io.csv import read_incidence_csv, write_incidence_csv
+from repro.structures.biadjacency import BiAdjacency
+
+
+def test_integer_table_no_header():
+    el, e_labels, v_labels = read_incidence_csv(
+        io.StringIO("0,0\n0,1\n1,1\n")
+    )
+    h = BiAdjacency.from_biedgelist(el)
+    assert h.vertex_cardinality == (2, 2)
+    assert e_labels == [0, 1]
+
+
+def test_header_autodetected():
+    el, e_labels, v_labels = read_incidence_csv(
+        io.StringIO("paper,author\np1,alice\np1,bob\np2,bob\n")
+    )
+    assert e_labels == ["p1", "p2"]
+    assert v_labels == ["alice", "bob"]
+    h = BiAdjacency.from_biedgelist(el)
+    assert h.members(0).tolist() == [0, 1]
+
+
+def test_explicit_header_flag():
+    # integer-looking first row that IS a header
+    el, e_labels, _ = read_incidence_csv(
+        io.StringIO("1,2\n0,0\n"), header=True
+    )
+    assert e_labels == [0]
+    assert len(el) == 1
+
+
+def test_mixed_labels():
+    # first row is data, not a header: say so explicitly
+    el, e_labels, v_labels = read_incidence_csv(
+        io.StringIO("e1,7\ne1,8\n42,7\n"), header=False
+    )
+    assert e_labels == ["e1", 42]
+    assert v_labels == [7, 8]
+
+
+def test_duplicates_collapse():
+    el, *_ = read_incidence_csv(io.StringIO("0,0\n0,0\n"))
+    assert len(el) == 1
+
+
+def test_bad_row():
+    with pytest.raises(ValueError, match="2 columns"):
+        read_incidence_csv(io.StringIO("0\n"))
+
+
+def test_empty():
+    el, e_labels, v_labels = read_incidence_csv(io.StringIO(""))
+    assert len(el) == 0 and e_labels == [] and v_labels == []
+
+
+def test_roundtrip_with_labels():
+    src = "paper,author\np1,alice\np1,bob\np2,bob\n"
+    el, e_labels, v_labels = read_incidence_csv(io.StringIO(src))
+    buf = io.StringIO()
+    write_incidence_csv(buf, el, e_labels, v_labels)
+    buf.seek(0)
+    el2, e2, v2 = read_incidence_csv(buf)
+    assert e2 == e_labels and v2 == v_labels
+    assert set(el2) == set(el)
+
+
+def test_roundtrip_plain_ids(tmp_path):
+    from repro.testing import random_hypergraph
+
+    el = random_hypergraph(seed=3)
+    p = tmp_path / "inc.csv"
+    write_incidence_csv(p, el, header=None)
+    el2, *_ = read_incidence_csv(p)
+    h1 = BiAdjacency.from_biedgelist(el)
+    h2 = BiAdjacency.from_biedgelist(el2)
+    # renumbering is first-appearance order; compare as member multisets
+    m1 = sorted(tuple(h1.members(e)) for e in range(h1.num_hyperedges()))
+    m2 = sorted(tuple(h2.members(e)) for e in range(h2.num_hyperedges()))
+    assert len(m1) == len(m2)
+
+
+def test_tab_delimiter():
+    el, *_ = read_incidence_csv(io.StringIO("0\t1\n"), delimiter="\t")
+    assert len(el) == 1

@@ -1,0 +1,73 @@
+"""Table I stand-in tests: registry, stats, shape fidelity to the paper."""
+
+import pytest
+
+from repro.io.datasets import (
+    DATASETS,
+    PAPER_TABLE1,
+    dataset_stats,
+    load,
+    skewness,
+    table1,
+)
+
+
+def test_registry_covers_table1():
+    assert set(DATASETS) == set(PAPER_TABLE1) == {
+        "com-orkut", "friendster", "orkut-group", "livejournal", "web",
+        "rand1",
+    }
+
+
+def test_load_unknown():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        load("imaginary")
+
+
+def test_load_cached_identity():
+    assert load("rand1") is load("rand1")
+
+
+def test_case_insensitive():
+    assert load("Rand1") is load("rand1")
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_avg_degrees_within_tolerance(name):
+    """Stand-ins land within 2x of the paper's average degrees (usually
+    much closer); the point is shape, not absolute size."""
+    ours = dataset_stats(name)
+    paper = PAPER_TABLE1[name]
+    assert 0.5 <= ours.avg_node_degree / paper.avg_node_degree <= 2.0
+    assert 0.5 <= ours.avg_edge_size / paper.avg_edge_size <= 2.0
+
+
+@pytest.mark.parametrize("name", sorted(set(DATASETS) - {"rand1"}))
+def test_realworld_standins_are_skewed(name):
+    assert skewness(load(name)) > 5.0
+
+
+def test_rand1_is_uniform():
+    assert skewness(load("rand1")) < 1.5
+
+
+def test_table1_row_order_and_shape():
+    rows = table1()
+    assert [r.name for r in rows] == list(DATASETS)
+    for r in rows:
+        assert r.num_nodes > 0 and r.num_edges > 0
+        assert len(r.row()) == 7
+
+
+def test_table1_subset():
+    rows = table1(["web", "rand1"])
+    assert [r.name for r in rows] == ["web", "rand1"]
+
+
+def test_vertex_edge_ratio_preserved():
+    for name in DATASETS:
+        ours = dataset_stats(name)
+        paper = PAPER_TABLE1[name]
+        ratio_ours = ours.num_nodes / ours.num_edges
+        ratio_paper = paper.num_nodes / paper.num_edges
+        assert 0.3 < ratio_ours / ratio_paper < 3.0, name

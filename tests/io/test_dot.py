@@ -1,0 +1,55 @@
+"""DOT export tests (text structure; no graphviz needed)."""
+
+import io
+
+from repro.io.dot import bipartite_dot, linegraph_dot
+from repro.linegraph import slinegraph_matrix
+
+
+def test_bipartite_dot_structure(paper_h):
+    text = bipartite_dot(paper_h)
+    assert text.startswith("graph hypergraph {")
+    assert text.rstrip().endswith("}")
+    # every entity declared
+    for e in range(4):
+        assert f"e{e} [shape=box" in text
+    for v in range(9):
+        assert f"v{v} [shape=circle" in text
+    # every incidence present
+    assert text.count(" -- ") == paper_h.num_incidences()
+    assert "e0 -- v1;" in text
+
+
+def test_bipartite_dot_to_file(tmp_path, paper_h):
+    p = tmp_path / "h.dot"
+    bipartite_dot(paper_h, p)
+    assert p.read_text().startswith("graph")
+
+
+def test_linegraph_dot_weights_scale(paper_h):
+    el = slinegraph_matrix(paper_h, 1)
+    text = linegraph_dot(el, s=1)
+    assert "graph slinegraph_s1 {" in text
+    # strongest edge (|e0∩e3| = 3) gets the max penwidth
+    assert 'e0 -- e3 [label="3", penwidth=4.00];' in text
+    # all four hyperedges drawn even when isolated at higher s
+    el3 = slinegraph_matrix(paper_h, 3)
+    text3 = linegraph_dot(el3, s=3)
+    for e in range(4):
+        assert f"e{e} [" in text3
+    assert text3.count(" -- ") == 1
+
+
+def test_linegraph_dot_unweighted():
+    from repro.structures.edgelist import EdgeList
+
+    el = EdgeList([0], [1], num_vertices=3)
+    text = linegraph_dot(el)
+    assert "e0 -- e1;" in text
+    assert "penwidth" not in text
+
+
+def test_write_to_stream(paper_h):
+    buf = io.StringIO()
+    bipartite_dot(paper_h, buf)
+    assert buf.getvalue().startswith("graph")

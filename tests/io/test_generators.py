@@ -1,0 +1,162 @@
+"""Generator tests: determinism, shape statistics, structured families."""
+
+import numpy as np
+
+from repro.io.generators import (
+    community_hypergraph,
+    path_hypergraph,
+    powerlaw_hypergraph,
+    star_hypergraph,
+    uniform_random_hypergraph,
+)
+from repro.linegraph import slinegraph_matrix
+from repro.structures.biadjacency import BiAdjacency
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        for gen in (
+            lambda s: uniform_random_hypergraph(50, 80, 5, seed=s),
+            lambda s: powerlaw_hypergraph(50, 80, seed=s),
+            lambda s: community_hypergraph(30, 100, seed=s),
+        ):
+            a, b = gen(7), gen(7)
+            assert np.array_equal(a.part0, b.part0)
+            assert np.array_equal(a.part1, b.part1)
+
+    def test_different_seed_differs(self):
+        a = uniform_random_hypergraph(50, 80, 5, seed=1)
+        b = uniform_random_hypergraph(50, 80, 5, seed=2)
+        assert not (
+            np.array_equal(a.part1, b.part1)
+        )
+
+
+class TestUniform:
+    def test_exact_edge_sizes(self):
+        el = uniform_random_hypergraph(40, 100, 7, seed=0)
+        h = BiAdjacency.from_biedgelist(el)
+        assert np.all(h.edge_sizes() == 7)
+
+    def test_members_distinct(self):
+        el = uniform_random_hypergraph(40, 10, 8, seed=0)
+        h = BiAdjacency.from_biedgelist(el)
+        for e in range(40):
+            mem = h.members(e)
+            assert np.unique(mem).size == mem.size
+
+    def test_edge_size_bound(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="edge_size"):
+            uniform_random_hypergraph(5, 3, 4)
+
+    def test_uniform_degree_distribution(self):
+        """Rand1's defining property: Δ_v close to d̄_v."""
+        el = uniform_random_hypergraph(2000, 2000, 10, seed=3)
+        h = BiAdjacency.from_biedgelist(el)
+        deg = h.node_degrees()
+        assert deg.max() < 5 * deg.mean()
+
+
+class TestPowerlaw:
+    def test_skewed_both_sides(self):
+        el = powerlaw_hypergraph(2000, 1500, mean_edge_size=10, seed=1)
+        h = BiAdjacency.from_biedgelist(el)
+        assert h.edge_sizes().max() > 5 * h.edge_sizes().mean()
+        assert h.node_degrees().max() > 5 * h.node_degrees().mean()
+
+    def test_mean_size_roughly_respected(self):
+        el = powerlaw_hypergraph(3000, 50000, mean_edge_size=12, seed=2)
+        h = BiAdjacency.from_biedgelist(el)
+        assert 0.5 * 12 < h.edge_sizes().mean() < 1.5 * 12
+
+    def test_no_duplicate_incidences(self):
+        el = powerlaw_hypergraph(200, 100, seed=5)
+        assert len(el) == len(el.deduplicate())
+
+
+class TestCommunity:
+    def test_no_duplicate_incidences(self):
+        el = community_hypergraph(100, 500, seed=4)
+        assert len(el) == len(el.deduplicate())
+
+    def test_local_overlap_exists(self):
+        """Neighboring communities overlap -> the 1-line graph is dense
+        enough to be interesting."""
+        el = community_hypergraph(100, 200, mean_community_size=8,
+                                  locality=1.0, seed=6)
+        h = BiAdjacency.from_biedgelist(el)
+        lg = slinegraph_matrix(h, 1)
+        assert lg.num_edges() > 50
+
+
+class TestChungLu:
+    def test_exact_sequences_respected(self):
+        import pytest
+
+        from repro.io.generators import chung_lu_hypergraph
+
+        sizes = np.array([3, 1, 5, 2])
+        weights = np.ones(50)
+        el = chung_lu_hypergraph(sizes, weights, seed=0)
+        h = BiAdjacency.from_biedgelist(el)
+        assert h.num_hyperedges() == 4
+        # realized sizes <= targets (duplicates collapse)
+        assert np.all(h.edge_sizes() <= sizes)
+
+    def test_degree_proportional_to_weights(self):
+        from repro.io.generators import chung_lu_hypergraph
+
+        rng = np.random.default_rng(1)
+        sizes = rng.integers(2, 8, size=3000)
+        weights = np.concatenate([np.full(50, 10.0), np.full(450, 1.0)])
+        el = chung_lu_hypergraph(sizes, weights, seed=2)
+        h = BiAdjacency.from_biedgelist(el)
+        deg = h.node_degrees()
+        heavy = deg[:50].mean()
+        light = deg[50:].mean()
+        assert 5 < heavy / light < 15  # ∝ 10x weights, modulo collapse
+
+    def test_validation(self):
+        import pytest
+
+        from repro.io.generators import chung_lu_hypergraph
+
+        with pytest.raises(ValueError, match="1-D"):
+            chung_lu_hypergraph(np.zeros((2, 2)), np.ones(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            chung_lu_hypergraph(np.array([-1]), np.ones(3))
+        with pytest.raises(ValueError, match="node_weights"):
+            chung_lu_hypergraph(np.array([2]), np.zeros(3))
+
+    def test_deterministic(self):
+        from repro.io.generators import chung_lu_hypergraph
+
+        sizes = np.array([4, 4, 4])
+        a = chung_lu_hypergraph(sizes, np.ones(20), seed=9)
+        b = chung_lu_hypergraph(sizes, np.ones(20), seed=9)
+        assert np.array_equal(a.part1, b.part1)
+
+
+class TestStructured:
+    def test_star_linegraph_is_clique(self):
+        el = star_hypergraph(6)
+        h = BiAdjacency.from_biedgelist(el)
+        lg = slinegraph_matrix(h, 1)
+        assert lg.num_edges() == 6 * 5 // 2
+
+    def test_path_linegraph_is_path(self):
+        el = path_hypergraph(5, overlap=2, size=4)
+        h = BiAdjacency.from_biedgelist(el)
+        lg2 = slinegraph_matrix(h, 2)
+        pairs = set(zip(lg2.src.tolist(), lg2.dst.tolist()))
+        assert pairs == {(0, 1), (1, 2), (2, 3), (3, 4)}
+        # above the overlap, empty
+        assert slinegraph_matrix(h, 3).num_edges() == 0
+
+    def test_path_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="overlap"):
+            path_hypergraph(3, overlap=3, size=3)

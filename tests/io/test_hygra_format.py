@@ -1,0 +1,97 @@
+"""AdjacencyHypergraph (Hygra format) I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.io.hygra import read_hygra, write_hygra
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+
+def roundtrip(el):
+    buf = io.StringIO()
+    write_hygra(buf, el)
+    buf.seek(0)
+    return read_hygra(buf)
+
+
+def test_roundtrip_paper_example(paper_el):
+    back = roundtrip(paper_el)
+    assert back.vertex_cardinality == paper_el.vertex_cardinality
+    assert set(back) == set(paper_el)
+
+
+def test_roundtrip_random():
+    el = random_biedgelist(seed=9)
+    back = roundtrip(el)
+    h1 = BiAdjacency.from_biedgelist(el)
+    h2 = BiAdjacency.from_biedgelist(back)
+    assert h1.edges == h2.edges
+
+
+def test_file_path(tmp_path, paper_el):
+    p = tmp_path / "h.hygra"
+    write_hygra(p, paper_el)
+    assert set(read_hygra(p)) == set(paper_el)
+
+
+def test_handwritten_small_file():
+    # one hypernode in two hyperedges; one hyperedge with two nodes:
+    # nodes: v0 -> {e0, e1}, v1 -> {e0}; edges: e0 -> {v0, v1}, e1 -> {v0}
+    text = "\n".join(
+        ["AdjacencyHypergraph", "2", "3", "2", "3",
+         "0", "2",        # node offsets
+         "0", "1", "0",   # node adjacency (hyperedges)
+         "0", "2",        # edge offsets
+         "0", "1", "0"]   # edge adjacency (hypernodes)
+    )
+    el = read_hygra(io.StringIO(text))
+    h = BiAdjacency.from_biedgelist(el)
+    assert h.members(0).tolist() == [0, 1]
+    assert h.members(1).tolist() == [0]
+    assert h.memberships(0).tolist() == [0, 1]
+
+
+def test_missing_header():
+    with pytest.raises(ValueError, match="header"):
+        read_hygra(io.StringIO("NotAHypergraph\n1\n"))
+
+
+def test_truncated():
+    with pytest.raises(ValueError, match="truncated"):
+        read_hygra(io.StringIO("AdjacencyHypergraph\n1\n2\n"))
+
+
+def test_count_mismatch():
+    with pytest.raises(ValueError, match="disagree"):
+        read_hygra(io.StringIO("AdjacencyHypergraph\n1\n2\n1\n3\n" + "0\n" * 7))
+
+
+def test_body_size_checked():
+    with pytest.raises(ValueError, match="expected"):
+        read_hygra(io.StringIO("AdjacencyHypergraph\n1\n1\n1\n1\n0\n0\n"))
+
+
+def test_inconsistent_halves_detected():
+    # node side says v0 ∈ e0; edge side puts the incidence in e1
+    text = "\n".join(
+        ["AdjacencyHypergraph", "1", "1", "2", "1",
+         "0",       # node offsets
+         "0",       # v0 -> e0
+         "0", "0",  # edge offsets: e0 = {}, e1 = {v0}
+         "0"]
+    )
+    with pytest.raises(ValueError):
+        read_hygra(io.StringIO(text))
+
+
+def test_isolated_entities_roundtrip():
+    from repro.structures.edgelist import BiEdgeList
+
+    el = BiEdgeList([0], [0], n0=3, n1=4)  # e1, e2 empty; v1..v3 isolated
+    back = roundtrip(el)
+    assert back.vertex_cardinality == (3, 4)
+    assert set(back) == {(0, 0)}

@@ -1,0 +1,74 @@
+"""JSON interchange tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.labeled import LabeledHypergraph
+from repro.io.json_io import read_json, write_json
+
+
+@pytest.fixture
+def lh():
+    return LabeledHypergraph.from_dict(
+        {"p1": ["alice", "bob"], "p2": ["bob", "carol"], "p3": []}
+    )
+
+
+def test_roundtrip(lh):
+    buf = io.StringIO()
+    write_json(buf, lh)
+    buf.seek(0)
+    back = read_json(buf)
+    assert back.to_dict() == lh.to_dict()
+
+
+def test_file_roundtrip(tmp_path, lh):
+    p = tmp_path / "h.json"
+    write_json(p, lh)
+    assert read_json(p).to_dict() == lh.to_dict()
+
+
+def test_document_shape(lh):
+    buf = io.StringIO()
+    write_json(buf, lh)
+    doc = json.loads(buf.getvalue())
+    assert doc["format"] == "repro-hypergraph"
+    assert doc["version"] == 1
+    assert sorted(doc["edges"]) == ["p1", "p2", "p3"]
+
+
+def test_numeric_node_labels():
+    lh = LabeledHypergraph.from_dict({"e": [1, 2.5]})
+    buf = io.StringIO()
+    write_json(buf, lh)
+    buf.seek(0)
+    assert read_json(buf).members("e") == [1, 2.5]
+
+
+def test_rejects_wrong_format():
+    with pytest.raises(ValueError, match="format"):
+        read_json(io.StringIO('{"format": "other", "version": 1}'))
+    with pytest.raises(ValueError, match="version"):
+        read_json(io.StringIO('{"format": "repro-hypergraph", "version": 9}'))
+    with pytest.raises(ValueError, match="edges"):
+        read_json(io.StringIO(
+            '{"format": "repro-hypergraph", "version": 1, "edges": []}'
+        ))
+    with pytest.raises(ValueError, match="members"):
+        read_json(io.StringIO(
+            '{"format": "repro-hypergraph", "version": 1,'
+            ' "edges": {"e": 5}}'
+        ))
+    with pytest.raises(ValueError, match="object"):
+        read_json(io.StringIO("[1, 2]"))
+
+
+def test_analytics_survive_roundtrip(lh):
+    buf = io.StringIO()
+    write_json(buf, lh)
+    buf.seek(0)
+    back = read_json(buf)
+    assert back.s_neighbors("p1", s=1) == lh.s_neighbors("p1", s=1)
+    assert back.toplexes() == lh.toplexes()

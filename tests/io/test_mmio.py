@@ -1,0 +1,114 @@
+"""MatrixMarket I/O tests: roundtrips, format variants, Listing 2 readers."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.io.mmio import graph_reader, graph_reader_adjoin, read_mm, write_mm
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+
+from ..conftest import random_biedgelist
+
+
+def roundtrip(el: BiEdgeList) -> BiEdgeList:
+    buf = io.StringIO()
+    write_mm(buf, el)
+    buf.seek(0)
+    return read_mm(buf)
+
+
+class TestRoundtrip:
+    def test_pattern(self, paper_el):
+        back = roundtrip(paper_el)
+        assert back.vertex_cardinality == paper_el.vertex_cardinality
+        assert set(back) == set(paper_el)
+        assert back.weights is None
+
+    def test_weighted(self):
+        el = BiEdgeList([0, 1], [1, 0], weights=[2.5, 7.0], n0=2, n1=2)
+        back = roundtrip(el)
+        assert back.weights.tolist() == [2.5, 7.0]
+
+    def test_file_paths(self, tmp_path, paper_el):
+        p = tmp_path / "h.mtx"
+        write_mm(p, paper_el)
+        back = read_mm(p)
+        assert set(back) == set(paper_el)
+
+    def test_random(self):
+        el = random_biedgelist(seed=3)
+        assert set(roundtrip(el)) == set(el)
+
+
+class TestFormatHandling:
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            read_mm(io.StringIO("1 1 0\n"))
+
+    def test_unsupported_field(self):
+        buf = io.StringIO("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n")
+        with pytest.raises(ValueError, match="field"):
+            read_mm(buf)
+
+    def test_unsupported_symmetry(self):
+        buf = io.StringIO("%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n")
+        with pytest.raises(ValueError, match="symmetry"):
+            read_mm(buf)
+
+    def test_array_format_rejected(self):
+        buf = io.StringIO("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            read_mm(buf)
+
+    def test_comments_skipped(self):
+        buf = io.StringIO(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n% another\n"
+            "2 3 2\n1 1\n2 3\n"
+        )
+        el = read_mm(buf)
+        assert el.vertex_cardinality == (2, 3)
+        assert set(el) == {(0, 0), (1, 2)}
+
+    def test_entry_count_checked(self):
+        buf = io.StringIO(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n"
+        )
+        with pytest.raises(ValueError, match="expected 3"):
+            read_mm(buf)
+
+    def test_symmetric_mirrored(self):
+        buf = io.StringIO(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 5.0\n3 3 1.0\n"
+        )
+        el = read_mm(buf)
+        assert set(el) == {(1, 0), (0, 1), (2, 2)}
+
+    def test_integer_field(self):
+        buf = io.StringIO(
+            "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 4\n"
+        )
+        el = read_mm(buf)
+        assert el.weights.tolist() == [4.0]
+
+
+class TestListing2Readers:
+    def test_graph_reader(self, tmp_path, paper_el):
+        p = tmp_path / "h.mtx"
+        write_mm(p, paper_el)
+        el = graph_reader(p)
+        h = BiAdjacency.from_biedgelist(el)
+        assert h.vertex_cardinality == (4, 9)
+
+    def test_graph_reader_adjoin(self, tmp_path, paper_el):
+        p = tmp_path / "h.mtx"
+        write_mm(p, paper_el)
+        adjoin_el, nrealedges, nrealnodes = graph_reader_adjoin(p)
+        assert (nrealedges, nrealnodes) == (4, 9)
+        g = AdjoinGraph.from_edgelist(adjoin_el, nrealedges, nrealnodes)
+        ref = AdjoinGraph.from_biedgelist(paper_el)
+        assert g.graph == ref.graph

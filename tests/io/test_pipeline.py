@@ -1,0 +1,127 @@
+"""Dataset-pipeline tests (graph → communities → hypergraph)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.io.pipeline import (
+    communities_to_hypergraph,
+    hypergraph_from_graph_communities,
+)
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import EdgeList
+
+
+class TestCommunitiesToHypergraph:
+    def test_basic(self):
+        labels = np.array([0, 0, 2, 2, 2, 5])
+        el = communities_to_hypergraph(labels)
+        h = BiAdjacency.from_biedgelist(el)
+        assert h.num_hyperedges() == 3
+        assert h.members(0).tolist() == [0, 1]
+        assert h.members(1).tolist() == [2, 3, 4]
+        assert h.members(2).tolist() == [5]
+
+    def test_min_size_filter(self):
+        labels = np.array([0, 0, 2, 5])
+        el = communities_to_hypergraph(labels, min_size=2)
+        h = BiAdjacency.from_biedgelist(el)
+        assert h.num_hyperedges() == 1
+        assert h.members(0).tolist() == [0, 1]
+        # node space preserved even for dropped members
+        assert h.num_hypernodes() == 4
+
+    def test_each_vertex_in_at_most_one_edge(self):
+        labels = np.array([3, 3, 3, 1, 1, 9])
+        h = BiAdjacency.from_biedgelist(communities_to_hypergraph(labels))
+        assert np.all(h.node_degrees() <= 1)
+
+
+class TestFullPipeline:
+    def test_caveman_cliques_become_hyperedges(self):
+        G = nx.connected_caveman_graph(10, 6)
+        src = np.array([u for u, v in G.edges()])
+        dst = np.array([v for u, v in G.edges()])
+        el = hypergraph_from_graph_communities(
+            (src, dst), num_vertices=60, seed=1
+        )
+        h = BiAdjacency.from_biedgelist(el)
+        assert h.num_hyperedges() == 10
+        assert h.edge_sizes().tolist() == [6] * 10
+
+    def test_accepts_edgelist(self):
+        el_in = EdgeList([0, 1, 2], [1, 2, 0], num_vertices=4)
+        el = hypergraph_from_graph_communities(el_in, min_size=2, seed=0)
+        h = BiAdjacency.from_biedgelist(el)
+        assert h.num_hyperedges() == 1
+        assert h.members(0).tolist() == [0, 1, 2]
+
+    def test_min_size_drops_singletons(self):
+        # a triangle plus two isolated vertices
+        el = hypergraph_from_graph_communities(
+            EdgeList([0, 1, 2], [1, 2, 0], num_vertices=5), min_size=2
+        )
+        h = BiAdjacency.from_biedgelist(el)
+        assert h.num_hyperedges() == 1
+
+    def test_deterministic(self):
+        G = nx.gnm_random_graph(40, 80, seed=4)
+        src = np.array([u for u, v in G.edges()])
+        dst = np.array([v for u, v in G.edges()])
+        a = hypergraph_from_graph_communities((src, dst), seed=5)
+        b = hypergraph_from_graph_communities((src, dst), seed=5)
+        assert np.array_equal(a.part0, b.part0)
+        assert np.array_equal(a.part1, b.part1)
+
+    @staticmethod
+    def _two_cliques_plus_hub(extra: list[tuple[int, int]]) -> EdgeList:
+        """Two K5s ({0..4}, {5..9}) plus the given extra edges."""
+        src: list[int] = []
+        dst: list[int] = []
+        for base in (0, 5):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    src.append(base + i)
+                    dst.append(base + j)
+        for u, v in extra:
+            src.append(u)
+            dst.append(v)
+        return EdgeList(src, dst, num_vertices=10)
+
+    def test_expand_overlap_creates_multi_membership(self):
+        """A hub with >= min_links edges into a foreign clique joins it."""
+        el_in = self._two_cliques_plus_hub([(0, 5), (0, 6)])
+        flat = hypergraph_from_graph_communities(el_in, seed=0)
+        h_flat = BiAdjacency.from_biedgelist(flat)
+        assert h_flat.num_hyperedges() == 2
+        assert np.all(h_flat.node_degrees() <= 1)  # partition
+        over = hypergraph_from_graph_communities(
+            el_in, seed=0, expand_overlap=True, min_links=2
+        )
+        h_over = BiAdjacency.from_biedgelist(over)
+        assert h_over.node_degrees()[0] == 2  # vertex 0 in both communities
+        assert h_over.num_incidences() == h_flat.num_incidences() + 1
+
+    def test_expand_min_links_threshold(self):
+        # vertex 0 has only ONE edge into the other clique
+        el_in = self._two_cliques_plus_hub([(0, 5)])
+        over = hypergraph_from_graph_communities(
+            el_in, seed=0, expand_overlap=True, min_links=2
+        )
+        h = BiAdjacency.from_biedgelist(over)
+        assert h.num_hyperedges() == 2
+        assert np.all(h.node_degrees() <= 1)
+
+    def test_pipeline_feeds_s_analysis(self):
+        """End to end: graph -> hypergraph -> s-line metrics."""
+        from repro import NWHypergraph
+
+        G = nx.connected_caveman_graph(6, 5)
+        src = np.array([u for u, v in G.edges()])
+        dst = np.array([v for u, v in G.edges()])
+        el = hypergraph_from_graph_communities((src, dst), seed=2)
+        hg = NWHypergraph(el.part0, el.part1,
+                          num_edges=el.num_vertices(0),
+                          num_nodes=el.num_vertices(1))
+        lg = hg.s_linegraph(1)
+        assert lg.num_vertices() == hg.number_of_edges()

@@ -1,0 +1,86 @@
+"""SNAP edge-list reader tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.io.snap import read_snap_edgelist
+
+
+def test_basic_with_comments():
+    text = (
+        "# Undirected graph: com-example.ungraph.txt\n"
+        "# Nodes: 4 Edges: 3\n"
+        "# FromNodeId\tToNodeId\n"
+        "1\t2\n"
+        "2\t3\n"
+        "10\t1\n"
+    )
+    el = read_snap_edgelist(io.StringIO(text))
+    # compact renumbering: {1, 2, 3, 10} -> {0, 1, 2, 3}
+    assert el.num_vertices() == 4
+    assert set(el) == {(0, 1), (1, 2), (3, 0)}
+
+
+def test_non_compact_keeps_ids():
+    el = read_snap_edgelist(io.StringIO("5 7\n"), compact=False)
+    assert el.num_vertices() == 8
+    assert set(el) == {(5, 7)}
+
+
+def test_self_loops_dropped():
+    el = read_snap_edgelist(io.StringIO("1 1\n1 2\n"))
+    assert set(el) == {(0, 1)}
+
+
+def test_duplicates_collapse():
+    el = read_snap_edgelist(io.StringIO("1 2\n1 2\n1 2\n"))
+    assert len(el) == 1
+
+
+def test_whitespace_flexible():
+    el = read_snap_edgelist(io.StringIO("1   2\n3\t4\n"))
+    assert len(el) == 2
+
+
+def test_errors():
+    with pytest.raises(ValueError, match="expected"):
+        read_snap_edgelist(io.StringIO("1\n"))
+    with pytest.raises(ValueError, match="non-integer"):
+        read_snap_edgelist(io.StringIO("a b\n"))
+    with pytest.raises(ValueError, match="negative"):
+        read_snap_edgelist(io.StringIO("-1 2\n"))
+
+
+def test_empty_file():
+    el = read_snap_edgelist(io.StringIO("# nothing\n"))
+    assert len(el) == 0
+    assert el.num_vertices() == 0
+
+
+def test_file_path(tmp_path):
+    p = tmp_path / "g.txt"
+    p.write_text("# c\n0 1\n1 2\n")
+    el = read_snap_edgelist(p)
+    assert len(el) == 2
+
+
+def test_feeds_pipeline(tmp_path):
+    """SNAP file -> pipeline -> hypergraph, end to end (§IV-B)."""
+    from repro.io.pipeline import hypergraph_from_graph_communities
+    from repro.structures.biadjacency import BiAdjacency
+
+    lines = ["# toy\n"]
+    # two K4 cliques {0..3} and {4..7}
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                lines.append(f"{base + i} {base + j}\n")
+    p = tmp_path / "snap.txt"
+    p.write_text("".join(lines))
+    graph = read_snap_edgelist(p)
+    el = hypergraph_from_graph_communities(graph, seed=0)
+    h = BiAdjacency.from_biedgelist(el)
+    assert h.num_hyperedges() == 2
+    assert sorted(h.members(0).tolist()) == [0, 1, 2, 3]

@@ -1,0 +1,141 @@
+"""Unit tests for the shared construction kernels."""
+
+import numpy as np
+import pytest
+
+from repro.linegraph.common import (
+    batch_intersect_counts,
+    empty_linegraph,
+    finalize_edges,
+    intersect_count_sorted,
+    linegraph_csr,
+    resolve_incidence,
+    two_hop_pair_counts,
+)
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.csr import CSR
+
+from ..conftest import random_biedgelist
+
+
+class TestFinalizeEdges:
+    def test_canonical_order_and_dedup(self):
+        el = finalize_edges(
+            np.array([3, 1, 3]), np.array([1, 3, 1]),
+            np.array([2, 2, 2]), 5,
+        )
+        assert el.src.tolist() == [1]
+        assert el.dst.tolist() == [3]
+        assert el.weights.tolist() == [2.0]
+
+    def test_self_loops_dropped(self):
+        el = finalize_edges(np.array([2]), np.array([2]), np.array([5]), 4)
+        assert el.num_edges() == 0
+
+    def test_vertex_space_preserved(self):
+        el = finalize_edges(np.array([0]), np.array([1]), None, 10)
+        assert el.num_vertices() == 10
+        assert el.weights is None
+
+
+class TestIntersectCount:
+    def test_basic(self):
+        a = np.array([1, 3, 5, 7])
+        b = np.array([3, 4, 5, 9])
+        assert intersect_count_sorted(a, b) == 2
+
+    def test_empty(self):
+        assert intersect_count_sorted(np.array([]), np.array([1])) == 0
+
+    def test_disjoint(self):
+        assert intersect_count_sorted(np.array([1, 2]), np.array([3, 4])) == 0
+
+    def test_identical(self):
+        a = np.array([2, 4, 6])
+        assert intersect_count_sorted(a, a) == 3
+
+    def test_asymmetric_sizes(self):
+        a = np.array([500])
+        b = np.arange(1000)
+        assert intersect_count_sorted(a, b) == 1
+        assert intersect_count_sorted(b, a) == 1
+
+
+class TestBatchIntersect:
+    def test_matches_scalar_kernel(self):
+        h = BiAdjacency.from_biedgelist(random_biedgelist(seed=4))
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, h.num_hyperedges(), size=(50, 2))
+        counts = batch_intersect_counts(h.edges, pairs)
+        for (a, b), c in zip(pairs.tolist(), counts.tolist()):
+            assert c == intersect_count_sorted(h.members(a), h.members(b))
+
+    def test_empty_pairs(self):
+        h = BiAdjacency.from_biedgelist(random_biedgelist(seed=4))
+        assert batch_intersect_counts(h.edges, np.empty((0, 2))).size == 0
+
+
+class TestTwoHop:
+    def test_counts_are_overlaps(self, paper_h):
+        src, dst, cnt, work = two_hop_pair_counts(
+            paper_h.edges, paper_h.nodes, np.arange(4)
+        )
+        from ..conftest import PAPER_OVERLAPS
+
+        got = dict(zip(zip(src.tolist(), dst.tolist()), cnt.tolist()))
+        assert got == {(a, b): c for a, b, c in PAPER_OVERLAPS}
+        assert work > 0
+
+    def test_upper_only_false_gives_both_directions(self, paper_h):
+        src, dst, cnt, _ = two_hop_pair_counts(
+            paper_h.edges, paper_h.nodes, np.arange(4), upper_only=False
+        )
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+        # diagonal present too (self-overlap = edge size)
+        got = dict(zip(zip(src.tolist(), dst.tolist()), cnt.tolist()))
+        assert got[(2, 2)] == 6
+
+    def test_empty_ids(self, paper_h):
+        src, dst, cnt, work = two_hop_pair_counts(
+            paper_h.edges, paper_h.nodes, np.array([], dtype=np.int64)
+        )
+        assert src.size == dst.size == cnt.size == 0 and work == 0
+
+
+class TestResolve:
+    def test_biadjacency(self, paper_h):
+        edges, nodes, n_e, sizes = resolve_incidence(paper_h)
+        assert n_e == 4
+        assert sizes.tolist() == [3, 3, 6, 4]
+        assert edges is paper_h.edges
+
+    def test_adjoin(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        edges, nodes, n_e, sizes = resolve_incidence(g)
+        assert edges is nodes is g.graph
+        assert n_e == 4
+        assert sizes.tolist() == [3, 3, 6, 4]
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            resolve_incidence(42)
+
+
+class TestHelpers:
+    def test_empty_linegraph(self):
+        el = empty_linegraph(7)
+        assert el.num_vertices() == 7
+        assert el.num_edges() == 0
+        assert el.weights is not None and el.weights.size == 0
+
+    def test_linegraph_csr_symmetric(self, paper_h):
+        from repro.linegraph import slinegraph_matrix
+
+        el = slinegraph_matrix(paper_h, 2)
+        g = linegraph_csr(el)
+        assert isinstance(g, CSR)
+        assert g.num_edges() == 2 * el.num_edges()
+        for a, b in zip(el.src.tolist(), el.dst.tolist()):
+            assert b in g[a] and a in g[b]

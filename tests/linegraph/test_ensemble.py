@@ -1,0 +1,46 @@
+"""Ensemble construction tests."""
+
+import pytest
+
+from repro.linegraph import slinegraph_ensemble, slinegraph_matrix
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+
+def test_matches_individual_constructions():
+    h = BiAdjacency.from_biedgelist(random_biedgelist(seed=2, max_size=6))
+    ens = slinegraph_ensemble(h, [1, 2, 3, 5])
+    assert sorted(ens) == [1, 2, 3, 5]
+    for s, el in ens.items():
+        assert el == slinegraph_matrix(h, s)
+
+
+def test_duplicate_and_unsorted_s_values(paper_h):
+    ens = slinegraph_ensemble(paper_h, [3, 1, 3, 2])
+    assert sorted(ens) == [1, 2, 3]
+
+
+def test_empty_s_list(paper_h):
+    assert slinegraph_ensemble(paper_h, []) == {}
+
+
+def test_invalid_s(paper_h):
+    with pytest.raises(ValueError, match="s must be"):
+        slinegraph_ensemble(paper_h, [0, 2])
+
+
+def test_adjoin_input(paper_el, paper_h):
+    g = AdjoinGraph.from_biedgelist(paper_el)
+    ens = slinegraph_ensemble(g, [1, 2])
+    for s, el in ens.items():
+        assert el == slinegraph_matrix(paper_h, s)
+
+
+def test_with_runtime_single_counting_pass(paper_h):
+    rt = ParallelRuntime(num_threads=2)
+    slinegraph_ensemble(paper_h, [1, 2, 3], runtime=rt)
+    count_phases = [p for p in rt.ledger.phases if "count" in p.name]
+    assert len(count_phases) == 1  # one pass regardless of #s values

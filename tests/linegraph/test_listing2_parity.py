@@ -1,0 +1,50 @@
+"""Listing 2 paper-parity constructors."""
+
+import pytest
+
+from repro.linegraph import (
+    slinegraph_matrix,
+    to_two_graph_hashmap_blocked,
+    to_two_graph_hashmap_cyclic,
+)
+from repro.structures.biadjacency import BiAdjacency, biadjacency
+
+from ..conftest import random_biedgelist
+
+
+@pytest.mark.parametrize("s", [1, 2, 3])
+def test_cyclic_wrapper_matches_oracle(s):
+    el = random_biedgelist(seed=6)
+    hyperedges = biadjacency(el, 0)
+    hypernodes = biadjacency(el, 1)
+    ref = slinegraph_matrix(BiAdjacency.from_biedgelist(el), s)
+    got = to_two_graph_hashmap_cyclic(
+        hyperedges, hypernodes, hyperedges.degrees(), s,
+        num_threads=4, num_bins=16,
+    )
+    assert got == ref
+
+
+def test_blocked_wrapper_matches_cyclic():
+    el = random_biedgelist(seed=7)
+    hyperedges = biadjacency(el, 0)
+    hypernodes = biadjacency(el, 1)
+    a = to_two_graph_hashmap_cyclic(
+        hyperedges, hypernodes, hyperedges.degrees(), 2, num_threads=2,
+    )
+    b = to_two_graph_hashmap_blocked(
+        hyperedges, hypernodes, hyperedges.degrees(), 2, num_threads=2,
+    )
+    assert a == b
+
+
+def test_clique_expansion_via_listing2_call():
+    """Listing 2's clique-expansion recipe: swap the roles and use s=1."""
+    el = random_biedgelist(seed=8)
+    hyperedges = biadjacency(el, 0)
+    hypernodes = biadjacency(el, 1)
+    got = to_two_graph_hashmap_cyclic(
+        hypernodes, hyperedges, hypernodes.degrees(), 1, num_threads=2,
+    )
+    h = BiAdjacency.from_biedgelist(el)
+    assert got == slinegraph_matrix(h.dual(), 1)

@@ -1,0 +1,98 @@
+"""The paper's claims about Algorithms 1–2: representation independence.
+
+Queue-based construction must work on (a) the bipartite representation,
+(b) the adjoin representation, and (c) arbitrarily permuted ID queues —
+none of which the non-queue algorithms support directly (§III-C.3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.linegraph import (
+    slinegraph_matrix,
+    slinegraph_queue_hashmap,
+    slinegraph_queue_intersection,
+)
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+QUEUE_ALGOS = [slinegraph_queue_hashmap, slinegraph_queue_intersection]
+
+
+@pytest.fixture(params=[0, 1])
+def reps(request):
+    el = random_biedgelist(seed=request.param)
+    return BiAdjacency.from_biedgelist(el), AdjoinGraph.from_biedgelist(el)
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+@pytest.mark.parametrize("s", [1, 2, 3])
+def test_adjoin_equals_bipartite(reps, fn, s):
+    h, g = reps
+    ref = slinegraph_matrix(h, s)
+    assert fn(h, s) == ref
+    assert fn(g, s) == ref
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+def test_permuted_queue_same_result(reps, fn):
+    """Enqueue order must not matter (IDs 'original or permuted')."""
+    h, _ = reps
+    ref = slinegraph_matrix(h, 2)
+    rng = np.random.default_rng(3)
+    shuffled = rng.permutation(h.num_hyperedges())
+    assert fn(h, 2, queue_ids=shuffled) == ref
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+def test_subset_queue_restricts_sources(paper_h, fn):
+    """A partial queue computes the line-graph rows initiated by those IDs
+    (pairs whose smaller endpoint is enqueued)."""
+    full = slinegraph_matrix(paper_h, 1)
+    got = fn(paper_h, 1, queue_ids=np.array([0]))
+    expected = {
+        (a, b)
+        for a, b in zip(full.src.tolist(), full.dst.tolist())
+        if a == 0
+    }
+    assert set(zip(got.src.tolist(), got.dst.tolist())) == expected
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+def test_rejects_bad_type(fn):
+    with pytest.raises(TypeError, match="BiAdjacency or AdjoinGraph"):
+        fn(object(), 1)
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+def test_adjoin_with_runtime(reps, fn):
+    _, g = reps
+    ref = fn(g, 2)
+    rt = ParallelRuntime(num_threads=4, partitioner="cyclic")
+    assert fn(g, 2, runtime=rt) == ref
+    # queue algorithms record enqueue + process phases
+    names = {p.name for p in rt.ledger.phases}
+    assert any("enqueue" in n for n in names)
+
+
+def test_two_phase_has_pair_queue_phases(paper_h):
+    rt = ParallelRuntime(num_threads=2)
+    slinegraph_queue_intersection(paper_h, 2, runtime=rt)
+    names = [p.name for p in rt.ledger.phases]
+    assert any("enqueue_pairs" in n for n in names)
+    assert any("intersect_pairs" in n for n in names)
+
+
+def test_single_phase_work_matches_hashmap_shape(paper_h):
+    """Alg. 1's total work is within a small factor of non-queue hashmap
+    (the paper's 'time complexity remains the same' claim)."""
+    from repro.linegraph import slinegraph_hashmap
+
+    rt1 = ParallelRuntime(num_threads=1)
+    slinegraph_hashmap(paper_h, 2, runtime=rt1)
+    rt2 = ParallelRuntime(num_threads=1)
+    slinegraph_queue_hashmap(paper_h, 2, runtime=rt2)
+    assert rt2.ledger.total_work <= 3 * rt1.ledger.total_work + 50

@@ -1,0 +1,84 @@
+"""Deeper queue-algorithm semantics: duplicates, chunked drains, ordering.
+
+Algorithms 1–2 promise representation independence via the work queue; this
+module pins down the corner semantics of that queue contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.linegraph import (
+    slinegraph_matrix,
+    slinegraph_queue_hashmap,
+    slinegraph_queue_intersection,
+)
+from repro.parallel.runtime import ParallelRuntime
+from repro.parallel.workqueue import WorkQueue
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import random_biedgelist
+
+QUEUE_ALGOS = [slinegraph_queue_hashmap, slinegraph_queue_intersection]
+
+
+@pytest.fixture
+def h():
+    return BiAdjacency.from_biedgelist(random_biedgelist(seed=17))
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+def test_duplicate_queue_ids_are_harmless(h, fn):
+    """Enqueuing an ID twice re-processes it, but the canonical finalize
+    deduplicates — the result is identical to the clean queue."""
+    ref = slinegraph_matrix(h, 2)
+    ids = np.arange(h.num_hyperedges())
+    doubled = np.concatenate([ids, ids[::3]])
+    assert fn(h, 2, queue_ids=doubled) == ref
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+def test_reversed_queue(h, fn):
+    ref = slinegraph_matrix(h, 3)
+    ids = np.arange(h.num_hyperedges())[::-1].copy()
+    assert fn(h, 3, queue_ids=ids) == ref
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+@pytest.mark.parametrize("grain", [1, 3, 16])
+def test_grain_invariance(h, fn, grain):
+    """Chunking granularity never changes the computed line graph."""
+    ref = slinegraph_matrix(h, 2)
+    rt = ParallelRuntime(num_threads=5, grain=grain)
+    assert fn(h, 2, runtime=rt) == ref
+
+
+def test_work_queue_chunked_drain_equals_bulk():
+    q1 = WorkQueue(np.arange(100))
+    q2 = WorkQueue(np.arange(100))
+    bulk = q1.drain()
+    chunks = []
+    while not q2.empty():
+        chunks.append(q2.drain(7))
+    assert np.array_equal(bulk, np.concatenate(chunks))
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+def test_empty_queue_yields_empty_graph(h, fn):
+    el = fn(h, 1, queue_ids=np.array([], dtype=np.int64))
+    assert el.num_edges() == 0
+    assert el.num_vertices() == h.num_hyperedges()
+
+
+@pytest.mark.parametrize("fn", QUEUE_ALGOS)
+def test_union_of_disjoint_queues_covers_full_result(h, fn):
+    """Partitioning the ID space across two queue runs and unioning the
+    outputs reproduces the full line graph (each unordered pair is found
+    by its smaller endpoint, which lives in exactly one part)."""
+    ref = slinegraph_matrix(h, 2)
+    ids = np.arange(h.num_hyperedges())
+    a = fn(h, 2, queue_ids=ids[: ids.size // 2])
+    b = fn(h, 2, queue_ids=ids[ids.size // 2:])
+    pairs = set(zip(a.src.tolist(), a.dst.tolist())) | set(
+        zip(b.src.tolist(), b.dst.tolist())
+    )
+    assert pairs == set(zip(ref.src.tolist(), ref.dst.tolist()))

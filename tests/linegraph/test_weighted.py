@@ -1,0 +1,80 @@
+"""Weighted s-line construction tests (hashmap vs matrix oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.linegraph import slinegraph_hashmap, slinegraph_matrix
+from repro.linegraph.common import two_hop_pair_weighted
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+
+
+def weighted_h(seed: int = 0, ne: int = 25, nv: int = 20):
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    for e in range(ne):
+        mem = rng.choice(nv, size=rng.integers(1, 6), replace=False)
+        rows += [e] * len(mem)
+        cols += mem.tolist()
+    w = rng.uniform(0.5, 4.0, len(rows))
+    return BiAdjacency.from_biedgelist(BiEdgeList(rows, cols, w, n0=ne, n1=nv))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("s", [1, 2, 3])
+def test_hashmap_matches_matrix_oracle(seed, s):
+    h = weighted_h(seed)
+    a = slinegraph_hashmap(h, s, weighted=True)
+    b = slinegraph_matrix(h, s, weighted=True)
+    assert a.src.tolist() == b.src.tolist()
+    assert a.dst.tolist() == b.dst.tolist()
+    assert np.allclose(a.weights, b.weights)
+
+
+def test_same_edge_set_as_unweighted():
+    """Weights change the edge *values*, never the edge *set* (the s
+    threshold stays on set overlap)."""
+    h = weighted_h(3)
+    for s in (1, 2):
+        w = slinegraph_hashmap(h, s, weighted=True)
+        u = slinegraph_hashmap(h, s, weighted=False)
+        assert w.src.tolist() == u.src.tolist()
+        assert w.dst.tolist() == u.dst.tolist()
+
+
+def test_weighted_values_by_hand():
+    # e0 = {0:2.0, 1:3.0}, e1 = {0:4.0, 2:5.0}: shared node 0 -> 2*4 = 8
+    h = BiAdjacency.from_biedgelist(
+        BiEdgeList([0, 0, 1, 1], [0, 1, 0, 2], [2.0, 3.0, 4.0, 5.0])
+    )
+    el = slinegraph_hashmap(h, 1, weighted=True)
+    assert el.src.tolist() == [0] and el.dst.tolist() == [1]
+    assert el.weights.tolist() == [8.0]
+
+
+def test_requires_weights():
+    h = BiAdjacency.from_biedgelist(BiEdgeList([0, 1], [0, 0]))
+    with pytest.raises(ValueError, match="weighted"):
+        two_hop_pair_weighted(h.edges, h.nodes, np.array([0, 1]))
+
+
+def test_unit_weights_reduce_to_counts():
+    rng = np.random.default_rng(5)
+    rows, cols = [], []
+    for e in range(20):
+        mem = rng.choice(15, size=rng.integers(1, 5), replace=False)
+        rows += [e] * len(mem)
+        cols += mem.tolist()
+    ones = np.ones(len(rows))
+    h = BiAdjacency.from_biedgelist(BiEdgeList(rows, cols, ones))
+    w = slinegraph_hashmap(h, 2, weighted=True)
+    u = slinegraph_hashmap(h, 2, weighted=False)
+    assert np.allclose(w.weights, u.weights)
+
+
+def test_empty_ids():
+    h = weighted_h(7)
+    src, dst, cnt, wgt = two_hop_pair_weighted(
+        h.edges, h.nodes, np.array([], dtype=np.int64)
+    )
+    assert src.size == dst.size == cnt.size == wgt.size == 0

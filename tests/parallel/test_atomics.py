@@ -1,0 +1,74 @@
+"""Unit tests for the atomic-idiom helpers (order-independence)."""
+
+import numpy as np
+
+from repro.parallel.atomics import compare_and_swap, fetch_or, write_max, write_min
+
+
+class TestWriteMin:
+    def test_basic(self):
+        a = np.array([5, 5, 5])
+        changed = write_min(a, np.array([0, 2]), np.array([3, 9]))
+        assert a.tolist() == [3, 5, 5]
+        assert changed == 1
+
+    def test_duplicate_indices_combined(self):
+        a = np.array([10])
+        write_min(a, np.array([0, 0, 0]), np.array([7, 3, 5]))
+        assert a[0] == 3
+
+    def test_order_independent(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 20, 100)
+        vals = rng.integers(0, 100, 100)
+        a = np.full(20, 1000)
+        b = a.copy()
+        write_min(a, idx, vals)
+        perm = rng.permutation(100)
+        write_min(b, idx[perm], vals[perm])
+        assert np.array_equal(a, b)
+
+    def test_no_change_returns_zero(self):
+        a = np.array([1, 1])
+        assert write_min(a, np.array([0, 1]), np.array([5, 5])) == 0
+
+
+class TestWriteMax:
+    def test_basic(self):
+        a = np.array([1, 1])
+        changed = write_max(a, np.array([0, 1]), np.array([5, 0]))
+        assert a.tolist() == [5, 1]
+        assert changed == 1
+
+
+class TestCompareAndSwap:
+    def test_first_wins_on_duplicates(self):
+        a = np.array([-1, -1])
+        won = compare_and_swap(
+            a, np.array([0, 0, 1]), -1, np.array([10, 20, 30])
+        )
+        assert a.tolist() == [10, 30]
+        assert won.tolist() == [True, False, True]
+
+    def test_failed_cas(self):
+        a = np.array([7])
+        won = compare_and_swap(a, np.array([0]), -1, np.array([99]))
+        assert a[0] == 7
+        assert not won[0]
+
+    def test_scalar_desired(self):
+        a = np.array([0, 0])
+        compare_and_swap(a, np.array([1]), 0, np.array(5))
+        assert a.tolist() == [0, 5]
+
+
+class TestFetchOr:
+    def test_exactly_one_winner_per_bit(self):
+        a = np.zeros(3, dtype=bool)
+        won = fetch_or(a, np.array([1, 1, 2]))
+        assert won.tolist() == [True, False, True]
+        assert a.tolist() == [False, True, True]
+
+    def test_already_set_loses(self):
+        a = np.array([True])
+        assert fetch_or(a, np.array([0])).tolist() == [False]

@@ -1,0 +1,83 @@
+"""Unit tests for the cost model / ledgers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.cost import CostModel, PhaseLedger, RunLedger
+
+
+def phase(times, name="p", serial=0.0, tasks=None):
+    arr = np.asarray(times, dtype=float)
+    return PhaseLedger(
+        name=name,
+        num_threads=arr.size,
+        thread_time=arr,
+        num_tasks=tasks if tasks is not None else arr.size,
+        serial_time=serial,
+    )
+
+
+class TestPhaseLedger:
+    def test_makespan_is_max_plus_serial(self):
+        p = phase([3.0, 9.0, 1.0], serial=2.0)
+        assert p.makespan == 11.0
+        assert p.total_work == 15.0
+
+    def test_load_imbalance(self):
+        assert phase([2.0, 2.0]).load_imbalance == 1.0
+        assert phase([4.0, 0.0]).load_imbalance == 2.0
+
+    def test_empty_phase(self):
+        p = phase([])
+        assert p.makespan == 0.0
+        assert p.load_imbalance == 1.0
+
+
+class TestRunLedger:
+    def test_phases_are_barriers(self):
+        run = RunLedger(num_threads=2)
+        run.add(phase([5.0, 1.0]))
+        run.add(phase([2.0, 2.0]))
+        assert run.makespan == 7.0
+        assert run.total_work == 10.0
+        assert run.num_tasks == 4
+
+    def test_speedup(self):
+        base = RunLedger(num_threads=1)
+        base.add(phase([100.0]))
+        fast = RunLedger(num_threads=4)
+        fast.add(phase([25.0, 25.0, 25.0, 25.0]))
+        assert fast.speedup_vs(base) == pytest.approx(4.0)
+
+    def test_zero_makespan_speedup(self):
+        empty = RunLedger(num_threads=1)
+        base = RunLedger(num_threads=1)
+        base.add(phase([10.0]))
+        assert empty.speedup_vs(base) == float("inf")
+        assert empty.speedup_vs(RunLedger(num_threads=1)) == 1.0
+
+
+class TestTimeline:
+    def test_timeline_sums_to_makespan(self):
+        run = RunLedger(num_threads=2)
+        run.add(phase([5.0, 1.0], name="a"))
+        run.add(phase([2.0, 2.0], name="b", serial=1.0))
+        tl = run.timeline()
+        assert [t[0] for t in tl] == ["a", "b"]
+        assert sum(t[1] for t in tl) == run.makespan
+
+    def test_dominant_phase(self):
+        run = RunLedger(num_threads=1)
+        assert run.dominant_phase() is None
+        run.add(phase([1.0], name="small"))
+        run.add(phase([9.0], name="big"))
+        assert run.dominant_phase() == "big"
+
+
+class TestCostModel:
+    def test_task_cost(self):
+        assert CostModel(task_overhead=2.0).task_cost(3.0) == 5.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().task_overhead = 5.0

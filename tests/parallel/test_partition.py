@@ -1,0 +1,81 @@
+"""Unit tests for the range adaptors (blocked / cyclic / cyclic-neighbor)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.partition import (
+    blocked_range,
+    chunk_ids,
+    cyclic_neighbor_range,
+    cyclic_range,
+)
+from repro.structures.csr import CSR
+
+
+class TestBlockedRange:
+    def test_covers_all_ids_once(self):
+        chunks = blocked_range(10, 3)
+        assert sorted(chunk_ids(chunks)) == list(range(10))
+
+    def test_contiguous(self):
+        for chunk in blocked_range(100, 7):
+            assert np.array_equal(chunk, np.arange(chunk[0], chunk[-1] + 1))
+
+    def test_respects_chunk_count(self):
+        assert len(blocked_range(100, 7)) == 7
+        assert len(blocked_range(3, 10)) == 3  # never more chunks than ids
+
+    def test_accepts_explicit_ids(self):
+        ids = np.array([5, 9, 2, 7])
+        chunks = blocked_range(ids, 2)
+        assert sorted(chunk_ids(chunks)) == [2, 5, 7, 9]
+        # explicit order preserved within blocks
+        assert chunks[0].tolist() == [5, 9]
+
+    def test_empty(self):
+        assert blocked_range(0, 4) == []
+
+    def test_invalid_num_chunks(self):
+        with pytest.raises(ValueError, match="num_chunks"):
+            blocked_range(10, 0)
+
+
+class TestCyclicRange:
+    def test_strided_assignment(self):
+        chunks = cyclic_range(10, 4)
+        assert chunks[0].tolist() == [0, 4, 8]
+        assert chunks[1].tolist() == [1, 5, 9]
+        assert chunks[3].tolist() == [3, 7]
+
+    def test_covers_all_ids_once(self):
+        assert sorted(chunk_ids(cyclic_range(37, 5))) == list(range(37))
+
+    def test_balances_sorted_skew(self):
+        """The paper's motivation: under degree-sorted skew, cyclic chunks
+        carry near-equal total cost while blocked chunks do not."""
+        costs = np.arange(100, 0, -1, dtype=float)  # descending "degrees"
+        blocked = [costs[c].sum() for c in blocked_range(100, 4)]
+        cyclic = [costs[c].sum() for c in cyclic_range(100, 4)]
+        assert max(blocked) / min(blocked) > 2.0
+        assert max(cyclic) / min(cyclic) < 1.1
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            cyclic_range(10, 0)
+
+
+class TestCyclicNeighborRange:
+    def test_pairs_ids_with_neighborhoods(self):
+        g = CSR.from_coo(np.array([0, 0, 1]), np.array([1, 2, 0]),
+                         num_sources=3, num_targets=3)
+        chunks = cyclic_neighbor_range(g, 2)
+        ids0, hoods0 = chunks[0]
+        assert ids0.tolist() == [0, 2]
+        assert hoods0[0].tolist() == [1, 2]
+        assert hoods0[1].tolist() == []
+
+    def test_explicit_ids(self):
+        g = CSR.from_coo(np.array([0, 1]), np.array([1, 0]))
+        chunks = cyclic_neighbor_range(g, 1, ids=np.array([1]))
+        assert chunks[0][0].tolist() == [1]
+        assert chunks[0][1][0].tolist() == [0]

@@ -1,0 +1,115 @@
+"""Unit tests for ParallelRuntime (simulated parallel_for / ledgers)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.cost import CostModel
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelRuntime(num_threads=0)
+        with pytest.raises(ValueError):
+            ParallelRuntime(partitioner="hexagonal")
+        with pytest.raises(ValueError):
+            ParallelRuntime(execution_order="reverse")
+        with pytest.raises(ValueError):
+            ParallelRuntime(grain=0)
+
+
+class TestParallelFor:
+    def test_values_in_submission_order(self):
+        rt = ParallelRuntime(num_threads=4)
+        chunks = rt.partition(20)
+        vals = rt.parallel_for(chunks, lambda c: c.sum())
+        assert vals == [c.sum() for c in chunks]
+
+    def test_shuffled_execution_same_values(self):
+        rt = ParallelRuntime(num_threads=4, execution_order="shuffled", seed=9)
+        chunks = rt.partition(20)
+        vals = rt.parallel_for(chunks, lambda c: int(c.sum()))
+        assert vals == [int(c.sum()) for c in chunks]
+
+    def test_default_cost_is_chunk_size(self):
+        model = CostModel(task_overhead=0.0)
+        rt = ParallelRuntime(num_threads=1, cost_model=model)
+        rt.parallel_for([np.arange(7)], lambda c: None)
+        assert rt.makespan == 7.0
+
+    def test_task_result_cost_used(self):
+        model = CostModel(task_overhead=0.0)
+        rt = ParallelRuntime(num_threads=1, cost_model=model)
+        rt.parallel_for([np.arange(7)], lambda c: TaskResult("x", 99.0))
+        assert rt.makespan == 99.0
+
+    def test_ledger_accumulates_phases(self):
+        rt = ParallelRuntime(num_threads=2)
+        rt.parallel_for([np.arange(4)], lambda c: None, phase="a")
+        rt.parallel_for([np.arange(4)], lambda c: None, phase="b")
+        assert len(rt.ledger.phases) == 2
+        assert rt.ledger.phases[0].name == "a"
+        assert rt.makespan == sum(p.makespan for p in rt.ledger.phases)
+
+    def test_new_run_resets(self):
+        rt = ParallelRuntime(num_threads=2)
+        rt.parallel_for([np.arange(4)], lambda c: None)
+        rt.new_run()
+        assert rt.makespan == 0.0
+
+    def test_tuple_chunk_cost(self):
+        model = CostModel(task_overhead=0.0)
+        rt = ParallelRuntime(num_threads=1, cost_model=model)
+        rt.parallel_for([(np.arange(3), ["a", "b", "c"])], lambda c: None)
+        assert rt.makespan == 3.0
+
+
+class TestPartition:
+    def test_blocked_default(self):
+        rt = ParallelRuntime(num_threads=2, grain=2, partitioner="blocked")
+        chunks = rt.partition(8)
+        assert len(chunks) == 4
+        assert chunks[0].tolist() == [0, 1]
+
+    def test_cyclic(self):
+        rt = ParallelRuntime(num_threads=2, grain=2, partitioner="cyclic")
+        chunks = rt.partition(8)
+        assert chunks[0].tolist() == [0, 4]
+
+
+class TestReduceAndSerial:
+    def test_parallel_reduce(self):
+        rt = ParallelRuntime(num_threads=3)
+        total = rt.parallel_reduce(
+            rt.partition(10), lambda c: int(c.sum()), lambda a, b: a + b, 0
+        )
+        assert total == 45
+
+    def test_serial_phase_adds_makespan(self):
+        model = CostModel(task_overhead=0.0, serial_cost_per_phase=0.0)
+        rt = ParallelRuntime(num_threads=8, cost_model=model)
+        rt.serial_phase(42.0)
+        assert rt.makespan == 42.0
+
+
+class TestScalingBehaviour:
+    def test_balanced_work_scales_linearly(self):
+        model = CostModel(task_overhead=0.0)
+        spans = {}
+        for p in (1, 2, 4, 8):
+            rt = ParallelRuntime(num_threads=p, grain=4, cost_model=model)
+            rt.parallel_for(rt.partition(1 << 12), lambda c: None)
+            spans[p] = rt.makespan
+        for p in (2, 4, 8):
+            assert spans[1] / spans[p] == pytest.approx(p, rel=0.05)
+
+    def test_serial_fraction_caps_speedup(self):
+        """Amdahl: with a serial fraction, speedup saturates."""
+        model = CostModel(task_overhead=0.0, serial_cost_per_phase=500.0)
+        spans = {}
+        for p in (1, 64):
+            rt = ParallelRuntime(num_threads=p, cost_model=model)
+            rt.parallel_for(rt.partition(1000), lambda c: None)
+            spans[p] = rt.makespan
+        assert spans[1] / spans[64] < 3.0

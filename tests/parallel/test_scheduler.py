@@ -1,0 +1,91 @@
+"""Unit tests for the static and work-stealing schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.cost import CostModel
+from repro.parallel.scheduler import (
+    StaticScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+
+MODEL = CostModel(task_overhead=0.0, steal_cost=0.0)
+
+
+class TestStatic:
+    def test_round_robin(self):
+        ledger = StaticScheduler().schedule([10, 20, 30, 40], 2, MODEL)
+        assert ledger.thread_time.tolist() == [40.0, 60.0]
+        assert ledger.num_steals == 0
+        assert ledger.makespan == 60.0
+
+    def test_one_thread(self):
+        ledger = StaticScheduler().schedule([5, 5, 5], 1, MODEL)
+        assert ledger.makespan == 15.0
+        assert ledger.load_imbalance == 1.0
+
+
+class TestWorkStealing:
+    def test_greedy_balances_skew(self):
+        # one huge task + many small: greedy puts small ones elsewhere
+        costs = [100] + [1] * 50
+        ws = WorkStealingScheduler().schedule(costs, 4, MODEL)
+        st = StaticScheduler().schedule(costs, 4, MODEL)
+        assert ws.makespan <= st.makespan
+        assert ws.makespan == 100.0  # the big task bounds the makespan
+
+    def test_deterministic(self):
+        costs = list(np.random.default_rng(3).integers(1, 100, 40))
+        a = WorkStealingScheduler().schedule(costs, 8, MODEL)
+        b = WorkStealingScheduler().schedule(costs, 8, MODEL)
+        assert np.array_equal(a.thread_time, b.thread_time)
+        assert a.num_steals == b.num_steals
+
+    def test_counts_steals(self):
+        model = CostModel(task_overhead=0.0, steal_cost=2.0)
+        # task 2 round-robins to thread 0, but thread 1 is free after its
+        # short task 1 while thread 0 is stuck on task 0 -> a steal
+        ledger = WorkStealingScheduler().schedule([100, 1, 1], 2, model)
+        assert ledger.num_steals >= 1
+        # ...and the steal cost was charged
+        assert ledger.thread_time[1] == 1 + 1 + 2.0
+
+    def test_total_work_conserved_modulo_overheads(self):
+        costs = [3.0, 7.0, 11.0]
+        ledger = WorkStealingScheduler().schedule(costs, 2, MODEL)
+        assert ledger.total_work == pytest.approx(21.0)
+
+    def test_makespan_lower_bound(self):
+        """Greedy is never better than max(total/p, max task)."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            costs = rng.integers(1, 50, size=rng.integers(1, 60)).astype(float)
+            p = int(rng.integers(1, 16))
+            ledger = WorkStealingScheduler().schedule(costs, p, MODEL)
+            lower = max(costs.sum() / p, costs.max())
+            assert ledger.makespan >= lower - 1e-9
+            # and within the classic greedy 2x bound
+            assert ledger.makespan <= 2 * lower + 1e-9
+
+
+class TestFactory:
+    def test_lookup(self):
+        assert isinstance(make_scheduler("static"), StaticScheduler)
+        assert isinstance(make_scheduler("work_stealing"), WorkStealingScheduler)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("magic")
+
+
+class TestCostModel:
+    def test_task_overhead_added(self):
+        model = CostModel(task_overhead=1.5)
+        ledger = StaticScheduler().schedule([10.0], 1, model)
+        assert ledger.makespan == 11.5
+
+    def test_serial_cost_charged_per_phase(self):
+        model = CostModel(task_overhead=0.0, serial_cost_per_phase=5.0)
+        ledger = StaticScheduler().schedule([10.0], 4, model)
+        assert ledger.makespan == 15.0

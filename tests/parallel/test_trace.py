@@ -1,0 +1,105 @@
+"""Schedule tracing / Chrome-trace export tests."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.parallel.cost import CostModel
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.parallel.trace import chrome_trace_events, export_chrome_trace
+
+
+def traced_runtime(**kw) -> ParallelRuntime:
+    return ParallelRuntime(
+        cost_model=CostModel(task_overhead=0.0, steal_cost=0.0),
+        trace=True,
+        **kw,
+    )
+
+
+class TestEventRecording:
+    def test_events_cover_every_task(self):
+        rt = traced_runtime(num_threads=3)
+        chunks = rt.partition(24)
+        rt.parallel_for(chunks, lambda c: None)
+        phase = rt.ledger.phases[0]
+        assert phase.events is not None
+        assert len(phase.events) == len(chunks)
+        ids = sorted(e[0] for e in phase.events)
+        assert ids == list(range(len(chunks)))
+
+    def test_no_events_without_trace(self):
+        rt = ParallelRuntime(num_threads=2)
+        rt.parallel_for(rt.partition(8), lambda c: None)
+        assert rt.ledger.phases[0].events is None
+
+    def test_events_non_overlapping_per_thread(self):
+        rt = traced_runtime(num_threads=4, scheduler="work_stealing")
+        rt.parallel_for(
+            rt.partition(40),
+            lambda c: TaskResult(None, float(c.sum() % 17 + 1)),
+        )
+        for phase in rt.ledger.phases:
+            per_thread: dict[int, list[tuple[float, float]]] = {}
+            for _, t, start, end in phase.events:
+                per_thread.setdefault(t, []).append((start, end))
+            for spans in per_thread.values():
+                spans.sort()
+                for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                    assert e1 <= s2 + 1e-9
+
+    def test_event_ends_match_thread_time(self):
+        for scheduler in ("static", "work_stealing"):
+            rt = traced_runtime(num_threads=3, scheduler=scheduler)
+            rt.parallel_for(rt.partition(17), lambda c: None)
+            phase = rt.ledger.phases[0]
+            for t in range(3):
+                ends = [e for (_, th, _, e) in phase.events if th == t]
+                if ends:
+                    assert max(ends) == pytest.approx(phase.thread_time[t])
+
+
+class TestChromeExport:
+    def test_export_structure(self):
+        rt = traced_runtime(num_threads=2)
+        rt.parallel_for(rt.partition(6), lambda c: None, phase="alpha")
+        rt.serial_phase(5.0, phase="merge")
+        buf = io.StringIO()
+        count = export_chrome_trace(rt.ledger, buf)
+        doc = json.loads(buf.getvalue())
+        assert len(doc["traceEvents"]) == count
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert any(n.startswith("alpha[") for n in names)
+        assert "merge (serial)" in names
+        for e in doc["traceEvents"]:
+            assert e["ph"] == "X"
+            assert e["dur"] >= 0
+
+    def test_phases_offset_sequentially(self):
+        rt = traced_runtime(num_threads=2)
+        rt.parallel_for(rt.partition(4), lambda c: None, phase="p1")
+        rt.parallel_for(rt.partition(4), lambda c: None, phase="p2")
+        events = chrome_trace_events(rt.ledger)
+        p1_end = max(e["ts"] + e["dur"] for e in events if e["cat"] == "p1")
+        p2_start = min(e["ts"] for e in events if e["cat"] == "p2")
+        assert p2_start >= p1_end - 1e-9
+
+    def test_file_export(self, tmp_path):
+        rt = traced_runtime(num_threads=2)
+        rt.parallel_for(rt.partition(4), lambda c: None)
+        p = tmp_path / "trace.json"
+        export_chrome_trace(rt.ledger, p)
+        assert json.loads(p.read_text())["traceEvents"]
+
+
+def test_algorithm_trace_end_to_end(paper_h):
+    """Tracing a real algorithm run produces a renderable timeline."""
+    from repro.algorithms.hypercc import hypercc
+
+    rt = ParallelRuntime(num_threads=4, trace=True)
+    hypercc(paper_h, runtime=rt)
+    events = chrome_trace_events(rt.ledger)
+    assert events
+    assert {e["tid"] for e in events} <= set(range(4))

@@ -1,0 +1,85 @@
+"""Unit tests for ThreadLocalQueues / WorkQueue."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.workqueue import ThreadLocalQueues, WorkQueue
+
+
+class TestThreadLocalQueues:
+    def test_push_merge_order(self):
+        q = ThreadLocalQueues(2, width=1)
+        q.push(1, np.array([5, 6]))
+        q.push(0, np.array([1, 2]))
+        q.push(0, np.array([3]))
+        assert q.merge().tolist() == [1, 2, 3, 5, 6]
+
+    def test_width2_pairs(self):
+        q = ThreadLocalQueues(1, width=2)
+        q.push(0, np.array([[0, 1], [2, 3]]))
+        merged = q.merge()
+        assert merged.shape == (2, 2)
+        assert merged[1].tolist() == [2, 3]
+
+    def test_width1_accepts_flat(self):
+        q = ThreadLocalQueues(1, width=1)
+        q.push(0, np.array([7]))
+        assert q.merge().tolist() == [7]
+
+    def test_shape_validation(self):
+        q = ThreadLocalQueues(1, width=2)
+        with pytest.raises(ValueError, match="shape"):
+            q.push(0, np.array([1, 2, 3]))
+
+    def test_empty_merge(self):
+        assert ThreadLocalQueues(3, width=1).merge().size == 0
+        assert ThreadLocalQueues(3, width=2).merge().shape == (0, 2)
+
+    def test_sizes(self):
+        q = ThreadLocalQueues(3, width=1)
+        q.push(0, np.array([1, 2]))
+        q.push(2, np.array([3]))
+        assert q.sizes().tolist() == [2, 0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadLocalQueues(0)
+        with pytest.raises(ValueError):
+            ThreadLocalQueues(1, width=0)
+
+    def test_empty_push_ignored(self):
+        q = ThreadLocalQueues(1, width=1)
+        q.push(0, np.array([], dtype=np.int64))
+        assert q.sizes().tolist() == [0]
+
+
+class TestWorkQueue:
+    def test_drain_all(self):
+        q = WorkQueue(np.array([4, 5, 6]))
+        assert len(q) == 3
+        assert q.drain().tolist() == [4, 5, 6]
+        assert q.empty()
+
+    def test_drain_chunked(self):
+        q = WorkQueue(np.arange(10))
+        assert q.drain(4).tolist() == [0, 1, 2, 3]
+        assert q.drain(4).tolist() == [4, 5, 6, 7]
+        assert q.drain(4).tolist() == [8, 9]
+        assert q.drain(4).size == 0
+
+    def test_noncontiguous_ids_supported(self):
+        """The whole point of the queue: arbitrary, permuted IDs."""
+        ids = np.array([42, 7, 1000, 3])
+        q = WorkQueue(ids)
+        assert q.drain().tolist() == ids.tolist()
+
+    def test_items_view(self):
+        q = WorkQueue(np.arange(5))
+        q.drain(2)
+        assert q.items.tolist() == [2, 3, 4]
+
+    def test_2d_rows(self):
+        q = WorkQueue(np.array([[1, 2], [3, 4], [5, 6]]))
+        first = q.drain(1)
+        assert first.tolist() == [[1, 2]]
+        assert len(q) == 2

@@ -1,0 +1,121 @@
+"""Unit tests for the adjoin (single-index-set) representation."""
+
+import numpy as np
+import pytest
+
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.csr import CSR
+from repro.structures.edgelist import BiEdgeList
+from repro.structures.matrices import adjoin_adjacency_matrix, is_symmetric
+
+
+class TestConstruction:
+    def test_from_biedgelist(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        assert g.nrealedges == 4
+        assert g.nrealnodes == 9
+        assert g.num_vertices() == 13
+        # each incidence contributes 2 directed edges
+        assert g.graph.num_edges() == 2 * len(paper_el)
+
+    def test_from_edgelist_symmetrizes(self, paper_el):
+        directed = paper_el.to_adjoin_edgelist()
+        g = AdjoinGraph.from_edgelist(directed, 4, 9)
+        ref = AdjoinGraph.from_biedgelist(paper_el)
+        assert g.graph == ref.graph
+
+    def test_size_mismatch_rejected(self):
+        graph = CSR.empty(5, num_targets=5)
+        with pytest.raises(ValueError, match="nrealedges"):
+            AdjoinGraph(graph, 2, 2)
+
+    def test_hyperedge_ids_low_range(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        # neighbors of a hyperedge are all in the hypernode range
+        for e in g.edge_range():
+            assert all(n >= g.nrealedges for n in g.graph[e])
+        for v in g.node_range():
+            assert all(n < g.nrealedges for n in g.graph[v])
+
+
+class TestIdMapping:
+    def test_roundtrip(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        assert g.adjoin_edge_id(3) == 3
+        assert g.adjoin_node_id(0) == 4
+        assert g.edge_id(3) == 3
+        assert g.node_id(4) == 0
+
+    def test_out_of_range(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        with pytest.raises(ValueError):
+            g.adjoin_edge_id(4)
+        with pytest.raises(ValueError):
+            g.adjoin_node_id(9)
+        with pytest.raises(ValueError):
+            g.edge_id(4)
+        with pytest.raises(ValueError):
+            g.node_id(3)
+
+    def test_is_hyperedge(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        assert g.is_hyperedge(0) and g.is_hyperedge(3)
+        assert not g.is_hyperedge(4)
+        mask = g.is_hyperedge(np.array([0, 4, 12]))
+        assert mask.tolist() == [True, False, False]
+
+
+class TestSplitResult:
+    def test_split(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        res = np.arange(13)
+        e, v = g.split_result(res)
+        assert e.tolist() == [0, 1, 2, 3]
+        assert v.tolist() == list(range(4, 13))
+
+    def test_split_length_checked(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        with pytest.raises(ValueError, match="length"):
+            g.split_result(np.arange(5))
+
+
+class TestMatrixStructure:
+    def test_block_structure(self, paper_el):
+        """A_G = [[0, B^t], [B, 0]] — Fig. 4's block form."""
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        h = BiAdjacency.from_biedgelist(paper_el)
+        a = adjoin_adjacency_matrix(g).toarray()
+        ne = g.nrealedges
+        assert np.all(a[:ne, :ne] == 0)
+        assert np.all(a[ne:, ne:] == 0)
+        upper = a[:ne, ne:]
+        bi = h.edges.to_scipy().toarray()
+        bi[bi > 0] = 1
+        assert np.array_equal(upper, bi)
+
+    def test_symmetric(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        assert is_symmetric(adjoin_adjacency_matrix(g))
+
+    def test_matrix_from_biadjacency_equals_from_adjoin(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        h = BiAdjacency.from_biedgelist(paper_el)
+        a1 = adjoin_adjacency_matrix(g).toarray()
+        a2 = adjoin_adjacency_matrix(h).toarray()
+        assert np.array_equal(a1, a2)
+
+
+class TestDegrees:
+    def test_degrees_split(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        h = BiAdjacency.from_biedgelist(paper_el)
+        deg = g.degrees()
+        assert deg[: g.nrealedges].tolist() == h.edge_sizes().tolist()
+        assert deg[g.nrealedges:].tolist() == h.node_degrees().tolist()
+
+    def test_isolated_nodes_kept(self):
+        el = BiEdgeList([0], [0], n0=1, n1=5)
+        g = AdjoinGraph.from_biedgelist(el)
+        assert g.num_vertices() == 6
+        assert g.degrees()[2:].tolist() == [0, 0, 0, 0]

@@ -1,0 +1,111 @@
+"""Unit tests for the two-index-set (bi-adjacency) representation."""
+
+import numpy as np
+import pytest
+
+from repro.structures.biadjacency import BiAdjacency, biadjacency
+from repro.structures.csr import CSR
+from repro.structures.edgelist import BiEdgeList
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist
+
+
+class TestConstruction:
+    def test_from_biedgelist_mutual_indexing(self, paper_el):
+        h = BiAdjacency.from_biedgelist(paper_el)
+        assert h.vertex_cardinality == (4, 9)
+        assert h.members(0).tolist() == [0, 1, 2]
+        assert h.memberships(2).tolist() == [0, 1, 2, 3]
+        assert h.num_incidences() == sum(len(m) for m in PAPER_MEMBERS)
+
+    def test_nodes_derived_by_transpose(self):
+        edges = CSR.from_coo(np.array([0, 0, 1]), np.array([0, 1, 1]),
+                             num_sources=2, num_targets=2)
+        h = BiAdjacency(edges)
+        assert h.memberships(1).tolist() == [0, 1]
+
+    def test_incidence_count_mismatch_rejected(self):
+        edges = CSR.from_coo(np.array([0]), np.array([0]))
+        nodes = CSR.from_coo(np.array([0, 0]), np.array([0, 0]))
+        with pytest.raises(ValueError, match="disagree"):
+            BiAdjacency(edges, nodes)
+
+    def test_node_csr_too_small_rejected(self):
+        edges = CSR.from_coo(np.array([0]), np.array([5]))
+        nodes = CSR.from_coo(np.array([0]), np.array([0]))
+        with pytest.raises(ValueError, match="too small"):
+            BiAdjacency(edges, nodes)
+
+    def test_from_arrays(self):
+        h = BiAdjacency.from_arrays([0, 0, 1], [0, 1, 1])
+        assert h.vertex_cardinality == (2, 2)
+
+    def test_from_hyperedge_lists(self):
+        h = BiAdjacency.from_hyperedge_lists([[0, 1], [1, 2]])
+        assert h.vertex_cardinality == (2, 3)
+        assert h.members(1).tolist() == [1, 2]
+
+
+class TestQueries:
+    def test_degrees(self, paper_h):
+        assert paper_h.edge_sizes().tolist() == [3, 3, 6, 4]
+        # hand-derived node degrees for the running example
+        assert paper_h.node_degrees().tolist() == [2, 3, 4, 2, 1, 1, 1, 1, 1]
+
+    def test_iteration_is_over_hyperedges(self, paper_h):
+        rows = [r.tolist() for r in paper_h]
+        assert rows[0] == [0, 1, 2]
+        assert len(rows) == 4
+
+    def test_dual_swaps_roles(self, paper_h):
+        d = paper_h.dual()
+        assert d.vertex_cardinality == (9, 4)
+        assert d.members(2).tolist() == [0, 1, 2, 3]
+        # dual of dual is the original
+        dd = d.dual()
+        assert dd.edges == paper_h.edges
+
+    def test_neighbors_of_edge(self, paper_h):
+        # e0 overlaps e1, e2, e3 (≥1); with min_overlap=2 only e1, e3;
+        # with 3 only e3 — hand-derived
+        assert paper_h.neighbors_of_edge(0).tolist() == [1, 2, 3]
+        assert paper_h.neighbors_of_edge(0, min_overlap=2).tolist() == [1, 3]
+        assert paper_h.neighbors_of_edge(0, min_overlap=3).tolist() == [3]
+
+    def test_neighbors_of_empty_edge(self):
+        h = BiAdjacency.from_biedgelist(BiEdgeList([1], [0], n0=2, n1=1))
+        assert paper_len(h.neighbors_of_edge(0)) == 0
+
+
+def paper_len(a: np.ndarray) -> int:
+    return int(a.size)
+
+
+class TestListing2Constructor:
+    def test_biadjacency_part0_part1(self, paper_el):
+        edges = biadjacency(paper_el, 0)
+        nodes = biadjacency(paper_el, 1)
+        assert edges.num_vertices() == 4
+        assert nodes.num_vertices() == 9
+        assert edges.transpose() == nodes
+
+    def test_bad_part(self, paper_el):
+        with pytest.raises(ValueError, match="part"):
+            biadjacency(paper_el, 2)
+
+
+class TestConsistency:
+    def test_edges_nodes_are_transposes(self, paper_h):
+        assert paper_h.edges.transpose() == paper_h.nodes
+        assert paper_h.nodes.transpose() == paper_h.edges
+
+    def test_incidences_conserved(self, random_h):
+        assert random_h.edges.num_edges() == random_h.nodes.num_edges()
+        assert (
+            random_h.edge_sizes().sum() == random_h.node_degrees().sum()
+        )
+
+    def test_hyperedge_lists_roundtrip(self, paper_h):
+        members = [paper_h.members(e).tolist() for e in range(4)]
+        h2 = BiAdjacency.from_hyperedge_lists(members, num_nodes=9)
+        assert h2.edges == paper_h.edges

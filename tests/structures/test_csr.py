@@ -1,0 +1,148 @@
+"""Unit tests for the CSR structure (range-of-ranges semantics)."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.structures.csr import CSR
+from repro.structures.edgelist import EdgeList
+
+
+def small() -> CSR:
+    # 0 -> {1, 2}, 1 -> {2}, 2 -> {}
+    return CSR.from_coo(np.array([0, 0, 1]), np.array([1, 2, 2]),
+                        num_sources=3, num_targets=3)
+
+
+class TestConstruction:
+    def test_from_coo_counting_sort(self):
+        g = small()
+        assert g.num_vertices() == 3
+        assert g.num_edges() == 3
+        assert g[0].tolist() == [1, 2]
+        assert g[1].tolist() == [2]
+        assert g[2].tolist() == []
+
+    def test_from_coo_rows_sorted(self):
+        g = CSR.from_coo(np.array([0, 0, 0]), np.array([5, 1, 3]))
+        assert g[0].tolist() == [1, 3, 5]
+        assert g.has_sorted_rows
+
+    def test_weights_follow_sort(self):
+        g = CSR.from_coo(
+            np.array([0, 0]), np.array([5, 1]), weights=np.array([9.0, 2.0])
+        )
+        assert g[0].tolist() == [1, 5]
+        assert g.row_weights(0).tolist() == [2.0, 9.0]
+
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSR(np.array([1, 2]), np.array([0, 1]))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSR(np.array([0, 2, 1, 2]), np.array([0, 1]))
+
+    def test_num_targets_validation(self):
+        with pytest.raises(ValueError, match="num_targets"):
+            CSR.from_coo(np.array([0]), np.array([5]), num_targets=3)
+
+    def test_rectangular_supported(self):
+        g = CSR.from_coo(np.array([0]), np.array([7]), num_sources=2,
+                         num_targets=10)
+        assert g.num_vertices() == 2
+        assert g.num_targets() == 10
+
+    def test_empty(self):
+        g = CSR.empty(4, num_targets=6)
+        assert g.num_vertices() == 4
+        assert g.num_edges() == 0
+        assert all(len(row) == 0 for row in g)
+
+    def test_scipy_roundtrip(self):
+        g = small()
+        back = CSR.from_scipy(g.to_scipy())
+        assert back == g
+
+    def test_from_scipy_dedup(self):
+        m = sp.coo_matrix(
+            (np.ones(3), (np.array([0, 0, 0]), np.array([1, 1, 2]))),
+            shape=(2, 3),
+        )
+        g = CSR.from_scipy(m)
+        assert g[0].tolist() == [1, 2]
+        assert g.weights[0] == 2.0  # summed duplicates
+
+
+class TestRangeOfRanges:
+    def test_getitem_is_view(self):
+        g = small()
+        row = g[0]
+        assert row.base is g.indices or row.base is not None
+
+    def test_iteration_matches_indexing(self):
+        g = small()
+        assert [r.tolist() for r in g] == [g[i].tolist() for i in range(3)]
+
+    def test_len(self):
+        assert len(small()) == 3
+
+
+class TestDegreesAndTransforms:
+    def test_degrees(self):
+        g = small()
+        assert g.degrees().tolist() == [2, 1, 0]
+        assert g.degree(0) == 2
+
+    def test_transpose_involution(self):
+        g = small()
+        t = g.transpose()
+        assert t.num_vertices() == 3
+        assert t[2].tolist() == [0, 1]
+        assert t.transpose() == g
+
+    def test_transpose_rectangular(self):
+        g = CSR.from_coo(np.array([0, 1]), np.array([4, 4]), num_sources=2,
+                         num_targets=5)
+        t = g.transpose()
+        assert t.num_vertices() == 5
+        assert t.num_targets() == 2
+        assert t[4].tolist() == [0, 1]
+
+    def test_sort_rows_noop_when_sorted(self):
+        g = small()
+        assert g.sort_rows() is g
+
+    def test_sort_rows(self):
+        g = CSR(np.array([0, 2]), np.array([3, 1]), sorted_rows=False)
+        assert g.sort_rows()[0].tolist() == [1, 3]
+
+    def test_sorted_detection(self):
+        assert CSR(np.array([0, 2]), np.array([1, 3]))._check_sorted()
+        assert not CSR(np.array([0, 2]), np.array([3, 1]))._check_sorted()
+        # row boundary decrease is fine
+        assert CSR(np.array([0, 1, 2]), np.array([5, 0]))._check_sorted()
+
+    def test_permuted_square_only(self):
+        g = CSR.from_coo(np.array([0]), np.array([1]), num_sources=2,
+                         num_targets=5)
+        with pytest.raises(ValueError, match="square"):
+            g.permuted(np.array([0, 1]))
+
+    def test_permuted_relabels_both_sides(self):
+        g = small()
+        perm = np.array([2, 0, 1])  # old->new
+        p = g.permuted(perm)
+        # edge (0,1) -> (2,0); (0,2) -> (2,1); (1,2) -> (0,1)
+        assert p[2].tolist() == [0, 1]
+        assert p[0].tolist() == [1]
+
+    def test_to_edgelist_roundtrip(self):
+        g = small()
+        el = g.to_edgelist()
+        assert isinstance(el, EdgeList)
+        back = CSR.from_coo(el.src, el.dst, num_sources=3, num_targets=3)
+        assert back == g
+
+    def test_neighborhood_pairs(self):
+        src, dst = small().neighborhood_pairs()
+        assert src.tolist() == [0, 0, 1]
+        assert dst.tolist() == [1, 2, 2]

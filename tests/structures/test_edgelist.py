@@ -1,0 +1,128 @@
+"""Unit tests for EdgeList / BiEdgeList."""
+
+import numpy as np
+import pytest
+
+from repro.structures.edgelist import BiEdgeList, EdgeList
+
+
+class TestEdgeList:
+    def test_basic_construction(self):
+        el = EdgeList([0, 1, 2], [1, 2, 0])
+        assert len(el) == 3
+        assert el.num_vertices() == 3
+        assert el.num_edges() == 3
+        assert list(el) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_empty(self):
+        el = EdgeList()
+        assert len(el) == 0
+        assert el.num_vertices() == 0
+
+    def test_explicit_num_vertices(self):
+        el = EdgeList([0], [1], num_vertices=10)
+        assert el.num_vertices() == 10
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            EdgeList([0, 5], [1, 2], num_vertices=3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            EdgeList([0, 1], [1])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EdgeList([-1], [0])
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError, match="weights"):
+            EdgeList([0], [1], weights=[1.0, 2.0])
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            EdgeList(np.zeros((2, 2), dtype=np.int64), [0, 1])
+
+    def test_symmetrize_doubles_edges(self):
+        el = EdgeList([0, 1], [1, 2], weights=[3.0, 4.0]).symmetrize()
+        assert len(el) == 4
+        assert set(el) == {(0, 1), (1, 0), (1, 2), (2, 1)}
+        assert el.weights is not None and el.weights.sum() == 14.0
+
+    def test_deduplicate_keeps_first_weight(self):
+        el = EdgeList([0, 0, 1], [1, 1, 2], weights=[5.0, 9.0, 1.0])
+        dd = el.deduplicate()
+        assert len(dd) == 2
+        assert dd.weights.tolist() == [5.0, 1.0]
+
+    def test_deduplicate_empty(self):
+        assert len(EdgeList(num_vertices=4).deduplicate()) == 0
+
+    def test_relabeled_roundtrip(self):
+        el = EdgeList([0, 1, 2], [1, 2, 0])
+        perm = np.array([2, 0, 1])
+        rl = el.relabeled(perm)
+        assert set(rl) == {(2, 0), (0, 1), (1, 2)}
+        inv = np.empty(3, dtype=np.int64)
+        inv[perm] = np.arange(3)
+        assert set(rl.relabeled(inv)) == set(el)
+
+    def test_relabeled_size_check(self):
+        with pytest.raises(ValueError, match="permutation"):
+            EdgeList([0], [1]).relabeled(np.array([0]))
+
+    def test_sorted_by(self):
+        el = EdgeList([2, 0, 1], [0, 1, 2])
+        s = el.sorted_by(np.argsort(el.src))
+        assert s.src.tolist() == [0, 1, 2]
+
+    def test_equality_semantics(self):
+        a = EdgeList([0, 1], [1, 0])
+        b = EdgeList([0, 1], [1, 0])
+        c = EdgeList([0, 1], [1, 0], weights=[1.0, 1.0])
+        assert a == b
+        assert a != c
+        assert (a == 42) is False or a.__eq__(42) is NotImplemented
+
+
+class TestBiEdgeList:
+    def test_cardinalities_inferred(self):
+        el = BiEdgeList([0, 1, 2], [5, 6, 7])
+        assert el.vertex_cardinality == (3, 8)
+        assert el.num_vertices(0) == 3
+        assert el.num_vertices(1) == 8
+        assert el.num_vertices() == 11
+
+    def test_bad_part_rejected(self):
+        with pytest.raises(ValueError, match="part"):
+            BiEdgeList([0], [0]).num_vertices(2)
+
+    def test_declared_cardinality_checked(self):
+        with pytest.raises(ValueError, match="cardinality"):
+            BiEdgeList([0, 5], [0, 0], n0=2)
+
+    def test_swapped_is_dual(self):
+        el = BiEdgeList([0, 0, 1], [1, 2, 2], n0=2, n1=3)
+        dual = el.swapped()
+        assert dual.vertex_cardinality == (3, 2)
+        assert set(dual) == {(1, 0), (2, 0), (2, 1)}
+
+    def test_swapped_involution(self):
+        el = BiEdgeList([0, 1], [1, 0], n0=2, n1=2)
+        back = el.swapped().swapped()
+        assert set(back) == set(el)
+        assert back.vertex_cardinality == el.vertex_cardinality
+
+    def test_to_adjoin_shifts_part1(self):
+        el = BiEdgeList([0, 1], [0, 1], n0=2, n1=3)
+        adj = el.to_adjoin_edgelist()
+        assert adj.num_vertices() == 5
+        assert set(adj) == {(0, 2), (1, 3)}
+
+    def test_deduplicate(self):
+        el = BiEdgeList([0, 0, 0], [1, 1, 2])
+        assert len(el.deduplicate()) == 2
+
+    def test_iteration(self):
+        el = BiEdgeList([3], [4])
+        assert list(el) == [(3, 4)]

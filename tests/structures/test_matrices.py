@@ -1,0 +1,74 @@
+"""Unit tests for matrix views (incidence, dual, overlap, adjoin)."""
+
+import numpy as np
+
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+from repro.structures.matrices import (
+    biadjacency_matrix,
+    dual_incidence_matrix,
+    incidence_matrix,
+    is_symmetric,
+    overlap_matrix,
+)
+
+from ..conftest import PAPER_MEMBERS, PAPER_OVERLAPS
+
+
+def test_incidence_shape_and_entries(paper_h):
+    b = incidence_matrix(paper_h)
+    assert b.shape == (9, 4)  # hypernodes × hyperedges (Eq. 4)
+    for e, members in enumerate(PAPER_MEMBERS):
+        col = b.getcol(e).toarray().ravel()
+        assert set(np.flatnonzero(col)) == set(members)
+        assert np.all(col[col > 0] == 1)
+
+
+def test_incidence_weighted(paper_el):
+    el = BiEdgeList(
+        paper_el.part0, paper_el.part1,
+        weights=np.arange(1, len(paper_el) + 1, dtype=float),
+        n0=4, n1=9,
+    )
+    h = BiAdjacency.from_biedgelist(el)
+    b = incidence_matrix(h, weighted=True)
+    assert b.data.max() > 1.0
+
+
+def test_dual_is_transpose(paper_h):
+    b = incidence_matrix(paper_h)
+    bd = dual_incidence_matrix(paper_h)
+    assert bd.shape == (4, 9)
+    assert np.array_equal(bd.toarray(), b.toarray().T)
+
+
+def test_biadjacency_matrix_orientation(paper_h):
+    m = biadjacency_matrix(paper_h)
+    assert m.shape == (4, 9)  # hyperedges × hypernodes
+    assert np.array_equal(m.toarray(), incidence_matrix(paper_h).toarray().T)
+
+
+def test_overlap_matrix_matches_hand_counts(paper_h):
+    ov = overlap_matrix(paper_h).toarray()
+    assert is_symmetric(overlap_matrix(paper_h))
+    # diagonal holds edge sizes
+    assert np.array_equal(np.diag(ov), [3, 3, 6, 4])
+    for e, f, c in PAPER_OVERLAPS:
+        assert ov[e, f] == c, (e, f)
+
+
+def test_overlap_matrix_dual_counts_shared_edges(paper_h):
+    ov = overlap_matrix(paper_h, dual=True).toarray()
+    assert ov.shape == (9, 9)
+    # nodes 1 and 2 share e0, e1, e3 -> 3
+    assert ov[1, 2] == 3
+    # node degrees on the diagonal
+    assert np.array_equal(np.diag(ov), paper_h.node_degrees())
+
+
+def test_is_symmetric_tolerance():
+    from scipy import sparse as sp
+
+    m = sp.csr_matrix(np.array([[0.0, 1.0], [1.0 + 1e-12, 0.0]]))
+    assert not is_symmetric(m)
+    assert is_symmetric(m, tol=1e-9)

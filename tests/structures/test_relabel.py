@@ -1,0 +1,117 @@
+"""Unit tests for relabel-by-degree and permutation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.linegraph import slinegraph_hashmap, slinegraph_matrix
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.csr import CSR
+from repro.structures.relabel import (
+    adjoin_safe_permutation,
+    degree_permutation,
+    inverse_permutation,
+    is_permutation,
+    relabel_by_degree,
+    relabel_hyperedges,
+)
+
+from ..conftest import random_biedgelist
+
+
+class TestDegreePermutation:
+    def test_descending_gives_high_degree_small_ids(self):
+        perm = degree_permutation(np.array([1, 5, 3]), "descending")
+        # vertex 1 (deg 5) -> id 0, vertex 2 (deg 3) -> 1, vertex 0 -> 2
+        assert perm.tolist() == [2, 0, 1]
+
+    def test_ascending(self):
+        perm = degree_permutation(np.array([1, 5, 3]), "ascending")
+        assert perm.tolist() == [0, 2, 1]
+
+    def test_stable_ties(self):
+        perm = degree_permutation(np.array([2, 2, 2]), "descending")
+        assert perm.tolist() == [0, 1, 2]
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError, match="order"):
+            degree_permutation(np.array([1]), "sideways")
+
+    def test_always_a_permutation(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            deg = rng.integers(0, 50, size=rng.integers(1, 40))
+            for order in ("ascending", "descending"):
+                assert is_permutation(degree_permutation(deg, order))
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        perm = np.array([3, 0, 2, 1])
+        inv = inverse_permutation(perm)
+        assert perm[inv].tolist() == [0, 1, 2, 3]
+        assert inv[perm].tolist() == [0, 1, 2, 3]
+
+    def test_is_permutation_rejects(self):
+        assert not is_permutation(np.array([0, 0, 1]))
+        assert not is_permutation(np.array([0, 5]))
+        assert not is_permutation(np.zeros((2, 2)))
+        assert is_permutation(np.array([1, 0]))
+
+
+class TestRelabelByDegree:
+    def test_relabeled_graph_has_sorted_degrees(self):
+        g = CSR.from_coo(
+            np.array([0, 0, 0, 1, 2, 2]), np.array([1, 2, 3, 0, 0, 1]),
+            num_sources=4, num_targets=4,
+        )
+        new, perm = relabel_by_degree(g, "descending")
+        deg = new.degrees()
+        assert all(deg[i] >= deg[i + 1] for i in range(len(deg) - 1))
+        assert is_permutation(perm)
+
+    def test_structure_preserved(self):
+        g = CSR.from_coo(np.array([0, 1]), np.array([1, 2]),
+                         num_sources=3, num_targets=3)
+        new, perm = relabel_by_degree(g)
+        assert new.num_edges() == g.num_edges()
+        # edge (u, v) exists iff (perm[u], perm[v]) exists in new
+        for u in range(3):
+            for v in g[u]:
+                assert perm[v] in new[perm[u]]
+
+
+class TestAdjoinSafePermutation:
+    def test_blocks_preserved(self):
+        deg = np.array([5, 1, 3, 9, 2])  # 2 hyperedges + 3 hypernodes
+        perm = adjoin_safe_permutation(deg, nrealedges=2)
+        assert is_permutation(perm)
+        assert set(perm[:2].tolist()) == {0, 1}
+        assert set(perm[2:].tolist()) == {2, 3, 4}
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="nrealedges"):
+            adjoin_safe_permutation(np.array([1]), nrealedges=5)
+
+
+class TestRelabelHyperedges:
+    def test_linegraph_invariant_under_relabel(self):
+        """Relabeling hyperedges permutes the s-line graph consistently —
+        the correctness property behind Fig. 9's relabel sweeps."""
+        h = BiAdjacency.from_biedgelist(random_biedgelist(seed=3))
+        for order in ("ascending", "descending"):
+            rh, perm = relabel_hyperedges(h, order)
+            assert rh.edge_sizes().sum() == h.edge_sizes().sum()
+            ref = slinegraph_matrix(h, 2)
+            got = slinegraph_hashmap(rh, 2)
+            inv = inverse_permutation(perm)
+            mapped = {
+                (min(inv[a], inv[b]), max(inv[a], inv[b]))
+                for a, b in zip(got.src, got.dst)
+            }
+            assert mapped == set(zip(ref.src.tolist(), ref.dst.tolist()))
+
+    def test_sizes_follow_permutation(self, paper_h):
+        rh, perm = relabel_hyperedges(paper_h, "descending")
+        # e2 (size 6) must have new ID 0
+        assert perm[2] == 0
+        assert rh.edge_sizes()[0] == 6

@@ -1,0 +1,97 @@
+"""Failure-injection tests for the invariant checkers."""
+
+import numpy as np
+import pytest
+
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.csr import CSR
+from repro.structures.validate import (
+    HypergraphInvariantError,
+    validate_adjoin,
+    validate_biadjacency,
+    validate_csr,
+)
+
+from ..conftest import random_biedgelist
+
+
+class TestValidateCSR:
+    def test_valid_passes(self):
+        g = CSR.from_coo(np.array([0, 0, 1]), np.array([1, 2, 0]),
+                         num_sources=3, num_targets=3)
+        validate_csr(g)
+
+    def test_unsorted_row_detected(self):
+        g = CSR(np.array([0, 2]), np.array([3, 1]), sorted_rows=True)
+        with pytest.raises(HypergraphInvariantError, match="not sorted"):
+            validate_csr(g)
+
+    def test_duplicate_neighbor_detected(self):
+        g = CSR(np.array([0, 2]), np.array([1, 1]), sorted_rows=True)
+        with pytest.raises(HypergraphInvariantError, match="duplicate"):
+            validate_csr(g)
+        validate_csr(g, require_unique=False)  # opt-out works
+
+    def test_out_of_range_index_detected(self):
+        g = CSR(np.array([0, 1]), np.array([5]), num_targets=6)
+        g._num_targets = 3  # corrupt after construction
+        with pytest.raises(HypergraphInvariantError, match="out of range"):
+            validate_csr(g)
+
+    def test_corrupt_indptr_detected(self):
+        g = CSR(np.array([0, 1]), np.array([0]))
+        g.indptr = np.array([1, 1])
+        with pytest.raises(HypergraphInvariantError, match="indptr"):
+            validate_csr(g)
+
+
+class TestValidateBiadjacency:
+    def test_valid_passes(self, paper_h):
+        validate_biadjacency(paper_h)
+
+    def test_random_valid(self):
+        validate_biadjacency(
+            BiAdjacency.from_biedgelist(random_biedgelist(seed=4))
+        )
+
+    def test_mismatched_halves_detected(self, paper_h):
+        """Reassign one incidence on the node side only: counts still
+        match, the transpose relation does not."""
+        broken = BiAdjacency.__new__(BiAdjacency)
+        broken.edges = paper_h.edges
+        indices = paper_h.nodes.indices.copy()
+        # node 4's only incidence is e2; claim it is e0 instead
+        pos = paper_h.nodes.indptr[4]
+        indices[pos] = 0
+        broken.nodes = CSR(
+            paper_h.nodes.indptr.copy(), indices,
+            num_targets=paper_h.nodes.num_targets(), sorted_rows=True,
+        )
+        with pytest.raises(HypergraphInvariantError, match="transpose"):
+            validate_biadjacency(broken)
+
+
+class TestValidateAdjoin:
+    def test_valid_passes(self, paper_el):
+        validate_adjoin(AdjoinGraph.from_biedgelist(paper_el))
+
+    def test_intra_partition_edge_detected(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        bad_graph = CSR.from_coo(
+            np.array([0, 1]), np.array([1, 0]),
+            num_sources=g.num_vertices(), num_targets=g.num_vertices(),
+        )
+        broken = AdjoinGraph(bad_graph, g.nrealedges, g.nrealnodes)
+        with pytest.raises(HypergraphInvariantError, match="partition"):
+            validate_adjoin(broken)
+
+    def test_asymmetry_detected(self, paper_el):
+        g = AdjoinGraph.from_biedgelist(paper_el)
+        asym = CSR.from_coo(
+            np.array([0]), np.array([g.nrealedges]),
+            num_sources=g.num_vertices(), num_targets=g.num_vertices(),
+        )
+        broken = AdjoinGraph(asym, g.nrealedges, g.nrealnodes)
+        with pytest.raises(HypergraphInvariantError, match="symmetric"):
+            validate_adjoin(broken)

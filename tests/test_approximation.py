@@ -1,0 +1,92 @@
+"""Approximation theory checks: s-line metrics vs exact hypergraph metrics.
+
+The identity that anchors the paper's approximation story: for s = 1, the
+line-graph distance between two hyperedges is *exactly* half their
+bipartite-expansion distance — no information loss at s = 1 for
+edge-to-edge reachability.  For s > 1, line distances can only grow
+(edges drop out), and components can only split.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.hyperbfs import hyperbfs_top_down
+from repro.graph.bfs import bfs_top_down
+from repro.linegraph import linegraph_csr, slinegraph_matrix
+from repro.structures.biadjacency import BiAdjacency
+
+from .conftest import random_biedgelist
+
+
+@pytest.fixture(params=[0, 1, 2])
+def h(request):
+    return BiAdjacency.from_biedgelist(
+        random_biedgelist(seed=request.param, num_edges=30, num_nodes=25,
+                          max_size=5)
+    )
+
+
+def test_1_line_distance_is_half_bipartite_distance(h):
+    g1 = linegraph_csr(slinegraph_matrix(h, 1))
+    for src in range(0, h.num_hyperedges(), 4):
+        line_dist, _ = bfs_top_down(g1, src)
+        edge_dist, _ = hyperbfs_top_down(h, src, source_is_edge=True)
+        for f in range(h.num_hyperedges()):
+            if edge_dist[f] < 0:
+                assert line_dist[f] == -1
+            else:
+                assert line_dist[f] * 2 == edge_dist[f], (src, f)
+
+
+def test_s_distances_monotone_in_s(h):
+    graphs = {
+        s: linegraph_csr(slinegraph_matrix(h, s)) for s in (1, 2, 3)
+    }
+    for src in range(0, h.num_hyperedges(), 5):
+        dists = {s: bfs_top_down(g, src)[0] for s, g in graphs.items()}
+        for f in range(h.num_hyperedges()):
+            d1, d2, d3 = dists[1][f], dists[2][f], dists[3][f]
+            # unreachable (-1) is "infinite": encode as a large value
+            inf = 10**9
+            v1 = d1 if d1 >= 0 else inf
+            v2 = d2 if d2 >= 0 else inf
+            v3 = d3 if d3 >= 0 else inf
+            assert v1 <= v2 <= v3
+
+
+def test_components_refine_as_s_grows(h):
+    from repro.graph.cc import connected_components
+
+    prev_partition = None
+    for s in (1, 2, 3):
+        g = linegraph_csr(slinegraph_matrix(h, s))
+        labels = connected_components(g)
+        groups: dict[int, set] = {}
+        for v, lab in enumerate(labels.tolist()):
+            groups.setdefault(lab, set()).add(v)
+        partition = {frozenset(grp) for grp in groups.values()}
+        if prev_partition is not None:
+            # every s-component is contained in some (s-1)-component
+            for comp in partition:
+                assert any(comp <= big for big in prev_partition)
+        prev_partition = partition
+
+
+def test_1_line_components_match_exact_hypergraph_components(h):
+    """Zero information loss for connectivity at s = 1: the 1-line
+    components are exactly the hyperedge sides of the exact components."""
+    from repro.algorithms.hypercc import hypercc
+    from repro.graph.cc import connected_components
+
+    e_lab, _ = hypercc(h)
+    g1 = linegraph_csr(slinegraph_matrix(h, 1))
+    line_lab = connected_components(g1)
+
+    def partition(labels):
+        groups: dict[int, set] = {}
+        for v, lab in enumerate(np.asarray(labels).tolist()):
+            groups.setdefault(lab, set()).add(v)
+        return {frozenset(grp) for grp in groups.values()}
+
+    # exclude empty hyperedges (isolated in both views by convention)
+    assert partition(e_lab) == partition(line_lab)

@@ -1,0 +1,147 @@
+"""CLI tests (python -m repro ...), run in-process via main()."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io.mmio import read_mm, write_mm
+
+from .conftest import make_biedgelist, PAPER_MEMBERS
+
+
+@pytest.fixture
+def mtx(tmp_path):
+    path = tmp_path / "example.mtx"
+    write_mm(path, make_biedgelist(PAPER_MEMBERS, num_nodes=9))
+    return str(path)
+
+
+def run(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestStats:
+    def test_basic(self, capsys, mtx):
+        out = run(capsys, "stats", mtx)
+        assert "hypernodes      9" in out
+        assert "hyperedges      4" in out
+        assert "max edge size   6" in out
+
+    def test_unsupported_format(self, tmp_path):
+        bad = tmp_path / "x.parquet"
+        bad.write_text("")
+        with pytest.raises(SystemExit, match="unsupported input"):
+            main(["stats", str(bad)])
+
+
+class TestConvert:
+    def test_mtx_to_hygra_roundtrip(self, capsys, mtx, tmp_path):
+        hygra = tmp_path / "out.hygra"
+        back = tmp_path / "back.mtx"
+        run(capsys, "convert", mtx, str(hygra))
+        run(capsys, "convert", str(hygra), str(back))
+        assert set(read_mm(back)) == set(read_mm(mtx))
+
+    def test_unsupported_output(self, mtx, tmp_path):
+        with pytest.raises(SystemExit, match="unsupported output"):
+            main(["convert", mtx, str(tmp_path / "x.bin")])
+
+
+class TestAlgorithms:
+    def test_cc(self, capsys, mtx):
+        out = run(capsys, "cc", mtx)
+        assert "components      1" in out
+
+    def test_cc_bipartite(self, capsys, mtx):
+        out = run(capsys, "cc", mtx, "--representation", "bipartite")
+        assert "components      1" in out
+
+    def test_bfs(self, capsys, mtx):
+        out = run(capsys, "bfs", mtx, "--source", "2")
+        assert "reached         4 hyperedges, 9 hypernodes" in out
+        assert "max distance    2" in out
+
+    def test_bfs_edge_source(self, capsys, mtx):
+        out = run(capsys, "bfs", mtx, "--source", "0", "--edge")
+        assert "reached         4 hyperedges" in out
+
+    def test_slinegraph(self, capsys, mtx, tmp_path):
+        out_path = tmp_path / "lg.mtx"
+        out = run(capsys, "slinegraph", mtx, "-s", "2", "-o", str(out_path))
+        assert "s=2 line graph: 4 vertices, 4 edges" in out
+        lg = read_mm(out_path)
+        assert len(lg) == 4
+
+    def test_slinegraph_algorithm_choice(self, capsys, mtx):
+        out = run(capsys, "slinegraph", mtx, "-s", "3",
+                  "--algorithm", "queue_intersection")
+        assert "4 vertices, 1 edges" in out
+
+    def test_metrics(self, capsys, mtx):
+        out = run(capsys, "metrics", mtx, "-s", "1", "2")
+        assert "s=1:" in out and "s=2:" in out
+        assert "components" in out
+
+    def test_dot_export(self, capsys, mtx, tmp_path):
+        out = run(capsys, "dot", mtx)
+        assert out.startswith("graph hypergraph {")
+        dot_path = tmp_path / "lg.dot"
+        out = run(capsys, "dot", mtx, "--linegraph", "-s", "2",
+                  "-o", str(dot_path))
+        assert "wrote" in out
+        assert dot_path.read_text().startswith("graph slinegraph_s2")
+
+    def test_csv_roundtrip(self, capsys, mtx, tmp_path):
+        csv_path = tmp_path / "h.csv"
+        back = tmp_path / "h2.mtx"
+        run(capsys, "convert", mtx, str(csv_path))
+        run(capsys, "convert", str(csv_path), str(back))
+        assert read_mm(back).num_edges() == read_mm(mtx).num_edges()
+
+    def test_metrics_table(self, capsys, mtx):
+        out = run(capsys, "metrics", mtx, "-s", "1", "2", "--table")
+        assert "avg dist" in out and "s=2" in out
+
+    def test_toplex(self, capsys, mtx):
+        out = run(capsys, "toplex", mtx, "-v")
+        assert "toplexes        3 / 4" in out
+        assert "edge 1:" in out
+
+
+class TestGenerateAndTable:
+    def test_generate_uniform(self, capsys, tmp_path):
+        out_path = tmp_path / "gen.mtx"
+        out = run(capsys, "generate", "uniform", "-o", str(out_path),
+                  "--edges", "20", "--nodes", "30", "--mean-size", "4",
+                  "--seed", "1")
+        assert "wrote" in out
+        el = read_mm(out_path)
+        assert el.num_vertices(0) == 20
+
+    def test_generate_standin(self, capsys, tmp_path):
+        out_path = tmp_path / "r.hygra"
+        run(capsys, "generate", "rand1", "-o", str(out_path))
+        assert out_path.exists()
+
+    def test_table1(self, capsys):
+        out = run(capsys, "table1")
+        assert "rand1" in out and "com-orkut" in out
+
+    def test_trace_export(self, capsys, mtx, tmp_path):
+        out_path = tmp_path / "t.json"
+        out = run(capsys, "trace", mtx, "-o", str(out_path),
+                  "--algorithm", "cc", "--threads", "4")
+        assert "wrote" in out
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_bench_figures(self, capsys):
+        out = run(capsys, "bench", "--figure", "7",
+                  "--dataset", "orkut-group", "--threads", "1", "4")
+        assert "AdjoinCC" in out and "t=4" in out
+        out = run(capsys, "bench", "--figure", "9",
+                  "--dataset", "rand1", "--threads", "8", "-s", "2")
+        assert "Hashmap" in out

@@ -1,0 +1,72 @@
+"""Second independent oracle: scipy.sparse.csgraph.
+
+networkx already cross-checks the graph substrate; csgraph is a third
+implementation with different internals (compiled Dijkstra/CC/BFS order),
+cheap to run at larger sizes.
+"""
+
+import numpy as np
+import pytest
+from scipy.sparse import csgraph
+
+from repro.graph.bfs import bfs_top_down
+from repro.graph.cc import connected_components
+from repro.graph.sssp import delta_stepping, dijkstra
+from repro.linegraph import linegraph_csr, slinegraph_hashmap
+from repro.structures.biadjacency import BiAdjacency
+from repro.testing import random_hypergraph
+
+
+@pytest.fixture(scope="module")
+def lg():
+    h = BiAdjacency.from_biedgelist(
+        random_hypergraph(seed=21, num_edges=300, num_nodes=200, max_size=5)
+    )
+    return linegraph_csr(slinegraph_hashmap(h, 2))
+
+
+def test_cc_matches_csgraph(lg):
+    m = lg.to_scipy()
+    n_ref, labels_ref = csgraph.connected_components(m, directed=False)
+    ours = connected_components(lg)
+    # compare as partitions (label values differ)
+    pairs = set(zip(labels_ref.tolist(), ours.tolist()))
+    assert len({a for a, _ in pairs}) == len(pairs) == len(
+        {b for _, b in pairs}
+    )
+    assert len({a for a, _ in pairs}) == n_ref
+
+
+def test_hop_distances_match_csgraph(lg):
+    m = lg.to_scipy()
+    m.data[:] = 1.0
+    ref = csgraph.shortest_path(m, method="D", unweighted=True, indices=0)
+    dist, _ = bfs_top_down(lg, 0)
+    ours = np.where(dist < 0, np.inf, dist.astype(float))
+    assert np.array_equal(np.isinf(ours), np.isinf(ref))
+    finite = ~np.isinf(ref)
+    assert np.array_equal(ours[finite], ref[finite])
+
+
+def test_weighted_sssp_matches_csgraph(lg):
+    m = lg.to_scipy()  # weights = overlap sizes
+    ref = csgraph.dijkstra(m, directed=False, indices=0)
+    for engine in (dijkstra, delta_stepping):
+        dist, _ = engine(lg, 0)
+        finite = ~np.isinf(ref)
+        assert np.allclose(dist[finite], ref[finite])
+        assert np.all(np.isinf(dist[~finite]))
+
+
+def test_overlap_matrix_matches_csgraph_pipeline():
+    """The whole construction, cross-checked through scipy end to end."""
+    h = BiAdjacency.from_biedgelist(
+        random_hypergraph(seed=5, num_edges=80, num_nodes=50)
+    )
+    lg = linegraph_csr(slinegraph_hashmap(h, 1))
+    b = h.nodes.to_scipy()
+    b.data[:] = 1.0
+    prod = (b.T @ b).toarray()
+    np.fill_diagonal(prod, 0)
+    ours = lg.to_scipy().toarray()
+    assert np.array_equal(ours, prod)

@@ -1,0 +1,66 @@
+"""Documentation code blocks stay syntactically valid.
+
+Every ```python fence in docs/ and README must at least compile; the
+README quickstart additionally executes (tests/test_readme.py).  Catches
+the usual drift where an API rename orphans a doc example.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = [
+    ROOT / "README.md",
+    ROOT / "docs" / "API.md",
+    ROOT / "docs" / "TUTORIAL.md",
+    ROOT / "docs" / "DEVELOPMENT.md",
+]
+
+
+def blocks(path: Path) -> list[tuple[int, str]]:
+    text = path.read_text(encoding="utf-8")
+    out = []
+    for match in re.finditer(r"```python\n(.*?)```", text, flags=re.S):
+        line = text[: match.start()].count("\n") + 2
+        out.append((line, match.group(1)))
+    return out
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_python_blocks_compile(doc):
+    for line, code in blocks(doc):
+        compile(code, f"{doc.name}:{line}", "exec")
+
+
+def test_tutorial_imports_resolve():
+    """Every `from repro... import X` in the tutorial must resolve."""
+    import importlib
+
+    text = (ROOT / "docs" / "TUTORIAL.md").read_text(encoding="utf-8")
+    for match in re.finditer(
+        r"^from (repro[\w.]*) import ([\w, ]+)", text, flags=re.M
+    ):
+        module = importlib.import_module(match.group(1))
+        for name in match.group(2).split(","):
+            assert hasattr(module, name.strip()), (
+                match.group(1), name.strip()
+            )
+
+
+def test_mentioned_cli_commands_exist():
+    """CLI subcommands named in the README exist in the parser."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions
+        if a.__class__.__name__ == "_SubParsersAction"
+    )
+    available = set(sub.choices)
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    match = re.search(r"python -m repro \{([^}]*)\}", readme)
+    assert match, "README lost its CLI summary"
+    named = {c.strip() for c in match.group(1).replace("\n", " ").split(",")}
+    assert named <= available, named - available

@@ -1,0 +1,148 @@
+"""Degenerate-input sweep: the whole public API on pathological hypergraphs.
+
+Empty hypergraphs, empty hyperedges, fully isolated node spaces, and
+single-entity instances — every query should degrade gracefully (empty
+results, identity labels, -1 distances), never crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NWHypergraph
+from repro.algorithms.s_traversal import s_connected_components_lazy
+from repro.core.smetrics import s_metrics_report
+from repro.linegraph import ALGORITHMS, to_two_graph
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+
+CONSTRUCTIONS = sorted(set(ALGORITHMS) - {"matrix", "threaded"})
+
+
+@pytest.fixture
+def empty():
+    """No edges, no nodes."""
+    return NWHypergraph([], [], num_edges=0, num_nodes=0)
+
+
+@pytest.fixture
+def hollow():
+    """3 hyperedges, all empty; 4 isolated hypernodes."""
+    return NWHypergraph([], [], num_edges=3, num_nodes=4)
+
+
+@pytest.fixture
+def singleton():
+    """One hyperedge holding one hypernode."""
+    return NWHypergraph([0], [0])
+
+
+class TestEmpty:
+    def test_sizes(self, empty):
+        assert empty.number_of_edges() == 0
+        assert empty.number_of_nodes() == 0
+        assert empty.edge_size_dist() == {}
+
+    def test_toplexes(self, empty):
+        assert empty.toplexes().size == 0
+
+    def test_cc(self, empty):
+        e, n = empty.connected_components()
+        assert e.size == 0 and n.size == 0
+
+    def test_linegraphs(self, empty):
+        for name in CONSTRUCTIONS:
+            el = to_two_graph(empty.biadjacency, 1, name)
+            assert el.num_edges() == 0
+            assert el.num_vertices() == 0
+
+    def test_smetrics(self, empty):
+        rep = s_metrics_report(empty.biadjacency, [1])[1]
+        assert rep.num_components == 0
+        assert rep.density == 0.0
+
+    def test_diameter(self, empty):
+        assert empty.diameter("node") == 0
+        assert empty.diameter("edge") == 0
+
+
+class TestHollow:
+    def test_edge_sizes_zero(self, hollow):
+        assert hollow.edge_sizes().tolist() == [0, 0, 0]
+        assert hollow.degrees().tolist() == [0, 0, 0, 0]
+
+    def test_toplex_duplicate_rule(self, hollow):
+        # all-empty edges: exactly the first survives
+        assert hollow.toplexes().tolist() == [0]
+
+    def test_cc_everything_isolated(self, hollow):
+        e, n = hollow.connected_components()
+        assert e.tolist() == [0, 1, 2]
+        assert n.tolist() == [3, 4, 5, 6]  # consolidated IDs
+
+    def test_adjoin_roundtrip(self, hollow):
+        g = hollow.adjoin_graph
+        assert g.num_vertices() == 7
+        assert g.graph.num_edges() == 0
+
+    def test_linegraphs_empty(self, hollow):
+        for name in CONSTRUCTIONS:
+            el = to_two_graph(hollow.biadjacency, 1, name)
+            assert el.num_edges() == 0
+            assert el.num_vertices() == 3
+
+    def test_lazy_components(self, hollow):
+        labels = s_connected_components_lazy(hollow.biadjacency, 1)
+        assert labels.tolist() == [0, 1, 2]
+
+    def test_bfs_from_isolated_node(self, hollow):
+        e_dist, n_dist = hollow.bfs(2)
+        assert n_dist[2] == 0
+        assert np.all(e_dist == -1)
+
+
+class TestSingleton:
+    def test_structure(self, singleton):
+        assert singleton.size(0) == 1
+        assert singleton.degree(0) == 1
+        assert singleton.singletons().tolist() == [0]
+        assert singleton.toplexes().tolist() == [0]
+
+    def test_linegraph(self, singleton):
+        lg = singleton.s_linegraph(1)
+        assert lg.num_vertices() == 1
+        assert lg.num_edges() == 0
+        assert lg.s_connected_components() == []
+        assert lg.is_s_connected() is False
+        assert lg.s_eccentricity().tolist() == [0.0]
+
+    def test_metrics(self, singleton):
+        lg = singleton.s_linegraph(1)
+        assert lg.s_betweenness_centrality().tolist() == [0.0]
+        assert lg.s_pagerank().tolist() == [1.0]
+        assert lg.s_core_number().tolist() == [0]
+        assert lg.s_maximal_independent_set().tolist() == [0]
+
+    def test_distances(self, singleton):
+        assert singleton.edge_distance(0, 0) == 0
+        assert singleton.node_distance(0, 0) == 0
+        assert singleton.diameter("node") == 0
+
+
+class TestDegenerateRepresentations:
+    def test_empty_biadjacency_dual(self):
+        h = BiAdjacency.from_biedgelist(BiEdgeList(n0=0, n1=0))
+        d = h.dual()
+        assert d.num_hyperedges() == 0
+
+    def test_adjoin_empty(self):
+        g = AdjoinGraph.from_biedgelist(BiEdgeList(n0=0, n1=0))
+        assert g.num_vertices() == 0
+        e, n = g.split_result(np.empty(0))
+        assert e.size == n.size == 0
+
+    def test_collapse_on_hollow(self, hollow):
+        collapsed, classes = hollow.collapse_edges()
+        # all three empty edges are duplicates of one another
+        assert collapsed.number_of_edges() == 1
+        assert classes[0] == [0, 1, 2]

@@ -1,0 +1,66 @@
+"""Smoke-run every example script (keeps docs/examples executable)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "spectral_cut.py",
+    "author_paper_network.py",
+    "representations_tour.py",
+    "datasets_table.py",
+    "snap_pipeline.py",
+    "iteration_styles.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
+
+
+def test_scaling_study_runs_on_small_dataset(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["scaling_study.py", "orkut-group"])
+    runpy.run_path(str(EXAMPLES / "scaling_study.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Figure 7" in out and "Figure 9" in out
+    assert "AdjoinCC" in out and "Hashmap" in out
+
+
+def test_lazy_queries_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["lazy_queries.py"])
+    runpy.run_path(str(EXAMPLES / "lazy_queries.py"), run_name="__main__")
+    assert "lazy" in capsys.readouterr().out
+
+
+def test_s_measure_sweep_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["s_measure_sweep.py", "orkut-group"])
+    runpy.run_path(str(EXAMPLES / "s_measure_sweep.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "edges" in out and "clust" in out
+
+
+def test_schedule_trace_runs(capsys, monkeypatch, tmp_path):
+    monkeypatch.setattr(sys, "argv", ["schedule_trace.py", str(tmp_path)])
+    runpy.run_path(str(EXAMPLES / "schedule_trace.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "static_blocked" in out
+    assert (tmp_path / "trace_stealing_cyclic.json").exists()
+
+
+def test_every_example_has_a_smoke_test():
+    """New example scripts must be added to this module."""
+    covered = set(FAST) | {
+        "scaling_study.py", "lazy_queries.py", "s_measure_sweep.py",
+        "schedule_trace.py",
+    }
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == covered, on_disk.symmetric_difference(covered)

@@ -1,0 +1,112 @@
+"""Grand integration: the entire framework story in one test.
+
+The end-to-end narrative of the paper, executed as one pipeline with every
+cross-check on: file round-trip → both representations → exact algorithms
+(agreeing) → all construction algorithms (agreeing) → s-metrics (matching
+networkx) → aggregate report → null-model rewiring → spectral view.
+"""
+
+import io
+
+import networkx as nx
+import numpy as np
+
+from repro import NWHypergraph, ParallelRuntime
+from repro.core.smetrics import s_metrics_report
+from repro.core.spectral import hypergraph_laplacian
+from repro.io.generators import (
+    community_hypergraph,
+    configuration_model_hypergraph,
+)
+from repro.io.hygra import read_hygra, write_hygra
+from repro.io.mmio import read_mm, write_mm
+from repro.linegraph import ALGORITHMS, to_two_graph
+from repro.structures.validate import validate_adjoin, validate_biadjacency
+
+
+def test_the_whole_story():
+    # 1. dataset pipeline produces a community hypergraph
+    el = community_hypergraph(80, 120, mean_community_size=6, seed=99)
+
+    # 2. file round-trips through both supported formats
+    mm = io.StringIO()
+    write_mm(mm, el)
+    mm.seek(0)
+    el = read_mm(mm)
+    hy = io.StringIO()
+    write_hygra(hy, el)
+    hy.seek(0)
+    el = read_hygra(hy)
+
+    hg = NWHypergraph(el.part0, el.part1,
+                      num_edges=el.num_vertices(0),
+                      num_nodes=el.num_vertices(1))
+
+    # 3. both representations validate and agree on exact analytics
+    validate_biadjacency(hg.biadjacency)
+    validate_adjoin(hg.adjoin_graph)
+    for alg in ("afforest", "label_propagation", "shiloach_vishkin"):
+        e1, n1 = hg.connected_components("adjoin", alg)
+        e2, n2 = hg.connected_components("bipartite")
+        assert np.array_equal(e1, e2) and np.array_equal(n1, n2)
+    rt = ParallelRuntime(num_threads=8, partitioner="cyclic",
+                         execution_order="shuffled", seed=3)
+    d1 = hg.bfs(0, representation="adjoin", runtime=rt)
+    d2 = hg.bfs(0, representation="bipartite")
+    assert np.array_equal(d1[0], d2[0]) and np.array_equal(d1[1], d2[1])
+
+    # 4. every construction algorithm produces the identical 2-line graph
+    results = {
+        name: to_two_graph(hg.biadjacency, 2, name)
+        for name in sorted(set(ALGORITHMS) - {"naive"})  # naive is O(n_e²)
+    }
+    reference = results["matrix"]
+    for name, got in results.items():
+        assert got == reference, name
+
+    # 5. its metrics match networkx on the materialized graph
+    lg = hg.s_linegraph(2)
+    G = lg.to_networkx()
+    bc = lg.s_betweenness_centrality(normalized=True)
+    bc_nx = nx.betweenness_centrality(G, normalized=True)
+    assert np.allclose(bc, [bc_nx[v] for v in G])
+    pr = lg.s_pagerank(tol=1e-12)
+    pr_nx = nx.pagerank(G, tol=1e-12, max_iter=1000)
+    assert np.allclose(pr, [pr_nx[v] for v in G], atol=1e-8)
+
+    # 6. the aggregate s-report is internally consistent
+    reports = s_metrics_report(hg.biadjacency, [1, 2, 3])
+    assert reports[1].num_edges >= reports[2].num_edges >= reports[3].num_edges
+    assert reports[2].num_edges == lg.num_edges()
+
+    # 7. a degree-preserving null keeps Table-I statistics but not wiring
+    null = configuration_model_hypergraph(
+        hg.edge_sizes(), hg.degrees(), seed=7
+    )
+    hg_null = NWHypergraph(null.part0, null.part1,
+                           num_edges=null.num_vertices(0),
+                           num_nodes=null.num_vertices(1))
+    assert np.array_equal(hg_null.edge_sizes(), hg.edge_sizes())
+    assert np.array_equal(hg_null.degrees(), hg.degrees())
+
+    # 8. and the spectral view exists for both
+    for h in (hg, hg_null):
+        lap = hypergraph_laplacian(h.biadjacency)
+        assert lap.shape == (h.number_of_nodes(), h.number_of_nodes())
+
+
+def test_weighted_clique_side_through_public_api():
+    """Weighted s-clique graphs work via the dual with carried weights."""
+    rng = np.random.default_rng(1)
+    rows = [0, 0, 0, 1, 1, 2]
+    cols = [0, 1, 2, 1, 2, 2]
+    w = rng.uniform(1, 3, 6)
+    hg = NWHypergraph(rows, cols, w)
+    sc = hg.s_linegraph(1, edges=False, weighted=True)
+    # node pair (1, 2) co-occurs in e0 and e1: weight = sum of products
+    idx = {(a, b): i for i, (a, b) in enumerate(
+        zip(sc.edgelist.src.tolist(), sc.edgelist.dst.tolist()))}
+    k = idx[(1, 2)]
+    incid = {(r, c): wt for r, c, wt in zip(rows, cols, w)}
+    expect = incid[(0, 1)] * incid[(0, 2)] + incid[(1, 1)] * incid[(1, 2)]
+    assert sc.edgelist.weights[k] == np.float64(expect)

@@ -1,0 +1,127 @@
+"""Cross-module integration tests: the framework's workflows end to end.
+
+Each test walks one of the paper's advertised workflows across multiple
+subpackages: read/generate → represent (both ways) → compute (exact and
+approximate) → compare.
+"""
+
+import io
+
+import networkx as nx
+import numpy as np
+
+from repro import NWHypergraph, ParallelRuntime
+from repro.algorithms.adjoincc import adjoincc
+from repro.algorithms.hypercc import hypercc
+from repro.baselines.hygra import hygra_bfs, hygra_cc
+from repro.graph.cc import compress_labels
+from repro.io.datasets import load
+from repro.io.generators import community_hypergraph
+from repro.io.mmio import read_mm, write_mm
+from repro.linegraph import linegraph_csr, slinegraph_matrix
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+
+def test_mmio_to_metrics_pipeline(tmp_path):
+    """File → both representations → CC/BFS → s-line → metrics."""
+    el = community_hypergraph(60, 80, mean_community_size=6, seed=12)
+    path = tmp_path / "community.mtx"
+    write_mm(path, el)
+    back = read_mm(path)
+    hg = NWHypergraph(back.part0, back.part1,
+                      num_edges=back.num_vertices(0),
+                      num_nodes=back.num_vertices(1))
+    e_lab, n_lab = hg.connected_components()
+    assert e_lab.size == 60 and n_lab.size == 80
+    lg = hg.s_linegraph(2)
+    comps = lg.s_connected_components()
+    for comp in comps:
+        assert len(comp) > 1
+    bc = lg.s_betweenness_centrality()
+    assert bc.shape == (60,)
+
+
+def test_all_three_cc_systems_agree_on_every_dataset():
+    """Fig. 7's correctness precondition: AdjoinCC == HyperCC == HygraCC."""
+    for name in ("rand1", "orkut-group"):
+        el = load(name)
+        h = BiAdjacency.from_biedgelist(el)
+        g = AdjoinGraph.from_biedgelist(el)
+        e1, n1 = hypercc(h)
+        e2, n2 = adjoincc(g)
+        e3, n3 = hygra_cc(h)
+        assert np.array_equal(e1, e2) and np.array_equal(e1, e3)
+        assert np.array_equal(n1, n2) and np.array_equal(n1, n3)
+
+
+def test_all_three_bfs_systems_agree_on_dataset():
+    el = load("rand1")
+    h = BiAdjacency.from_biedgelist(el)
+    hg = NWHypergraph(el.part0, el.part1,
+                      num_edges=el.num_vertices(0),
+                      num_nodes=el.num_vertices(1))
+    src = 5
+    ref = hygra_bfs(h, src)
+    for rep in ("adjoin", "bipartite"):
+        got = hg.bfs(src, representation=rep)
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+
+
+def test_sline_cc_equals_networkx_community_structure():
+    """Build s-line graph, run OUR graph CC on it, compare to networkx on
+    the same materialized graph (the 'use any graph algorithm' workflow)."""
+    el = load("orkut-group")
+    h = BiAdjacency.from_biedgelist(el)
+    lg = slinegraph_matrix(h, 3)
+    g = linegraph_csr(lg)
+    from repro.graph.cc import connected_components
+
+    labels = compress_labels(connected_components(g))
+    G = nx.Graph()
+    G.add_nodes_from(range(g.num_vertices()))
+    G.add_edges_from(zip(lg.src.tolist(), lg.dst.tolist()))
+    expect = {frozenset(c) for c in nx.connected_components(G)}
+    groups: dict[int, set] = {}
+    for v, lab in enumerate(labels.tolist()):
+        groups.setdefault(lab, set()).add(v)
+    assert {frozenset(s) for s in groups.values()} == expect
+
+
+def test_simulated_runtime_consistency_across_all_entry_points():
+    """One runtime instance drives bipartite, adjoin and line-graph work
+    without mixing up results."""
+    el = load("rand1")
+    hg = NWHypergraph(el.part0, el.part1,
+                      num_edges=el.num_vertices(0),
+                      num_nodes=el.num_vertices(1))
+    rt = ParallelRuntime(num_threads=8, partitioner="cyclic")
+    ref_cc = hg.connected_components()
+    got_cc = hg.connected_components(runtime=rt)
+    assert np.array_equal(ref_cc[0], got_cc[0])
+    lg_ref = hg.s_linegraph(2)
+    lg_rt = hg.s_linegraph(2, runtime=ParallelRuntime(num_threads=8))
+    assert lg_ref.edgelist == lg_rt.edgelist
+
+
+def test_dual_sline_is_clique_side():
+    """H*'s line graph == H's clique side, through the public API."""
+    el = load("rand1")
+    hg = NWHypergraph(el.part0, el.part1,
+                      num_edges=el.num_vertices(0),
+                      num_nodes=el.num_vertices(1))
+    a = hg.s_linegraph(2, edges=False)
+    b = hg.dual().s_linegraph(2, edges=True)
+    assert a.edgelist == b.edgelist
+
+
+def test_roundtrip_through_stringio_preserves_algorithms():
+    el = load("orkut-group")
+    buf = io.StringIO()
+    write_mm(buf, el)
+    buf.seek(0)
+    back = read_mm(buf)
+    h1 = BiAdjacency.from_biedgelist(el)
+    h2 = BiAdjacency.from_biedgelist(back)
+    assert slinegraph_matrix(h1, 4) == slinegraph_matrix(h2, 4)

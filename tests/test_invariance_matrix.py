@@ -1,0 +1,109 @@
+"""Execution-configuration invariance matrix.
+
+The contract of the simulated runtime (DESIGN.md §5): *computed values*
+never depend on thread count, scheduler, partitioner, grain, or body
+execution order — only the simulated timings do.  This module sweeps the
+full configuration cross-product over each algorithm family and asserts
+byte-identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.adjoincc import adjoincc
+from repro.algorithms.hyperbfs import hyperbfs_direction_optimizing
+from repro.algorithms.hypercc import hypercc
+from repro.algorithms.toplex import toplexes
+from repro.baselines.hygra import hygra_cc
+from repro.linegraph import slinegraph_queue_hashmap, slinegraph_queue_intersection
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+from .conftest import random_biedgelist
+
+CONFIGS = [
+    dict(num_threads=1, scheduler="static", partitioner="blocked", grain=1),
+    dict(num_threads=3, scheduler="static", partitioner="cyclic", grain=2),
+    dict(num_threads=7, scheduler="work_stealing", partitioner="blocked",
+         grain=4),
+    dict(num_threads=16, scheduler="work_stealing", partitioner="cyclic",
+         grain=8, execution_order="shuffled", seed=11),
+    dict(num_threads=16, scheduler="work_stealing", partitioner="cyclic",
+         grain=8, execution_order="shuffled", seed=99),
+]
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    el = random_biedgelist(seed=13, num_edges=50, num_nodes=70, max_size=6)
+    return BiAdjacency.from_biedgelist(el), AdjoinGraph.from_biedgelist(el)
+
+
+def _runs(fn):
+    """Run fn under every config; return list of results."""
+    return [fn(ParallelRuntime(**cfg)) for cfg in CONFIGS]
+
+
+def _all_equal_pairs(results):
+    first = results[0]
+    for other in results[1:]:
+        assert np.array_equal(first[0], other[0])
+        assert np.array_equal(first[1], other[1])
+
+
+def test_hypercc_invariant(inputs):
+    h, _ = inputs
+    _all_equal_pairs(_runs(lambda rt: hypercc(h, runtime=rt)))
+
+
+def test_adjoincc_invariant(inputs):
+    _, g = inputs
+    for alg in ("afforest", "label_propagation"):
+        _all_equal_pairs(_runs(lambda rt: adjoincc(g, alg, runtime=rt)))
+
+
+def test_hygracc_invariant(inputs):
+    h, _ = inputs
+    _all_equal_pairs(_runs(lambda rt: hygra_cc(h, runtime=rt)))
+
+
+def test_bfs_distances_invariant(inputs):
+    h, _ = inputs
+    results = _runs(
+        lambda rt: hyperbfs_direction_optimizing(h, 0, runtime=rt)
+    )
+    # distances are schedule-invariant (parents may legitimately differ)
+    first = results[0]
+    for other in results[1:]:
+        assert np.array_equal(first[0], other[0])
+        assert np.array_equal(first[1], other[1])
+
+
+def test_queue_constructions_invariant(inputs):
+    h, g = inputs
+    for fn in (slinegraph_queue_hashmap, slinegraph_queue_intersection):
+        for rep in (h, g):
+            results = [
+                fn(rep, 2, runtime=ParallelRuntime(**cfg)) for cfg in CONFIGS
+            ]
+            assert all(r == results[0] for r in results[1:])
+
+
+def test_toplexes_invariant(inputs):
+    h, _ = inputs
+    results = _runs(lambda rt: toplexes(h, runtime=rt))
+    assert all(np.array_equal(results[0], r) for r in results[1:])
+
+
+def test_timings_are_deterministic_per_config(inputs):
+    """Same config, same input -> identical simulated makespan."""
+    h, _ = inputs
+    for cfg in CONFIGS:
+        spans = []
+        for _ in range(2):
+            rt = ParallelRuntime(**cfg)
+            rt.new_run()
+            hypercc(h, runtime=rt)
+            spans.append(rt.makespan)
+        assert spans[0] == spans[1]

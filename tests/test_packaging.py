@@ -1,0 +1,44 @@
+"""Packaging hygiene: version consistency, metadata files, public exports."""
+
+import re
+from pathlib import Path
+
+import repro
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_version_matches_pyproject():
+    pyproject = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    match = re.search(r'^version = "([^"]+)"', pyproject, flags=re.M)
+    assert match
+    assert repro.__version__ == match.group(1)
+
+
+def test_release_artifacts_exist():
+    for name in ("LICENSE", "CITATION.cff", "README.md", "DESIGN.md",
+                 "EXPERIMENTS.md"):
+        assert (ROOT / name).is_file(), name
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_alls_resolve():
+    import importlib
+
+    for sub in ("structures", "parallel", "graph", "algorithms",
+                "linegraph", "core", "baselines", "io", "bench"):
+        mod = importlib.import_module(f"repro.{sub}")
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), (sub, name)
+
+
+def test_every_module_has_docstring():
+    import ast
+
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{path} is missing a module docstring"

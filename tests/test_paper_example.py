@@ -1,0 +1,139 @@
+"""The running example, end to end, with hand-derived ground truth.
+
+Mirrors the paper's Figures 1–5 narrative: one hypergraph taken through
+every representation and algorithm, with expectations computed BY HAND (not
+by any code in this repository):
+
+    e0 = {0, 1, 2}
+    e1 = {1, 2, 3}
+    e2 = {2, 3, 4, 5, 7, 8}
+    e3 = {0, 1, 2, 6}
+
+Overlaps: |e0∩e1|=2, |e0∩e2|=1, |e0∩e3|=3, |e1∩e2|=2, |e1∩e3|=2,
+|e2∩e3|=1.  (The paper's figure example is not fully recoverable from the
+text; this is an analogous 4-edge/9-node instance — see DESIGN.md.)
+"""
+
+import numpy as np
+
+from repro import NWHypergraph
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.matrices import (
+    adjoin_adjacency_matrix,
+    incidence_matrix,
+)
+
+from .conftest import PAPER_MEMBERS
+
+
+def hg() -> NWHypergraph:
+    return NWHypergraph.from_hyperedge_lists(PAPER_MEMBERS, num_nodes=9)
+
+
+def test_fig1_incidence_matrix():
+    """Figure 1/2: the incidence structure, hand-transcribed."""
+    b = incidence_matrix(hg().biadjacency).toarray().astype(int)
+    expect = np.zeros((9, 4), dtype=int)
+    for e, mem in enumerate(PAPER_MEMBERS):
+        for v in mem:
+            expect[v, e] = 1
+    assert np.array_equal(b, expect)
+    # dual (§II-C): transpose
+    from repro.structures.matrices import dual_incidence_matrix
+
+    assert np.array_equal(
+        dual_incidence_matrix(hg().biadjacency).toarray().astype(int),
+        expect.T,
+    )
+
+
+def test_fig3_adjoin_single_index_set():
+    """Figure 3: hyperedges keep IDs 0–3, hypernodes become 4–12."""
+    h = hg()
+    g = h.adjoin_graph
+    assert g.nrealedges == 4
+    assert g.nrealnodes == 9
+    assert list(g.edge_range()) == [0, 1, 2, 3]
+    assert list(g.node_range()) == list(range(4, 13))
+    # e0 = {0,1,2} -> adjoin neighbors {4,5,6}
+    assert g.graph[0].tolist() == [4, 5, 6]
+
+
+def test_fig4_adjoin_block_matrix():
+    """Figure 4: A_G = [[0, Bᵗ], [B, 0]], symmetric and sparse."""
+    h = hg()
+    a = adjoin_adjacency_matrix(h.adjoin_graph).toarray().astype(int)
+    assert np.array_equal(a, a.T)
+    assert np.all(a[:4, :4] == 0)
+    assert np.all(a[4:, 4:] == 0)
+    b = incidence_matrix(h.biadjacency).toarray().astype(int)
+    assert np.array_equal(a[4:, :4], b)
+
+
+def test_fig5_three_s_line_graphs():
+    """Figure 5: the s = 1, 2, 3 line graphs, with edge strengths."""
+    h = hg()
+    s1 = h.s_linegraph(1)
+    assert set(zip(s1.edgelist.src.tolist(), s1.edgelist.dst.tolist())) == {
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)
+    }
+    weights = {
+        (a, b): int(w)
+        for a, b, w in zip(
+            s1.edgelist.src.tolist(),
+            s1.edgelist.dst.tolist(),
+            s1.edgelist.weights,
+        )
+    }
+    assert weights == {
+        (0, 1): 2, (0, 2): 1, (0, 3): 3, (1, 2): 2, (1, 3): 2, (2, 3): 1
+    }
+    s2 = h.s_linegraph(2)
+    assert set(zip(s2.edgelist.src.tolist(), s2.edgelist.dst.tolist())) == {
+        (0, 1), (0, 3), (1, 2), (1, 3)
+    }
+    s3 = h.s_linegraph(3)
+    assert set(zip(s3.edgelist.src.tolist(), s3.edgelist.dst.tolist())) == {
+        (0, 3)
+    }
+
+
+def test_exact_cc_single_component():
+    e_lab, n_lab = hg().connected_components()
+    assert e_lab.tolist() == [0, 0, 0, 0]
+    assert n_lab.tolist() == [0] * 9
+
+
+def test_exact_bfs_from_node2():
+    """Hand-traced: node 2 belongs to every hyperedge."""
+    edge_dist, node_dist = hg().bfs(2)
+    assert edge_dist.tolist() == [1, 1, 1, 1]
+    assert node_dist.tolist() == [2, 2, 0, 2, 2, 2, 2, 2, 2]
+
+
+def test_toplexes_e0_subsumed():
+    """e0 ⊂ e3, everything else maximal."""
+    assert hg().toplexes().tolist() == [1, 2, 3]
+
+
+def test_s2_metrics_hand_traced():
+    """s=2 line graph is the path-ish graph 2–1–0–3 plus edge 1–3:
+    vertices {0,1,3} form a triangle, 2 hangs off 1."""
+    lg = hg().s_linegraph(2)
+    assert lg.s_degree(1) == 3
+    assert lg.s_distance(2, 3) == 2
+    assert lg.s_path(2, 0) in ([2, 1, 0],)
+    # betweenness (unnormalized, undirected): only vertex 1 is on shortest
+    # paths (2->0 via 1, 2->3 via 1) -> bc(1) = 2
+    bc = lg.s_betweenness_centrality(normalized=False)
+    assert bc.tolist() == [0.0, 2.0, 0.0, 0.0]
+    # eccentricities: 0:2, 1:1, 2:2, 3:2
+    assert lg.s_eccentricity().tolist() == [2.0, 1.0, 2.0, 2.0]
+
+
+def test_adjoin_and_bipartite_agree_everywhere():
+    h = hg()
+    for src in range(9):
+        a = h.bfs(src, representation="adjoin")
+        b = h.bfs(src, representation="bipartite")
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linegraph import (
+    slinegraph_hashmap,
+    slinegraph_matrix,
+    slinegraph_queue_hashmap,
+    slinegraph_queue_intersection,
+)
+from repro.parallel.atomics import write_min
+from repro.parallel.partition import blocked_range, chunk_ids, cyclic_range
+from repro.parallel.scheduler import StaticScheduler, WorkStealingScheduler
+from repro.parallel.cost import CostModel
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.csr import CSR
+from repro.structures.edgelist import BiEdgeList
+from repro.structures.relabel import degree_permutation, inverse_permutation
+
+
+# ---- strategies -----------------------------------------------------------
+
+@st.composite
+def hypergraphs(draw, max_edges=12, max_nodes=10):
+    """A random small hypergraph as a BiEdgeList (possibly with empty edges)."""
+    n_e = draw(st.integers(1, max_edges))
+    n_v = draw(st.integers(1, max_nodes))
+    members = draw(
+        st.lists(
+            st.sets(st.integers(0, n_v - 1), max_size=n_v),
+            min_size=n_e,
+            max_size=n_e,
+        )
+    )
+    rows = [e for e, mem in enumerate(members) for _ in mem]
+    cols = [v for mem in members for v in mem]
+    return BiEdgeList(rows, cols, n0=n_e, n1=n_v)
+
+
+@st.composite
+def coo_graphs(draw, max_n=12):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, 3 * n))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64)
+
+
+# ---- CSR properties ----------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(coo_graphs())
+def test_csr_roundtrip_preserves_multiset(case):
+    n, src, dst = case
+    g = CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+    back_src, back_dst = g.neighborhood_pairs()
+    assert sorted(zip(src.tolist(), dst.tolist())) == sorted(
+        zip(back_src.tolist(), back_dst.tolist())
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_graphs())
+def test_csr_double_transpose_identity(case):
+    n, src, dst = case
+    g = CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+    assert g.transpose().transpose() == g
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_graphs())
+def test_degrees_sum_to_edges(case):
+    n, src, dst = case
+    g = CSR.from_coo(src, dst, num_sources=n, num_targets=n)
+    assert int(g.degrees().sum()) == g.num_edges()
+
+
+# ---- partition properties ------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 200), st.integers(1, 17))
+def test_partitions_are_exact_covers(n, k):
+    for adaptor in (blocked_range, cyclic_range):
+        chunks = adaptor(n, k)
+        assert sorted(chunk_ids(chunks)) == list(range(n))
+
+
+# ---- scheduler properties -------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 100.0), max_size=40),
+    st.integers(1, 16),
+)
+def test_greedy_within_classic_competitive_bound(costs, p):
+    """Greedy list scheduling: LB ≤ makespan ≤ 2·LB where LB is the
+    max(total/p, max task) lower bound; static obeys only the lower bound."""
+    model = CostModel(task_overhead=0.0, steal_cost=0.0)
+    ws = WorkStealingScheduler().schedule(costs, p, model)
+    static = StaticScheduler().schedule(costs, p, model)
+    lb = max(sum(costs) / p, max(costs, default=0.0))
+    assert lb - 1e-9 <= ws.makespan <= 2 * lb + 1e-9
+    assert static.makespan >= lb - 1e-9
+
+
+# ---- atomics ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_write_min_is_order_independent(data):
+    n = data.draw(st.integers(1, 15))
+    k = data.draw(st.integers(0, 40))
+    idx = np.array(
+        data.draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k)),
+        dtype=np.int64,
+    )
+    vals = np.array(
+        data.draw(st.lists(st.integers(-50, 50), min_size=k, max_size=k)),
+        dtype=np.int64,
+    )
+    a = np.full(n, 100, dtype=np.int64)
+    b = a.copy()
+    write_min(a, idx, vals)
+    order = np.argsort(vals, kind="stable")[::-1]
+    write_min(b, idx[order], vals[order])
+    assert np.array_equal(a, b)
+
+
+# ---- permutations -------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=40))
+def test_degree_permutation_invertible(degrees):
+    deg = np.array(degrees)
+    for order in ("ascending", "descending"):
+        perm = degree_permutation(deg, order)
+        inv = inverse_permutation(perm)
+        assert np.array_equal(perm[inv], np.arange(deg.size))
+
+
+# ---- s-line construction invariants ----------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs(), st.integers(1, 4))
+def test_all_constructions_agree(el, s):
+    h = BiAdjacency.from_biedgelist(el)
+    ref = slinegraph_matrix(h, s)
+    assert slinegraph_hashmap(h, s) == ref
+    assert slinegraph_queue_hashmap(h, s) == ref
+    assert slinegraph_queue_intersection(h, s) == ref
+    g = AdjoinGraph.from_biedgelist(el)
+    assert slinegraph_queue_hashmap(g, s) == ref
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_linegraph_weight_bounds(el):
+    """1 ≤ overlap ≤ min(|e|, |f|) for every emitted edge."""
+    h = BiAdjacency.from_biedgelist(el)
+    lg = slinegraph_matrix(h, 1)
+    sizes = h.edge_sizes()
+    for a, b, w in zip(lg.src.tolist(), lg.dst.tolist(), lg.weights):
+        assert 1 <= w <= min(sizes[a], sizes[b])
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_dual_of_dual_identity(el):
+    h = BiAdjacency.from_biedgelist(el)
+    dd = h.dual().dual()
+    assert dd.edges == h.edges
+    assert dd.nodes == h.nodes
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_cc_representations_always_agree(el):
+    from repro.algorithms.adjoincc import adjoincc
+    from repro.algorithms.hypercc import hypercc
+
+    h = BiAdjacency.from_biedgelist(el)
+    g = AdjoinGraph.from_biedgelist(el)
+    e1, n1 = hypercc(h)
+    e2, n2 = adjoincc(g)
+    assert np.array_equal(e1, e2)
+    assert np.array_equal(n1, n2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_toplex_is_antichain_and_covers(el):
+    """Toplexes: mutually incomparable, and every edge ⊆ some toplex."""
+    from repro.algorithms.toplex import toplexes
+
+    h = BiAdjacency.from_biedgelist(el)
+    tops = toplexes(h).tolist()
+    members = [set(h.members(e).tolist()) for e in range(h.num_hyperedges())]
+    for i in tops:
+        for j in tops:
+            if i != j:
+                assert not (members[i] <= members[j])
+    for e in range(h.num_hyperedges()):
+        assert any(members[e] <= members[t] for t in tops)

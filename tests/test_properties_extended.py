@@ -1,0 +1,159 @@
+"""Second wave of property-based tests: I/O roundtrips, lazy≡materialized,
+metric monotonicity, and format-fuzz failure injection."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.s_traversal import s_bfs_lazy, s_connected_components_lazy
+from repro.algorithms.toplex import toplexes
+from repro.graph.bfs import bfs_top_down
+from repro.graph.cc import connected_components
+from repro.io.hygra import read_hygra, write_hygra
+from repro.io.mmio import read_mm, write_mm
+from repro.linegraph import linegraph_csr, slinegraph_matrix
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+from repro.structures.validate import validate_adjoin, validate_biadjacency
+from repro.structures.adjoin import AdjoinGraph
+
+from .test_properties import hypergraphs
+
+
+# ---- I/O roundtrips ---------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_mmio_roundtrip(el):
+    buf = io.StringIO()
+    write_mm(buf, el)
+    buf.seek(0)
+    back = read_mm(buf)
+    assert back.vertex_cardinality == el.vertex_cardinality
+    assert sorted(back) == sorted(el)
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_hygra_roundtrip(el):
+    buf = io.StringIO()
+    write_hygra(buf, el)
+    buf.seek(0)
+    back = read_hygra(buf)
+    assert back.vertex_cardinality == el.vertex_cardinality
+    assert sorted(back) == sorted(el)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(max_size=200))
+def test_mmio_fuzz_raises_cleanly(garbage):
+    """Arbitrary text must raise ValueError, never crash differently."""
+    try:
+        read_mm(io.StringIO(garbage))
+    except ValueError:
+        pass
+    except Exception as exc:  # noqa: BLE001 - the assertion under test
+        raise AssertionError(f"unexpected {type(exc).__name__}: {exc}") from exc
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(max_size=200))
+def test_hygra_fuzz_raises_cleanly(garbage):
+    try:
+        read_hygra(io.StringIO(garbage))
+    except ValueError:
+        pass
+    except Exception as exc:  # noqa: BLE001
+        raise AssertionError(f"unexpected {type(exc).__name__}: {exc}") from exc
+
+
+# ---- validators accept everything we construct ------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_constructed_representations_always_valid(el):
+    validate_biadjacency(BiAdjacency.from_biedgelist(el))
+    validate_adjoin(AdjoinGraph.from_biedgelist(el))
+
+
+# ---- lazy == materialized --------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(hypergraphs(), st.integers(1, 3))
+def test_lazy_bfs_equals_materialized(el, s):
+    h = BiAdjacency.from_biedgelist(el)
+    g = linegraph_csr(slinegraph_matrix(h, s))
+    sizes = h.edge_sizes()
+    for src in range(h.num_hyperedges()):
+        lazy = s_bfs_lazy(h, src, s)
+        if sizes[src] < s:
+            assert lazy[src] == 0 and np.all(np.delete(lazy, src) == -1)
+            continue
+        ref, _ = bfs_top_down(g, src)
+        assert np.array_equal(lazy, ref)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hypergraphs(), st.integers(1, 3))
+def test_lazy_components_equal_materialized(el, s):
+    h = BiAdjacency.from_biedgelist(el)
+    g = linegraph_csr(slinegraph_matrix(h, s))
+    ref = connected_components(g)
+    # lazy skips undersized edges; they are isolated in the materialized
+    # graph too, so both are their own canonical label
+    assert np.array_equal(s_connected_components_lazy(h, s), ref)
+
+
+# ---- toplexes and line graphs interplay ----------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(hypergraphs())
+def test_duplicate_edges_share_line_neighborhoods(el):
+    """If e and f have identical members, their 1-line neighborhoods agree
+    (excluding each other)."""
+    h = BiAdjacency.from_biedgelist(el)
+    g = linegraph_csr(slinegraph_matrix(h, 1))
+    members = [tuple(h.members(e).tolist()) for e in range(h.num_hyperedges())]
+    seen: dict[tuple, int] = {}
+    for e, m in enumerate(members):
+        if not m:
+            continue
+        if m in seen:
+            f = seen[m]
+            ne = set(g[e].tolist()) - {e, f}
+            nf = set(g[f].tolist()) - {e, f}
+            assert ne == nf
+        else:
+            seen[m] = e
+
+
+@settings(max_examples=30, deadline=None)
+@given(hypergraphs())
+def test_toplex_reduction_preserves_node_connectivity(el):
+    """Dropping non-toplex hyperedges never disconnects hypernodes: every
+    dominated edge's connections are implied by a superset toplex."""
+    from repro.algorithms.hypercc import hypercc
+
+    h = BiAdjacency.from_biedgelist(el)
+    tops = toplexes(h)
+    rows = []
+    cols = []
+    for new_id, e in enumerate(tops.tolist()):
+        for v in h.members(e).tolist():
+            rows.append(new_id)
+            cols.append(v)
+    reduced = BiAdjacency.from_biedgelist(
+        BiEdgeList(rows, cols, n0=tops.size, n1=h.num_hypernodes())
+    )
+    _, full_nodes = hypercc(h)
+    _, red_nodes = hypercc(reduced)
+    # same node partition (labels differ because edge IDs changed)
+    def partition(labels):
+        groups = {}
+        for v, lab in enumerate(labels.tolist()):
+            groups.setdefault(lab, set()).add(v)
+        return {frozenset(s) for s in groups.values()}
+
+    assert partition(full_nodes) == partition(red_nodes)

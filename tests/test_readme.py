@@ -1,0 +1,33 @@
+"""Documentation accuracy: the README quickstart must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def test_quickstart_block_executes():
+    text = README.read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+    assert blocks, "README lost its python quickstart block"
+    namespace: dict = {}
+    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+    # the quickstart leaves a 2-line-graph in scope; sanity-check it
+    assert "hg" in namespace
+
+
+def test_architecture_section_matches_package():
+    """Every subpackage named in the README architecture block exists."""
+    import importlib
+
+    text = README.read_text(encoding="utf-8")
+    for name in re.findall(r"^repro\.(\w+)", text, flags=re.M):
+        importlib.import_module(f"repro.{name}")
+
+
+def test_docs_exist():
+    docs = README.parent / "docs"
+    assert (docs / "API.md").is_file()
+    assert (docs / "TUTORIAL.md").is_file()
+    assert (README.parent / "DESIGN.md").is_file()
+    assert (README.parent / "EXPERIMENTS.md").is_file()

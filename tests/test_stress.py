@@ -1,0 +1,62 @@
+"""Stress tests — large inputs that catch vectorization regressions.
+
+Everything here must stay comfortably fast (a few seconds): these sizes
+only work because the hot paths are O(incidences) NumPy kernels.  A
+per-element Python loop sneaking into a kernel makes these time out long
+before CI does.
+"""
+
+import numpy as np
+
+from repro.algorithms.adjoincc import adjoincc
+from repro.algorithms.hypercc import hypercc
+from repro.graph.bfs import bfs_direction_optimizing
+from repro.io.generators import uniform_random_hypergraph
+from repro.linegraph import linegraph_csr, slinegraph_hashmap, slinegraph_matrix
+from repro.structures.adjoin import AdjoinGraph
+from repro.structures.biadjacency import BiAdjacency
+
+N_EDGES = 50_000
+EDGE_SIZE = 10
+
+
+def big() -> BiAdjacency:
+    el = uniform_random_hypergraph(
+        num_edges=N_EDGES, num_nodes=N_EDGES, edge_size=EDGE_SIZE, seed=77
+    )
+    return BiAdjacency.from_biedgelist(el), el
+
+
+def test_large_construction_agrees_with_oracle():
+    h, _ = big()
+    assert h.num_incidences() == N_EDGES * EDGE_SIZE
+    got = slinegraph_hashmap(h, 2)
+    ref = slinegraph_matrix(h, 2)
+    assert got == ref
+
+
+def test_large_cc_both_representations():
+    h, el = big()
+    g = AdjoinGraph.from_biedgelist(el)
+    e1, n1 = hypercc(h)
+    e2, n2 = adjoincc(g)
+    assert np.array_equal(e1, e2)
+    assert np.array_equal(n1, n2)
+    # Rand1-style density -> one giant component
+    assert np.all(e1 == 0)
+
+
+def test_large_bfs_covers_giant_component():
+    h, el = big()
+    g = AdjoinGraph.from_biedgelist(el)
+    dist, _ = bfs_direction_optimizing(g.graph, g.adjoin_node_id(0))
+    assert (dist >= 0).mean() > 0.99
+
+
+def test_large_linegraph_metrics_run():
+    h, _ = big()
+    lg = linegraph_csr(slinegraph_hashmap(h, 3))
+    from repro.graph.cc import connected_components
+
+    labels = connected_components(lg)
+    assert labels.size == N_EDGES

@@ -1,0 +1,45 @@
+"""Tests for the public repro.testing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.testing import (
+    assert_valid_hypergraph,
+    hypergraphs,
+    random_hypergraph,
+)
+
+
+class TestRandomHypergraph:
+    def test_deterministic(self):
+        a = random_hypergraph(seed=4)
+        b = random_hypergraph(seed=4)
+        assert np.array_equal(a.part0, b.part0)
+        assert np.array_equal(a.part1, b.part1)
+
+    def test_shape_params(self):
+        el = random_hypergraph(num_edges=10, num_nodes=8, max_size=3,
+                               min_size=3)
+        h = assert_valid_hypergraph(el)
+        assert h.num_hyperedges() == 10
+        assert np.all(h.edge_sizes() == 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_size"):
+            random_hypergraph(min_size=0)
+        with pytest.raises(ValueError, match="min_size"):
+            random_hypergraph(min_size=5, max_size=3)
+
+
+class TestAssertValid:
+    def test_returns_biadjacency(self):
+        h = assert_valid_hypergraph(random_hypergraph(seed=1))
+        assert h.num_hyperedges() == 40
+
+
+@settings(max_examples=25, deadline=None)
+@given(hypergraphs())
+def test_strategy_outputs_are_valid(el):
+    h = assert_valid_hypergraph(el)
+    assert h.num_hyperedges() >= 1
