@@ -36,6 +36,10 @@ Subpackages
     Hygra (HygraBFS/HygraCC) comparators.
 ``repro.io``
     MatrixMarket I/O, seeded hypergraph generators, Table I stand-ins.
+``repro.service``
+    Serving layer: resident hypergraph store, byte-budgeted s-line-graph
+    cache with s-monotone reuse, JSON query engine, JSON-lines TCP server
+    (``python -m repro serve`` / ``query``).
 """
 
 from .core import NWHypergraph, SLineGraph

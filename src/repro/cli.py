@@ -13,6 +13,7 @@ and ``.csv`` (incidence tables).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -26,7 +27,8 @@ from repro.io.generators import (
     powerlaw_hypergraph,
     uniform_random_hypergraph,
 )
-from repro.io.hygra import read_hygra, write_hygra
+from repro.io.json_io import jsonify as _jsonify
+from repro.io.loader import read_any, write_any
 from repro.io.mmio import read_mm, write_mm
 from repro.structures.edgelist import BiEdgeList
 
@@ -34,35 +36,17 @@ __all__ = ["main", "build_parser"]
 
 
 def _read(path: str) -> BiEdgeList:
-    suffix = Path(path).suffix.lower()
-    if suffix == ".mtx":
-        return read_mm(path)
-    if suffix in (".hygra", ".adj"):
-        return read_hygra(path)
-    if suffix == ".csv":
-        from repro.io.csv import read_incidence_csv
-
-        el, _, _ = read_incidence_csv(path)
-        return el
-    raise SystemExit(
-        f"unsupported input format: {suffix!r} (use .mtx/.hygra/.csv)"
-    )
+    try:
+        return read_any(path)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _write(path: str, el: BiEdgeList) -> None:
-    suffix = Path(path).suffix.lower()
-    if suffix == ".mtx":
-        write_mm(path, el)
-    elif suffix in (".hygra", ".adj"):
-        write_hygra(path, el)
-    elif suffix == ".csv":
-        from repro.io.csv import write_incidence_csv
-
-        write_incidence_csv(path, el)
-    else:
-        raise SystemExit(
-            f"unsupported output format: {suffix!r} (use .mtx/.hygra/.csv)"
-        )
+    try:
+        write_any(path, el)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _hypergraph(path: str) -> NWHypergraph:
@@ -73,8 +57,23 @@ def _hypergraph(path: str) -> NWHypergraph:
     )
 
 
+def _dump_json(payload) -> None:
+    """Emit one JSON document; ``_jsonify`` strips numpy scalar/array types
+    first so ``np.int64`` histogram keys and ``np.float64`` means never
+    raise ``TypeError`` inside ``json.dumps``."""
+    print(json.dumps(_jsonify(payload), indent=2, sort_keys=True))
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    stats = dataset_stats(Path(args.file).stem, _read(args.file))
+    el = _read(args.file)
+    stats = dataset_stats(Path(args.file).stem, el)
+    if args.json:
+        hg = _hypergraph(args.file)
+        payload = dict(_jsonify(stats))
+        payload["edge_size_dist"] = hg.edge_size_dist()
+        payload["node_degree_dist"] = hg.node_degree_dist()
+        _dump_json(payload)
+        return 0
     print(f"hypergraph      {stats.name}")
     print(f"hypernodes      {stats.num_nodes}")
     print(f"hyperedges      {stats.num_edges}")
@@ -149,7 +148,9 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
     hg = _hypergraph(args.file)
     reports = s_metrics_report(hg.biadjacency, args.s)
-    if args.table:
+    if args.json:
+        _dump_json({s: rep for s, rep in sorted(reports.items())})
+    elif args.table:
         print(format_smetrics_table(reports))
     else:
         for s in sorted(reports):
@@ -260,6 +261,64 @@ _GENERATORS = {
 }
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analytics server until interrupted (Ctrl-C to stop)."""
+    from repro.service import AnalyticsServer, QueryEngine, SLineGraphCache
+
+    engine = QueryEngine(
+        cache=SLineGraphCache(
+            budget_bytes=None
+            if args.budget_mb is None
+            else int(args.budget_mb * 1024 * 1024),
+        ),
+        num_threads=args.threads,
+    )
+    for spec in args.dataset:
+        name, _, source = spec.partition("=")
+        engine.store.register(name, source or name)
+    server = AnalyticsServer(engine, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving {len(engine.store)} dataset(s) "
+          f"{engine.store.names()} on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Send JSON queries to a running server; one response line each."""
+    from repro.service import ServiceClient
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect must be HOST:PORT, got {args.connect!r}")
+    lines = args.query if args.query else [ln for ln in sys.stdin]
+    queries = []
+    for text in lines:
+        text = text.strip()
+        if not text:
+            continue
+        try:
+            queries.append(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"bad query {text!r}: {exc}")
+    failed = 0
+    with ServiceClient(host, int(port)) as client:
+        if args.batch:
+            responses = client.batch(queries)
+        else:
+            responses = [client.request(q) for q in queries]
+    for resp in responses:
+        if isinstance(resp, dict) and not resp.get("ok", False):
+            failed += 1
+        print(json.dumps(resp))
+    return 1 if failed else 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.kind in _GENERATORS:
         el = _GENERATORS[args.kind](args)
@@ -281,6 +340,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="Table-I style statistics of a file")
     p.add_argument("file")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (incl. size/degree dists)")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("convert", help="convert between .mtx and .hygra")
@@ -321,6 +382,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-s", type=int, nargs="+", default=[1, 2, 3])
     p.add_argument("--table", action="store_true",
                    help="one aligned table instead of per-s summaries")
+    p.add_argument("--json", action="store_true",
+                   help="full reports as one JSON document")
     p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("toplex", help="maximal hyperedges (Algorithm 3)")
@@ -364,6 +427,30 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[1, 2, 4, 8, 16, 32, 64])
     p.add_argument("-s", type=int, default=2, help="s for figure 9")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("serve",
+                       help="serve resident hypergraphs over TCP (JSON lines)")
+    p.add_argument("--dataset", action="append", default=[],
+                   metavar="NAME[=SOURCE]",
+                   help="register a dataset at startup; SOURCE is a file "
+                        "path or Table I stand-in name (default: NAME)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 binds an ephemeral port (printed at startup)")
+    p.add_argument("--budget-mb", type=float, default=64.0, dest="budget_mb",
+                   help="s-line-graph cache budget in MiB")
+    p.add_argument("--threads", type=int, default=4,
+                   help="simulated threads for batch dispatch")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query",
+                       help="send JSON queries to a running `repro serve`")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("query", nargs="*",
+                   help="query JSON objects (default: read lines from stdin)")
+    p.add_argument("--batch", action="store_true",
+                   help="send all queries as one batch request")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("generate", help="generate a hypergraph file")
     p.add_argument("kind",

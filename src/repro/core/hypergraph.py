@@ -64,6 +64,7 @@ class NWHypergraph:
         self._el = el.deduplicate()
         self._bi: BiAdjacency | None = None
         self._adjoin: AdjoinGraph | None = None
+        self._slg_memo: dict[tuple, SLineGraph] = {}
 
     # -- alternate constructors ------------------------------------------------
     @classmethod
@@ -120,6 +121,19 @@ class NWHypergraph:
         if self._adjoin is None:
             self._adjoin = AdjoinGraph.from_biedgelist(self._el)
         return self._adjoin
+
+    def invalidate(self) -> None:
+        """Drop every lazily cached derived structure.
+
+        Escape hatch for callers that mutate the underlying incidence
+        arrays in place (the supported workflow is immutable, but the
+        arrays are reachable): clears the memoized s-line graphs and the
+        lazy bi-adjacency/adjoin representations so the next access
+        rebuilds from the incidence list.
+        """
+        self._bi = None
+        self._adjoin = None
+        self._slg_memo.clear()
 
     # -- sizes / degrees ----------------------------------------------------------------
     def number_of_edges(self) -> int:
@@ -212,6 +226,7 @@ class NWHypergraph:
         out._el = self._el.swapped()
         out._bi = None
         out._adjoin = None
+        out._slg_memo = {}
         return out
 
     def collapse_edges(self) -> tuple["NWHypergraph", dict[int, list[int]]]:
@@ -427,7 +442,19 @@ class NWHypergraph:
         or ``matrix`` algorithm) emits weighted overlaps
         ``Σ w(e,v)·w(f,v)`` as edge weights; the ``s`` threshold stays on
         set overlap.
+
+        Repeated calls with the same ``(s, edges, algorithm, weighted)``
+        return the **same** :class:`SLineGraph` instance — memoized on the
+        hypergraph like the lazy ``biadjacency``/``adjoin_graph``
+        representations (every algorithm yields the identical canonical
+        edge list, so the key may safely include the algorithm).  Calls
+        carrying a ``runtime`` bypass the memo: they exist to *measure*
+        construction, and a cache hit would skip the simulated schedule.
+        Use :meth:`invalidate` to drop everything memoized.
         """
+        memo_key = (int(s), bool(edges), algorithm, bool(weighted))
+        if runtime is None and memo_key in self._slg_memo:
+            return self._slg_memo[memo_key]
         h = self.biadjacency if edges else self.biadjacency.dual()
         if weighted:
             if self.weights is None:
@@ -447,7 +474,10 @@ class NWHypergraph:
                 )
         else:
             el = to_two_graph(h, s, algorithm=algorithm, runtime=runtime)
-        return SLineGraph(el, s=s, over_edges=edges)
+        lg = SLineGraph(el, s=s, over_edges=edges)
+        if runtime is None:
+            self._slg_memo[memo_key] = lg
+        return lg
 
     def s_linegraphs(
         self,

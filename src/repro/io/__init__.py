@@ -19,7 +19,8 @@ from .generators import (
 from .csv import read_incidence_csv, write_incidence_csv
 from .dot import bipartite_dot, linegraph_dot
 from .hygra import read_hygra, write_hygra
-from .json_io import read_json, write_json
+from .json_io import jsonify, read_json, write_json
+from .loader import load_hypergraph, read_any, write_any
 from .pipeline import (
     communities_to_hypergraph,
     hypergraph_from_graph_communities,
@@ -39,18 +40,22 @@ __all__ = [
     "graph_reader",
     "graph_reader_adjoin",
     "hypergraph_from_graph_communities",
+    "jsonify",
     "linegraph_dot",
     "load",
+    "load_hypergraph",
     "path_hypergraph",
     "powerlaw_hypergraph",
     "read_hygra",
     "read_incidence_csv",
+    "read_any",
     "read_json",
     "read_snap_edgelist",
     "read_mm",
     "star_hypergraph",
     "table1",
     "uniform_random_hypergraph",
+    "write_any",
     "write_hygra",
     "write_incidence_csv",
     "write_json",

@@ -15,13 +15,47 @@ integer-core hypergraphs round-trip through stringified IDs.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
-from typing import TextIO
+from typing import Any, TextIO
+
+import numpy as np
 
 from repro.core.labeled import LabeledHypergraph
 
-__all__ = ["read_json", "write_json"]
+__all__ = ["jsonify", "read_json", "write_json"]
+
+
+def jsonify(obj: Any) -> Any:
+    """Recursively convert ``obj`` into ``json.dumps``-safe native types.
+
+    NumPy leaks through every analytics result in the framework —
+    ``np.int64`` histogram keys, ``np.float64`` means, distance arrays —
+    and ``json.dumps`` raises ``TypeError`` on all of them.  This is the
+    one conversion point the CLI's ``--json`` outputs and the serving
+    layer (:mod:`repro.service`) share:
+
+    * NumPy scalars become Python scalars (non-finite floats become
+      ``None``, since JSON has no ``inf``/``nan``);
+    * NumPy arrays become (nested) lists;
+    * dataclasses (``DatasetStats``, ``SMetricsReport``, ...) become dicts;
+    * dict *keys* are converted too (then stringified by ``json.dumps``
+      as usual) and containers are walked recursively.
+    """
+    if isinstance(obj, np.generic):
+        obj = obj.item()
+    if isinstance(obj, float) and not np.isfinite(obj):
+        return None
+    if isinstance(obj, np.ndarray):
+        return jsonify(obj.tolist())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return jsonify(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {jsonify(k): jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(v) for v in obj]
+    return obj
 
 _FORMAT = "repro-hypergraph"
 _VERSION = 1

@@ -1,0 +1,92 @@
+"""Extension-sniffing hypergraph loading — one entry point for every format.
+
+The CLI, the serving store (:mod:`repro.service.store`) and user scripts
+all need the same move: take a path, pick the reader by extension, hand
+back a :class:`~repro.structures.edgelist.BiEdgeList` (or a full
+:class:`~repro.core.hypergraph.NWHypergraph`).  Table I stand-in names
+(``rand1``, ``com-orkut``, ...) are accepted wherever a path is, so
+serving sessions can be spun up without files on disk.
+
+Supported extensions: ``.mtx`` (MatrixMarket), ``.hygra``/``.adj``
+(Hygra's AdjacencyHypergraph), ``.csv`` (incidence tables), ``.json``
+(the repro-hypergraph interchange format).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.structures.edgelist import BiEdgeList
+
+__all__ = ["read_any", "write_any", "load_hypergraph"]
+
+
+def read_any(path: str | Path) -> BiEdgeList:
+    """Read a hypergraph file, picking the parser from the extension.
+
+    A bare Table I dataset name (no extension, e.g. ``"rand1"``) resolves
+    to the generated stand-in instead of a file.
+    """
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix == ".mtx":
+        from .mmio import read_mm
+
+        return read_mm(p)
+    if suffix in (".hygra", ".adj"):
+        from .hygra import read_hygra
+
+        return read_hygra(p)
+    if suffix == ".csv":
+        from .csv import read_incidence_csv
+
+        el, _, _ = read_incidence_csv(p)
+        return el
+    if suffix == ".json":
+        from .json_io import read_json
+
+        return read_json(p).hypergraph._el
+    if not suffix:
+        from .datasets import DATASETS, load
+
+        if str(path).lower() in DATASETS:
+            return load(str(path))
+    raise ValueError(
+        f"unsupported input format: {suffix or str(path)!r} "
+        "(use .mtx/.hygra/.adj/.csv/.json or a Table I dataset name)"
+    )
+
+
+def write_any(path: str | Path, el: BiEdgeList) -> None:
+    """Write a hypergraph file, picking the writer from the extension."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".mtx":
+        from .mmio import write_mm
+
+        write_mm(path, el)
+    elif suffix in (".hygra", ".adj"):
+        from .hygra import write_hygra
+
+        write_hygra(path, el)
+    elif suffix == ".csv":
+        from .csv import write_incidence_csv
+
+        write_incidence_csv(path, el)
+    else:
+        raise ValueError(
+            f"unsupported output format: {suffix!r} (use .mtx/.hygra/.csv)"
+        )
+
+
+def load_hypergraph(path: str | Path) -> "NWHypergraph":
+    """Read ``path`` (or stand-in name) into a ready ``NWHypergraph``."""
+    from repro.core.hypergraph import NWHypergraph
+
+    el = read_any(path)
+    return NWHypergraph(
+        el.part0,
+        el.part1,
+        el.weights,
+        num_edges=el.num_vertices(0),
+        num_nodes=el.num_vertices(1),
+    )

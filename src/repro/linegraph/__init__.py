@@ -17,6 +17,7 @@ from repro.parallel.runtime import ParallelRuntime
 
 from .clique import clique_expansion, scliquegraph
 from .common import (
+    filter_overlaps,
     finalize_edges,
     intersect_count_sorted,
     linegraph_csr,
@@ -128,6 +129,7 @@ __all__ = [
     "to_two_graph_hashmap_blocked",
     "to_two_graph_hashmap_cyclic",
     "clique_expansion",
+    "filter_overlaps",
     "finalize_edges",
     "intersect_count_sorted",
     "linegraph_csr",

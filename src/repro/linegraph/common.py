@@ -17,6 +17,7 @@ from repro.structures.edgelist import EdgeList
 __all__ = [
     "batch_intersect_counts",
     "empty_linegraph",
+    "filter_overlaps",
     "finalize_edges",
     "intersect_count_sorted",
     "two_hop_pair_counts",
@@ -81,6 +82,35 @@ def empty_linegraph(num_hyperedges: int) -> EdgeList:
     """The canonical empty s-line graph (weighted, zero edges)."""
     zero = np.empty(0, dtype=np.int64)
     return finalize_edges(zero, zero, zero, num_hyperedges)
+
+
+def filter_overlaps(el: EdgeList, s: int) -> EdgeList:
+    """Derive ``L_s`` from a canonical ``L_{s'}`` edge list with ``s' <= s``.
+
+    Every construction algorithm records the overlap size ``|e ∩ f|`` as
+    the edge weight (:func:`finalize_edges`), and the s-line graphs are
+    monotone in s: ``L_s ⊆ L_{s'}`` whenever ``s' <= s``, with identical
+    overlap weights on the surviving pairs.  So the expensive counting pass
+    never has to rerun — thresholding the cached weighted edge list is
+    enough.  This is the s-monotone reuse path of the serving cache
+    (:mod:`repro.service.cache`).
+
+    Raises ``ValueError`` if ``el`` carries no overlap weights (a weighted
+    ``Σ w·w`` construction, or a hand-built list, cannot be thresholded).
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    if el.weights is None:
+        raise ValueError(
+            "filter_overlaps requires overlap counts as edge weights"
+        )
+    keep = el.weights >= s
+    return EdgeList(
+        el.src[keep],
+        el.dst[keep],
+        el.weights[keep],
+        num_vertices=el.num_vertices(),
+    )
 
 
 def intersect_count_sorted(a: np.ndarray, b: np.ndarray) -> int:

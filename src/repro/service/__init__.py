@@ -1,0 +1,41 @@
+"""``repro.service`` — the serving layer: resident hypergraphs, cached
+s-line graphs, a concurrent query engine, and a JSON-lines TCP server.
+
+The paper's workflow (Listing 5) is *build once, query many times*: the
+expensive lower-order approximation ``L_s(H)`` is materialized and then
+answers an arbitrary number of cheap s-metric queries.  The library
+classes support that within one script, but nothing held hypergraphs
+resident *across* queries, clients, or CLI invocations.  This package is
+that missing layer:
+
+* :mod:`~repro.service.store` — a session-scoped registry of named,
+  resident :class:`~repro.core.hypergraph.NWHypergraph` instances;
+* :mod:`~repro.service.cache` — a byte-budgeted LRU of materialized
+  :class:`~repro.core.slinegraph.SLineGraph` objects with **s-monotone
+  reuse** (``L_s`` derived from a cached ``L_{s'}``, ``s' < s``, by
+  thresholding overlap weights — no counting pass);
+* :mod:`~repro.service.engine` — JSON query dicts in, JSON-safe results
+  out, batches dispatched on the :mod:`repro.parallel` runtime, with
+  lazy s-traversal fallbacks under memory pressure;
+* :mod:`~repro.service.server` — a threaded JSON-lines TCP server
+  (stdlib ``socketserver``) plus socket and in-process clients.
+
+CLI: ``python -m repro serve`` / ``python -m repro query``.
+"""
+
+from .cache import CacheStats, SLineGraphCache, estimate_linegraph_bytes
+from .engine import QueryEngine, QueryError
+from .server import AnalyticsServer, InProcessClient, ServiceClient
+from .store import HypergraphStore
+
+__all__ = [
+    "AnalyticsServer",
+    "CacheStats",
+    "HypergraphStore",
+    "InProcessClient",
+    "QueryEngine",
+    "QueryError",
+    "SLineGraphCache",
+    "ServiceClient",
+    "estimate_linegraph_bytes",
+]

@@ -1,0 +1,291 @@
+"""Byte-budgeted LRU cache of materialized s-line graphs.
+
+The cache is keyed by ``(dataset, s, over_edges)`` and bounded by the
+*measured* byte footprint of each entry (edge list + symmetrized CSR),
+not an entry count — s-line graphs for the same budget can differ by
+orders of magnitude in size (§III-B.3's blow-up).
+
+Two ways a request avoids the counting pass:
+
+* **hit** — the exact key is cached;
+* **s-monotone derive** — some ``(dataset, s', over_edges)`` with
+  ``s' < s`` is cached.  Every construction algorithm already records the
+  overlap size ``|e ∩ f|`` as the edge weight, and ``L_s`` is exactly the
+  sub-edge-list of ``L_{s'}`` whose weights reach ``s``
+  (:func:`repro.linegraph.common.filter_overlaps`) — a single vectorized
+  threshold instead of a two-hop counting pass.  The largest cached
+  ``s' < s`` is preferred (fewest edges to filter).
+
+Entries that alone exceed the whole budget are built and returned but
+**not admitted** (counted as ``bypasses``) so one oversized graph cannot
+flush the working set.  All counters are exposed via :meth:`snapshot`
+and surfaced by the server's ``"metrics"`` op.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.hypergraph import NWHypergraph
+from repro.core.slinegraph import SLineGraph
+
+__all__ = ["CacheStats", "SLineGraphCache", "estimate_linegraph_bytes"]
+
+#: bytes per s-line edge across edge list (src/dst/weight int64+int64+f64)
+#: plus the symmetrized CSR (2 × (index + weight)); used only to *estimate*
+#: a not-yet-built graph's footprint for admission / laziness decisions.
+_BYTES_PER_EDGE = 24 + 2 * 16
+
+
+def estimate_linegraph_bytes(
+    hg: NWHypergraph, s: int, over_edges: bool = True
+) -> int:
+    """Cheap upper bound on the footprint of ``L_s`` before building it.
+
+    Bounds the s-line edge count by the two-hop pair volume
+    ``Σ_v d(v)·(d(v)-1)/2`` (every s-line edge is witnessed by ≥ s ≥ 1
+    shared vertices), scaled to bytes per materialized edge.  Loose for
+    dense overlap structure, but computable in one vectorized pass over
+    the degree array — exactly what the engine's "is the budget tight?"
+    check needs.
+    """
+    bi = hg.biadjacency
+    deg = bi.node_degrees() if over_edges else bi.edge_sizes()
+    deg = deg.astype(float)
+    pairs = float((deg * (deg - 1.0)).sum()) / 2.0
+    return int(pairs * _BYTES_PER_EDGE)
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`SLineGraphCache` (all monotone but bytes)."""
+
+    hits: int = 0
+    derives: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+    current_bytes: int = 0
+    budget_bytes: int | None = None
+    entries: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "derives": self.derives,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "current_bytes": self.current_bytes,
+            "budget_bytes": self.budget_bytes,
+            "entries": self.entries,
+        }
+
+
+class SLineGraphCache:
+    """LRU over materialized :class:`SLineGraph`\\ s under a byte budget.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Total footprint allowed across entries; ``None`` disables
+        eviction (unbounded).
+    algorithm:
+        Construction algorithm for cold builds (must be one that records
+        overlap counts as weights — all the unweighted constructions do).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int | None = 64 * 1024 * 1024,
+        algorithm: str = "hashmap",
+    ) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0 or None")
+        self.algorithm = algorithm
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[tuple[str, int, bool], SLineGraph] = (
+            OrderedDict()
+        )
+        self._sizes: dict[tuple[str, int, bool], int] = {}
+        self.stats = CacheStats(budget_bytes=budget_bytes)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def budget_bytes(self) -> int | None:
+        return self.stats.budget_bytes
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self.stats.current_bytes
+
+    def remaining_bytes(self) -> int | None:
+        """Budget headroom (``None`` when unbounded)."""
+        with self._lock:
+            if self.stats.budget_bytes is None:
+                return None
+            return max(0, self.stats.budget_bytes - self.stats.current_bytes)
+
+    def keys(self) -> list[tuple[str, int, bool]]:
+        """Cached keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def snapshot(self) -> dict:
+        """JSON-safe counter snapshot plus the resident key list."""
+        with self._lock:
+            out = self.stats.as_dict()
+            out["keys"] = [
+                {"dataset": d, "s": s, "over_edges": oe, "bytes": self._sizes[(d, s, oe)]}
+                for d, s, oe in self._entries
+            ]
+            return out
+
+    # -- lookup --------------------------------------------------------------
+    def lookup(
+        self, dataset: str, s: int, over_edges: bool = True
+    ) -> str | None:
+        """How a request *would* be served: ``'hit'``, ``'derive'``, ``None``.
+
+        Pure peek — no counters move, no recency changes.
+        """
+        with self._lock:
+            if (dataset, int(s), bool(over_edges)) in self._entries:
+                return "hit"
+            if self._derivable_key(dataset, int(s), bool(over_edges)):
+                return "derive"
+            return None
+
+    def _derivable_key(
+        self, dataset: str, s: int, over_edges: bool
+    ) -> tuple[str, int, bool] | None:
+        best = None
+        for key in self._entries:
+            d, s2, oe = key
+            if d == dataset and oe == over_edges and s2 < s:
+                lg = self._entries[key]
+                if lg.edgelist.weights is None:
+                    continue  # cannot threshold without overlap counts
+                if best is None or s2 > best[1]:
+                    best = key
+        return best
+
+    # -- main entry point ----------------------------------------------------
+    def get_or_build(
+        self,
+        dataset: str,
+        s: int,
+        hypergraph: NWHypergraph,
+        over_edges: bool = True,
+    ) -> tuple[SLineGraph, str]:
+        """Return ``(L_s, how)`` with ``how ∈ {'hit', 'derive', 'miss',
+        'bypass'}``; builds, derives, admits, and evicts as needed."""
+        if s < 1:
+            raise ValueError("s must be >= 1")
+        s = int(s)
+        over_edges = bool(over_edges)
+        key = (dataset, s, over_edges)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key], "hit"
+
+            base_key = self._derivable_key(dataset, s, over_edges)
+            if base_key is not None:
+                from repro.linegraph.common import filter_overlaps
+
+                base = self._entries[base_key]
+                self._entries.move_to_end(base_key)
+                lg = SLineGraph(
+                    filter_overlaps(base.edgelist, s), s=s,
+                    over_edges=over_edges,
+                )
+                self.stats.derives += 1
+                self._admit(key, lg)
+                return lg, "derive"
+
+        # Build outside the lock: construction is the expensive part and
+        # must not serialize unrelated cache traffic.  A racing duplicate
+        # build is benign — _admit re-checks under the lock.
+        lg = self._build(hypergraph, s, over_edges)
+        with self._lock:
+            if key in self._entries:  # raced with another builder
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key], "hit"
+            self.stats.misses += 1
+            admitted = self._admit(key, lg)
+            return lg, "miss" if admitted else "bypass"
+
+    def _build(
+        self, hypergraph: NWHypergraph, s: int, over_edges: bool
+    ) -> SLineGraph:
+        from repro.linegraph import to_two_graph
+
+        h = (
+            hypergraph.biadjacency
+            if over_edges
+            else hypergraph.biadjacency.dual()
+        )
+        el = to_two_graph(h, s, algorithm=self.algorithm)
+        return SLineGraph(el, s=s, over_edges=over_edges)
+
+    # -- admission / eviction (call with lock held) --------------------------
+    @staticmethod
+    def entry_bytes(lg: SLineGraph) -> int:
+        """Measured footprint of one entry (edge list + CSR)."""
+        return lg.edgelist.nbytes() + lg.graph.nbytes()
+
+    def _admit(self, key: tuple[str, int, bool], lg: SLineGraph) -> bool:
+        size = self.entry_bytes(lg)
+        budget = self.stats.budget_bytes
+        if budget is not None and size > budget:
+            self.stats.bypasses += 1
+            return False
+        self._entries[key] = lg
+        self._sizes[key] = size
+        self.stats.current_bytes += size
+        self.stats.entries = len(self._entries)
+        if budget is not None:
+            while self.stats.current_bytes > budget and len(self._entries) > 1:
+                old_key, _ = self._entries.popitem(last=False)
+                self.stats.current_bytes -= self._sizes.pop(old_key)
+                self.stats.evictions += 1
+            # the newest entry is never evicted by its own insertion; if it
+            # is the sole survivor the budget check above already passed
+            self.stats.entries = len(self._entries)
+        return True
+
+    # -- maintenance ---------------------------------------------------------
+    def invalidate(self, dataset: str | None = None) -> int:
+        """Drop entries (all, or one dataset's); returns how many."""
+        with self._lock:
+            if dataset is None:
+                n = len(self._entries)
+                self._entries.clear()
+                self._sizes.clear()
+                self.stats.current_bytes = 0
+            else:
+                doomed = [k for k in self._entries if k[0] == dataset]
+                n = len(doomed)
+                for k in doomed:
+                    del self._entries[k]
+                    self.stats.current_bytes -= self._sizes.pop(k)
+            self.stats.entries = len(self._entries)
+            return n
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        st = self.stats
+        return (
+            f"SLineGraphCache(entries={len(self)}, "
+            f"bytes={st.current_bytes}/{st.budget_bytes}, "
+            f"hits={st.hits}, derives={st.derives}, misses={st.misses})"
+        )

@@ -1,0 +1,444 @@
+"""The query engine — JSON query dicts in, JSON-safe result dicts out.
+
+One engine serves one session: a :class:`~repro.service.store.HypergraphStore`
+of resident hypergraphs and a :class:`~repro.service.cache.SLineGraphCache`
+of materialized approximations.  Queries are small dicts::
+
+    {"op": "s_distance", "dataset": "lj", "s": 2, "src": 4, "dst": 17}
+
+covering the Listing 5 s-metrics surface plus dataset stats, toplexes,
+the Aksoy s-measure report, and session management (``register``,
+``warm``, ``invalidate``, ``datasets``, ``metrics``).
+
+Execution strategy per query:
+
+* if ``L_s`` is cached (or s-monotone derivable) it is used;
+* otherwise, for the traversal-shaped ops (``s_distance``,
+  ``s_neighbors``, ``s_degree``, ``s_connected_components``,
+  ``is_s_connected``), when the *estimated* build footprint exceeds the
+  cache's remaining budget the engine answers from the lazy s-traversal
+  kernels (:mod:`repro.algorithms.s_traversal`) — trading recomputation
+  for memory instead of thrashing the cache;
+* everything else materializes through the cache (oversized graphs are
+  built but bypass admission).
+
+Batches are dispatched on the :mod:`repro.parallel` runtime
+(``parallel_for`` over query chunks), and every response carries a
+``"via"`` tag (``cache:hit`` / ``cache:derive`` / ``cache:miss`` /
+``cache:bypass`` / ``lazy`` / ``direct``) plus wall-clock ``"ms"`` so
+clients can see how they were served.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.io.json_io import jsonify
+from repro.parallel.runtime import ParallelRuntime, TaskResult
+
+from .cache import SLineGraphCache, estimate_linegraph_bytes
+from .store import HypergraphStore
+
+__all__ = ["QueryEngine", "QueryError", "LAZY_OPS"]
+
+
+class QueryError(ValueError):
+    """A malformed or unanswerable query (bad op, missing field, ...)."""
+
+
+#: ops answerable from the lazy s-traversal kernels without materializing
+LAZY_OPS = frozenset(
+    {
+        "s_distance",
+        "s_neighbors",
+        "s_degree",
+        "s_connected_components",
+        "is_s_connected",
+    }
+)
+
+
+def _require(query: dict, field: str):
+    if field not in query:
+        raise QueryError(f"op {query.get('op')!r} requires field {field!r}")
+    return query[field]
+
+
+class QueryEngine:
+    """Dispatch JSON queries against resident hypergraphs.
+
+    Parameters
+    ----------
+    store, cache:
+        Shared session state; fresh instances are created when omitted.
+    num_threads:
+        Simulated thread count for batch dispatch (each
+        :meth:`execute_batch` call gets its own
+        :class:`~repro.parallel.runtime.ParallelRuntime`, so concurrent
+        batches never share a ledger).
+    """
+
+    def __init__(
+        self,
+        store: HypergraphStore | None = None,
+        cache: SLineGraphCache | None = None,
+        num_threads: int = 4,
+    ) -> None:
+        self.store = store if store is not None else HypergraphStore()
+        self.cache = cache if cache is not None else SLineGraphCache()
+        self.num_threads = int(num_threads)
+        self._op_lock = threading.Lock()
+        self._op_counters: dict[str, dict[str, float]] = {}
+
+    # -- public API ----------------------------------------------------------
+    def execute(self, query: dict) -> dict:
+        """Run one query; never raises — errors come back as responses."""
+        if not isinstance(query, dict):
+            return {"ok": False, "error": "query must be a JSON object"}
+        op = query.get("op")
+        t0 = time.perf_counter()
+        try:
+            if not isinstance(op, str):
+                raise QueryError("query must carry a string 'op' field")
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise QueryError(f"unknown op {op!r}")
+            response = handler(query)
+        except (QueryError, KeyError, ValueError, TypeError) as exc:
+            elapsed = time.perf_counter() - t0
+            self._record(op if isinstance(op, str) else "?", elapsed, ok=False)
+            return {
+                "ok": False,
+                "op": op,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        elapsed = time.perf_counter() - t0
+        self._record(op, elapsed, ok=True)
+        out = {"ok": True, "op": op}
+        out.update(response)
+        out["ms"] = round(elapsed * 1e3, 3)
+        return jsonify(out)
+
+    def execute_batch(
+        self, queries: list[dict], runtime: ParallelRuntime | None = None
+    ) -> list[dict]:
+        """Run a batch on the parallel runtime; responses in input order."""
+        if not queries:
+            return []
+        rt = runtime
+        if rt is None and self.num_threads > 1 and len(queries) > 1:
+            rt = ParallelRuntime(
+                num_threads=self.num_threads, partitioner="cyclic"
+            )
+        out: list[dict | None] = [None] * len(queries)
+        ids = np.arange(len(queries), dtype=np.int64)
+
+        def body(chunk: np.ndarray) -> TaskResult:
+            results = [(int(i), self.execute(queries[int(i)])) for i in chunk]
+            return TaskResult(results, float(chunk.size))
+
+        if rt is None:
+            parts = [body(ids).value]
+        else:
+            rt.new_run()
+            parts = rt.parallel_for(
+                rt.partition(ids), body, phase="query_batch"
+            )
+        for part in parts:
+            for i, resp in part:
+                out[i] = resp
+        return out  # type: ignore[return-value]
+
+    def metrics(self) -> dict:
+        """Service counters: per-op latency, cache stats, resident sets."""
+        with self._op_lock:
+            ops = {
+                op: {
+                    "count": int(st["count"]),
+                    "errors": int(st["errors"]),
+                    "total_ms": round(st["total_s"] * 1e3, 3),
+                    "mean_ms": round(
+                        st["total_s"] * 1e3 / st["count"], 3
+                    )
+                    if st["count"]
+                    else 0.0,
+                    "max_ms": round(st["max_s"] * 1e3, 3),
+                }
+                for op, st in sorted(self._op_counters.items())
+            }
+        return jsonify(
+            {
+                "ops": ops,
+                "cache": self.cache.snapshot(),
+                "datasets": self.store.names(),
+            }
+        )
+
+    # -- plumbing ------------------------------------------------------------
+    def _record(self, op: str, seconds: float, ok: bool) -> None:
+        with self._op_lock:
+            st = self._op_counters.setdefault(
+                op, {"count": 0, "errors": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            st["count"] += 1
+            st["errors"] += 0 if ok else 1
+            st["total_s"] += seconds
+            st["max_s"] = max(st["max_s"], seconds)
+
+    def _dataset(self, query: dict):
+        name = _require(query, "dataset")
+        return name, self.store.get(name)
+
+    @staticmethod
+    def _s(query: dict) -> int:
+        s = int(query.get("s", 1))
+        if s < 1:
+            raise QueryError("s must be >= 1")
+        return s
+
+    @staticmethod
+    def _side(query: dict) -> bool:
+        return bool(query.get("over_edges", True))
+
+    def _linegraph(self, query: dict):
+        """Materialize (or fetch) the query's s-line graph via the cache."""
+        name, hg = self._dataset(query)
+        lg, how = self.cache.get_or_build(
+            name, self._s(query), hg, self._side(query)
+        )
+        return lg, f"cache:{how}"
+
+    def _should_serve_lazy(self, query: dict) -> bool:
+        if query.get("op") not in LAZY_OPS:
+            return False
+        mode = query.get("materialize", "auto")
+        if mode == "never":
+            return True
+        if mode == "always":
+            return False
+        name, hg = self._dataset(query)
+        if self.cache.lookup(name, self._s(query), self._side(query)):
+            return False  # already cheap
+        remaining = self.cache.remaining_bytes()
+        if remaining is None:
+            return False
+        est = estimate_linegraph_bytes(hg, self._s(query), self._side(query))
+        return est > remaining
+
+    def _lazy_side(self, query: dict):
+        _, hg = self._dataset(query)
+        bi = hg.biadjacency
+        return bi if self._side(query) else bi.dual()
+
+    # -- s-metric ops --------------------------------------------------------
+    def _op_s_distance(self, query: dict) -> dict:
+        src = int(_require(query, "src"))
+        dst = int(_require(query, "dst"))
+        if self._should_serve_lazy(query):
+            from repro.algorithms.s_traversal import s_distance_lazy
+
+            d = s_distance_lazy(
+                self._lazy_side(query), src, dst, self._s(query)
+            )
+            return {"result": int(d), "via": "lazy"}
+        lg, via = self._linegraph(query)
+        return {"result": lg.s_distance(src, dst), "via": via}
+
+    def _op_s_path(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        path = lg.s_path(int(_require(query, "src")), int(_require(query, "dst")))
+        return {"result": path, "via": via}
+
+    def _op_s_neighbors(self, query: dict) -> dict:
+        v = int(_require(query, "v"))
+        if self._should_serve_lazy(query):
+            from repro.algorithms.s_traversal import s_neighbors_lazy
+
+            nbrs = s_neighbors_lazy(self._lazy_side(query), v, self._s(query))
+            return {"result": nbrs, "via": "lazy"}
+        lg, via = self._linegraph(query)
+        return {"result": np.sort(lg.s_neighbors(v)), "via": via}
+
+    def _op_s_degree(self, query: dict) -> dict:
+        v = int(_require(query, "v"))
+        if self._should_serve_lazy(query):
+            from repro.algorithms.s_traversal import s_neighbors_lazy
+
+            deg = s_neighbors_lazy(
+                self._lazy_side(query), v, self._s(query)
+            ).size
+            return {"result": int(deg), "via": "lazy"}
+        lg, via = self._linegraph(query)
+        return {"result": lg.s_degree(v), "via": via}
+
+    def _op_s_connected_components(self, query: dict) -> dict:
+        singletons = bool(query.get("return_singletons", False))
+        if self._should_serve_lazy(query):
+            comps = self._lazy_components(query, singletons)
+            return {"result": comps, "via": "lazy"}
+        lg, via = self._linegraph(query)
+        comps = lg.s_connected_components(return_singletons=singletons)
+        return {"result": [c for c in comps], "via": via}
+
+    def _lazy_components(self, query: dict, singletons: bool) -> list:
+        from repro.algorithms.s_traversal import s_connected_components_lazy
+
+        labels = s_connected_components_lazy(
+            self._lazy_side(query), self._s(query)
+        )
+        groups: dict[int, list[int]] = {}
+        for v, lab in enumerate(labels.tolist()):
+            groups.setdefault(lab, []).append(v)
+        out = [
+            sorted(members)
+            for members in groups.values()
+            if len(members) > 1 or singletons
+        ]
+        out.sort(key=lambda c: c[0])
+        return out
+
+    def _op_is_s_connected(self, query: dict) -> dict:
+        if self._should_serve_lazy(query):
+            comps = self._lazy_components(query, singletons=False)
+            return {"result": len(comps) == 1, "via": "lazy"}
+        lg, via = self._linegraph(query)
+        return {"result": lg.is_s_connected(), "via": via}
+
+    def _op_s_diameter(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        return {"result": lg.s_diameter(), "via": via}
+
+    def _op_s_eccentricity(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        v = query.get("v")
+        return {
+            "result": lg.s_eccentricity(None if v is None else int(v)),
+            "via": via,
+        }
+
+    def _op_s_betweenness_centrality(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        bc = lg.s_betweenness_centrality(
+            normalized=bool(query.get("normalized", True)),
+            weighted=bool(query.get("weighted", False)),
+        )
+        return {"result": bc, "via": via}
+
+    def _op_s_closeness_centrality(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        v = query.get("v")
+        return {
+            "result": lg.s_closeness_centrality(None if v is None else int(v)),
+            "via": via,
+        }
+
+    def _op_s_harmonic_closeness_centrality(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        v = query.get("v")
+        return {
+            "result": lg.s_harmonic_closeness_centrality(
+                None if v is None else int(v)
+            ),
+            "via": via,
+        }
+
+    def _op_s_pagerank(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        pr = lg.s_pagerank(damping=float(query.get("damping", 0.85)))
+        return {"result": pr, "via": via}
+
+    def _op_s_core_number(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        return {"result": lg.s_core_number(), "via": via}
+
+    def _op_s_maximal_independent_set(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        mis = lg.s_maximal_independent_set(seed=int(query.get("seed", 0)))
+        return {"result": mis, "via": via}
+
+    def _op_s_sssp(self, query: dict) -> dict:
+        lg, via = self._linegraph(query)
+        dist = lg.s_sssp(
+            int(_require(query, "src")),
+            weighted=bool(query.get("weighted", False)),
+        )
+        return {"result": dist, "via": via}
+
+    def _op_s_info(self, query: dict) -> dict:
+        """Structure card of one s-line graph (vertices/edges/isolated)."""
+        lg, via = self._linegraph(query)
+        return {
+            "result": {
+                "s": lg.s,
+                "over_edges": lg.over_edges,
+                "num_vertices": lg.num_vertices(),
+                "num_edges": lg.num_edges(),
+                "num_isolated": int(lg.num_vertices() - lg.non_isolated().size),
+                "bytes": SLineGraphCache.entry_bytes(lg),
+            },
+            "via": via,
+        }
+
+    # -- hypergraph-level ops ------------------------------------------------
+    def _op_stats(self, query: dict) -> dict:
+        name, hg = self._dataset(query)
+        card = self.store.stats(name)
+        card["edge_size_dist"] = hg.edge_size_dist()
+        card["node_degree_dist"] = hg.node_degree_dist()
+        return {"result": card, "via": "direct"}
+
+    def _op_toplexes(self, query: dict) -> dict:
+        _, hg = self._dataset(query)
+        return {"result": hg.toplexes(), "via": "direct"}
+
+    def _op_s_metrics(self, query: dict) -> dict:
+        from repro.core.smetrics import s_metrics_report
+
+        _, hg = self._dataset(query)
+        s_values = query.get("s_values", [self._s(query)])
+        reports = s_metrics_report(hg.biadjacency, list(s_values))
+        return {
+            "result": {s: rep for s, rep in sorted(reports.items())},
+            "via": "direct",
+        }
+
+    # -- session ops ---------------------------------------------------------
+    def _op_register(self, query: dict) -> dict:
+        name = _require(query, "name")
+        source = _require(query, "source")
+        hg = self.store.register(
+            name, source, replace=bool(query.get("replace", False))
+        )
+        return {
+            "result": {
+                "dataset": name,
+                "num_edges": hg.number_of_edges(),
+                "num_nodes": hg.number_of_nodes(),
+            },
+            "via": "direct",
+        }
+
+    def _op_datasets(self, query: dict) -> dict:
+        return {"result": self.store.names(), "via": "direct"}
+
+    def _op_warm(self, query: dict) -> dict:
+        """Prebuild ``L_s`` for each requested s (ascending, so later s
+        values ride the s-monotone derive path)."""
+        name, hg = self._dataset(query)
+        s_values = sorted(int(s) for s in query.get("s_values", [1]))
+        over = self._side(query)
+        served = {}
+        for s in s_values:
+            _, how = self.cache.get_or_build(name, s, hg, over)
+            served[s] = how
+        return {"result": served, "via": "direct"}
+
+    def _op_invalidate(self, query: dict) -> dict:
+        dropped = self.cache.invalidate(query.get("dataset"))
+        return {"result": {"dropped": dropped}, "via": "direct"}
+
+    def _op_metrics(self, query: dict) -> dict:
+        return {"result": self.metrics(), "via": "direct"}

@@ -1,0 +1,181 @@
+"""JSON-lines TCP serving — stdlib ``socketserver``, one thread per client.
+
+Wire protocol (newline-delimited JSON, UTF-8):
+
+* request line: one query object (see :mod:`repro.service.engine`), or
+  ``{"batch": [query, ...]}`` for a batch;
+* response line: the corresponding response object, or the array of
+  responses for a batch.
+
+Connections are persistent — clients may pipeline any number of request
+lines.  Malformed JSON gets an ``{"ok": false, ...}`` response rather
+than a dropped connection.  The engine (and therefore the store, the
+cache, and all counters) is shared across client threads; passing
+``port=0`` binds an ephemeral port, readable back from ``address``.
+
+:class:`ServiceClient` is the matching socket client;
+:class:`InProcessClient` offers the same surface directly over an
+engine, so library code and tests can script a session without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+
+from .engine import QueryEngine
+
+__all__ = ["AnalyticsServer", "InProcessClient", "ServiceClient"]
+
+
+class _QueryHandler(socketserver.StreamRequestHandler):
+    """One client connection: drain request lines until EOF."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        for raw in self.rfile:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                response: object = {
+                    "ok": False,
+                    "error": f"bad request line: {exc}",
+                }
+            else:
+                engine = self.server.engine  # type: ignore[attr-defined]
+                if isinstance(payload, dict) and "batch" in payload:
+                    response = engine.execute_batch(payload["batch"])
+                else:
+                    response = engine.execute(payload)
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+
+class AnalyticsServer(socketserver.ThreadingTCPServer):
+    """Threaded hypergraph-analytics server over one shared engine."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: QueryEngine | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.engine = engine if engine is not None else QueryEngine()
+        self._thread: threading.Thread | None = None
+        super().__init__((host, port), _QueryHandler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        return self.server_address[0], self.server_address[1]
+
+    def start(self) -> "AnalyticsServer":
+        """Serve on a background daemon thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "AnalyticsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class ServiceClient:
+    """Socket client speaking the JSON-lines protocol (pipelinable)."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    # -- protocol ------------------------------------------------------------
+    def request(self, payload: dict) -> object:
+        """Send one request line, block for its response line."""
+        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    # -- conveniences ---------------------------------------------------------
+    def query(self, op: str, **fields) -> dict:
+        """``client.query("s_distance", dataset="lj", s=2, src=0, dst=9)``"""
+        return self.request({"op": op, **fields})
+
+    def batch(self, queries: list[dict]) -> list[dict]:
+        out = self.request({"batch": list(queries)})
+        if not isinstance(out, list):
+            raise ConnectionError(f"expected batch response, got {out!r}")
+        return out
+
+    def metrics(self) -> dict:
+        return self.query("metrics")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InProcessClient:
+    """The :class:`ServiceClient` surface, minus the socket.
+
+    Wraps an engine directly — for embedding a serving session inside a
+    notebook/script (the HyperNetX-style long-lived analysis session)
+    and for tests that don't need wire transport.
+    """
+
+    def __init__(self, engine: QueryEngine | None = None) -> None:
+        self.engine = engine if engine is not None else QueryEngine()
+
+    def request(self, payload: dict) -> object:
+        if isinstance(payload, dict) and "batch" in payload:
+            return self.engine.execute_batch(payload["batch"])
+        return self.engine.execute(payload)
+
+    def query(self, op: str, **fields) -> dict:
+        return self.engine.execute({"op": op, **fields})
+
+    def batch(self, queries: list[dict]) -> list[dict]:
+        return self.engine.execute_batch(list(queries))
+
+    def metrics(self) -> dict:
+        return self.query("metrics")
+
+    def close(self) -> None:  # symmetry with ServiceClient
+        pass
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

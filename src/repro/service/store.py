@@ -1,0 +1,125 @@
+"""Session-scoped registry of named, resident hypergraphs.
+
+A serving session holds its working set of hypergraphs in memory so that
+every query against ``"livejournal"`` hits the same
+:class:`~repro.core.hypergraph.NWHypergraph` instance — with its lazily
+built representations and memoized s-line graphs intact — instead of
+re-reading and re-indexing a file per query (what each CLI invocation
+used to do).
+
+Sources accepted by :meth:`HypergraphStore.register`:
+
+* an ``NWHypergraph`` (adopted as-is),
+* a ``BiEdgeList`` (wrapped),
+* a path string to any format :func:`repro.io.loader.read_any` sniffs,
+* a bare Table I stand-in name (``"rand1"``, ``"com-orkut"``, ...).
+
+All operations are thread-safe (the TCP server handles each client on
+its own thread).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.hypergraph import NWHypergraph
+from repro.structures.edgelist import BiEdgeList
+
+__all__ = ["HypergraphStore"]
+
+
+class HypergraphStore:
+    """Named resident ``NWHypergraph`` instances for one serving session."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, NWHypergraph] = {}
+
+    # -- registration -------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        source: NWHypergraph | BiEdgeList | str,
+        replace: bool = False,
+    ) -> NWHypergraph:
+        """Load (if needed) and pin a hypergraph under ``name``.
+
+        Re-registering an existing name raises unless ``replace=True`` —
+        silently swapping the dataset under live queries is almost always
+        a client bug.
+        """
+        if not name:
+            raise ValueError("dataset name must be non-empty")
+        hg = self._resolve(source)
+        with self._lock:
+            if not replace and name in self._entries:
+                raise ValueError(
+                    f"dataset {name!r} already registered "
+                    "(pass replace=True to swap it)"
+                )
+            self._entries[name] = hg
+        return hg
+
+    @staticmethod
+    def _resolve(source: NWHypergraph | BiEdgeList | str) -> NWHypergraph:
+        if isinstance(source, NWHypergraph):
+            return source
+        if isinstance(source, BiEdgeList):
+            return NWHypergraph(
+                source.part0,
+                source.part1,
+                source.weights,
+                num_edges=source.num_vertices(0),
+                num_nodes=source.num_vertices(1),
+            )
+        from repro.io.loader import load_hypergraph
+
+        return load_hypergraph(source)
+
+    def unregister(self, name: str) -> None:
+        """Drop a resident hypergraph (KeyError if absent)."""
+        with self._lock:
+            del self._entries[name]
+
+    # -- lookup --------------------------------------------------------------
+    def get(self, name: str) -> NWHypergraph:
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown dataset {name!r}; registered: {sorted(self._entries)}"
+                ) from None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- introspection -------------------------------------------------------
+    def stats(self, name: str) -> dict:
+        """Size card for one resident dataset (JSON-safe)."""
+        hg = self.get(name)
+        degrees = hg.degrees()
+        sizes = hg.edge_sizes()
+        return {
+            "dataset": name,
+            "num_nodes": hg.number_of_nodes(),
+            "num_edges": hg.number_of_edges(),
+            "num_incidences": len(hg._el),
+            "incidence_bytes": hg._el.nbytes(),
+            "avg_node_degree": float(degrees.mean()) if degrees.size else 0.0,
+            "avg_edge_size": float(sizes.mean()) if sizes.size else 0.0,
+            "max_node_degree": int(degrees.max()) if degrees.size else 0,
+            "max_edge_size": int(sizes.max()) if sizes.size else 0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HypergraphStore({self.names()!r})"

@@ -1,0 +1,180 @@
+"""SLineGraphCache: byte-budgeted LRU + s-monotone derivation."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import NWHypergraph
+from repro.linegraph import slinegraph_hashmap
+from repro.linegraph.common import filter_overlaps
+from repro.service.cache import SLineGraphCache, estimate_linegraph_bytes
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist, random_biedgelist
+
+
+def hg_from(el) -> NWHypergraph:
+    return NWHypergraph(
+        el.part0, el.part1, el.weights,
+        num_edges=el.num_vertices(0), num_nodes=el.num_vertices(1),
+    )
+
+
+@pytest.fixture
+def paper_hg():
+    return hg_from(make_biedgelist(PAPER_MEMBERS, num_nodes=9))
+
+
+def random_hg(seed: int, **kw) -> NWHypergraph:
+    return hg_from(random_biedgelist(seed=seed, **kw))
+
+
+class TestHitMissDerive:
+    def test_cold_build_is_a_miss_then_hit(self, paper_hg):
+        cache = SLineGraphCache()
+        lg, how = cache.get_or_build("paper", 2, paper_hg)
+        assert how == "miss"
+        again, how2 = cache.get_or_build("paper", 2, paper_hg)
+        assert how2 == "hit"
+        assert again is lg
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_higher_s_derives_from_cached_lower_s(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 1, paper_hg)
+        lg2, how = cache.get_or_build("paper", 2, paper_hg)
+        assert how == "derive"
+        assert cache.stats.derives == 1
+        direct = slinegraph_hashmap(paper_hg.biadjacency, 2)
+        assert lg2.edgelist == direct
+
+    def test_derive_prefers_largest_cached_lower_s(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 1, paper_hg)
+        cache.get_or_build("paper", 2, paper_hg)
+        assert cache._derivable_key("paper", 3, True) == ("paper", 2, True)
+
+    def test_lower_s_never_derives_from_higher(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 3, paper_hg)
+        _, how = cache.get_or_build("paper", 1, paper_hg)
+        assert how == "miss"
+
+    def test_sides_are_distinct_keys(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 1, paper_hg, over_edges=True)
+        _, how = cache.get_or_build("paper", 1, paper_hg, over_edges=False)
+        assert how == "miss"
+        assert len(cache) == 2
+
+    def test_lookup_is_a_pure_peek(self, paper_hg):
+        cache = SLineGraphCache()
+        assert cache.lookup("paper", 1) is None
+        cache.get_or_build("paper", 1, paper_hg)
+        assert cache.lookup("paper", 1) == "hit"
+        assert cache.lookup("paper", 4) == "derive"
+        assert cache.stats.hits == 0 and cache.stats.derives == 0
+
+    def test_rejects_invalid_s(self, paper_hg):
+        cache = SLineGraphCache()
+        with pytest.raises(ValueError, match="s must be"):
+            cache.get_or_build("paper", 0, paper_hg)
+
+
+class TestDeriveEquivalence:
+    """derive(L_s from L_{s'}) must equal a cold hashmap build of L_s."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("s", [2, 3])
+    def test_random_hypergraphs(self, seed, s):
+        hg = random_hg(seed, num_edges=30, num_nodes=25, max_size=8)
+        cache = SLineGraphCache()
+        cache.get_or_build(f"r{seed}", 1, hg)
+        derived, how = cache.get_or_build(f"r{seed}", s, hg)
+        assert how == "derive"
+        direct = slinegraph_hashmap(hg.biadjacency, s)
+        assert derived.edgelist == direct
+        # the full metric surface sits on the same CSR
+        assert derived.num_edges() == hg.s_linegraph(s).num_edges()
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_filter_overlaps_matches_every_s(self, seed):
+        h = BiAdjacency.from_biedgelist(
+            random_biedgelist(seed=seed, num_edges=25, num_nodes=20, max_size=6)
+        )
+        base = slinegraph_hashmap(h, 1)
+        for s in range(1, 6):
+            assert filter_overlaps(base, s) == slinegraph_hashmap(h, s)
+
+    def test_filter_overlaps_requires_weights(self):
+        from repro.structures.edgelist import EdgeList
+
+        el = EdgeList([0], [1], None, num_vertices=2)
+        with pytest.raises(ValueError, match="overlap counts"):
+            filter_overlaps(el, 2)
+
+
+class TestByteBudgetLRU:
+    def entry_size(self, hg, s=1):
+        cache = SLineGraphCache(budget_bytes=None)
+        lg, _ = cache.get_or_build("probe", s, hg)
+        return SLineGraphCache.entry_bytes(lg)
+
+    def test_eviction_under_byte_budget(self):
+        hgs = {f"d{i}": random_hg(10 + i, num_edges=20, num_nodes=15) for i in range(3)}
+        sizes = {n: self.entry_size(h) for n, h in hgs.items()}
+        budget = sizes["d0"] + sizes["d1"] + sizes["d2"] - 1  # two fit, three don't
+        cache = SLineGraphCache(budget_bytes=budget)
+        cache.get_or_build("d0", 1, hgs["d0"])
+        cache.get_or_build("d1", 1, hgs["d1"])
+        cache.get_or_build("d0", 1, hgs["d0"])  # refresh d0 -> d1 becomes LRU
+        cache.get_or_build("d2", 1, hgs["d2"])  # must evict d1
+        assert cache.stats.evictions == 1
+        keys = {k[0] for k in cache.keys()}
+        assert keys == {"d0", "d2"}
+        assert cache.current_bytes <= budget
+
+    def test_current_bytes_tracks_admitted_entries(self, paper_hg):
+        cache = SLineGraphCache()
+        lg, _ = cache.get_or_build("paper", 1, paper_hg)
+        assert cache.current_bytes == SLineGraphCache.entry_bytes(lg)
+        cache.invalidate()
+        assert cache.current_bytes == 0 and len(cache) == 0
+
+    def test_oversized_entry_bypasses_admission(self, paper_hg):
+        cache = SLineGraphCache(budget_bytes=8)
+        lg, how = cache.get_or_build("paper", 1, paper_hg)
+        assert how == "bypass"
+        assert lg.num_edges() > 0  # still served
+        assert len(cache) == 0
+        assert cache.stats.bypasses == 1
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = SLineGraphCache(budget_bytes=None)
+        for i in range(6):
+            cache.get_or_build(f"d{i}", 1, random_hg(20 + i, num_edges=15, num_nodes=12))
+        assert len(cache) == 6
+        assert cache.stats.evictions == 0
+        assert cache.remaining_bytes() is None
+
+    def test_invalidate_single_dataset(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("a", 1, paper_hg)
+        cache.get_or_build("a", 2, paper_hg)
+        cache.get_or_build("b", 1, paper_hg)
+        assert cache.invalidate("a") == 2
+        assert {k[0] for k in cache.keys()} == {"b"}
+
+
+class TestEstimate:
+    def test_estimate_upper_bounds_actual_footprint(self):
+        for seed in range(3):
+            hg = random_hg(30 + seed, num_edges=25, num_nodes=20, max_size=6)
+            est = estimate_linegraph_bytes(hg, 1)
+            cache = SLineGraphCache(budget_bytes=None)
+            lg, _ = cache.get_or_build("x", 1, hg)
+            assert est >= SLineGraphCache.entry_bytes(lg)
+
+    def test_estimate_uses_dual_side_degrees(self):
+        hg = random_hg(40, num_edges=10, num_nodes=50, max_size=4)
+        assert estimate_linegraph_bytes(hg, 1, over_edges=True) != \
+            estimate_linegraph_bytes(hg, 1, over_edges=False)

@@ -1,0 +1,48 @@
+"""NWHypergraph.s_linegraph instance memo + invalidate() escape hatch."""
+
+import pytest
+
+from repro.core.hypergraph import NWHypergraph
+from repro.parallel.runtime import ParallelRuntime
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist
+
+
+@pytest.fixture
+def hg():
+    el = make_biedgelist(PAPER_MEMBERS, num_nodes=9)
+    return NWHypergraph(el.part0, el.part1, num_edges=4, num_nodes=9)
+
+
+class TestInstanceMemo:
+    def test_repeat_calls_return_same_object(self, hg):
+        assert hg.s_linegraph(2) is hg.s_linegraph(2)
+
+    def test_distinct_parameters_get_distinct_entries(self, hg):
+        lg_s2 = hg.s_linegraph(2)
+        assert hg.s_linegraph(3) is not lg_s2
+        assert hg.s_linegraph(2, edges=False) is not lg_s2
+        assert hg.s_linegraph(2, algorithm="intersection") is not lg_s2
+        assert hg.s_linegraph(2) is lg_s2  # originals still resident
+
+    def test_runtime_calls_bypass_the_memo(self, hg):
+        memoized = hg.s_linegraph(2)
+        rt = ParallelRuntime(num_threads=2)
+        timed = hg.s_linegraph(2, runtime=rt)
+        assert timed is not memoized
+        assert timed.edgelist == memoized.edgelist
+        # and the bypass did not clobber the memo
+        assert hg.s_linegraph(2) is memoized
+
+    def test_invalidate_clears_the_memo(self, hg):
+        before = hg.s_linegraph(2)
+        hg.invalidate()
+        after = hg.s_linegraph(2)
+        assert after is not before
+        assert after.edgelist == before.edgelist
+
+    def test_dual_has_its_own_memo(self, hg):
+        d = hg.dual()
+        lg = d.s_linegraph(1)
+        assert d.s_linegraph(1) is lg
+        assert hg.s_linegraph(1) is not lg

@@ -1,0 +1,147 @@
+"""AnalyticsServer + ServiceClient: live socket round-trips."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service import (
+    AnalyticsServer,
+    InProcessClient,
+    QueryEngine,
+    ServiceClient,
+)
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist
+
+
+@pytest.fixture
+def engine():
+    eng = QueryEngine()
+    eng.store.register("paper", make_biedgelist(PAPER_MEMBERS, num_nodes=9))
+    return eng
+
+
+@pytest.fixture
+def server(engine):
+    with AnalyticsServer(engine) as srv:  # port=0 -> ephemeral
+        yield srv
+
+
+class TestSocketRoundTrip:
+    def test_single_query(self, server):
+        host, port = server.address
+        assert port != 0
+        with ServiceClient(host, port) as client:
+            resp = client.query(
+                "s_distance", dataset="paper", s=2, src=0, dst=2
+            )
+        assert resp["ok"] and resp["result"] == 2
+        assert resp["via"] in ("cache:miss", "cache:hit", "cache:derive")
+        assert resp["ms"] >= 0
+
+    def test_pipelined_queries_one_connection(self, server):
+        host, port = server.address
+        with ServiceClient(host, port) as client:
+            warm = client.query("warm", dataset="paper", s_values=[1, 2, 3])
+            assert warm["result"] == {"1": "miss", "2": "derive", "3": "derive"}
+            for s in (1, 2, 3):
+                resp = client.query("s_info", dataset="paper", s=s)
+                assert resp["ok"] and resp["via"] == "cache:hit"
+            metrics = client.metrics()["result"]
+        assert metrics["cache"]["derives"] == 2
+        assert metrics["cache"]["hits"] >= 3
+
+    def test_batch_over_socket(self, server):
+        host, port = server.address
+        queries = [
+            {"op": "s_degree", "dataset": "paper", "s": 1, "v": v}
+            for v in range(4)
+        ]
+        with ServiceClient(host, port) as client:
+            out = client.batch(queries)
+        assert [r["result"] for r in out] == [3, 3, 3, 3]
+
+    def test_malformed_line_gets_error_response(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            line = sock.makefile("rb").readline()
+        resp = json.loads(line)
+        assert not resp["ok"] and "bad request line" in resp["error"]
+
+    def test_blank_lines_are_skipped(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"\n\n" + json.dumps({"op": "datasets"}).encode() + b"\n")
+            resp = json.loads(sock.makefile("rb").readline())
+        assert resp["ok"] and resp["result"] == ["paper"]
+
+    def test_concurrent_clients_share_session_state(self, server):
+        host, port = server.address
+        errors: list = []
+
+        def worker():
+            try:
+                with ServiceClient(host, port) as client:
+                    for s in (1, 2, 3):
+                        resp = client.query("s_info", dataset="paper", s=s)
+                        assert resp["ok"], resp
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = server.engine.cache.stats
+        # 18 requests, 3 distinct graphs: everything beyond the first
+        # build per s was a hit or derive
+        assert stats.hits + stats.derives + stats.misses + stats.bypasses == 18
+        assert stats.misses <= 3
+
+    def test_register_over_the_wire(self, server):
+        host, port = server.address
+        with ServiceClient(host, port) as client:
+            resp = client.query("register", name="r", source="rand1")
+            assert resp["ok"] and resp["result"]["num_edges"] == 5000
+            assert "r" in client.query("datasets")["result"]
+
+
+class TestServerLifecycle:
+    def test_stop_is_idempotent(self, engine):
+        srv = AnalyticsServer(engine).start()
+        srv.stop()
+        srv.stop()
+
+    def test_double_start_rejected(self, engine):
+        srv = AnalyticsServer(engine)
+        try:
+            srv.start()
+            with pytest.raises(RuntimeError, match="already started"):
+                srv.start()
+        finally:
+            srv.stop()
+
+
+class TestInProcessClient:
+    def test_same_surface_without_sockets(self, engine):
+        with InProcessClient(engine) as client:
+            resp = client.query("s_distance", dataset="paper", s=2, src=0, dst=2)
+            assert resp["ok"] and resp["result"] == 2
+            out = client.batch([{"op": "datasets"}])
+            assert out[0]["result"] == ["paper"]
+            assert client.metrics()["ok"]
+
+    def test_request_dispatches_batch_payloads(self, engine):
+        client = InProcessClient(engine)
+        out = client.request({"batch": [{"op": "datasets"}]})
+        assert isinstance(out, list) and out[0]["ok"]
+
+    def test_default_engine(self):
+        client = InProcessClient()
+        resp = client.query("datasets")
+        assert resp["ok"] and resp["result"] == []

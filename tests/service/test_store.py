@@ -1,0 +1,83 @@
+"""HypergraphStore: registration sources, residency, introspection."""
+
+import pytest
+
+from repro.core.hypergraph import NWHypergraph
+from repro.io.mmio import write_mm
+from repro.service.store import HypergraphStore
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist
+
+
+@pytest.fixture
+def el():
+    return make_biedgelist(PAPER_MEMBERS, num_nodes=9)
+
+
+class TestRegister:
+    def test_register_biedgelist(self, el):
+        store = HypergraphStore()
+        hg = store.register("paper", el)
+        assert store.get("paper") is hg
+        assert hg.number_of_edges() == 4 and hg.number_of_nodes() == 9
+
+    def test_register_existing_hypergraph_is_adopted(self, el):
+        hg = NWHypergraph(el.part0, el.part1, num_edges=4, num_nodes=9)
+        store = HypergraphStore()
+        assert store.register("paper", hg) is hg
+
+    def test_register_from_path(self, el, tmp_path):
+        path = tmp_path / "paper.mtx"
+        write_mm(path, el)
+        store = HypergraphStore()
+        hg = store.register("paper", str(path))
+        assert hg.number_of_edges() == 4
+
+    def test_register_table1_name(self):
+        store = HypergraphStore()
+        hg = store.register("r", "rand1")
+        assert hg.number_of_edges() == 5000
+
+    def test_duplicate_name_rejected_unless_replace(self, el):
+        store = HypergraphStore()
+        first = store.register("paper", el)
+        with pytest.raises(ValueError, match="already registered"):
+            store.register("paper", el)
+        second = store.register("paper", el, replace=True)
+        assert store.get("paper") is second is not first
+
+    def test_empty_name_rejected(self, el):
+        with pytest.raises(ValueError, match="non-empty"):
+            HypergraphStore().register("", el)
+
+
+class TestLookup:
+    def test_residency_across_gets(self, el):
+        store = HypergraphStore()
+        store.register("paper", el)
+        assert store.get("paper") is store.get("paper")
+
+    def test_unknown_name_lists_registered(self, el):
+        store = HypergraphStore()
+        store.register("paper", el)
+        with pytest.raises(KeyError, match="registered: \\['paper'\\]"):
+            store.get("nope")
+
+    def test_names_contains_len_unregister(self, el):
+        store = HypergraphStore()
+        store.register("b", el)
+        store.register("a", el)
+        assert store.names() == ["a", "b"]
+        assert "a" in store and len(store) == 2
+        store.unregister("a")
+        assert "a" not in store and len(store) == 1
+
+    def test_stats_card(self, el):
+        store = HypergraphStore()
+        store.register("paper", el)
+        card = store.stats("paper")
+        assert card["num_edges"] == 4
+        assert card["num_nodes"] == 9
+        assert card["num_incidences"] == 16
+        assert card["max_edge_size"] == 6
+        assert card["incidence_bytes"] > 0

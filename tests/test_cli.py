@@ -145,3 +145,76 @@ class TestGenerateAndTable:
         out = run(capsys, "bench", "--figure", "9",
                   "--dataset", "rand1", "--threads", "8", "-s", "2")
         assert "Hashmap" in out
+
+
+class TestJsonOutput:
+    """--json must emit valid JSON: no numpy scalars may leak through."""
+
+    def test_stats_json(self, capsys, mtx):
+        import json
+
+        doc = json.loads(run(capsys, "stats", mtx, "--json"))
+        assert doc["num_edges"] == 4 and doc["num_nodes"] == 9
+        assert doc["edge_size_dist"] == {"3": 2, "4": 1, "6": 1}
+        assert isinstance(doc["avg_node_degree"], float)
+
+    def test_metrics_json(self, capsys, mtx):
+        import json
+
+        doc = json.loads(run(capsys, "metrics", mtx, "-s", "1", "2", "--json"))
+        assert set(doc) == {"1", "2"}
+        assert doc["1"]["num_edges"] == 6
+        assert isinstance(doc["2"]["num_components"], int)
+
+
+class TestServeAndQuery:
+    """`repro serve` + `repro query` round-trip, server run in a thread."""
+
+    @pytest.fixture
+    def live_server(self, mtx):
+        from repro.service import AnalyticsServer, QueryEngine
+
+        engine = QueryEngine()
+        engine.store.register("paper", mtx)
+        with AnalyticsServer(engine) as server:
+            yield server.address
+
+    def test_query_round_trip(self, capsys, live_server):
+        import json
+
+        host, port = live_server
+        out = run(capsys, "query", "--connect", f"{host}:{port}",
+                  '{"op": "s_distance", "dataset": "paper", '
+                  '"s": 2, "src": 0, "dst": 2}')
+        assert json.loads(out)["result"] == 2
+
+    def test_query_batch_from_stdin(self, capsys, live_server, monkeypatch):
+        import io
+        import json
+
+        host, port = live_server
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO('{"op": "datasets"}\n'
+                        '{"op": "stats", "dataset": "paper"}\n'),
+        )
+        out = run(capsys, "query", "--connect", f"{host}:{port}", "--batch")
+        lines = [json.loads(ln) for ln in out.splitlines()]
+        assert lines[0]["result"] == ["paper"]
+        assert lines[1]["result"]["num_edges"] == 4
+
+    def test_failed_query_sets_exit_code(self, capsys, live_server):
+        host, port = live_server
+        rc = main(["query", "--connect", f"{host}:{port}",
+                   '{"op": "frobnicate"}'])
+        assert rc == 1
+        assert "unknown op" in capsys.readouterr().out
+
+    def test_bad_connect_spec(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["query", "--connect", "nope", '{"op": "datasets"}'])
+
+    def test_bad_query_json(self, live_server):
+        host, port = live_server
+        with pytest.raises(SystemExit, match="bad query"):
+            main(["query", "--connect", f"{host}:{port}", "{not json"])

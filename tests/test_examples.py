@@ -16,6 +16,7 @@ FAST = [
     "datasets_table.py",
     "snap_pipeline.py",
     "iteration_styles.py",
+    "service_session.py",
 ]
 
 
