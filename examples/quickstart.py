@@ -21,7 +21,7 @@ def main() -> None:
     print(f"hypergraph: {hg}")
 
     # The s-line graph for s=2: hyperedges joined by >= 2 shared nodes.
-    s2lg = hg.s_linegraph(s=2, edges=True)
+    s2lg = hg.s_linegraph(s=2, over_edges=True)
     print(f"2-line graph: {s2lg}")
 
     print("is 2-connected:        ", s2lg.is_s_connected())

@@ -24,17 +24,34 @@ def adjoinbfs(
     source_is_edge: bool = False,
     runtime: ParallelRuntime | None = None,
     direction_optimizing: bool = True,
+    tracer=None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """BFS over the adjoin graph; returns ``(edge_dist, node_dist)``.
 
     Distances are bipartite hops, identical to
     :func:`repro.algorithms.hyperbfs.hyperbfs_top_down` — the two
     representations must agree, which the integration tests enforce.
+    ``tracer``/``metrics`` are optional :mod:`repro.obs` instruments
+    (no-op when ``None``).
     """
-    adjoin_source = (
-        g.adjoin_edge_id(source) if source_is_edge else g.adjoin_node_id(source)
-    )
-    engine = bfs_direction_optimizing if direction_optimizing else bfs_top_down
-    dist, _parent = engine(g.graph, adjoin_source, runtime=runtime)
-    edge_dist, node_dist = g.split_result(dist)
+    from repro.obs.metrics import as_metrics
+    from repro.obs.tracer import as_tracer
+
+    with as_tracer(tracer).span(
+        "bfs.adjoin", source=source, source_is_edge=source_is_edge
+    ):
+        adjoin_source = (
+            g.adjoin_edge_id(source)
+            if source_is_edge
+            else g.adjoin_node_id(source)
+        )
+        engine = (
+            bfs_direction_optimizing if direction_optimizing else bfs_top_down
+        )
+        dist, _parent = engine(g.graph, adjoin_source, runtime=runtime)
+        edge_dist, node_dist = g.split_result(dist)
+    as_metrics(metrics).counter(
+        "traversal_runs_total", algorithm="adjoinbfs"
+    ).inc()
     return np.ascontiguousarray(edge_dist), np.ascontiguousarray(node_dist)

@@ -22,11 +22,24 @@ def adjoincc(
     g: AdjoinGraph,
     algorithm: str = "afforest",
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """CC over the adjoin graph; returns ``(edge_labels, node_labels)``.
 
     ``algorithm`` ∈ {'afforest', 'label_propagation', 'shiloach_vishkin'}.
+    ``tracer``/``metrics`` are optional :mod:`repro.obs` instruments
+    (no-op when ``None``).
     """
-    labels = connected_components(g.graph, algorithm=algorithm, runtime=runtime)
-    edge_labels, node_labels = g.split_result(labels)
+    from repro.obs.metrics import as_metrics
+    from repro.obs.tracer import as_tracer
+
+    with as_tracer(tracer).span("cc.adjoincc", algorithm=algorithm):
+        labels = connected_components(
+            g.graph, algorithm=algorithm, runtime=runtime
+        )
+        edge_labels, node_labels = g.split_result(labels)
+    as_metrics(metrics).counter(
+        "traversal_runs_total", algorithm="adjoincc"
+    ).inc()
     return np.ascontiguousarray(edge_labels), np.ascontiguousarray(node_labels)

@@ -244,12 +244,33 @@ def hyperbfs(
     source_is_edge: bool = False,
     direction: str = "top_down",
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Dispatch between the HyperBFS variants."""
+    """Dispatch between the HyperBFS variants.
+
+    ``tracer``/``metrics`` are optional :mod:`repro.obs` instruments
+    (no-op when ``None``).
+    """
+    from repro.obs.metrics import as_metrics
+    from repro.obs.tracer import as_tracer
+
     if direction == "top_down":
-        return hyperbfs_top_down(h, source, source_is_edge, runtime)
-    if direction == "bottom_up":
-        return hyperbfs_bottom_up(h, source, source_is_edge, runtime)
-    if direction == "direction_optimizing":
-        return hyperbfs_direction_optimizing(h, source, source_is_edge, runtime)
-    raise ValueError(f"unknown direction {direction!r}")
+        fn = hyperbfs_top_down
+    elif direction == "bottom_up":
+        fn = hyperbfs_bottom_up
+    elif direction == "direction_optimizing":
+        fn = hyperbfs_direction_optimizing
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    with as_tracer(tracer).span(
+        "bfs.hyper",
+        direction=direction,
+        source=source,
+        source_is_edge=source_is_edge,
+    ):
+        result = fn(h, source, source_is_edge, runtime)
+    as_metrics(metrics).counter(
+        "traversal_runs_total", algorithm="hyperbfs"
+    ).inc()
+    return result

@@ -26,40 +26,53 @@ __all__ = ["hypercc"]
 def hypercc(
     h: BiAdjacency,
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Label-propagation CC over a bi-adjacency hypergraph.
 
     Returns ``(edge_labels, node_labels)`` in consolidated numbering: the
     label of a component is the smallest consolidated ID it contains (for a
     non-isolated component, always a hyperedge ID).
+
+    ``tracer``/``metrics`` are optional :mod:`repro.obs` instruments
+    (no-op when ``None``).
     """
+    from repro.obs.metrics import as_metrics
+    from repro.obs.tracer import as_tracer
+
     ne, nv = h.vertex_cardinality
     edge_labels = np.arange(ne, dtype=np.int64)
     node_labels = np.arange(ne, ne + nv, dtype=np.int64)
     rounds = 0
-    while True:
-        rounds += 1
-        changed = 0
-        if runtime is None:
-            src, dst = h.edges.neighborhood_pairs()
-            changed += write_min(node_labels, dst, edge_labels[src])
-            src, dst = h.nodes.neighborhood_pairs()
-            changed += write_min(edge_labels, dst, node_labels[src])
-        else:
-            parts = runtime.parallel_for(
-                runtime.partition(ne),
-                lambda c: _push(h.edges, edge_labels, node_labels, c),
-                phase=f"hypercc_push_E_{rounds}",
-            )
-            changed += sum(parts)
-            parts = runtime.parallel_for(
-                runtime.partition(nv),
-                lambda c: _push(h.nodes, node_labels, edge_labels, c),
-                phase=f"hypercc_push_N_{rounds}",
-            )
-            changed += sum(parts)
-        if not changed:
-            break
+    with as_tracer(tracer).span("cc.hypercc") as span:
+        while True:
+            rounds += 1
+            changed = 0
+            if runtime is None:
+                src, dst = h.edges.neighborhood_pairs()
+                changed += write_min(node_labels, dst, edge_labels[src])
+                src, dst = h.nodes.neighborhood_pairs()
+                changed += write_min(edge_labels, dst, node_labels[src])
+            else:
+                parts = runtime.parallel_for(
+                    runtime.partition(ne),
+                    lambda c: _push(h.edges, edge_labels, node_labels, c),
+                    phase=f"hypercc_push_E_{rounds}",
+                )
+                changed += sum(parts)
+                parts = runtime.parallel_for(
+                    runtime.partition(nv),
+                    lambda c: _push(h.nodes, node_labels, edge_labels, c),
+                    phase=f"hypercc_push_N_{rounds}",
+                )
+                changed += sum(parts)
+            if not changed:
+                break
+        span.set(rounds=rounds)
+    as_metrics(metrics).counter(
+        "traversal_rounds_total", algorithm="hypercc"
+    ).inc(rounds)
     return edge_labels, node_labels
 
 

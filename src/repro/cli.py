@@ -209,6 +209,40 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a named workload under full instrumentation (repro.obs)."""
+    from repro.obs.profile import run_profile
+
+    summary = run_profile(
+        args.workload,
+        dataset=args.dataset,
+        s=args.s,
+        threads=args.threads,
+        algorithm=args.algorithm,
+        out=args.out,
+    )
+    if args.json:
+        _dump_json(summary)
+        return 0
+    print(f"workload        {summary['workload']} "
+          f"(dataset={summary['dataset']}, s={summary['s']}, "
+          f"threads={summary['threads']})")
+    for name, st in sorted(summary["spans"].items()):
+        print(f"  span {name:<36} x{st['count']:<4} "
+              f"total {st['total_ms']:.2f} ms  max {st['max_ms']:.2f} ms")
+    counters = [
+        inst for inst in summary["metrics"] if inst.get("kind") == "counter"
+    ]
+    for inst in counters:
+        labels = ",".join(f"{k}={v}" for k, v in
+                          sorted(inst.get("labels", {}).items()))
+        print(f"  counter {inst['name']}{{{labels}}} = {inst['value']}")
+    if "trace_path" in summary:
+        print(f"wrote {summary['trace_path']} ({summary['num_events']} "
+              f"events); open in Perfetto or chrome://tracing")
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     from repro.bench.reporting import format_table1
 
@@ -263,15 +297,19 @@ _GENERATORS = {
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the analytics server until interrupted (Ctrl-C to stop)."""
+    from repro.obs import MetricsRegistry
     from repro.service import AnalyticsServer, QueryEngine, SLineGraphCache
 
+    registry = MetricsRegistry()
     engine = QueryEngine(
         cache=SLineGraphCache(
             budget_bytes=None
             if args.budget_mb is None
             else int(args.budget_mb * 1024 * 1024),
+            metrics=registry,
         ),
         num_threads=args.threads,
+        metrics=registry,
     )
     for spec in args.dataset:
         name, _, source = spec.partition("=")
@@ -404,6 +442,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source", type=int, default=0)
     p.add_argument("-s", type=int, default=2)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a named workload under tracing + metrics (repro.obs)",
+    )
+    p.add_argument("--workload", default="slinegraph",
+                   choices=["slinegraph", "smetrics", "service"])
+    p.add_argument("--dataset", default="rand1",
+                   help="file path or Table I stand-in name")
+    p.add_argument("-s", type=int, default=2)
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--algorithm", default="hashmap",
+                   choices=["naive", "intersection", "hashmap",
+                            "queue_hashmap", "queue_intersection"])
+    p.add_argument("-o", "--out", default=None,
+                   help="write the merged chrome trace here (e.g. "
+                        "trace.json)")
+    p.add_argument("--json", action="store_true",
+                   help="full summary as one JSON document")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("dot", help="Graphviz export (bipartite or s-line)")
     p.add_argument("file")

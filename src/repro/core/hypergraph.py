@@ -14,6 +14,7 @@ access away.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -339,17 +340,32 @@ class NWHypergraph:
         representation: str = "adjoin",
         algorithm: str = "afforest",
         runtime: ParallelRuntime | None = None,
+        tracer=None,
+        metrics=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Exact hypergraph CC; returns ``(edge_labels, node_labels)``.
 
         ``representation='adjoin'`` runs AdjoinCC (``algorithm`` selects the
         engine); ``'bipartite'`` runs HyperCC (label propagation).  Labels
         agree between the two — the framework invariant.
+        ``tracer``/``metrics`` (:mod:`repro.obs`) are forwarded to the
+        underlying algorithm; no-op when ``None``.
         """
         if representation == "adjoin":
-            return adjoincc(self.adjoin_graph, algorithm, runtime=runtime)
+            return adjoincc(
+                self.adjoin_graph,
+                algorithm,
+                runtime=runtime,
+                tracer=tracer,
+                metrics=metrics,
+            )
         if representation == "bipartite":
-            return hypercc(self.biadjacency, runtime=runtime)
+            return hypercc(
+                self.biadjacency,
+                runtime=runtime,
+                tracer=tracer,
+                metrics=metrics,
+            )
         raise ValueError(f"unknown representation {representation!r}")
 
     def bfs(
@@ -358,8 +374,14 @@ class NWHypergraph:
         source_is_edge: bool = False,
         representation: str = "adjoin",
         runtime: ParallelRuntime | None = None,
+        tracer=None,
+        metrics=None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Exact hypergraph BFS; returns ``(edge_dist, node_dist)`` in hops."""
+        """Exact hypergraph BFS; returns ``(edge_dist, node_dist)`` in hops.
+
+        ``tracer``/``metrics`` (:mod:`repro.obs`) are forwarded to the
+        underlying algorithm; no-op when ``None``.
+        """
         bound = (
             self.number_of_edges() if source_is_edge else self.number_of_nodes()
         )
@@ -370,7 +392,12 @@ class NWHypergraph:
             )
         if representation == "adjoin":
             return adjoinbfs(
-                self.adjoin_graph, source, source_is_edge, runtime=runtime
+                self.adjoin_graph,
+                source,
+                source_is_edge,
+                runtime=runtime,
+                tracer=tracer,
+                metrics=metrics,
             )
         if representation == "bipartite":
             return hyperbfs(
@@ -379,6 +406,8 @@ class NWHypergraph:
                 source_is_edge,
                 direction="direction_optimizing",
                 runtime=runtime,
+                tracer=tracer,
+                metrics=metrics,
             )
         raise ValueError(f"unknown representation {representation!r}")
 
@@ -429,33 +458,49 @@ class NWHypergraph:
     def s_linegraph(
         self,
         s: int = 1,
-        edges: bool = True,
+        over_edges: bool = True,
         algorithm: str = "hashmap",
         runtime: ParallelRuntime | None = None,
         weighted: bool = False,
+        tracer=None,
+        metrics=None,
+        *,
+        edges: bool | None = None,
     ) -> SLineGraph:
-        """Build the s-line graph (``edges=True``) or s-clique graph.
+        """Build the s-line graph (``over_edges=True``) or s-clique graph.
 
-        ``edges=False`` computes over the hypernode side — the s-line graph
-        of the dual, the paper's s-clique graph (clique expansion at s=1).
-        ``weighted=True`` (requires incidence weights and the ``hashmap``
-        or ``matrix`` algorithm) emits weighted overlaps
-        ``Σ w(e,v)·w(f,v)`` as edge weights; the ``s`` threshold stays on
-        set overlap.
+        ``over_edges=False`` computes over the hypernode side — the s-line
+        graph of the dual, the paper's s-clique graph (clique expansion at
+        s=1).  The kwarg matches :attr:`SLineGraph.over_edges`; the old
+        spelling ``edges=`` still works but emits a
+        :class:`DeprecationWarning`.  ``weighted=True`` (requires incidence
+        weights and the ``hashmap`` or ``matrix`` algorithm) emits weighted
+        overlaps ``Σ w(e,v)·w(f,v)`` as edge weights; the ``s`` threshold
+        stays on set overlap.  ``tracer``/``metrics`` (:mod:`repro.obs`)
+        are forwarded to the construction algorithm; no-op when ``None``.
 
-        Repeated calls with the same ``(s, edges, algorithm, weighted)``
-        return the **same** :class:`SLineGraph` instance — memoized on the
-        hypergraph like the lazy ``biadjacency``/``adjoin_graph``
-        representations (every algorithm yields the identical canonical
-        edge list, so the key may safely include the algorithm).  Calls
-        carrying a ``runtime`` bypass the memo: they exist to *measure*
-        construction, and a cache hit would skip the simulated schedule.
-        Use :meth:`invalidate` to drop everything memoized.
+        Repeated calls with the same ``(s, over_edges, algorithm,
+        weighted)`` return the **same** :class:`SLineGraph` instance —
+        memoized on the hypergraph like the lazy
+        ``biadjacency``/``adjoin_graph`` representations (every algorithm
+        yields the identical canonical edge list, so the key may safely
+        include the algorithm).  Calls carrying a ``runtime`` bypass the
+        memo: they exist to *measure* construction, and a cache hit would
+        skip the simulated schedule.  Memo hits emit no spans or counters
+        (no construction work happened).  Use :meth:`invalidate` to drop
+        everything memoized.
         """
-        memo_key = (int(s), bool(edges), algorithm, bool(weighted))
+        if edges is not None:
+            warnings.warn(
+                "s_linegraph(edges=...) is deprecated; use over_edges=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            over_edges = edges
+        memo_key = (int(s), bool(over_edges), algorithm, bool(weighted))
         if runtime is None and memo_key in self._slg_memo:
             return self._slg_memo[memo_key]
-        h = self.biadjacency if edges else self.biadjacency.dual()
+        h = self.biadjacency if over_edges else self.biadjacency.dual()
         if weighted:
             if self.weights is None:
                 raise ValueError(
@@ -464,7 +509,10 @@ class NWHypergraph:
             from repro.linegraph import slinegraph_hashmap, slinegraph_matrix
 
             if algorithm == "hashmap":
-                el = slinegraph_hashmap(h, s, runtime=runtime, weighted=True)
+                el = slinegraph_hashmap(
+                    h, s, runtime=runtime, weighted=True,
+                    tracer=tracer, metrics=metrics,
+                )
             elif algorithm == "matrix":
                 el = slinegraph_matrix(h, s, weighted=True)
             else:
@@ -473,8 +521,11 @@ class NWHypergraph:
                     f"or 'matrix', not {algorithm!r}"
                 )
         else:
-            el = to_two_graph(h, s, algorithm=algorithm, runtime=runtime)
-        lg = SLineGraph(el, s=s, over_edges=edges)
+            el = to_two_graph(
+                h, s, algorithm=algorithm, runtime=runtime,
+                tracer=tracer, metrics=metrics,
+            )
+        lg = SLineGraph(el, s=s, over_edges=over_edges)
         if runtime is None:
             self._slg_memo[memo_key] = lg
         return lg
@@ -482,20 +533,37 @@ class NWHypergraph:
     def s_linegraphs(
         self,
         s_values: Sequence[int],
-        edges: bool = True,
+        over_edges: bool = True,
         runtime: ParallelRuntime | None = None,
+        tracer=None,
+        metrics=None,
+        *,
+        edges: bool | None = None,
     ) -> dict[int, SLineGraph]:
-        """Ensemble construction: ``{s: SLineGraph}`` in one counting pass."""
-        h = self.biadjacency if edges else self.biadjacency.dual()
-        ensemble = slinegraph_ensemble(h, list(s_values), runtime=runtime)
+        """Ensemble construction: ``{s: SLineGraph}`` in one counting pass.
+
+        Accepts the same ``over_edges``/``tracer``/``metrics`` trio as
+        :meth:`s_linegraph` (and the same deprecated ``edges=`` spelling).
+        """
+        if edges is not None:
+            warnings.warn(
+                "s_linegraphs(edges=...) is deprecated; use over_edges=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            over_edges = edges
+        h = self.biadjacency if over_edges else self.biadjacency.dual()
+        ensemble = slinegraph_ensemble(
+            h, list(s_values), runtime=runtime, tracer=tracer, metrics=metrics
+        )
         return {
-            s: SLineGraph(el, s=s, over_edges=edges)
+            s: SLineGraph(el, s=s, over_edges=over_edges)
             for s, el in ensemble.items()
         }
 
     def clique_expansion(self) -> SLineGraph:
         """The clique-expansion graph (s-clique graph at s = 1)."""
-        return self.s_linegraph(1, edges=False)
+        return self.s_linegraph(1, over_edges=False)
 
     # -- misc -------------------------------------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

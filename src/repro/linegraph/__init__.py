@@ -50,6 +50,8 @@ def to_two_graph(
     algorithm: str = "hashmap",
     runtime: ParallelRuntime | None = None,
     queue_ids: np.ndarray | None = None,
+    tracer=None,
+    metrics=None,
 ):
     """Construct the s-line ("two-graph") edge list of a hypergraph.
 
@@ -59,6 +61,10 @@ def to_two_graph(
     adjoin inputs (the non-queue loops assume a contiguous hyperedge
     range).  The queue-based algorithms additionally accept ``queue_ids``;
     the matrix oracle ignores ``runtime`` (one sparse product).
+
+    ``tracer``/``metrics`` (:mod:`repro.obs`, no-op when ``None``) reach
+    every instrumented algorithm; the ``matrix``/``threaded`` oracles are
+    uninstrumented and ignore them.
     """
     if algorithm == "auto":
         from repro.structures.adjoin import AdjoinGraph
@@ -74,10 +80,13 @@ def to_two_graph(
             f"{sorted(ALGORITHMS) + ['auto']}"
         ) from None
     if algorithm in ("queue_hashmap", "queue_intersection"):
-        return fn(h, s, runtime=runtime, queue_ids=queue_ids)
+        return fn(
+            h, s, runtime=runtime, queue_ids=queue_ids,
+            tracer=tracer, metrics=metrics,
+        )
     if algorithm in ("matrix", "threaded"):
         return fn(h, s)
-    return fn(h, s, runtime=runtime)
+    return fn(h, s, runtime=runtime, tracer=tracer, metrics=metrics)
 
 
 def to_two_graph_hashmap_cyclic(

@@ -20,11 +20,34 @@ __all__ = [
     "filter_overlaps",
     "finalize_edges",
     "intersect_count_sorted",
+    "pair_counters",
     "two_hop_pair_counts",
     "two_hop_pair_weighted",
     "linegraph_csr",
     "resolve_incidence",
 ]
+
+
+def pair_counters(metrics, algorithm: str):
+    """The construction-counter trio for one algorithm run.
+
+    Returns ``(candidates, pruned, emitted)`` counters labeled with the
+    algorithm name: *candidates* is how many hyperedge pairs the
+    heuristic examined, *pruned* how many it rejected (degree filter or
+    overlap below ``s``), *emitted* how many s-line edges it produced
+    (before canonical dedup).  These are the quantities the line-graph
+    paper's heuristic comparisons are stated in — with a shared
+    :class:`~repro.obs.metrics.MetricsRegistry` the algorithms become
+    directly comparable on live runs.  ``metrics=None`` yields no-ops.
+    """
+    from repro.obs.metrics import as_metrics
+
+    m = as_metrics(metrics)
+    return (
+        m.counter("slinegraph_candidate_pairs_total", algorithm=algorithm),
+        m.counter("slinegraph_pruned_pairs_total", algorithm=algorithm),
+        m.counter("slinegraph_emitted_pairs_total", algorithm=algorithm),
+    )
 
 
 def resolve_incidence(h) -> tuple[CSR, CSR, int, np.ndarray]:

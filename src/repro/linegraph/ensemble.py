@@ -13,7 +13,14 @@ import numpy as np
 from repro.parallel.runtime import ParallelRuntime, TaskResult
 from repro.structures.edgelist import EdgeList
 
-from .common import finalize_edges, resolve_incidence, two_hop_pair_counts
+from repro.obs.tracer import as_tracer
+
+from .common import (
+    finalize_edges,
+    pair_counters,
+    resolve_incidence,
+    two_hop_pair_counts,
+)
 
 __all__ = ["slinegraph_ensemble"]
 
@@ -22,43 +29,60 @@ def slinegraph_ensemble(
     h,
     s_values: list[int] | tuple[int, ...],
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> dict[int, EdgeList]:
     """Build ``{s: L_s(H)}`` for every ``s`` in ``s_values`` in one pass.
 
     Counting is pruned at ``min(s_values)`` (pairs below the smallest
-    threshold can never appear in any requested line graph).
+    threshold can never appear in any requested line graph).  The
+    candidate/pruned/emitted counters are stated at the ``min(s_values)``
+    threshold — the one counting pass the ensemble actually runs.
     """
     s_values = sorted(set(int(s) for s in s_values))
     if not s_values:
         return {}
     if s_values[0] < 1:
         raise ValueError("every s must be >= 1")
+    tr = as_tracer(tracer)
+    c_cand, c_pruned, c_emit = pair_counters(metrics, "ensemble")
     s_min = s_values[0]
     edges, nodes, n_e, sizes = resolve_incidence(h)
     eligible = np.flatnonzero(sizes >= s_min).astype(np.int64)
+    candidates = [0]  # bodies run serially; plain accumulation is safe
 
     def body(chunk: np.ndarray) -> TaskResult:
         src, dst, cnt, work = two_hop_pair_counts(edges, nodes, chunk)
+        candidates[0] += cnt.size
         keep = cnt >= s_min
         return TaskResult(
             (src[keep], dst[keep], cnt[keep]), float(work + chunk.size)
         )
 
-    if runtime is None:
-        parts = [body(eligible).value]
-    else:
-        runtime.new_run()
-        parts = runtime.parallel_for(
-            runtime.partition(eligible), body, phase="ensemble_count"
-        )
-    if parts:
-        src = np.concatenate([p[0] for p in parts])
-        dst = np.concatenate([p[1] for p in parts])
-        cnt = np.concatenate([p[2] for p in parts])
-    else:
-        src = dst = cnt = np.empty(0, dtype=np.int64)
-    out: dict[int, EdgeList] = {}
-    for s in s_values:
-        keep = cnt >= s
-        out[s] = finalize_edges(src[keep], dst[keep], cnt[keep], n_e)
-    return out
+    with tr.span(
+        "slinegraph.ensemble", s_min=s_min, num_s=len(s_values)
+    ) as span:
+        with tr.span("ensemble.count"):
+            if runtime is None:
+                parts = [body(eligible).value]
+            else:
+                runtime.new_run()
+                parts = runtime.parallel_for(
+                    runtime.partition(eligible), body, phase="ensemble_count"
+                )
+        if parts:
+            src = np.concatenate([p[0] for p in parts])
+            dst = np.concatenate([p[1] for p in parts])
+            cnt = np.concatenate([p[2] for p in parts])
+        else:
+            src = dst = cnt = np.empty(0, dtype=np.int64)
+        c_cand.inc(candidates[0])
+        c_pruned.inc(candidates[0] - src.size)
+        c_emit.inc(src.size)
+        span.set(candidates=candidates[0], emitted=int(src.size))
+        with tr.span("ensemble.filter"):
+            out: dict[int, EdgeList] = {}
+            for s in s_values:
+                keep = cnt >= s
+                out[s] = finalize_edges(src[keep], dst[keep], cnt[keep], n_e)
+            return out

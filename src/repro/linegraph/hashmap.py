@@ -20,7 +20,14 @@ from repro.parallel.runtime import ParallelRuntime, TaskResult
 from repro.structures.biadjacency import BiAdjacency
 from repro.structures.edgelist import EdgeList
 
-from .common import empty_linegraph, finalize_edges, two_hop_pair_counts
+from repro.obs.tracer import as_tracer
+
+from .common import (
+    empty_linegraph,
+    finalize_edges,
+    pair_counters,
+    two_hop_pair_counts,
+)
 
 __all__ = ["slinegraph_hashmap"]
 
@@ -30,6 +37,8 @@ def slinegraph_hashmap(
     s: int = 1,
     runtime: ParallelRuntime | None = None,
     weighted: bool = False,
+    tracer=None,
+    metrics=None,
 ) -> EdgeList:
     """Hashmap-based counting construction over the full hyperedge range.
 
@@ -42,8 +51,11 @@ def slinegraph_hashmap(
     """
     if s < 1:
         raise ValueError("s must be >= 1")
+    tr = as_tracer(tracer)
+    c_cand, c_pruned, c_emit = pair_counters(metrics, "hashmap")
     n = h.num_hyperedges()
     eligible = np.flatnonzero(h.edge_sizes() >= s).astype(np.int64)
+    candidates = [0]  # bodies run serially; plain accumulation is safe
 
     def body(chunk: np.ndarray) -> TaskResult:
         if weighted:
@@ -52,27 +64,36 @@ def slinegraph_hashmap(
             src, dst, cnt, wgt = two_hop_pair_weighted(
                 h.edges, h.nodes, chunk
             )
+            candidates[0] += cnt.size
             work = int(cnt.sum()) + chunk.size
             keep = cnt >= s
             return TaskResult(
                 (src[keep], dst[keep], wgt[keep]), float(work)
             )
         src, dst, cnt, work = two_hop_pair_counts(h.edges, h.nodes, chunk)
+        candidates[0] += cnt.size
         keep = cnt >= s
         return TaskResult(
             (src[keep], dst[keep], cnt[keep]), float(work + chunk.size)
         )
 
-    if runtime is None:
-        parts = [body(eligible).value]
-    else:
-        runtime.new_run()
-        parts = runtime.parallel_for(
-            runtime.partition(eligible), body, phase="hashmap_count"
-        )
-    if not parts:
-        return empty_linegraph(n)
-    src = np.concatenate([p[0] for p in parts])
-    dst = np.concatenate([p[1] for p in parts])
-    cnt = np.concatenate([p[2] for p in parts])
-    return finalize_edges(src, dst, cnt, n)
+    with tr.span("slinegraph.hashmap", s=s, weighted=weighted) as span:
+        with tr.span("hashmap.count"):
+            if runtime is None:
+                parts = [body(eligible).value]
+            else:
+                runtime.new_run()
+                parts = runtime.parallel_for(
+                    runtime.partition(eligible), body, phase="hashmap_count"
+                )
+        if not parts:
+            return empty_linegraph(n)
+        src = np.concatenate([p[0] for p in parts])
+        dst = np.concatenate([p[1] for p in parts])
+        cnt = np.concatenate([p[2] for p in parts])
+        c_cand.inc(candidates[0])
+        c_pruned.inc(candidates[0] - src.size)
+        c_emit.inc(src.size)
+        span.set(candidates=candidates[0], emitted=int(src.size))
+        with tr.span("hashmap.finalize"):
+            return finalize_edges(src, dst, cnt, n)

@@ -19,10 +19,13 @@ from repro.parallel.runtime import ParallelRuntime, TaskResult
 from repro.structures.biadjacency import BiAdjacency
 from repro.structures.edgelist import EdgeList
 
+from repro.obs.tracer import as_tracer
+
 from .common import (
     batch_intersect_counts,
     empty_linegraph,
     finalize_edges,
+    pair_counters,
     two_hop_pair_counts,
 )
 
@@ -33,13 +36,18 @@ def slinegraph_intersection(
     h: BiAdjacency,
     s: int = 1,
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> EdgeList:
     """Candidate-gathering + per-pair set intersection construction."""
     if s < 1:
         raise ValueError("s must be >= 1")
+    tr = as_tracer(tracer)
+    c_cand, c_pruned, c_emit = pair_counters(metrics, "intersection")
     n = h.num_hyperedges()
     sizes = h.edge_sizes()
     eligible = np.flatnonzero(sizes >= s).astype(np.int64)
+    candidates = [0]  # bodies run serially; plain accumulation is safe
 
     def body(chunk: np.ndarray) -> TaskResult:
         # candidate pairs via two-hop walk (counts discarded: the heuristic
@@ -47,6 +55,7 @@ def slinegraph_intersection(
         src_c, dst_c, _, walk_work = two_hop_pair_counts(
             h.edges, h.nodes, chunk
         )
+        candidates[0] += src_c.size
         # degree pruning on the candidate side
         keep = sizes[dst_c] >= s
         src_c, dst_c = src_c[keep], dst_c[keep]
@@ -63,16 +72,23 @@ def slinegraph_intersection(
             float(work + chunk.size),
         )
 
-    if runtime is None:
-        parts = [body(eligible).value]
-    else:
-        runtime.new_run()
-        parts = runtime.parallel_for(
-            runtime.partition(eligible), body, phase="intersection"
-        )
-    if not parts:
-        return empty_linegraph(n)
-    src = np.concatenate([p[0] for p in parts])
-    dst = np.concatenate([p[1] for p in parts])
-    cnt = np.concatenate([p[2] for p in parts])
-    return finalize_edges(src, dst, cnt, n)
+    with tr.span("slinegraph.intersection", s=s) as span:
+        with tr.span("intersection.candidates"):
+            if runtime is None:
+                parts = [body(eligible).value]
+            else:
+                runtime.new_run()
+                parts = runtime.parallel_for(
+                    runtime.partition(eligible), body, phase="intersection"
+                )
+        if not parts:
+            return empty_linegraph(n)
+        src = np.concatenate([p[0] for p in parts])
+        dst = np.concatenate([p[1] for p in parts])
+        cnt = np.concatenate([p[2] for p in parts])
+        c_cand.inc(candidates[0])
+        c_pruned.inc(candidates[0] - src.size)
+        c_emit.inc(src.size)
+        span.set(candidates=candidates[0], emitted=int(src.size))
+        with tr.span("intersection.finalize"):
+            return finalize_edges(src, dst, cnt, n)

@@ -14,7 +14,9 @@ from repro.parallel.runtime import ParallelRuntime, TaskResult
 from repro.structures.biadjacency import BiAdjacency
 from repro.structures.edgelist import EdgeList
 
-from .common import finalize_edges, intersect_count_sorted
+from repro.obs.tracer import as_tracer
+
+from .common import finalize_edges, intersect_count_sorted, pair_counters
 
 __all__ = ["slinegraph_naive"]
 
@@ -23,6 +25,8 @@ def slinegraph_naive(
     h: BiAdjacency,
     s: int = 1,
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> EdgeList:
     """All-pairs set-intersection s-line construction.
 
@@ -30,8 +34,11 @@ def slinegraph_naive(
     """
     if s < 1:
         raise ValueError("s must be >= 1")
+    tr = as_tracer(tracer)
+    c_cand, c_pruned, c_emit = pair_counters(metrics, "naive")
     n = h.num_hyperedges()
     sizes = h.edge_sizes()
+    examined = [0]  # bodies run serially; plain accumulation is safe
 
     def pairs_for(block: np.ndarray) -> TaskResult:
         src: list[int] = []
@@ -45,6 +52,7 @@ def slinegraph_naive(
             for f in range(e + 1, n):
                 if sizes[f] < s:
                     continue
+                examined[0] += 1
                 work += int(min(sizes[e], sizes[f]))
                 c = intersect_count_sorted(mem_e, h.members(f))
                 if c >= s:
@@ -55,15 +63,22 @@ def slinegraph_naive(
             (np.array(src), np.array(dst), np.array(cnt)), float(work + block.size)
         )
 
-    all_ids = np.arange(n, dtype=np.int64)
-    if runtime is None:
-        parts = [pairs_for(all_ids).value]
-    else:
-        runtime.new_run()
-        parts = runtime.parallel_for(
-            runtime.partition(all_ids), pairs_for, phase="naive_pairs"
-        )
-    src = np.concatenate([p[0] for p in parts]) if parts else np.empty(0)
-    dst = np.concatenate([p[1] for p in parts]) if parts else np.empty(0)
-    cnt = np.concatenate([p[2] for p in parts]) if parts else np.empty(0)
-    return finalize_edges(src, dst, cnt, n)
+    with tr.span("slinegraph.naive", s=s) as span:
+        all_ids = np.arange(n, dtype=np.int64)
+        with tr.span("naive.pairs"):
+            if runtime is None:
+                parts = [pairs_for(all_ids).value]
+            else:
+                runtime.new_run()
+                parts = runtime.parallel_for(
+                    runtime.partition(all_ids), pairs_for, phase="naive_pairs"
+                )
+        src = np.concatenate([p[0] for p in parts]) if parts else np.empty(0)
+        dst = np.concatenate([p[1] for p in parts]) if parts else np.empty(0)
+        cnt = np.concatenate([p[2] for p in parts]) if parts else np.empty(0)
+        c_cand.inc(examined[0])
+        c_pruned.inc(examined[0] - src.size)
+        c_emit.inc(src.size)
+        span.set(candidates=examined[0], emitted=int(src.size))
+        with tr.span("naive.finalize"):
+            return finalize_edges(src, dst, cnt, n)

@@ -21,7 +21,15 @@ from repro.parallel.runtime import ParallelRuntime, TaskResult
 from repro.parallel.workqueue import ThreadLocalQueues, WorkQueue
 from repro.structures.edgelist import EdgeList
 
-from .common import empty_linegraph, finalize_edges, resolve_incidence, two_hop_pair_counts
+from repro.obs.tracer import as_tracer
+
+from .common import (
+    empty_linegraph,
+    finalize_edges,
+    pair_counters,
+    resolve_incidence,
+    two_hop_pair_counts,
+)
 
 __all__ = ["slinegraph_queue_hashmap"]
 
@@ -31,6 +39,8 @@ def slinegraph_queue_hashmap(
     s: int = 1,
     runtime: ParallelRuntime | None = None,
     queue_ids: np.ndarray | None = None,
+    tracer=None,
+    metrics=None,
 ) -> EdgeList:
     """Single-phase queue-based construction (paper Algorithm 1).
 
@@ -47,9 +57,13 @@ def slinegraph_queue_hashmap(
         — the result is identical because line 10's ``i < j`` comparison
         runs on whatever IDs the queue carries, covering each unordered
         pair exactly once either way.
+    tracer, metrics:
+        Optional :mod:`repro.obs` instruments (no-op when ``None``).
     """
     if s < 1:
         raise ValueError("s must be >= 1")
+    tr = as_tracer(tracer)
+    c_cand, c_pruned, c_emit = pair_counters(metrics, "queue_hashmap")
     edges, nodes, n_e, sizes = resolve_incidence(h)
     if queue_ids is None:
         queue_ids = np.arange(n_e, dtype=np.int64)
@@ -60,65 +74,79 @@ def slinegraph_queue_hashmap(
 
     nt = runtime.num_threads if runtime is not None else 1
     local = ThreadLocalQueues(nt, width=1)
+    with tr.span("slinegraph.queue_hashmap", s=s) as span:
+        # Phase 0 (Alg. 1 line 2): enqueue candidate IDs, thread-locally.
+        with tr.span("queue_hashmap.enqueue"):
+            if runtime is None:
+                local.push(0, queue_ids)
+            else:
+                runtime.new_run()
+                chunks = runtime.partition(queue_ids)
 
-    # Phase 0 (Alg. 1 line 2): enqueue candidate IDs, thread-locally.
-    if runtime is None:
-        local.push(0, queue_ids)
-    else:
-        runtime.new_run()
-        chunks = runtime.partition(queue_ids)
+                def enqueue(chunk: np.ndarray) -> TaskResult:
+                    # round-robin chunk -> thread assignment mirrors the
+                    # simulated static placement; actual thread identity is
+                    # irrelevant to the result because merge order is
+                    # deterministic
+                    return TaskResult(chunk, float(chunk.size))
 
-        def enqueue(chunk: np.ndarray) -> TaskResult:
-            # round-robin chunk -> thread assignment mirrors the simulated
-            # static placement; actual thread identity is irrelevant to the
-            # result because merge order is deterministic
-            return TaskResult(chunk, float(chunk.size))
+                for i, part in enumerate(
+                    runtime.parallel_for(chunks, enqueue, phase="enqueue_ids")
+                ):
+                    local.push(i % nt, part)
+            queue = WorkQueue(local.merge())
 
-        for i, part in enumerate(
-            runtime.parallel_for(chunks, enqueue, phase="enqueue_ids")
-        ):
-            local.push(i % nt, part)
-    queue = WorkQueue(local.merge())
+        # Main loop (lines 5–14): drain the queue; per item, hashmap counting.
+        out_src: list[np.ndarray] = []
+        out_dst: list[np.ndarray] = []
+        out_cnt: list[np.ndarray] = []
+        candidates = [0]  # bodies run serially; plain accumulation is safe
 
-    # Main loop (lines 5–14): drain the queue; per item, hashmap counting.
-    out_src: list[np.ndarray] = []
-    out_dst: list[np.ndarray] = []
-    out_cnt: list[np.ndarray] = []
+        def process(chunk: np.ndarray) -> TaskResult:
+            live = chunk[sizes[chunk] >= s]  # line 6 degree filter
+            src, dst, cnt, work = two_hop_pair_counts(edges, nodes, live)
+            candidates[0] += cnt.size
+            keep = cnt >= s
+            return TaskResult(
+                (src[keep], dst[keep], cnt[keep]), float(work + chunk.size)
+            )
 
-    def process(chunk: np.ndarray) -> TaskResult:
-        live = chunk[sizes[chunk] >= s]  # line 6 degree filter
-        src, dst, cnt, work = two_hop_pair_counts(edges, nodes, live)
-        keep = cnt >= s
-        return TaskResult(
-            (src[keep], dst[keep], cnt[keep]), float(work + chunk.size)
-        )
+        with tr.span("queue_hashmap.count"):
+            if runtime is None:
+                parts = [process(queue.drain()).value]
+            else:
+                drained = queue.drain()
+                parts = runtime.parallel_for(
+                    runtime.partition(drained), process, phase="queue_hashmap"
+                )
+        for src, dst, cnt in parts:
+            out_src.append(src)
+            out_dst.append(dst)
+            out_cnt.append(cnt)
 
-    if runtime is None:
-        parts = [process(queue.drain()).value]
-    else:
-        drained = queue.drain()
-        parts = runtime.parallel_for(
-            runtime.partition(drained), process, phase="queue_hashmap"
-        )
-    for src, dst, cnt in parts:
-        out_src.append(src)
-        out_dst.append(dst)
-        out_cnt.append(cnt)
-
-    # line 15: concatenate per-thread edge lists (prefix sum + parallel copy)
-    if runtime is not None:
-        total = sum(a.size for a in out_src)
-        runtime.serial_phase(float(runtime.num_threads), phase="merge_offsets")
-        runtime.parallel_for(
-            runtime.partition(total),
-            lambda c: TaskResult(None, float(c.size)),
-            phase="merge_results_copy",
-        )
-    if not out_src:
-        return empty_linegraph(n_e)
-    return finalize_edges(
-        np.concatenate(out_src),
-        np.concatenate(out_dst),
-        np.concatenate(out_cnt),
-        n_e,
-    )
+        # line 15: concatenate per-thread edge lists (prefix sum + parallel
+        # copy)
+        if runtime is not None:
+            total = sum(a.size for a in out_src)
+            runtime.serial_phase(
+                float(runtime.num_threads), phase="merge_offsets"
+            )
+            runtime.parallel_for(
+                runtime.partition(total),
+                lambda c: TaskResult(None, float(c.size)),
+                phase="merge_results_copy",
+            )
+        if not out_src:
+            return empty_linegraph(n_e)
+        emitted = sum(a.size for a in out_src)
+        c_cand.inc(candidates[0])
+        c_pruned.inc(candidates[0] - emitted)
+        c_emit.inc(emitted)
+        span.set(candidates=candidates[0], emitted=emitted)
+        with tr.span("queue_hashmap.finalize"):
+            return finalize_edges(
+                np.concatenate(out_src),
+                np.concatenate(out_dst),
+                np.concatenate(out_cnt),
+                n_e,
+            )

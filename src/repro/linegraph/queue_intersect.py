@@ -23,10 +23,13 @@ from repro.parallel.runtime import ParallelRuntime, TaskResult
 from repro.parallel.workqueue import ThreadLocalQueues, WorkQueue
 from repro.structures.edgelist import EdgeList
 
+from repro.obs.tracer import as_tracer
+
 from .common import (
     batch_intersect_counts,
     empty_linegraph,
     finalize_edges,
+    pair_counters,
     resolve_incidence,
     two_hop_pair_counts,
 )
@@ -39,10 +42,18 @@ def slinegraph_queue_intersection(
     s: int = 1,
     runtime: ParallelRuntime | None = None,
     queue_ids: np.ndarray | None = None,
+    tracer=None,
+    metrics=None,
 ) -> EdgeList:
-    """Two-phase queue-based construction (paper Algorithm 2)."""
+    """Two-phase queue-based construction (paper Algorithm 2).
+
+    ``tracer``/``metrics`` are optional :mod:`repro.obs` instruments
+    (no-op when ``None``).
+    """
     if s < 1:
         raise ValueError("s must be >= 1")
+    tr = as_tracer(tracer)
+    c_cand, c_pruned, c_emit = pair_counters(metrics, "queue_intersection")
     edges, nodes, n_e, sizes = resolve_incidence(h)
     if queue_ids is None:
         queue_ids = np.arange(n_e, dtype=np.int64)
@@ -52,69 +63,87 @@ def slinegraph_queue_intersection(
         queue_ids = np.unique(np.asarray(queue_ids, dtype=np.int64))
     nt = runtime.num_threads if runtime is not None else 1
 
-    # ---- Phase 1: enqueue eligible candidate pairs ------------------------
-    eligible = queue_ids[sizes[queue_ids] >= s]
-    local = ThreadLocalQueues(nt, width=2)
+    with tr.span("slinegraph.queue_intersection", s=s) as span:
+        # ---- Phase 1: enqueue eligible candidate pairs --------------------
+        eligible = queue_ids[sizes[queue_ids] >= s]
+        local = ThreadLocalQueues(nt, width=2)
+        candidates = [0]  # bodies run serially; plain accumulation is safe
 
-    def gather_pairs(chunk: np.ndarray) -> TaskResult:
-        src, dst, _, work = two_hop_pair_counts(edges, nodes, chunk)
-        keep = sizes[dst] >= s  # candidate-side degree pruning
-        pairs = np.stack([src[keep], dst[keep]], axis=1)
-        return TaskResult(pairs, float(work + chunk.size))
+        def gather_pairs(chunk: np.ndarray) -> TaskResult:
+            src, dst, _, work = two_hop_pair_counts(edges, nodes, chunk)
+            candidates[0] += src.size
+            keep = sizes[dst] >= s  # candidate-side degree pruning
+            pairs = np.stack([src[keep], dst[keep]], axis=1)
+            return TaskResult(pairs, float(work + chunk.size))
 
-    if runtime is None:
-        local.push(0, gather_pairs(eligible).value)
-    else:
-        runtime.new_run()
-        parts = runtime.parallel_for(
-            runtime.partition(eligible), gather_pairs, phase="enqueue_pairs"
-        )
-        for i, pairs in enumerate(parts):
-            local.push(i % nt, pairs)
-    merged = local.merge()
-    if runtime is not None:
-        # merging per-thread queues = one prefix sum over thread counts
-        # (serial) + a parallel block copy; mirrors the C++ concatenation
-        runtime.serial_phase(float(nt), phase="merge_pair_queue_offsets")
-        runtime.parallel_for(
-            runtime.partition(max(merged.shape[0], 0)),
-            lambda c: TaskResult(None, float(c.size)),
-            phase="merge_pair_queue_copy",
-        )
-    queue = WorkQueue(merged.reshape(-1, 2) if merged.size else merged)
+        with tr.span("queue_intersection.enqueue_pairs"):
+            if runtime is None:
+                local.push(0, gather_pairs(eligible).value)
+            else:
+                runtime.new_run()
+                parts = runtime.parallel_for(
+                    runtime.partition(eligible),
+                    gather_pairs,
+                    phase="enqueue_pairs",
+                )
+                for i, pairs in enumerate(parts):
+                    local.push(i % nt, pairs)
+            merged = local.merge()
+            if runtime is not None:
+                # merging per-thread queues = one prefix sum over thread
+                # counts (serial) + a parallel block copy; mirrors the C++
+                # concatenation
+                runtime.serial_phase(
+                    float(nt), phase="merge_pair_queue_offsets"
+                )
+                runtime.parallel_for(
+                    runtime.partition(max(merged.shape[0], 0)),
+                    lambda c: TaskResult(None, float(c.size)),
+                    phase="merge_pair_queue_copy",
+                )
+            queue = WorkQueue(
+                merged.reshape(-1, 2) if merged.size else merged
+            )
 
-    # ---- Phase 2: per-pair set intersection --------------------------------
-    def intersect_pairs(pairs: np.ndarray) -> TaskResult:
-        counts = batch_intersect_counts(edges, pairs)
-        work = int(
-            np.minimum(sizes[pairs[:, 0]], sizes[pairs[:, 1]]).sum()
-        ) if pairs.size else 0
-        keep = counts >= s
-        return TaskResult(
-            (pairs[keep, 0], pairs[keep, 1], counts[keep]),
-            float(work + pairs.shape[0]),
-        )
+        # ---- Phase 2: per-pair set intersection ---------------------------
+        def intersect_pairs(pairs: np.ndarray) -> TaskResult:
+            counts = batch_intersect_counts(edges, pairs)
+            work = int(
+                np.minimum(sizes[pairs[:, 0]], sizes[pairs[:, 1]]).sum()
+            ) if pairs.size else 0
+            keep = counts >= s
+            return TaskResult(
+                (pairs[keep, 0], pairs[keep, 1], counts[keep]),
+                float(work + pairs.shape[0]),
+            )
 
-    all_pairs = queue.drain()
-    if all_pairs.ndim == 1:
-        all_pairs = all_pairs.reshape(-1, 2)
-    if runtime is None:
-        results = [intersect_pairs(all_pairs).value]
-    else:
-        # the pair queue has one-row granularity; chunk by pair index
-        idx_chunks = runtime.partition(all_pairs.shape[0])
-        results = runtime.parallel_for(
-            idx_chunks,
-            lambda idx: intersect_pairs(all_pairs[idx]),
-            phase="intersect_pairs",
-        )
+        with tr.span("queue_intersection.intersect"):
+            all_pairs = queue.drain()
+            if all_pairs.ndim == 1:
+                all_pairs = all_pairs.reshape(-1, 2)
+            if runtime is None:
+                results = [intersect_pairs(all_pairs).value]
+            else:
+                # the pair queue has one-row granularity; chunk by pair index
+                idx_chunks = runtime.partition(all_pairs.shape[0])
+                results = runtime.parallel_for(
+                    idx_chunks,
+                    lambda idx: intersect_pairs(all_pairs[idx]),
+                    phase="intersect_pairs",
+                )
 
-    srcs = [r[0] for r in results if r[0].size]
-    if not srcs:
-        return empty_linegraph(n_e)
-    return finalize_edges(
-        np.concatenate(srcs),
-        np.concatenate([r[1] for r in results if r[1].size]),
-        np.concatenate([r[2] for r in results if r[2].size]),
-        n_e,
-    )
+        emitted = sum(int(r[0].size) for r in results)
+        c_cand.inc(candidates[0])
+        c_pruned.inc(candidates[0] - emitted)
+        c_emit.inc(emitted)
+        span.set(candidates=candidates[0], emitted=emitted)
+        srcs = [r[0] for r in results if r[0].size]
+        if not srcs:
+            return empty_linegraph(n_e)
+        with tr.span("queue_intersection.finalize"):
+            return finalize_edges(
+                np.concatenate(srcs),
+                np.concatenate([r[1] for r in results if r[1].size]),
+                np.concatenate([r[2] for r in results if r[2].size]),
+                n_e,
+            )

@@ -1,0 +1,54 @@
+"""``repro.obs`` — unified tracing & metrics for the whole framework.
+
+One instrumentation surface across construction, traversal, and serving
+(the measurement discipline behind the paper's §VI evaluation):
+
+* :mod:`~repro.obs.tracer` — nested, thread-safe wall-clock **spans**
+  with attributes, exportable as Chrome trace events;
+* :mod:`~repro.obs.metrics` — a registry of named **counters, gauges,
+  and histograms** (Prometheus data model), thread-safe throughout;
+* :mod:`~repro.obs.prometheus` — text exposition + subset parser;
+* :mod:`~repro.obs.profile` — named workloads producing one merged
+  Perfetto timeline (Python spans + simulated schedules) and a metrics
+  summary; CLI: ``python -m repro profile``.
+
+Every instrumented API takes the same trailing trio —
+``runtime=None, tracer=None, metrics=None`` — and the ``None`` defaults
+resolve to true no-op singletons, so uninstrumented runs pay near-zero
+overhead.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    as_metrics,
+)
+from .profile import PROFILE_WORKLOADS, merged_chrome_trace, run_profile
+from .prometheus import parse_prometheus_text, prometheus_text
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "PROFILE_WORKLOADS",
+    "Span",
+    "Tracer",
+    "as_metrics",
+    "as_tracer",
+    "merged_chrome_trace",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "run_profile",
+]

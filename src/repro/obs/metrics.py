@@ -1,0 +1,304 @@
+"""Named counters, gauges, and histograms behind one registry.
+
+A :class:`MetricsRegistry` is the process-wide (or session-wide) home of
+every instrument the framework emits: construction pair counters, cache
+outcome counters, per-op service latency histograms.  Instruments are
+identified by ``(name, labels)`` — the Prometheus data model — and
+created on first use::
+
+    reg = MetricsRegistry()
+    reg.counter("slinegraph_emitted_pairs_total", algorithm="hashmap").inc(42)
+    reg.histogram("service_request_seconds", op="s_distance").observe(0.003)
+
+Everything is thread-safe: instrument creation takes the registry lock,
+and each instrument carries its own lock for updates, so concurrent
+request threads can never drop or corrupt samples.
+
+Like the tracer, the registry has a true no-op twin
+(:data:`NULL_METRICS` via :func:`as_metrics`): instruments handed out by
+the null registry are shared singletons whose update methods do nothing,
+so uninstrumented hot paths pay only an attribute call.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+    "as_metrics",
+]
+
+#: Prometheus' default latency buckets (seconds) — upper bounds, +Inf implied
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (resident bytes, queue depth)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``bounds`` are upper bucket bounds in ascending order; every
+    observation also lands in the implicit ``+Inf`` bucket and feeds the
+    running ``sum``/``count``.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_counts", "_sum", "_count",
+                 "_lock")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self._counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            i = bisect.bisect_left(self.bounds, value)
+            if i < len(self._counts):  # else: only the implicit +Inf bucket
+                self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def sample(self) -> dict:
+        """Cumulative bucket counts keyed by bound, plus sum/count/mean."""
+        with self._lock:
+            cumulative = 0
+            buckets = {}
+            for bound, n in zip(self.bounds, self._counts):
+                cumulative += n
+                buckets[bound] = cumulative
+            return {
+                "buckets": buckets,
+                "sum": self._sum,
+                "count": self._count,
+                "mean": self._sum / self._count if self._count else 0.0,
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create home of every named instrument (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, LabelSet], object] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (str(name), _label_key(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                kind = self._kinds.get(key[0])
+                if kind is not None and kind != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {kind}"
+                    )
+                inst = cls(key[0], key[1], **kwargs)
+                self._instruments[key] = inst
+                self._kinds[key[0]] = cls.kind
+            elif not isinstance(inst, cls):  # pragma: no cover - guarded above
+                raise ValueError(f"metric {name!r} has kind {inst.kind}")
+            return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] | None = None,
+        **labels,
+    ) -> Histogram:
+        if bounds is None:
+            return self._get(Histogram, name, labels)
+        return self._get(Histogram, name, labels, bounds=tuple(bounds))
+
+    def instruments(self) -> list:
+        """Every registered instrument, sorted by (name, labels)."""
+        with self._lock:
+            return [
+                self._instruments[k] for k in sorted(self._instruments)
+            ]
+
+    def snapshot(self) -> list[dict]:
+        """JSON-safe dump: one record per instrument.
+
+        Histogram bucket keys are stringified bounds (JSON objects cannot
+        carry float keys).
+        """
+        out = []
+        for inst in self.instruments():
+            sample = inst.sample()
+            if "buckets" in sample:
+                sample["buckets"] = {
+                    repr(b): n for b, n in sample["buckets"].items()
+                }
+            out.append(
+                {
+                    "name": inst.name,
+                    "kind": inst.kind,
+                    "labels": dict(inst.labels),
+                    **sample,
+                }
+            )
+        return out
+
+
+class _NullInstrument:
+    """Shared sink for every null counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    labels: LabelSet = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    bounds = DEFAULT_BUCKETS
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def sample(self) -> dict:
+        return {"value": 0.0}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """No-op :class:`MetricsRegistry` twin; the default everywhere."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds=None, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def instruments(self) -> list:
+        return []
+
+    def snapshot(self) -> list:
+        return []
+
+
+NULL_METRICS = NullMetrics()
+
+
+def as_metrics(
+    metrics: "MetricsRegistry | NullMetrics | None",
+) -> "MetricsRegistry | NullMetrics":
+    """Resolve an optional ``metrics`` parameter to a usable registry."""
+    return NULL_METRICS if metrics is None else metrics

@@ -1,0 +1,131 @@
+"""Prometheus text exposition (version 0.0.4) of a metrics registry.
+
+:func:`prometheus_text` renders every instrument in a
+:class:`~repro.obs.metrics.MetricsRegistry` in the plain-text format any
+Prometheus-compatible scraper ingests; the service exposes it through
+the ``prometheus`` query op.  :func:`parse_prometheus_text` is the
+matching (subset) parser, used by the round-trip tests and handy for
+scripting against a live service without a Prometheus client library.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["parse_prometheus_text", "prometheus_text"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _sanitize(name: str, pattern: re.Pattern) -> str:
+    if pattern.match(name):
+        return name
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not re.match(r"[a-zA-Z_:]", out[0]):
+        out = "_" + out
+    return out
+
+
+def _fmt_value(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def _fmt_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [
+        (_sanitize(k, _LABEL_OK), str(v)) for k, v in (*labels, *extra)
+    ]
+    if not items:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(
+            k, v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+        for k, v in items
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text-exposition format."""
+    lines: list[str] = []
+    seen_type: set[str] = set()
+    for inst in registry.instruments():
+        name = _sanitize(inst.name, _NAME_OK)
+        if name not in seen_type:
+            lines.append(f"# TYPE {name} {inst.kind}")
+            seen_type.add(name)
+        if isinstance(inst, Histogram):
+            sample = inst.sample()
+            for bound, cum in sample["buckets"].items():
+                lab = _fmt_labels(
+                    inst.labels, (("le", _fmt_value(bound)),)
+                )
+                lines.append(f"{name}_bucket{lab} {_fmt_value(cum)}")
+            inf_lab = _fmt_labels(inst.labels, (("le", "+Inf"),))
+            lines.append(
+                f"{name}_bucket{inf_lab} {_fmt_value(sample['count'])}"
+            )
+            plain = _fmt_labels(inst.labels)
+            lines.append(f"{name}_sum{plain} {_fmt_value(sample['sum'])}")
+            lines.append(f"{name}_count{plain} {_fmt_value(sample['count'])}")
+        else:
+            lines.append(
+                f"{name}{_fmt_labels(inst.labels)} {_fmt_value(inst.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text into ``{(name, sorted_labels): value}``.
+
+    Supports the subset :func:`prometheus_text` emits (no exemplars, no
+    escaped newlines inside label values beyond ``\\n``).  ``# TYPE`` and
+    other comment lines are skipped; malformed sample lines raise
+    ``ValueError``.
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        labels: list[tuple[str, str]] = []
+        if m.group("labels"):
+            for k, v in _LABEL.findall(m.group("labels")):
+                labels.append(
+                    (k, v.replace('\\"', '"').replace("\\n", "\n")
+                        .replace("\\\\", "\\"))
+                )
+        key = (m.group("name"), tuple(sorted(labels)))
+        out[key] = _parse_value(m.group("value"))
+    return out

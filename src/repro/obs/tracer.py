@@ -1,0 +1,250 @@
+"""Span-based wall-clock tracing with a true no-op default.
+
+A :class:`Tracer` records nested **spans** — named wall-time intervals
+with optional attributes — from anywhere in the stack::
+
+    tracer = Tracer()
+    with tracer.span("slinegraph.hashmap", s=2) as sp:
+        ...
+        sp.set(emitted=1234)
+
+Spans nest per thread (a thread-local stack tracks the enclosing span)
+and may be opened concurrently from many threads — the finished-span
+list is lock-protected, so one tracer can observe a whole serving
+session.
+
+Uninstrumented code paths pay (almost) nothing: every instrumented
+function defaults its ``tracer`` parameter to ``None``, which
+:func:`as_tracer` resolves to the module-level :data:`NULL_TRACER`
+singleton whose ``span()`` hands back one shared no-op context manager —
+no allocation, no clock read, no locking.
+
+Spans export to the Chrome ``traceEvents`` format
+(:meth:`Tracer.chrome_trace_events`), merge-compatible with the
+simulated-schedule exporter in :mod:`repro.parallel.trace` — see
+:func:`repro.obs.profile.merged_chrome_trace` for the combined
+Perfetto timeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer", "as_tracer"]
+
+
+class Span:
+    """One named wall-time interval with attributes (context manager)."""
+
+    __slots__ = (
+        "name", "attrs", "start_s", "end_s", "parent", "depth", "tid",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = str(name)
+        self.attrs = attrs
+        self.start_s: float = 0.0
+        self.end_s: float = 0.0
+        self.parent: str | None = None
+        self.depth: int = 0
+        self.tid: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Wall duration in seconds (0 until the span has closed)."""
+        return max(0.0, self.end_s - self.start_s)
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_s = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def as_dict(self) -> dict:
+        """JSON-safe description of the finished span."""
+        return {
+            "name": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, "
+            f"attrs={self.attrs})"
+        )
+
+
+class Tracer:
+    """Collects finished :class:`Span`\\ s; thread-safe, nesting-aware."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._stacks = threading.local()
+        self._tids: dict[int, int] = {}
+        #: wall-clock origin all exported timestamps are relative to
+        self.epoch_s = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span: ``with tracer.span("phase", s=2) as sp: ...``"""
+        return Span(self, name, attrs)
+
+    def _stack(self) -> list[Span]:
+        try:
+            return self._stacks.stack
+        except AttributeError:
+            self._stacks.stack = []
+            return self._stacks.stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            span.parent = stack[-1].name
+            span.depth = len(stack)
+        span.tid = self._thread_index()
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit; keep the stack coherent
+            stack.remove(span)
+        with self._lock:
+            self._spans.append(span)
+
+    def _thread_index(self) -> int:
+        """Small stable per-thread integer (Perfetto-friendly tids)."""
+        ident = threading.get_ident()
+        with self._lock:
+            return self._tids.setdefault(ident, len(self._tids))
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, in completion order (snapshot copy)."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def summary(self) -> dict[str, dict]:
+        """Per-name aggregate: ``{name: {count, total_ms, max_ms}}``."""
+        out: dict[str, dict] = {}
+        for sp in self.spans:
+            agg = out.setdefault(
+                sp.name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+            )
+            ms = sp.duration_s * 1e3
+            agg["count"] += 1
+            agg["total_ms"] += ms
+            agg["max_ms"] = max(agg["max_ms"], ms)
+        for agg in out.values():
+            agg["total_ms"] = round(agg["total_ms"], 3)
+            agg["max_ms"] = round(agg["max_ms"], 3)
+        return out
+
+    # -- export ------------------------------------------------------------
+    def chrome_trace_events(self, pid: int = 0) -> list[dict]:
+        """Finished spans as complete ('X') Chrome trace events (µs)."""
+        events = []
+        for sp in self.spans:
+            args = {k: _json_safe(v) for k, v in sp.attrs.items()}
+            events.append(
+                {
+                    "name": sp.name,
+                    "cat": sp.parent or "span",
+                    "ph": "X",
+                    "ts": max(0.0, (sp.start_s - self.epoch_s) * 1e6),
+                    "dur": sp.duration_s * 1e6,
+                    "pid": pid,
+                    "tid": sp.tid,
+                    "args": args,
+                }
+            )
+        return events
+
+
+class NullSpan:
+    """Shared do-nothing span — the cost of ``with`` and nothing else."""
+
+    __slots__ = ()
+    name = "null"
+    attrs: dict = {}
+    duration_s = 0.0
+
+    def set(self, **attrs) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """No-op :class:`Tracer` stand-in; the default everywhere."""
+
+    __slots__ = ()
+    enabled = False
+    epoch_s = 0.0
+
+    def span(self, name: str, **attrs) -> NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def spans(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {}
+
+    def chrome_trace_events(self, pid: int = 0) -> list[dict]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Resolve an optional ``tracer`` parameter to a usable instance."""
+    return NULL_TRACER if tracer is None else tracer
+
+
+def _json_safe(v):
+    if isinstance(v, (bool, int, float, str)) or v is None:
+        return v
+    try:  # numpy scalars and similar
+        return v.item()
+    except AttributeError:
+        return str(v)

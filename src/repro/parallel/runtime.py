@@ -71,6 +71,14 @@ class ParallelRuntime:
     trace:
         Record per-task (thread, start, end) schedule events, exportable
         with :func:`repro.parallel.trace.export_chrome_trace`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  Every phase then also emits
+        a **wall-clock** span named after the phase, annotated with the
+        simulated makespan, task/steal counts, and total work — so one
+        merged Perfetto timeline (see
+        :func:`repro.obs.profile.merged_chrome_trace`) shows Python-level
+        time next to the simulated schedule.  Defaults to the no-op
+        tracer (near-zero overhead).
     """
 
     def __init__(
@@ -83,6 +91,7 @@ class ParallelRuntime:
         execution_order: str = "submission",
         seed: int = 0,
         trace: bool = False,
+        tracer=None,
     ) -> None:
         if num_threads <= 0:
             raise ValueError("num_threads must be positive")
@@ -101,6 +110,9 @@ class ParallelRuntime:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.execution_order = execution_order
         self.trace = bool(trace)
+        from repro.obs.tracer import as_tracer
+
+        self.tracer = as_tracer(tracer)
         self._rng = np.random.default_rng(seed)
         self.ledger = RunLedger(num_threads=self.num_threads)
 
@@ -141,22 +153,30 @@ class ParallelRuntime:
             order = self._rng.permutation(len(chunks))
         values: list[Any] = [None] * len(chunks)
         costs = np.zeros(len(chunks), dtype=np.float64)
-        for i in order:
-            out = body(chunks[i])
-            if isinstance(out, TaskResult):
-                values[i] = out.value
-                costs[i] = out.work
-            else:
-                values[i] = out
-                costs[i] = _default_work(chunks[i])
-        ledger = self.scheduler.schedule(
-            costs,
-            self.num_threads,
-            self.cost_model,
-            phase_name=phase,
-            record_events=self.trace,
-        )
-        self.ledger.add(ledger)
+        with self.tracer.span("runtime." + phase) as span:
+            for i in order:
+                out = body(chunks[i])
+                if isinstance(out, TaskResult):
+                    values[i] = out.value
+                    costs[i] = out.work
+                else:
+                    values[i] = out
+                    costs[i] = _default_work(chunks[i])
+            ledger = self.scheduler.schedule(
+                costs,
+                self.num_threads,
+                self.cost_model,
+                phase_name=phase,
+                record_events=self.trace,
+            )
+            self.ledger.add(ledger)
+            span.set(
+                simulated_makespan=ledger.makespan,
+                simulated_work=ledger.total_work,
+                tasks=ledger.num_tasks,
+                steals=ledger.num_steals,
+                threads=self.num_threads,
+            )
         return values
 
     def parallel_reduce(
@@ -175,11 +195,13 @@ class ParallelRuntime:
 
     def serial_phase(self, work: float, phase: str = "serial") -> None:
         """Charge purely serial work (queue merge, prefix sums) to the run."""
-        ledger = self.scheduler.schedule(
-            [], self.num_threads, self.cost_model, phase_name=phase
-        )
-        ledger.serial_time += float(work)
-        self.ledger.add(ledger)
+        with self.tracer.span("runtime." + phase) as span:
+            ledger = self.scheduler.schedule(
+                [], self.num_threads, self.cost_model, phase_name=phase
+            )
+            ledger.serial_time += float(work)
+            self.ledger.add(ledger)
+            span.set(simulated_makespan=ledger.makespan, serial=True)
 
 
 def _default_work(chunk: Any) -> float:

@@ -26,8 +26,13 @@ from .cost import RunLedger
 __all__ = ["chrome_trace_events", "export_chrome_trace"]
 
 
-def chrome_trace_events(ledger: RunLedger) -> list[dict]:
-    """Build the ``traceEvents`` list (complete 'X' events, µs units)."""
+def chrome_trace_events(ledger: RunLedger, pid: int = 0) -> list[dict]:
+    """Build the ``traceEvents`` list (complete 'X' events, µs units).
+
+    ``pid`` sets the process ID on every event so simulated schedules can
+    share a timeline with wall-clock span events from other processes
+    (see :func:`repro.obs.profile.merged_chrome_trace`).
+    """
     events: list[dict] = []
     offset = 0.0
     for phase in ledger.phases:
@@ -40,7 +45,7 @@ def chrome_trace_events(ledger: RunLedger) -> list[dict]:
                         "ph": "X",
                         "ts": offset + start,
                         "dur": end - start,
-                        "pid": 0,
+                        "pid": pid,
                         "tid": thread,
                     }
                 )
@@ -56,7 +61,7 @@ def chrome_trace_events(ledger: RunLedger) -> list[dict]:
                         else 0.0
                     ),
                     "dur": phase.serial_time,
-                    "pid": 0,
+                    "pid": pid,
                     "tid": 0,
                 }
             )

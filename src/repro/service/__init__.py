@@ -24,7 +24,7 @@ CLI: ``python -m repro serve`` / ``python -m repro query``.
 """
 
 from .cache import CacheStats, SLineGraphCache, estimate_linegraph_bytes
-from .engine import QueryEngine, QueryError
+from .engine import PROTOCOL_VERSION, QueryEngine, QueryError
 from .server import AnalyticsServer, InProcessClient, ServiceClient
 from .store import HypergraphStore
 
@@ -33,6 +33,7 @@ __all__ = [
     "CacheStats",
     "HypergraphStore",
     "InProcessClient",
+    "PROTOCOL_VERSION",
     "QueryEngine",
     "QueryError",
     "SLineGraphCache",

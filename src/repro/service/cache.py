@@ -95,13 +95,22 @@ class SLineGraphCache:
     algorithm:
         Construction algorithm for cold builds (must be one that records
         overlap counts as weights — all the unweighted constructions do).
+    metrics, tracer:
+        Optional :mod:`repro.obs` instruments (no-op when ``None``).
+        Instrument objects are resolved once here; without a live
+        registry the warm-hit path pays only a ``None``-check.
     """
 
     def __init__(
         self,
         budget_bytes: int | None = 64 * 1024 * 1024,
         algorithm: str = "hashmap",
+        metrics=None,
+        tracer=None,
     ) -> None:
+        from repro.obs.metrics import as_metrics
+        from repro.obs.tracer import as_tracer
+
         if budget_bytes is not None and budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0 or None")
         self.algorithm = algorithm
@@ -111,6 +120,21 @@ class SLineGraphCache:
         )
         self._sizes: dict[tuple[str, int, bool], int] = {}
         self.stats = CacheStats(budget_bytes=budget_bytes)
+        m = as_metrics(metrics)
+        self._tracer = as_tracer(tracer)
+        self._c_outcome = {
+            how: m.counter("slinegraph_cache_requests_total", outcome=how)
+            for how in ("hit", "derive", "miss", "bypass")
+        }
+        # the hit path is the one latency-critical spot: with no live
+        # registry a warm hit must pay one None-check, not even a no-op
+        # call (bench_service_cache pins the warm-path budget)
+        self._inc_hit = (
+            self._c_outcome["hit"].inc if metrics is not None else None
+        )
+        self._c_evictions = m.counter("slinegraph_cache_evictions_total")
+        self._g_bytes = m.gauge("slinegraph_cache_bytes")
+        self._g_entries = m.gauge("slinegraph_cache_entries")
 
     # -- introspection -------------------------------------------------------
     @property
@@ -192,6 +216,8 @@ class SLineGraphCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                if self._inc_hit is not None:
+                    self._inc_hit()
                 return self._entries[key], "hit"
 
             base_key = self._derivable_key(dataset, s, over_edges)
@@ -205,24 +231,29 @@ class SLineGraphCache:
                     over_edges=over_edges,
                 )
                 self.stats.derives += 1
+                self._c_outcome["derive"].inc()
                 self._admit(key, lg)
                 return lg, "derive"
 
         # Build outside the lock: construction is the expensive part and
         # must not serialize unrelated cache traffic.  A racing duplicate
         # build is benign — _admit re-checks under the lock.
-        lg = self._build(hypergraph, s, over_edges)
+        lg = self._build(hypergraph, s, over_edges, dataset)
         with self._lock:
             if key in self._entries:  # raced with another builder
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                if self._inc_hit is not None:
+                    self._inc_hit()
                 return self._entries[key], "hit"
             self.stats.misses += 1
             admitted = self._admit(key, lg)
+            self._c_outcome["miss" if admitted else "bypass"].inc()
             return lg, "miss" if admitted else "bypass"
 
     def _build(
-        self, hypergraph: NWHypergraph, s: int, over_edges: bool
+        self, hypergraph: NWHypergraph, s: int, over_edges: bool,
+        dataset: str = "?",
     ) -> SLineGraph:
         from repro.linegraph import to_two_graph
 
@@ -231,7 +262,10 @@ class SLineGraphCache:
             if over_edges
             else hypergraph.biadjacency.dual()
         )
-        el = to_two_graph(h, s, algorithm=self.algorithm)
+        with self._tracer.span(
+            "cache.build", dataset=dataset, s=s, algorithm=self.algorithm
+        ):
+            el = to_two_graph(h, s, algorithm=self.algorithm)
         return SLineGraph(el, s=s, over_edges=over_edges)
 
     # -- admission / eviction (call with lock held) --------------------------
@@ -255,9 +289,12 @@ class SLineGraphCache:
                 old_key, _ = self._entries.popitem(last=False)
                 self.stats.current_bytes -= self._sizes.pop(old_key)
                 self.stats.evictions += 1
+                self._c_evictions.inc()
             # the newest entry is never evicted by its own insertion; if it
             # is the sole survivor the budget check above already passed
             self.stats.entries = len(self._entries)
+        self._g_bytes.set(self.stats.current_bytes)
+        self._g_entries.set(self.stats.entries)
         return True
 
     # -- maintenance ---------------------------------------------------------
@@ -276,6 +313,8 @@ class SLineGraphCache:
                     del self._entries[k]
                     self.stats.current_bytes -= self._sizes.pop(k)
             self.stats.entries = len(self._entries)
+            self._g_bytes.set(self.stats.current_bytes)
+            self._g_entries.set(self.stats.entries)
             return n
 
     def __len__(self) -> int:

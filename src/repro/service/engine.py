@@ -27,6 +27,13 @@ Batches are dispatched on the :mod:`repro.parallel` runtime
 ``"via"`` tag (``cache:hit`` / ``cache:derive`` / ``cache:miss`` /
 ``cache:bypass`` / ``lazy`` / ``direct``) plus wall-clock ``"ms"`` so
 clients can see how they were served.
+
+**Wire protocol v1** (``docs/API.md`` has the full schema): queries may
+pin the protocol version with ``"version": 1`` (or ``"v": 1`` on ops
+where ``v`` does not already name a vertex); every response carries
+``"ok"`` and ``"v"`` (the protocol version served).  Failures carry a
+structured ``"error": {"code", "message"}`` plus the pre-v1 free-form
+string as the ``"error_str"`` compat field (one release).
 """
 
 from __future__ import annotations
@@ -37,16 +44,29 @@ import time
 import numpy as np
 
 from repro.io.json_io import jsonify
+from repro.obs.metrics import MetricsRegistry, as_metrics
+from repro.obs.tracer import as_tracer
 from repro.parallel.runtime import ParallelRuntime, TaskResult
 
 from .cache import SLineGraphCache, estimate_linegraph_bytes
 from .store import HypergraphStore
 
-__all__ = ["QueryEngine", "QueryError", "LAZY_OPS"]
+__all__ = ["QueryEngine", "QueryError", "LAZY_OPS", "PROTOCOL_VERSION"]
+
+#: wire-protocol version this engine speaks
+PROTOCOL_VERSION = 1
 
 
 class QueryError(ValueError):
-    """A malformed or unanswerable query (bad op, missing field, ...)."""
+    """A malformed or unanswerable query (bad op, missing field, ...).
+
+    ``code`` is the machine-readable error code carried on the wire
+    (``error.code`` in the structured response).
+    """
+
+    def __init__(self, message: str, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 #: ops answerable from the lazy s-traversal kernels without materializing
@@ -61,9 +81,25 @@ LAZY_OPS = frozenset(
 )
 
 
+#: ops where the ``"v"`` field names a vertex, not the protocol version
+#: (those ops pin the version via ``"version"`` instead)
+_VERTEX_OPS = frozenset(
+    {
+        "s_neighbors",
+        "s_degree",
+        "s_eccentricity",
+        "s_closeness_centrality",
+        "s_harmonic_closeness_centrality",
+    }
+)
+
+
 def _require(query: dict, field: str):
     if field not in query:
-        raise QueryError(f"op {query.get('op')!r} requires field {field!r}")
+        raise QueryError(
+            f"op {query.get('op')!r} requires field {field!r}",
+            code="missing_field",
+        )
     return query[field]
 
 
@@ -79,6 +115,14 @@ class QueryEngine:
         :meth:`execute_batch` call gets its own
         :class:`~repro.parallel.runtime.ParallelRuntime`, so concurrent
         batches never share a ledger).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`.  Unlike the
+        algorithm-level instruments this defaults to a **live** registry
+        (the ``metrics``/``prometheus`` ops must have something to
+        report); pass an explicit shared registry to aggregate across
+        engines, or ``repro.obs.NULL_METRICS`` to disable.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; no-op when ``None``.
     """
 
     def __init__(
@@ -86,38 +130,86 @@ class QueryEngine:
         store: HypergraphStore | None = None,
         cache: SLineGraphCache | None = None,
         num_threads: int = 4,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         self.store = store if store is not None else HypergraphStore()
-        self.cache = cache if cache is not None else SLineGraphCache()
+        self.obs_metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self.tracer = as_tracer(tracer)
+        self.cache = (
+            cache
+            if cache is not None
+            else SLineGraphCache(metrics=self.obs_metrics, tracer=tracer)
+        )
         self.num_threads = int(num_threads)
         self._op_lock = threading.Lock()
         self._op_counters: dict[str, dict[str, float]] = {}
 
     # -- public API ----------------------------------------------------------
+    @staticmethod
+    def _version_of(query: dict, op) -> object:
+        """The protocol version a query pins, or ``None`` (= current)."""
+        if "version" in query:
+            return query["version"]
+        if "v" in query and op not in _VERTEX_OPS:
+            return query["v"]
+        return None
+
+    def _fail(self, op, code: str, message: str, compat: str) -> dict:
+        return {
+            "ok": False,
+            "op": op,
+            "v": PROTOCOL_VERSION,
+            "error": {"code": code, "message": message},
+            # pre-v1 free-form string; kept for one release
+            "error_str": compat,
+        }
+
     def execute(self, query: dict) -> dict:
         """Run one query; never raises — errors come back as responses."""
         if not isinstance(query, dict):
-            return {"ok": False, "error": "query must be a JSON object"}
+            return self._fail(
+                None,
+                "bad_request",
+                "query must be a JSON object",
+                "query must be a JSON object",
+            )
         op = query.get("op")
         t0 = time.perf_counter()
         try:
+            version = self._version_of(query, op)
+            if version is not None and version != PROTOCOL_VERSION:
+                raise QueryError(
+                    f"unsupported protocol version {version!r}; "
+                    f"this engine speaks v{PROTOCOL_VERSION}",
+                    code="unsupported_version",
+                )
             if not isinstance(op, str):
                 raise QueryError("query must carry a string 'op' field")
             handler = getattr(self, f"_op_{op}", None)
             if handler is None:
-                raise QueryError(f"unknown op {op!r}")
-            response = handler(query)
+                raise QueryError(f"unknown op {op!r}", code="unknown_op")
+            with self.tracer.span("service." + op):
+                response = handler(query)
         except (QueryError, KeyError, ValueError, TypeError) as exc:
             elapsed = time.perf_counter() - t0
-            self._record(op if isinstance(op, str) else "?", elapsed, ok=False)
-            return {
-                "ok": False,
-                "op": op,
-                "error": f"{type(exc).__name__}: {exc}",
-            }
+            op_label = op if isinstance(op, str) else "?"
+            if isinstance(exc, QueryError):
+                code = exc.code
+            elif isinstance(exc, KeyError):
+                code = "unknown_dataset"
+            else:
+                code = "invalid_argument"
+            self._record(op_label, elapsed, ok=False, code=code)
+            message = str(exc.args[0]) if exc.args else str(exc)
+            return self._fail(
+                op, code, message, f"{type(exc).__name__}: {exc}"
+            )
         elapsed = time.perf_counter() - t0
         self._record(op, elapsed, ok=True)
-        out = {"ok": True, "op": op}
+        out = {"ok": True, "op": op, "v": PROTOCOL_VERSION}
         out.update(response)
         out["ms"] = round(elapsed * 1e3, 3)
         return jsonify(out)
@@ -131,7 +223,9 @@ class QueryEngine:
         rt = runtime
         if rt is None and self.num_threads > 1 and len(queries) > 1:
             rt = ParallelRuntime(
-                num_threads=self.num_threads, partitioner="cyclic"
+                num_threads=self.num_threads,
+                partitioner="cyclic",
+                tracer=self.tracer,
             )
         out: list[dict | None] = [None] * len(queries)
         ids = np.arange(len(queries), dtype=np.int64)
@@ -153,7 +247,11 @@ class QueryEngine:
         return out  # type: ignore[return-value]
 
     def metrics(self) -> dict:
-        """Service counters: per-op latency, cache stats, resident sets."""
+        """Service counters: per-op latency, cache stats, resident sets.
+
+        ``registry`` is the shared :class:`MetricsRegistry` snapshot —
+        the same instruments the ``prometheus`` op exposes.
+        """
         with self._op_lock:
             ops = {
                 op: {
@@ -174,11 +272,20 @@ class QueryEngine:
                 "ops": ops,
                 "cache": self.cache.snapshot(),
                 "datasets": self.store.names(),
+                "registry": self.obs_metrics.snapshot(),
             }
         )
 
+    def prometheus(self) -> str:
+        """The shared registry in Prometheus text exposition format."""
+        from repro.obs.prometheus import prometheus_text
+
+        return prometheus_text(self.obs_metrics)
+
     # -- plumbing ------------------------------------------------------------
-    def _record(self, op: str, seconds: float, ok: bool) -> None:
+    def _record(
+        self, op: str, seconds: float, ok: bool, code: str | None = None
+    ) -> None:
         with self._op_lock:
             st = self._op_counters.setdefault(
                 op, {"count": 0, "errors": 0, "total_s": 0.0, "max_s": 0.0}
@@ -187,6 +294,13 @@ class QueryEngine:
             st["errors"] += 0 if ok else 1
             st["total_s"] += seconds
             st["max_s"] = max(st["max_s"], seconds)
+        m = self.obs_metrics
+        m.counter("service_requests_total", op=op).inc()
+        m.histogram("service_request_seconds", op=op).observe(seconds)
+        if not ok:
+            m.counter(
+                "service_errors_total", op=op, code=code or "error"
+            ).inc()
 
     def _dataset(self, query: dict):
         name = _require(query, "dataset")
@@ -196,7 +310,7 @@ class QueryEngine:
     def _s(query: dict) -> int:
         s = int(query.get("s", 1))
         if s < 1:
-            raise QueryError("s must be >= 1")
+            raise QueryError("s must be >= 1", code="invalid_argument")
         return s
 
     @staticmethod
@@ -442,3 +556,6 @@ class QueryEngine:
 
     def _op_metrics(self, query: dict) -> dict:
         return {"result": self.metrics(), "via": "direct"}
+
+    def _op_prometheus(self, query: dict) -> dict:
+        return {"result": self.prometheus(), "via": "direct"}

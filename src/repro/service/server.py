@@ -8,8 +8,10 @@ Wire protocol (newline-delimited JSON, UTF-8):
   responses for a batch.
 
 Connections are persistent — clients may pipeline any number of request
-lines.  Malformed JSON gets an ``{"ok": false, ...}`` response rather
-than a dropped connection.  The engine (and therefore the store, the
+lines.  Malformed JSON gets an ``{"ok": false, "error": {"code":
+"bad_json", ...}}`` response rather than a dropped connection.  A batch
+envelope may pin the protocol version (``{"batch": [...], "v": 1}``);
+see ``docs/API.md`` for the full v1 schema.  The engine (and therefore the store, the
 cache, and all counters) is shared across client threads; passing
 ``port=0`` binds an ephemeral port, readable back from ``address``.
 
@@ -25,9 +27,33 @@ import socket
 import socketserver
 import threading
 
-from .engine import QueryEngine
+from .engine import PROTOCOL_VERSION, QueryEngine
 
 __all__ = ["AnalyticsServer", "InProcessClient", "ServiceClient"]
+
+
+def _protocol_error(code: str, message: str) -> dict:
+    return {
+        "ok": False,
+        "v": PROTOCOL_VERSION,
+        "error": {"code": code, "message": message},
+        # pre-v1 free-form string; kept for one release
+        "error_str": message,
+    }
+
+
+def _dispatch(engine: QueryEngine, payload: object) -> object:
+    """Route one decoded request line (single query or batch envelope)."""
+    if isinstance(payload, dict) and "batch" in payload:
+        v = payload.get("v", payload.get("version"))
+        if v is not None and v != PROTOCOL_VERSION:
+            return _protocol_error(
+                "unsupported_version",
+                f"unsupported protocol version {v!r}; "
+                f"this server speaks v{PROTOCOL_VERSION}",
+            )
+        return engine.execute_batch(payload["batch"])
+    return engine.execute(payload)
 
 
 class _QueryHandler(socketserver.StreamRequestHandler):
@@ -41,16 +67,12 @@ class _QueryHandler(socketserver.StreamRequestHandler):
             try:
                 payload = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                response: object = {
-                    "ok": False,
-                    "error": f"bad request line: {exc}",
-                }
+                response: object = _protocol_error(
+                    "bad_json", f"bad request line: {exc}"
+                )
             else:
                 engine = self.server.engine  # type: ignore[attr-defined]
-                if isinstance(payload, dict) and "batch" in payload:
-                    response = engine.execute_batch(payload["batch"])
-                else:
-                    response = engine.execute(payload)
+                response = _dispatch(engine, payload)
             self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
             self.wfile.flush()
 
@@ -133,6 +155,11 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self.query("metrics")
 
+    def prometheus(self) -> str:
+        """The server's registry in Prometheus text exposition format."""
+        resp = self.query("prometheus")
+        return resp.get("result", "")
+
     def close(self) -> None:
         try:
             self._rfile.close()
@@ -158,9 +185,7 @@ class InProcessClient:
         self.engine = engine if engine is not None else QueryEngine()
 
     def request(self, payload: dict) -> object:
-        if isinstance(payload, dict) and "batch" in payload:
-            return self.engine.execute_batch(payload["batch"])
-        return self.engine.execute(payload)
+        return _dispatch(self.engine, payload)
 
     def query(self, op: str, **fields) -> dict:
         return self.engine.execute({"op": op, **fields})
@@ -170,6 +195,10 @@ class InProcessClient:
 
     def metrics(self) -> dict:
         return self.query("metrics")
+
+    def prometheus(self) -> str:
+        """The engine's registry in Prometheus text exposition format."""
+        return self.engine.prometheus()
 
     def close(self) -> None:  # symmetry with ServiceClient
         pass

@@ -145,14 +145,14 @@ class TestApproximations:
             assert lg.s == s
 
     def test_edges_false_is_clique_side(self, hg):
-        sc = hg.s_linegraph(1, edges=False)
+        sc = hg.s_linegraph(1, over_edges=False)
         assert sc.num_vertices() == hg.number_of_nodes()
         assert sc.over_edges is False
 
     def test_clique_expansion_shortcut(self, hg):
         assert (
             hg.clique_expansion().edgelist
-            == hg.s_linegraph(1, edges=False).edgelist
+            == hg.s_linegraph(1, over_edges=False).edgelist
         )
 
     def test_algorithm_selection(self, hg):

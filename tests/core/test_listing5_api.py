@@ -22,7 +22,7 @@ def test_construction(listing5):
 
 
 def test_s_linegraph_queries(listing5):
-    s2lg = listing5.s_linegraph(s=2, edges=True)
+    s2lg = listing5.s_linegraph(s=2, over_edges=True)
     # every pair of hyperedges shares both nodes -> triangle
     assert s2lg.num_edges() == 3
     assert s2lg.is_s_connected() is True

@@ -1,0 +1,130 @@
+"""MetricsRegistry: instrument semantics, labels, thread safety, no-ops."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_METRICS,
+    as_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        m = MetricsRegistry()
+        c = m.counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_negative_inc_rejected(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.counter("a", op="q") is m.counter("a", op="q")
+        assert m.counter("a", op="q") is not m.counter("a", op="r")
+
+    def test_kind_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("thing")
+        with pytest.raises(ValueError):
+            m.gauge("thing")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("bytes")
+        g.set(100)
+        g.inc(10)
+        g.dec(60)
+        assert g.value == 50.0
+
+
+class TestHistogram:
+    def test_observation_lands_in_one_raw_bucket(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(0.03)
+        sample = h.sample()
+        # cumulative counts: every bound >= 0.03 sees the observation
+        buckets = sample["buckets"]
+        assert buckets[0.05] == 1
+        assert buckets[10.0] == 1
+        assert buckets[0.01] == 0
+        assert sample["count"] == 1
+        assert sample["sum"] == pytest.approx(0.03)
+
+    def test_overflow_goes_to_inf_only(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(99.0)
+        sample = h.sample()
+        assert sample["count"] == 1
+        assert all(n == 0 for n in sample["buckets"].values())
+
+    def test_mean(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (0.1, 0.3):
+            h.observe(v)
+        assert h.sample()["mean"] == pytest.approx(0.2)
+
+    def test_custom_bounds_must_be_sorted(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.histogram("bad", bounds=(2.0, 1.0))
+
+    def test_default_buckets_are_prometheus_style(self):
+        assert DEFAULT_BUCKETS[0] == 0.005 and DEFAULT_BUCKETS[-1] == 10.0
+
+
+class TestRegistry:
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        m = MetricsRegistry()
+        m.counter("c", op="x").inc()
+        m.gauge("g").set(3)
+        m.histogram("h").observe(0.2)
+        json.dumps(m.snapshot())  # must not raise
+        kinds = {r["kind"] for r in m.snapshot()}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+    def test_thread_safety_under_contention(self):
+        m = MetricsRegistry()
+        n_threads, n_iter = 8, 500
+
+        def work():
+            for i in range(n_iter):
+                m.counter("hits", worker="shared").inc()
+                m.histogram("lat", worker="shared").observe(0.01 * (i % 7))
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * n_iter
+        assert m.counter("hits", worker="shared").value == total
+        assert m.histogram("lat", worker="shared").sample()["count"] == total
+
+
+class TestNullMetrics:
+    def test_as_metrics_resolves_none(self):
+        assert as_metrics(None) is NULL_METRICS
+        m = MetricsRegistry()
+        assert as_metrics(m) is m
+
+    def test_null_instruments_swallow_everything(self):
+        c = NULL_METRICS.counter("x", label="y")
+        c.inc(5)
+        g = NULL_METRICS.gauge("g")
+        g.set(1)
+        h = NULL_METRICS.histogram("h")
+        h.observe(0.5)
+        assert NULL_METRICS.snapshot() == []

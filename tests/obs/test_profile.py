@@ -1,0 +1,76 @@
+"""Profile workloads and the merged chrome-trace exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.linegraph import to_two_graph
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.profile import PROFILE_WORKLOADS, merged_chrome_trace, run_profile
+from repro.parallel.runtime import ParallelRuntime
+from repro.structures.biadjacency import BiAdjacency
+from repro.testing import random_hypergraph
+
+
+def small_h() -> BiAdjacency:
+    return BiAdjacency.from_biedgelist(
+        random_hypergraph(seed=4, num_edges=24, num_nodes=32)
+    )
+
+
+class TestMergedChromeTrace:
+    def test_python_spans_and_runtime_phases_share_one_timeline(self):
+        tracer = Tracer()
+        rt = ParallelRuntime(num_threads=4, trace=True, tracer=tracer)
+        with tracer.span("build"):
+            to_two_graph(
+                small_h(), s=2, algorithm="hashmap",
+                runtime=rt, tracer=tracer, metrics=MetricsRegistry(),
+            )
+        events = merged_chrome_trace(tracer, {"hashmap": rt.ledger})
+        json.dumps(events)  # must be serializable as-is
+
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert 0 in pids, "python wall-clock spans missing"
+        assert any(p >= 1 for p in pids), "simulated runtime lanes missing"
+
+        names = {
+            e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert any("python" in n for n in names)
+        assert any("hashmap" in n for n in names)
+
+    def test_no_ledgers_still_valid(self):
+        tracer = Tracer()
+        with tracer.span("solo"):
+            pass
+        events = merged_chrome_trace(tracer, None)
+        assert [e["name"] for e in events if e["ph"] == "X"] == ["solo"]
+
+
+class TestRunProfile:
+    def test_workload_table_is_complete(self):
+        assert set(PROFILE_WORKLOADS) == {"slinegraph", "smetrics", "service"}
+
+    @pytest.mark.parametrize("workload", sorted(PROFILE_WORKLOADS))
+    def test_workload_produces_loadable_trace(self, workload, tmp_path):
+        out = tmp_path / "trace.json"
+        summary = run_profile(workload, dataset="rand1", s=2, out=str(out))
+
+        assert summary["workload"] == workload
+        assert summary["num_spans"] > 0
+        assert summary["spans"]  # per-name aggregates
+
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert summary["num_events"] == len(events)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+        pids = {e["pid"] for e in complete}
+        assert 0 in pids and any(p >= 1 for p in pids)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError):
+            run_profile("nope", dataset="rand1")

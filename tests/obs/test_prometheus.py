@@ -1,0 +1,85 @@
+"""Prometheus text exposition: format shape and emit → parse round-trip."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import parse_prometheus_text, prometheus_text
+
+
+def populated_registry() -> MetricsRegistry:
+    m = MetricsRegistry()
+    m.counter("requests_total", op="s_distance").inc(7)
+    m.counter("requests_total", op="warm").inc(2)
+    m.gauge("cache_bytes").set(1024)
+    h = m.histogram("request_seconds", op="s_distance")
+    for v in (0.003, 0.02, 0.02, 0.4, 99.0):
+        h.observe(v)
+    return m
+
+
+class TestExposition:
+    def test_type_line_emitted_once_per_name(self):
+        text = prometheus_text(populated_registry())
+        assert text.count("# TYPE requests_total counter") == 1
+        assert "# TYPE cache_bytes gauge" in text
+        assert "# TYPE request_seconds histogram" in text
+
+    def test_counter_lines_carry_labels(self):
+        text = prometheus_text(populated_registry())
+        assert 'requests_total{op="s_distance"} 7' in text
+        assert 'requests_total{op="warm"} 2' in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        parsed = parse_prometheus_text(prometheus_text(populated_registry()))
+
+        def bucket(le: str) -> float:
+            return parsed[
+                ("request_seconds_bucket",
+                 (("le", le), ("op", "s_distance")))
+            ]
+
+        assert bucket("0.005") == 1
+        assert bucket("0.025") == 3
+        assert bucket("0.5") == 4
+        assert bucket("10") == 4       # 99.0 exceeds the largest bound
+        assert bucket("+Inf") == 5     # ... but lands in +Inf
+        assert parsed[
+            ("request_seconds_count", (("op", "s_distance"),))
+        ] == 5
+        assert parsed[
+            ("request_seconds_sum", (("op", "s_distance"),))
+        ] == pytest.approx(0.003 + 0.02 + 0.02 + 0.4 + 99.0)
+
+    def test_label_values_are_escaped(self):
+        m = MetricsRegistry()
+        m.counter("odd", path='a"b\\c').inc()
+        parsed = parse_prometheus_text(prometheus_text(m))
+        assert parsed[("odd", (("path", 'a"b\\c'),))] == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestParser:
+    def test_round_trip_every_sample(self):
+        m = populated_registry()
+        parsed = parse_prometheus_text(prometheus_text(m))
+        # 2 counters + 1 gauge + (11 bounds + Inf + sum + count) histogram
+        assert len(parsed) == 2 + 1 + 14
+
+    def test_inf_values(self):
+        assert parse_prometheus_text("x 8\ny +Inf\n") == {
+            ("x", ()): 8.0,
+            ("y", ()): math.inf,
+        }
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is } not a sample\n")
+
+    def test_comments_and_blanks_skipped(self):
+        assert parse_prometheus_text("# HELP x y\n\n# TYPE x counter\n") == {}

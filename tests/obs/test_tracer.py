@@ -1,0 +1,121 @@
+"""Tracer: span nesting, attributes, chrome-trace export, no-op default."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, as_tracer
+
+
+class TestSpans:
+    def test_nested_spans_record_parent_and_depth(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert inner.parent == outer.name == "outer"
+        assert outer.parent is None
+        assert (outer.depth, inner.depth) == (0, 1)
+        assert [s.name for s in tr.spans] == ["inner", "outer"]
+
+    def test_durations_are_monotone_and_contained(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = tr.spans
+        assert 0.0 <= inner.duration_s <= outer.duration_s
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+
+    def test_attrs_at_open_and_via_set(self):
+        tr = Tracer()
+        with tr.span("work", s=2) as span:
+            span.set(emitted=17)
+        (span,) = tr.spans
+        assert span.attrs == {"s": 2, "emitted": 17}
+
+    def test_span_records_even_when_body_raises(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tr.spans] == ["doomed"]
+        assert tr.spans[0].duration_s >= 0.0
+
+    def test_summary_aggregates_per_name(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("phase"):
+                pass
+        summary = tr.summary()
+        assert summary["phase"]["count"] == 3
+        assert summary["phase"]["total_ms"] >= summary["phase"]["max_ms"] >= 0
+
+    def test_clear_resets(self):
+        tr = Tracer()
+        with tr.span("x"):
+            pass
+        tr.clear()
+        assert tr.spans == []
+
+    def test_threads_get_distinct_tids(self):
+        tr = Tracer()
+        # Hold every worker at a barrier so all four are alive at once;
+        # otherwise the OS may recycle thread idents and tids collide.
+        barrier = threading.Barrier(4)
+
+        def work():
+            with tr.span("threaded"):
+                barrier.wait(timeout=10)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        with tr.span("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        tids = {s.tid for s in tr.spans}
+        assert len(tr.spans) == 5
+        assert len(tids) == 5  # main + 4 workers
+
+
+class TestChromeTrace:
+    def test_events_are_json_safe_and_well_formed(self):
+        tr = Tracer()
+        with tr.span("outer", s=2):
+            with tr.span("inner"):
+                pass
+        events = tr.chrome_trace_events(pid=0)
+        text = json.dumps({"traceEvents": events})  # must not raise
+        parsed = json.loads(text)["traceEvents"]
+        for e in parsed:
+            assert e["ph"] == "X"
+            assert e["pid"] == 0
+            assert e["ts"] >= 0 and e["dur"] >= 0
+
+    def test_timestamps_are_relative_to_epoch(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        (event,) = tr.chrome_trace_events()
+        # first span starts at (or just after) the tracer's epoch
+        assert event["ts"] < 10_000_000  # < 10 s in microseconds
+
+
+class TestNullTracer:
+    def test_as_tracer_resolves_none(self):
+        assert as_tracer(None) is NULL_TRACER
+        tr = Tracer()
+        assert as_tracer(tr) is tr
+        assert isinstance(as_tracer(None), NullTracer)
+
+    def test_null_span_supports_the_full_surface(self):
+        with NULL_TRACER.span("anything", s=3) as span:
+            span.set(whatever=1)
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.chrome_trace_events() == []
+        assert NULL_TRACER.summary() == {}

@@ -136,15 +136,20 @@ class TestSessionOps:
 class TestErrors:
     def test_unknown_op(self, engine):
         resp = engine.execute({"op": "frobnicate"})
-        assert not resp["ok"] and "unknown op" in resp["error"]
+        assert not resp["ok"] and "unknown op" in resp["error"]["message"]
+        assert resp["error"]["code"] == "unknown_op"
+        # pre-v1 compat field carries the old free-form string
+        assert "unknown op" in resp["error_str"]
 
     def test_missing_field(self, engine):
         resp = engine.execute({"op": "s_distance", "dataset": "paper", "src": 0})
-        assert not resp["ok"] and "'dst'" in resp["error"]
+        assert not resp["ok"] and "'dst'" in resp["error"]["message"]
+        assert resp["error"]["code"] == "missing_field"
 
     def test_unknown_dataset(self, engine):
         resp = engine.execute({"op": "stats", "dataset": "nope"})
-        assert not resp["ok"] and "registered" in resp["error"]
+        assert not resp["ok"] and "registered" in resp["error"]["message"]
+        assert resp["error"]["code"] == "unknown_dataset"
 
     def test_non_dict_query(self, engine):
         resp = engine.execute("not a dict")
@@ -152,13 +157,14 @@ class TestErrors:
 
     def test_missing_op_field(self, engine):
         resp = engine.execute({"dataset": "paper"})
-        assert not resp["ok"] and "op" in resp["error"]
+        assert not resp["ok"] and "op" in resp["error"]["message"]
 
     def test_out_of_range_vertex(self, engine):
         resp = engine.execute(
             {"op": "s_distance", "dataset": "paper", "src": 0, "dst": 99}
         )
-        assert not resp["ok"] and "out of range" in resp["error"]
+        assert not resp["ok"] and "out of range" in resp["error"]["message"]
+        assert resp["error"]["code"] == "invalid_argument"
 
     def test_errors_counted_in_metrics(self, engine):
         engine.execute({"op": "frobnicate"})

@@ -21,7 +21,7 @@ class TestInstanceMemo:
     def test_distinct_parameters_get_distinct_entries(self, hg):
         lg_s2 = hg.s_linegraph(2)
         assert hg.s_linegraph(3) is not lg_s2
-        assert hg.s_linegraph(2, edges=False) is not lg_s2
+        assert hg.s_linegraph(2, over_edges=False) is not lg_s2
         assert hg.s_linegraph(2, algorithm="intersection") is not lg_s2
         assert hg.s_linegraph(2) is lg_s2  # originals still resident
 

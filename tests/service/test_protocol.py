@@ -1,0 +1,122 @@
+"""Wire protocol v1: version pinning, response envelope, structured errors."""
+
+import pytest
+
+from repro.obs.prometheus import parse_prometheus_text
+from repro.service import PROTOCOL_VERSION, QueryEngine
+from repro.service.server import InProcessClient, _dispatch
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist
+
+
+@pytest.fixture
+def engine():
+    eng = QueryEngine()
+    eng.store.register("paper", make_biedgelist(PAPER_MEMBERS, num_nodes=9))
+    return eng
+
+
+class TestEnvelope:
+    def test_success_carries_ok_and_version(self, engine):
+        resp = engine.execute({"op": "datasets"})
+        assert resp["ok"] is True
+        assert resp["v"] == PROTOCOL_VERSION == 1
+
+    def test_failure_carries_structured_error_and_compat_string(self, engine):
+        resp = engine.execute({"op": "no_such_op"})
+        assert resp["ok"] is False
+        assert resp["v"] == PROTOCOL_VERSION
+        assert resp["error"]["code"] == "unknown_op"
+        assert "no_such_op" in resp["error"]["message"]
+        # pre-v1 clients read a free-form string
+        assert isinstance(resp["error_str"], str) and resp["error_str"]
+
+
+class TestVersionPinning:
+    def test_version_field_accepted(self, engine):
+        resp = engine.execute({"op": "datasets", "version": 1})
+        assert resp["ok"] is True
+
+    def test_v_field_accepted_on_non_vertex_ops(self, engine):
+        resp = engine.execute({"op": "datasets", "v": 1})
+        assert resp["ok"] is True
+
+    def test_unsupported_version_rejected(self, engine):
+        resp = engine.execute({"op": "datasets", "version": 99})
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "unsupported_version"
+
+    def test_v_still_means_vertex_on_vertex_ops(self, engine):
+        # "v" predates the protocol version on these ops and stays a vertex id
+        resp = engine.execute(
+            {"op": "s_neighbors", "dataset": "paper", "s": 1, "v": 0}
+        )
+        assert resp["ok"] is True
+        # pinning them requires the long-form field
+        resp = engine.execute(
+            {"op": "s_neighbors", "dataset": "paper", "s": 1, "v": 0,
+             "version": 99}
+        )
+        assert resp["error"]["code"] == "unsupported_version"
+
+
+class TestErrorCodes:
+    def test_missing_field(self, engine):
+        resp = engine.execute({"op": "s_neighbors", "dataset": "paper"})
+        assert resp["error"]["code"] == "missing_field"
+
+    def test_unknown_dataset(self, engine):
+        resp = engine.execute(
+            {"op": "s_distance", "dataset": "nope", "s": 1, "src": 0, "dst": 1}
+        )
+        assert resp["error"]["code"] == "unknown_dataset"
+
+    def test_invalid_argument(self, engine):
+        resp = engine.execute(
+            {"op": "s_distance", "dataset": "paper", "s": 0, "src": 0,
+             "dst": 1}
+        )
+        assert resp["error"]["code"] == "invalid_argument"
+
+    def test_non_object_query(self, engine):
+        resp = engine.execute([1, 2, 3])
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "bad_request"
+
+
+class TestBatchEnvelope:
+    def test_batch_with_version(self, engine):
+        out = _dispatch(
+            engine,
+            {"batch": [{"op": "datasets"}] * 2, "v": 1},
+        )
+        assert isinstance(out, list) and len(out) == 2
+        assert all(r["ok"] for r in out)
+
+    def test_batch_with_bad_version(self, engine):
+        out = _dispatch(engine, {"batch": [{"op": "datasets"}], "v": 5})
+        assert out["ok"] is False
+        assert out["error"]["code"] == "unsupported_version"
+
+
+class TestPrometheusOp:
+    def test_exposition_reflects_served_traffic(self, engine):
+        client = InProcessClient(engine)
+        client.query("datasets")
+        client.query(
+            "s_distance", dataset="paper", s=2, src=0, dst=2
+        )
+        text = client.prometheus()
+        parsed = parse_prometheus_text(text)
+        assert parsed[
+            ("service_requests_total", (("op", "s_distance"),))
+        ] >= 1
+        assert parsed[
+            ("service_request_seconds_count", (("op", "s_distance"),))
+        ] >= 1
+
+    def test_prometheus_via_wire_op(self, engine):
+        engine.execute({"op": "datasets"})  # request counters lag by one op
+        resp = engine.execute({"op": "prometheus"})
+        assert resp["ok"] is True
+        assert "# TYPE service_requests_total counter" in resp["result"]

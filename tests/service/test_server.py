@@ -69,7 +69,8 @@ class TestSocketRoundTrip:
             sock.sendall(b"this is not json\n")
             line = sock.makefile("rb").readline()
         resp = json.loads(line)
-        assert not resp["ok"] and "bad request line" in resp["error"]
+        assert not resp["ok"] and "bad request line" in resp["error"]["message"]
+        assert resp["error"]["code"] == "bad_json"
 
     def test_blank_lines_are_skipped(self, server):
         host, port = server.address

@@ -102,7 +102,7 @@ def test_weighted_clique_side_through_public_api():
     cols = [0, 1, 2, 1, 2, 2]
     w = rng.uniform(1, 3, 6)
     hg = NWHypergraph(rows, cols, w)
-    sc = hg.s_linegraph(1, edges=False, weighted=True)
+    sc = hg.s_linegraph(1, over_edges=False, weighted=True)
     # node pair (1, 2) co-occurs in e0 and e1: weight = sum of products
     idx = {(a, b): i for i, (a, b) in enumerate(
         zip(sc.edgelist.src.tolist(), sc.edgelist.dst.tolist()))}

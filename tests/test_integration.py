@@ -111,8 +111,8 @@ def test_dual_sline_is_clique_side():
     hg = NWHypergraph(el.part0, el.part1,
                       num_edges=el.num_vertices(0),
                       num_nodes=el.num_vertices(1))
-    a = hg.s_linegraph(2, edges=False)
-    b = hg.dual().s_linegraph(2, edges=True)
+    a = hg.s_linegraph(2, over_edges=False)
+    b = hg.dual().s_linegraph(2, over_edges=True)
     assert a.edgelist == b.edgelist
 
 
