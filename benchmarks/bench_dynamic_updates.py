@@ -1,0 +1,118 @@
+"""Dynamic updates — incremental s-line patching vs full rebuild.
+
+The patch-or-rebuild policy (`repro.dynamic.policy`) is calibrated on a
+simple claim: while the dirty fraction of a mutation batch is small, the
+two-hop delta recount does asymptotically less work than re-running
+construction over the whole hypergraph.  This sweep measures the claim
+on `rand1` (5 000 hyperedges, uniform size 10 — the paper's synthetic
+workhorse): apply one mixed mutation batch per batch size, time the
+in-place patch against a from-scratch rebuild on the post-mutation
+state, and verify the two produce bit-identical line graphs.
+
+Acceptance: at the paper-scale operating point — batches up to 1 % of
+the hyperedge set (50 ops on rand1) — patching must beat the rebuild.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core.hypergraph import NWHypergraph
+from repro.dynamic import DynamicHypergraph, IncrementalSLineGraph
+from repro.dynamic.policy import DEFAULT_PATCH_THRESHOLD, should_patch
+from repro.io.datasets import load
+
+S = 2
+BATCH_SIZES = [5, 10, 25, 50, 100, 500]
+ONE_PERCENT = 50  # 1% of rand1's 5000 hyperedges
+
+
+def _hypergraph() -> NWHypergraph:
+    el = load("rand1")
+    return NWHypergraph(
+        el.part0, el.part1, el.weights,
+        num_edges=el.num_vertices(0), num_nodes=el.num_vertices(1),
+    )
+
+
+def _mixed_batch(rng, dyn, size: int) -> list[dict]:
+    """An applicable batch: ~1/2 edge adds, ~1/4 removals, ~1/4 membership flips."""
+    state = dyn.state
+    num_nodes = dyn.snapshot().number_of_nodes()
+    live = [
+        e for e in range(state.num_edges()) if state.members(e).size > 0
+    ]
+    rng.shuffle(live)
+    batch: list[dict] = []
+    for i in range(size):
+        kind = i % 4
+        if kind in (0, 1) or not live:
+            members = rng.choice(num_nodes, size=10, replace=False)
+            batch.append({"op": "add_edge", "members": members.tolist()})
+        elif kind == 2:
+            batch.append({"op": "remove_edge", "edge": live.pop()})
+        else:
+            e = live.pop()
+            v = int(state.members(e)[0])
+            batch.append({"op": "remove_incidence", "edge": e, "node": v})
+    return batch
+
+
+def test_patch_vs_rebuild_across_batch_sizes(benchmark, record):
+    def sweep():
+        rows = []
+        for size in BATCH_SIZES:
+            dyn = DynamicHypergraph(_hypergraph())
+            # threshold=1.0: always patch, so the sweep measures the
+            # patch path even past the default policy's crossover
+            inc = IncrementalSLineGraph(dyn, threshold=1.0)
+            inc.materialize(S)
+            rng = np.random.default_rng(size)
+            res = dyn.apply(_mixed_batch(rng, dyn, size))
+
+            t0 = time.perf_counter()
+            inc.update(res)
+            patch_ms = (time.perf_counter() - t0) * 1e3
+
+            snap = dyn.snapshot()
+            fresh = NWHypergraph(
+                snap.row, snap.col,
+                num_edges=snap.number_of_edges(),
+                num_nodes=snap.number_of_nodes(),
+            )
+            t0 = time.perf_counter()
+            ref = fresh.s_linegraph(S)
+            rebuild_ms = (time.perf_counter() - t0) * 1e3
+
+            got = inc.linegraph(S).edgelist
+            assert np.array_equal(got.src, ref.edgelist.src)
+            assert np.array_equal(got.dst, ref.edgelist.dst)
+            assert np.array_equal(got.weights, ref.edgelist.weights)
+
+            dirty_frac = len(res.dirty_edges) / snap.number_of_edges()
+            rows.append((size, len(res.dirty_edges), dirty_frac,
+                         patch_ms, rebuild_ms))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        f"dynamic updates — patch vs rebuild of L_{S} on rand1",
+        format_table(
+            ["batch", "dirty edges", "dirty %", "patch (ms)",
+             "rebuild (ms)", "speedup", "policy"],
+            [(f"{size}", f"{dirty}", f"{frac:.2%}", f"{p:.1f}",
+              f"{r:.1f}", f"{r / p:.1f}x",
+              "patch" if should_patch(dirty, 5000) else "rebuild")
+             for size, dirty, frac, p, r in rows],
+        ),
+    )
+    # the acceptance operating point: batches <= 1% of the hyperedge set
+    for size, _, _, patch_ms, rebuild_ms in rows:
+        if size <= ONE_PERCENT:
+            assert patch_ms < rebuild_ms, (size, patch_ms, rebuild_ms)
+    # and the default 10% threshold must sit on the winning side wherever
+    # it chooses to patch
+    for size, dirty, _, patch_ms, rebuild_ms in rows:
+        if should_patch(dirty, 5000, DEFAULT_PATCH_THRESHOLD):
+            assert patch_ms < rebuild_ms, (size, patch_ms, rebuild_ms)

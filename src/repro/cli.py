@@ -357,6 +357,71 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_update(args: argparse.Namespace) -> int:
+    """Apply batched mutations to a hypergraph file (repro.dynamic).
+
+    The ops file is JSON: a list of mutation records (one batch) or a
+    list of such lists (applied as successive batches).  The compacted
+    result is optionally written back out, and a JSON summary — per-batch
+    deltas plus patch/rebuild outcomes for any maintained s-line graphs —
+    goes to stdout.
+    """
+    from repro.dynamic import DynamicHypergraph, IncrementalSLineGraph
+
+    hg = _hypergraph(args.file)
+    try:
+        payload = json.loads(Path(args.ops).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read ops file {args.ops!r}: {exc}")
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list) or not payload:
+        raise SystemExit(
+            "ops file must hold a non-empty JSON list of mutation records "
+            "(or a list of batches)"
+        )
+    if all(isinstance(b, list) for b in payload):
+        batches = payload
+    else:
+        batches = [payload]
+    dyn = DynamicHypergraph(hg)
+    inc = IncrementalSLineGraph(dyn) if args.s else None
+    for s in args.s:
+        inc.materialize(s)
+    applied = []
+    for i, batch in enumerate(batches):
+        try:
+            res = dyn.apply(batch)
+        except ValueError as exc:
+            raise SystemExit(f"batch {i}: {exc}")
+        entry = res.as_dict()
+        if inc is not None:
+            entry["linegraphs"] = {
+                str(s): how for s, how in inc.update(res).items()
+            }
+        applied.append(entry)
+    snap = dyn.compact()
+    if args.output:
+        _write(
+            args.output,
+            BiEdgeList(
+                snap.row, snap.col,
+                n0=snap.number_of_edges(), n1=snap.number_of_nodes(),
+            ),
+        )
+    _dump_json(
+        {
+            "input": args.file,
+            "output": args.output,
+            "batches": applied,
+            "version": dyn.version,
+            "num_edges": snap.number_of_edges(),
+            "num_nodes": snap.number_of_nodes(),
+        }
+    )
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.kind in _GENERATORS:
         el = _GENERATORS[args.kind](args)
@@ -509,6 +574,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", action="store_true",
                    help="send all queries as one batch request")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("update",
+                       help="apply batched mutations to a hypergraph file")
+    p.add_argument("file")
+    p.add_argument("--ops", required=True,
+                   help="JSON file: a list of mutation records "
+                        '({"op": "add_edge", "members": [...]}, ...) or a '
+                        "list of such lists (one batch each)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the compacted hypergraph here "
+                        "(.mtx/.hygra/.csv)")
+    p.add_argument("-s", type=int, nargs="*", default=[],
+                   help="maintain these s-line graphs incrementally and "
+                        "report patch/rebuild outcomes")
+    p.set_defaults(func=cmd_update)
 
     p = sub.add_parser("generate", help="generate a hypergraph file")
     p.add_argument("kind",

@@ -136,6 +136,82 @@ class NWHypergraph:
         self._adjoin = None
         self._slg_memo.clear()
 
+    def refresh_linegraphs(
+        self,
+        dirty_edges,
+        dirty_nodes=None,
+        threshold: float | None = None,
+        tracer=None,
+        metrics=None,
+    ) -> dict[tuple, str]:
+        """Delta-aware alternative to :meth:`invalidate` after a mutation.
+
+        Callers that edited the incidence arrays in place (or swapped
+        ``_el`` for a mutated copy) and know *which* hyperedge /
+        hypernode IDs changed can keep their memoized s-line graphs
+        instead of dropping them: the lazy representations are rebuilt,
+        and each memo entry is either **patched** — the stock queue-based
+        builders seeded with the delta frontier
+        (:func:`repro.dynamic.incremental.patch_with_builder`) — or
+        dropped for lazy rebuild, per the same dirty-fraction policy the
+        service's ``update`` op uses (:mod:`repro.dynamic.policy` — the
+        cost heuristic lives in exactly one place).  IDs must be stable
+        (removals tombstoned, additions appended), the contract
+        :class:`~repro.dynamic.hypergraph.DynamicHypergraph` maintains.
+
+        Returns ``{memo_key: 'patch' | 'rebuild'}`` per prior entry;
+        weighted entries always rebuild (the mutation vocabulary is
+        unweighted).
+        """
+        from repro.dynamic.incremental import patch_with_builder
+        from repro.dynamic.policy import (
+            DEFAULT_PATCH_THRESHOLD,
+            decide_patch_or_rebuild,
+        )
+
+        if threshold is None:
+            threshold = DEFAULT_PATCH_THRESHOLD
+        old_memo = dict(self._slg_memo)
+        self.invalidate()
+        d_edges = frozenset(int(e) for e in dirty_edges)
+        d_nodes = frozenset(int(v) for v in (dirty_nodes or ()))
+        outcomes: dict[tuple, str] = {}
+        for key, lg in old_memo.items():
+            s, over_edges, algorithm, weighted = key
+            dirty = d_edges if over_edges else d_nodes
+            n = (
+                self.number_of_edges()
+                if over_edges
+                else self.number_of_nodes()
+            )
+            how = decide_patch_or_rebuild(len(dirty), n, threshold)
+            if (
+                weighted
+                or lg.edgelist.weights is None
+                or n < lg.edgelist.num_vertices()
+            ):
+                how = "rebuild"
+            if how == "patch":
+                h = (
+                    self.biadjacency
+                    if over_edges
+                    else self.biadjacency.dual()
+                )
+                algo = (
+                    algorithm
+                    if algorithm in ("queue_hashmap", "queue_intersection")
+                    else "queue_hashmap"
+                )
+                el = patch_with_builder(
+                    lg.edgelist, h, sorted(dirty), s,
+                    algorithm=algo, tracer=tracer, metrics=metrics,
+                )
+                self._slg_memo[key] = SLineGraph(
+                    el, s=s, over_edges=over_edges
+                )
+            outcomes[key] = how
+        return outcomes
+
     # -- sizes / degrees ----------------------------------------------------------------
     def number_of_edges(self) -> int:
         return self._el.num_vertices(0)

@@ -1,0 +1,350 @@
+"""``DynamicHypergraph`` — a mutable hypergraph over a frozen snapshot.
+
+The frozen-CSR world of the framework (``NWHypergraph`` and its index
+sets) is layered under an append-only mutation log: reads resolve
+through the :class:`~repro.dynamic.overlay.OverlayState` (touched rows
+only), writes append :class:`~repro.dynamic.log.Mutation` records in
+atomic batches, and :meth:`compact` folds the log back into CSR when the
+overlay has grown past its usefulness.
+
+Versioning: ``version`` counts applied batches since construction and
+identifies the exact incidence state — the serving layer keys cached
+s-line graphs by it, so a patched entry can never be confused with a
+stale one.  :meth:`snapshot` materializes (and memoizes, per version) a
+frozen :class:`~repro.core.hypergraph.NWHypergraph` of the current
+state; with no pending mutations it is the base itself, so wrapping a
+static dataset costs nothing until the first write.
+
+Hyperedge IDs are **stable**: removal tombstones an ID (the edge becomes
+empty) and additions append past the end.  That keeps every derived ID
+space — s-line graph vertices, component labels, distances — aligned
+across updates, which is what makes incremental patching
+(:mod:`repro.dynamic.incremental`) a pure delta operation.
+
+Thread-safety: every public method takes the instance lock; ``apply``
+parses its whole batch before touching state, so a malformed record
+rejects the batch atomically instead of half-applying it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hypergraph import NWHypergraph
+
+from .log import LogBatch, Mutation, MutationLog, parse_batch
+from .overlay import OverlayState
+
+__all__ = ["ApplyResult", "DynamicHypergraph"]
+
+
+@dataclass(frozen=True)
+class ApplyResult:
+    """What one atomic batch did: the new version and its delta.
+
+    ``dirty_edges`` / ``dirty_nodes`` are the IDs whose member /
+    membership sets changed — the seed of the incremental s-line-graph
+    frontier.  ``new_edges`` reports IDs assigned to ``add_edge``
+    records, in record order.
+    """
+
+    version: int
+    applied: int
+    dirty_edges: frozenset[int]
+    dirty_nodes: frozenset[int]
+    new_edges: tuple[int, ...] = ()
+    ops_by_kind: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (the service's ``update`` response body)."""
+        return {
+            "version": self.version,
+            "applied": self.applied,
+            "dirty_edges": len(self.dirty_edges),
+            "dirty_nodes": len(self.dirty_nodes),
+            "new_edges": list(self.new_edges),
+            "ops_by_kind": dict(self.ops_by_kind),
+        }
+
+
+class DynamicHypergraph:
+    """Batched mutable hypergraph with versioned frozen snapshots.
+
+    Parameters
+    ----------
+    base:
+        The starting state — an :class:`~repro.core.hypergraph
+        .NWHypergraph` (adopted as the version-0 snapshot).
+    tracer, metrics:
+        Optional :mod:`repro.obs` instruments; every apply/compact emits
+        spans (``dynamic.apply`` / ``dynamic.compact``) and counters
+        (``dynamic_ops_applied_total`` by kind, ``dynamic_batches_total``,
+        ``dynamic_dirty_edges_total``, ``dynamic_compactions_total``).
+        No-op when ``None``.
+    """
+
+    def __init__(self, base: NWHypergraph, tracer=None, metrics=None) -> None:
+        from repro.obs.metrics import as_metrics
+        from repro.obs.tracer import as_tracer
+
+        if not isinstance(base, NWHypergraph):
+            raise TypeError(
+                f"base must be an NWHypergraph, got {type(base).__name__}"
+            )
+        self._lock = threading.RLock()
+        self._base = base
+        self._state = OverlayState(base.biadjacency)
+        self._log = MutationLog()
+        self._version = 0
+        self._snapshot: NWHypergraph | None = base
+        self._snapshot_version = 0
+        self._tracer = as_tracer(tracer)
+        self._metrics = as_metrics(metrics)
+
+    # -- alternate constructors ----------------------------------------------
+    @classmethod
+    def from_hyperedge_lists(
+        cls,
+        members,
+        num_nodes: int | None = None,
+        tracer=None,
+        metrics=None,
+    ) -> "DynamicHypergraph":
+        """Build from a list of hyperedges, each a list of hypernode IDs."""
+        return cls(
+            NWHypergraph.from_hyperedge_lists(members, num_nodes=num_nodes),
+            tracer=tracer,
+            metrics=metrics,
+        )
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Number of batches applied since construction."""
+        with self._lock:
+            return self._version
+
+    @property
+    def state(self) -> OverlayState:
+        """The live overlay view (members/memberships of the current state)."""
+        return self._state
+
+    @property
+    def base(self) -> NWHypergraph:
+        """The frozen snapshot under the overlay (advances on compaction)."""
+        with self._lock:
+            return self._base
+
+    def number_of_edges(self) -> int:
+        with self._lock:
+            return self._state.num_edges()
+
+    def number_of_nodes(self) -> int:
+        with self._lock:
+            return self._state.num_nodes()
+
+    def members(self, e: int) -> np.ndarray:
+        """Hypernodes of hyperedge ``e`` in the current state."""
+        with self._lock:
+            return self._state.members(e).copy()
+
+    def memberships(self, v: int) -> np.ndarray:
+        """Hyperedges incident on hypernode ``v`` in the current state."""
+        with self._lock:
+            return self._state.memberships(v).copy()
+
+    def pending_ops(self) -> int:
+        """Mutations applied since the last compaction."""
+        with self._lock:
+            return self._log.num_ops
+
+    def pending_batches(self) -> int:
+        with self._lock:
+            return self._log.num_batches
+
+    def dirty_edges(self) -> frozenset[int]:
+        """Hyperedges touched since the last compaction."""
+        with self._lock:
+            return self._log.dirty_edges()
+
+    def dirty_nodes(self) -> frozenset[int]:
+        with self._lock:
+            return self._log.dirty_nodes()
+
+    # -- mutation ------------------------------------------------------------
+    def apply(self, batch) -> ApplyResult:
+        """Apply one atomic batch of mutations; returns its delta.
+
+        ``batch`` is a list of :class:`~repro.dynamic.log.Mutation`
+        records or wire dicts (``{"op": "add_edge", "members": [...]}``).
+        The whole batch is parsed first — a malformed or inapplicable
+        record (unknown edge, absent incidence, ...) rejects the batch
+        with ``ValueError`` and leaves the state untouched.
+        """
+        mutations = parse_batch(batch)
+        with self._lock, self._tracer.span(
+            "dynamic.apply", ops=len(mutations), version=self._version + 1
+        ) as span:
+            undo = _UndoLog(self._state)
+            dirty_edges: set[int] = set()
+            dirty_nodes: set[int] = set()
+            new_edges: list[int] = []
+            ops_by_kind: dict[str, int] = {}
+            try:
+                for mut in mutations:
+                    self._apply_one(mut, dirty_edges, dirty_nodes, new_edges)
+                    ops_by_kind[mut.kind] = ops_by_kind.get(mut.kind, 0) + 1
+            except (ValueError, IndexError):
+                undo.restore(self._state)
+                raise
+            self._version += 1
+            result = ApplyResult(
+                version=self._version,
+                applied=len(mutations),
+                dirty_edges=frozenset(dirty_edges),
+                dirty_nodes=frozenset(dirty_nodes),
+                new_edges=tuple(new_edges),
+                ops_by_kind=ops_by_kind,
+            )
+            self._log.append(
+                LogBatch(
+                    version=self._version,
+                    mutations=tuple(mutations),
+                    dirty_edges=result.dirty_edges,
+                    dirty_nodes=result.dirty_nodes,
+                )
+            )
+            span.set(
+                dirty_edges=len(dirty_edges), dirty_nodes=len(dirty_nodes)
+            )
+            m = self._metrics
+            for kind, count in ops_by_kind.items():
+                m.counter("dynamic_ops_applied_total", kind=kind).inc(count)
+            m.counter("dynamic_batches_total").inc()
+            m.counter("dynamic_dirty_edges_total").inc(len(dirty_edges))
+            return result
+
+    def _apply_one(
+        self,
+        mut: Mutation,
+        dirty_edges: set[int],
+        dirty_nodes: set[int],
+        new_edges: list[int],
+    ) -> None:
+        st = self._state
+        if mut.kind == "add_edge":
+            e = st.add_edge(mut.members)
+            new_edges.append(e)
+            dirty_edges.add(e)
+            dirty_nodes.update(int(v) for v in mut.members)
+        elif mut.kind == "remove_edge":
+            removed = st.remove_edge(mut.edge)
+            dirty_edges.add(mut.edge)
+            dirty_nodes.update(removed.tolist())
+        elif mut.kind == "add_incidence":
+            if st.add_incidence(mut.edge, mut.node):
+                dirty_edges.add(mut.edge)
+                dirty_nodes.add(mut.node)
+        else:  # remove_incidence
+            st.remove_incidence(mut.edge, mut.node)
+            dirty_edges.add(mut.edge)
+            dirty_nodes.add(mut.node)
+
+    # -- convenience single-op writers ---------------------------------------
+    def add_edge(self, members) -> ApplyResult:
+        return self.apply([Mutation("add_edge", members=tuple(members))])
+
+    def remove_edge(self, edge: int) -> ApplyResult:
+        return self.apply([Mutation("remove_edge", edge=edge)])
+
+    def add_incidence(self, edge: int, node: int) -> ApplyResult:
+        return self.apply([Mutation("add_incidence", edge=edge, node=node)])
+
+    def remove_incidence(self, edge: int, node: int) -> ApplyResult:
+        return self.apply([Mutation("remove_incidence", edge=edge, node=node)])
+
+    # -- snapshots / compaction ----------------------------------------------
+    def snapshot(self) -> NWHypergraph:
+        """A frozen ``NWHypergraph`` of the current state (memoized by
+        version).
+
+        With no mutations applied since the base was adopted this is the
+        base instance itself (zero cost, weights preserved).  Otherwise
+        the overlay is folded into fresh incidence arrays; incidence
+        weights do not survive mutation (the mutation vocabulary is
+        unweighted).
+        """
+        with self._lock:
+            if (
+                self._snapshot is not None
+                and self._snapshot_version == self._version
+            ):
+                return self._snapshot
+            row, col = self._state.incidence_arrays()
+            snap = NWHypergraph(
+                row,
+                col,
+                num_edges=self._state.num_edges(),
+                num_nodes=self._state.num_nodes(),
+            )
+            self._snapshot = snap
+            self._snapshot_version = self._version
+            return snap
+
+    def compact(self) -> NWHypergraph:
+        """Fold the mutation log into a fresh frozen base and clear it.
+
+        The compacted base is also the return value; ``version`` is
+        preserved (compaction changes the representation, not the
+        state).
+        """
+        with self._lock, self._tracer.span(
+            "dynamic.compact",
+            version=self._version,
+            pending_ops=self._log.num_ops,
+        ):
+            base = self.snapshot()
+            self._base = base
+            self._state = OverlayState(base.biadjacency)
+            self._log.clear()
+            self._metrics.counter("dynamic_compactions_total").inc()
+            return base
+
+    # -- derived structures ---------------------------------------------------
+    def s_linegraph(self, s: int = 1, over_edges: bool = True, **kwargs):
+        """``L_s`` of the current state (built on the frozen snapshot)."""
+        return self.snapshot().s_linegraph(s, over_edges=over_edges, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"DynamicHypergraph(edges={self._state.num_edges()}, "
+                f"nodes={self._state.num_nodes()}, version={self._version}, "
+                f"pending_ops={self._log.num_ops})"
+            )
+
+
+class _UndoLog:
+    """Cheap whole-overlay checkpoint for atomic batch rollback.
+
+    The overlay dictionaries hold immutable arrays (every primitive
+    replaces, never edits), so a shallow copy of the dicts plus the two
+    cardinalities is a complete checkpoint.
+    """
+
+    __slots__ = ("_members", "_memberships", "_num_edges", "_num_nodes")
+
+    def __init__(self, state: OverlayState) -> None:
+        self._members = dict(state._members)
+        self._memberships = dict(state._memberships)
+        self._num_edges = state._num_edges
+        self._num_nodes = state._num_nodes
+
+    def restore(self, state: OverlayState) -> None:
+        state._members = self._members
+        state._memberships = self._memberships
+        state._num_edges = self._num_edges
+        state._num_nodes = self._num_nodes

@@ -1,0 +1,198 @@
+"""Mutation records and the append-only batch log.
+
+The dynamic layer never edits a frozen structure in place.  Every change
+is a small, JSON-able :class:`Mutation` record; batches of records are
+applied atomically by :class:`~repro.dynamic.hypergraph.DynamicHypergraph`
+and remembered in a :class:`MutationLog` until ``compact()`` folds them
+back into the CSR base.  Keeping the records serializable is what lets
+the same vocabulary travel over the wire (the service's ``update`` op),
+through the CLI (``repro update --ops``), and into tests.
+
+Four mutation kinds cover the incidence-structure edits:
+
+``add_edge``
+    Append a new hyperedge; its ID is the next free one (returned in the
+    apply result).  ``members`` lists its hypernode IDs.
+``remove_edge``
+    Tombstone a hyperedge: it keeps its ID but becomes empty, so every
+    derived ID space (s-line graph vertices, component labels) stays
+    aligned across updates.
+``add_incidence`` / ``remove_incidence``
+    Insert / delete one ``(edge, node)`` membership.
+
+Hypernode IDs are created implicitly by referencing them (matching the
+COO constructor of :class:`~repro.core.hypergraph.NWHypergraph`, where
+``num_nodes`` is ``max ID + 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["MUTATION_KINDS", "Mutation", "MutationLog"]
+
+#: the mutation vocabulary, in wire spelling
+MUTATION_KINDS = ("add_edge", "remove_edge", "add_incidence", "remove_incidence")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One incidence-structure edit (see module docstring for kinds)."""
+
+    kind: str
+    edge: int | None = None
+    node: int | None = None
+    members: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise ValueError(
+                f"unknown mutation kind {self.kind!r}; "
+                f"expected one of {', '.join(MUTATION_KINDS)}"
+            )
+        if self.kind == "add_edge":
+            if self.members is None:
+                raise ValueError("add_edge requires 'members'")
+            mem = tuple(int(v) for v in self.members)
+            if any(v < 0 for v in mem):
+                raise ValueError("hypernode IDs must be non-negative")
+            object.__setattr__(self, "members", mem)
+        elif self.kind == "remove_edge":
+            if self.edge is None:
+                raise ValueError("remove_edge requires 'edge'")
+        else:  # add_incidence / remove_incidence
+            if self.edge is None or self.node is None:
+                raise ValueError(f"{self.kind} requires 'edge' and 'node'")
+        if self.edge is not None:
+            if int(self.edge) < 0:
+                raise ValueError("hyperedge IDs must be non-negative")
+            object.__setattr__(self, "edge", int(self.edge))
+        if self.node is not None:
+            if int(self.node) < 0:
+                raise ValueError("hypernode IDs must be non-negative")
+            object.__setattr__(self, "node", int(self.node))
+
+    # -- wire format ---------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Mutation":
+        """Parse one wire-format record, e.g. ``{"op": "add_edge", ...}``.
+
+        Accepts ``op`` (wire spelling) or ``kind`` for the discriminator;
+        unknown fields are rejected so typos fail loudly instead of
+        silently applying the wrong edit.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"mutation must be an object, got {payload!r}")
+        data = dict(payload)
+        kind = data.pop("op", None)
+        if kind is None:
+            kind = data.pop("kind", None)
+        else:
+            data.pop("kind", None)
+        if kind is None:
+            raise ValueError("mutation requires an 'op' field")
+        unknown = set(data) - {"edge", "node", "members"}
+        if unknown:
+            raise ValueError(
+                f"unknown mutation field(s) {sorted(unknown)!r} for op {kind!r}"
+            )
+        return cls(
+            kind=kind,
+            edge=data.get("edge"),
+            node=data.get("node"),
+            members=data.get("members"),
+        )
+
+    def to_dict(self) -> dict:
+        """The wire-format record (JSON-safe, minimal fields)."""
+        out: dict = {"op": self.kind}
+        if self.edge is not None:
+            out["edge"] = self.edge
+        if self.node is not None:
+            out["node"] = self.node
+        if self.members is not None:
+            out["members"] = list(self.members)
+        return out
+
+
+def as_mutation(record: "Mutation | Mapping") -> Mutation:
+    """Coerce a record (already-parsed or wire dict) to a :class:`Mutation`."""
+    if isinstance(record, Mutation):
+        return record
+    return Mutation.from_dict(record)
+
+
+@dataclass
+class LogBatch:
+    """One applied batch: the version it produced and its records."""
+
+    version: int
+    mutations: tuple[Mutation, ...] = ()
+    dirty_edges: frozenset[int] = frozenset()
+    dirty_nodes: frozenset[int] = frozenset()
+
+
+class MutationLog:
+    """Append-only record of applied batches since the last compaction.
+
+    The log is bookkeeping, not the source of truth — the overlay state
+    already reflects every applied record.  It exists so callers can
+    inspect what happened between snapshots (``pending_ops``), replay a
+    session, and so ``compact()`` can report how much it folded.
+    """
+
+    def __init__(self) -> None:
+        self._batches: list[LogBatch] = []
+
+    def append(self, batch: LogBatch) -> None:
+        self._batches.append(batch)
+
+    def clear(self) -> list[LogBatch]:
+        """Drop (and return) every pending batch — the compaction step."""
+        out, self._batches = self._batches, []
+        return out
+
+    @property
+    def num_batches(self) -> int:
+        return len(self._batches)
+
+    @property
+    def num_ops(self) -> int:
+        return sum(len(b.mutations) for b in self._batches)
+
+    def dirty_edges(self) -> frozenset[int]:
+        """Union of dirty hyperedges across pending batches."""
+        out: set[int] = set()
+        for b in self._batches:
+            out |= b.dirty_edges
+        return frozenset(out)
+
+    def dirty_nodes(self) -> frozenset[int]:
+        """Union of dirty hypernodes across pending batches."""
+        out: set[int] = set()
+        for b in self._batches:
+            out |= b.dirty_nodes
+        return frozenset(out)
+
+    def __iter__(self) -> Iterator[LogBatch]:
+        return iter(self._batches)
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MutationLog(batches={len(self)}, ops={self.num_ops})"
+
+
+def parse_batch(records: Iterable[Mutation | Mapping] | Sequence) -> list[Mutation]:
+    """Parse a batch of wire records, failing before anything is applied."""
+    if isinstance(records, (str, bytes, Mapping)):
+        raise ValueError("a mutation batch must be a list of records")
+    out = [as_mutation(r) for r in records]
+    if not out:
+        raise ValueError(
+            "a mutation batch must be non-empty (an empty batch would "
+            "advance the version for a no-op)"
+        )
+    return out

@@ -1,0 +1,268 @@
+"""Overlay incidence state — a mutable view over a frozen base hypergraph.
+
+The paper's index sets are immutable by design (§III-B): every CSR is
+built once and never edited.  The dynamic layer therefore keeps the
+frozen :class:`~repro.structures.biadjacency.BiAdjacency` base untouched
+and layers two small dictionaries over it — current members per *touched*
+hyperedge and current memberships per *touched* hypernode.  Lookups
+resolve overlay-first, base-second, so the cost of reading the state is
+proportional to what changed, never to the whole graph.
+
+Both incidence directions are maintained together (the same mutual
+indexing invariant ``BiAdjacency`` guarantees for the frozen case), which
+is what lets the delta counting kernels walk edge → node → edge without
+ever materializing a full CSR of the mutated state.  ``dual()`` returns
+the node-side view of the same state, so the s-clique (``over_edges=False``)
+patching path reuses the identical kernels.
+
+All arrays handed out are sorted unique ``int64`` — the contract of the
+s-overlap kernels (:func:`repro.linegraph.common.intersect_count_sorted`
+and friends).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.structures.biadjacency import BiAdjacency
+
+__all__ = ["OverlayState"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _insert_sorted(arr: np.ndarray, value: int) -> np.ndarray:
+    """Insert ``value`` into a sorted unique array (no-op if present)."""
+    pos = int(np.searchsorted(arr, value))
+    if pos < arr.size and arr[pos] == value:
+        return arr
+    return np.insert(arr, pos, value)
+
+
+def _delete_sorted(arr: np.ndarray, value: int) -> np.ndarray | None:
+    """Remove ``value`` from a sorted unique array; ``None`` if absent."""
+    pos = int(np.searchsorted(arr, value))
+    if pos >= arr.size or arr[pos] != value:
+        return None
+    return np.delete(arr, pos)
+
+
+class OverlayState:
+    """Mutable incidence view: frozen ``BiAdjacency`` base + touched rows.
+
+    Parameters
+    ----------
+    base:
+        The frozen bi-adjacency snapshot under the overlay.
+    num_edges, num_nodes:
+        Current cardinalities (grow as mutations add edges/nodes; start
+        at the base's).
+    """
+
+    def __init__(self, base: BiAdjacency) -> None:
+        self._base = base
+        self._members: dict[int, np.ndarray] = {}
+        self._memberships: dict[int, np.ndarray] = {}
+        self._num_edges = base.num_hyperedges()
+        self._num_nodes = base.num_hypernodes()
+
+    # -- cardinality ---------------------------------------------------------
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def num_touched(self) -> tuple[int, int]:
+        """``(touched_edges, touched_nodes)`` — the overlay's footprint."""
+        return (len(self._members), len(self._memberships))
+
+    @property
+    def base(self) -> BiAdjacency:
+        return self._base
+
+    # -- lookups (overlay-first) ---------------------------------------------
+    def members(self, e: int) -> np.ndarray:
+        """Hypernodes of hyperedge ``e`` (sorted unique)."""
+        got = self._members.get(e)
+        if got is not None:
+            return got
+        if e < self._base.num_hyperedges():
+            return self._base.members(e)
+        if e < self._num_edges:  # freshly added, then fully emptied
+            return _EMPTY
+        raise IndexError(f"hyperedge {e} out of range [0, {self._num_edges})")
+
+    def memberships(self, v: int) -> np.ndarray:
+        """Hyperedges incident on hypernode ``v`` (sorted unique)."""
+        got = self._memberships.get(v)
+        if got is not None:
+            return got
+        if v < self._base.num_hypernodes():
+            return self._base.memberships(v)
+        if v < self._num_nodes:
+            return _EMPTY
+        raise IndexError(f"hypernode {v} out of range [0, {self._num_nodes})")
+
+    def edge_size(self, e: int) -> int:
+        return int(self.members(e).size)
+
+    def node_degree(self, v: int) -> int:
+        return int(self.memberships(v).size)
+
+    # -- mutation primitives (the DynamicHypergraph applies through these) ---
+    def _grow_nodes(self, max_node: int) -> None:
+        if max_node >= self._num_nodes:
+            self._num_nodes = max_node + 1
+
+    def add_edge(self, members) -> int:
+        """Append a hyperedge with the given members; returns its new ID."""
+        e = self._num_edges
+        self._num_edges += 1
+        mem = np.unique(np.asarray(list(members), dtype=np.int64))
+        if mem.size and mem[0] < 0:
+            raise ValueError("hypernode IDs must be non-negative")
+        self._members[e] = mem
+        if mem.size:
+            self._grow_nodes(int(mem[-1]))
+        for v in mem.tolist():
+            self._memberships[v] = _insert_sorted(self.memberships(v), e)
+        return e
+
+    def remove_edge(self, e: int) -> np.ndarray:
+        """Tombstone hyperedge ``e`` (ID retained, members dropped).
+
+        Returns the members it had; raises ``ValueError`` when ``e`` is
+        out of range or already empty.
+        """
+        if not 0 <= e < self._num_edges:
+            raise ValueError(
+                f"hyperedge {e} out of range [0, {self._num_edges})"
+            )
+        mem = self.members(e)
+        if mem.size == 0:
+            raise ValueError(f"hyperedge {e} is already empty")
+        for v in mem.tolist():
+            shrunk = _delete_sorted(self.memberships(v), e)
+            if shrunk is not None:
+                self._memberships[v] = shrunk
+        self._members[e] = _EMPTY
+        return mem
+
+    def add_incidence(self, e: int, v: int) -> bool:
+        """Insert membership ``(e, v)``; returns False when already present.
+
+        ``e`` must name an existing (possibly tombstoned) hyperedge — new
+        hyperedges come from :meth:`add_edge` so IDs stay dense.  ``v``
+        may extend the hypernode space.
+        """
+        if not 0 <= e < self._num_edges:
+            raise ValueError(
+                f"hyperedge {e} out of range [0, {self._num_edges})"
+            )
+        if v < 0:
+            raise ValueError("hypernode IDs must be non-negative")
+        mem = self.members(e)
+        grown = _insert_sorted(mem, v)
+        if grown is mem:
+            return False
+        self._members[e] = grown
+        self._grow_nodes(v)
+        self._memberships[v] = _insert_sorted(self.memberships(v), e)
+        return True
+
+    def remove_incidence(self, e: int, v: int) -> None:
+        """Delete membership ``(e, v)``; raises when it does not exist."""
+        if not 0 <= e < self._num_edges:
+            raise ValueError(
+                f"hyperedge {e} out of range [0, {self._num_edges})"
+            )
+        mem = self.members(e)
+        shrunk = _delete_sorted(mem, v)
+        if shrunk is None:
+            raise ValueError(f"incidence ({e}, {v}) does not exist")
+        self._members[e] = shrunk
+        ms = _delete_sorted(self.memberships(v), e)
+        if ms is not None:
+            self._memberships[v] = ms
+
+    # -- views ---------------------------------------------------------------
+    def dual(self) -> "OverlayDual":
+        """The node-side view (roles of edges and nodes swapped)."""
+        return OverlayDual(self)
+
+    # -- materialization -----------------------------------------------------
+    def incidence_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current ``(row, col)`` COO incidence arrays (edge-sorted).
+
+        Untouched hyperedges are sliced straight out of the base arrays;
+        touched ones come from the overlay — so materialization costs
+        O(incidences) with no per-edge Python loop over the clean part.
+        """
+        base = self._base
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        if base.num_hyperedges():
+            base_row = np.repeat(
+                np.arange(base.num_hyperedges(), dtype=np.int64),
+                base.edge_sizes(),
+            )
+            base_col = base.edges.indices
+            if self._members:
+                touched = np.fromiter(
+                    self._members, count=len(self._members), dtype=np.int64
+                )
+                keep = ~np.isin(base_row, touched)
+                base_row, base_col = base_row[keep], base_col[keep]
+            row_parts.append(base_row)
+            col_parts.append(base_col)
+        for e, mem in self._members.items():
+            if mem.size:
+                row_parts.append(np.full(mem.size, e, dtype=np.int64))
+                col_parts.append(mem)
+        if not row_parts:
+            return _EMPTY, _EMPTY
+        row = np.concatenate(row_parts)
+        col = np.concatenate(col_parts)
+        order = np.lexsort((col, row))
+        return row[order], col[order]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        te, tn = self.num_touched()
+        return (
+            f"OverlayState(edges={self._num_edges}, nodes={self._num_nodes}, "
+            f"touched_edges={te}, touched_nodes={tn})"
+        )
+
+
+class OverlayDual:
+    """Role-swapped read view of an :class:`OverlayState`.
+
+    Presents hypernodes as "edges" and hyperedges as "nodes", so the
+    delta-counting kernels (which only call :meth:`members` /
+    :meth:`memberships` / the cardinalities) run unchanged on the dual —
+    exactly how ``BiAdjacency.dual()`` feeds the s-clique construction.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: OverlayState) -> None:
+        self._state = state
+
+    def num_edges(self) -> int:
+        return self._state.num_nodes()
+
+    def num_nodes(self) -> int:
+        return self._state.num_edges()
+
+    def members(self, e: int) -> np.ndarray:
+        return self._state.memberships(e)
+
+    def memberships(self, v: int) -> np.ndarray:
+        return self._state.members(v)
+
+    def edge_size(self, e: int) -> int:
+        return self._state.node_degree(e)
+
+    def dual(self) -> OverlayState:
+        return self._state

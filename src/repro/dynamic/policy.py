@@ -1,0 +1,60 @@
+"""The patch-vs-rebuild decision — one heuristic, shared by every caller.
+
+Incrementally patching an s-line graph costs the two-hop volume of the
+*dirty frontier* (changed hyperedges plus whatever they reach through
+shared vertices), while a from-scratch rebuild costs the two-hop volume
+of the whole hypergraph.  For small deltas patching wins by orders of
+magnitude; past a crossover it degenerates into a rebuild that also pays
+the old-edge filtering.  The crossover is workload-dependent, but a
+dirty-fraction threshold captures it well in practice (and is what the
+``bench_dynamic_updates`` sweep calibrates).
+
+Every layer that faces the decision — the service's ``update`` op
+patching live cache entries, :class:`~repro.dynamic.incremental
+.IncrementalSLineGraph` maintaining materialized graphs, and
+``NWHypergraph.refresh_linegraphs`` refreshing its memo — routes through
+:func:`decide_patch_or_rebuild` so the cost heuristic lives in exactly
+one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DEFAULT_PATCH_THRESHOLD",
+    "decide_patch_or_rebuild",
+    "should_patch",
+]
+
+#: patch while the dirty fraction is at or below this (rebuild beyond);
+#: calibrated so batches ≤ 1% of hyperedges always ride the patch path
+#: with a wide margin (see benchmarks/bench_dynamic_updates.py)
+DEFAULT_PATCH_THRESHOLD = 0.10
+
+
+def decide_patch_or_rebuild(
+    num_dirty: int,
+    num_vertices: int,
+    threshold: float = DEFAULT_PATCH_THRESHOLD,
+) -> str:
+    """``'patch'`` or ``'rebuild'`` for a delta of ``num_dirty`` vertices.
+
+    ``num_vertices`` is the line-graph vertex space (hyperedges for
+    ``over_edges=True``, hypernodes otherwise).  An empty delta is a
+    trivial patch; an empty graph is a trivial rebuild.
+    """
+    if num_dirty < 0:
+        raise ValueError("num_dirty must be >= 0")
+    if num_dirty == 0:
+        return "patch"
+    if num_vertices <= 0:
+        return "rebuild"
+    return "patch" if num_dirty / num_vertices <= threshold else "rebuild"
+
+
+def should_patch(
+    num_dirty: int,
+    num_vertices: int,
+    threshold: float = DEFAULT_PATCH_THRESHOLD,
+) -> bool:
+    """Boolean form of :func:`decide_patch_or_rebuild`."""
+    return decide_patch_or_rebuild(num_dirty, num_vertices, threshold) == "patch"

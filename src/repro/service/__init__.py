@@ -24,7 +24,12 @@ CLI: ``python -m repro serve`` / ``python -m repro query``.
 """
 
 from .cache import CacheStats, SLineGraphCache, estimate_linegraph_bytes
-from .engine import PROTOCOL_VERSION, QueryEngine, QueryError
+from .engine import (
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    QueryEngine,
+    QueryError,
+)
 from .server import AnalyticsServer, InProcessClient, ServiceClient
 from .store import HypergraphStore
 
@@ -37,6 +42,7 @@ __all__ = [
     "QueryEngine",
     "QueryError",
     "SLineGraphCache",
+    "SUPPORTED_VERSIONS",
     "ServiceClient",
     "estimate_linegraph_bytes",
 ]

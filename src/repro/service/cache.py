@@ -25,6 +25,7 @@ and surfaced by the server's ``"metrics"`` op.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -119,6 +120,10 @@ class SLineGraphCache:
             OrderedDict()
         )
         self._sizes: dict[tuple[str, int, bool], int] = {}
+        # dataset key -> the NWHypergraph its entries were built from, so
+        # invalidate() can also drop the instance-level s_linegraph memo
+        # (weak: the cache must not keep an unregistered dataset alive)
+        self._owners: dict[str, weakref.ReferenceType[NWHypergraph]] = {}
         self.stats = CacheStats(budget_bytes=budget_bytes)
         m = as_metrics(metrics)
         self._tracer = as_tracer(tracer)
@@ -213,6 +218,7 @@ class SLineGraphCache:
         over_edges = bool(over_edges)
         key = (dataset, s, over_edges)
         with self._lock:
+            self._owners[dataset] = weakref.ref(hypergraph)
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
@@ -297,25 +303,74 @@ class SLineGraphCache:
         self._g_entries.set(self.stats.entries)
         return True
 
+    # -- external admission (the dynamic-update patch path) ------------------
+    def put(
+        self, dataset: str, s: int, over_edges: bool, lg: SLineGraph
+    ) -> bool:
+        """Admit an externally built (e.g. delta-patched) entry.
+
+        Same admission/eviction rules as a cold build; an existing entry
+        under the key is replaced (its bytes released first).  Returns
+        whether the entry was admitted (oversized graphs bypass).
+        """
+        key = (dataset, int(s), bool(over_edges))
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.current_bytes -= self._sizes.pop(key)
+            admitted = self._admit(key, lg)
+            if not admitted:
+                self._g_bytes.set(self.stats.current_bytes)
+                self._g_entries.set(self.stats.entries)
+            return admitted
+
+    def entries_for(self, dataset: str) -> list[tuple[int, bool, SLineGraph]]:
+        """Resident ``(s, over_edges, linegraph)`` triples of one dataset."""
+        with self._lock:
+            return [
+                (s, oe, lg)
+                for (d, s, oe), lg in self._entries.items()
+                if d == dataset
+            ]
+
     # -- maintenance ---------------------------------------------------------
     def invalidate(self, dataset: str | None = None) -> int:
-        """Drop entries (all, or one dataset's); returns how many."""
+        """Drop entries (all, or one dataset's); returns how many.
+
+        Also clears the instance-level memo of every affected
+        :class:`NWHypergraph` (``invalidate()``): the hypergraphs seen by
+        :meth:`get_or_build` memoize their own s-line graphs, and an
+        invalidate that dropped only the cache's copies could still serve
+        a stale memoized line graph through the library path.
+        """
+        owners: list[NWHypergraph] = []
         with self._lock:
             if dataset is None:
                 n = len(self._entries)
                 self._entries.clear()
                 self._sizes.clear()
                 self.stats.current_bytes = 0
+                doomed_owners = list(self._owners)
             else:
                 doomed = [k for k in self._entries if k[0] == dataset]
                 n = len(doomed)
                 for k in doomed:
                     del self._entries[k]
                     self.stats.current_bytes -= self._sizes.pop(k)
+                doomed_owners = [dataset] if dataset in self._owners else []
+            for name in doomed_owners:
+                hg = self._owners.pop(name)()
+                if hg is not None:
+                    owners.append(hg)
             self.stats.entries = len(self._entries)
             self._g_bytes.set(self.stats.current_bytes)
             self._g_entries.set(self.stats.entries)
-            return n
+        # outside the cache lock: NWHypergraph.invalidate only touches the
+        # instance, and holding our lock across foreign code invites
+        # lock-order inversions
+        for hg in owners:
+            hg.invalidate()
+        return n
 
     def __len__(self) -> int:
         with self._lock:

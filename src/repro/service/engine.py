@@ -28,12 +28,17 @@ Batches are dispatched on the :mod:`repro.parallel` runtime
 ``cache:bypass`` / ``lazy`` / ``direct``) plus wall-clock ``"ms"`` so
 clients can see how they were served.
 
-**Wire protocol v1** (``docs/API.md`` has the full schema): queries may
-pin the protocol version with ``"version": 1`` (or ``"v": 1`` on ops
-where ``v`` does not already name a vertex); every response carries
+**Wire protocol v1.1** (``docs/API.md`` has the full schema): queries may
+pin the protocol version with ``"version": 1`` or ``1.1`` (or ``"v"`` on
+ops where ``v`` does not already name a vertex); every response carries
 ``"ok"`` and ``"v"`` (the protocol version served).  Failures carry a
 structured ``"error": {"code", "message"}`` plus the pre-v1 free-form
-string as the ``"error_str"`` compat field (one release).
+string as the ``"error_str"`` compat field (one release).  v1.1 adds the
+``update`` op (batched mutations against a resident dataset, with live
+cache entries delta-patched under version-aware keys —
+:mod:`repro.dynamic`) and the ``version`` op (protocol negotiation);
+clients pinned to v1 see those two as ``unknown_op`` — a structured
+error, never a crash — and everything else behaves exactly as v1 did.
 """
 
 from __future__ import annotations
@@ -51,10 +56,22 @@ from repro.parallel.runtime import ParallelRuntime, TaskResult
 from .cache import SLineGraphCache, estimate_linegraph_bytes
 from .store import HypergraphStore
 
-__all__ = ["QueryEngine", "QueryError", "LAZY_OPS", "PROTOCOL_VERSION"]
+__all__ = [
+    "QueryEngine",
+    "QueryError",
+    "LAZY_OPS",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+]
 
-#: wire-protocol version this engine speaks
-PROTOCOL_VERSION = 1
+#: wire-protocol version this engine speaks by default
+PROTOCOL_VERSION = 1.1
+
+#: versions a client may pin; pinning v1 hides the v1.1-only ops
+SUPPORTED_VERSIONS = frozenset({1, 1.1})
+
+#: ops that exist only from protocol v1.1 on
+_V11_OPS = frozenset({"update", "version"})
 
 
 class QueryError(ValueError):
@@ -157,11 +174,13 @@ class QueryEngine:
             return query["v"]
         return None
 
-    def _fail(self, op, code: str, message: str, compat: str) -> dict:
+    def _fail(
+        self, op, code: str, message: str, compat: str, served=None
+    ) -> dict:
         return {
             "ok": False,
             "op": op,
-            "v": PROTOCOL_VERSION,
+            "v": PROTOCOL_VERSION if served is None else served,
             "error": {"code": code, "message": message},
             # pre-v1 free-form string; kept for one release
             "error_str": compat,
@@ -178,16 +197,27 @@ class QueryEngine:
             )
         op = query.get("op")
         t0 = time.perf_counter()
+        served = PROTOCOL_VERSION
         try:
             version = self._version_of(query, op)
-            if version is not None and version != PROTOCOL_VERSION:
-                raise QueryError(
-                    f"unsupported protocol version {version!r}; "
-                    f"this engine speaks v{PROTOCOL_VERSION}",
-                    code="unsupported_version",
-                )
+            if version is not None:
+                if version not in SUPPORTED_VERSIONS:
+                    raise QueryError(
+                        f"unsupported protocol version {version!r}; "
+                        f"this engine speaks "
+                        f"{sorted(SUPPORTED_VERSIONS)}",
+                        code="unsupported_version",
+                    )
+                served = version
             if not isinstance(op, str):
                 raise QueryError("query must carry a string 'op' field")
+            if served == 1 and op in _V11_OPS:
+                # a v1 client cannot see the v1.1 surface: same failure
+                # shape an actual v1 engine would have produced
+                raise QueryError(
+                    f"unknown op {op!r} (requires protocol >= 1.1)",
+                    code="unknown_op",
+                )
             handler = getattr(self, f"_op_{op}", None)
             if handler is None:
                 raise QueryError(f"unknown op {op!r}", code="unknown_op")
@@ -205,11 +235,12 @@ class QueryEngine:
             self._record(op_label, elapsed, ok=False, code=code)
             message = str(exc.args[0]) if exc.args else str(exc)
             return self._fail(
-                op, code, message, f"{type(exc).__name__}: {exc}"
+                op, code, message, f"{type(exc).__name__}: {exc}",
+                served=served,
             )
         elapsed = time.perf_counter() - t0
         self._record(op, elapsed, ok=True)
-        out = {"ok": True, "op": op, "v": PROTOCOL_VERSION}
+        out = {"ok": True, "op": op, "v": served}
         out.update(response)
         out["ms"] = round(elapsed * 1e3, 3)
         return jsonify(out)
@@ -318,10 +349,15 @@ class QueryEngine:
         return bool(query.get("over_edges", True))
 
     def _linegraph(self, query: dict):
-        """Materialize (or fetch) the query's s-line graph via the cache."""
+        """Materialize (or fetch) the query's s-line graph via the cache.
+
+        Cache keys are version-aware (``name@vN`` for updated dynamic
+        datasets) so a patched entry can never answer for a stale state.
+        """
         name, hg = self._dataset(query)
+        key = self.store.versioned_name(name)
         lg, how = self.cache.get_or_build(
-            name, self._s(query), hg, self._side(query)
+            key, self._s(query), hg, self._side(query)
         )
         return lg, f"cache:{how}"
 
@@ -334,7 +370,8 @@ class QueryEngine:
         if mode == "always":
             return False
         name, hg = self._dataset(query)
-        if self.cache.lookup(name, self._s(query), self._side(query)):
+        key = self.store.versioned_name(name)
+        if self.cache.lookup(key, self._s(query), self._side(query)):
             return False  # already cheap
         remaining = self.cache.remaining_bytes()
         if remaining is None:
@@ -542,17 +579,112 @@ class QueryEngine:
         """Prebuild ``L_s`` for each requested s (ascending, so later s
         values ride the s-monotone derive path)."""
         name, hg = self._dataset(query)
+        key = self.store.versioned_name(name)
         s_values = sorted(int(s) for s in query.get("s_values", [1]))
         over = self._side(query)
         served = {}
         for s in s_values:
-            _, how = self.cache.get_or_build(name, s, hg, over)
+            _, how = self.cache.get_or_build(key, s, hg, over)
             served[s] = how
         return {"result": served, "via": "direct"}
 
     def _op_invalidate(self, query: dict) -> dict:
-        dropped = self.cache.invalidate(query.get("dataset"))
+        name = query.get("dataset")
+        if name is None:
+            dropped = self.cache.invalidate(None)
+        else:
+            # entries may live under the bare name (pre-update) or the
+            # current versioned key — clear both
+            dropped = self.cache.invalidate(name)
+            key = self.store.versioned_name(name)
+            if key != name:
+                dropped += self.cache.invalidate(key)
         return {"result": {"dropped": dropped}, "via": "direct"}
+
+    # -- dynamic-update ops (protocol v1.1) ----------------------------------
+    def _op_version(self, query: dict) -> dict:
+        """Protocol negotiation: what this engine speaks and serves."""
+        return {
+            "result": {
+                "protocol": PROTOCOL_VERSION,
+                "supported": sorted(SUPPORTED_VERSIONS),
+                "v11_ops": sorted(_V11_OPS),
+            },
+            "via": "direct",
+        }
+
+    def _op_update(self, query: dict) -> dict:
+        """Apply a batch of mutations to a resident dataset.
+
+        ``ops`` is a list of mutation records (``{"op": "add_edge",
+        "members": [...]}``, ...).  The dataset is promoted to dynamic in
+        place if needed; live cached s-line graphs of the pre-update
+        version are delta-patched (or dropped, when the dirty fraction
+        makes a rebuild cheaper — :mod:`repro.dynamic.policy`) and
+        re-admitted under the new version-aware key.  ``compact=True``
+        additionally folds the mutation log into a fresh frozen base.
+        """
+        from repro.core.slinegraph import SLineGraph
+        from repro.dynamic.incremental import patch_linegraph
+        from repro.dynamic.policy import decide_patch_or_rebuild
+
+        name = _require(query, "dataset")
+        ops = _require(query, "ops")
+        if not isinstance(ops, list) or not ops:
+            raise QueryError(
+                "'ops' must be a non-empty list of mutation records",
+                code="invalid_argument",
+            )
+        old_key = self.store.versioned_name(name)
+        dyn = self.store.get_dynamic(
+            name, tracer=self.tracer, metrics=self.obs_metrics
+        )
+        try:
+            res = dyn.apply(ops)
+        except ValueError as exc:
+            raise QueryError(str(exc), code="invalid_mutation") from None
+        new_key = self.store.versioned_name(name)
+        state = dyn.state
+        outcomes: dict[str, str] = {}
+        for s, over_edges, lg in self.cache.entries_for(old_key):
+            dirty = res.dirty_edges if over_edges else res.dirty_nodes
+            n = state.num_edges() if over_edges else state.num_nodes()
+            decision = decide_patch_or_rebuild(len(dirty), n)
+            label = f"s={s},{'edges' if over_edges else 'nodes'}"
+            if decision == "patch":
+                side = state if over_edges else state.dual()
+                try:
+                    patched = patch_linegraph(
+                        lg.edgelist,
+                        side,
+                        sorted(dirty),
+                        s,
+                        tracer=self.tracer,
+                        metrics=self.obs_metrics,
+                    )
+                except ValueError:
+                    outcomes[label] = "dropped"
+                    continue
+                admitted = self.cache.put(
+                    new_key,
+                    s,
+                    over_edges,
+                    SLineGraph(patched, s=s, over_edges=over_edges),
+                )
+                outcomes[label] = "patched" if admitted else "patched:bypass"
+            else:
+                outcomes[label] = "dropped"
+            self.obs_metrics.counter(
+                "dynamic_cache_patches_total", outcome=outcomes[label]
+            ).inc()
+        self.cache.invalidate(old_key)
+        if bool(query.get("compact", False)):
+            dyn.compact()
+        body = res.as_dict()
+        body["dataset"] = name
+        body["cache"] = outcomes
+        body["compacted"] = bool(query.get("compact", False))
+        return {"result": body, "via": "direct"}
 
     def _op_metrics(self, query: dict) -> dict:
         return {"result": self.metrics(), "via": "direct"}

@@ -27,7 +27,7 @@ import socket
 import socketserver
 import threading
 
-from .engine import PROTOCOL_VERSION, QueryEngine
+from .engine import PROTOCOL_VERSION, SUPPORTED_VERSIONS, QueryEngine
 
 __all__ = ["AnalyticsServer", "InProcessClient", "ServiceClient"]
 
@@ -46,11 +46,11 @@ def _dispatch(engine: QueryEngine, payload: object) -> object:
     """Route one decoded request line (single query or batch envelope)."""
     if isinstance(payload, dict) and "batch" in payload:
         v = payload.get("v", payload.get("version"))
-        if v is not None and v != PROTOCOL_VERSION:
+        if v is not None and v not in SUPPORTED_VERSIONS:
             return _protocol_error(
                 "unsupported_version",
                 f"unsupported protocol version {v!r}; "
-                f"this server speaks v{PROTOCOL_VERSION}",
+                f"this server speaks {sorted(SUPPORTED_VERSIONS)}",
             )
         return engine.execute_batch(payload["batch"])
     return engine.execute(payload)

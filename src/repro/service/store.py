@@ -10,9 +10,21 @@ used to do).
 Sources accepted by :meth:`HypergraphStore.register`:
 
 * an ``NWHypergraph`` (adopted as-is),
+* a ``DynamicHypergraph`` (registered as a mutable dataset),
 * a ``BiEdgeList`` (wrapped),
 * a path string to any format :func:`repro.io.loader.read_any` sniffs,
 * a bare Table I stand-in name (``"rand1"``, ``"com-orkut"``, ...).
+
+Datasets come in two flavors.  *Static* entries are frozen
+``NWHypergraph`` instances — the original serving model.  *Dynamic*
+entries wrap a :class:`~repro.dynamic.hypergraph.DynamicHypergraph`;
+:meth:`get` transparently returns its current frozen snapshot (memoized
+per version), so every read-side op works unchanged, while the service's
+``update`` op reaches the mutable object through :meth:`get_dynamic` —
+which also *promotes* a static dataset to dynamic in place on first
+update.  :meth:`versioned_name` exposes the ``name@vN`` key the s-line
+graph cache uses so entries from different versions can never be
+confused.
 
 All operations are thread-safe (the TCP server handles each client on
 its own thread).
@@ -21,36 +33,53 @@ its own thread).
 from __future__ import annotations
 
 import threading
+from typing import TYPE_CHECKING
 
 from repro.core.hypergraph import NWHypergraph
 from repro.structures.edgelist import BiEdgeList
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dynamic.hypergraph import DynamicHypergraph
 
 __all__ = ["HypergraphStore"]
 
 
 class HypergraphStore:
-    """Named resident ``NWHypergraph`` instances for one serving session."""
+    """Named resident hypergraphs (static and dynamic) for one session."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._entries: dict[str, NWHypergraph] = {}
+        self._dynamic: dict[str, "DynamicHypergraph"] = {}
 
     # -- registration -------------------------------------------------------
     def register(
         self,
         name: str,
-        source: NWHypergraph | BiEdgeList | str,
+        source,
         replace: bool = False,
+        dynamic: bool = False,
     ) -> NWHypergraph:
         """Load (if needed) and pin a hypergraph under ``name``.
 
-        Re-registering an existing name raises unless ``replace=True`` —
-        silently swapping the dataset under live queries is almost always
-        a client bug.
+        ``dynamic=True`` (or passing a ``DynamicHypergraph`` source)
+        registers a mutable dataset.  Re-registering an existing name
+        raises unless ``replace=True`` — silently swapping the dataset
+        under live queries is almost always a client bug.
         """
+        from repro.dynamic.hypergraph import DynamicHypergraph
+
         if not name:
             raise ValueError("dataset name must be non-empty")
-        hg = self._resolve(source)
+        if isinstance(source, DynamicHypergraph):
+            dyn: DynamicHypergraph | None = source
+            hg = source.snapshot()
+        elif dynamic:
+            dyn = DynamicHypergraph(self._resolve(source))
+            hg = dyn.snapshot()
+        else:
+            dyn = None
+            hg = self._resolve(source)
         with self._lock:
             if not replace and name in self._entries:
                 raise ValueError(
@@ -58,6 +87,10 @@ class HypergraphStore:
                     "(pass replace=True to swap it)"
                 )
             self._entries[name] = hg
+            if dyn is not None:
+                self._dynamic[name] = dyn
+            else:
+                self._dynamic.pop(name, None)
         return hg
 
     @staticmethod
@@ -80,16 +113,88 @@ class HypergraphStore:
         """Drop a resident hypergraph (KeyError if absent)."""
         with self._lock:
             del self._entries[name]
+            self._dynamic.pop(name, None)
 
     # -- lookup --------------------------------------------------------------
     def get(self, name: str) -> NWHypergraph:
+        """The current frozen view of a dataset (snapshot, for dynamic)."""
         with self._lock:
+            dyn = self._dynamic.get(name)
+            if dyn is None:
+                try:
+                    return self._entries[name]
+                except KeyError:
+                    raise KeyError(
+                        f"unknown dataset {name!r}; "
+                        f"registered: {sorted(self._entries)}"
+                    ) from None
+        # snapshot() takes the DynamicHypergraph's own lock; memoized per
+        # version, so reads between updates are one dict hit
+        return dyn.snapshot()
+
+    def get_dynamic(
+        self, name: str, tracer=None, metrics=None
+    ) -> "DynamicHypergraph":
+        """The mutable handle of a dataset, promoting static entries.
+
+        A dataset registered static is wrapped into a
+        :class:`~repro.dynamic.hypergraph.DynamicHypergraph` in place on
+        first access (its frozen instance becomes the version-0 base) —
+        so any resident dataset accepts updates without re-registration.
+        ``tracer``/``metrics`` instrument a promotion's new wrapper.
+        """
+        from repro.dynamic.hypergraph import DynamicHypergraph
+
+        with self._lock:
+            dyn = self._dynamic.get(name)
+            if dyn is not None:
+                return dyn
             try:
-                return self._entries[name]
+                hg = self._entries[name]
             except KeyError:
                 raise KeyError(
-                    f"unknown dataset {name!r}; registered: {sorted(self._entries)}"
+                    f"unknown dataset {name!r}; "
+                    f"registered: {sorted(self._entries)}"
                 ) from None
+            dyn = DynamicHypergraph(hg, tracer=tracer, metrics=metrics)
+            self._dynamic[name] = dyn
+            return dyn
+
+    def is_dynamic(self, name: str) -> bool:
+        with self._lock:
+            return name in self._dynamic
+
+    def version(self, name: str) -> int:
+        """Current version of a dataset (0 for static / never-updated)."""
+        with self._lock:
+            if name not in self._entries:
+                raise KeyError(
+                    f"unknown dataset {name!r}; "
+                    f"registered: {sorted(self._entries)}"
+                )
+            dyn = self._dynamic.get(name)
+        return 0 if dyn is None else dyn.version
+
+    def versioned_name(self, name: str) -> str:
+        """The version-aware cache key for a dataset: ``name@vN``.
+
+        Never-updated datasets (static, or dynamic still at version 0)
+        key under the bare name, so the cache behaves exactly as it
+        always has for static working sets — and entries cached before a
+        dataset's promotion to dynamic stay reachable until its first
+        update migrates them.
+        """
+        with self._lock:
+            dyn = self._dynamic.get(name)
+            if name not in self._entries:
+                raise KeyError(
+                    f"unknown dataset {name!r}; "
+                    f"registered: {sorted(self._entries)}"
+                )
+        if dyn is None:
+            return name
+        version = dyn.version
+        return name if version == 0 else f"{name}@v{version}"
 
     def names(self) -> list[str]:
         with self._lock:
@@ -109,7 +214,7 @@ class HypergraphStore:
         hg = self.get(name)
         degrees = hg.degrees()
         sizes = hg.edge_sizes()
-        return {
+        out = {
             "dataset": name,
             "num_nodes": hg.number_of_nodes(),
             "num_edges": hg.number_of_edges(),
@@ -120,6 +225,13 @@ class HypergraphStore:
             "max_node_degree": int(degrees.max()) if degrees.size else 0,
             "max_edge_size": int(sizes.max()) if sizes.size else 0,
         }
+        with self._lock:
+            dyn = self._dynamic.get(name)
+        if dyn is not None:
+            out["dynamic"] = True
+            out["version"] = dyn.version
+            out["pending_ops"] = dyn.pending_ops()
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HypergraphStore({self.names()!r})"

@@ -1,0 +1,97 @@
+"""NWHypergraph.refresh_linegraphs: delta-aware memo refresh."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import NWHypergraph
+from repro.structures.edgelist import BiEdgeList
+
+from ..conftest import PAPER_MEMBERS
+
+
+def _swap_incidence(hg, new_members, num_nodes):
+    """Emulate an in-place mutation: replace the incidence list."""
+    row = [e for e, mem in enumerate(new_members) for _ in mem]
+    col = [v for mem in new_members for v in mem]
+    hg._el = BiEdgeList(
+        row, col, n0=len(new_members), n1=num_nodes
+    ).deduplicate()
+
+
+def _mutated(members):
+    out = [list(m) for m in members]
+    removed = out[1]
+    out[1] = []  # tombstone
+    out.append([0, 8])  # append keeps IDs stable
+    return out, {1, len(out) - 1}, set(removed) | {0, 8}
+
+
+@pytest.fixture
+def random_members():
+    rng = np.random.default_rng(17)
+    return [
+        sorted(set(rng.integers(0, 80, size=rng.integers(2, 6)).tolist()))
+        for _ in range(100)
+    ]
+
+
+class TestRefresh:
+    def test_small_delta_patches_memo_entries(self, random_members):
+        hg = NWHypergraph.from_hyperedge_lists(random_members, num_nodes=80)
+        for s in (1, 2):
+            hg.s_linegraph(s)
+        hg.s_linegraph(1, over_edges=False)
+        new_members, dirty_e, dirty_n = _mutated(random_members)
+        _swap_incidence(hg, new_members, 80)
+        out = hg.refresh_linegraphs(dirty_e, dirty_n)
+        assert set(out.values()) == {"patch"}
+        ref = NWHypergraph.from_hyperedge_lists(new_members, num_nodes=80)
+        for (s, over_edges, algorithm, _w), how in out.items():
+            got = hg.s_linegraph(
+                s, over_edges=over_edges, algorithm=algorithm
+            ).edgelist
+            want = ref.s_linegraph(s, over_edges=over_edges).edgelist
+            assert np.array_equal(got.src, want.src), (s, over_edges, how)
+            assert np.array_equal(got.dst, want.dst)
+            assert np.array_equal(got.weights, want.weights)
+
+    def test_large_delta_rebuilds(self):
+        hg = NWHypergraph.from_hyperedge_lists(PAPER_MEMBERS, num_nodes=9)
+        hg.s_linegraph(1)
+        new_members, dirty_e, dirty_n = _mutated(PAPER_MEMBERS)
+        _swap_incidence(hg, new_members, 9)
+        # 2 of 5 edges dirty: way past the default 10% threshold
+        out = hg.refresh_linegraphs(dirty_e, dirty_n)
+        assert out == {(1, True, "hashmap", False): "rebuild"}
+        assert not hg._slg_memo  # dropped; rebuilt lazily on next access
+        ref = NWHypergraph.from_hyperedge_lists(new_members, num_nodes=9)
+        got = hg.s_linegraph(1).edgelist
+        want = ref.s_linegraph(1).edgelist
+        assert np.array_equal(got.src, want.src)
+
+    def test_threshold_override_forces_patch(self):
+        hg = NWHypergraph.from_hyperedge_lists(PAPER_MEMBERS, num_nodes=9)
+        hg.s_linegraph(2)
+        new_members, dirty_e, dirty_n = _mutated(PAPER_MEMBERS)
+        _swap_incidence(hg, new_members, 9)
+        out = hg.refresh_linegraphs(dirty_e, dirty_n, threshold=1.0)
+        assert out == {(2, True, "hashmap", False): "patch"}
+        ref = NWHypergraph.from_hyperedge_lists(new_members, num_nodes=9)
+        got = hg.s_linegraph(2).edgelist
+        want = ref.s_linegraph(2).edgelist
+        assert np.array_equal(got.src, want.src)
+        assert np.array_equal(got.weights, want.weights)
+
+    def test_representations_are_rebuilt(self, random_members):
+        hg = NWHypergraph.from_hyperedge_lists(random_members, num_nodes=80)
+        hg.s_linegraph(1)
+        stale_bi = hg.biadjacency
+        new_members, dirty_e, dirty_n = _mutated(random_members)
+        _swap_incidence(hg, new_members, 80)
+        hg.refresh_linegraphs(dirty_e, dirty_n)
+        assert hg.biadjacency is not stale_bi
+        assert hg.biadjacency.num_hyperedges() == len(new_members)
+
+    def test_empty_memo_is_a_noop(self):
+        hg = NWHypergraph.from_hyperedge_lists(PAPER_MEMBERS)
+        assert hg.refresh_linegraphs({0}) == {}

@@ -1,0 +1,143 @@
+"""DynamicHypergraph: batched atomic applies, versioning, compaction."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import NWHypergraph
+from repro.dynamic import DynamicHypergraph, Mutation
+from repro.obs import MetricsRegistry
+
+from ..conftest import PAPER_MEMBERS
+
+
+@pytest.fixture
+def dyn():
+    return DynamicHypergraph.from_hyperedge_lists(PAPER_MEMBERS, num_nodes=9)
+
+
+class TestApply:
+    def test_apply_returns_delta(self, dyn):
+        res = dyn.apply(
+            [
+                {"op": "add_edge", "members": [0, 8]},
+                {"op": "remove_edge", "edge": 1},
+            ]
+        )
+        assert res.version == 1 == dyn.version
+        assert res.applied == 2
+        assert res.new_edges == (4,)
+        assert res.dirty_edges == frozenset({1, 4})
+        assert res.dirty_nodes == frozenset({0, 8, 1, 2, 3})
+        assert res.ops_by_kind == {"add_edge": 1, "remove_edge": 1}
+        assert res.as_dict()["dirty_edges"] == 2  # JSON-safe summary
+
+    def test_noop_add_incidence_is_not_dirty(self, dyn):
+        res = dyn.apply([{"op": "add_incidence", "edge": 0, "node": 1}])
+        assert res.dirty_edges == frozenset()
+        assert res.version == 1  # batch still counts
+
+    def test_malformed_batch_rejected_before_any_state_change(self, dyn):
+        with pytest.raises(ValueError):
+            dyn.apply(
+                [
+                    {"op": "add_edge", "members": [0, 1]},
+                    {"op": "bad_kind"},
+                ]
+            )
+        assert dyn.version == 0
+        assert dyn.number_of_edges() == len(PAPER_MEMBERS)
+
+    def test_inapplicable_record_rolls_the_batch_back(self, dyn):
+        # parses fine, fails mid-apply: the earlier add must be undone
+        with pytest.raises(ValueError):
+            dyn.apply(
+                [
+                    {"op": "add_edge", "members": [0, 1]},
+                    {"op": "remove_edge", "edge": 99},
+                ]
+            )
+        assert dyn.version == 0
+        assert dyn.number_of_edges() == len(PAPER_MEMBERS)
+        assert dyn.pending_ops() == 0
+
+    def test_convenience_writers(self, dyn):
+        dyn.add_edge([0, 5])
+        dyn.remove_edge(0)
+        dyn.add_incidence(1, 8)
+        dyn.remove_incidence(1, 8)
+        assert dyn.version == 4
+        assert dyn.pending_batches() == 4
+        assert dyn.members(0).size == 0
+
+
+class TestSnapshots:
+    def test_version0_snapshot_is_the_base(self, dyn):
+        assert dyn.snapshot() is dyn.base
+
+    def test_snapshot_memoized_per_version(self, dyn):
+        dyn.add_edge([0, 8])
+        first = dyn.snapshot()
+        assert dyn.snapshot() is first
+        dyn.remove_edge(0)
+        assert dyn.snapshot() is not first
+
+    def test_snapshot_matches_reference_construction(self, dyn):
+        dyn.apply(
+            [
+                {"op": "remove_edge", "edge": 2},
+                {"op": "add_edge", "members": [6, 7, 8]},
+                {"op": "add_incidence", "edge": 0, "node": 4},
+            ]
+        )
+        members = [list(m) for m in PAPER_MEMBERS]
+        members[2] = []
+        members[0] = sorted(set(members[0]) | {4})
+        members.append([6, 7, 8])
+        ref = NWHypergraph.from_hyperedge_lists(members, num_nodes=9)
+        snap = dyn.snapshot()
+        assert np.array_equal(snap.row, ref.row)
+        assert np.array_equal(snap.col, ref.col)
+
+    def test_s_linegraph_delegates_to_snapshot(self, dyn):
+        dyn.add_edge([1, 2, 3, 4])
+        lg = dyn.s_linegraph(2)
+        ref = dyn.snapshot().s_linegraph(2)
+        assert lg is ref  # memoized on the snapshot
+
+
+class TestCompaction:
+    def test_compact_folds_log_and_keeps_version(self, dyn):
+        dyn.add_edge([0, 8])
+        dyn.remove_edge(1)
+        assert dyn.pending_ops() == 2
+        base = dyn.compact()
+        assert dyn.pending_ops() == 0
+        assert dyn.version == 2  # state identity preserved
+        assert dyn.base is base
+        assert base.number_of_edges() == len(PAPER_MEMBERS) + 1
+        # post-compaction mutations still work
+        dyn.add_incidence(0, 7)
+        assert dyn.version == 3
+
+    def test_metrics_instrumented(self):
+        registry = MetricsRegistry()
+        dyn = DynamicHypergraph.from_hyperedge_lists(
+            PAPER_MEMBERS, metrics=registry
+        )
+        dyn.add_edge([0, 1])
+        dyn.compact()
+        snap = {
+            (i["name"], tuple(sorted(i.get("labels", {}).items()))): i["value"]
+            for i in registry.snapshot()
+        }
+        assert snap[("dynamic_batches_total", ())] == 1
+        assert snap[("dynamic_compactions_total", ())] == 1
+        assert (
+            snap[("dynamic_ops_applied_total", (("kind", "add_edge"),))] == 1
+        )
+
+
+class TestValidation:
+    def test_base_must_be_nwhypergraph(self):
+        with pytest.raises(TypeError):
+            DynamicHypergraph([[0, 1]])

@@ -1,0 +1,184 @@
+"""Incremental s-line-graph maintenance: patched == rebuilt, always."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import NWHypergraph
+from repro.dynamic import (
+    DynamicHypergraph,
+    IncrementalSLineGraph,
+    delta_frontier,
+    patch_linegraph,
+    patch_with_builder,
+)
+
+from ..conftest import PAPER_MEMBERS
+
+
+def _random_members(rng, n_edges=80, n_nodes=60):
+    return [
+        sorted(set(rng.integers(0, n_nodes, size=rng.integers(2, 6)).tolist()))
+        for _ in range(n_edges)
+    ]
+
+
+def _assert_same_edgelist(a, b, context=""):
+    assert np.array_equal(a.src, b.src), context
+    assert np.array_equal(a.dst, b.dst), context
+    assert np.array_equal(a.weights, b.weights), context
+
+
+class TestPatchLinegraph:
+    @pytest.mark.parametrize("s", [1, 2, 3])
+    @pytest.mark.parametrize("over_edges", [True, False])
+    def test_patch_equals_rebuild(self, s, over_edges):
+        rng = np.random.default_rng(21)
+        members = _random_members(rng)
+        dyn = DynamicHypergraph.from_hyperedge_lists(members, num_nodes=60)
+        old = dyn.snapshot().s_linegraph(s, over_edges=over_edges).edgelist
+        res = dyn.apply(
+            [
+                {"op": "add_edge", "members": [0, 1, 2, 3]},
+                {"op": "remove_edge", "edge": 7},
+                {"op": "add_incidence", "edge": 11, "node": 59},
+                {"op": "remove_incidence", "edge": 3,
+                 "node": int(dyn.base.edge_incidence(3)[0])},
+            ]
+        )
+        state = dyn.state if over_edges else dyn.state.dual()
+        dirty = res.dirty_edges if over_edges else res.dirty_nodes
+        patched = patch_linegraph(old, state, dirty, s)
+        ref = dyn.snapshot().s_linegraph(s, over_edges=over_edges).edgelist
+        _assert_same_edgelist(patched, ref, f"s={s} over_edges={over_edges}")
+
+    def test_empty_delta_is_identity(self):
+        dyn = DynamicHypergraph.from_hyperedge_lists(PAPER_MEMBERS)
+        old = dyn.snapshot().s_linegraph(1).edgelist
+        patched = patch_linegraph(old, dyn.state, (), 1)
+        _assert_same_edgelist(patched, old)
+
+    def test_requires_weights(self):
+        dyn = DynamicHypergraph.from_hyperedge_lists(PAPER_MEMBERS)
+        el = dyn.snapshot().s_linegraph(1).edgelist
+        stripped = type(el)(
+            el.src, el.dst, None, num_vertices=el.num_vertices()
+        )
+        with pytest.raises(ValueError, match="weights"):
+            patch_linegraph(stripped, dyn.state, {0}, 1)
+
+
+class TestPatchWithBuilder:
+    @pytest.mark.parametrize(
+        "algorithm", ["queue_hashmap", "queue_intersection"]
+    )
+    def test_matches_rebuild_on_frozen_state(self, algorithm):
+        rng = np.random.default_rng(5)
+        members = _random_members(rng)
+        dyn = DynamicHypergraph.from_hyperedge_lists(members, num_nodes=60)
+        old = dyn.snapshot().s_linegraph(2).edgelist
+        res = dyn.apply(
+            [
+                {"op": "add_edge", "members": [10, 11, 12]},
+                {"op": "remove_edge", "edge": 0},
+            ]
+        )
+        h = dyn.snapshot().biadjacency  # post-mutation frozen CSR
+        patched = patch_with_builder(
+            h=h, old_el=old, dirty_ids=res.dirty_edges, s=2,
+            algorithm=algorithm,
+        )
+        ref = NWHypergraph.from_biadjacency(h).s_linegraph(2).edgelist
+        _assert_same_edgelist(patched, ref, algorithm)
+
+    def test_unknown_algorithm_rejected(self):
+        dyn = DynamicHypergraph.from_hyperedge_lists(PAPER_MEMBERS)
+        el = dyn.snapshot().s_linegraph(1).edgelist
+        with pytest.raises(ValueError, match="naive"):
+            patch_with_builder(
+                el, dyn.snapshot().biadjacency, {0}, 1, algorithm="naive"
+            )
+
+
+class TestDeltaFrontier:
+    def test_frontier_covers_dirty_and_neighbors(self):
+        dyn = DynamicHypergraph.from_hyperedge_lists(PAPER_MEMBERS)
+        frontier = delta_frontier(dyn.state, {0})
+        # edge 0 = {0,1,2} shares vertices with edges 1, 2, 3
+        assert frontier.tolist() == [0, 1, 2, 3]
+
+    def test_isolated_dirty_edge(self):
+        dyn = DynamicHypergraph.from_hyperedge_lists(PAPER_MEMBERS)
+        res = dyn.add_edge([8])  # node 8 only appears in edge 2
+        frontier = delta_frontier(dyn.state, res.dirty_edges)
+        assert set(frontier.tolist()) == {2, 4}
+
+
+class TestIncrementalSLineGraph:
+    def test_maintenance_across_a_mutation_stream(self):
+        rng = np.random.default_rng(33)
+        members = _random_members(rng)
+        dyn = DynamicHypergraph.from_hyperedge_lists(members, num_nodes=60)
+        inc = IncrementalSLineGraph(dyn, threshold=1.0)  # force patching
+        for s in (1, 2, 3):
+            inc.materialize(s)
+        for step in range(10):
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                batch = [
+                    {
+                        "op": "add_edge",
+                        "members": rng.integers(0, 60, size=3).tolist(),
+                    }
+                ]
+            elif kind == 1:
+                live = [
+                    e
+                    for e in range(dyn.number_of_edges())
+                    if dyn.members(e).size
+                ]
+                batch = [{"op": "remove_edge", "edge": int(rng.choice(live))}]
+            else:
+                batch = [
+                    {
+                        "op": "add_incidence",
+                        "edge": int(rng.integers(0, len(members))),
+                        "node": int(rng.integers(0, 60)),
+                    }
+                ]
+            outcomes = inc.update(dyn.apply(batch))
+            assert set(outcomes.values()) <= {"patch", "rebuild"}
+            for s in (1, 2, 3):
+                ref = dyn.snapshot().s_linegraph(s).edgelist
+                _assert_same_edgelist(
+                    inc.linegraph(s).edgelist, ref, f"step={step} s={s}"
+                )
+
+    def test_out_of_order_result_rejected(self):
+        dyn = DynamicHypergraph.from_hyperedge_lists(PAPER_MEMBERS)
+        inc = IncrementalSLineGraph(dyn)
+        inc.materialize(1)
+        res1 = dyn.add_edge([0, 1])
+        res2 = dyn.add_edge([2, 3])
+        with pytest.raises(RuntimeError):
+            inc.update(res2)  # skipped res1
+        inc.update(res1)
+        inc.update(res2)
+        assert inc.version == 2
+
+    def test_materialize_refuses_stale_state(self):
+        dyn = DynamicHypergraph.from_hyperedge_lists(PAPER_MEMBERS)
+        inc = IncrementalSLineGraph(dyn)
+        dyn.add_edge([0, 1])
+        with pytest.raises(RuntimeError):
+            inc.materialize(1)
+
+    def test_node_side_maintenance(self):
+        dyn = DynamicHypergraph.from_hyperedge_lists(
+            PAPER_MEMBERS, num_nodes=9
+        )
+        inc = IncrementalSLineGraph(dyn, over_edges=False, threshold=1.0)
+        inc.materialize(1)
+        res = dyn.apply([{"op": "add_edge", "members": [0, 4, 8]}])
+        assert inc.update(res) == {1: "patch"}
+        ref = dyn.snapshot().s_linegraph(1, over_edges=False).edgelist
+        _assert_same_edgelist(inc.linegraph(1).edgelist, ref)

@@ -1,0 +1,107 @@
+"""Mutation records and the append-only log: parsing, validation, dirt."""
+
+import pytest
+
+from repro.dynamic.log import (
+    MUTATION_KINDS,
+    LogBatch,
+    Mutation,
+    MutationLog,
+    parse_batch,
+)
+
+
+class TestMutation:
+    def test_kinds_are_closed(self):
+        assert set(MUTATION_KINDS) == {
+            "add_edge",
+            "remove_edge",
+            "add_incidence",
+            "remove_incidence",
+        }
+
+    def test_add_edge_requires_members(self):
+        with pytest.raises(ValueError):
+            Mutation("add_edge")
+
+    def test_remove_edge_requires_edge(self):
+        with pytest.raises(ValueError):
+            Mutation("remove_edge")
+
+    def test_incidence_requires_edge_and_node(self):
+        with pytest.raises(ValueError):
+            Mutation("add_incidence", edge=1)
+        with pytest.raises(ValueError):
+            Mutation("remove_incidence", node=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Mutation("rename_edge", edge=0)
+
+    def test_roundtrip_via_dict(self):
+        for mut in (
+            Mutation("add_edge", members=(3, 1, 2)),
+            Mutation("remove_edge", edge=7),
+            Mutation("add_incidence", edge=2, node=9),
+            Mutation("remove_incidence", edge=2, node=9),
+        ):
+            assert Mutation.from_dict(mut.to_dict()) == mut
+
+    def test_from_dict_accepts_op_or_kind(self):
+        a = Mutation.from_dict({"op": "remove_edge", "edge": 3})
+        b = Mutation.from_dict({"kind": "remove_edge", "edge": 3})
+        assert a == b
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            Mutation.from_dict({"op": "remove_edge", "edge": 3, "oops": 1})
+
+
+class TestParseBatch:
+    def test_mixed_records_and_dicts(self):
+        batch = parse_batch(
+            [
+                Mutation("remove_edge", edge=1),
+                {"op": "add_edge", "members": [0, 1]},
+            ]
+        )
+        assert [m.kind for m in batch] == ["remove_edge", "add_edge"]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            parse_batch([])
+
+    def test_non_record_rejected(self):
+        with pytest.raises(ValueError):
+            parse_batch(["remove_edge"])
+
+
+class TestMutationLog:
+    def test_accounting_and_dirty_sets(self):
+        log = MutationLog()
+        assert log.num_batches == 0 and log.num_ops == 0
+        log.append(
+            LogBatch(
+                version=1,
+                mutations=(Mutation("remove_edge", edge=2),),
+                dirty_edges=frozenset({2}),
+                dirty_nodes=frozenset({5, 6}),
+            )
+        )
+        log.append(
+            LogBatch(
+                version=2,
+                mutations=(
+                    Mutation("add_incidence", edge=0, node=5),
+                    Mutation("add_edge", members=(1,)),
+                ),
+                dirty_edges=frozenset({0, 3}),
+                dirty_nodes=frozenset({1, 5}),
+            )
+        )
+        assert log.num_batches == 2
+        assert log.num_ops == 3
+        assert log.dirty_edges() == frozenset({0, 2, 3})
+        assert log.dirty_nodes() == frozenset({1, 5, 6})
+        log.clear()
+        assert log.num_batches == 0 and log.dirty_edges() == frozenset()

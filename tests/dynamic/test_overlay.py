@@ -1,0 +1,102 @@
+"""OverlayState: overlay-first reads, mutation primitives, materialization."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.overlay import OverlayState
+from repro.structures.biadjacency import BiAdjacency
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist
+
+
+@pytest.fixture
+def state():
+    el = make_biedgelist(PAPER_MEMBERS, num_nodes=9)
+    return OverlayState(BiAdjacency.from_biedgelist(el))
+
+
+class TestReads:
+    def test_untouched_rows_come_from_base(self, state):
+        for e, mem in enumerate(PAPER_MEMBERS):
+            assert state.members(e).tolist() == sorted(mem)
+        assert state.memberships(2).tolist() == [0, 1, 2, 3]
+
+    def test_out_of_range_raises(self, state):
+        with pytest.raises(IndexError):
+            state.members(99)
+        with pytest.raises(IndexError):
+            state.memberships(99)
+
+
+class TestMutations:
+    def test_add_edge_appends_and_indexes_both_sides(self, state):
+        e = state.add_edge([8, 0, 8])  # duplicates collapse
+        assert e == len(PAPER_MEMBERS)
+        assert state.num_edges() == e + 1
+        assert state.members(e).tolist() == [0, 8]
+        assert e in state.memberships(0).tolist()
+        assert e in state.memberships(8).tolist()
+
+    def test_add_edge_can_grow_node_space(self, state):
+        state.add_edge([20])
+        assert state.num_nodes() == 21
+        assert state.memberships(15).size == 0  # implicit isolated node
+
+    def test_remove_edge_tombstones(self, state):
+        before = state.num_edges()
+        removed = state.remove_edge(1)
+        assert removed.tolist() == [1, 2, 3]
+        assert state.num_edges() == before  # ID space unchanged
+        assert state.members(1).size == 0
+        assert 1 not in state.memberships(2).tolist()
+        with pytest.raises(ValueError):
+            state.remove_edge(1)  # already empty
+
+    def test_incidence_add_remove(self, state):
+        assert state.add_incidence(0, 8) is True
+        assert state.add_incidence(0, 8) is False  # already present
+        assert 8 in state.members(0).tolist()
+        state.remove_incidence(0, 8)
+        assert 8 not in state.members(0).tolist()
+        with pytest.raises(ValueError):
+            state.remove_incidence(0, 8)
+
+    def test_add_incidence_rejects_unknown_edge(self, state):
+        with pytest.raises(ValueError):
+            state.add_incidence(99, 0)
+
+
+class TestDual:
+    def test_dual_swaps_roles(self, state):
+        dual = state.dual()
+        assert dual.num_edges() == state.num_nodes()
+        assert dual.members(2).tolist() == state.memberships(2).tolist()
+        assert dual.memberships(0).tolist() == state.members(0).tolist()
+        assert dual.dual() is state
+
+
+class TestMaterialization:
+    def test_roundtrip_unchanged(self, state):
+        row, col = state.incidence_arrays()
+        expect = sorted(
+            (e, v) for e, mem in enumerate(PAPER_MEMBERS) for v in mem
+        )
+        assert sorted(zip(row.tolist(), col.tolist())) == expect
+
+    def test_mutations_reflected(self, state):
+        state.remove_edge(0)
+        state.add_incidence(1, 8)
+        e = state.add_edge([4, 5])
+        row, col = state.incidence_arrays()
+        pairs = set(zip(row.tolist(), col.tolist()))
+        assert not any(r == 0 for r, _ in pairs)
+        assert (1, 8) in pairs
+        assert (e, 4) in pairs and (e, 5) in pairs
+
+    def test_arrays_are_edge_sorted(self, state):
+        state.add_edge([0, 1])
+        state.remove_edge(2)
+        row, col = state.incidence_arrays()
+        order = np.lexsort((col, row))
+        assert np.array_equal(row, row[order])
+        assert np.array_equal(col, col[order])

@@ -1,0 +1,42 @@
+"""The shared patch-vs-rebuild heuristic."""
+
+import pytest
+
+from repro.dynamic.policy import (
+    DEFAULT_PATCH_THRESHOLD,
+    decide_patch_or_rebuild,
+    should_patch,
+)
+
+
+def test_empty_delta_is_a_trivial_patch():
+    assert decide_patch_or_rebuild(0, 0) == "patch"
+    assert decide_patch_or_rebuild(0, 100) == "patch"
+
+
+def test_empty_graph_rebuilds():
+    assert decide_patch_or_rebuild(5, 0) == "rebuild"
+
+
+def test_threshold_is_inclusive():
+    n = 1000
+    at = int(n * DEFAULT_PATCH_THRESHOLD)
+    assert decide_patch_or_rebuild(at, n) == "patch"
+    assert decide_patch_or_rebuild(at + 1, n) == "rebuild"
+
+
+def test_custom_threshold():
+    assert decide_patch_or_rebuild(50, 100, threshold=0.5) == "patch"
+    assert decide_patch_or_rebuild(51, 100, threshold=0.5) == "rebuild"
+    assert decide_patch_or_rebuild(1, 100, threshold=0.0) == "rebuild"
+
+
+def test_one_percent_batches_always_patch():
+    # the acceptance criterion's operating point, with wide margin
+    assert should_patch(50, 5000)
+    assert should_patch(1, 100)
+
+
+def test_negative_dirty_rejected():
+    with pytest.raises(ValueError):
+        decide_patch_or_rebuild(-1, 10)

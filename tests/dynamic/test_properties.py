@@ -1,0 +1,138 @@
+"""Property test (hypothesis): incremental maintenance == from-scratch.
+
+Random 200-op mutation sequences are applied in batches to a
+:class:`DynamicHypergraph` while :class:`IncrementalSLineGraph` patches
+``L_s`` for s ∈ {1, 2, 3}; after the stream the hypergraph is compacted
+and every maintained graph must be bit-identical to a from-scratch
+construction on the compacted state — the repo's acceptance property for
+the dynamic subsystem.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypergraph import NWHypergraph
+from repro.dynamic import DynamicHypergraph, IncrementalSLineGraph
+
+N_OPS = 200
+MAX_NODES = 24
+
+
+@st.composite
+def initial_members(draw):
+    n_e = draw(st.integers(3, 10))
+    return draw(
+        st.lists(
+            st.lists(
+                st.integers(0, MAX_NODES - 1),
+                min_size=1,
+                max_size=5,
+                unique=True,
+            ),
+            min_size=n_e,
+            max_size=n_e,
+        )
+    )
+
+
+#: abstract op descriptors; interpreted against the evolving state so the
+#: sequence is always applicable (hypothesis shrinks stay meaningful)
+op_descriptors = st.lists(
+    st.tuples(
+        st.integers(0, 3),  # kind
+        st.integers(0, 10_000),  # edge selector
+        st.integers(0, 10_000),  # node selector
+        st.lists(
+            st.integers(0, MAX_NODES - 1), min_size=1, max_size=4, unique=True
+        ),  # members for add_edge
+    ),
+    min_size=N_OPS,
+    max_size=N_OPS,
+)
+
+
+def _interpret(dyn, kind, a, b, members):
+    """Turn one abstract descriptor into an applicable wire record."""
+    if kind == 0:
+        return {"op": "add_edge", "members": members}
+    if kind == 1:
+        live = [
+            e for e in range(dyn.number_of_edges()) if dyn.members(e).size
+        ]
+        if not live:
+            return {"op": "add_edge", "members": members}
+        return {"op": "remove_edge", "edge": live[a % len(live)]}
+    if kind == 2:
+        return {
+            "op": "add_incidence",
+            "edge": a % dyn.number_of_edges(),
+            "node": b % MAX_NODES,
+        }
+    # remove_incidence: pick an existing membership
+    populated = [
+        e for e in range(dyn.number_of_edges()) if dyn.members(e).size
+    ]
+    if not populated:
+        return {"op": "add_edge", "members": members}
+    e = populated[a % len(populated)]
+    mem = dyn.members(e)
+    return {"op": "remove_incidence", "edge": e, "node": int(mem[b % mem.size])}
+
+
+@settings(max_examples=10, deadline=None)
+@given(initial_members(), op_descriptors)
+def test_incremental_equals_rebuild_after_200_ops(members, descriptors):
+    dyn = DynamicHypergraph.from_hyperedge_lists(members, num_nodes=MAX_NODES)
+    # threshold=1.0 forces the patch path — the interesting one; the
+    # rebuild path is trivially equivalent by construction
+    inc = IncrementalSLineGraph(dyn, threshold=1.0)
+    for s in (1, 2, 3):
+        inc.materialize(s)
+    patched = 0
+    # records are interpreted against the state they will apply to, so
+    # the stream goes through single-op batches
+    for kind, a, b, mem in descriptors:
+        record = _interpret(dyn, kind, a, b, mem)
+        outcomes = inc.update(dyn.apply([record]))
+        patched += sum(1 for how in outcomes.values() if how == "patch")
+    assert patched > 0  # the property must not pass vacuously
+
+    # compact, then compare against from-scratch construction
+    compacted = dyn.compact()
+    assert dyn.pending_ops() == 0
+    for s in (1, 2, 3):
+        ref = NWHypergraph(
+            compacted.row,
+            compacted.col,
+            num_edges=compacted.number_of_edges(),
+            num_nodes=compacted.number_of_nodes(),
+        ).s_linegraph(s).edgelist
+        got = inc.linegraph(s).edgelist
+        assert np.array_equal(got.src, ref.src), s
+        assert np.array_equal(got.dst, ref.dst), s
+        assert np.array_equal(got.weights, ref.weights), s
+
+
+@settings(max_examples=6, deadline=None)
+@given(initial_members(), op_descriptors)
+def test_node_side_incremental_equals_rebuild(members, descriptors):
+    dyn = DynamicHypergraph.from_hyperedge_lists(members, num_nodes=MAX_NODES)
+    inc = IncrementalSLineGraph(dyn, over_edges=False, threshold=1.0)
+    inc.materialize(1)
+    inc.materialize(2)
+    for kind, a, b, mem in descriptors[:60]:
+        record = _interpret(dyn, kind, a, b, mem)
+        inc.update(dyn.apply([record]))
+    compacted = dyn.compact()
+    for s in (1, 2):
+        ref = NWHypergraph(
+            compacted.row,
+            compacted.col,
+            num_edges=compacted.number_of_edges(),
+            num_nodes=compacted.number_of_nodes(),
+        ).s_linegraph(s, over_edges=False).edgelist
+        got = inc.linegraph(s).edgelist
+        assert np.array_equal(got.src, ref.src), s
+        assert np.array_equal(got.dst, ref.dst), s
+        assert np.array_equal(got.weights, ref.weights), s

@@ -164,6 +164,36 @@ class TestByteBudgetLRU:
         assert cache.invalidate("a") == 2
         assert {k[0] for k in cache.keys()} == {"b"}
 
+    def test_invalidate_clears_owning_hypergraph_memo(self, paper_hg):
+        # the hypergraph memoizes its own s-line graphs; an invalidate
+        # that only dropped the cache's copies would still serve stale
+        # graphs through the library path
+        cache = SLineGraphCache()
+        cache.get_or_build("a", 1, paper_hg)
+        paper_hg.s_linegraph(1)  # populate the instance memo too
+        assert paper_hg._slg_memo
+        cache.invalidate("a")
+        assert not paper_hg._slg_memo
+        assert paper_hg._bi is None  # full invalidate(), not just the memo
+
+    def test_invalidate_all_clears_every_owner_memo(self, paper_hg):
+        other = hg_from(make_biedgelist(PAPER_MEMBERS, num_nodes=9))
+        cache = SLineGraphCache()
+        cache.get_or_build("a", 1, paper_hg)
+        cache.get_or_build("b", 1, other)
+        paper_hg.s_linegraph(1)
+        other.s_linegraph(1)
+        cache.invalidate()
+        assert not paper_hg._slg_memo and not other._slg_memo
+
+    def test_put_replaces_and_accounts_bytes(self, paper_hg):
+        cache = SLineGraphCache()
+        lg, _ = cache.get_or_build("a", 1, paper_hg)
+        before = cache.current_bytes
+        assert cache.put("a", 1, True, lg) is True
+        assert cache.current_bytes == before  # replaced, not doubled
+        assert cache.entries_for("a") == [(1, True, lg)]
+
 
 class TestEstimate:
     def test_estimate_upper_bounds_actual_footprint(self):

@@ -1,9 +1,9 @@
-"""Wire protocol v1: version pinning, response envelope, structured errors."""
+"""Wire protocol: version pinning, response envelope, structured errors."""
 
 import pytest
 
 from repro.obs.prometheus import parse_prometheus_text
-from repro.service import PROTOCOL_VERSION, QueryEngine
+from repro.service import PROTOCOL_VERSION, SUPPORTED_VERSIONS, QueryEngine
 from repro.service.server import InProcessClient, _dispatch
 
 from ..conftest import PAPER_MEMBERS, make_biedgelist
@@ -20,7 +20,7 @@ class TestEnvelope:
     def test_success_carries_ok_and_version(self, engine):
         resp = engine.execute({"op": "datasets"})
         assert resp["ok"] is True
-        assert resp["v"] == PROTOCOL_VERSION == 1
+        assert resp["v"] == PROTOCOL_VERSION == 1.1
 
     def test_failure_carries_structured_error_and_compat_string(self, engine):
         resp = engine.execute({"op": "no_such_op"})
@@ -45,6 +45,34 @@ class TestVersionPinning:
         resp = engine.execute({"op": "datasets", "version": 99})
         assert resp["ok"] is False
         assert resp["error"]["code"] == "unsupported_version"
+
+    def test_both_supported_versions_accepted(self, engine):
+        assert SUPPORTED_VERSIONS == frozenset({1, 1.1})
+        for v in sorted(SUPPORTED_VERSIONS):
+            resp = engine.execute({"op": "datasets", "version": v})
+            assert resp["ok"] is True
+            # the response echoes the version it was served at
+            assert resp["v"] == v
+
+    def test_v1_client_sees_v11_ops_as_unknown(self, engine):
+        # a v1-pinned client must get the same failure shape a real v1
+        # engine would have produced — never a crash
+        for op in ("update", "version"):
+            resp = engine.execute({"op": op, "version": 1, "dataset": "paper"})
+            assert resp["ok"] is False
+            assert resp["v"] == 1
+            assert resp["error"]["code"] == "unknown_op"
+
+    def test_version_op_reports_negotiation(self, engine):
+        resp = engine.execute({"op": "version"})
+        assert resp["ok"] is True
+        assert resp["result"]["protocol"] == PROTOCOL_VERSION
+        assert resp["result"]["supported"] == sorted(SUPPORTED_VERSIONS)
+        assert "update" in resp["result"]["v11_ops"]
+
+    def test_error_echoes_pinned_version(self, engine):
+        resp = engine.execute({"op": "no_such_op", "version": 1})
+        assert resp["v"] == 1
 
     def test_v_still_means_vertex_on_vertex_ops(self, engine):
         # "v" predates the protocol version on these ops and stays a vertex id
@@ -97,6 +125,10 @@ class TestBatchEnvelope:
         out = _dispatch(engine, {"batch": [{"op": "datasets"}], "v": 5})
         assert out["ok"] is False
         assert out["error"]["code"] == "unsupported_version"
+
+    def test_batch_accepts_v11(self, engine):
+        out = _dispatch(engine, {"batch": [{"op": "version"}], "v": 1.1})
+        assert isinstance(out, list) and out[0]["ok"] is True
 
 
 class TestPrometheusOp:

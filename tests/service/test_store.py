@@ -81,3 +81,71 @@ class TestLookup:
         assert card["num_incidences"] == 16
         assert card["max_edge_size"] == 6
         assert card["incidence_bytes"] > 0
+
+
+class TestDynamicEntries:
+    def test_static_by_default(self, el):
+        store = HypergraphStore()
+        store.register("paper", el)
+        assert not store.is_dynamic("paper")
+        assert store.version("paper") == 0
+        assert store.versioned_name("paper") == "paper"
+
+    def test_register_dynamic_flag(self, el):
+        store = HypergraphStore()
+        store.register("paper", el, dynamic=True)
+        assert store.is_dynamic("paper")
+        assert store.version("paper") == 0
+
+    def test_get_returns_current_snapshot(self, el):
+        store = HypergraphStore()
+        store.register("paper", el, dynamic=True)
+        before = store.get("paper")
+        store.get_dynamic("paper").add_edge([0, 8])
+        after = store.get("paper")
+        assert after is not before
+        assert after.number_of_edges() == before.number_of_edges() + 1
+        assert store.get("paper") is after  # memoized per version
+
+    def test_promotion_in_place(self, el):
+        store = HypergraphStore()
+        frozen = store.register("paper", el)
+        dyn = store.get_dynamic("paper")
+        assert store.is_dynamic("paper")
+        assert dyn.base is frozen  # the frozen instance is the v0 base
+        assert store.get_dynamic("paper") is dyn  # stable handle
+
+    def test_versioned_name_tracks_updates(self, el):
+        store = HypergraphStore()
+        store.register("paper", el)
+        dyn = store.get_dynamic("paper")
+        assert store.versioned_name("paper") == "paper"  # v0 keeps bare key
+        dyn.add_edge([1, 2])
+        assert store.versioned_name("paper") == "paper@v1"
+        dyn.remove_edge(0)
+        assert store.versioned_name("paper") == "paper@v2"
+
+    def test_stats_reports_dynamic_fields(self, el):
+        store = HypergraphStore()
+        store.register("paper", el, dynamic=True)
+        store.get_dynamic("paper").add_edge([0, 1])
+        card = store.stats("paper")
+        assert card["dynamic"] is True
+        assert card["version"] == 1
+        assert card["pending_ops"] == 1
+
+    def test_unregister_drops_dynamic_handle(self, el):
+        store = HypergraphStore()
+        store.register("paper", el, dynamic=True)
+        store.unregister("paper")
+        store.register("paper", el)
+        assert not store.is_dynamic("paper")
+
+    def test_unknown_names_raise(self):
+        store = HypergraphStore()
+        with pytest.raises(KeyError):
+            store.get_dynamic("nope")
+        with pytest.raises(KeyError):
+            store.version("nope")
+        with pytest.raises(KeyError):
+            store.versioned_name("nope")

@@ -109,6 +109,69 @@ class TestAlgorithms:
         assert "edge 1:" in out
 
 
+class TestUpdate:
+    def _ops_file(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "ops.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_single_batch_with_output(self, capsys, mtx, tmp_path):
+        import json
+
+        ops = self._ops_file(
+            tmp_path,
+            [
+                {"op": "add_edge", "members": [0, 8]},
+                {"op": "remove_edge", "edge": 1},
+            ],
+        )
+        out_path = tmp_path / "updated.mtx"
+        out = run(capsys, "update", mtx, "--ops", ops, "-o", str(out_path))
+        summary = json.loads(out)
+        assert summary["version"] == 1
+        assert summary["num_edges"] == 5  # tombstone keeps the ID space
+        assert summary["batches"][0]["new_edges"] == [4]
+        el = read_mm(out_path)
+        assert el.num_vertices(0) == 5
+
+    def test_multiple_batches_with_maintained_linegraphs(
+        self, capsys, mtx, tmp_path
+    ):
+        import json
+
+        ops = self._ops_file(
+            tmp_path,
+            [
+                [{"op": "add_edge", "members": [0, 8]}],
+                [{"op": "add_incidence", "edge": 0, "node": 7}],
+            ],
+        )
+        out = run(capsys, "update", mtx, "--ops", ops, "-s", "1", "2")
+        summary = json.loads(out)
+        assert [b["version"] for b in summary["batches"]] == [1, 2]
+        for batch in summary["batches"]:
+            assert set(batch["linegraphs"]) == {"1", "2"}
+            assert set(batch["linegraphs"].values()) <= {"patch", "rebuild"}
+
+    def test_inapplicable_batch_exits(self, mtx, tmp_path):
+        ops = self._ops_file(tmp_path, [{"op": "remove_edge", "edge": 99}])
+        with pytest.raises(SystemExit, match="batch 0"):
+            main(["update", mtx, "--ops", ops])
+
+    def test_bad_ops_file(self, mtx, tmp_path):
+        bad = tmp_path / "ops.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="cannot read ops file"):
+            main(["update", mtx, "--ops", str(bad)])
+
+    def test_empty_ops_rejected(self, mtx, tmp_path):
+        ops = self._ops_file(tmp_path, [])
+        with pytest.raises(SystemExit, match="non-empty"):
+            main(["update", mtx, "--ops", ops])
+
+
 class TestGenerateAndTable:
     def test_generate_uniform(self, capsys, tmp_path):
         out_path = tmp_path / "gen.mtx"
