@@ -28,6 +28,21 @@ __all__ = [
 ]
 
 
+def _instrumented(
+    impl, name, h, source, source_is_edge, runtime, tracer, metrics
+):
+    """Run a HyperBFS variant under a span + run counter (repro.obs)."""
+    from repro.obs.metrics import as_metrics
+    from repro.obs.tracer import as_tracer
+
+    with as_tracer(tracer).span(
+        "bfs." + name, source=int(source), source_is_edge=bool(source_is_edge)
+    ):
+        result = impl(h, source, source_is_edge, runtime)
+    as_metrics(metrics).counter("traversal_runs_total", algorithm=name).inc()
+    return result
+
+
 def _claim(dist: np.ndarray, parent: np.ndarray, src, dst, level: int):
     """First-writer-wins level assignment (CAS semantics)."""
     fresh = dist[dst] < 0
@@ -43,12 +58,27 @@ def hyperbfs_top_down(
     source: int,
     source_is_edge: bool = False,
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Top-down HyperBFS.  Returns ``(edge_dist, node_dist)``.
 
     ``source`` is a hypernode ID unless ``source_is_edge``.  Unreached
-    entities keep distance ``-1``.
+    entities keep distance ``-1``.  ``tracer``/``metrics`` are optional
+    :mod:`repro.obs` instruments (no-op when ``None``).
     """
+    return _instrumented(
+        _top_down, "hyperbfs_top_down", h, source, source_is_edge,
+        runtime, tracer, metrics,
+    )
+
+
+def _top_down(
+    h: BiAdjacency,
+    source: int,
+    source_is_edge: bool,
+    runtime: ParallelRuntime | None,
+) -> tuple[np.ndarray, np.ndarray]:
     ne, nv = h.vertex_cardinality
     edge_dist = np.full(ne, -1, dtype=np.int64)
     node_dist = np.full(nv, -1, dtype=np.int64)
@@ -95,13 +125,28 @@ def hyperbfs_bottom_up(
     source: int,
     source_is_edge: bool = False,
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Bottom-up HyperBFS: each level scans the *unvisited* opposite side.
 
     At an odd level every unvisited hypernode (resp. hyperedge) probes its
     incidence list for a member of the current frontier.  Same results as
     :func:`hyperbfs_top_down`; different work profile.
+    ``tracer``/``metrics`` are optional :mod:`repro.obs` instruments.
     """
+    return _instrumented(
+        _bottom_up, "hyperbfs_bottom_up", h, source, source_is_edge,
+        runtime, tracer, metrics,
+    )
+
+
+def _bottom_up(
+    h: BiAdjacency,
+    source: int,
+    source_is_edge: bool,
+    runtime: ParallelRuntime | None,
+) -> tuple[np.ndarray, np.ndarray]:
     ne, nv = h.vertex_cardinality
     edge_dist = np.full(ne, -1, dtype=np.int64)
     node_dist = np.full(nv, -1, dtype=np.int64)
@@ -162,6 +207,8 @@ def hyperbfs_direction_optimizing(
     runtime: ParallelRuntime | None = None,
     alpha: float = 15.0,
     beta: float = 18.0,
+    tracer=None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """HyperBFS switching top-down/bottom-up per level (Beamer heuristic).
 
@@ -169,8 +216,26 @@ def hyperbfs_direction_optimizing(
     combines them: switch to bottom-up when the frontier's incidence count
     exceeds ``unexplored / alpha``, back to top-down when the frontier
     shrinks below ``side_size / beta``.  Distances are identical to the
-    single-direction variants.
+    single-direction variants.  ``tracer``/``metrics`` are optional
+    :mod:`repro.obs` instruments.
     """
+    return _instrumented(
+        lambda h_, src, sie, rt: _direction_optimizing(
+            h_, src, sie, rt, alpha, beta
+        ),
+        "hyperbfs_direction_optimizing", h, source, source_is_edge,
+        runtime, tracer, metrics,
+    )
+
+
+def _direction_optimizing(
+    h: BiAdjacency,
+    source: int,
+    source_is_edge: bool,
+    runtime: ParallelRuntime | None,
+    alpha: float,
+    beta: float,
+) -> tuple[np.ndarray, np.ndarray]:
     ne, nv = h.vertex_cardinality
     edge_dist = np.full(ne, -1, dtype=np.int64)
     node_dist = np.full(nv, -1, dtype=np.int64)
@@ -269,7 +334,10 @@ def hyperbfs(
         source=source,
         source_is_edge=source_is_edge,
     ):
-        result = fn(h, source, source_is_edge, runtime)
+        result = fn(
+            h, source, source_is_edge, runtime,
+            tracer=tracer, metrics=metrics,
+        )
     as_metrics(metrics).counter(
         "traversal_runs_total", algorithm="hyperbfs"
     ).inc()

@@ -49,12 +49,18 @@ def s_bfs_lazy(
     source: int,
     s: int = 1,
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> np.ndarray:
     """BFS over the *implicit* s-line graph from hyperedge ``source``.
 
     Returns hop distances per hyperedge (``-1`` unreachable).  A source
     below the size threshold is its own sole reachable vertex.
+    ``tracer``/``metrics`` are optional :mod:`repro.obs` instruments
+    (no-op when ``None``).
     """
+    from repro.obs import as_metrics, as_tracer
+
     if s < 1:
         raise ValueError("s must be >= 1")
     edges, nodes, n_e, sizes = resolve_incidence(h)
@@ -64,31 +70,37 @@ def s_bfs_lazy(
         return dist
     frontier = np.array([source], dtype=np.int64)
     level = 0
-    while frontier.size:
-        level += 1
+    with as_tracer(tracer).span("bfs.s_lazy", source=int(source), s=int(s)):
+        while frontier.size:
+            level += 1
 
-        def expand(chunk: np.ndarray) -> TaskResult:
-            src, cand, cnt, work = two_hop_pair_counts(
-                edges, nodes, chunk, upper_only=False
-            )
-            keep = (cnt >= s) & (dist[cand] < 0)
-            return TaskResult(np.unique(cand[keep]), float(work + chunk.size))
+            def expand(chunk: np.ndarray) -> TaskResult:
+                src, cand, cnt, work = two_hop_pair_counts(
+                    edges, nodes, chunk, upper_only=False
+                )
+                keep = (cnt >= s) & (dist[cand] < 0)
+                return TaskResult(
+                    np.unique(cand[keep]), float(work + chunk.size)
+                )
 
-        if runtime is None:
-            parts = [expand(frontier).value]
-        else:
-            parts = runtime.parallel_for(
-                runtime.partition(frontier), expand,
-                phase=f"s_bfs_lazy_{level}",
+            if runtime is None:
+                parts = [expand(frontier).value]
+            else:
+                parts = runtime.parallel_for(
+                    runtime.partition(frontier), expand,
+                    phase=f"s_bfs_lazy_{level}",
+                )
+            nxt = (
+                np.unique(np.concatenate(parts))
+                if parts
+                else np.empty(0, dtype=np.int64)
             )
-        nxt = (
-            np.unique(np.concatenate(parts))
-            if parts
-            else np.empty(0, dtype=np.int64)
-        )
-        nxt = nxt[dist[nxt] < 0]
-        dist[nxt] = level
-        frontier = nxt
+            nxt = nxt[dist[nxt] < 0]
+            dist[nxt] = level
+            frontier = nxt
+    as_metrics(metrics).counter(
+        "traversal_runs_total", algorithm="s_bfs_lazy"
+    ).inc()
     return dist
 
 

@@ -27,14 +27,21 @@ __all__ = ["toplexes", "toplexes_algorithm3"]
 def toplexes(
     h,
     runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> np.ndarray:
     """IDs of all maximal hyperedges, ascending (vectorized containment).
 
     ``h`` may be a ``BiAdjacency`` or an ``AdjoinGraph``.  A hyperedge *e*
     is dominated iff some *f* has ``|e ∩ f| = |e|`` and either ``|f| > |e|``
     (proper superset) or ``|f| = |e|`` with ``f < e`` (duplicate; the
-    smallest ID survives).
+    smallest ID survives).  ``tracer``/``metrics`` hook into
+    :mod:`repro.obs` (span ``toplexes`` + dominated-count counter).
     """
+    from repro.obs import as_metrics, as_tracer
+
+    tr = as_tracer(tracer)
+    m = as_metrics(metrics)
     edges, nodes, n_e, sizes = resolve_incidence(h)
     ids = np.arange(n_e, dtype=np.int64)
 
@@ -49,16 +56,18 @@ def toplexes(
         dominated = np.unique(src_c[proper | dup_loser])
         return TaskResult(dominated, float(work + chunk.size))
 
-    if runtime is None:
-        parts = [body(ids).value]
-    else:
-        runtime.new_run()
-        parts = runtime.parallel_for(
-            runtime.partition(ids), body, phase="toplex_containment"
-        )
+    with tr.span("toplexes", edges=int(n_e)):
+        if runtime is None:
+            parts = [body(ids).value]
+        else:
+            runtime.new_run()
+            parts = runtime.parallel_for(
+                runtime.partition(ids), body, phase="toplex_containment"
+            )
     dominated = (
         np.unique(np.concatenate(parts)) if parts else np.empty(0, np.int64)
     )
+    m.counter("toplex_dominated_total").inc(int(dominated.size))
     keep = np.ones(n_e, dtype=bool)
     keep[dominated] = False
     # empty hyperedges are contained in every hyperedge; Algorithm 3 treats

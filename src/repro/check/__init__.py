@@ -1,0 +1,39 @@
+"""repro.check — invariant lint pass + dynamic lock/race checkers.
+
+Static pass (:mod:`repro.check.lint`): five repo-specific AST rules
+(R001–R005) enforcing the paper's frozen-CSR, lock-discipline,
+thread-local-mutation, and unified-signature invariants, with
+``# repro: noqa-RXXX`` suppressions.
+
+Dynamic pass: :class:`LockOrderMonitor` builds a lock-order graph and
+reports inversions (L001); :class:`RaceDetector` + :class:`CheckedArray`
+record per-task access sets during parallel phases and flag write/write
+(D001) and read/write (D002) overlaps.  Off by default — enable with
+``REPRO_CHECK=1`` or ``runtime.checked()``.
+
+Everything reports through :class:`Finding` and the ``repro check`` CLI.
+"""
+
+from .findings import Finding
+from .lint import LintReport, lint_paths, lint_source, select_rules
+from .locks import CheckedLock, LockOrderMonitor, patch_threading
+from .races import CheckedArray, RaceDetector
+from .report import render_json, render_text, summary_line
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "CheckedArray",
+    "CheckedLock",
+    "Finding",
+    "LintReport",
+    "LockOrderMonitor",
+    "RaceDetector",
+    "lint_paths",
+    "lint_source",
+    "patch_threading",
+    "render_json",
+    "render_text",
+    "select_rules",
+    "summary_line",
+]

@@ -1,0 +1,58 @@
+"""Finding records shared by the static and dynamic checkers.
+
+Every checker in :mod:`repro.check` — the AST lint pass, the lock-order
+monitor, and the race detector — reports through the same
+:class:`Finding` shape so the CLI, CI jobs, and tests consume one
+format.  A finding is JSON-safe (:meth:`Finding.as_dict`) and renders as
+a conventional ``path:line:col: CODE message`` line
+(:meth:`Finding.format`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass
+class Finding:
+    """One checker diagnostic.
+
+    ``rule`` is the machine-readable code (``R001``..``R005`` for the
+    lint pass, ``L001`` for lock-order inversions, ``D001``/``D002`` for
+    dynamic races).  ``suppressed`` marks findings silenced by a
+    ``# repro: noqa-RXXX`` comment — they are still reported (so CI can
+    audit suppressions) but never fail a run.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    def format(self) -> str:
+        tag = " [suppressed]" if self.suppressed else ""
+        hint = f"  (hint: {self.hint})" if self.hint else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.message}{hint}{tag}"
+        )

@@ -1,0 +1,206 @@
+"""Driver for the static invariant lint pass.
+
+Parses Python sources, runs every :class:`~repro.check.rules.LintRule`
+over the AST, and applies ``# repro: noqa`` suppressions:
+
+* ``# repro: noqa`` on a line suppresses every rule on that line;
+* ``# repro: noqa-R002`` (or ``noqa-R002,R005``) suppresses only the
+  listed rules;
+* a suppression on a ``def``/``class`` line covers the whole body —
+  the idiom for helpers whose caller holds the lock.
+
+Suppressed findings are kept (flagged ``suppressed=True``) so CI can
+audit the suppression inventory, but they never fail a run.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+from .findings import Finding
+from .rules import ALL_RULES, LintRule, ModuleContext
+
+__all__ = ["LintReport", "lint_source", "lint_paths", "select_rules"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<codes>R\d{3}(?:\s*,\s*R?\d{3})*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass
+class LintReport:
+    """Findings from one lint run plus the inputs that produced them."""
+
+    findings: list[Finding] = field(default_factory=list)
+    paths: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.errors
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.paths.extend(other.paths)
+        self.errors.extend(other.errors)
+
+
+def select_rules(codes: list[str] | None) -> list[LintRule]:
+    """Resolve ``--rules`` codes to rule objects (all rules when None)."""
+    if not codes:
+        return list(ALL_RULES)
+    wanted = {c.strip().upper() for c in codes}
+    by_code = {r.code: r for r in ALL_RULES}
+    unknown = sorted(wanted - set(by_code))
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(by_code))})"
+        )
+    return [by_code[c] for c in sorted(wanted)]
+
+
+def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
+    """Line -> suppressed codes (None means 'all rules')."""
+    out: dict[int, frozenset[str] | None] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[i] = None
+        else:
+            normalized = frozenset(
+                c if c.upper().startswith("R") else f"R{c}"
+                for c in (p.strip().upper() for p in codes.split(","))
+            )
+            out[i] = normalized
+    return out
+
+
+def _block_ranges(
+    tree: ast.Module, noqa: dict[int, frozenset[str] | None]
+) -> list[tuple[int, int, frozenset[str] | None]]:
+    """(start, end, codes) spans for noqa comments on def/class lines."""
+    spans: list[tuple[int, int, frozenset[str] | None]] = []
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        # the noqa may sit on the def line itself or on the line carrying
+        # the closing paren of a multi-line signature
+        first_stmt = node.body[0].lineno if node.body else node.lineno
+        for line in range(node.lineno, first_stmt):
+            if line in noqa:
+                spans.append((node.lineno, end, noqa[line]))
+                break
+    return spans
+
+
+def _is_suppressed(
+    finding: Finding,
+    noqa: dict[int, frozenset[str] | None],
+    spans: list[tuple[int, int, frozenset[str] | None]],
+) -> bool:
+    codes = noqa.get(finding.line, "missing")
+    if codes != "missing" and (codes is None or finding.rule in codes):
+        return True
+    for start, end, span_codes in spans:
+        if start <= finding.line <= end and (
+            span_codes is None or finding.rule in span_codes
+        ):
+            return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str,
+    relpath: str | None = None,
+    rules: list[LintRule] | None = None,
+) -> LintReport:
+    """Lint one module's source text."""
+    report = LintReport(paths=[path])
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+        return report
+    ctx = ModuleContext(tree, path, relpath if relpath is not None else path)
+    noqa = _noqa_map(source)
+    spans = _block_ranges(tree, noqa) if noqa else []
+    for rule in rules if rules is not None else ALL_RULES:
+        for finding in rule.check(ctx):
+            finding.suppressed = _is_suppressed(finding, noqa, spans)
+            report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def _iter_py_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in {"__pycache__", ".git", ".venv"}
+                )
+                files.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: list[str],
+    rules: list[LintRule] | None = None,
+    metrics=None,
+    tracer=None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    Emits ``check.lint.files`` / ``check.lint.findings`` counters and a
+    ``check.lint`` span through :mod:`repro.obs` when instrumentation is
+    supplied.
+    """
+    from ..obs import as_metrics, as_tracer
+
+    metrics = as_metrics(metrics)
+    tracer = as_tracer(tracer)
+    report = LintReport()
+    with tracer.span("check.lint", paths=len(paths)):
+        for filename in _iter_py_files(paths):
+            try:
+                with open(filename, "r", encoding="utf-8") as fh:
+                    source = fh.read()
+            except OSError as exc:
+                report.errors.append(f"{filename}: {exc}")
+                continue
+            relpath = os.path.relpath(filename)
+            report.extend(
+                lint_source(source, filename, relpath=relpath, rules=rules)
+            )
+            metrics.counter("check.lint.files").inc()
+    metrics.counter("check.lint.findings").inc(len(report.active))
+    metrics.counter("check.lint.suppressed").inc(len(report.suppressed))
+    return report

@@ -1,0 +1,252 @@
+"""Dynamic lock-order checking (lockdep-style).
+
+:class:`LockOrderMonitor` hands out checked wrappers around
+``threading.Lock``/``threading.RLock``.  Every acquisition while other
+checked locks are held adds a directed edge ``held -> acquired`` to a
+lock-order graph; a cycle in that graph means two code paths acquire the
+same locks in opposite orders — a potential deadlock — reported as an
+``L001`` finding by :meth:`LockOrderMonitor.inversions`.
+
+Re-entrant acquisition of the same RLock is excluded (it cannot
+deadlock against itself), and edges record the first stack location that
+created them so reports point at code.
+
+:func:`patch_threading` monkeypatches ``threading.Lock``/``RLock`` for
+the duration of a ``with`` block so existing subsystems (the service
+cache/engine/store) get checked locks without code changes.  Caveat:
+``threading.Condition`` objects created *inside* the block will wrap a
+checked lock; their ``_acquire_restore``/``_release_save`` paths go
+through the wrapper's ``__getattr__`` passthrough, which is correct but
+unmonitored — prefer :class:`~repro.service.InProcessClient` (no
+conditions) for smoke runs under the monitor.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Iterator
+
+from .findings import Finding
+
+__all__ = ["LockOrderMonitor", "CheckedLock", "patch_threading"]
+
+#: real primitives, bound at import time so the monitor's own factories
+#: keep working while threading.Lock/RLock are patched
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class CheckedLock:
+    """A ``Lock``/``RLock`` that reports acquisitions to a monitor."""
+
+    def __init__(self, monitor: "LockOrderMonitor", inner: Any, name: str) -> None:
+        self._monitor = monitor
+        self._inner = inner
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._monitor._on_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._monitor._on_release(self)
+        self._inner.release()
+
+    __enter__ = acquire
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __getattr__(self, attr: str) -> Any:
+        # passthrough so Condition's _is_owned/_acquire_restore/
+        # _release_save keep working against the real primitive
+        return getattr(self._inner, attr)
+
+    def __repr__(self) -> str:
+        return f"CheckedLock({self.name!r})"
+
+
+class LockOrderMonitor:
+    """Builds a lock-order graph from checked-lock acquisitions."""
+
+    def __init__(self, capture_stacks: bool = True, stack_depth: int = 6) -> None:
+        self._graph_lock = _REAL_LOCK()
+        #: edge -> first acquisition site that created it
+        self._edges: dict[tuple[str, str], str] = {}
+        self._held = threading.local()
+        self._counter = 0
+        self._capture_stacks = capture_stacks
+        self._stack_depth = stack_depth
+        self.acquisitions = 0
+
+    # -- factories ---------------------------------------------------
+
+    def lock(self, name: str | None = None) -> CheckedLock:
+        return CheckedLock(self, _REAL_LOCK(), self._name(name, "Lock"))
+
+    def rlock(self, name: str | None = None) -> CheckedLock:
+        return CheckedLock(self, _REAL_RLOCK(), self._name(name, "RLock"))
+
+    def wrap(self, inner: Any, name: str | None = None) -> CheckedLock:
+        return CheckedLock(self, inner, self._name(name, type(inner).__name__))
+
+    def _name(self, name: str | None, kind: str) -> str:
+        with self._graph_lock:
+            self._counter += 1
+            return name if name is not None else f"{kind}-{self._counter}"
+
+    # -- acquisition tracking ---------------------------------------
+
+    def _stack(self) -> list[CheckedLock]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def _on_acquire(self, lock: CheckedLock) -> None:
+        stack = self._stack()
+        if any(held is lock for held in stack):
+            stack.append(lock)  # re-entrant RLock: no self-edge
+            return
+        site = ""
+        if self._capture_stacks:
+            frames = traceback.extract_stack(limit=self._stack_depth + 2)[:-2]
+            if frames:
+                f = frames[-1]
+                site = f"{f.filename}:{f.lineno} in {f.name}"
+        with self._graph_lock:
+            self.acquisitions += 1
+            for held in stack:
+                if held.name != lock.name:
+                    self._edges.setdefault((held.name, lock.name), site)
+        stack.append(lock)
+
+    def _on_release(self, lock: CheckedLock) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                return
+
+    # -- analysis ----------------------------------------------------
+
+    def edges(self) -> dict[tuple[str, str], str]:
+        with self._graph_lock:
+            return dict(self._edges)
+
+    def cycles(self) -> list[list[str]]:
+        """Elementary cycles in the lock-order graph (DFS, deduped)."""
+        edges = self.edges()
+        adj: dict[str, list[str]] = {}
+        for a, b in edges:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, [])
+        cycles: list[list[str]] = []
+        seen: set[frozenset[str]] = set()
+
+        def dfs(node: str, path: list[str], on_path: set[str]) -> None:
+            for nxt in adj[node]:
+                if nxt in on_path:
+                    cycle = path[path.index(nxt):]
+                    key = frozenset(cycle)
+                    if key not in seen:
+                        seen.add(key)
+                        cycles.append(cycle + [nxt])
+                else:
+                    on_path.add(nxt)
+                    dfs(nxt, path + [nxt], on_path)
+                    on_path.discard(nxt)
+
+        for start in sorted(adj):
+            dfs(start, [start], {start})
+        return cycles
+
+    def inversions(self) -> list[Finding]:
+        """One ``L001`` finding per lock-order cycle."""
+        edges = self.edges()
+        findings = []
+        for cycle in self.cycles():
+            order = " -> ".join(cycle)
+            sites = [
+                f"{a}->{b} at {edges[(a, b)]}"
+                for a, b in zip(cycle, cycle[1:])
+                if (a, b) in edges and edges[(a, b)]
+            ]
+            findings.append(
+                Finding(
+                    rule="L001",
+                    path="<runtime>",
+                    line=0,
+                    col=0,
+                    message=f"lock-order inversion: {order}",
+                    hint=(
+                        "acquire these locks in one global order (or drop "
+                        "the outer lock before taking the inner one)"
+                    ),
+                    extra={"cycle": cycle, "sites": sites},
+                )
+            )
+        return findings
+
+    def emit(self, metrics=None, tracer=None) -> list[Finding]:
+        """Report through :mod:`repro.obs`; returns the findings."""
+        from ..obs import as_metrics, as_tracer
+
+        metrics = as_metrics(metrics)
+        with as_tracer(tracer).span("check.locks.analyze"):
+            found = self.inversions()
+        with self._graph_lock:
+            acquires = self.acquisitions
+            num_edges = len(self._edges)
+        metrics.counter("check.locks.acquires").inc(acquires)
+        metrics.counter("check.locks.edges").inc(num_edges)
+        metrics.counter("check.locks.inversions").inc(len(found))
+        return found
+
+
+class _PatchedFactory:
+    def __init__(self, monitor: LockOrderMonitor, kind: str) -> None:
+        self._monitor = monitor
+        self._kind = kind
+
+    def __call__(self, *args: Any, **kwargs: Any) -> CheckedLock:
+        if self._kind == "Lock":
+            return self._monitor.lock()
+        return self._monitor.rlock()
+
+
+class patch_threading:
+    """``with patch_threading(monitor):`` — checked ``threading`` locks.
+
+    Replaces ``threading.Lock`` and ``threading.RLock`` with monitor
+    factories for the duration of the block, so locks created inside it
+    (e.g. a fresh ``QueryEngine``) are order-checked.  Locks created
+    before the block are untouched.
+    """
+
+    def __init__(self, monitor: LockOrderMonitor) -> None:
+        self.monitor = monitor
+        self._saved: dict[str, Any] = {}
+
+    def __enter__(self) -> LockOrderMonitor:
+        self._saved = {"Lock": threading.Lock, "RLock": threading.RLock}
+        threading.Lock = _PatchedFactory(self.monitor, "Lock")  # type: ignore[misc,assignment]
+        threading.RLock = _PatchedFactory(self.monitor, "RLock")  # type: ignore[misc,assignment]
+        return self.monitor
+
+    def __exit__(self, *exc: Any) -> None:
+        threading.Lock = self._saved["Lock"]  # type: ignore[misc]
+        threading.RLock = self._saved["RLock"]  # type: ignore[misc]
+
+
+def held_locks(monitor: LockOrderMonitor) -> Iterator[str]:
+    """Names of locks the calling thread currently holds (debug aid)."""
+    for lock in monitor._stack():
+        yield lock.name

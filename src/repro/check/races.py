@@ -1,0 +1,308 @@
+"""Dynamic race detection for parallel kernels.
+
+The simulated :class:`~repro.parallel.runtime.ParallelRuntime` executes
+task bodies serially, so a shared-memory race never corrupts data here —
+but the same kernel on a real parallel runtime would.  The detector
+makes those latent races visible:
+
+* :class:`CheckedArray` wraps an ``ndarray`` and records every indexed
+  read/write against the *task* performing it (tasks are registered by
+  the runtime hook around each chunk).
+* All tasks within one ``parallel_for`` phase are treated as potentially
+  concurrent.  At phase end the detector flags any index written by two
+  different tasks (``D001`` write/write) or written by one task and read
+  by another (``D002`` read/write).
+* Writes routed through the :meth:`CheckedArray.atomic_add` /
+  :meth:`CheckedArray.atomic_max` / :meth:`CheckedArray.atomic_cas`
+  helpers mirror :mod:`repro.parallel.atomics` semantics and are exempt
+  — atomics are the sanctioned way to share.
+
+Recording is sampling-based (``sample_every=N`` records every Nth
+access) and **off by default**: it activates only when the runtime is
+constructed under ``REPRO_CHECK=1`` or via ``runtime.checked()``, and a
+plain runtime's per-chunk overhead is a single ``is None`` test.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+import numpy as np
+
+from .findings import Finding
+
+__all__ = ["CheckedArray", "RaceDetector"]
+
+#: cap findings per phase so a fully-racy kernel stays readable
+_MAX_FINDINGS_PER_PHASE = 20
+
+
+def _normalize(index: Any, length: int) -> Iterable[int] | None:
+    """Flatten an index expression to scalar positions (None = whole array)."""
+    if isinstance(index, (int, np.integer)):
+        return (int(index) % length if length else int(index),)
+    if isinstance(index, slice):
+        return range(*index.indices(length))
+    if isinstance(index, (list, tuple)):
+        try:
+            return [int(i) for i in index]
+        except (TypeError, ValueError):
+            return None
+    if isinstance(index, np.ndarray):
+        if index.dtype == bool:
+            return [int(i) for i in np.flatnonzero(index)]
+        if index.ndim <= 1:
+            return [int(i) for i in np.atleast_1d(index)]
+    return None
+
+
+class _TaskAccess:
+    """Read/write index sets one task performed on one array."""
+
+    __slots__ = ("reads", "writes", "whole_write", "whole_read")
+
+    def __init__(self) -> None:
+        self.reads: set[int] = set()
+        self.writes: set[int] = set()
+        self.whole_write = False
+        self.whole_read = False
+
+
+class CheckedArray:
+    """ndarray proxy that reports indexed accesses to a detector.
+
+    Transparent when the detector is inactive (accesses forward straight
+    to the underlying array).  Use ``.array`` to unwrap.
+    """
+
+    def __init__(
+        self, array: np.ndarray, detector: "RaceDetector", name: str = "array"
+    ) -> None:
+        self.array = array
+        self._detector = detector
+        self.name = name
+
+    def __getitem__(self, index: Any) -> Any:
+        self._detector._record(self, index, write=False)
+        return self.array[index]
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._detector._record(self, index, write=True)
+        self.array[index] = value
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    # -- sanctioned shared mutation (mirrors repro.parallel.atomics) --
+
+    def atomic_add(self, index: int, value: Any) -> Any:
+        """Fetch-and-add; exempt from race flagging."""
+        self._detector._record(self, index, write=True, atomic=True)
+        old = self.array[index]
+        self.array[index] = old + value
+        return old
+
+    def atomic_max(self, index: int, value: Any) -> Any:
+        self._detector._record(self, index, write=True, atomic=True)
+        old = self.array[index]
+        if value > old:
+            self.array[index] = value
+        return old
+
+    def atomic_cas(self, index: int, expected: Any, value: Any) -> bool:
+        self._detector._record(self, index, write=True, atomic=True)
+        if self.array[index] == expected:
+            self.array[index] = value
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"CheckedArray({self.name!r}, shape={self.array.shape})"
+
+
+class RaceDetector:
+    """Records per-task access sets and flags cross-task overlaps.
+
+    Lifecycle (driven by the :class:`ParallelRuntime` hook)::
+
+        detector.begin_phase(name)
+        for each chunk: detector.begin_task(i); body(chunk); detector.end_task()
+        detector.end_phase(name)   # analyzes, accumulates findings
+    """
+
+    def __init__(self, sample_every: int = 1) -> None:
+        self.sample_every = max(1, int(sample_every))
+        self.findings: list[Finding] = []
+        self.phases = 0
+        self.accesses = 0
+        self.queue_pushes = 0
+        self._tick = 0
+        self._current = threading.local()
+        #: (array id) -> {task id -> _TaskAccess} for the open phase
+        self._phase_access: dict[int, dict[int, _TaskAccess]] = {}
+        self._arrays: dict[int, CheckedArray] = {}
+        self._phase_name = ""
+
+    # -- wrapping ----------------------------------------------------
+
+    def wrap(self, array: np.ndarray, name: str = "array") -> CheckedArray:
+        return CheckedArray(array, self, name)
+
+    # -- runtime hook ------------------------------------------------
+
+    def install_queue_hook(self) -> None:
+        """Count ThreadLocalQueues pushes (set by ``runtime.checked()``).
+
+        The hook is a module global in :mod:`repro.parallel.workqueue`;
+        attaching a new detector replaces the previous one's hook.
+        """
+        from ..parallel import workqueue
+
+        workqueue._set_push_hook(self.on_queue_push)
+
+    def begin_phase(self, name: str) -> None:
+        self._phase_name = name
+        self._phase_access = {}
+        self._arrays = {}
+
+    def begin_task(self, task_id: int) -> None:
+        self._current.task = task_id
+
+    def end_task(self) -> None:
+        self._current.task = None
+
+    def on_queue_push(self, thread: int, items: Any) -> None:
+        """Workqueue hook — counts thread-local pushes for the report."""
+        self.queue_pushes += 1
+
+    def end_phase(self, name: str) -> list[Finding]:
+        self.phases += 1
+        new = self._analyze()
+        self.findings.extend(new)
+        self._phase_access = {}
+        self._arrays = {}
+        return new
+
+    # -- recording ---------------------------------------------------
+
+    def _record(
+        self, array: CheckedArray, index: Any, write: bool, atomic: bool = False
+    ) -> None:
+        task = getattr(self._current, "task", None)
+        if task is None:
+            return  # outside any parallel task: setup/teardown access
+        if atomic:
+            return  # sanctioned shared mutation
+        self._tick += 1
+        if self._tick % self.sample_every:
+            return
+        self.accesses += 1
+        key = id(array)
+        self._arrays[key] = array
+        access = self._phase_access.setdefault(key, {}).setdefault(
+            task, _TaskAccess()
+        )
+        positions = _normalize(index, len(array.array))
+        if positions is None:
+            if write:
+                access.whole_write = True
+            else:
+                access.whole_read = True
+        elif write:
+            access.writes.update(positions)
+        else:
+            access.reads.update(positions)
+
+    # -- analysis ----------------------------------------------------
+
+    def _analyze(self) -> list[Finding]:
+        found: list[Finding] = []
+        for key, per_task in self._phase_access.items():
+            if len(per_task) < 2:
+                continue
+            array = self._arrays[key]
+            writers: dict[int, set[int]] = {}
+            readers: dict[int, set[int]] = {}
+            whole_writers = [t for t, a in per_task.items() if a.whole_write]
+            for task, access in per_task.items():
+                for i in access.writes:
+                    writers.setdefault(i, set()).add(task)
+                for i in access.reads:
+                    readers.setdefault(i, set()).add(task)
+            if len(whole_writers) >= 2 or (
+                whole_writers and len(per_task) >= 2
+            ):
+                found.append(self._finding(
+                    "D001", array, None, sorted(per_task),
+                    "unindexable writes from multiple tasks",
+                ))
+            for i, tasks in sorted(writers.items()):
+                if len(tasks) >= 2:
+                    found.append(self._finding(
+                        "D001", array, i, sorted(tasks),
+                        "write/write overlap",
+                    ))
+                other_readers = readers.get(i, set()) - tasks
+                if other_readers:
+                    found.append(self._finding(
+                        "D002", array, i,
+                        sorted(tasks | other_readers),
+                        "read/write overlap",
+                    ))
+                if len(found) >= _MAX_FINDINGS_PER_PHASE:
+                    break
+            if len(found) >= _MAX_FINDINGS_PER_PHASE:
+                break
+        return found
+
+    def _finding(
+        self,
+        rule: str,
+        array: CheckedArray,
+        index: int | None,
+        tasks: list[int],
+        kind: str,
+    ) -> Finding:
+        where = f"[{index}]" if index is not None else ""
+        return Finding(
+            rule=rule,
+            path="<runtime>",
+            line=0,
+            col=0,
+            message=(
+                f"{kind} on '{array.name}'{where} in phase "
+                f"'{self._phase_name}' (tasks {tasks})"
+            ),
+            hint=(
+                "partition the index space per task, or route the update "
+                "through repro.parallel.atomics / CheckedArray.atomic_*"
+            ),
+            extra={
+                "array": array.name,
+                "index": index,
+                "tasks": tasks,
+                "phase": self._phase_name,
+            },
+        )
+
+    def emit(self, metrics=None, tracer=None) -> list[Finding]:
+        """Report accumulated findings through :mod:`repro.obs`."""
+        from ..obs import as_metrics, as_tracer
+
+        metrics = as_metrics(metrics)
+        with as_tracer(tracer).span("check.races.analyze"):
+            found = list(self.findings)
+        metrics.counter("check.races.phases").inc(self.phases)
+        metrics.counter("check.races.accesses").inc(self.accesses)
+        metrics.counter("check.races.queue_pushes").inc(self.queue_pushes)
+        metrics.counter("check.races.findings").inc(len(found))
+        return found

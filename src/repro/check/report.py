@@ -1,0 +1,68 @@
+"""Rendering for checker findings: text and JSON.
+
+Consumed by the ``repro check`` CLI subcommand and CI, which parses the
+JSON form (``--format json``) and records the summary line in the job
+summary.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding
+from .lint import LintReport
+from .rules import ALL_RULES
+
+__all__ = ["render_text", "render_json", "summary_line"]
+
+
+def summary_line(report: LintReport) -> str:
+    active = len(report.active)
+    suppressed = len(report.suppressed)
+    files = len(report.paths)
+    verdict = "clean" if report.ok else "FINDINGS"
+    out = (
+        f"repro check: {verdict} — {files} file(s), "
+        f"{active} active finding(s), {suppressed} suppressed"
+    )
+    if report.errors:
+        out += f", {len(report.errors)} error(s)"
+    return out
+
+
+def render_text(report: LintReport, show_suppressed: bool = False) -> str:
+    lines: list[str] = []
+    for finding in report.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        lines.append(finding.format())
+    lines.extend(report.errors)
+    lines.append(summary_line(report))
+    return "\n".join(lines)
+
+
+def _by_rule(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return counts
+
+
+def render_json(report: LintReport, extra_findings: list[Finding] | None = None) -> str:
+    findings = list(report.findings) + list(extra_findings or [])
+    payload = {
+        "ok": report.ok,
+        "files": len(report.paths),
+        "rules": [
+            {"code": r.code, "summary": r.summary, "hint": r.hint}
+            for r in ALL_RULES
+        ],
+        "findings": [f.as_dict() for f in findings],
+        "errors": list(report.errors),
+        "counts": {
+            "active": len(report.active),
+            "suppressed": len(report.suppressed),
+            "by_rule": _by_rule(report.active),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,604 @@
+"""The repo-specific invariant lint rules (R001–R005).
+
+Each rule encodes one correctness invariant the paper states but Python
+cannot enforce:
+
+* **R001** — CSR index sets (``indptr``/``indices`` buffers) are frozen
+  after construction (paper §II, representations).  Only
+  ``repro.structures`` and ``repro.dynamic`` may write them.
+* **R002** — an attribute ever *assigned* under ``with self._lock`` is
+  lock-guarded shared state; reading or writing it outside a ``with``
+  on the same lock (in the same class) is a data race in the serving
+  stack.
+* **R003** — functions submitted to ``ParallelRuntime.parallel_for`` /
+  ``parallel_reduce`` must only mutate thread-local state (Algorithms
+  1–2's per-thread queues); shared-container mutation of closure
+  variables must be returned per-chunk and combined after the phase, or
+  routed through :mod:`repro.parallel.atomics`.
+* **R004** — no bare or blanket ``except`` — a swallowed programming
+  error in a serving thread silently corrupts the session.
+* **R005** — public construction/algorithm entry points accept the
+  unified ``runtime``/``tracer``/``metrics`` kwarg trio, and the
+  deprecated ``edges=`` spelling (superseded by ``over_edges=``) does
+  not spread.
+
+Every rule carries a ``code``, a one-line ``summary``, and an autofix
+``hint``; findings suppress with ``# repro: noqa-RXXX`` (see
+:mod:`repro.check.lint` for the suppression syntax).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+
+__all__ = ["ALL_RULES", "LintRule", "ModuleContext"]
+
+#: attribute names holding frozen CSR index buffers (R001)
+_CSR_BUFFERS = frozenset({"indptr", "indices"})
+
+#: path components whose modules own CSR construction/mutation (R001)
+_CSR_OWNERS = ("structures", "dynamic")
+
+#: container methods that mutate their receiver in place (R002/R003)
+_MUTATORS = frozenset(
+    {
+        "append", "appendleft", "extend", "insert", "add", "update",
+        "setdefault", "pop", "popitem", "remove", "discard", "clear",
+        "push", "move_to_end",
+    }
+)
+
+#: the unified instrumentation kwarg trio (R005)
+_TRIO = frozenset({"runtime", "tracer", "metrics"})
+
+
+class ModuleContext:
+    """One parsed module handed to every rule."""
+
+    def __init__(self, tree: ast.Module, path: str, relpath: str) -> None:
+        self.tree = tree
+        self.path = path
+        #: forward-slash path used for location-scoped rules; for files
+        #: inside the repo this is relative to the package root
+        self.relpath = relpath.replace("\\", "/")
+
+    def in_any(self, parts: tuple[str, ...]) -> bool:
+        pieces = self.relpath.split("/")
+        return any(p in pieces for p in parts)
+
+
+class LintRule:
+    """Base class: subclasses set ``code``/``summary``/``hint``."""
+
+    code = "R000"
+    summary = ""
+    hint = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str, **extra
+    ) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+            extra=extra,
+        )
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+# ---------------------------------------------------------------------------
+
+def _self_attr_root(node: ast.AST) -> str | None:
+    """Root attribute name of a ``self.a``/``self.a.b``/``self.a[i].b`` chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        parent = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(parent, ast.Name)
+            and parent.id == "self"
+        ):
+            return node.attr
+        node = parent
+    return None
+
+
+def _name_root(node: ast.AST) -> str | None:
+    """Root bare name of an ``x``/``x[i]``/``x.attr`` chain (no ``self``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _store_targets(node: ast.AST) -> list[ast.AST]:
+    """Assignment-target expressions of any statement that stores."""
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    if isinstance(node, ast.Delete):
+        return list(node.targets)
+    return []
+
+
+def _flatten_targets(targets: list[ast.AST]) -> list[ast.AST]:
+    out: list[ast.AST] = []
+    for t in targets:
+        if isinstance(t, (ast.Tuple, ast.List)):
+            out.extend(_flatten_targets(list(t.elts)))
+        elif isinstance(t, ast.Starred):
+            out.append(t.value)
+        else:
+            out.append(t)
+    return out
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested defs or lambdas."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if not isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.append(child)
+
+
+def _is_lock_attr(expr: ast.AST) -> str | None:
+    """``'_lock'`` when ``expr`` is ``self.<something containing 'lock'>``."""
+    attr = _self_attr_root(expr) if isinstance(expr, ast.Attribute) else None
+    if attr is not None and "lock" in attr.lower():
+        return attr
+    return None
+
+
+def _function_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    a = fn.args
+    names = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+    if a.vararg:
+        names.append(a.vararg.arg)
+    if a.kwarg:
+        names.append(a.kwarg.arg)
+    return names
+
+
+def _defaulted_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter names that carry a default value (keyword-usable)."""
+    a = fn.args
+    out: set[str] = set()
+    positional = a.posonlyargs + a.args
+    for p, d in zip(reversed(positional), reversed(a.defaults)):
+        if d is not None:
+            out.add(p.arg)
+    for p, d in zip(a.kwonlyargs, a.kw_defaults):
+        if d is not None:
+            out.add(p.arg)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# R001 — frozen CSR buffers
+# ---------------------------------------------------------------------------
+
+class FrozenCSRRule(LintRule):
+    code = "R001"
+    summary = (
+        "CSR index buffers (indptr/indices) are frozen after construction; "
+        "only repro.structures and repro.dynamic may write them"
+    )
+    hint = (
+        "build a new CSR (or go through repro.structures/repro.dynamic) "
+        "instead of mutating index buffers in place"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_any(_CSR_OWNERS):
+            return
+        for node in ast.walk(ctx.tree):
+            for target in _flatten_targets(_store_targets(node)):
+                buffer = self._buffer_in_chain(target)
+                if buffer is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"write to frozen CSR buffer '.{buffer}' outside "
+                        "repro.structures/repro.dynamic",
+                        buffer=buffer,
+                    )
+
+    @staticmethod
+    def _buffer_in_chain(node: ast.AST) -> str | None:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            if isinstance(node, ast.Attribute) and node.attr in _CSR_BUFFERS:
+                return node.attr
+            node = node.value
+        return None
+
+
+# ---------------------------------------------------------------------------
+# R002 — lock-guarded attributes never touched outside the lock
+# ---------------------------------------------------------------------------
+
+class _LockScopeWalker:
+    """Walks a method body tracking which ``self.*lock*`` locks are held.
+
+    Nested function definitions reset the held set — a closure defined
+    under the lock may run long after the lock is released (the
+    ``execute_batch`` body pattern).
+    """
+
+    def __init__(self) -> None:
+        self.held: frozenset[str] = frozenset()
+
+    def walk(self, body: list[ast.stmt], visit) -> None:
+        for stmt in body:
+            self._stmt(stmt, visit)
+
+    def _stmt(self, node: ast.stmt, visit) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            saved = self.held
+            # items are entered left to right: later context expressions
+            # are evaluated with earlier locks already held
+            for item in node.items:
+                visit(item.context_expr, self.held)
+                lock = _is_lock_attr(item.context_expr)
+                if lock is not None:
+                    self.held = self.held | {lock}
+            self.walk(node.body, visit)
+            self.held = saved
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            saved = self.held
+            self.held = frozenset()
+            self.walk(node.body, visit)
+            self.held = saved
+            return
+        if any(
+            isinstance(child, ast.stmt) for child in ast.iter_child_nodes(node)
+        ):
+            # compound statement (if/for/while/try/match): visit header
+            # expressions, recurse into nested statements with the same
+            # held set (ExceptHandler / match_case carry their own bodies)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    self._stmt(child, visit)
+                elif isinstance(child, (ast.ExceptHandler, ast.match_case)):
+                    for sub in ast.iter_child_nodes(child):
+                        if isinstance(sub, ast.stmt):
+                            self._stmt(sub, visit)
+                        else:
+                            visit(sub, self.held)
+                else:
+                    visit(child, self.held)
+            return
+        # simple statement: hand the whole node over so assignment
+        # targets (self.x = ..., self.x += ...) are seen as stores
+        visit(node, self.held)
+
+
+class LockDisciplineRule(LintRule):
+    code = "R002"
+    summary = (
+        "attributes assigned under `with self._lock` are lock-guarded "
+        "shared state; never read or write them outside that lock"
+    )
+    hint = (
+        "wrap the access in `with self.<lock>:` — or, for helpers the "
+        "caller invokes with the lock held, put `# repro: noqa-R002` on "
+        "the `def` line with the invariant that makes it safe"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _methods(
+        self, cls: ast.ClassDef
+    ) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+        return [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    def _check_class(
+        self, ctx: ModuleContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded: dict[str, set[str]] = {}
+
+        def collect(expr: ast.AST, held: frozenset[str]) -> None:
+            if not held:
+                return
+            for sub in _walk_shallow(expr):
+                for attr in self._written_roots(sub):
+                    if "lock" not in attr.lower():
+                        guarded.setdefault(attr, set()).update(held)
+
+        for method in self._methods(cls):
+            if method.name == "__init__":
+                continue
+            walker = _LockScopeWalker()
+            # statements (stores) are visited via the walker's recursion;
+            # feed it a visitor that also inspects statement expressions
+            self._walk_method(method, walker, collect)
+
+        if not guarded:
+            return
+
+        findings: list[Finding] = []
+
+        def flag(expr: ast.AST, held: frozenset[str]) -> None:
+            for sub in _walk_shallow(expr):
+                attr = None
+                if isinstance(sub, ast.Attribute) and isinstance(
+                    sub.value, ast.Name
+                ) and sub.value.id == "self":
+                    attr = sub.attr
+                if attr is None or attr not in guarded:
+                    continue
+                if guarded[attr] & held:
+                    continue
+                findings.append(
+                    self.finding(
+                        ctx,
+                        sub,
+                        f"'{cls.name}.{attr}' is guarded by "
+                        f"'{'/'.join(sorted(guarded[attr]))}' but accessed "
+                        "without holding it",
+                        attribute=attr,
+                        locks=sorted(guarded[attr]),
+                    )
+                )
+
+        for method in self._methods(cls):
+            if method.name == "__init__":
+                continue
+            walker = _LockScopeWalker()
+            self._walk_method(method, walker, flag)
+        # one finding per (line, attr): a chained expression can surface
+        # the same access through several nested nodes
+        seen: set[tuple[int, str]] = set()
+        for f in findings:
+            key = (f.line, f.extra.get("attribute", ""))
+            if key not in seen:
+                seen.add(key)
+                yield f
+
+    @staticmethod
+    def _walk_method(method, walker: _LockScopeWalker, visit) -> None:
+        def stmt_visit(expr: ast.AST, held: frozenset[str]) -> None:
+            visit(expr, held)
+
+        walker.walk(method.body, stmt_visit)
+
+    @staticmethod
+    def _written_roots(node: ast.AST) -> Iterator[str]:
+        """Root ``self.X`` attributes a statement/expression writes."""
+        for target in _flatten_targets(_store_targets(node)):
+            root = _self_attr_root(target)
+            if root is not None:
+                yield root
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ) and node.func.attr in _MUTATORS:
+            root = _self_attr_root(node.func.value)
+            if root is not None:
+                yield root
+
+
+# ---------------------------------------------------------------------------
+# R003 — no shared-container mutation inside parallel bodies
+# ---------------------------------------------------------------------------
+
+class ParallelBodyMutationRule(LintRule):
+    code = "R003"
+    summary = (
+        "functions submitted to ParallelRuntime must not mutate shared "
+        "containers captured from the enclosing scope"
+    )
+    hint = (
+        "return per-chunk results (TaskResult) and combine after the "
+        "phase, or route shared writes through repro.parallel.atomics"
+    )
+
+    _SUBMIT = frozenset({"parallel_for", "parallel_reduce"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        submitted_names: set[str] = set()
+        submitted_lambdas: list[ast.Lambda] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._SUBMIT
+            ):
+                continue
+            body_arg: ast.AST | None = None
+            if len(node.args) >= 2:
+                body_arg = node.args[1]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "body":
+                        body_arg = kw.value
+            if isinstance(body_arg, ast.Name):
+                submitted_names.add(body_arg.id)
+            elif isinstance(body_arg, ast.Lambda):
+                submitted_lambdas.append(body_arg)
+
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in submitted_names
+            ):
+                yield from self._check_body(ctx, node)
+        for lam in submitted_lambdas:
+            yield from self._check_body(ctx, lam)
+
+    def _check_body(
+        self,
+        ctx: ModuleContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+    ) -> Iterator[Finding]:
+        local = self._local_names(fn)
+        body = fn.body if isinstance(fn.body, list) else [fn.body]
+        label = getattr(fn, "name", "<lambda>")
+        for stmt in body:
+            for node in ast.walk(stmt):  # type: ignore[arg-type]
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested defs judged when themselves submitted
+                for target in _flatten_targets(_store_targets(node)):
+                    if isinstance(target, ast.Name):
+                        continue  # plain local rebind
+                    root = _name_root(target)
+                    if root is not None and root not in local:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"parallel body '{label}' mutates shared "
+                            f"'{root}' captured from the enclosing scope",
+                            shared=root,
+                        )
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ) and node.func.attr in _MUTATORS:
+                    root = _name_root(node.func.value)
+                    if root is not None and root not in local:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"parallel body '{label}' calls "
+                            f"'{root}.{node.func.attr}(...)' on a shared "
+                            "container captured from the enclosing scope",
+                            shared=root,
+                        )
+
+    @staticmethod
+    def _local_names(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+    ) -> set[str]:
+        local: set[str] = {p.arg for p in (
+            fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+        )}
+        if fn.args.vararg:
+            local.add(fn.args.vararg.arg)
+        if fn.args.kwarg:
+            local.add(fn.args.kwarg.arg)
+        body = fn.body if isinstance(fn.body, list) else [fn.body]
+        for stmt in body:
+            for node in ast.walk(stmt):  # type: ignore[arg-type]
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    local.add(node.id)
+                elif isinstance(node, ast.NamedExpr) and isinstance(
+                    node.target, ast.Name
+                ):
+                    local.add(node.target.id)
+                elif isinstance(node, ast.ExceptHandler) and node.name:
+                    local.add(node.name)
+        return local
+
+
+# ---------------------------------------------------------------------------
+# R004 — no bare / blanket except
+# ---------------------------------------------------------------------------
+
+class BlanketExceptRule(LintRule):
+    code = "R004"
+    summary = "no bare `except:` or blanket `except Exception:`"
+    hint = (
+        "catch the specific exceptions the block can raise; a swallowed "
+        "programming error in a serving thread corrupts the session "
+        "silently"
+    )
+
+    _BLANKET = frozenset({"Exception", "BaseException"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(ctx, node, "bare `except:`")
+                continue
+            exprs = (
+                list(node.type.elts)
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for expr in exprs:
+                name = expr.id if isinstance(expr, ast.Name) else None
+                if name in self._BLANKET:
+                    yield self.finding(
+                        ctx, node, f"blanket `except {name}:`"
+                    )
+
+
+# ---------------------------------------------------------------------------
+# R005 — unified instrumentation trio; no deprecated edges=
+# ---------------------------------------------------------------------------
+
+class EntryPointSignatureRule(LintRule):
+    code = "R005"
+    summary = (
+        "public entry points accept the unified runtime/tracer/metrics "
+        "kwarg trio and never the deprecated edges= spelling"
+    )
+    hint = (
+        "add the missing tracer=None/metrics=None parameters (forwarding "
+        "to repro.obs), and spell the side switch over_edges="
+    )
+
+    #: the trio requirement applies to the construction/algorithm surface
+    _TRIO_SCOPES = ("linegraph", "algorithms")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        trio_scope = ctx.in_any(self._TRIO_SCOPES)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            params = _function_params(node)
+            defaulted = _defaulted_params(node)
+            if "edges" in defaulted:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{node.name}' accepts the deprecated edges= "
+                    "spelling (superseded by over_edges=)",
+                )
+            if trio_scope and "runtime" in defaulted:
+                missing = sorted(_TRIO - set(params))
+                if missing:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{node.name}' takes runtime= but is missing "
+                        f"{', '.join(missing + [''])[:-2]} of the unified "
+                        "instrumentation trio",
+                        missing=missing,
+                    )
+
+
+ALL_RULES: tuple[LintRule, ...] = (
+    FrozenCSRRule(),
+    LockDisciplineRule(),
+    ParallelBodyMutationRule(),
+    BlanketExceptRule(),
+    EntryPointSignatureRule(),
+)

@@ -422,6 +422,31 @@ def cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Static invariant lint pass over the given paths (repro.check)."""
+    import time
+
+    from repro.check import lint_paths, render_json, render_text, select_rules
+
+    try:
+        rules = select_rules(args.rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    report = lint_paths(args.paths, rules=rules)
+    elapsed = time.perf_counter() - start
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_suppressed=args.show_suppressed))
+        print(
+            f"({len(report.paths)} files, "
+            f"{len(rules)} rule(s), {elapsed:.2f}s)"
+        )
+    return 0 if report.ok else 1
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.kind in _GENERATORS:
         el = _GENERATORS[args.kind](args)
@@ -590,6 +615,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "report patch/rebuild outcomes")
     p.set_defaults(func=cmd_update)
 
+    p = sub.add_parser(
+        "check",
+        help="invariant lint pass (R001-R005) over Python sources",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--rules", nargs="*", default=None, metavar="RXXX",
+                   help="run only these rule codes (default: all five)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--show-suppressed", action="store_true",
+                   dest="show_suppressed",
+                   help="also print findings silenced by noqa comments")
+    p.set_defaults(func=cmd_check)
+
     p = sub.add_parser("generate", help="generate a hypergraph file")
     p.add_argument("kind",
                    help="uniform | powerlaw | community | <Table I name>")
@@ -613,8 +652,8 @@ def main(argv: list[str] | None = None) -> int:
 
         try:
             sys.stdout.close()
-        except Exception:
-            pass
+        except (OSError, ValueError):
+            pass  # double-close / already-broken pipe: nothing left to flush
         os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
         return 0
 

@@ -531,7 +531,7 @@ class NWHypergraph:
         return best
 
     # -- approximations -----------------------------------------------------------------------------------
-    def s_linegraph(
+    def s_linegraph(  # repro: noqa-R005 — edges= is the deprecation shim itself (warns, tested)
         self,
         s: int = 1,
         over_edges: bool = True,
@@ -606,7 +606,7 @@ class NWHypergraph:
             self._slg_memo[memo_key] = lg
         return lg
 
-    def s_linegraphs(
+    def s_linegraphs(  # repro: noqa-R005 — edges= is the deprecation shim itself (warns, tested)
         self,
         s_values: Sequence[int],
         over_edges: bool = True,

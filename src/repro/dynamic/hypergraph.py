@@ -130,7 +130,8 @@ class DynamicHypergraph:
     @property
     def state(self) -> OverlayState:
         """The live overlay view (members/memberships of the current state)."""
-        return self._state
+        with self._lock:
+            return self._state
 
     @property
     def base(self) -> NWHypergraph:
@@ -227,7 +228,7 @@ class DynamicHypergraph:
             m.counter("dynamic_dirty_edges_total").inc(len(dirty_edges))
             return result
 
-    def _apply_one(
+    def _apply_one(  # repro: noqa-R002 — only called from apply() with self._lock held
         self,
         mut: Mutation,
         dirty_edges: set[int],

@@ -146,7 +146,9 @@ def _per_vertex(graph, verts, one, runtime, phase) -> np.ndarray:
     def body(chunk: np.ndarray) -> TaskResult:
         work = 0
         for i in chunk.tolist():
-            values[i], touched = one(int(verts[i]))
+            # owner-computes: chunks partition the index space, so each
+            # task writes a disjoint slice of `values`
+            values[i], touched = one(int(verts[i]))  # repro: noqa-R003
             work += touched
         return TaskResult(None, float(work + chunk.size))
 

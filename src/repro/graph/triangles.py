@@ -57,10 +57,15 @@ def triangles_per_vertex(
 
     def body(chunk: np.ndarray) -> TaskResult:
         counts, work = _per_vertex_triangles(graph, chunk)
-        total[:] += counts
-        return TaskResult(None, float(work + chunk.size))
+        return TaskResult(counts[chunk], float(work + chunk.size))
 
-    runtime.parallel_for(runtime.partition(ids), body, phase="triangles")
+    # combine after the phase: each chunk owns a disjoint vertex range,
+    # so scattering the returned slices is race-free on any runtime
+    chunks = runtime.partition(ids)
+    for chunk, per_vertex in zip(
+        chunks, runtime.parallel_for(chunks, body, phase="triangles")
+    ):
+        total[chunk] = per_vertex
     return total
 
 

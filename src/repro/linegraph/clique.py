@@ -23,21 +23,26 @@ def scliquegraph(
     s: int = 1,
     runtime: ParallelRuntime | None = None,
     algorithm=None,
+    tracer=None,
+    metrics=None,
 ) -> EdgeList:
     """s-clique graph: hypernodes joined by ≥ s shared hyperedges.
 
     Implemented — exactly as the paper defines it — as the s-line graph of
     the dual hypergraph.  ``algorithm`` may be any single-s construction
-    from this package (defaults to the hashmap algorithm).
+    from this package (defaults to the hashmap algorithm); ``tracer`` and
+    ``metrics`` forward to it (see :mod:`repro.obs`).
     """
     construct = algorithm if algorithm is not None else slinegraph_hashmap
-    return construct(h.dual(), s, runtime=runtime)
+    return construct(h.dual(), s, runtime=runtime, tracer=tracer, metrics=metrics)
 
 
 def clique_expansion(
     h: BiAdjacency,
     runtime: ParallelRuntime | None = None,
     algorithm=None,
+    tracer=None,
+    metrics=None,
 ) -> EdgeList:
     """Clique-expansion graph of a hypergraph: the ``s = 1`` clique graph.
 
@@ -47,4 +52,7 @@ def clique_expansion(
     hyperedge cardinality) is the caller's problem — this function will
     faithfully materialize it.
     """
-    return scliquegraph(h, 1, runtime=runtime, algorithm=algorithm)
+    return scliquegraph(
+        h, 1, runtime=runtime, algorithm=algorithm,
+        tracer=tracer, metrics=metrics,
+    )

@@ -53,7 +53,7 @@ def slinegraph_ensemble(
 
     def body(chunk: np.ndarray) -> TaskResult:
         src, dst, cnt, work = two_hop_pair_counts(edges, nodes, chunk)
-        candidates[0] += cnt.size
+        candidates[0] += cnt.size  # repro: noqa-R003 — stats counter; serial bodies
         keep = cnt >= s_min
         return TaskResult(
             (src[keep], dst[keep], cnt[keep]), float(work + chunk.size)

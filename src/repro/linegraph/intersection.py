@@ -55,7 +55,7 @@ def slinegraph_intersection(
         src_c, dst_c, _, walk_work = two_hop_pair_counts(
             h.edges, h.nodes, chunk
         )
-        candidates[0] += src_c.size
+        candidates[0] += src_c.size  # repro: noqa-R003 — stats counter; serial bodies
         # degree pruning on the candidate side
         keep = sizes[dst_c] >= s
         src_c, dst_c = src_c[keep], dst_c[keep]

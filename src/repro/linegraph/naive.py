@@ -52,7 +52,7 @@ def slinegraph_naive(
             for f in range(e + 1, n):
                 if sizes[f] < s:
                     continue
-                examined[0] += 1
+                examined[0] += 1  # repro: noqa-R003 — stats counter; serial bodies
                 work += int(min(sizes[e], sizes[f]))
                 c = intersect_count_sorted(mem_e, h.members(f))
                 if c >= s:

@@ -105,7 +105,7 @@ def slinegraph_queue_hashmap(
         def process(chunk: np.ndarray) -> TaskResult:
             live = chunk[sizes[chunk] >= s]  # line 6 degree filter
             src, dst, cnt, work = two_hop_pair_counts(edges, nodes, live)
-            candidates[0] += cnt.size
+            candidates[0] += cnt.size  # repro: noqa-R003 — stats counter; serial bodies
             keep = cnt >= s
             return TaskResult(
                 (src[keep], dst[keep], cnt[keep]), float(work + chunk.size)

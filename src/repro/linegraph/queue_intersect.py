@@ -71,7 +71,7 @@ def slinegraph_queue_intersection(
 
         def gather_pairs(chunk: np.ndarray) -> TaskResult:
             src, dst, _, work = two_hop_pair_counts(edges, nodes, chunk)
-            candidates[0] += src.size
+            candidates[0] += src.size  # repro: noqa-R003 — stats counter; serial bodies
             keep = sizes[dst] >= s  # candidate-side degree pruning
             pairs = np.stack([src[keep], dst[keep]], axis=1)
             return TaskResult(pairs, float(work + chunk.size))

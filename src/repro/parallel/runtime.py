@@ -17,6 +17,7 @@ verify that second property by actually permuting body execution.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -115,6 +116,29 @@ class ParallelRuntime:
         self.tracer = as_tracer(tracer)
         self._rng = np.random.default_rng(seed)
         self.ledger = RunLedger(num_threads=self.num_threads)
+        # dynamic race checking (repro.check.races): off by default — the
+        # per-chunk cost of a disabled monitor is a single `is None` test
+        self.monitor = None
+        if os.environ.get("REPRO_CHECK"):
+            self.checked()
+
+    def checked(self, monitor=None) -> "ParallelRuntime":
+        """Attach a race detector (``repro check``'s dynamic pass).
+
+        Subsequent phases record per-task access sets of every
+        :class:`~repro.check.races.CheckedArray` touched inside bodies
+        and flag cross-task overlaps.  Returns ``self`` for chaining:
+        ``runtime = ParallelRuntime(4).checked()``.
+        """
+        if monitor is None:
+            from repro.check.races import RaceDetector
+
+            monitor = RaceDetector()
+        self.monitor = monitor
+        install = getattr(monitor, "install_queue_hook", None)
+        if install is not None:
+            install()
+        return self
 
     # -- bookkeeping -------------------------------------------------------------
     def new_run(self) -> RunLedger:
@@ -153,15 +177,24 @@ class ParallelRuntime:
             order = self._rng.permutation(len(chunks))
         values: list[Any] = [None] * len(chunks)
         costs = np.zeros(len(chunks), dtype=np.float64)
+        mon = self.monitor
         with self.tracer.span("runtime." + phase) as span:
+            if mon is not None:
+                mon.begin_phase(phase)
             for i in order:
+                if mon is not None:
+                    mon.begin_task(int(i))
                 out = body(chunks[i])
+                if mon is not None:
+                    mon.end_task()
                 if isinstance(out, TaskResult):
                     values[i] = out.value
                     costs[i] = out.work
                 else:
                     values[i] = out
                     costs[i] = _default_work(chunks[i])
+            if mon is not None:
+                mon.end_phase(phase)
             ledger = self.scheduler.schedule(
                 costs,
                 self.num_threads,

@@ -20,6 +20,16 @@ import numpy as np
 
 __all__ = ["ThreadLocalQueues", "WorkQueue"]
 
+#: observation hook for the dynamic checkers (repro.check.races): when
+#: set, every ThreadLocalQueues.push reports (thread, items).  A plain
+#: module global keeps the disabled cost to one load + None test.
+_push_hook = None
+
+
+def _set_push_hook(hook) -> None:
+    global _push_hook
+    _push_hook = hook
+
 
 class ThreadLocalQueues:
     """Per-thread append-only buffers merged with one concatenation.
@@ -58,6 +68,8 @@ class ThreadLocalQueues:
             )
         if items.size:
             self._buffers[thread].append(items)
+            if _push_hook is not None:
+                _push_hook(thread, items)
 
     def merge(self) -> np.ndarray:
         """Concatenate every thread's buffer (thread order, then FIFO).

@@ -144,7 +144,8 @@ class SLineGraphCache:
     # -- introspection -------------------------------------------------------
     @property
     def budget_bytes(self) -> int | None:
-        return self.stats.budget_bytes
+        with self._lock:
+            return self.stats.budget_bytes
 
     @property
     def current_bytes(self) -> int:
@@ -188,7 +189,7 @@ class SLineGraphCache:
                 return "derive"
             return None
 
-    def _derivable_key(
+    def _derivable_key(  # repro: noqa-R002 — every caller holds self._lock
         self, dataset: str, s: int, over_edges: bool
     ) -> tuple[str, int, bool] | None:
         best = None
@@ -280,7 +281,9 @@ class SLineGraphCache:
         """Measured footprint of one entry (edge list + CSR)."""
         return lg.edgelist.nbytes() + lg.graph.nbytes()
 
-    def _admit(self, key: tuple[str, int, bool], lg: SLineGraph) -> bool:
+    def _admit(  # repro: noqa-R002 — admission/eviction helper; every caller holds self._lock (see section header)
+        self, key: tuple[str, int, bool], lg: SLineGraph
+    ) -> bool:
         size = self.entry_bytes(lg)
         budget = self.stats.budget_bytes
         if budget is not None and size > budget:
@@ -376,10 +379,53 @@ class SLineGraphCache:
         with self._lock:
             return len(self._entries)
 
+    def debug_verify(self) -> None:
+        """Re-derive the byte accounting from the entries and assert it.
+
+        Recomputes every per-entry size with :meth:`entry_bytes` and
+        checks the invariants the mutation/patching paths must preserve:
+        ``_entries`` and ``_sizes`` agree key-for-key, each recorded size
+        matches a fresh measurement, ``stats.current_bytes`` is their
+        sum, ``stats.entries`` is the entry count, and a configured
+        budget is never exceeded (the eviction loop guarantees a sole
+        oversized survivor cannot exist — it would have been bypassed at
+        admission).  Raises :class:`AssertionError` with the discrepancy.
+        """
+        with self._lock:
+            entry_keys = set(self._entries)
+            size_keys = set(self._sizes)
+            assert entry_keys == size_keys, (
+                f"entry/size key mismatch: only-entries="
+                f"{sorted(entry_keys - size_keys)}, "
+                f"only-sizes={sorted(size_keys - entry_keys)}"
+            )
+            recomputed = {
+                key: self.entry_bytes(lg) for key, lg in self._entries.items()
+            }
+            for key, measured in recomputed.items():
+                assert self._sizes[key] == measured, (
+                    f"stale size for {key}: recorded {self._sizes[key]}, "
+                    f"measured {measured}"
+                )
+            total = sum(recomputed.values())
+            assert self.stats.current_bytes == total, (
+                f"current_bytes drift: stats say "
+                f"{self.stats.current_bytes}, entries sum to {total}"
+            )
+            assert self.stats.entries == len(self._entries), (
+                f"entry-count drift: stats say {self.stats.entries}, "
+                f"cache holds {len(self._entries)}"
+            )
+            budget = self.stats.budget_bytes
+            assert budget is None or total <= budget, (
+                f"budget exceeded: {total} resident > {budget} budget"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        st = self.stats
-        return (
-            f"SLineGraphCache(entries={len(self)}, "
-            f"bytes={st.current_bytes}/{st.budget_bytes}, "
-            f"hits={st.hits}, derives={st.derives}, misses={st.misses})"
-        )
+        with self._lock:
+            st = self.stats
+            return (
+                f"SLineGraphCache(entries={len(self._entries)}, "
+                f"bytes={st.current_bytes}/{st.budget_bytes}, "
+                f"hits={st.hits}, derives={st.derives}, misses={st.misses})"
+            )

@@ -16,9 +16,14 @@ boundary survives.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from .csr import CSR
+
+if TYPE_CHECKING:  # runtime import stays local to relabel_hyperedges
+    from .biadjacency import BiAdjacency
 
 __all__ = [
     "degree_permutation",
@@ -62,7 +67,9 @@ def relabel_by_degree(
     return graph.permuted(perm), perm
 
 
-def relabel_hyperedges(h, order: str = "descending"):
+def relabel_hyperedges(
+    h: "BiAdjacency", order: str = "descending"
+) -> tuple["BiAdjacency", np.ndarray]:
     """Relabel the *hyperedge* IDs of a bi-adjacency by size (§III-C.3).
 
     Valid on the two-index-set representation (the paper's point is that

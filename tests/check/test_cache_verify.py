@@ -1,0 +1,145 @@
+"""``SLineGraphCache.debug_verify``: byte accounting stays exact.
+
+Every test drives a real mutation path — cold builds, derives, LRU
+eviction, external ``put`` (the dynamic patch path), ``invalidate`` —
+and then asserts the recomputed accounting matches the live counters.
+"""
+
+import pytest
+
+from repro.core.hypergraph import NWHypergraph
+from repro.service import QueryEngine
+from repro.service.cache import SLineGraphCache
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist, random_biedgelist
+
+
+def hg_from(el) -> NWHypergraph:
+    return NWHypergraph(
+        el.part0, el.part1, el.weights,
+        num_edges=el.num_vertices(0), num_nodes=el.num_vertices(1),
+    )
+
+
+@pytest.fixture
+def paper_hg():
+    return hg_from(make_biedgelist(PAPER_MEMBERS, num_nodes=9))
+
+
+def random_hg(seed: int, **kw) -> NWHypergraph:
+    return hg_from(random_biedgelist(seed=seed, **kw))
+
+
+class TestAccountingInvariants:
+    def test_fresh_cache_verifies(self):
+        SLineGraphCache().debug_verify()
+
+    def test_after_builds_and_derives(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 1, paper_hg)
+        cache.get_or_build("paper", 2, paper_hg)  # derive
+        cache.get_or_build("paper", 1, paper_hg)  # hit
+        cache.get_or_build("paper", 1, paper_hg, over_edges=False)
+        cache.debug_verify()
+        assert len(cache) == 3
+
+    def test_after_eviction_under_tight_budget(self):
+        hgs = [random_hg(seed, num_edges=60, num_nodes=40) for seed in range(4)]
+        sizes = [
+            SLineGraphCache.entry_bytes(hg.s_linegraph(1)) for hg in hgs
+        ]
+        # room for roughly two entries: insertions must evict
+        cache = SLineGraphCache(budget_bytes=int(sum(sizes[:2]) * 1.1))
+        for i, hg in enumerate(hgs):
+            cache.get_or_build(f"d{i}", 1, hg)
+            cache.debug_verify()
+        assert cache.stats.evictions > 0
+
+    def test_after_put_replacement(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 2, paper_hg)
+        # replace the resident entry with a differently-sized graph
+        replacement = paper_hg.s_linegraph(3)
+        assert cache.put("paper", 2, True, replacement)
+        cache.debug_verify()
+        assert cache.lookup("paper", 2) == "hit"
+
+    def test_after_oversized_bypass(self, paper_hg):
+        cache = SLineGraphCache(budget_bytes=1)
+        cache.get_or_build("paper", 1, paper_hg)
+        assert cache.stats.bypasses == 1
+        cache.debug_verify()
+        assert len(cache) == 0
+
+    def test_after_invalidate_one_and_all(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 1, paper_hg)
+        other = random_hg(7, num_edges=30, num_nodes=25)
+        cache.get_or_build("other", 1, other)
+        assert cache.invalidate("paper") == 1
+        cache.debug_verify()
+        assert cache.invalidate() == 1
+        cache.debug_verify()
+        assert cache.stats.current_bytes == 0
+
+
+class TestServicePatchingPath:
+    """PR-3's update op delta-patches cached entries; accounting holds."""
+
+    @pytest.fixture
+    def engine(self):
+        eng = QueryEngine(num_threads=1)
+        eng.store.register(
+            "paper",
+            NWHypergraph.from_hyperedge_lists(PAPER_MEMBERS, num_nodes=9),
+        )
+        return eng
+
+    def test_verify_after_update_patches_cache(self, engine):
+        engine.execute({"op": "warm", "dataset": "paper", "s_values": [1, 2]})
+        engine.cache.debug_verify()
+        resp = engine.execute(
+            {
+                "op": "update",
+                "dataset": "paper",
+                "ops": [{"op": "add_edge", "members": [0, 6, 8]}],
+            }
+        )
+        assert resp["ok"] is True
+        engine.cache.debug_verify()
+
+    def test_verify_after_update_then_invalidate(self, engine):
+        engine.execute({"op": "warm", "dataset": "paper", "s_values": [1]})
+        engine.execute(
+            {
+                "op": "update",
+                "dataset": "paper",
+                "ops": [{"op": "remove_edge", "edge": 2}],
+            }
+        )
+        engine.execute({"op": "invalidate", "dataset": "paper"})
+        engine.cache.debug_verify()
+
+
+class TestCorruptionIsCaught:
+    def test_stale_size_raises(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 1, paper_hg)
+        key = cache.keys()[0]
+        cache._sizes[key] += 64
+        with pytest.raises(AssertionError, match="stale size"):
+            cache.debug_verify()
+
+    def test_byte_drift_raises(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 1, paper_hg)
+        cache.stats.current_bytes += 1
+        with pytest.raises(AssertionError, match="current_bytes drift"):
+            cache.debug_verify()
+
+    def test_key_mismatch_raises(self, paper_hg):
+        cache = SLineGraphCache()
+        cache.get_or_build("paper", 1, paper_hg)
+        cache._sizes[("ghost", 1, True)] = 0
+        with pytest.raises(AssertionError, match="key mismatch"):
+            cache.debug_verify()

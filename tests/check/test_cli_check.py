@@ -1,0 +1,86 @@
+"""``repro check`` CLI: exit codes, JSON output, rule selection."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "def f(x):\n    return x + 1\n"
+
+DIRTY = """\
+def f():
+    try:
+        pass
+    except:
+        pass
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    p = tmp_path / "clean.py"
+    p.write_text(CLEAN)
+    return str(p)
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    p = tmp_path / "dirty.py"
+    p.write_text(DIRTY)
+    return str(p)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main(["check", clean_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, dirty_file, capsys):
+        assert main(["check", dirty_file]) == 1
+        out = capsys.readouterr().out
+        assert "R004" in out and "dirty.py" in out
+
+    def test_unknown_rule_exits_two(self, clean_file, capsys):
+        assert main(["check", clean_file, "--rules", "R999"]) == 2
+        assert "R999" in capsys.readouterr().err
+
+
+class TestRuleSelection:
+    def test_deselected_rule_does_not_fire(self, dirty_file):
+        assert main(["check", dirty_file, "--rules", "R001"]) == 0
+
+    def test_selected_rule_fires(self, dirty_file):
+        assert main(["check", dirty_file, "--rules", "R004"]) == 1
+
+
+class TestJsonFormat:
+    def test_json_payload_shape(self, dirty_file, capsys):
+        assert main(["check", dirty_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts"]["active"] == 1
+        assert payload["counts"]["by_rule"] == {"R004": 1}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "R004"
+        assert finding["line"] == 4
+
+    def test_json_clean_tree_ok_true(self, clean_file, capsys):
+        assert main(["check", clean_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["findings"] == []
+
+
+class TestSuppression:
+    def test_noqa_suppresses_and_show_suppressed_prints(self, tmp_path, capsys):
+        p = tmp_path / "silenced.py"
+        p.write_text(
+            "def f():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except:  # repro: noqa-R004\n"
+            "        pass\n"
+        )
+        assert main(["check", str(p)]) == 0
+        assert main(["check", str(p), "--show-suppressed"]) == 0
+        assert "suppressed" in capsys.readouterr().out

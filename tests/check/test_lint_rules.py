@@ -1,0 +1,341 @@
+"""Per-rule unit tests: each rule fires on a fixture and suppresses."""
+
+import textwrap
+
+from repro.check import lint_source
+
+
+def lint(src: str, relpath: str = "src/repro/fake/module.py"):
+    report = lint_source(
+        textwrap.dedent(src), relpath, relpath=relpath
+    )
+    assert not report.errors, report.errors
+    return report
+
+
+def codes(report, active_only: bool = True):
+    pool = report.active if active_only else report.findings
+    return [f.rule for f in pool]
+
+
+class TestR001FrozenCSR:
+    def test_write_to_indptr_fires(self):
+        report = lint("def f(g):\n    g.indptr[0] = 1\n")
+        assert codes(report) == ["R001"]
+        (f,) = report.active
+        assert "indptr" in f.message and f.line == 2
+
+    def test_indices_augmented_assign_fires(self):
+        report = lint("def f(g):\n    g.graph.indices[:] += 1\n")
+        assert codes(report) == ["R001"]
+
+    def test_reads_are_fine(self):
+        report = lint("def f(g):\n    return g.indptr[0] + g.indices[1]\n")
+        assert codes(report) == []
+
+    def test_structures_and_dynamic_are_exempt(self):
+        src = "def f(g):\n    g.indptr[0] = 1\n"
+        for relpath in (
+            "src/repro/structures/csr.py",
+            "src/repro/dynamic/overlay.py",
+        ):
+            assert codes(lint(src, relpath)) == []
+
+    def test_noqa_suppresses_but_is_reported(self):
+        report = lint(
+            "def f(g):\n    g.indptr[0] = 1  # repro: noqa-R001\n"
+        )
+        assert codes(report) == []
+        assert codes(report, active_only=False) == ["R001"]
+        assert report.findings[0].suppressed
+
+
+class TestR002LockDiscipline:
+    GUARDED = """
+    class C:
+        def write(self):
+            with self._lock:
+                self._x = 1
+
+        def read(self):
+            return self._x
+    """
+
+    def test_unlocked_read_of_guarded_attr_fires(self):
+        report = lint(self.GUARDED)
+        assert codes(report) == ["R002"]
+        assert report.active[0].extra["attribute"] == "_x"
+
+    def test_locked_access_is_fine(self):
+        report = lint("""
+        class C:
+            def write(self):
+                with self._lock:
+                    self._x = 1
+
+            def read(self):
+                with self._lock:
+                    return self._x
+        """)
+        assert codes(report) == []
+
+    def test_init_does_not_need_the_lock(self):
+        report = lint("""
+        class C:
+            def __init__(self):
+                self._x = 0
+
+            def write(self):
+                with self._lock:
+                    self._x = 1
+        """)
+        assert codes(report) == []
+
+    def test_closure_under_lock_does_not_count_as_locked(self):
+        # a closure defined while the lock is held may run after release
+        report = lint("""
+        class C:
+            def write(self):
+                with self._lock:
+                    self._x = 1
+
+            def deferred(self):
+                with self._lock:
+                    def later():
+                        return self._x
+                    return later
+        """)
+        assert codes(report) == ["R002"]
+
+    def test_second_with_item_sees_the_lock_held(self):
+        # `with self._lock, span(self._x)` evaluates the second item
+        # after the first is acquired
+        report = lint("""
+        class C:
+            def write(self):
+                with self._lock:
+                    self._x = 1
+
+            def traced(self):
+                with self._lock, self.span(self._x):
+                    pass
+        """)
+        assert codes(report) == []
+
+    def test_def_line_noqa_covers_the_body(self):
+        report = lint("""
+        class C:
+            def write(self):
+                with self._lock:
+                    self._x = 1
+
+            def helper(self):  # repro: noqa-R002
+                return self._x
+        """)
+        assert codes(report) == []
+        assert any(f.suppressed for f in report.findings)
+
+
+class TestR003ParallelBodyMutation:
+    def test_closure_append_fires(self):
+        report = lint("""
+        def kernel(runtime, chunks):
+            acc = []
+
+            def body(chunk):
+                acc.append(chunk)
+                return 1
+
+            runtime.parallel_for(chunks, body)
+            return acc
+        """)
+        assert codes(report) == ["R003"]
+        assert report.active[0].extra["shared"] == "acc"
+
+    def test_subscript_store_on_closure_fires(self):
+        report = lint("""
+        def kernel(runtime, chunks, out):
+            def body(chunk):
+                out[chunk] = 1
+
+            runtime.parallel_for(chunks, body)
+        """)
+        assert codes(report) == ["R003"]
+
+    def test_lambda_body_fires(self):
+        report = lint("""
+        def kernel(runtime, chunks, shared):
+            runtime.parallel_for(chunks, lambda c: shared.update(c))
+        """)
+        assert codes(report) == ["R003"]
+
+    def test_param_and_local_mutation_are_fine(self):
+        report = lint("""
+        def kernel(runtime, chunks):
+            def body(chunk):
+                chunk[0] = 1
+                local = []
+                local.append(chunk)
+                return local
+
+            runtime.parallel_for(chunks, body)
+        """)
+        assert codes(report) == []
+
+    def test_unsubmitted_functions_are_ignored(self):
+        report = lint("""
+        def not_a_body(acc, chunk):
+            acc.append(chunk)
+        """)
+        assert codes(report) == []
+
+    def test_noqa_suppresses(self):
+        report = lint("""
+        def kernel(runtime, chunks):
+            acc = [0]
+
+            def body(chunk):
+                acc[0] += 1  # repro: noqa-R003
+                return 1
+
+            runtime.parallel_for(chunks, body)
+        """)
+        assert codes(report) == []
+
+
+class TestR004BlanketExcept:
+    def test_bare_except_fires(self):
+        report = lint("""
+        def f():
+            try:
+                risky()
+            except:
+                pass
+        """)
+        assert codes(report) == ["R004"]
+
+    def test_blanket_exception_fires(self):
+        report = lint("""
+        def f():
+            try:
+                risky()
+            except Exception:
+                pass
+        """)
+        assert codes(report) == ["R004"]
+
+    def test_exception_inside_tuple_fires(self):
+        report = lint("""
+        def f():
+            try:
+                risky()
+            except (ValueError, Exception):
+                pass
+        """)
+        assert codes(report) == ["R004"]
+
+    def test_specific_exceptions_are_fine(self):
+        report = lint("""
+        def f():
+            try:
+                risky()
+            except (OSError, ValueError):
+                pass
+        """)
+        assert codes(report) == []
+
+    def test_noqa_suppresses(self):
+        report = lint("""
+        def f():
+            try:
+                risky()
+            except Exception:  # repro: noqa-R004
+                pass
+        """)
+        assert codes(report) == []
+
+
+class TestR005EntryPointSignature:
+    LG = "src/repro/linegraph/fake.py"
+
+    def test_runtime_without_trio_fires_in_linegraph(self):
+        report = lint(
+            "def build(h, s=1, runtime=None):\n    return h\n", self.LG
+        )
+        assert codes(report) == ["R005"]
+        assert report.active[0].extra["missing"] == ["metrics", "tracer"]
+
+    def test_full_trio_is_fine(self):
+        report = lint(
+            "def build(h, s=1, runtime=None, tracer=None, metrics=None):\n"
+            "    return h\n",
+            self.LG,
+        )
+        assert codes(report) == []
+
+    def test_trio_not_required_outside_entry_scopes(self):
+        report = lint(
+            "def helper(h, runtime=None):\n    return h\n",
+            "src/repro/graph/fake.py",
+        )
+        assert codes(report) == []
+
+    def test_private_functions_are_exempt(self):
+        report = lint(
+            "def _impl(h, runtime=None):\n    return h\n", self.LG
+        )
+        assert codes(report) == []
+
+    def test_deprecated_edges_kwarg_fires_everywhere(self):
+        report = lint(
+            "def load(path, edges=None):\n    return path\n",
+            "src/repro/io/fake.py",
+        )
+        assert codes(report) == ["R005"]
+
+    def test_positional_edges_data_param_is_fine(self):
+        # `edges` as a required data parameter (a CSR) is not the shim
+        report = lint(
+            "def count(edges, nodes):\n    return len(edges)\n",
+            "src/repro/io/fake.py",
+        )
+        assert codes(report) == []
+
+    def test_def_line_noqa_suppresses(self):
+        report = lint(
+            "def load(  # repro: noqa-R005\n"
+            "    path,\n"
+            "    edges=None,\n"
+            "):\n"
+            "    return path\n",
+            "src/repro/io/fake.py",
+        )
+        assert codes(report) == []
+
+
+class TestDriver:
+    def test_rule_selection(self):
+        from repro.check import select_rules
+
+        assert [r.code for r in select_rules(["R004"])] == ["R004"]
+        assert len(select_rules(None)) == 5
+
+    def test_unknown_rule_raises(self):
+        import pytest
+
+        from repro.check import select_rules
+
+        with pytest.raises(ValueError, match="R999"):
+            select_rules(["R999"])
+
+    def test_syntax_error_is_reported_not_raised(self):
+        report = lint_source("def f(:\n", "bad.py")
+        assert report.errors and not report.ok
+
+    def test_plain_noqa_suppresses_all_rules(self):
+        report = lint_source(
+            "def f(g):\n    g.indptr[0] = 1  # repro: noqa\n",
+            "src/repro/fake.py",
+            relpath="src/repro/fake.py",
+        )
+        assert not report.active and report.findings

@@ -1,0 +1,142 @@
+"""Lock-order monitor: inversion detection, re-entrancy, patching."""
+
+import threading
+
+from repro.check import LockOrderMonitor, patch_threading
+from repro.obs import MetricsRegistry
+
+
+class TestInversionDetection:
+    def test_opposite_orders_flag_a_cycle(self):
+        mon = LockOrderMonitor()
+        a, b = mon.lock("A"), mon.lock("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        findings = mon.inversions()
+        assert len(findings) == 1
+        (f,) = findings
+        assert f.rule == "L001"
+        assert set(f.extra["cycle"]) >= {"A", "B"}
+        assert f.extra["sites"], "edges should carry acquisition sites"
+
+    def test_consistent_order_is_clean(self):
+        mon = LockOrderMonitor()
+        a, b, c = mon.lock("A"), mon.lock("B"), mon.lock("C")
+        for _ in range(3):
+            with a:
+                with b:
+                    with c:
+                        pass
+        assert mon.inversions() == []
+        assert ("A", "B") in mon.edges()
+
+    def test_three_lock_cycle(self):
+        mon = LockOrderMonitor()
+        a, b, c = mon.lock("A"), mon.lock("B"), mon.lock("C")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:
+                pass
+        cycles = mon.cycles()
+        assert any(len(set(cyc)) == 3 for cyc in cycles)
+
+    def test_rlock_reentrancy_is_not_an_inversion(self):
+        mon = LockOrderMonitor()
+        r = mon.rlock("R")
+        with r:
+            with r:
+                pass
+        assert mon.edges() == {}
+        assert mon.inversions() == []
+
+    def test_cross_thread_orders_combine(self):
+        mon = LockOrderMonitor()
+        a, b = mon.lock("A"), mon.lock("B")
+        with a:
+            with b:
+                pass
+
+        def worker():
+            with b:
+                with a:
+                    pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert len(mon.inversions()) == 1
+
+
+class TestCheckedLockBehavior:
+    def test_acquire_release_protocol(self):
+        mon = LockOrderMonitor()
+        lock = mon.lock("L")
+        assert lock.acquire()
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+
+    def test_nonblocking_failure_records_nothing(self):
+        mon = LockOrderMonitor()
+        lock = mon.lock("L")
+        with lock:
+            assert not lock.acquire(blocking=False)
+        assert mon.acquisitions == 1
+
+    def test_wrap_names_existing_primitives(self):
+        mon = LockOrderMonitor()
+        wrapped = mon.wrap(threading.Lock(), "mine")
+        with wrapped:
+            pass
+        assert wrapped.name == "mine"
+
+
+class TestPatchThreading:
+    def test_locks_created_inside_are_checked(self):
+        mon = LockOrderMonitor()
+        with patch_threading(mon):
+            a = threading.Lock()
+            b = threading.RLock()
+            with a:
+                with b:
+                    pass
+        assert mon.acquisitions == 2
+        assert len(mon.edges()) == 1
+        # restored afterwards
+        assert threading.Lock is not None
+        assert not hasattr(threading.Lock(), "_monitor")
+
+    def test_service_engine_under_monitor_is_inversion_free(self):
+        mon = LockOrderMonitor()
+        with patch_threading(mon):
+            from repro.service import InProcessClient, QueryEngine
+
+            engine = QueryEngine()
+            client = InProcessClient(engine)
+            out = client.query("version")
+            assert out["ok"]
+        assert mon.inversions() == []
+
+    def test_emit_reports_through_metrics(self):
+        mon = LockOrderMonitor()
+        a, b = mon.lock("A"), mon.lock("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        registry = MetricsRegistry()
+        findings = mon.emit(metrics=registry)
+        assert len(findings) == 1
+        assert registry.counter("check.locks.inversions").value == 1
+        assert registry.counter("check.locks.acquires").value == 4
