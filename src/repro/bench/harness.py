@@ -54,17 +54,32 @@ __all__ = [
 DEFAULT_THREADS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
 
 
-def nwhy_runtime(num_threads: int) -> ParallelRuntime:
-    """Simulated oneTBB: work stealing + cyclic range adaptor."""
+def nwhy_runtime(
+    num_threads: int,
+    backend: str | None = None,
+    workers: int | None = None,
+) -> ParallelRuntime:
+    """Simulated oneTBB: work stealing + cyclic range adaptor.
+
+    ``backend``/``workers`` select a real execution backend for pure
+    phases (see docs/PARALLEL.md); the simulated ledger — and therefore
+    every figure — is bit-identical regardless.
+    """
     return ParallelRuntime(
-        num_threads=num_threads, scheduler="work_stealing", partitioner="cyclic"
+        num_threads=num_threads, scheduler="work_stealing",
+        partitioner="cyclic", backend=backend, workers=workers,
     )
 
 
-def hygra_runtime(num_threads: int) -> ParallelRuntime:
+def hygra_runtime(
+    num_threads: int,
+    backend: str | None = None,
+    workers: int | None = None,
+) -> ParallelRuntime:
     """Simulated OpenMP static loops: static scheduler + blocked chunks."""
     return ParallelRuntime(
-        num_threads=num_threads, scheduler="static", partitioner="blocked"
+        num_threads=num_threads, scheduler="static", partitioner="blocked",
+        backend=backend, workers=workers,
     )
 
 
@@ -119,15 +134,22 @@ _BFS_ENGINES = {
 }
 
 
-def _runtime_for(algorithm: str, threads: int) -> ParallelRuntime:
+def _runtime_for(
+    algorithm: str,
+    threads: int,
+    backend: str | None = None,
+    workers: int | None = None,
+) -> ParallelRuntime:
     factory = hygra_runtime if algorithm.startswith("Hygra") else nwhy_runtime
-    return factory(threads)
+    return factory(threads, backend=backend, workers=workers)
 
 
 def strong_scaling_cc(
     dataset: str,
     thread_counts: tuple[int, ...] = DEFAULT_THREADS,
     algorithms: tuple[str, ...] = ("AdjoinCC", "HyperCC", "HygraCC"),
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> list[ScalingSeries]:
     """Figure 7 driver: CC makespans/speedups over the thread grid."""
     h, ag = _reps(dataset)
@@ -137,10 +159,10 @@ def strong_scaling_cc(
         series = ScalingSeries(algorithm=alg, dataset=dataset)
         base: float | None = None
         for t in thread_counts:
-            rt = _runtime_for(alg, t)
-            rt.new_run()
-            engine(h, ag, rt)
-            span = rt.makespan
+            with _runtime_for(alg, t, backend, workers) as rt:
+                rt.new_run()
+                engine(h, ag, rt)
+                span = rt.makespan
             if base is None:
                 base = span
             series.points.append(
@@ -154,6 +176,8 @@ def strong_scaling_bfs(
     dataset: str,
     thread_counts: tuple[int, ...] = DEFAULT_THREADS,
     algorithms: tuple[str, ...] = ("AdjoinBFS", "HyperBFS", "HygraBFS"),
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> list[ScalingSeries]:
     """Figure 8 driver: BFS makespans/speedups over the thread grid."""
     h, ag = _reps(dataset)
@@ -164,10 +188,10 @@ def strong_scaling_bfs(
         series = ScalingSeries(algorithm=alg, dataset=dataset)
         base: float | None = None
         for t in thread_counts:
-            rt = _runtime_for(alg, t)
-            rt.new_run()
-            engine(h, ag, src, rt)
-            span = rt.makespan
+            with _runtime_for(alg, t, backend, workers) as rt:
+                rt.new_run()
+                engine(h, ag, src, rt)
+                span = rt.makespan
             if base is None:
                 base = span
             series.points.append(
@@ -184,6 +208,8 @@ def strong_scaling_construction(
     algorithms: tuple[str, ...] = (
         "Hashmap", "Alg1 (queue hashmap)", "Alg2 (queue intersect)",
     ),
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> list[ScalingSeries]:
     """Construction strong scaling — the companion papers' [17, 18] panel.
 
@@ -197,10 +223,10 @@ def strong_scaling_construction(
         series = ScalingSeries(algorithm=alg, dataset=dataset)
         base: float | None = None
         for t in thread_counts:
-            rt = nwhy_runtime(t)
-            rt.new_run()
-            fn(h, s, runtime=rt)
-            span = rt.makespan
+            with nwhy_runtime(t, backend=backend, workers=workers) as rt:
+                rt.new_run()
+                fn(h, s, runtime=rt)
+                span = rt.makespan
             if base is None:
                 base = span
             series.points.append(
@@ -236,6 +262,8 @@ def fig9_slinegraph(
     threads: int = 32,
     partitioners: tuple[str, ...] = ("blocked", "cyclic"),
     relabels: tuple[str, ...] = ("none", "ascending", "descending"),
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> list[Fig9Row]:
     """Figure 9 driver: best-config s-line construction, Hashmap-normalized.
 
@@ -254,16 +282,18 @@ def fig9_slinegraph(
         best_cfg = ""
         for part in partitioners:
             for rel in relabels:
-                rt = ParallelRuntime(
+                with ParallelRuntime(
                     num_threads=threads,
                     scheduler="work_stealing",
                     partitioner=part,
-                )
-                rt.new_run()
-                fn(variants[rel], s, runtime=rt)
-                if rt.makespan < best:
-                    best = rt.makespan
-                    best_cfg = f"{part}/{rel}"
+                    backend=backend,
+                    workers=workers,
+                ) as rt:
+                    rt.new_run()
+                    fn(variants[rel], s, runtime=rt)
+                    if rt.makespan < best:
+                        best = rt.makespan
+                        best_cfg = f"{part}/{rel}"
         rows.append((alg_name, best, best_cfg))
     hash_best = next(b for name, b, _ in rows if name == "Hashmap")
     return [

@@ -261,6 +261,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
     from repro.bench.harness import (
         fig9_slinegraph,
         strong_scaling_bfs,
@@ -269,16 +271,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.reporting import format_fig9, format_scaling
 
     threads = tuple(args.threads)
+    be = {"backend": args.backend, "workers": args.workers}
+    results: list
     if args.figure == 7:
-        print(format_scaling(strong_scaling_cc(args.dataset, threads)))
+        results = strong_scaling_cc(args.dataset, threads, **be)
+        text = format_scaling(results)
     elif args.figure == 8:
-        print(format_scaling(strong_scaling_bfs(args.dataset, threads)))
+        results = strong_scaling_bfs(args.dataset, threads, **be)
+        text = format_scaling(results)
     elif args.figure == 9:
-        print(format_fig9(
-            fig9_slinegraph(args.dataset, s=args.s, threads=max(threads))
-        ))
+        results = fig9_slinegraph(
+            args.dataset, s=args.s, threads=max(threads), **be
+        )
+        text = format_fig9(results)
     else:
         raise SystemExit(f"no driver for figure {args.figure} (use 7, 8, 9)")
+    if args.json:
+        print(json.dumps({
+            "figure": args.figure,
+            "dataset": args.dataset,
+            "backend": args.backend or "simulated",
+            "workers": args.workers,
+            "results": [asdict(r) for r in results],
+        }, indent=2))
+    else:
+        print(text)
     return 0
 
 
@@ -310,6 +327,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         num_threads=args.threads,
         metrics=registry,
+        backend=args.backend,
+        workers=args.workers,
     )
     for spec in args.dataset:
         name, _, source = spec.partition("=")
@@ -317,13 +336,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server = AnalyticsServer(engine, host=args.host, port=args.port)
     host, port = server.address
     print(f"serving {len(engine.store)} dataset(s) "
-          f"{engine.store.names()} on {host}:{port}", flush=True)
+          f"{engine.store.names()} on {host}:{port} "
+          f"(backend={engine.backend.name})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        engine.close()
     return 0
 
 
@@ -344,10 +365,17 @@ def cmd_query(args: argparse.Namespace) -> int:
             queries.append(json.loads(text))
         except json.JSONDecodeError as exc:
             raise SystemExit(f"bad query {text!r}: {exc}")
+    if (args.backend or args.workers) and not args.batch:
+        raise SystemExit(
+            "--backend/--workers select the batch dispatch backend; "
+            "add --batch"
+        )
     failed = 0
     with ServiceClient(host, int(port)) as client:
         if args.batch:
-            responses = client.batch(queries)
+            responses = client.batch(
+                queries, backend=args.backend, workers=args.workers
+            )
         else:
             responses = [client.request(q) for q in queries]
     for resp in responses:
@@ -574,6 +602,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, nargs="+",
                    default=[1, 2, 4, 8, 16, 32, 64])
     p.add_argument("-s", type=int, default=2, help="s for figure 9")
+    p.add_argument("--backend", default=None,
+                   choices=["simulated", "threaded", "process"],
+                   help="execution backend for pure phases (default: "
+                        "simulated; figures are identical either way)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="real worker pool size (default: bounded cpu count)")
+    p.add_argument("--json", action="store_true",
+                   help="results as one JSON document")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("serve",
@@ -589,6 +625,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="s-line-graph cache budget in MiB")
     p.add_argument("--threads", type=int, default=4,
                    help="simulated threads for batch dispatch")
+    p.add_argument("--backend", default=None,
+                   choices=["simulated", "threaded", "process"],
+                   help="execution backend for batch dispatch (default: "
+                        "$REPRO_BACKEND or simulated)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="real worker pool size (default: $REPRO_WORKERS "
+                        "or bounded cpu count)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("query",
@@ -598,6 +641,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="query JSON objects (default: read lines from stdin)")
     p.add_argument("--batch", action="store_true",
                    help="send all queries as one batch request")
+    p.add_argument("--backend", default=None,
+                   choices=["simulated", "threaded", "process"],
+                   help="server-side execution backend for this batch "
+                        "(requires --batch)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="server-side worker pool size for this batch "
+                        "(requires --batch)")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("update",

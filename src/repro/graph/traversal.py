@@ -21,8 +21,13 @@ def multi_slice(
 ) -> np.ndarray:
     """Concatenate ``data[starts[i] : starts[i] + counts[i]]`` for all *i*.
 
-    Fully vectorized: builds the flat gather index with one ``arange`` and
-    two ``repeat``/``cumsum`` passes.
+    Fully vectorized: builds the flat gather index with one ``arange``,
+    one ``cumsum``, and a single ``repeat``.  For output position ``k``
+    inside slice ``i`` the index is ``k + (starts[i] - cum[i-1])`` — the
+    per-slice shift from running-output offset to data offset — so one
+    repeated shift replaces the two repeats of the classic formulation
+    (measurably faster: the repeat is the dominant cost at two-hop
+    expansion sizes).
     """
     starts = np.asarray(starts, dtype=np.int64)
     counts = np.asarray(counts, dtype=np.int64)
@@ -30,9 +35,8 @@ def multi_slice(
     if total == 0:
         return np.empty(0, dtype=data.dtype)
     cum = np.cumsum(counts)
-    # position within each slice, then shift to the slice's start
-    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
-    return data[within + np.repeat(starts, counts)]
+    shift = np.repeat(starts - cum + counts, counts)
+    return data[np.arange(total, dtype=np.int64) + shift]
 
 
 def gather_neighbors(

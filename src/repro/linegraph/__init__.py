@@ -52,6 +52,8 @@ def to_two_graph(
     queue_ids: np.ndarray | None = None,
     tracer=None,
     metrics=None,
+    backend=None,
+    workers: int | None = None,
 ):
     """Construct the s-line ("two-graph") edge list of a hypergraph.
 
@@ -63,8 +65,10 @@ def to_two_graph(
     the matrix oracle ignores ``runtime`` (one sparse product).
 
     ``tracer``/``metrics`` (:mod:`repro.obs`, no-op when ``None``) reach
-    every instrumented algorithm; the ``matrix``/``threaded`` oracles are
-    uninstrumented and ignore them.
+    every instrumented algorithm; the ``matrix`` oracle is uninstrumented
+    and ignores them.  ``backend``/``workers`` select a real execution
+    backend (``'threaded'``/``'process'``) when no ``runtime`` is passed —
+    results are bit-identical either way (see docs/PARALLEL.md).
     """
     if algorithm == "auto":
         from repro.structures.adjoin import AdjoinGraph
@@ -79,14 +83,26 @@ def to_two_graph(
             f"unknown algorithm {algorithm!r}; choose from "
             f"{sorted(ALGORITHMS) + ['auto']}"
         ) from None
+    be_kwargs = {}
+    if backend is not None or workers is not None:
+        be_kwargs = {"backend": backend, "workers": workers}
     if algorithm in ("queue_hashmap", "queue_intersection"):
         return fn(
             h, s, runtime=runtime, queue_ids=queue_ids,
+            tracer=tracer, metrics=metrics, **be_kwargs,
+        )
+    if algorithm == "matrix":
+        return fn(h, s)
+    if algorithm == "threaded":
+        # the threaded builder *is* a backend choice; workers maps to its
+        # pool size and an explicit runtime overrides everything
+        return fn(
+            h, s, runtime=runtime, num_workers=workers,
             tracer=tracer, metrics=metrics,
         )
-    if algorithm in ("matrix", "threaded"):
-        return fn(h, s)
-    return fn(h, s, runtime=runtime, tracer=tracer, metrics=metrics)
+    return fn(
+        h, s, runtime=runtime, tracer=tracer, metrics=metrics, **be_kwargs
+    )
 
 
 def to_two_graph_hashmap_cyclic(

@@ -25,16 +25,24 @@ def scliquegraph(
     algorithm=None,
     tracer=None,
     metrics=None,
+    backend=None,
+    workers: int | None = None,
 ) -> EdgeList:
     """s-clique graph: hypernodes joined by ≥ s shared hyperedges.
 
     Implemented — exactly as the paper defines it — as the s-line graph of
     the dual hypergraph.  ``algorithm`` may be any single-s construction
-    from this package (defaults to the hashmap algorithm); ``tracer`` and
-    ``metrics`` forward to it (see :mod:`repro.obs`).
+    from this package (defaults to the hashmap algorithm); ``tracer``,
+    ``metrics``, and the ``backend``/``workers`` execution-backend spec
+    forward to it (see :mod:`repro.obs`, :mod:`repro.parallel.backends`).
     """
     construct = algorithm if algorithm is not None else slinegraph_hashmap
-    return construct(h.dual(), s, runtime=runtime, tracer=tracer, metrics=metrics)
+    kwargs = {}
+    if backend is not None or workers is not None:
+        kwargs = {"backend": backend, "workers": workers}
+    return construct(
+        h.dual(), s, runtime=runtime, tracer=tracer, metrics=metrics, **kwargs
+    )
 
 
 def clique_expansion(
@@ -43,6 +51,8 @@ def clique_expansion(
     algorithm=None,
     tracer=None,
     metrics=None,
+    backend=None,
+    workers: int | None = None,
 ) -> EdgeList:
     """Clique-expansion graph of a hypergraph: the ``s = 1`` clique graph.
 
@@ -54,5 +64,5 @@ def clique_expansion(
     """
     return scliquegraph(
         h, 1, runtime=runtime, algorithm=algorithm,
-        tracer=tracer, metrics=metrics,
+        tracer=tracer, metrics=metrics, backend=backend, workers=workers,
     )

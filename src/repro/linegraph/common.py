@@ -25,7 +25,37 @@ __all__ = [
     "two_hop_pair_weighted",
     "linegraph_csr",
     "resolve_incidence",
+    "resolve_runtime",
 ]
+
+
+def resolve_runtime(runtime, backend=None, workers=None):
+    """Turn a builder's ``runtime``/``backend``/``workers`` args into a runtime.
+
+    Builders accept either an explicit
+    :class:`~repro.parallel.runtime.ParallelRuntime` *or* a backend spec
+    (``'simulated'``/``'threaded'``/``'process'``, optionally with a
+    worker count), from which a runtime is constructed on the spot.
+    Returns ``(runtime_or_None, owned)``; when ``owned`` the caller must
+    ``close()`` the runtime after the build (it holds a live pool).
+    """
+    if backend is None and workers is None:
+        return runtime, False
+    if runtime is not None:
+        raise ValueError("pass either runtime= or backend=/workers=, not both")
+    from repro.parallel.backends import default_workers
+    from repro.parallel.runtime import ParallelRuntime
+
+    w = default_workers() if workers is None else max(1, int(workers))
+    return (
+        ParallelRuntime(
+            num_threads=w,
+            partitioner="cyclic",
+            backend=backend or "simulated",
+            workers=w,
+        ),
+        True,
+    )
 
 
 def pair_counters(metrics, algorithm: str):
@@ -212,12 +242,18 @@ def two_hop_pair_counts(
     from repro.graph.traversal import multi_slice
 
     members = multi_slice(edges.indices, starts, sizes)
-    e_for_member = np.repeat(hyperedge_ids, sizes)
     # hop 2: member -> all hyperedges incident on it
     m_starts = nodes.indptr[members]
     m_sizes = nodes.indptr[members + 1] - m_starts
     cand = multi_slice(nodes.indices, m_starts, m_sizes)
-    e_for_cand = np.repeat(e_for_member, m_sizes)
+    # source-edge labels for each candidate, fused into ONE repeat: the
+    # member-level intermediate (repeat ids by sizes, then again by
+    # m_sizes) is equivalent to repeating ids by the per-edge candidate
+    # totals — one pass over |ids| segments instead of two over |members|
+    m_cum = np.concatenate((np.zeros(1, np.int64), np.cumsum(m_sizes)))
+    bounds = np.concatenate((np.zeros(1, np.int64), np.cumsum(sizes)))
+    per_edge = m_cum[bounds[1:]] - m_cum[bounds[:-1]]
+    e_for_cand = np.repeat(hyperedge_ids, per_edge)
     work = int(cand.size + members.size)
     if upper_only:
         keep = cand > e_for_cand
@@ -228,7 +264,8 @@ def two_hop_pair_counts(
     n = edges.num_vertices()
     key = e_for_cand * n + cand
     uniq, counts = np.unique(key, return_counts=True)
-    return uniq // n, uniq % n, counts.astype(np.int64), work
+    src, dst = np.divmod(uniq, n)
+    return src, dst, counts.astype(np.int64), work
 
 
 def two_hop_pair_weighted(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.parallel.runtime import ParallelRuntime, TaskResult
+from repro.parallel.runtime import ParallelRuntime
 from repro.structures.edgelist import EdgeList
 
 from repro.obs.tracer import as_tracer
@@ -19,8 +19,9 @@ from .common import (
     finalize_edges,
     pair_counters,
     resolve_incidence,
-    two_hop_pair_counts,
+    resolve_runtime,
 )
+from .kernels import HashmapCountKernel
 
 __all__ = ["slinegraph_ensemble"]
 
@@ -31,6 +32,8 @@ def slinegraph_ensemble(
     runtime: ParallelRuntime | None = None,
     tracer=None,
     metrics=None,
+    backend=None,
+    workers: int | None = None,
 ) -> dict[int, EdgeList]:
     """Build ``{s: L_s(H)}`` for every ``s`` in ``s_values`` in one pass.
 
@@ -49,40 +52,44 @@ def slinegraph_ensemble(
     s_min = s_values[0]
     edges, nodes, n_e, sizes = resolve_incidence(h)
     eligible = np.flatnonzero(sizes >= s_min).astype(np.int64)
-    candidates = [0]  # bodies run serially; plain accumulation is safe
+    runtime, owned = resolve_runtime(runtime, backend, workers)
 
-    def body(chunk: np.ndarray) -> TaskResult:
-        src, dst, cnt, work = two_hop_pair_counts(edges, nodes, chunk)
-        candidates[0] += cnt.size  # repro: noqa-R003 — stats counter; serial bodies
-        keep = cnt >= s_min
-        return TaskResult(
-            (src[keep], dst[keep], cnt[keep]), float(work + chunk.size)
-        )
-
-    with tr.span(
-        "slinegraph.ensemble", s_min=s_min, num_s=len(s_values)
-    ) as span:
-        with tr.span("ensemble.count"):
-            if runtime is None:
-                parts = [body(eligible).value]
+    try:
+        with tr.span(
+            "slinegraph.ensemble", s_min=s_min, num_s=len(s_values)
+        ) as span:
+            with tr.span("ensemble.count"):
+                if runtime is None:
+                    kernel = HashmapCountKernel(edges, nodes, s_min)
+                    parts = [kernel(eligible).value]
+                else:
+                    runtime.new_run()
+                    with runtime.share(edges, nodes) as (se, sn):
+                        kernel = HashmapCountKernel(se, sn, s_min)
+                        parts = runtime.parallel_for(
+                            runtime.partition(eligible),
+                            kernel,
+                            phase="ensemble_count",
+                            pure=True,
+                        )
+            if parts:
+                src = np.concatenate([p[0] for p in parts])
+                dst = np.concatenate([p[1] for p in parts])
+                cnt = np.concatenate([p[2] for p in parts])
+                candidates = sum(p[3] for p in parts)
             else:
-                runtime.new_run()
-                parts = runtime.parallel_for(
-                    runtime.partition(eligible), body, phase="ensemble_count"
-                )
-        if parts:
-            src = np.concatenate([p[0] for p in parts])
-            dst = np.concatenate([p[1] for p in parts])
-            cnt = np.concatenate([p[2] for p in parts])
-        else:
-            src = dst = cnt = np.empty(0, dtype=np.int64)
-        c_cand.inc(candidates[0])
-        c_pruned.inc(candidates[0] - src.size)
-        c_emit.inc(src.size)
-        span.set(candidates=candidates[0], emitted=int(src.size))
-        with tr.span("ensemble.filter"):
-            out: dict[int, EdgeList] = {}
-            for s in s_values:
-                keep = cnt >= s
-                out[s] = finalize_edges(src[keep], dst[keep], cnt[keep], n_e)
-            return out
+                src = dst = cnt = np.empty(0, dtype=np.int64)
+                candidates = 0
+            c_cand.inc(candidates)
+            c_pruned.inc(candidates - src.size)
+            c_emit.inc(src.size)
+            span.set(candidates=candidates, emitted=int(src.size))
+            with tr.span("ensemble.filter"):
+                out: dict[int, EdgeList] = {}
+                for s in s_values:
+                    keep = cnt >= s
+                    out[s] = finalize_edges(src[keep], dst[keep], cnt[keep], n_e)
+                return out
+    finally:
+        if owned:
+            runtime.close()

@@ -9,15 +9,17 @@ count reaches *s*.  Degree-based pruning skips hyperedges with fewer than
 The Python kernel replaces the per-edge hash map with one vectorized
 multiplicity count over the chunk's packed two-hop keys
 (:func:`~repro.linegraph.common.two_hop_pair_counts`) — the same
-arithmetic, one ``np.unique`` instead of millions of hash probes.
+arithmetic, one ``np.unique`` instead of millions of hash probes.  The
+body lives in :class:`~repro.linegraph.kernels.HashmapCountKernel`, a
+picklable pure kernel, so the same construction runs unchanged on the
+simulated, threaded, and process backends.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.parallel.runtime import ParallelRuntime, TaskResult
-from repro.structures.biadjacency import BiAdjacency
+from repro.parallel.runtime import ParallelRuntime
 from repro.structures.edgelist import EdgeList
 
 from repro.obs.tracer import as_tracer
@@ -26,74 +28,78 @@ from .common import (
     empty_linegraph,
     finalize_edges,
     pair_counters,
-    two_hop_pair_counts,
+    resolve_incidence,
+    resolve_runtime,
 )
+from .kernels import HashmapCountKernel
 
 __all__ = ["slinegraph_hashmap"]
 
 
 def slinegraph_hashmap(
-    h: BiAdjacency,
+    h,
     s: int = 1,
     runtime: ParallelRuntime | None = None,
     weighted: bool = False,
     tracer=None,
     metrics=None,
+    backend=None,
+    workers: int | None = None,
 ) -> EdgeList:
     """Hashmap-based counting construction over the full hyperedge range.
 
     This is the fastest non-queue algorithm in the paper's Fig. 9 and the
-    normalization baseline of that figure.
+    normalization baseline of that figure.  Accepts ``BiAdjacency`` or
+    ``AdjoinGraph``.
 
     ``weighted=True`` emits the weighted overlap ``Σ w(e,v)·w(f,v)`` as the
     edge weight (requires weighted incidences); the ``s`` threshold always
     applies to the *set* overlap ``|e ∩ f|`` per the paper's definition.
+
+    ``backend``/``workers`` build a throwaway runtime on that execution
+    backend (see :mod:`repro.parallel.backends`); alternatively pass a
+    ``runtime`` already configured with one.
     """
     if s < 1:
         raise ValueError("s must be >= 1")
     tr = as_tracer(tracer)
     c_cand, c_pruned, c_emit = pair_counters(metrics, "hashmap")
-    n = h.num_hyperedges()
-    eligible = np.flatnonzero(h.edge_sizes() >= s).astype(np.int64)
-    candidates = [0]  # bodies run serially; plain accumulation is safe
+    edges, nodes, n, sizes = resolve_incidence(h)
+    eligible = np.flatnonzero(sizes >= s).astype(np.int64)
+    runtime, owned = resolve_runtime(runtime, backend, workers)
 
-    def body(chunk: np.ndarray) -> TaskResult:
-        if weighted:
-            from .common import two_hop_pair_weighted
-
-            src, dst, cnt, wgt = two_hop_pair_weighted(
-                h.edges, h.nodes, chunk
-            )
-            candidates[0] += cnt.size  # repro: noqa-R003 — stats counter; serial bodies
-            work = int(cnt.sum()) + chunk.size
-            keep = cnt >= s
-            return TaskResult(
-                (src[keep], dst[keep], wgt[keep]), float(work)
-            )
-        src, dst, cnt, work = two_hop_pair_counts(h.edges, h.nodes, chunk)
-        candidates[0] += cnt.size  # repro: noqa-R003 — stats counter; serial bodies
-        keep = cnt >= s
-        return TaskResult(
-            (src[keep], dst[keep], cnt[keep]), float(work + chunk.size)
-        )
-
-    with tr.span("slinegraph.hashmap", s=s, weighted=weighted) as span:
-        with tr.span("hashmap.count"):
-            if runtime is None:
-                parts = [body(eligible).value]
-            else:
-                runtime.new_run()
-                parts = runtime.parallel_for(
-                    runtime.partition(eligible), body, phase="hashmap_count"
-                )
-        if not parts:
-            return empty_linegraph(n)
-        src = np.concatenate([p[0] for p in parts])
-        dst = np.concatenate([p[1] for p in parts])
-        cnt = np.concatenate([p[2] for p in parts])
-        c_cand.inc(candidates[0])
-        c_pruned.inc(candidates[0] - src.size)
-        c_emit.inc(src.size)
-        span.set(candidates=candidates[0], emitted=int(src.size))
-        with tr.span("hashmap.finalize"):
-            return finalize_edges(src, dst, cnt, n)
+    try:
+        with tr.span("slinegraph.hashmap", s=s, weighted=weighted) as span:
+            with tr.span("hashmap.count"):
+                if runtime is None:
+                    kernel = HashmapCountKernel(
+                        edges, nodes, s, weighted=weighted
+                    )
+                    parts = [kernel(eligible).value]
+                else:
+                    runtime.new_run()
+                    with runtime.share(edges, nodes) as (se, sn):
+                        kernel = HashmapCountKernel(
+                            se, sn, s, weighted=weighted
+                        )
+                        parts = runtime.parallel_for(
+                            runtime.partition(eligible),
+                            kernel,
+                            phase="hashmap_count",
+                            pure=True,
+                        )
+            if not parts:
+                return empty_linegraph(n)
+            src = np.concatenate([p[0] for p in parts])
+            dst = np.concatenate([p[1] for p in parts])
+            cnt = np.concatenate([p[2] for p in parts])
+            candidates = sum(p[3] for p in parts)
+            c_cand.inc(candidates)
+            c_pruned.inc(candidates - src.size)
+            c_emit.inc(src.size)
+            span.set(candidates=candidates, emitted=int(src.size))
+            with tr.span("hashmap.finalize"):
+                return finalize_edges(src, dst, cnt, n)
+    finally:
+        if owned:
+            runtime.close()

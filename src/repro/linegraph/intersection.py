@@ -8,87 +8,78 @@ the member lists decides whether ``|e ∩ f| ≥ s``.
 
 Compared to the hashmap algorithm this trades the counting hash map for
 per-pair intersections — cheaper when candidates are few or *s* is large
-(early exit), costlier when overlap structure is dense.
+(early exit), costlier when overlap structure is dense.  The body is the
+picklable :class:`~repro.linegraph.kernels.IntersectionKernel`, so the
+construction runs on any execution backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.parallel.runtime import ParallelRuntime, TaskResult
-from repro.structures.biadjacency import BiAdjacency
+from repro.parallel.runtime import ParallelRuntime
 from repro.structures.edgelist import EdgeList
 
 from repro.obs.tracer import as_tracer
 
 from .common import (
-    batch_intersect_counts,
     empty_linegraph,
     finalize_edges,
     pair_counters,
-    two_hop_pair_counts,
+    resolve_incidence,
+    resolve_runtime,
 )
+from .kernels import IntersectionKernel
 
 __all__ = ["slinegraph_intersection"]
 
 
 def slinegraph_intersection(
-    h: BiAdjacency,
+    h,
     s: int = 1,
     runtime: ParallelRuntime | None = None,
     tracer=None,
     metrics=None,
+    backend=None,
+    workers: int | None = None,
 ) -> EdgeList:
     """Candidate-gathering + per-pair set intersection construction."""
     if s < 1:
         raise ValueError("s must be >= 1")
     tr = as_tracer(tracer)
     c_cand, c_pruned, c_emit = pair_counters(metrics, "intersection")
-    n = h.num_hyperedges()
-    sizes = h.edge_sizes()
+    edges, nodes, n, sizes = resolve_incidence(h)
     eligible = np.flatnonzero(sizes >= s).astype(np.int64)
-    candidates = [0]  # bodies run serially; plain accumulation is safe
+    runtime, owned = resolve_runtime(runtime, backend, workers)
 
-    def body(chunk: np.ndarray) -> TaskResult:
-        # candidate pairs via two-hop walk (counts discarded: the heuristic
-        # algorithm re-derives overlap by explicit intersection)
-        src_c, dst_c, _, walk_work = two_hop_pair_counts(
-            h.edges, h.nodes, chunk
-        )
-        candidates[0] += src_c.size  # repro: noqa-R003 — stats counter; serial bodies
-        # degree pruning on the candidate side
-        keep = sizes[dst_c] >= s
-        src_c, dst_c = src_c[keep], dst_c[keep]
-        pairs = np.stack([src_c, dst_c], axis=1)
-        counts = batch_intersect_counts(h.edges, pairs)
-        work = walk_work + (
-            int(np.minimum(sizes[src_c], sizes[dst_c]).sum())
-            if src_c.size
-            else 0
-        )
-        hit = counts >= s
-        return TaskResult(
-            (src_c[hit], dst_c[hit], counts[hit]),
-            float(work + chunk.size),
-        )
-
-    with tr.span("slinegraph.intersection", s=s) as span:
-        with tr.span("intersection.candidates"):
-            if runtime is None:
-                parts = [body(eligible).value]
-            else:
-                runtime.new_run()
-                parts = runtime.parallel_for(
-                    runtime.partition(eligible), body, phase="intersection"
-                )
-        if not parts:
-            return empty_linegraph(n)
-        src = np.concatenate([p[0] for p in parts])
-        dst = np.concatenate([p[1] for p in parts])
-        cnt = np.concatenate([p[2] for p in parts])
-        c_cand.inc(candidates[0])
-        c_pruned.inc(candidates[0] - src.size)
-        c_emit.inc(src.size)
-        span.set(candidates=candidates[0], emitted=int(src.size))
-        with tr.span("intersection.finalize"):
-            return finalize_edges(src, dst, cnt, n)
+    try:
+        with tr.span("slinegraph.intersection", s=s) as span:
+            with tr.span("intersection.candidates"):
+                if runtime is None:
+                    kernel = IntersectionKernel(edges, nodes, s)
+                    parts = [kernel(eligible).value]
+                else:
+                    runtime.new_run()
+                    with runtime.share(edges, nodes) as (se, sn):
+                        kernel = IntersectionKernel(se, sn, s)
+                        parts = runtime.parallel_for(
+                            runtime.partition(eligible),
+                            kernel,
+                            phase="intersection",
+                            pure=True,
+                        )
+            if not parts:
+                return empty_linegraph(n)
+            src = np.concatenate([p[0] for p in parts])
+            dst = np.concatenate([p[1] for p in parts])
+            cnt = np.concatenate([p[2] for p in parts])
+            candidates = sum(p[3] for p in parts)
+            c_cand.inc(candidates)
+            c_pruned.inc(candidates - src.size)
+            c_emit.inc(src.size)
+            span.set(candidates=candidates, emitted=int(src.size))
+            with tr.span("intersection.finalize"):
+                return finalize_edges(src, dst, cnt, n)
+    finally:
+        if owned:
+            runtime.close()

@@ -1,0 +1,221 @@
+"""Picklable construction kernels — one body per builder, backend-agnostic.
+
+The s-line builders used to close over their incidence CSRs; a closure
+runs fine on the simulated loop and a thread pool but cannot cross a
+process boundary.  These module-level kernel classes hold their inputs as
+instance attributes instead, so one object serves all three execution
+backends:
+
+* under ``simulated``/``threaded`` the attributes are plain CSRs and
+  :func:`repro.parallel.shared.open_handles` passes them through;
+* under ``process`` the builder wraps them via ``runtime.share(...)``
+  first, the kernel pickles to a ~300-byte handle bundle, and each task
+  attaches the shared blocks zero-copy.
+
+Every kernel is **pure**: it only reads its inputs and returns freshly
+allocated arrays (the ``np.unique``/``bincount`` outputs), which is what
+lets :meth:`~repro.parallel.runtime.ParallelRuntime.parallel_for` route
+it to a real pool with ``pure=True``.  Candidate-pair statistics that the
+builders used to accumulate in closed-over lists now travel inside the
+returned value — a list mutation would race under real threads and be
+silently lost under processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.runtime import TaskResult
+from repro.parallel.shared import open_handles
+
+from .common import (
+    batch_intersect_counts,
+    intersect_count_sorted,
+    two_hop_pair_counts,
+    two_hop_pair_weighted,
+)
+
+__all__ = [
+    "HashmapCountKernel",
+    "IntersectionKernel",
+    "NaivePairsKernel",
+    "PairGatherKernel",
+    "PairIntersectKernel",
+]
+
+
+def _row_sizes(csr, ids: np.ndarray) -> np.ndarray:
+    """Row lengths (= hyperedge sizes) for ``ids`` without a full diff."""
+    return csr.indptr[ids + 1] - csr.indptr[ids]
+
+
+class HashmapCountKernel:
+    """Hashmap-counting body (hashmap, queue_hashmap, ensemble, threaded).
+
+    Returns ``TaskResult((src, dst, weight, candidates), work)`` where
+    ``candidates`` is the number of co-incident pairs examined before the
+    ``s`` threshold — the statistic the builders' counters report.
+    """
+
+    __slots__ = ("edges", "nodes", "s", "weighted", "degree_filter")
+
+    def __init__(
+        self, edges, nodes, s: int,
+        weighted: bool = False, degree_filter: bool = False,
+    ) -> None:
+        self.edges = edges
+        self.nodes = nodes
+        self.s = int(s)
+        self.weighted = bool(weighted)
+        self.degree_filter = bool(degree_filter)
+
+    def __call__(self, chunk: np.ndarray) -> TaskResult:
+        with open_handles(self.edges, self.nodes) as (edges, nodes):
+            live = chunk
+            if self.degree_filter:  # Alg. 1 line 6
+                live = chunk[_row_sizes(edges, chunk) >= self.s]
+            if self.weighted:
+                src, dst, cnt, wgt = two_hop_pair_weighted(edges, nodes, live)
+                keep = cnt >= self.s
+                work = int(cnt.sum()) + chunk.size
+                return TaskResult(
+                    (src[keep], dst[keep], wgt[keep], int(cnt.size)),
+                    float(work),
+                )
+            src, dst, cnt, work = two_hop_pair_counts(edges, nodes, live)
+            keep = cnt >= self.s
+            return TaskResult(
+                (src[keep], dst[keep], cnt[keep], int(cnt.size)),
+                float(work + chunk.size),
+            )
+
+
+class IntersectionKernel:
+    """Candidate gathering + per-pair set intersection (one-phase [17])."""
+
+    __slots__ = ("edges", "nodes", "s")
+
+    def __init__(self, edges, nodes, s: int) -> None:
+        self.edges = edges
+        self.nodes = nodes
+        self.s = int(s)
+
+    def __call__(self, chunk: np.ndarray) -> TaskResult:
+        with open_handles(self.edges, self.nodes) as (edges, nodes):
+            # candidate pairs via two-hop walk (counts discarded: the
+            # heuristic algorithm re-derives overlap by explicit
+            # intersection)
+            src_c, dst_c, _, walk_work = two_hop_pair_counts(
+                edges, nodes, chunk
+            )
+            candidates = int(src_c.size)
+            keep = _row_sizes(edges, dst_c) >= self.s
+            src_c, dst_c = src_c[keep], dst_c[keep]
+            pairs = np.stack([src_c, dst_c], axis=1)
+            counts = batch_intersect_counts(edges, pairs)
+            work = walk_work + (
+                int(
+                    np.minimum(
+                        _row_sizes(edges, src_c), _row_sizes(edges, dst_c)
+                    ).sum()
+                )
+                if src_c.size
+                else 0
+            )
+            hit = counts >= self.s
+            return TaskResult(
+                (src_c[hit], dst_c[hit], counts[hit], candidates),
+                float(work + chunk.size),
+            )
+
+
+class PairGatherKernel:
+    """Algorithm 2 phase 1: enqueue candidate pairs from the two-hop walk."""
+
+    __slots__ = ("edges", "nodes", "s")
+
+    def __init__(self, edges, nodes, s: int) -> None:
+        self.edges = edges
+        self.nodes = nodes
+        self.s = int(s)
+
+    def __call__(self, chunk: np.ndarray) -> TaskResult:
+        with open_handles(self.edges, self.nodes) as (edges, nodes):
+            src, dst, _, work = two_hop_pair_counts(edges, nodes, chunk)
+            keep = _row_sizes(edges, dst) >= self.s  # candidate-side pruning
+            pairs = np.stack([src[keep], dst[keep]], axis=1)
+            return TaskResult(
+                (pairs, int(src.size)), float(work + chunk.size)
+            )
+
+
+class PairIntersectKernel:
+    """Algorithm 2 phase 2: per-pair sorted-merge set intersection.
+
+    Unlike the other kernels its chunks are *pair arrays* (the drained
+    queue's rows), not hyperedge IDs — each row is consumed exactly once,
+    so the pairs travel with the task while the member CSR stays shared.
+    """
+
+    __slots__ = ("edges", "s")
+
+    def __init__(self, edges, s: int) -> None:
+        self.edges = edges
+        self.s = int(s)
+
+    def __call__(self, pairs: np.ndarray) -> TaskResult:
+        with open_handles(self.edges) as (edges,):
+            counts = batch_intersect_counts(edges, pairs)
+            work = (
+                int(
+                    np.minimum(
+                        _row_sizes(edges, pairs[:, 0]),
+                        _row_sizes(edges, pairs[:, 1]),
+                    ).sum()
+                )
+                if pairs.size
+                else 0
+            )
+            keep = counts >= self.s
+            return TaskResult(
+                (pairs[keep, 0], pairs[keep, 1], counts[keep]),
+                float(work + pairs.shape[0]),
+            )
+
+
+class NaivePairsKernel:
+    """All-pairs oracle body: intersect every ``f > e`` (paper §III-C.3)."""
+
+    __slots__ = ("edges", "s", "n")
+
+    def __init__(self, edges, s: int, n: int) -> None:
+        self.edges = edges
+        self.s = int(s)
+        self.n = int(n)
+
+    def __call__(self, block: np.ndarray) -> TaskResult:
+        with open_handles(self.edges) as (edges,):
+            sizes = np.diff(edges.indptr)  # oracle-scale inputs; O(n) is fine
+            src: list[int] = []
+            dst: list[int] = []
+            cnt: list[int] = []
+            examined = 0
+            work = 0
+            for e in block.tolist():
+                if sizes[e] < self.s:
+                    continue
+                mem_e = edges[e]
+                for f in range(e + 1, self.n):
+                    if sizes[f] < self.s:
+                        continue
+                    examined += 1
+                    work += int(min(sizes[e], sizes[f]))
+                    c = intersect_count_sorted(mem_e, edges[f])
+                    if c >= self.s:
+                        src.append(e)
+                        dst.append(f)
+                        cnt.append(c)
+            return TaskResult(
+                (np.array(src), np.array(dst), np.array(cnt), examined),
+                float(work + block.size),
+            )

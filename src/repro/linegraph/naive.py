@@ -10,23 +10,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.parallel.runtime import ParallelRuntime, TaskResult
-from repro.structures.biadjacency import BiAdjacency
+from repro.parallel.runtime import ParallelRuntime
 from repro.structures.edgelist import EdgeList
 
 from repro.obs.tracer import as_tracer
 
-from .common import finalize_edges, intersect_count_sorted, pair_counters
+from .common import (
+    finalize_edges,
+    pair_counters,
+    resolve_incidence,
+    resolve_runtime,
+)
+from .kernels import NaivePairsKernel
 
 __all__ = ["slinegraph_naive"]
 
 
 def slinegraph_naive(
-    h: BiAdjacency,
+    h,
     s: int = 1,
     runtime: ParallelRuntime | None = None,
     tracer=None,
     metrics=None,
+    backend=None,
+    workers: int | None = None,
 ) -> EdgeList:
     """All-pairs set-intersection s-line construction.
 
@@ -36,49 +43,36 @@ def slinegraph_naive(
         raise ValueError("s must be >= 1")
     tr = as_tracer(tracer)
     c_cand, c_pruned, c_emit = pair_counters(metrics, "naive")
-    n = h.num_hyperedges()
-    sizes = h.edge_sizes()
-    examined = [0]  # bodies run serially; plain accumulation is safe
+    edges, _, n, _ = resolve_incidence(h)
+    runtime, owned = resolve_runtime(runtime, backend, workers)
 
-    def pairs_for(block: np.ndarray) -> TaskResult:
-        src: list[int] = []
-        dst: list[int] = []
-        cnt: list[int] = []
-        work = 0
-        for e in block.tolist():
-            if sizes[e] < s:
-                continue
-            mem_e = h.members(e)
-            for f in range(e + 1, n):
-                if sizes[f] < s:
-                    continue
-                examined[0] += 1  # repro: noqa-R003 — stats counter; serial bodies
-                work += int(min(sizes[e], sizes[f]))
-                c = intersect_count_sorted(mem_e, h.members(f))
-                if c >= s:
-                    src.append(e)
-                    dst.append(f)
-                    cnt.append(c)
-        return TaskResult(
-            (np.array(src), np.array(dst), np.array(cnt)), float(work + block.size)
-        )
-
-    with tr.span("slinegraph.naive", s=s) as span:
-        all_ids = np.arange(n, dtype=np.int64)
-        with tr.span("naive.pairs"):
-            if runtime is None:
-                parts = [pairs_for(all_ids).value]
-            else:
-                runtime.new_run()
-                parts = runtime.parallel_for(
-                    runtime.partition(all_ids), pairs_for, phase="naive_pairs"
-                )
-        src = np.concatenate([p[0] for p in parts]) if parts else np.empty(0)
-        dst = np.concatenate([p[1] for p in parts]) if parts else np.empty(0)
-        cnt = np.concatenate([p[2] for p in parts]) if parts else np.empty(0)
-        c_cand.inc(examined[0])
-        c_pruned.inc(examined[0] - src.size)
-        c_emit.inc(src.size)
-        span.set(candidates=examined[0], emitted=int(src.size))
-        with tr.span("naive.finalize"):
-            return finalize_edges(src, dst, cnt, n)
+    try:
+        with tr.span("slinegraph.naive", s=s) as span:
+            all_ids = np.arange(n, dtype=np.int64)
+            with tr.span("naive.pairs"):
+                if runtime is None:
+                    kernel = NaivePairsKernel(edges, s, n)
+                    parts = [kernel(all_ids).value]
+                else:
+                    runtime.new_run()
+                    with runtime.share(edges) as (se,):
+                        kernel = NaivePairsKernel(se, s, n)
+                        parts = runtime.parallel_for(
+                            runtime.partition(all_ids),
+                            kernel,
+                            phase="naive_pairs",
+                            pure=True,
+                        )
+            src = np.concatenate([p[0] for p in parts]) if parts else np.empty(0)
+            dst = np.concatenate([p[1] for p in parts]) if parts else np.empty(0)
+            cnt = np.concatenate([p[2] for p in parts]) if parts else np.empty(0)
+            examined = sum(p[3] for p in parts)
+            c_cand.inc(examined)
+            c_pruned.inc(examined - src.size)
+            c_emit.inc(src.size)
+            span.set(candidates=examined, emitted=int(src.size))
+            with tr.span("naive.finalize"):
+                return finalize_edges(src, dst, cnt, n)
+    finally:
+        if owned:
+            runtime.close()

@@ -28,8 +28,9 @@ from .common import (
     finalize_edges,
     pair_counters,
     resolve_incidence,
-    two_hop_pair_counts,
+    resolve_runtime,
 )
+from .kernels import HashmapCountKernel
 
 __all__ = ["slinegraph_queue_hashmap"]
 
@@ -41,6 +42,8 @@ def slinegraph_queue_hashmap(
     queue_ids: np.ndarray | None = None,
     tracer=None,
     metrics=None,
+    backend=None,
+    workers: int | None = None,
 ) -> EdgeList:
     """Single-phase queue-based construction (paper Algorithm 1).
 
@@ -59,6 +62,9 @@ def slinegraph_queue_hashmap(
         pair exactly once either way.
     tracer, metrics:
         Optional :mod:`repro.obs` instruments (no-op when ``None``).
+    backend, workers:
+        Alternative to ``runtime``: build one on the named execution
+        backend (the counting phase then runs on a real pool).
     """
     if s < 1:
         raise ValueError("s must be >= 1")
@@ -71,82 +77,90 @@ def slinegraph_queue_hashmap(
         # Alg. 1 line 2 enqueues each hyperedge exactly once; a duplicated
         # ID inside one counting chunk would double its pair multiplicities
         queue_ids = np.unique(np.asarray(queue_ids, dtype=np.int64))
+    runtime, owned = resolve_runtime(runtime, backend, workers)
 
-    nt = runtime.num_threads if runtime is not None else 1
-    local = ThreadLocalQueues(nt, width=1)
-    with tr.span("slinegraph.queue_hashmap", s=s) as span:
-        # Phase 0 (Alg. 1 line 2): enqueue candidate IDs, thread-locally.
-        with tr.span("queue_hashmap.enqueue"):
-            if runtime is None:
-                local.push(0, queue_ids)
-            else:
-                runtime.new_run()
-                chunks = runtime.partition(queue_ids)
+    try:
+        nt = runtime.num_threads if runtime is not None else 1
+        local = ThreadLocalQueues(nt, width=1)
+        with tr.span("slinegraph.queue_hashmap", s=s) as span:
+            # Phase 0 (Alg. 1 line 2): enqueue candidate IDs, thread-locally.
+            with tr.span("queue_hashmap.enqueue"):
+                if runtime is None:
+                    local.push(0, queue_ids)
+                else:
+                    runtime.new_run()
+                    chunks = runtime.partition(queue_ids)
 
-                def enqueue(chunk: np.ndarray) -> TaskResult:
-                    # round-robin chunk -> thread assignment mirrors the
-                    # simulated static placement; actual thread identity is
-                    # irrelevant to the result because merge order is
-                    # deterministic
-                    return TaskResult(chunk, float(chunk.size))
+                    def enqueue(chunk: np.ndarray) -> TaskResult:
+                        # round-robin chunk -> thread assignment mirrors the
+                        # simulated static placement; actual thread identity is
+                        # irrelevant to the result because merge order is
+                        # deterministic
+                        return TaskResult(chunk, float(chunk.size))
 
-                for i, part in enumerate(
-                    runtime.parallel_for(chunks, enqueue, phase="enqueue_ids")
-                ):
-                    local.push(i % nt, part)
-            queue = WorkQueue(local.merge())
+                    for i, part in enumerate(
+                        runtime.parallel_for(chunks, enqueue, phase="enqueue_ids")
+                    ):
+                        local.push(i % nt, part)
+                queue = WorkQueue(local.merge())
 
-        # Main loop (lines 5–14): drain the queue; per item, hashmap counting.
-        out_src: list[np.ndarray] = []
-        out_dst: list[np.ndarray] = []
-        out_cnt: list[np.ndarray] = []
-        candidates = [0]  # bodies run serially; plain accumulation is safe
+            # Main loop (lines 5–14): drain the queue; per item, hashmap
+            # counting with the line-6 degree filter inside the kernel.
+            out_src: list[np.ndarray] = []
+            out_dst: list[np.ndarray] = []
+            out_cnt: list[np.ndarray] = []
+            candidates = 0
 
-        def process(chunk: np.ndarray) -> TaskResult:
-            live = chunk[sizes[chunk] >= s]  # line 6 degree filter
-            src, dst, cnt, work = two_hop_pair_counts(edges, nodes, live)
-            candidates[0] += cnt.size  # repro: noqa-R003 — stats counter; serial bodies
-            keep = cnt >= s
-            return TaskResult(
-                (src[keep], dst[keep], cnt[keep]), float(work + chunk.size)
-            )
+            with tr.span("queue_hashmap.count"):
+                if runtime is None:
+                    kernel = HashmapCountKernel(
+                        edges, nodes, s, degree_filter=True
+                    )
+                    parts = [kernel(queue.drain()).value]
+                else:
+                    drained = queue.drain()
+                    with runtime.share(edges, nodes) as (se, sn):
+                        kernel = HashmapCountKernel(
+                            se, sn, s, degree_filter=True
+                        )
+                        parts = runtime.parallel_for(
+                            runtime.partition(drained),
+                            kernel,
+                            phase="queue_hashmap",
+                            pure=True,
+                        )
+            for src, dst, cnt, cand in parts:
+                out_src.append(src)
+                out_dst.append(dst)
+                out_cnt.append(cnt)
+                candidates += cand
 
-        with tr.span("queue_hashmap.count"):
-            if runtime is None:
-                parts = [process(queue.drain()).value]
-            else:
-                drained = queue.drain()
-                parts = runtime.parallel_for(
-                    runtime.partition(drained), process, phase="queue_hashmap"
+            # line 15: concatenate per-thread edge lists (prefix sum + parallel
+            # copy)
+            if runtime is not None:
+                total = sum(a.size for a in out_src)
+                runtime.serial_phase(
+                    float(runtime.num_threads), phase="merge_offsets"
                 )
-        for src, dst, cnt in parts:
-            out_src.append(src)
-            out_dst.append(dst)
-            out_cnt.append(cnt)
-
-        # line 15: concatenate per-thread edge lists (prefix sum + parallel
-        # copy)
-        if runtime is not None:
-            total = sum(a.size for a in out_src)
-            runtime.serial_phase(
-                float(runtime.num_threads), phase="merge_offsets"
-            )
-            runtime.parallel_for(
-                runtime.partition(total),
-                lambda c: TaskResult(None, float(c.size)),
-                phase="merge_results_copy",
-            )
-        if not out_src:
-            return empty_linegraph(n_e)
-        emitted = sum(a.size for a in out_src)
-        c_cand.inc(candidates[0])
-        c_pruned.inc(candidates[0] - emitted)
-        c_emit.inc(emitted)
-        span.set(candidates=candidates[0], emitted=emitted)
-        with tr.span("queue_hashmap.finalize"):
-            return finalize_edges(
-                np.concatenate(out_src),
-                np.concatenate(out_dst),
-                np.concatenate(out_cnt),
-                n_e,
-            )
+                runtime.parallel_for(
+                    runtime.partition(total),
+                    lambda c: TaskResult(None, float(c.size)),
+                    phase="merge_results_copy",
+                )
+            if not out_src:
+                return empty_linegraph(n_e)
+            emitted = sum(a.size for a in out_src)
+            c_cand.inc(candidates)
+            c_pruned.inc(candidates - emitted)
+            c_emit.inc(emitted)
+            span.set(candidates=candidates, emitted=emitted)
+            with tr.span("queue_hashmap.finalize"):
+                return finalize_edges(
+                    np.concatenate(out_src),
+                    np.concatenate(out_dst),
+                    np.concatenate(out_cnt),
+                    n_e,
+                )
+    finally:
+        if owned:
+            runtime.close()

@@ -12,7 +12,10 @@ Because phase 2 iterates over *pairs* — a single flat loop — the workload
 granularity is much finer than the three-nested-loop one-phase algorithms,
 which is the load-balancing advantage §III-C.3 argues for.  Like
 Algorithm 1 it is representation-independent (``BiAdjacency`` or
-``AdjoinGraph``, original or permuted IDs).
+``AdjoinGraph``, original or permuted IDs).  Both phase bodies are
+picklable kernels, so each phase runs on any execution backend; phase 2's
+chunks are the drained pair rows themselves (consumed once, so they
+travel with the tasks while the member CSR stays shared).
 """
 
 from __future__ import annotations
@@ -26,13 +29,13 @@ from repro.structures.edgelist import EdgeList
 from repro.obs.tracer import as_tracer
 
 from .common import (
-    batch_intersect_counts,
     empty_linegraph,
     finalize_edges,
     pair_counters,
     resolve_incidence,
-    two_hop_pair_counts,
+    resolve_runtime,
 )
+from .kernels import PairGatherKernel, PairIntersectKernel
 
 __all__ = ["slinegraph_queue_intersection"]
 
@@ -44,11 +47,14 @@ def slinegraph_queue_intersection(
     queue_ids: np.ndarray | None = None,
     tracer=None,
     metrics=None,
+    backend=None,
+    workers: int | None = None,
 ) -> EdgeList:
     """Two-phase queue-based construction (paper Algorithm 2).
 
     ``tracer``/``metrics`` are optional :mod:`repro.obs` instruments
-    (no-op when ``None``).
+    (no-op when ``None``); ``backend``/``workers`` build a runtime on the
+    named execution backend when no ``runtime`` is passed.
     """
     if s < 1:
         raise ValueError("s must be >= 1")
@@ -61,89 +67,91 @@ def slinegraph_queue_intersection(
         # each hyperedge is enqueued once (duplicates would re-emit its
         # candidate pairs; harmless for phase 2 but wasted work)
         queue_ids = np.unique(np.asarray(queue_ids, dtype=np.int64))
+    runtime, owned = resolve_runtime(runtime, backend, workers)
     nt = runtime.num_threads if runtime is not None else 1
 
-    with tr.span("slinegraph.queue_intersection", s=s) as span:
-        # ---- Phase 1: enqueue eligible candidate pairs --------------------
-        eligible = queue_ids[sizes[queue_ids] >= s]
-        local = ThreadLocalQueues(nt, width=2)
-        candidates = [0]  # bodies run serially; plain accumulation is safe
+    try:
+        with tr.span("slinegraph.queue_intersection", s=s) as span:
+            # ---- Phase 1: enqueue eligible candidate pairs ----------------
+            eligible = queue_ids[sizes[queue_ids] >= s]
+            local = ThreadLocalQueues(nt, width=2)
+            candidates = 0
 
-        def gather_pairs(chunk: np.ndarray) -> TaskResult:
-            src, dst, _, work = two_hop_pair_counts(edges, nodes, chunk)
-            candidates[0] += src.size  # repro: noqa-R003 — stats counter; serial bodies
-            keep = sizes[dst] >= s  # candidate-side degree pruning
-            pairs = np.stack([src[keep], dst[keep]], axis=1)
-            return TaskResult(pairs, float(work + chunk.size))
-
-        with tr.span("queue_intersection.enqueue_pairs"):
-            if runtime is None:
-                local.push(0, gather_pairs(eligible).value)
-            else:
-                runtime.new_run()
-                parts = runtime.parallel_for(
-                    runtime.partition(eligible),
-                    gather_pairs,
-                    phase="enqueue_pairs",
-                )
-                for i, pairs in enumerate(parts):
-                    local.push(i % nt, pairs)
-            merged = local.merge()
-            if runtime is not None:
-                # merging per-thread queues = one prefix sum over thread
-                # counts (serial) + a parallel block copy; mirrors the C++
-                # concatenation
-                runtime.serial_phase(
-                    float(nt), phase="merge_pair_queue_offsets"
-                )
-                runtime.parallel_for(
-                    runtime.partition(max(merged.shape[0], 0)),
-                    lambda c: TaskResult(None, float(c.size)),
-                    phase="merge_pair_queue_copy",
-                )
-            queue = WorkQueue(
-                merged.reshape(-1, 2) if merged.size else merged
-            )
-
-        # ---- Phase 2: per-pair set intersection ---------------------------
-        def intersect_pairs(pairs: np.ndarray) -> TaskResult:
-            counts = batch_intersect_counts(edges, pairs)
-            work = int(
-                np.minimum(sizes[pairs[:, 0]], sizes[pairs[:, 1]]).sum()
-            ) if pairs.size else 0
-            keep = counts >= s
-            return TaskResult(
-                (pairs[keep, 0], pairs[keep, 1], counts[keep]),
-                float(work + pairs.shape[0]),
-            )
-
-        with tr.span("queue_intersection.intersect"):
-            all_pairs = queue.drain()
-            if all_pairs.ndim == 1:
-                all_pairs = all_pairs.reshape(-1, 2)
-            if runtime is None:
-                results = [intersect_pairs(all_pairs).value]
-            else:
-                # the pair queue has one-row granularity; chunk by pair index
-                idx_chunks = runtime.partition(all_pairs.shape[0])
-                results = runtime.parallel_for(
-                    idx_chunks,
-                    lambda idx: intersect_pairs(all_pairs[idx]),
-                    phase="intersect_pairs",
+            with tr.span("queue_intersection.enqueue_pairs"):
+                if runtime is None:
+                    kernel = PairGatherKernel(edges, nodes, s)
+                    pairs, cand = kernel(eligible).value
+                    candidates += cand
+                    local.push(0, pairs)
+                else:
+                    runtime.new_run()
+                    with runtime.share(edges, nodes) as (se, sn):
+                        kernel = PairGatherKernel(se, sn, s)
+                        parts = runtime.parallel_for(
+                            runtime.partition(eligible),
+                            kernel,
+                            phase="enqueue_pairs",
+                            pure=True,
+                        )
+                    for i, (pairs, cand) in enumerate(parts):
+                        candidates += cand
+                        local.push(i % nt, pairs)
+                merged = local.merge()
+                if runtime is not None:
+                    # merging per-thread queues = one prefix sum over thread
+                    # counts (serial) + a parallel block copy; mirrors the C++
+                    # concatenation
+                    runtime.serial_phase(
+                        float(nt), phase="merge_pair_queue_offsets"
+                    )
+                    runtime.parallel_for(
+                        runtime.partition(max(merged.shape[0], 0)),
+                        lambda c: TaskResult(None, float(c.size)),
+                        phase="merge_pair_queue_copy",
+                    )
+                queue = WorkQueue(
+                    merged.reshape(-1, 2) if merged.size else merged
                 )
 
-        emitted = sum(int(r[0].size) for r in results)
-        c_cand.inc(candidates[0])
-        c_pruned.inc(candidates[0] - emitted)
-        c_emit.inc(emitted)
-        span.set(candidates=candidates[0], emitted=emitted)
-        srcs = [r[0] for r in results if r[0].size]
-        if not srcs:
-            return empty_linegraph(n_e)
-        with tr.span("queue_intersection.finalize"):
-            return finalize_edges(
-                np.concatenate(srcs),
-                np.concatenate([r[1] for r in results if r[1].size]),
-                np.concatenate([r[2] for r in results if r[2].size]),
-                n_e,
-            )
+            # ---- Phase 2: per-pair set intersection -----------------------
+            with tr.span("queue_intersection.intersect"):
+                all_pairs = queue.drain()
+                if all_pairs.ndim == 1:
+                    all_pairs = all_pairs.reshape(-1, 2)
+                if runtime is None:
+                    kernel = PairIntersectKernel(edges, s)
+                    results = [kernel(all_pairs).value]
+                else:
+                    # the pair queue has one-row granularity; chunk by pair
+                    # index and ship each task its own pair rows
+                    pair_chunks = [
+                        all_pairs[idx]
+                        for idx in runtime.partition(all_pairs.shape[0])
+                    ]
+                    with runtime.share(edges) as (se,):
+                        kernel = PairIntersectKernel(se, s)
+                        results = runtime.parallel_for(
+                            pair_chunks,
+                            kernel,
+                            phase="intersect_pairs",
+                            pure=True,
+                        )
+
+            emitted = sum(int(r[0].size) for r in results)
+            c_cand.inc(candidates)
+            c_pruned.inc(candidates - emitted)
+            c_emit.inc(emitted)
+            span.set(candidates=candidates, emitted=emitted)
+            srcs = [r[0] for r in results if r[0].size]
+            if not srcs:
+                return empty_linegraph(n_e)
+            with tr.span("queue_intersection.finalize"):
+                return finalize_edges(
+                    np.concatenate(srcs),
+                    np.concatenate([r[1] for r in results if r[1].size]),
+                    np.concatenate([r[2] for r in results if r[2].size]),
+                    n_e,
+                )
+    finally:
+        if owned:
+            runtime.close()

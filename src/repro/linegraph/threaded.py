@@ -1,27 +1,25 @@
 """Thread-parallel s-line construction — real concurrency for pure kernels.
 
-``slinegraph_threaded`` chunks the eligible hyperedges cyclically (the
-paper's skew-smoothing adaptor), maps the pure hashmap-counting body over
-a genuine thread pool (:mod:`repro.parallel.threads`), and merges —
-bit-identical results to the serial/simulated constructions, with actual
-multi-core overlap where the host provides it (the NumPy kernels release
-the GIL).
+``slinegraph_threaded`` is the hashmap-counting construction run on a
+:class:`~repro.parallel.backends.ThreadedBackend`: eligible hyperedges are
+chunked cyclically (the paper's skew-smoothing adaptor), the pure counting
+kernel maps over a genuine thread pool, and results merge bit-identically
+with every other construction.  Historically this was a one-off built on
+:mod:`repro.parallel.threads`; it now delegates to
+:func:`~repro.linegraph.hashmap.slinegraph_hashmap` through the general
+backend layer, which also fixes its simulated ledger — each chunk charges
+the incidences its two-hop walk actually touched (via the kernel's
+``TaskResult`` work), not the chunk length, so makespans agree with the
+other builders.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.parallel.partition import cyclic_range
-from repro.parallel.threads import ThreadedMap
+from repro.parallel.backends import default_workers
+from repro.parallel.runtime import ParallelRuntime
 from repro.structures.edgelist import EdgeList
 
-from .common import (
-    empty_linegraph,
-    finalize_edges,
-    resolve_incidence,
-    two_hop_pair_counts,
-)
+from .hashmap import slinegraph_hashmap
 
 __all__ = ["slinegraph_threaded"]
 
@@ -29,29 +27,36 @@ __all__ = ["slinegraph_threaded"]
 def slinegraph_threaded(
     h,
     s: int = 1,
-    num_workers: int = 4,
+    num_workers: int | None = None,
     chunks_per_worker: int = 4,
+    runtime: ParallelRuntime | None = None,
+    tracer=None,
+    metrics=None,
 ) -> EdgeList:
     """Hashmap-counting construction over a real thread pool.
 
     Accepts ``BiAdjacency`` or ``AdjoinGraph`` (like the queue-based
     algorithms).  Results equal every other construction algorithm.
+    ``num_workers=None`` sizes the pool to a bounded ``os.cpu_count()``.
+    Pass a ``runtime`` to reuse an existing pool/backend instead (then
+    ``num_workers``/``chunks_per_worker`` are ignored).
     """
     if s < 1:
         raise ValueError("s must be >= 1")
-    edges, nodes, n_e, sizes = resolve_incidence(h)
-    eligible = np.flatnonzero(sizes >= s).astype(np.int64)
-    if eligible.size == 0:
-        return empty_linegraph(n_e)
-    chunks = cyclic_range(eligible, max(1, num_workers * chunks_per_worker))
-
-    def body(chunk: np.ndarray):
-        src, dst, cnt, _ = two_hop_pair_counts(edges, nodes, chunk)
-        keep = cnt >= s
-        return src[keep], dst[keep], cnt[keep]
-
-    parts = ThreadedMap(num_workers).map(body, chunks)
-    src = np.concatenate([p[0] for p in parts])
-    dst = np.concatenate([p[1] for p in parts])
-    cnt = np.concatenate([p[2] for p in parts])
-    return finalize_edges(src, dst, cnt, n_e)
+    if runtime is not None:
+        return slinegraph_hashmap(
+            h, s, runtime=runtime, tracer=tracer, metrics=metrics
+        )
+    workers = default_workers() if num_workers is None else int(num_workers)
+    if workers <= 0:
+        raise ValueError("num_workers must be positive")
+    with ParallelRuntime(
+        num_threads=workers,
+        partitioner="cyclic",
+        grain=max(1, int(chunks_per_worker)),
+        backend="threaded",
+        workers=workers,
+    ) as rt:
+        return slinegraph_hashmap(
+            h, s, runtime=rt, tracer=tracer, metrics=metrics
+        )

@@ -1,0 +1,324 @@
+"""Execution backends — where ``parallel_for`` bodies actually run.
+
+The :class:`~repro.parallel.runtime.ParallelRuntime` models *scheduling*
+(chunk placement, makespans, Figs. 7–8); a backend decides *execution*:
+
+* :class:`SimulatedBackend` — chunk bodies run serially in the calling
+  thread, exactly the pre-backend behavior.  Still the default: results
+  are deterministic under any schedule, and the cost-model ledger is the
+  paper-scaling instrument.
+* :class:`ThreadedBackend` — a persistent ``ThreadPoolExecutor``.  The
+  hot kernels are NumPy-vectorized and release the GIL, so pure bodies
+  overlap on real cores (the generalization of the old
+  ``linegraph/threaded.py`` one-off).
+* :class:`ProcessBackend` — a persistent process pool.  Bodies must be
+  picklable (the builder kernels of :mod:`repro.linegraph.kernels` are);
+  large read-only inputs travel as :mod:`repro.parallel.shared` handles,
+  so workers attach CSR buffers zero-copy instead of unpickling
+  megabyte arrays per task.  Non-picklable bodies (e.g. the service
+  engine's batch closures) transparently degrade to the backend's
+  internal thread pool — counted, never wrong.
+
+Every backend returns results in **submission order**, so the runtime's
+determinism contract (bit-identical values across backends and
+schedules) holds by construction; only wall-clock time differs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from contextlib import contextmanager
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SimulatedBackend",
+    "ThreadedBackend",
+    "default_workers",
+    "make_backend",
+]
+
+#: the backend specs `make_backend` accepts
+BACKEND_NAMES = ("simulated", "threaded", "process")
+
+
+def default_workers(bound: int = 32) -> int:
+    """Bounded ``os.cpu_count()`` — the pool size real backends default to."""
+    return max(1, min(int(bound), os.cpu_count() or 1))
+
+
+class ExecutionBackend:
+    """Common surface of the three backends.
+
+    ``concurrent`` tells the runtime whether routing through
+    :meth:`map` buys real overlap (False routes bodies through the
+    runtime's own serial loop, which also supports shuffled execution
+    and per-task monitor hooks).  ``in_process`` tells it whether a
+    :class:`~repro.check.races.RaceDetector` can observe body accesses
+    (worker *threads* share the checked arrays; worker *processes*
+    cannot).
+    """
+
+    name = "abstract"
+    concurrent = False
+    in_process = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = (
+            default_workers() if workers is None else max(1, int(workers))
+        )
+        #: tasks that degraded to the fallback pool (process backend only)
+        self.fallback_tasks = 0
+
+    def map(
+        self,
+        body: Callable[[Any], Any],
+        chunks: Sequence[Any],
+        monitor=None,
+    ) -> list[Any]:
+        """Run ``body`` over chunks; results in submission order."""
+        raise NotImplementedError
+
+    @contextmanager
+    def share(self, *objs):
+        """Prepare large read-only inputs for this backend's workers.
+
+        Default: objects pass through unchanged (same-address-space
+        backends need no transport).  The process backend overrides this
+        to export CSRs/arrays into shared memory for the duration of the
+        ``with`` block.
+        """
+        yield objs
+
+    def close(self) -> None:
+        """Shut down any pools (idempotent; pools are lazily recreated)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+def _monitored(body, monitor):
+    """Bracket each task with the race detector's begin/end hooks.
+
+    The detector keys the current task in a ``threading.local``, so the
+    bracketing must happen *on the worker thread* running the body —
+    this wrapper travels with the task.
+    """
+    if monitor is None:
+        return lambda item: body(item[1])
+
+    def run(item):
+        index, chunk = item
+        monitor.begin_task(int(index))
+        try:
+            return body(chunk)
+        finally:
+            monitor.end_task()
+
+    return run
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Marker backend: the runtime keeps its own serial execution loop."""
+
+    name = "simulated"
+    concurrent = False
+    in_process = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers=1 if workers is None else workers)
+
+    def map(self, body, chunks, monitor=None):
+        run = _monitored(body, monitor)
+        return [run((i, chunk)) for i, chunk in enumerate(chunks)]
+
+
+class ThreadedBackend(ExecutionBackend):
+    """Persistent thread pool for pure, GIL-releasing bodies."""
+
+    name = "threaded"
+    concurrent = True
+    in_process = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers)
+        self._pool = None
+
+    def _executor(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-backend",
+            )
+        return self._pool
+
+    def map(self, body, chunks, monitor=None):
+        if not chunks:
+            return []
+        run = _monitored(body, monitor)
+        items = list(enumerate(chunks))
+        if len(items) == 1 or self.workers == 1:
+            return [run(item) for item in items]
+        from concurrent.futures import wait
+
+        futures = [self._executor().submit(run, item) for item in items]
+        wait(futures)  # all settle before any result/exception surfaces
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _run_remote(payload: bytes) -> Any:
+    """Worker-side task entry: unpickle ``(body, chunk)`` and run it.
+
+    Module-level (not a closure) so the *entry point* itself always
+    pickles; the interesting pickling — kernel + shared handles — is in
+    the payload.
+    """
+    body, chunk = pickle.loads(payload)
+    return body(chunk)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent process pool with zero-copy shared-CSR transport.
+
+    Bodies must be picklable module-level callables (see
+    :mod:`repro.linegraph.kernels`); inputs shared via :meth:`share`
+    cross as ~100-byte handles.  A non-picklable body degrades to an
+    internal :class:`ThreadedBackend` (``fallback_tasks`` counts chunks
+    served that way) so call sites never have to care.
+    """
+
+    name = "process"
+    concurrent = True
+    in_process = False
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers)
+        self._pool = None
+        self._fallback: ThreadedBackend | None = None
+
+    def _executor(self):
+        if self._pool is None:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            )
+        return self._pool
+
+    @staticmethod
+    def _picklable(body) -> bool:
+        try:
+            pickle.dumps(body)
+            return True
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # closures/lambdas/bound locals — the fallback pool serves them
+            return False
+
+    @contextmanager
+    def share(self, *objs):
+        """Export CSRs/ndarrays into shared memory for the block's scope."""
+        import numpy as np
+
+        from .shared import SharedArray, SharedCSR
+
+        shared = []
+        out = []
+        seen: dict[int, Any] = {}  # same object shared twice -> one block
+        try:
+            for obj in objs:
+                if id(obj) in seen:
+                    out.append(seen[id(obj)])
+                    continue
+                if obj is None:
+                    out.append(None)
+                    continue
+                if isinstance(obj, np.ndarray):
+                    handle = SharedArray.create(obj)
+                elif hasattr(obj, "indptr") and hasattr(obj, "indices"):
+                    handle = SharedCSR.create(obj)
+                else:  # scalars and small picklables travel by value
+                    out.append(obj)
+                    continue
+                shared.append(handle)
+                seen[id(obj)] = handle
+                out.append(handle)
+            yield tuple(out)
+        finally:
+            for handle in shared:
+                handle.release()
+
+    def map(self, body, chunks, monitor=None):
+        if not chunks:
+            return []
+        if not self._picklable(body):
+            if self._fallback is None:
+                self._fallback = ThreadedBackend(self.workers)
+            self.fallback_tasks += len(chunks)
+            return self._fallback.map(body, chunks, monitor=monitor)
+        # monitor hooks are meaningless across a process boundary: the
+        # detector's CheckedArrays live in the parent (in_process=False
+        # tells the runtime not to expect task brackets here)
+        payloads = [pickle.dumps((body, chunk)) for chunk in chunks]
+        if len(payloads) == 1:
+            return [_run_remote(payloads[0])]
+        from concurrent.futures import wait
+
+        pool = self._executor()
+        futures = [pool.submit(_run_remote, p) for p in payloads]
+        wait(futures)
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._fallback is not None:
+            self._fallback.close()
+            self._fallback = None
+
+
+def make_backend(
+    spec: "str | ExecutionBackend | None", workers: int | None = None
+) -> ExecutionBackend:
+    """Resolve a backend spec: a name, an instance, or ``None``.
+
+    ``None`` means the default (simulated).  Passing an instance returns
+    it unchanged (``workers`` must then be ``None`` — the instance owns
+    its pool size).
+    """
+    if spec is None:
+        spec = "simulated"
+    if isinstance(spec, ExecutionBackend):
+        if workers is not None and workers != spec.workers:
+            raise ValueError(
+                "workers cannot override an already-constructed backend"
+            )
+        return spec
+    if spec == "simulated":
+        return SimulatedBackend(workers)
+    if spec == "threaded":
+        return ThreadedBackend(workers)
+    if spec == "process":
+        return ProcessBackend(workers)
+    raise ValueError(
+        f"unknown backend {spec!r}; choose from {list(BACKEND_NAMES)}"
+    )

@@ -13,15 +13,29 @@ and the *computed values* are identical for **any** execution order — the
 algorithms built on top use idempotent min/CAS combining
 (:mod:`repro.parallel.atomics`).  ``execution_order='shuffled'`` lets tests
 verify that second property by actually permuting body execution.
+
+Since the backend layer (:mod:`repro.parallel.backends`) landed, the
+runtime also routes *pure* phases through a real thread or process pool
+when constructed with ``backend='threaded'`` / ``backend='process'``.
+The ledger is still computed from the same per-chunk costs, so the
+simulated makespan — the paper-scaling instrument — is bit-identical
+across backends; only wall-clock time changes.  Bodies opt in with
+``parallel_for(..., pure=True)``: a pure body reads shared inputs and
+returns fresh values.  Impure phases (frontier algorithms mutating
+shared arrays through :mod:`repro.parallel.atomics`) always run on the
+simulated serial loop regardless of the configured backend, which is
+what makes backend choice invisible to results.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .backends import ExecutionBackend, make_backend
 from .cost import CostModel, RunLedger
 from .partition import blocked_range, cyclic_range
 from .scheduler import make_scheduler
@@ -80,6 +94,21 @@ class ParallelRuntime:
         :func:`repro.obs.profile.merged_chrome_trace`) shows Python-level
         time next to the simulated schedule.  Defaults to the no-op
         tracer (near-zero overhead).
+    backend:
+        Execution backend for pure phases: ``'simulated'`` (default),
+        ``'threaded'``, ``'process'``, or an
+        :class:`~repro.parallel.backends.ExecutionBackend` instance
+        (shared pools can be reused across runtimes — the owner closes
+        them).  The ``REPRO_BACKEND`` environment variable overrides the
+        default when no explicit backend is passed.
+    workers:
+        Real pool size for ``'threaded'``/``'process'`` (defaults to a
+        bounded ``os.cpu_count()``; independent of the *simulated*
+        ``num_threads``, which stays the cost-model x-axis).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; pure phases then
+        bump ``runtime.backend.tasks`` / ``runtime.backend.real_ms``
+        counters labelled by backend.
     """
 
     def __init__(
@@ -93,6 +122,9 @@ class ParallelRuntime:
         seed: int = 0,
         trace: bool = False,
         tracer=None,
+        backend: "str | ExecutionBackend | None" = None,
+        workers: int | None = None,
+        metrics=None,
     ) -> None:
         if num_threads <= 0:
             raise ValueError("num_threads must be positive")
@@ -114,6 +146,11 @@ class ParallelRuntime:
         from repro.obs.tracer import as_tracer
 
         self.tracer = as_tracer(tracer)
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND") or "simulated"
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = make_backend(backend, workers)
+        self.metrics = metrics
         self._rng = np.random.default_rng(seed)
         self.ledger = RunLedger(num_threads=self.num_threads)
         # dynamic race checking (repro.check.races): off by default — the
@@ -161,32 +198,65 @@ class ParallelRuntime:
         return blocked_range(ids, n_chunks)
 
     # -- execution -----------------------------------------------------------------------
+    def share(self, *objs):
+        """Backend-appropriate transport for large read-only inputs.
+
+        ``with runtime.share(edges, nodes) as (e, n): ...`` yields the
+        objects unchanged on in-memory backends and as zero-copy
+        :mod:`repro.parallel.shared` handles on the process backend
+        (released when the block exits).  Kernels reopen them with
+        :func:`repro.parallel.shared.open_handles`, which is a no-op for
+        plain objects — one code path for all three backends.
+        """
+        return self.backend.share(*objs)
+
     def parallel_for(
         self,
         chunks: Sequence[Any],
         body: Callable[[Any], Any],
         phase: str = "parallel_for",
+        pure: bool = False,
     ) -> list[Any]:
         """Run ``body`` over every chunk; simulate the schedule; return values.
 
         Values are returned in **submission order** regardless of execution
         order, so callers can zip them with their chunks.
+
+        ``pure=True`` declares that ``body`` only reads shared state and
+        returns fresh values, making it safe to run on a real thread or
+        process pool; only then does a ``'threaded'``/``'process'``
+        backend actually execute chunks concurrently.  Impure bodies
+        (anything mutating shared arrays) always use the serial loop.
         """
-        order = np.arange(len(chunks))
-        if self.execution_order == "shuffled" and len(chunks) > 1:
-            order = self._rng.permutation(len(chunks))
-        values: list[Any] = [None] * len(chunks)
-        costs = np.zeros(len(chunks), dtype=np.float64)
         mon = self.monitor
+        use_backend = (
+            pure and self.backend.concurrent and len(chunks) > 1
+        )
         with self.tracer.span("runtime." + phase) as span:
             if mon is not None:
                 mon.begin_phase(phase)
-            for i in order:
-                if mon is not None:
-                    mon.begin_task(int(i))
-                out = body(chunks[i])
-                if mon is not None:
-                    mon.end_task()
+            values: list[Any] = [None] * len(chunks)
+            costs = np.zeros(len(chunks), dtype=np.float64)
+            started = time.perf_counter()
+            if use_backend:
+                # per-task monitor brackets run on the worker threads via
+                # the backend's wrapper; a process pool can't observe the
+                # parent's CheckedArrays, so no brackets cross that wall
+                task_monitor = mon if self.backend.in_process else None
+                outs = self.backend.map(body, chunks, monitor=task_monitor)
+            else:
+                order = np.arange(len(chunks))
+                if self.execution_order == "shuffled" and len(chunks) > 1:
+                    order = self._rng.permutation(len(chunks))
+                outs = [None] * len(chunks)
+                for i in order:
+                    if mon is not None:
+                        mon.begin_task(int(i))
+                    outs[i] = body(chunks[i])
+                    if mon is not None:
+                        mon.end_task()
+            real_ms = (time.perf_counter() - started) * 1e3
+            for i, out in enumerate(outs):
                 if isinstance(out, TaskResult):
                     values[i] = out.value
                     costs[i] = out.work
@@ -209,7 +279,17 @@ class ParallelRuntime:
                 tasks=ledger.num_tasks,
                 steals=ledger.num_steals,
                 threads=self.num_threads,
+                backend=self.backend.name if use_backend else "simulated",
+                real_ms=real_ms,
             )
+            if self.metrics is not None:
+                which = self.backend.name if use_backend else "simulated"
+                self.metrics.counter(
+                    "runtime.backend.tasks", backend=which
+                ).inc(len(chunks))
+                self.metrics.counter(
+                    "runtime.backend.real_ms", backend=which
+                ).inc(real_ms)
         return values
 
     def parallel_reduce(
@@ -225,6 +305,22 @@ class ParallelRuntime:
         for value in self.parallel_for(chunks, body, phase=phase):
             acc = combine(acc, value)
         return acc
+
+    def close(self) -> None:
+        """Shut down the backend's pools, if this runtime created them.
+
+        A backend *instance* passed in by the caller (e.g. a pool shared
+        across runtimes by the service engine) is left running — its
+        owner closes it.
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def serial_phase(self, work: float, phase: str = "serial") -> None:
         """Charge purely serial work (queue merge, prefix sums) to the run."""

@@ -1,0 +1,299 @@
+"""Zero-copy shared buffers for the process execution backend.
+
+The process backend (:mod:`repro.parallel.backends`) runs chunk bodies in
+a persistent worker-process pool.  Pickling a CSR per task would copy the
+index/offset arrays — megabytes per task on the Table I stand-ins, and
+exactly the overhead the paper's shared-memory oneTBB execution never
+pays.  Instead the owner exports each array once into
+``multiprocessing.shared_memory``; what crosses the process boundary is a
+:class:`SharedArray` *handle* (block name + shape + dtype, ~100 bytes),
+and workers attach the block read-only as an ``ndarray`` view — zero
+copies of the data itself.
+
+Lifecycle contract (POSIX shm blocks outlive processes, so this is
+strict):
+
+* the **owner** creates handles (:meth:`SharedArray.create` /
+  :meth:`SharedCSR.create`) and must call :meth:`close` + :meth:`unlink`
+  (or the combined :meth:`release`) when the parallel phase is done —
+  :meth:`repro.parallel.backends.ProcessBackend.share` does this
+  automatically;
+* **workers** attach via :func:`open_handles` (a context manager) for the
+  duration of one task and must not return views of shared memory —
+  results must be freshly allocated arrays, which everything built on
+  ``np.unique``/``bincount``/boolean indexing already satisfies.
+
+Module-level accounting (:func:`shared_stats`, :func:`debug_verify`)
+tracks every owner-created block so tests and CI can assert that no shm
+block leaks past a run — the same role
+:meth:`~repro.service.cache.SLineGraphCache.debug_verify` plays for the
+serving cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SharedArray",
+    "SharedCSR",
+    "debug_verify",
+    "open_handles",
+    "shared_stats",
+]
+
+#: owner-created blocks still live: name -> nbytes (module-level so the
+#: accounting survives handles being garbage collected)
+_LIVE: dict[str, int] = {}
+_LIVE_LOCK = threading.Lock()
+_STATS = {"created": 0, "released": 0, "bytes_created": 0}
+
+
+def _track_create(name: str, nbytes: int) -> None:
+    with _LIVE_LOCK:
+        _LIVE[name] = nbytes
+        _STATS["created"] += 1
+        _STATS["bytes_created"] += nbytes
+
+
+def _track_release(name: str) -> None:
+    with _LIVE_LOCK:
+        if _LIVE.pop(name, None) is not None:
+            _STATS["released"] += 1
+
+
+def shared_stats() -> dict:
+    """Accounting snapshot: blocks created/released/active and bytes."""
+    with _LIVE_LOCK:
+        return {
+            "created": _STATS["created"],
+            "released": _STATS["released"],
+            "active": len(_LIVE),
+            "active_bytes": sum(_LIVE.values()),
+            "bytes_created": _STATS["bytes_created"],
+        }
+
+
+def debug_verify() -> None:
+    """Assert every owner-created shm block has been released.
+
+    Call at the end of a run (CI's backend-smoke job does): a live block
+    here means some owner skipped ``release()`` and the POSIX object
+    would outlive the process.
+    """
+    with _LIVE_LOCK:
+        leaked = dict(_LIVE)
+    if leaked:
+        raise AssertionError(
+            f"{len(leaked)} shared-memory block(s) never released: "
+            f"{sorted(leaked)} ({sum(leaked.values())} bytes)"
+        )
+
+
+class SharedArray:
+    """A picklable handle to one ndarray stored in shared memory.
+
+    Owner side: :meth:`create` copies the array into a fresh shm block
+    (the one copy the scheme ever makes).  Worker side: unpickling
+    transfers only ``(name, shape, dtype)``; :meth:`open` attaches and
+    returns a read-only ndarray view.  ``weights=None`` columns are
+    represented by ``None`` at the :class:`SharedCSR` level, never here.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "_shm", "_owner")
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype: str) -> None:
+        self.name = name
+        self.shape = tuple(int(d) for d in shape)
+        self.dtype = str(dtype)
+        self._shm: shared_memory.SharedMemory | None = None
+        self._owner = False
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedArray":
+        """Export ``array`` into a new shm block (owner side)."""
+        array = np.ascontiguousarray(array)
+        # zero-size arrays still need a 1-byte block (shm forbids size=0)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        if array.nbytes:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[:] = array
+        handle = cls(shm.name, array.shape, array.dtype.str)
+        handle._shm = shm
+        handle._owner = True
+        _track_create(shm.name, max(1, array.nbytes))
+        return handle
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+    # -- pickling: the handle travels, the attachment does not ----------------
+    def __getstate__(self) -> tuple:
+        return (self.name, self.shape, self.dtype)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.name, self.shape, self.dtype = state
+        self._shm = None
+        self._owner = False
+
+    # -- attachment -----------------------------------------------------------
+    def open(self) -> np.ndarray:
+        """Attach (if needed) and return the ndarray view of the block.
+
+        Workers call this per task via :func:`open_handles`, which pairs
+        it with :meth:`close` — the view must not escape the task.
+        """
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self.name)
+        arr: np.ndarray = np.ndarray(
+            self.shape, dtype=np.dtype(self.dtype), buffer=self._shm.buf
+        )
+        if not self._owner:
+            arr.flags.writeable = False
+        return arr
+
+    def close(self) -> None:
+        """Detach this process's mapping (idempotent; keeps the block)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the block (owner side; after all workers detached)."""
+        shm = self._shm
+        try:
+            if shm is None:
+                shm = shared_memory.SharedMemory(name=self.name)
+                self._shm = shm
+            shm.unlink()
+        except FileNotFoundError:
+            pass  # already unlinked (double release is legal)
+        finally:
+            _track_release(self.name)
+
+    def release(self) -> None:
+        """Owner teardown: ``unlink`` then ``close``, any prior state."""
+        self.unlink()
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedArray({self.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype}, owner={self._owner})"
+        )
+
+
+class SharedCSR:
+    """A :class:`~repro.structures.csr.CSR` placed in shared memory.
+
+    Wraps the three backing arrays (``indptr``/``indices``/optional
+    ``weights``) as :class:`SharedArray` blocks plus the scalar metadata
+    (``num_targets``, sortedness).  Pickles to ~300 bytes regardless of
+    graph size; :meth:`open` reconstructs a CSR whose buffers are views
+    into the shared blocks — the worker-side attach is O(1) in the data.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "num_targets", "sorted_rows")
+
+    def __init__(
+        self,
+        indptr: SharedArray,
+        indices: SharedArray,
+        weights: SharedArray | None,
+        num_targets: int,
+        sorted_rows: bool,
+    ) -> None:
+        self.indptr = indptr  # repro: noqa-R001 — SharedArray handle, not a CSR buffer
+        self.indices = indices  # repro: noqa-R001 — SharedArray handle, not a CSR buffer
+        self.weights = weights
+        self.num_targets = int(num_targets)
+        self.sorted_rows = bool(sorted_rows)
+
+    @classmethod
+    def create(cls, csr) -> "SharedCSR":
+        """Export a CSR's buffers into shared memory (owner side)."""
+        return cls(
+            SharedArray.create(csr.indptr),
+            SharedArray.create(csr.indices),
+            None if csr.weights is None else SharedArray.create(csr.weights),
+            csr.num_targets(),
+            csr.has_sorted_rows,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return total
+
+    def __getstate__(self) -> tuple:
+        return (
+            self.indptr, self.indices, self.weights,
+            self.num_targets, self.sorted_rows,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.indptr, self.indices, self.weights,  # repro: noqa-R001 — handle fields
+         self.num_targets, self.sorted_rows) = state
+
+    def open(self):
+        """Attach and rebuild the CSR over shared views (worker side)."""
+        from repro.structures.csr import CSR
+
+        return CSR(
+            self.indptr.open(),
+            self.indices.open(),
+            None if self.weights is None else self.weights.open(),
+            num_targets=self.num_targets,
+            sorted_rows=self.sorted_rows,
+        )
+
+    def close(self) -> None:
+        self.indptr.close()
+        self.indices.close()
+        if self.weights is not None:
+            self.weights.close()
+
+    def release(self) -> None:
+        """Owner teardown of all three blocks (idempotent)."""
+        self.indptr.release()
+        self.indices.release()
+        if self.weights is not None:
+            self.weights.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedCSR(indptr={self.indptr.name}, "
+            f"indices={self.indices.name}, nbytes={self.nbytes})"
+        )
+
+
+def _is_shared(obj) -> bool:
+    return isinstance(obj, (SharedArray, SharedCSR))
+
+
+@contextmanager
+def open_handles(*objs):
+    """Materialize a mixed tuple of handles and plain objects for one task.
+
+    ``SharedArray``/``SharedCSR`` entries are attached and yielded as
+    ndarray/CSR; plain ndarrays, CSRs, and ``None`` pass through
+    untouched — so kernels written against this helper run identically
+    under the simulated, threaded, and process backends.  Attachments are
+    closed on exit (worker tasks must copy anything they return).
+    """
+    opened = [obj.open() if _is_shared(obj) else obj for obj in objs]
+    try:
+        yield opened
+    finally:
+        for obj in objs:
+            if _is_shared(obj):
+                obj.close()

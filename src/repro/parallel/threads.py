@@ -11,23 +11,49 @@ Safety contract: bodies must be **pure** (no shared mutable state; results
 returned, not written).  The s-line construction bodies satisfy this; the
 frontier algorithms (BFS/CC), which mutate shared arrays, do not and must
 stay on the deterministic simulated runtime.
+
+This predates the general backend layer
+(:mod:`repro.parallel.backends`) and survives as its thin ancestor:
+:class:`ThreadedMap` now keeps a persistent executor (same semantics as
+:class:`~repro.parallel.backends.ThreadedBackend`) and defaults its pool
+size to a bounded ``os.cpu_count()`` instead of a hardcoded constant.
+New code should reach for ``ParallelRuntime(backend='threaded')``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Any, Callable, Sequence
+
+from .backends import default_workers
 
 __all__ = ["ThreadedMap", "thread_map"]
 
 
 class ThreadedMap:
-    """A reusable thread pool mapping pure bodies over chunks in order."""
+    """A reusable thread pool mapping pure bodies over chunks in order.
 
-    def __init__(self, num_workers: int = 4) -> None:
+    ``num_workers=None`` (the default) sizes the pool to a bounded
+    ``os.cpu_count()``.  The executor is created lazily on first use and
+    persists across :meth:`map` calls; :meth:`close` (or use as a
+    context manager) shuts it down.
+    """
+
+    def __init__(self, num_workers: int | None = None) -> None:
+        if num_workers is None:
+            num_workers = default_workers()
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.num_workers = int(num_workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="repro-threadmap",
+            )
+        return self._pool
 
     def map(
         self, body: Callable[[Any], Any], chunks: Sequence[Any]
@@ -41,14 +67,28 @@ class ThreadedMap:
             return []
         if len(chunks) == 1 or self.num_workers == 1:
             return [body(c) for c in chunks]
-        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
-            return list(pool.map(body, chunks))
+        futures = [self._executor().submit(body, c) for c in chunks]
+        wait(futures)  # let every body settle before raising
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        """Shut down the persistent executor (idempotent; lazily rebuilt)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadedMap":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def thread_map(
     body: Callable[[Any], Any],
     chunks: Sequence[Any],
-    num_workers: int = 4,
+    num_workers: int | None = None,
 ) -> list[Any]:
     """One-shot convenience wrapper around :class:`ThreadedMap`."""
-    return ThreadedMap(num_workers).map(body, chunks)
+    with ThreadedMap(num_workers) as pool:
+        return pool.map(body, chunks)

@@ -132,6 +132,16 @@ class QueryEngine:
         :meth:`execute_batch` call gets its own
         :class:`~repro.parallel.runtime.ParallelRuntime`, so concurrent
         batches never share a ledger).
+    backend, workers:
+        Execution backend for batch dispatch
+        (:mod:`repro.parallel.backends`).  Defaults come from the
+        ``REPRO_BACKEND`` / ``REPRO_WORKERS`` environment variables (so
+        a deployment flips the whole service without code changes),
+        falling back to ``simulated``.  The pool is persistent — shared
+        by every batch — and shut down by :meth:`close`.  Engine ops are
+        internally locked, so batch bodies are safe on worker threads;
+        under the ``process`` backend the (unpicklable) dispatch bodies
+        transparently degrade to the backend's thread pool.
     metrics:
         A :class:`~repro.obs.metrics.MetricsRegistry`.  Unlike the
         algorithm-level instruments this defaults to a **live** registry
@@ -149,7 +159,13 @@ class QueryEngine:
         num_threads: int = 4,
         metrics: MetricsRegistry | None = None,
         tracer=None,
+        backend: str | None = None,
+        workers: int | None = None,
     ) -> None:
+        import os
+
+        from repro.parallel.backends import make_backend
+
         self.store = store if store is not None else HypergraphStore()
         self.obs_metrics = (
             metrics if metrics is not None else MetricsRegistry()
@@ -161,8 +177,18 @@ class QueryEngine:
             else SLineGraphCache(metrics=self.obs_metrics, tracer=tracer)
         )
         self.num_threads = int(num_threads)
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND") or "simulated"
+        if workers is None:
+            env_workers = os.environ.get("REPRO_WORKERS")
+            workers = int(env_workers) if env_workers else None
+        self.backend = make_backend(backend, workers)
         self._op_lock = threading.Lock()
         self._op_counters: dict[str, dict[str, float]] = {}
+
+    def close(self) -> None:
+        """Shut down the engine's execution-backend pools (idempotent)."""
+        self.backend.close()
 
     # -- public API ----------------------------------------------------------
     @staticmethod
@@ -246,17 +272,38 @@ class QueryEngine:
         return jsonify(out)
 
     def execute_batch(
-        self, queries: list[dict], runtime: ParallelRuntime | None = None
+        self,
+        queries: list[dict],
+        runtime: ParallelRuntime | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
     ) -> list[dict]:
-        """Run a batch on the parallel runtime; responses in input order."""
+        """Run a batch on the parallel runtime; responses in input order.
+
+        By default batches dispatch on the engine's persistent execution
+        backend; ``backend``/``workers`` override it for one batch (the
+        wire protocol's batch envelope forwards them).  Engine ops are
+        internally locked, so concurrent dispatch on worker threads
+        returns the same responses as serial dispatch.
+        """
         if not queries:
             return []
         rt = runtime
+        own_rt = None
         if rt is None and self.num_threads > 1 and len(queries) > 1:
-            rt = ParallelRuntime(
+            from repro.parallel.backends import make_backend
+
+            be = (
+                self.backend
+                if backend is None
+                else make_backend(backend, workers)
+            )
+            rt = own_rt = ParallelRuntime(
                 num_threads=self.num_threads,
                 partitioner="cyclic",
                 tracer=self.tracer,
+                backend=be,
+                metrics=self.obs_metrics,
             )
         out: list[dict | None] = [None] * len(queries)
         ids = np.arange(len(queries), dtype=np.int64)
@@ -265,13 +312,19 @@ class QueryEngine:
             results = [(int(i), self.execute(queries[int(i)])) for i in chunk]
             return TaskResult(results, float(chunk.size))
 
-        if rt is None:
-            parts = [body(ids).value]
-        else:
-            rt.new_run()
-            parts = rt.parallel_for(
-                rt.partition(ids), body, phase="query_batch"
-            )
+        try:
+            if rt is None:
+                parts = [body(ids).value]
+            else:
+                rt.new_run()
+                parts = rt.parallel_for(
+                    rt.partition(ids), body, phase="query_batch", pure=True
+                )
+        finally:
+            # a one-batch backend override owns its pool; the engine's
+            # persistent backend is shared and closed only by close()
+            if own_rt is not None and backend is not None:
+                own_rt.backend.close()
         for part in parts:
             for i, resp in part:
                 out[i] = resp
@@ -304,6 +357,11 @@ class QueryEngine:
                 "cache": self.cache.snapshot(),
                 "datasets": self.store.names(),
                 "registry": self.obs_metrics.snapshot(),
+                "backend": {
+                    "name": self.backend.name,
+                    "workers": self.backend.workers,
+                    "fallback_tasks": self.backend.fallback_tasks,
+                },
             }
         )
 

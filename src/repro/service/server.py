@@ -10,7 +10,9 @@ Wire protocol (newline-delimited JSON, UTF-8):
 Connections are persistent — clients may pipeline any number of request
 lines.  Malformed JSON gets an ``{"ok": false, "error": {"code":
 "bad_json", ...}}`` response rather than a dropped connection.  A batch
-envelope may pin the protocol version (``{"batch": [...], "v": 1}``);
+envelope may pin the protocol version (``{"batch": [...], "v": 1}``)
+and/or select the execution backend for its dispatch (``{"batch": [...],
+"backend": "threaded", "workers": 8}`` — see docs/PARALLEL.md);
 see ``docs/API.md`` for the full v1 schema.  The engine (and therefore the store, the
 cache, and all counters) is shared across client threads; passing
 ``port=0`` binds an ephemeral port, readable back from ``address``.
@@ -52,7 +54,19 @@ def _dispatch(engine: QueryEngine, payload: object) -> object:
                 f"unsupported protocol version {v!r}; "
                 f"this server speaks {sorted(SUPPORTED_VERSIONS)}",
             )
-        return engine.execute_batch(payload["batch"])
+        backend = payload.get("backend")
+        if backend is not None and backend not in ("simulated", "threaded", "process"):
+            return _protocol_error(
+                "invalid_argument",
+                f"unknown backend {backend!r}; choose simulated, "
+                f"threaded, or process",
+            )
+        workers = payload.get("workers")
+        return engine.execute_batch(
+            payload["batch"],
+            backend=backend,
+            workers=None if workers is None else int(workers),
+        )
     return engine.execute(payload)
 
 
@@ -146,8 +160,18 @@ class ServiceClient:
         """``client.query("s_distance", dataset="lj", s=2, src=0, dst=9)``"""
         return self.request({"op": op, **fields})
 
-    def batch(self, queries: list[dict]) -> list[dict]:
-        out = self.request({"batch": list(queries)})
+    def batch(
+        self,
+        queries: list[dict],
+        backend: str | None = None,
+        workers: int | None = None,
+    ) -> list[dict]:
+        envelope: dict = {"batch": list(queries)}
+        if backend is not None:
+            envelope["backend"] = backend
+        if workers is not None:
+            envelope["workers"] = int(workers)
+        out = self.request(envelope)
         if not isinstance(out, list):
             raise ConnectionError(f"expected batch response, got {out!r}")
         return out
@@ -190,8 +214,15 @@ class InProcessClient:
     def query(self, op: str, **fields) -> dict:
         return self.engine.execute({"op": op, **fields})
 
-    def batch(self, queries: list[dict]) -> list[dict]:
-        return self.engine.execute_batch(list(queries))
+    def batch(
+        self,
+        queries: list[dict],
+        backend: str | None = None,
+        workers: int | None = None,
+    ) -> list[dict]:
+        return self.engine.execute_batch(
+            list(queries), backend=backend, workers=workers
+        )
 
     def metrics(self) -> dict:
         return self.query("metrics")

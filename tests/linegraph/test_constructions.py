@@ -31,6 +31,15 @@ def test_agrees_with_matrix_oracle(name, s):
         assert to_two_graph(h, s, name) == slinegraph_matrix(h, s), (seed,)
 
 
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("backend", ["threaded", "process"])
+def test_backends_produce_identical_edgelists(name, backend):
+    """Real execution backends return the exact EdgeList of the default."""
+    h = BiAdjacency.from_biedgelist(random_biedgelist(seed=3))
+    base = to_two_graph(h, 2, name)
+    assert to_two_graph(h, 2, name, backend=backend, workers=2) == base
+
+
 @pytest.mark.parametrize("name", sorted(ALGORITHMS))
 def test_paper_example_weights(name, paper_h):
     el = to_two_graph(paper_h, 1, name)

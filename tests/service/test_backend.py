@@ -1,0 +1,108 @@
+"""Service-layer backend selection: engine config, env, wire envelope."""
+
+import json
+
+import pytest
+
+from repro.service import QueryEngine
+from repro.service.server import InProcessClient
+
+from ..conftest import PAPER_MEMBERS, make_biedgelist
+
+QUERIES = [
+    {"op": "s_connected_components", "dataset": "paper", "s": 2},
+    {"op": "s_degree", "dataset": "paper", "s": 1, "v": 0},
+    {"op": "s_diameter", "dataset": "paper", "s": 2},
+]
+
+
+def make_engine(**kwargs) -> QueryEngine:
+    eng = QueryEngine(**kwargs)
+    eng.store.register("paper", make_biedgelist(PAPER_MEMBERS, num_nodes=9))
+    return eng
+
+
+def strip_ms(responses):
+    """Drop wall-clock and cache-provenance; results must be identical."""
+    return [
+        json.dumps(
+            {k: v for k, v in r.items() if k not in ("ms", "via")},
+            sort_keys=True,
+        )
+        for r in responses
+    ]
+
+
+class TestEngineBackend:
+    def test_default_is_simulated(self):
+        eng = make_engine()
+        assert eng.backend.name == "simulated"
+        eng.close()
+
+    def test_constructor_backend(self):
+        eng = make_engine(backend="threaded", workers=2)
+        try:
+            assert eng.backend.name == "threaded"
+            assert eng.backend.workers == 2
+            out = eng.execute_batch(QUERIES)
+            assert all(r["ok"] for r in out)
+        finally:
+            eng.close()
+
+    def test_env_configures_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threaded")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        eng = make_engine()
+        try:
+            assert eng.backend.name == "threaded"
+            assert eng.backend.workers == 3
+        finally:
+            eng.close()
+
+    def test_results_identical_across_backends(self):
+        base_eng = make_engine()
+        base = strip_ms(base_eng.execute_batch(QUERIES))
+        base_eng.close()
+        for backend in ("threaded", "process"):
+            eng = make_engine(backend=backend, workers=2)
+            try:
+                got = strip_ms(eng.execute_batch(QUERIES))
+            finally:
+                eng.close()
+            assert got == base, backend
+
+    def test_per_batch_override(self):
+        eng = make_engine()  # engine default: simulated
+        try:
+            base = strip_ms(eng.execute_batch(QUERIES))
+            got = strip_ms(
+                eng.execute_batch(QUERIES, backend="threaded", workers=2)
+            )
+            assert got == base
+        finally:
+            eng.close()
+
+    def test_metrics_report_backend(self):
+        eng = make_engine(backend="threaded", workers=2)
+        try:
+            info = eng.metrics()["backend"]
+            assert info["name"] == "threaded"
+            assert info["workers"] == 2
+            assert info["fallback_tasks"] == 0
+        finally:
+            eng.close()
+
+
+class TestWireEnvelope:
+    def test_batch_backend_selection(self):
+        with InProcessClient(make_engine()) as client:
+            out = client.batch(QUERIES, backend="threaded", workers=2)
+            assert all(r["ok"] for r in out)
+            client.engine.close()
+
+    def test_unknown_backend_rejected(self):
+        with InProcessClient(make_engine()) as client:
+            resp = client.request({"batch": QUERIES, "backend": "gpu"})
+            assert not resp["ok"]
+            assert resp["error"]["code"] == "invalid_argument"
+            client.engine.close()

@@ -209,6 +209,16 @@ class TestGenerateAndTable:
                   "--dataset", "rand1", "--threads", "8", "-s", "2")
         assert "Hashmap" in out
 
+    def test_bench_json_surfaces_backend(self, capsys):
+        import json
+
+        out = run(capsys, "bench", "--figure", "7",
+                  "--dataset", "orkut-group", "--threads", "1", "2",
+                  "--backend", "threaded", "--workers", "2", "--json")
+        doc = json.loads(out)
+        assert doc["backend"] == "threaded" and doc["workers"] == 2
+        assert doc["results"][0]["points"][0]["threads"] == 1
+
 
 class TestJsonOutput:
     """--json must emit valid JSON: no numpy scalars may leak through."""
@@ -272,6 +282,21 @@ class TestServeAndQuery:
                    '{"op": "frobnicate"}'])
         assert rc == 1
         assert "unknown op" in capsys.readouterr().out
+
+    def test_query_batch_backend(self, capsys, live_server):
+        import json
+
+        host, port = live_server
+        out = run(capsys, "query", "--connect", f"{host}:{port}", "--batch",
+                  "--backend", "threaded", "--workers", "2",
+                  '{"op": "stats", "dataset": "paper"}')
+        assert json.loads(out)["result"]["num_edges"] == 4
+
+    def test_query_backend_requires_batch(self, live_server):
+        host, port = live_server
+        with pytest.raises(SystemExit, match="--batch"):
+            main(["query", "--connect", f"{host}:{port}",
+                  "--backend", "threaded", '{"op": "datasets"}'])
 
     def test_bad_connect_spec(self):
         with pytest.raises(SystemExit, match="HOST:PORT"):
