@@ -1,0 +1,171 @@
+"""Store open path: cold parse vs mmap open vs warm restart.
+
+The store's headline claim is O(1) open: ``open_store`` maps one slab
+and adopts the persisted buffers without parsing, validating, or copying,
+so its latency must be independent of dataset size — while a cold start
+(parse the file, deduplicate, counting-sort both CSRs, build the adjoin)
+is linear in the incidence count.  This sweep measures both, plus a warm
+restart (open + WAL tail replay), over a geometric size grid, asserts the
+scaling gap, and writes ``BENCH_store_open.json`` at the repo root — the
+artifact CI's store-smoke job uploads.
+
+The gate compares growth ratios, not absolute times: across a 16x data
+growth the cold path must slow down by >= 4x while the mmap open stays
+within 3x of its small-dataset latency (generous noise margin; the
+measured open is sub-millisecond either way).
+
+Run directly (``python benchmarks/bench_store_open.py``) or through
+pytest (``pytest benchmarks/bench_store_open.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.io.generators import uniform_random_hypergraph
+from repro.io.loader import load_hypergraph
+from repro.io.mmio import write_mm
+from repro.obs.metrics import MetricsRegistry
+from repro.store import build_store, open_store
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_store_open.json"
+
+#: geometric grid: each step is 4x the incidences of the previous
+EDGE_GRID = (1_000, 4_000, 16_000)
+MEAN_SIZE = 8
+WAL_BATCHES = 10
+REPEATS = 5
+
+
+def _best(fn, repeats: int = REPEATS) -> tuple[float, object]:
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = (time.perf_counter() - t0) * 1e3
+        best = min(best, dt)
+    return best, out
+
+
+def _cold(path: str):
+    """Full cold start: parse + dedup + index every representation."""
+    hg = load_hypergraph(path)
+    hg.biadjacency
+    hg.adjoin_graph
+    return hg
+
+
+def _measure(workdir: Path, num_edges: int) -> dict:
+    el = uniform_random_hypergraph(
+        num_edges, num_edges, MEAN_SIZE, seed=num_edges
+    )
+    mtx = workdir / f"g{num_edges}.mtx"
+    write_mm(mtx, el)
+    store_dir = workdir / f"store{num_edges}"
+    build_store(store_dir, str(mtx))
+
+    cold_ms, _ = _best(lambda: _cold(str(mtx)))
+
+    def mmap_open():
+        handle = open_store(store_dir)
+        handle.close()
+        return handle
+
+    open_ms, _ = _best(mmap_open)
+
+    # warm restart: a mutation tail to replay on open
+    handle = open_store(store_dir)
+    for i in range(WAL_BATCHES):
+        handle.dynamic.apply(
+            [{"op": "add_edge", "members": [i % 10, (i + 1) % 10]}]
+        )
+    handle.close()
+    metrics = MetricsRegistry()
+
+    def warm_open():
+        h = open_store(store_dir, metrics=metrics)
+        h.close()
+        return h
+
+    warm_ms, last = _best(warm_open)
+    assert last.recovery.replayed_batches == WAL_BATCHES
+
+    return {
+        "num_edges": num_edges,
+        "num_incidences": len(el),
+        "slab_bytes": last.manifest.slab_bytes(),
+        "cold_parse_ms": round(cold_ms, 3),
+        "mmap_open_ms": round(open_ms, 3),
+        "warm_restart_ms": round(warm_ms, 3),
+        "replayed_batches": last.recovery.replayed_batches,
+        "counters": {
+            row["name"]: row["value"]
+            for row in sorted(metrics.snapshot(), key=lambda r: r["name"])
+            if row["kind"] == "counter" and row["name"].startswith("store.")
+        },
+    }
+
+
+def run() -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        rows = [_measure(Path(tmp), n) for n in EDGE_GRID]
+    small, large = rows[0], rows[-1]
+    growth = large["num_incidences"] / small["num_incidences"]
+    cold_ratio = large["cold_parse_ms"] / small["cold_parse_ms"]
+    open_ratio = large["mmap_open_ms"] / small["mmap_open_ms"]
+    doc = {
+        "generated_by": "benchmarks/bench_store_open.py",
+        "edge_grid": list(EDGE_GRID),
+        "wal_batches": WAL_BATCHES,
+        "rows": rows,
+        "data_growth": round(growth, 2),
+        "cold_ratio": round(cold_ratio, 2),
+        "open_ratio": round(open_ratio, 2),
+    }
+    # the O(1)-open gate: cold start scales with the data, mmap open
+    # does not (3x allows scheduler noise on a sub-ms measurement)
+    assert cold_ratio >= 4.0, f"cold parse only {cold_ratio:.1f}x slower"
+    assert open_ratio <= 3.0, f"mmap open grew {open_ratio:.1f}x"
+    assert open_ratio < cold_ratio, "open must scale better than parse"
+    return doc
+
+
+def _table(doc: dict) -> str:
+    lines = [
+        f"{'edges':>8} {'incidences':>11} {'cold ms':>9} "
+        f"{'open ms':>9} {'warm ms':>9}"
+    ]
+    for r in doc["rows"]:
+        lines.append(
+            f"{r['num_edges']:>8} {r['num_incidences']:>11} "
+            f"{r['cold_parse_ms']:>9.2f} {r['mmap_open_ms']:>9.2f} "
+            f"{r['warm_restart_ms']:>9.2f}"
+        )
+    lines.append(
+        f"data x{doc['data_growth']}: cold x{doc['cold_ratio']}, "
+        f"open x{doc['open_ratio']} (O(1) gate: open <= 3x)"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    doc = run()
+    OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {OUT}")
+    print(_table(doc))
+
+
+def test_store_open_is_o1(record):
+    doc = run()
+    OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    record("Store open: cold parse vs mmap open vs warm restart",
+           _table(doc))
+
+
+if __name__ == "__main__":
+    main()

@@ -333,6 +333,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     for spec in args.dataset:
         name, _, source = spec.partition("=")
         engine.store.register(name, source or name)
+    for spec in args.store:
+        name, _, directory = spec.partition("=")
+        if not directory:
+            name, directory = Path(name).name or name, name
+        info = engine.register_store(name, directory)
+        rec = info["recovery"]
+        print(f"opened store {directory!r} as {name!r} "
+              f"(version {info['version']}, "
+              f"{rec['replayed_batches']} batch(es) replayed, "
+              f"{len(info['hydrated'])} hot line graph(s) rehydrated)",
+              flush=True)
     server = AnalyticsServer(engine, host=args.host, port=args.port)
     host, port = server.address
     print(f"serving {len(engine.store)} dataset(s) "
@@ -448,6 +459,75 @@ def cmd_update(args: argparse.Namespace) -> int:
         }
     )
     return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Durable store operations: build, inspect, compact (repro.store)."""
+    from repro.store import StoreError, build_store, open_store
+
+    try:
+        if args.store_command == "build":
+            manifest = build_store(
+                args.directory,
+                args.source,
+                name=args.name,
+                warm_s=tuple(args.warm_s),
+                include_adjoin=not args.no_adjoin,
+            )
+            print(
+                f"built store {args.directory!r} "
+                f"(dataset {manifest.name!r}, {manifest.num_edges} edges, "
+                f"{manifest.num_nodes} nodes, "
+                f"{manifest.slab_bytes()} slab bytes, "
+                f"{len(manifest.hot)} hot line graph(s))"
+            )
+            return 0
+        handle = open_store(args.directory)
+        try:
+            if args.store_command == "compact":
+                before = handle.manifest.base_version
+                handle.checkpoint()
+                print(
+                    f"compacted store {args.directory!r}: base version "
+                    f"{before} -> {handle.manifest.base_version} "
+                    f"({handle.manifest.slab_bytes()} slab bytes, WAL reset)"
+                )
+                return 0
+            # inspect
+            stats = handle.stats()
+            if args.verify:
+                bad = handle.verify()
+                stats["checksum_failures"] = bad
+                if bad:
+                    print(f"checksum FAILED for: {', '.join(bad)}",
+                          file=sys.stderr)
+            if args.json:
+                _dump_json(stats)
+            else:
+                rec = stats["recovery"]
+                print(f"store     {stats['directory']}")
+                print(f"dataset   {stats['name']}")
+                print(f"version   {stats['version']} "
+                      f"(snapshot at {stats['base_version']}, "
+                      f"{rec['replayed_batches']} WAL batch(es) replayed)")
+                print(f"slab      {stats['slab']} "
+                      f"({stats['slab_bytes']} bytes, "
+                      f"{stats['arrays']} arrays)")
+                print(f"wal       {stats['wal']['bytes']} bytes")
+                if rec["torn_tail"]:
+                    print(f"recovered torn WAL tail: {rec['reason']} "
+                          f"({rec['truncated_bytes']} bytes truncated)")
+                if handle.manifest.hot:
+                    specs = ", ".join(
+                        f"s={h['s']} ({'edges' if h['over_edges'] else 'nodes'})"
+                        for h in handle.manifest.hot
+                    )
+                    print(f"hot       {specs}")
+            return 1 if args.verify and stats["checksum_failures"] else 0
+        finally:
+            handle.close()
+    except StoreError as exc:
+        raise SystemExit(f"store error: {exc}") from None
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -618,6 +698,12 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="NAME[=SOURCE]",
                    help="register a dataset at startup; SOURCE is a file "
                         "path or Table I stand-in name (default: NAME)")
+    p.add_argument("--store", action="append", default=[],
+                   metavar="[NAME=]DIR",
+                   help="open a durable store directory (repro.store) at "
+                        "startup: mmap the snapshot, replay the WAL tail, "
+                        "rehydrate hot line graphs (default NAME: the "
+                        "directory's basename)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="0 binds an ephemeral port (printed at startup)")
@@ -664,6 +750,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="maintain these s-line graphs incrementally and "
                         "report patch/rebuild outcomes")
     p.set_defaults(func=cmd_update)
+
+    p = sub.add_parser(
+        "store",
+        help="durable store: build / inspect / compact (repro.store)",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    sp = store_sub.add_parser(
+        "build", help="freeze a dataset into a store directory"
+    )
+    sp.add_argument("source",
+                    help="file path (.mtx/.hygra/.csv/.json) or Table I "
+                         "stand-in name")
+    sp.add_argument("directory", help="store directory to create/overwrite")
+    sp.add_argument("--name", default=None,
+                    help="dataset name recorded in the manifest "
+                         "(default: derived from SOURCE)")
+    sp.add_argument("--warm-s", type=int, nargs="*", default=[],
+                    dest="warm_s", metavar="S",
+                    help="persist these s-line graphs as hot cache entries "
+                         "for warm restarts")
+    sp.add_argument("--no-adjoin", action="store_true", dest="no_adjoin",
+                    help="skip persisting the adjoin CSR")
+    sp.set_defaults(func=cmd_store)
+    sp = store_sub.add_parser(
+        "inspect", help="print a store's manifest/WAL/recovery state"
+    )
+    sp.add_argument("directory")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    sp.add_argument("--verify", action="store_true",
+                    help="checksum every slab array (exit 1 on mismatch)")
+    sp.set_defaults(func=cmd_store)
+    sp = store_sub.add_parser(
+        "compact", help="fold the WAL into a fresh snapshot (checkpoint)"
+    )
+    sp.add_argument("directory")
+    sp.set_defaults(func=cmd_store)
 
     p = sub.add_parser(
         "check",

@@ -80,6 +80,28 @@ class NWHypergraph:
         return cls(row, col, num_edges=len(members), num_nodes=num_nodes)
 
     @classmethod
+    def from_frozen(
+        cls,
+        el: BiEdgeList,
+        biadjacency: BiAdjacency | None = None,
+        adjoin: AdjoinGraph | None = None,
+    ) -> "NWHypergraph":
+        """Adopt an already-deduplicated incidence list without revalidating.
+
+        The O(1) trusted-construction path used by :mod:`repro.store` warm
+        restarts: ``el`` must already carry set-semantic (deduplicated)
+        incidences, and any supplied ``biadjacency``/``adjoin`` structures
+        must describe exactly ``el``.  Representations not supplied stay
+        lazy as usual.
+        """
+        out = cls.__new__(cls)
+        out._el = el
+        out._bi = biadjacency
+        out._adjoin = adjoin
+        out._slg_memo = {}
+        return out
+
+    @classmethod
     def from_biadjacency(cls, h: BiAdjacency) -> "NWHypergraph":
         """Wrap an existing bi-adjacency structure."""
         src = np.repeat(

@@ -84,9 +84,20 @@ class DynamicHypergraph:
         (``dynamic_ops_applied_total`` by kind, ``dynamic_batches_total``,
         ``dynamic_dirty_edges_total``, ``dynamic_compactions_total``).
         No-op when ``None``.
+    version:
+        Starting version number for ``base``.  Defaults to 0; a durable
+        store (:mod:`repro.store`) reopening a snapshot taken at version
+        *N* passes ``version=N`` so the batch count keeps climbing across
+        restarts and versioned cache keys stay globally unique.
     """
 
-    def __init__(self, base: NWHypergraph, tracer=None, metrics=None) -> None:
+    def __init__(
+        self,
+        base: NWHypergraph,
+        tracer=None,
+        metrics=None,
+        version: int = 0,
+    ) -> None:
         from repro.obs.metrics import as_metrics
         from repro.obs.tracer import as_tracer
 
@@ -94,13 +105,15 @@ class DynamicHypergraph:
             raise TypeError(
                 f"base must be an NWHypergraph, got {type(base).__name__}"
             )
+        if version < 0:
+            raise ValueError(f"version must be non-negative, got {version}")
         self._lock = threading.RLock()
         self._base = base
         self._state = OverlayState(base.biadjacency)
         self._log = MutationLog()
-        self._version = 0
+        self._version = int(version)
         self._snapshot: NWHypergraph | None = base
-        self._snapshot_version = 0
+        self._snapshot_version = self._version
         self._tracer = as_tracer(tracer)
         self._metrics = as_metrics(metrics)
 
@@ -123,7 +136,7 @@ class DynamicHypergraph:
     # -- introspection -------------------------------------------------------
     @property
     def version(self) -> int:
-        """Number of batches applied since construction."""
+        """Starting version plus the number of batches applied since."""
         with self._lock:
             return self._version
 

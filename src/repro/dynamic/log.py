@@ -132,6 +132,31 @@ class LogBatch:
     dirty_edges: frozenset[int] = frozenset()
     dirty_nodes: frozenset[int] = frozenset()
 
+    # -- wire format (the WAL record payload, :mod:`repro.store.wal`) -------
+    def to_wire(self) -> dict:
+        """JSON-safe payload: the version and its mutation records.
+
+        Dirty sets are derivable by replay, so they stay out of the
+        durable format.
+        """
+        return {
+            "version": int(self.version),
+            "ops": [m.to_dict() for m in self.mutations],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping) -> "LogBatch":
+        """Parse one WAL payload back into a batch (records validated)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"WAL payload must be an object, got {payload!r}")
+        version = payload.get("version")
+        if not isinstance(version, int) or version < 1:
+            raise ValueError(f"WAL payload has bad version {version!r}")
+        return cls(
+            version=version,
+            mutations=tuple(parse_batch(payload.get("ops", []))),
+        )
+
 
 class MutationLog:
     """Append-only record of applied batches since the last compaction.

@@ -9,7 +9,10 @@ serving sessions can be spun up without files on disk.
 
 Supported extensions: ``.mtx`` (MatrixMarket), ``.hygra``/``.adj``
 (Hygra's AdjacencyHypergraph), ``.csv`` (incidence tables), ``.json``
-(the repro-hypergraph interchange format).
+(the repro-hypergraph interchange format).  A *directory* containing a
+store manifest (:mod:`repro.store`) is read back through
+:func:`~repro.store.recover.read_store` — the committed snapshot plus
+any write-ahead-log tail.
 """
 
 from __future__ import annotations
@@ -25,9 +28,19 @@ def read_any(path: str | Path) -> BiEdgeList:
     """Read a hypergraph file, picking the parser from the extension.
 
     A bare Table I dataset name (no extension, e.g. ``"rand1"``) resolves
-    to the generated stand-in instead of a file.
+    to the generated stand-in instead of a file; a store directory
+    (:mod:`repro.store`) resolves to its current durable state.
     """
     p = Path(path)
+    if p.is_dir():
+        from repro.store import is_store_dir, read_store
+
+        if is_store_dir(p):
+            return read_store(p)
+        raise ValueError(
+            f"{str(p)!r} is a directory without a store manifest "
+            "(expected manifest.json from `repro store build`)"
+        )
     suffix = p.suffix.lower()
     if suffix == ".mtx":
         from .mmio import read_mm

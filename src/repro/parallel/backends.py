@@ -233,9 +233,35 @@ class ProcessBackend(ExecutionBackend):
             # closures/lambdas/bound locals — the fallback pool serves them
             return False
 
+    @staticmethod
+    def _mapped_handle(obj):
+        """A zero-copy mmap handle when ``obj`` lives in an open store slab.
+
+        Resolved only when :mod:`repro.store.slab` is already imported —
+        a process that never opened a store pays nothing, not even the
+        import.  Mapped handles reference a store-owned file, so they
+        are never released by :meth:`share`.
+        """
+        import sys
+
+        slab = sys.modules.get("repro.store.slab")
+        if slab is None:
+            return None
+        import numpy as np
+
+        if isinstance(obj, np.ndarray):
+            return slab.handle_of(obj)
+        return slab.csr_handle_of(obj)
+
     @contextmanager
     def share(self, *objs):
-        """Export CSRs/ndarrays into shared memory for the block's scope."""
+        """Export CSRs/ndarrays for the block's scope — shm or mmap.
+
+        Arrays backed by an open store slab ship as
+        :class:`~repro.store.slab.MappedArray` handles (no copy at all);
+        everything else is exported into POSIX shared memory (the one
+        copy the scheme ever makes) and released when the block exits.
+        """
         import numpy as np
 
         from .shared import SharedArray, SharedCSR
@@ -252,13 +278,14 @@ class ProcessBackend(ExecutionBackend):
                     out.append(None)
                     continue
                 if isinstance(obj, np.ndarray):
-                    handle = SharedArray.create(obj)
+                    handle = self._mapped_handle(obj) or SharedArray.create(obj)
                 elif hasattr(obj, "indptr") and hasattr(obj, "indices"):
-                    handle = SharedCSR.create(obj)
+                    handle = self._mapped_handle(obj) or SharedCSR.create(obj)
                 else:  # scalars and small picklables travel by value
                     out.append(obj)
                     continue
-                shared.append(handle)
+                if isinstance(handle, (SharedArray, SharedCSR)):
+                    shared.append(handle)  # owner must release shm blocks
                 seen[id(obj)] = handle
                 out.append(handle)
             yield tuple(out)

@@ -10,6 +10,14 @@ pays.  Instead the owner exports each array once into
 and workers attach the block read-only as an ``ndarray`` view — zero
 copies of the data itself.
 
+The handle protocol is deliberately backing-agnostic: :class:`BufferHandle`
+/ :class:`CSRHandle` define the interface (picklable metadata, ``open`` to
+an ndarray/CSR view, ``close``/``release`` lifecycle) and POSIX shared
+memory is merely one provider.  :mod:`repro.store.slab` supplies a second
+— :class:`~repro.store.slab.MappedArray` handles over page-aligned
+memory-mapped store slabs — so a graph served from a durable store ships
+to workers as a ~200-byte file reference instead of an shm copy.
+
 Lifecycle contract (POSIX shm blocks outlive processes, so this is
 strict):
 
@@ -39,6 +47,8 @@ from multiprocessing import shared_memory
 import numpy as np
 
 __all__ = [
+    "BufferHandle",
+    "CSRHandle",
     "SharedArray",
     "SharedCSR",
     "debug_verify",
@@ -94,7 +104,118 @@ def debug_verify() -> None:
         )
 
 
-class SharedArray:
+class BufferHandle:
+    """Interface for a picklable handle to one out-of-process ndarray.
+
+    A handle is small metadata (provider-specific: an shm block name, a
+    file path + offset, ...) plus ``shape``/``dtype``; it pickles cheaply
+    and reconstitutes the array on the far side:
+
+    * :meth:`open` — attach (if needed) and return the ndarray view;
+      read-only for non-owners.
+    * :meth:`close` — detach this process's mapping (idempotent; the
+      backing storage survives).
+    * :meth:`release` — owner teardown: destroy backing storage that
+      would otherwise outlive the process.  Providers whose storage is
+      externally owned (a store's slab file) make this a no-op beyond
+      ``close``.
+
+    Providers: :class:`SharedArray` (POSIX shared memory) and
+    :class:`~repro.store.slab.MappedArray` (mmap over a store slab).
+    """
+
+    __slots__ = ()
+
+    shape: tuple[int, ...]
+    dtype: str
+
+    def open(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def release(self) -> None:
+        self.close()
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            int(np.prod(self.shape, dtype=np.int64))
+            * np.dtype(self.dtype).itemsize
+        )
+
+
+class CSRHandle:
+    """A CSR whose three buffers are :class:`BufferHandle` instances.
+
+    Carries the scalar metadata (``num_targets``, sortedness) alongside
+    the ``indptr``/``indices``/optional ``weights`` handles; :meth:`open`
+    rebuilds a :class:`~repro.structures.csr.CSR` over the attached views
+    via the trusted O(1) adoption path (the buffers were validated when
+    the owner exported them).
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "num_targets", "sorted_rows")
+
+    def __init__(
+        self,
+        indptr: BufferHandle,
+        indices: BufferHandle,
+        weights: BufferHandle | None,
+        num_targets: int,
+        sorted_rows: bool,
+    ) -> None:
+        self.indptr = indptr  # repro: noqa-R001 — BufferHandle, not a CSR buffer
+        self.indices = indices  # repro: noqa-R001 — BufferHandle, not a CSR buffer
+        self.weights = weights
+        self.num_targets = int(num_targets)
+        self.sorted_rows = bool(sorted_rows)
+
+    @property
+    def nbytes(self) -> int:
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return total
+
+    def __getstate__(self) -> tuple:
+        return (
+            self.indptr, self.indices, self.weights,
+            self.num_targets, self.sorted_rows,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.indptr, self.indices, self.weights,  # repro: noqa-R001 — handle fields
+         self.num_targets, self.sorted_rows) = state
+
+    def open(self):
+        """Attach and rebuild the CSR over provider views (worker side)."""
+        from repro.structures.csr import CSR
+
+        return CSR.adopt(
+            self.indptr.open(),
+            self.indices.open(),
+            None if self.weights is None else self.weights.open(),
+            num_targets=self.num_targets,
+            sorted_rows=self.sorted_rows,
+        )
+
+    def close(self) -> None:
+        self.indptr.close()
+        self.indices.close()
+        if self.weights is not None:
+            self.weights.close()
+
+    def release(self) -> None:
+        """Owner teardown of all three buffers (idempotent)."""
+        self.indptr.release()
+        self.indices.release()
+        if self.weights is not None:
+            self.weights.release()
+
+
+class SharedArray(BufferHandle):
     """A picklable handle to one ndarray stored in shared memory.
 
     Owner side: :meth:`create` copies the array into a fresh shm block
@@ -129,10 +250,6 @@ class SharedArray:
         handle._owner = True
         _track_create(shm.name, max(1, array.nbytes))
         return handle
-
-    @property
-    def nbytes(self) -> int:
-        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
 
     # -- pickling: the handle travels, the attachment does not ----------------
     def __getstate__(self) -> tuple:
@@ -190,7 +307,7 @@ class SharedArray:
         )
 
 
-class SharedCSR:
+class SharedCSR(CSRHandle):
     """A :class:`~repro.structures.csr.CSR` placed in shared memory.
 
     Wraps the three backing arrays (``indptr``/``indices``/optional
@@ -200,21 +317,7 @@ class SharedCSR:
     into the shared blocks — the worker-side attach is O(1) in the data.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "num_targets", "sorted_rows")
-
-    def __init__(
-        self,
-        indptr: SharedArray,
-        indices: SharedArray,
-        weights: SharedArray | None,
-        num_targets: int,
-        sorted_rows: bool,
-    ) -> None:
-        self.indptr = indptr  # repro: noqa-R001 — SharedArray handle, not a CSR buffer
-        self.indices = indices  # repro: noqa-R001 — SharedArray handle, not a CSR buffer
-        self.weights = weights
-        self.num_targets = int(num_targets)
-        self.sorted_rows = bool(sorted_rows)
+    __slots__ = ()
 
     @classmethod
     def create(cls, csr) -> "SharedCSR":
@@ -227,48 +330,6 @@ class SharedCSR:
             csr.has_sorted_rows,
         )
 
-    @property
-    def nbytes(self) -> int:
-        total = self.indptr.nbytes + self.indices.nbytes
-        if self.weights is not None:
-            total += self.weights.nbytes
-        return total
-
-    def __getstate__(self) -> tuple:
-        return (
-            self.indptr, self.indices, self.weights,
-            self.num_targets, self.sorted_rows,
-        )
-
-    def __setstate__(self, state: tuple) -> None:
-        (self.indptr, self.indices, self.weights,  # repro: noqa-R001 — handle fields
-         self.num_targets, self.sorted_rows) = state
-
-    def open(self):
-        """Attach and rebuild the CSR over shared views (worker side)."""
-        from repro.structures.csr import CSR
-
-        return CSR(
-            self.indptr.open(),
-            self.indices.open(),
-            None if self.weights is None else self.weights.open(),
-            num_targets=self.num_targets,
-            sorted_rows=self.sorted_rows,
-        )
-
-    def close(self) -> None:
-        self.indptr.close()
-        self.indices.close()
-        if self.weights is not None:
-            self.weights.close()
-
-    def release(self) -> None:
-        """Owner teardown of all three blocks (idempotent)."""
-        self.indptr.release()
-        self.indices.release()
-        if self.weights is not None:
-            self.weights.release()
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SharedCSR(indptr={self.indptr.name}, "
@@ -277,15 +338,16 @@ class SharedCSR:
 
 
 def _is_shared(obj) -> bool:
-    return isinstance(obj, (SharedArray, SharedCSR))
+    return isinstance(obj, (BufferHandle, CSRHandle))
 
 
 @contextmanager
 def open_handles(*objs):
     """Materialize a mixed tuple of handles and plain objects for one task.
 
-    ``SharedArray``/``SharedCSR`` entries are attached and yielded as
-    ndarray/CSR; plain ndarrays, CSRs, and ``None`` pass through
+    :class:`BufferHandle`/:class:`CSRHandle` entries (any provider — shm
+    or mmap) are attached and yielded as ndarray/CSR; plain ndarrays,
+    CSRs, and ``None`` pass through
     untouched — so kernels written against this helper run identically
     under the simulated, threaded, and process backends.  Attachments are
     closed on exit (worker tasks must copy anything they return).

@@ -187,8 +187,46 @@ class QueryEngine:
         self._op_counters: dict[str, dict[str, float]] = {}
 
     def close(self) -> None:
-        """Shut down the engine's execution-backend pools (idempotent)."""
+        """Shut down backend pools and durable store handles (idempotent)."""
         self.backend.close()
+        self.store.close()
+
+    def register_store(
+        self, name: str, directory, replace: bool = False, hydrate: bool = True
+    ) -> dict:
+        """Register a durable store directory and rehydrate its hot cache.
+
+        The warm-restart entry point behind ``repro serve --store``: the
+        store is opened (O(1) mmap adoption + WAL tail replay) and
+        registered as a durable-dynamic dataset; with ``hydrate=True``
+        the s-line graphs recorded in the manifest are admitted into the
+        serving cache under the version-aware key — skipped automatically
+        when WAL replay advanced past the snapshot (they would be stale).
+        Returns a JSON-safe summary including the recovery report.
+        """
+        self.store.register(
+            name,
+            directory,
+            replace=replace,
+            tracer=self.tracer,
+            metrics=self.obs_metrics,
+        )
+        handle = self.store.store_handle(name)
+        hydrated = []
+        if handle is not None and hydrate:
+            key = self.store.versioned_name(name)
+            for (s, over_edges), lg in sorted(handle.hot_linegraphs().items()):
+                if self.cache.put(key, s, over_edges, lg):
+                    hydrated.append({"s": s, "over_edges": over_edges})
+        out = {
+            "dataset": name,
+            "directory": str(directory),
+            "hydrated": hydrated,
+        }
+        if handle is not None:
+            out["version"] = handle.version
+            out["recovery"] = handle.recovery.as_dict()
+        return out
 
     # -- public API ----------------------------------------------------------
     @staticmethod
@@ -618,17 +656,18 @@ class QueryEngine:
     def _op_register(self, query: dict) -> dict:
         name = _require(query, "name")
         source = _require(query, "source")
-        hg = self.store.register(
-            name, source, replace=bool(query.get("replace", False))
-        )
-        return {
-            "result": {
-                "dataset": name,
-                "num_edges": hg.number_of_edges(),
-                "num_nodes": hg.number_of_nodes(),
-            },
-            "via": "direct",
-        }
+        replace = bool(query.get("replace", False))
+        if self.store._is_store_dir(source):
+            # durable path: open the store, replay its WAL tail, and
+            # rehydrate persisted hot line graphs into the cache
+            info = self.register_store(name, source, replace=replace)
+        else:
+            self.store.register(name, source, replace=replace)
+            info = {"dataset": name}
+        hg = self.store.get(name)
+        info["num_edges"] = hg.number_of_edges()
+        info["num_nodes"] = hg.number_of_nodes()
+        return {"result": info, "via": "direct"}
 
     def _op_datasets(self, query: dict) -> dict:
         return {"result": self.store.names(), "via": "direct"}

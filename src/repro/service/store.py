@@ -13,7 +13,12 @@ Sources accepted by :meth:`HypergraphStore.register`:
 * a ``DynamicHypergraph`` (registered as a mutable dataset),
 * a ``BiEdgeList`` (wrapped),
 * a path string to any format :func:`repro.io.loader.read_any` sniffs,
-* a bare Table I stand-in name (``"rand1"``, ``"com-orkut"``, ...).
+* a bare Table I stand-in name (``"rand1"``, ``"com-orkut"``, ...),
+* a **store directory** (:mod:`repro.store`) — opened via
+  :func:`~repro.store.recover.open_store`: the dataset is registered
+  *durable-dynamic* (every update batch is WAL-logged before it is
+  acknowledged) over zero-copy mmap slabs, and the handle is tracked so
+  :meth:`close` releases its file resources.
 
 Datasets come in two flavors.  *Static* entries are frozen
 ``NWHypergraph`` instances — the original serving model.  *Dynamic*
@@ -32,6 +37,7 @@ its own thread).
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import TYPE_CHECKING
 
@@ -51,6 +57,7 @@ class HypergraphStore:
         self._lock = threading.Lock()
         self._entries: dict[str, NWHypergraph] = {}
         self._dynamic: dict[str, "DynamicHypergraph"] = {}
+        self._stores: dict[str, object] = {}  # name -> StoreHandle
 
     # -- registration -------------------------------------------------------
     def register(
@@ -59,29 +66,43 @@ class HypergraphStore:
         source,
         replace: bool = False,
         dynamic: bool = False,
+        tracer=None,
+        metrics=None,
     ) -> NWHypergraph:
         """Load (if needed) and pin a hypergraph under ``name``.
 
         ``dynamic=True`` (or passing a ``DynamicHypergraph`` source)
-        registers a mutable dataset.  Re-registering an existing name
-        raises unless ``replace=True`` — silently swapping the dataset
-        under live queries is almost always a client bug.
+        registers a mutable dataset; a store-directory source is always
+        dynamic (durably so).  Re-registering an existing name raises
+        unless ``replace=True`` — silently swapping the dataset under
+        live queries is almost always a client bug.
         """
         from repro.dynamic.hypergraph import DynamicHypergraph
 
         if not name:
             raise ValueError("dataset name must be non-empty")
+        handle = None
         if isinstance(source, DynamicHypergraph):
             dyn: DynamicHypergraph | None = source
             hg = source.snapshot()
+        elif self._is_store_dir(source):
+            from repro.store import open_store
+
+            handle = open_store(source, tracer=tracer, metrics=metrics)
+            dyn = handle.dynamic
+            hg = dyn.snapshot()
         elif dynamic:
-            dyn = DynamicHypergraph(self._resolve(source))
+            dyn = DynamicHypergraph(
+                self._resolve(source), tracer=tracer, metrics=metrics
+            )
             hg = dyn.snapshot()
         else:
             dyn = None
             hg = self._resolve(source)
         with self._lock:
             if not replace and name in self._entries:
+                if handle is not None:
+                    handle.close()
                 raise ValueError(
                     f"dataset {name!r} already registered "
                     "(pass replace=True to swap it)"
@@ -91,7 +112,20 @@ class HypergraphStore:
                 self._dynamic[name] = dyn
             else:
                 self._dynamic.pop(name, None)
+            old = self._stores.pop(name, None)
+            if handle is not None:
+                self._stores[name] = handle
+        if old is not None:
+            old.close()  # type: ignore[attr-defined]
         return hg
+
+    @staticmethod
+    def _is_store_dir(source) -> bool:
+        if not isinstance(source, (str, os.PathLike)):
+            return False
+        from repro.store.manifest import is_store_dir
+
+        return is_store_dir(source)
 
     @staticmethod
     def _resolve(source: NWHypergraph | BiEdgeList | str) -> NWHypergraph:
@@ -114,6 +148,9 @@ class HypergraphStore:
         with self._lock:
             del self._entries[name]
             self._dynamic.pop(name, None)
+            handle = self._stores.pop(name, None)
+        if handle is not None:
+            handle.close()  # type: ignore[attr-defined]
 
     # -- lookup --------------------------------------------------------------
     def get(self, name: str) -> NWHypergraph:
@@ -196,6 +233,25 @@ class HypergraphStore:
         version = dyn.version
         return name if version == 0 else f"{name}@v{version}"
 
+    def store_handle(self, name: str):
+        """The :class:`~repro.store.recover.StoreHandle` backing a dataset
+        (``None`` for purely in-memory datasets)."""
+        with self._lock:
+            return self._stores.get(name)
+
+    def close(self) -> None:
+        """Release every durable store handle (WAL files, slab mappings).
+
+        Registered datasets stay queryable from memory; only the disk
+        resources are dropped, so this is the shutdown path — the server
+        calls it once serving ends.
+        """
+        with self._lock:
+            handles = list(self._stores.values())
+            self._stores.clear()
+        for handle in handles:
+            handle.close()  # type: ignore[attr-defined]
+
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._entries)
@@ -227,10 +283,14 @@ class HypergraphStore:
         }
         with self._lock:
             dyn = self._dynamic.get(name)
+            handle = self._stores.get(name)
         if dyn is not None:
             out["dynamic"] = True
             out["version"] = dyn.version
             out["pending_ops"] = dyn.pending_ops()
+        if handle is not None:
+            out["durable"] = True
+            out["store"] = handle.stats()  # type: ignore[attr-defined]
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

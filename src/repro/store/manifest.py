@@ -1,0 +1,206 @@
+"""The store manifest — versioned metadata over one slab + WAL pair.
+
+A store directory is three files::
+
+    <dir>/manifest.json   this manifest (the commit point — written last)
+    <dir>/data.slab       page-aligned raw array sections (no header)
+    <dir>/wal.log         write-ahead log of mutation batches
+
+The slab file itself is headerless: every byte of structure lives here —
+per-array offset/shape/dtype/crc32 (:class:`SlabEntry`), the CSR
+compositions over those arrays, the hypergraph cardinalities, the
+``base_version`` the snapshot was taken at, and the recorded hot
+s-line-graph entries.  Saving is atomic (tmp file + fsync + rename), so a
+reader either sees the previous complete manifest or the new one, never a
+torn mix — the recovery rules in ``docs/STORAGE.md`` build on exactly
+this property.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "Manifest",
+    "SlabEntry",
+    "StoreCorruptError",
+    "StoreError",
+    "is_store_dir",
+    "load_manifest",
+    "save_manifest",
+]
+
+#: on-disk format revision; bumped on incompatible layout changes
+FORMAT_VERSION = 1
+
+#: the sniffable marker file — a directory containing it is a store
+MANIFEST_NAME = "manifest.json"
+
+
+class StoreError(Exception):
+    """Base error for :mod:`repro.store` failures."""
+
+
+class StoreCorruptError(StoreError):
+    """The on-disk state violates the format invariants.
+
+    Raised for unreadable manifests, checksum mismatches, WAL version
+    gaps — anything recovery cannot (and must not) silently repair.
+    Distinct from a *torn tail*, which is expected after a crash and is
+    recovered automatically.
+    """
+
+
+@dataclass(frozen=True)
+class SlabEntry:
+    """One array's location inside the slab file.
+
+    ``offset`` is page-aligned; ``crc32`` covers exactly the ``nbytes``
+    payload bytes and is verified on demand (``repro store inspect
+    --verify``), never on the O(1) open path.
+    """
+
+    name: str
+    offset: int
+    nbytes: int
+    shape: tuple[int, ...]
+    dtype: str
+    crc32: int
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SlabEntry":
+        try:
+            return cls(
+                name=str(data["name"]),
+                offset=int(data["offset"]),
+                nbytes=int(data["nbytes"]),
+                shape=tuple(int(d) for d in data["shape"]),
+                dtype=str(data["dtype"]),
+                crc32=int(data["crc32"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreCorruptError(f"bad slab entry {data!r}: {exc}") from exc
+
+
+@dataclass
+class Manifest:
+    """Everything needed to reopen a store in O(1).
+
+    ``csrs`` composes named arrays into CSRs: each value carries the
+    array names of its buffers plus the scalar CSR metadata.  ``hot``
+    records s-line graphs persisted at checkpoint time for cache
+    rehydration.  ``base_version`` is the
+    :class:`~repro.dynamic.hypergraph.DynamicHypergraph` version the
+    snapshot was taken at; WAL records at or below it are stale (a
+    checkpoint crashed before resetting the log) and are skipped on
+    replay.
+    """
+
+    name: str
+    base_version: int
+    num_edges: int
+    num_nodes: int
+    num_incidences: int
+    arrays: dict[str, SlabEntry] = field(default_factory=dict)
+    csrs: dict[str, dict] = field(default_factory=dict)
+    hot: list[dict] = field(default_factory=list)
+    slab: str = "data.slab"
+    wal: str = "wal.log"
+    created_at: str = ""
+    format_version: int = FORMAT_VERSION
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["arrays"] = {k: asdict(v) for k, v in self.arrays.items()}
+        for entry in out["arrays"].values():
+            entry["shape"] = list(entry["shape"])
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Manifest":
+        try:
+            arrays = {
+                str(k): SlabEntry.from_dict(v)
+                for k, v in dict(data["arrays"]).items()
+            }
+            return cls(
+                name=str(data["name"]),
+                base_version=int(data["base_version"]),
+                num_edges=int(data["num_edges"]),
+                num_nodes=int(data["num_nodes"]),
+                num_incidences=int(data["num_incidences"]),
+                arrays=arrays,
+                csrs={str(k): dict(v) for k, v in dict(data["csrs"]).items()},
+                hot=[dict(h) for h in data.get("hot", [])],
+                slab=str(data.get("slab", "data.slab")),
+                wal=str(data.get("wal", "wal.log")),
+                created_at=str(data.get("created_at", "")),
+                format_version=int(data["format_version"]),
+            )
+        except StoreCorruptError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreCorruptError(f"bad manifest: {exc}") from exc
+
+    def slab_bytes(self) -> int:
+        """Total payload bytes across every recorded array."""
+        return sum(e.nbytes for e in self.arrays.values())
+
+
+def is_store_dir(path: str | os.PathLike) -> bool:
+    """Whether ``path`` is a directory holding a store manifest."""
+    p = Path(path)
+    return p.is_dir() and (p / MANIFEST_NAME).is_file()
+
+
+def save_manifest(directory: str | os.PathLike, manifest: Manifest) -> Path:
+    """Atomically persist ``manifest`` into ``directory``.
+
+    Write-to-tmp + fsync + rename: the rename is the commit point, and
+    the directory is fsync'd afterwards so the rename itself is durable.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / MANIFEST_NAME
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    payload = json.dumps(manifest.to_dict(), indent=2, sort_keys=True)
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(payload + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+    _fsync_dir(directory)
+    return target
+
+
+def load_manifest(directory: str | os.PathLike) -> Manifest:
+    """Load and validate the manifest of a store directory."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.is_file():
+        raise StoreError(f"{directory} is not a store (no {MANIFEST_NAME})")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (json.JSONDecodeError, OSError) as exc:
+        raise StoreCorruptError(f"unreadable manifest {path}: {exc}") from exc
+    manifest = Manifest.from_dict(data)
+    if manifest.format_version > FORMAT_VERSION:
+        raise StoreError(
+            f"store format v{manifest.format_version} is newer than this "
+            f"library supports (v{FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Durably record a rename in its parent directory (POSIX only)."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -1,0 +1,234 @@
+"""Snapshot writer: freeze a hypergraph (and friends) into a store.
+
+One snapshot = one slab file + one manifest.  The slab carries, page
+aligned:
+
+* the deduplicated incidence list (``incidence.part0/part1[/weights]``)
+  — the source of truth, what :meth:`replay <repro.store.recover>` and
+  ``read_any`` reconstruct from;
+* both bi-adjacency CSRs (``bi.edges.*`` / ``bi.nodes.*``) — so the O(1)
+  open path adopts them without re-indexing;
+* optionally the adjoin CSR (``adjoin.graph.*``);
+* optionally hot s-line-graph edge lists (``hot.<i>.*``) recorded for
+  cache rehydration on warm restart.
+
+Commit protocol: the slab is written to ``data-<version>.slab.tmp``,
+fsync'd, renamed to its final name, and only *then* the manifest is
+atomically replaced — the manifest rename is the commit point.  A crash
+anywhere before it leaves the previous snapshot fully intact (at worst
+an orphan slab file, cleaned up opportunistically); a crash after it is
+a completed checkpoint whose stale WAL records are skipped by version on
+the next open.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.core.hypergraph import NWHypergraph
+from repro.core.slinegraph import SLineGraph
+
+from .manifest import Manifest, save_manifest
+from .slab import SlabWriter
+from .wal import WriteAheadLog
+
+__all__ = ["build_store", "write_snapshot"]
+
+
+def _csr_section(writer: SlabWriter, prefix: str, csr) -> dict:
+    """Write one CSR's buffers; return its manifest composition record."""
+    writer.add(f"{prefix}.indptr", csr.indptr)
+    writer.add(f"{prefix}.indices", csr.indices)
+    spec = {
+        "indptr": f"{prefix}.indptr",
+        "indices": f"{prefix}.indices",
+        "weights": None,
+        "num_targets": csr.num_targets(),
+        "sorted": bool(csr.has_sorted_rows),
+    }
+    if csr.weights is not None:
+        writer.add(f"{prefix}.weights", csr.weights)
+        spec["weights"] = f"{prefix}.weights"
+    return spec
+
+
+def write_snapshot(
+    directory: str | os.PathLike,
+    hypergraph: NWHypergraph,
+    name: str,
+    base_version: int = 0,
+    hot: dict[tuple[int, bool], SLineGraph] | None = None,
+    include_adjoin: bool = True,
+    metrics=None,
+    tracer=None,
+) -> Manifest:
+    """Persist ``hypergraph`` as the store snapshot at ``base_version``.
+
+    ``hot`` maps ``(s, over_edges)`` to the line graphs to record for
+    warm-restart cache rehydration.  Returns the committed manifest.
+    """
+    from repro.obs.metrics import as_metrics
+    from repro.obs.tracer import as_tracer
+
+    metrics = as_metrics(metrics)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    slab_name = f"data-{int(base_version)}.slab"
+    tmp = directory / (slab_name + ".tmp")
+    with as_tracer(tracer).span(
+        "store.snapshot", dataset=name, base_version=int(base_version)
+    ) as span:
+        el = hypergraph._el
+        bi = hypergraph.biadjacency
+        writer = SlabWriter(tmp)
+        writer.add("incidence.part0", el.part0)
+        writer.add("incidence.part1", el.part1)
+        incidence_weights = None
+        if el.weights is not None:
+            writer.add("incidence.weights", el.weights)
+            incidence_weights = "incidence.weights"
+        csrs = {
+            "bi.edges": _csr_section(writer, "bi.edges", bi.edges),
+            "bi.nodes": _csr_section(writer, "bi.nodes", bi.nodes),
+        }
+        if include_adjoin:
+            adjoin = hypergraph.adjoin_graph
+            csrs["adjoin.graph"] = _csr_section(
+                writer, "adjoin.graph", adjoin.graph
+            )
+        hot_specs: list[dict] = []
+        for i, ((s, over_edges), lg) in enumerate(sorted((hot or {}).items())):
+            hel = lg.edgelist
+            writer.add(f"hot.{i}.src", hel.src)
+            writer.add(f"hot.{i}.dst", hel.dst)
+            spec = {
+                "s": int(s),
+                "over_edges": bool(over_edges),
+                "src": f"hot.{i}.src",
+                "dst": f"hot.{i}.dst",
+                "weights": None,
+                "num_vertices": hel.num_vertices(),
+            }
+            if hel.weights is not None:
+                writer.add(f"hot.{i}.weights", hel.weights)
+                spec["weights"] = f"hot.{i}.weights"
+            hot_specs.append(spec)
+        entries = writer.finish()
+        os.replace(tmp, directory / slab_name)
+        manifest = Manifest(
+            name=name,
+            base_version=int(base_version),
+            num_edges=hypergraph.number_of_edges(),
+            num_nodes=hypergraph.number_of_nodes(),
+            num_incidences=int(el.part0.size),
+            arrays=entries,
+            csrs={
+                "incidence": {
+                    "part0": "incidence.part0",
+                    "part1": "incidence.part1",
+                    "weights": incidence_weights,
+                },
+                **csrs,
+            },
+            hot=hot_specs,
+            slab=slab_name,
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        )
+        save_manifest(directory, manifest)
+        metrics.counter("store.snapshots_total").inc()
+        span.set(
+            arrays=len(entries),
+            slab_bytes=manifest.slab_bytes(),
+            hot=len(hot_specs),
+        )
+    cleanup_orphan_slabs(directory, manifest)
+    return manifest
+
+
+def cleanup_orphan_slabs(
+    directory: str | os.PathLike, manifest: Manifest
+) -> list[str]:
+    """Best-effort removal of slab files the manifest no longer references.
+
+    Orphans appear when a checkpoint crashed between writing its slab
+    and committing its manifest (harmless), or after a successful
+    checkpoint replaced the previous snapshot.  Unlinking is safe even
+    with live mappings — POSIX keeps the inode until the last mapping
+    goes away.
+    """
+    directory = Path(directory)
+    removed: list[str] = []
+    keep = {manifest.slab}
+    for path in directory.glob("data-*.slab*"):
+        if path.name in keep:
+            continue
+        try:
+            path.unlink()
+            removed.append(path.name)
+        except OSError:
+            pass  # still open elsewhere or already gone — try next time
+    return removed
+
+
+def build_store(
+    directory: str | os.PathLike,
+    source,
+    name: str | None = None,
+    warm_s: tuple[int, ...] = (),
+    warm_over_edges: bool = True,
+    include_adjoin: bool = True,
+    metrics=None,
+    tracer=None,
+) -> Manifest:
+    """Create a fresh store at version 0 from ``source``.
+
+    ``source`` is anything :meth:`HypergraphStore.register
+    <repro.service.store.HypergraphStore>` resolves — an
+    ``NWHypergraph``, a ``BiEdgeList``, a dataset file path, or a Table I
+    stand-in name.  ``warm_s`` lists s-values whose line graphs (built
+    over ``warm_over_edges``) are persisted as hot cache entries.
+    """
+    from repro.core.hypergraph import NWHypergraph as NWH
+    from repro.structures.edgelist import BiEdgeList
+
+    if isinstance(source, NWH):
+        hg = source
+    elif isinstance(source, BiEdgeList):
+        hg = NWH(
+            source.part0,
+            source.part1,
+            source.weights,
+            num_edges=source.num_vertices(0),
+            num_nodes=source.num_vertices(1),
+        )
+    else:
+        from repro.io.loader import load_hypergraph
+
+        hg = load_hypergraph(str(source))
+    directory = Path(directory)
+    if name is None:
+        candidate = str(source) if not isinstance(source, (NWH, BiEdgeList)) else ""
+        stem = Path(candidate).stem if candidate else ""
+        name = stem or directory.name or "hypergraph"
+    hot = {
+        (int(s), bool(warm_over_edges)): hg.s_linegraph(
+            int(s), over_edges=warm_over_edges
+        )
+        for s in warm_s
+    }
+    manifest = write_snapshot(
+        directory,
+        hg,
+        name,
+        base_version=0,
+        hot=hot,
+        include_adjoin=include_adjoin,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    # materialize an empty WAL so the store is complete on disk
+    wal = WriteAheadLog(directory / manifest.wal, metrics=metrics)
+    wal.close()
+    return manifest

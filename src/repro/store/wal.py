@@ -1,0 +1,207 @@
+"""Write-ahead log: durable, checksummed mutation batches.
+
+Framing (all little-endian)::
+
+    file   := MAGIC record*
+    MAGIC  := b"RPROWAL1"                          (8 bytes)
+    record := length:u32 crc32:u32 payload[length]
+    payload := UTF-8 JSON {"version": N, "ops": [<Mutation wire dicts>]}
+
+Append is write + flush + ``fsync`` — a batch is durable before its
+apply is acknowledged.  A crash can only tear the *last* record (POSIX
+appends are ordered), so :func:`read_wal` scans from the front and stops
+at the first frame that is short or fails its checksum: everything
+before it is the committed prefix, everything after is the torn tail.
+Reopening for append truncates the tail away; versions must continue
+contiguously from the manifest's ``base_version`` (records at or below
+it are stale leftovers of a checkpoint that crashed before resetting the
+log, and are skipped).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.dynamic.log import LogBatch, Mutation
+
+from .manifest import StoreCorruptError
+
+__all__ = ["WAL_MAGIC", "WalTail", "WriteAheadLog", "read_wal"]
+
+WAL_MAGIC = b"RPROWAL1"
+_HEADER = struct.Struct("<II")
+
+
+@dataclass(frozen=True)
+class WalTail:
+    """What a WAL scan found: the committed prefix and any torn tail."""
+
+    records: int
+    committed_bytes: int
+    total_bytes: int
+    torn: bool = False
+    reason: str = ""
+
+    @property
+    def torn_bytes(self) -> int:
+        return self.total_bytes - self.committed_bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "records": self.records,
+            "committed_bytes": self.committed_bytes,
+            "total_bytes": self.total_bytes,
+            "torn": self.torn,
+            "torn_bytes": self.torn_bytes,
+            "reason": self.reason,
+        }
+
+
+def read_wal(path: str | os.PathLike) -> tuple[list[LogBatch], WalTail]:
+    """Scan a WAL file, returning committed batches and the tail report.
+
+    Never raises for torn/truncated tails (the expected crash artifact);
+    raises :class:`~repro.store.manifest.StoreCorruptError` only for
+    damage a crash cannot explain — a corrupt magic with bytes *beyond*
+    it, or a framed payload that passes its checksum yet fails to parse.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], WalTail(0, 0, 0, torn=False, reason="missing")
+    data = path.read_bytes()
+    total = len(data)
+    if total < len(WAL_MAGIC):
+        if data == WAL_MAGIC[:total]:
+            return [], WalTail(0, 0, total, torn=True, reason="short magic")
+        raise StoreCorruptError(f"WAL {path}: bad magic {data[:8]!r}")
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise StoreCorruptError(f"WAL {path}: bad magic {data[:8]!r}")
+    batches: list[LogBatch] = []
+    pos = len(WAL_MAGIC)
+    while pos < total:
+        if pos + _HEADER.size > total:
+            return batches, WalTail(
+                len(batches), pos, total, torn=True, reason="short header"
+            )
+        length, crc = _HEADER.unpack_from(data, pos)
+        start = pos + _HEADER.size
+        end = start + length
+        if end > total:
+            return batches, WalTail(
+                len(batches), pos, total, torn=True, reason="short payload"
+            )
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return batches, WalTail(
+                len(batches), pos, total, torn=True, reason="crc mismatch"
+            )
+        try:
+            batch = LogBatch.from_wire(json.loads(payload.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError) as exc:
+            # checksum passed yet the payload is not ours — not a torn
+            # write but genuine corruption (or a foreign file)
+            raise StoreCorruptError(
+                f"WAL {path}: record at byte {pos} unparseable: {exc}"
+            ) from exc
+        batches.append(batch)
+        pos = end
+    return batches, WalTail(len(batches), pos, total, torn=False)
+
+
+class WriteAheadLog:
+    """Append side of the WAL (one writer per store directory).
+
+    Opening scans the existing file, truncates any torn tail back to the
+    last committed record, and positions at the end.  ``append`` is the
+    durability point: the record is fsync'd before returning.
+    """
+
+    def __init__(self, path: str | os.PathLike, metrics=None) -> None:
+        from repro.obs.metrics import as_metrics
+
+        self.path = Path(path)
+        self._metrics = as_metrics(metrics)
+        self.recovered_tail: WalTail
+        if self.path.exists():
+            _, tail = read_wal(self.path)
+            self.recovered_tail = tail
+            self._fh = open(self.path, "r+b")
+            if tail.torn:
+                self._fh.truncate(max(tail.committed_bytes, 0))
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._metrics.counter("store.wal_truncations").inc()
+            if tail.committed_bytes == 0 and tail.reason in (
+                "missing",
+                "short magic",
+            ):
+                self._fh.write(WAL_MAGIC)
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            self._fh.seek(0, os.SEEK_END)
+        else:
+            self.recovered_tail = WalTail(0, 0, 0, torn=False, reason="new")
+            self._fh = open(self.path, "w+b")
+            self._fh.write(WAL_MAGIC)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        self._appends = 0
+        self._closed = False
+
+    def append(self, version: int, mutations: Sequence[Mutation]) -> int:
+        """Durably append one committed batch; returns bytes written."""
+        if self._closed:
+            raise StoreCorruptError(f"WAL {self.path} is closed")
+        batch = LogBatch(version=int(version), mutations=tuple(mutations))
+        payload = json.dumps(batch.to_wire(), separators=(",", ":")).encode(
+            "utf-8"
+        )
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._fh.write(frame)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._appends += 1
+        self._metrics.counter("store.wal_appends").inc()
+        self._metrics.counter("store.wal_bytes").inc(len(frame))
+        return len(frame)
+
+    def reset(self) -> None:
+        """Drop every record (the post-checkpoint step); keeps the magic."""
+        self._fh.seek(0)
+        self._fh.truncate(0)
+        self._fh.write(WAL_MAGIC)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.seek(0, os.SEEK_END)
+
+    def tell(self) -> int:
+        """Current file length in bytes (magic included)."""
+        return self._fh.tell()
+
+    @property
+    def appends(self) -> int:
+        """Batches appended through this writer instance."""
+        return self._appends
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def stats(self) -> dict:
+        """JSON-safe writer stats (``repro store inspect`` payload)."""
+        return {
+            "path": str(self.path),
+            "bytes": self.tell() if not self._closed else None,
+            "appends": self._appends,
+            "recovered_tail": self.recovered_tail.as_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WriteAheadLog({str(self.path)!r}, appends={self._appends})"

@@ -91,6 +91,33 @@ class CSR:
 
     # -- construction --------------------------------------------------------
     @classmethod
+    def adopt(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None = None,
+        num_targets: int = 0,
+        sorted_rows: bool = True,
+    ) -> "CSR":
+        """Adopt already-validated buffers without copying or checking.
+
+        The O(1) construction path for **trusted** sources — buffers that
+        were produced by this library and round-tripped through a
+        checksummed store (:mod:`repro.store`) or an equivalent provider.
+        No dtype coercion, no invariant checks, no O(nnz) scans: the
+        arrays are installed as-is (they may be read-only memory-mapped
+        views).  Callers must guarantee every ``__init__`` invariant holds;
+        ``num_targets`` and ``sorted_rows`` are recorded verbatim.
+        """
+        out = cls.__new__(cls)
+        out.indptr = indptr
+        out.indices = indices
+        out.weights = weights
+        out._num_targets = int(num_targets)
+        out._sorted = bool(sorted_rows)
+        return out
+
+    @classmethod
     def from_coo(
         cls,
         src: np.ndarray,

@@ -224,6 +224,33 @@ class BiEdgeList:
         if self._n0 < inferred0 or self._n1 < inferred1:
             raise ValueError("declared cardinality smaller than max index")
 
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def frozen(
+        cls,
+        part0: np.ndarray,
+        part1: np.ndarray,
+        weights: np.ndarray | None,
+        n0: int,
+        n1: int,
+    ) -> "BiEdgeList":
+        """Adopt already-validated arrays without copying or checking.
+
+        The O(1) trusted-construction path (mirror of
+        :meth:`repro.structures.csr.CSR.adopt`): arrays produced by this
+        library and persisted through a checksummed store are installed
+        as-is — no dtype coercion, no min/max scans.  The arrays may be
+        read-only memory-mapped views; callers guarantee the ``__init__``
+        invariants hold.
+        """
+        out = cls.__new__(cls)
+        out.part0 = part0
+        out.part1 = part1
+        out.weights = weights
+        out._n0 = int(n0)
+        out._n1 = int(n1)
+        return out
+
     # -- basic protocol ----------------------------------------------------
     def __len__(self) -> int:
         return int(self.part0.size)

@@ -1,0 +1,179 @@
+"""`repro store` CLI and the kill -9 crash test over `repro serve --store`.
+
+The crash test is the ISSUE's acceptance scenario end to end: build a
+store, serve it, fire a mutation burst over TCP, SIGKILL the server
+mid-flight, restart on the same directory, and require the recovered
+s-line-graph answers to be bit-identical to a cold rebuild from the
+recovered incidence state.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io.mmio import write_mm
+from repro.store import open_store
+from tests.conftest import random_biedgelist
+
+
+@pytest.fixture
+def mtx(tmp_path):
+    path = tmp_path / "toy.mtx"
+    write_mm(path, random_biedgelist(seed=5, num_edges=12, num_nodes=18))
+    return str(path)
+
+
+def run(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestStoreCommands:
+    def test_build_inspect(self, capsys, mtx, tmp_path):
+        d = str(tmp_path / "store")
+        out = run(capsys, "store", "build", mtx, d, "--warm-s", "1", "2")
+        assert "dataset 'toy'" in out
+        out = run(capsys, "store", "inspect", d)
+        assert "version   0" in out
+        assert "s=1 (edges), s=2 (edges)" in out
+        doc = json.loads(run(capsys, "store", "inspect", d, "--json"))
+        assert doc["name"] == "toy"
+        assert doc["hot"] == 2
+
+    def test_verify_detects_corruption(self, capsys, mtx, tmp_path):
+        d = tmp_path / "store"
+        run(capsys, "store", "build", mtx, str(d))
+        assert main(["store", "inspect", str(d), "--verify"]) == 0
+        capsys.readouterr()
+        slab = next(d.glob("data-*.slab"))
+        raw = bytearray(slab.read_bytes())
+        raw[0] ^= 0xFF
+        slab.write_bytes(bytes(raw))
+        assert main(["store", "inspect", str(d), "--verify"]) == 1
+
+    def test_compact(self, capsys, mtx, tmp_path):
+        d = str(tmp_path / "store")
+        run(capsys, "store", "build", mtx, d)
+        h = open_store(d)
+        h.dynamic.apply([{"op": "add_edge", "members": [0, 1]}])
+        h.close()
+        out = run(capsys, "store", "compact", d)
+        assert "base version 0 -> 1" in out
+        out = run(capsys, "store", "inspect", d)
+        assert "version   1 (snapshot at 1" in out
+
+    def test_build_from_standin_name(self, capsys, tmp_path):
+        d = str(tmp_path / "store")
+        out = run(capsys, "store", "build", "rand1", d, "--no-adjoin")
+        assert "dataset 'rand1'" in out
+
+    def test_missing_store_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="store error"):
+            main(["store", "inspect", str(tmp_path)])
+
+
+def _serve(directory, *extra):
+    """Spawn `repro serve --store` on an ephemeral port; return (proc, port)."""
+    env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", str(directory), *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    )
+    port = None
+    deadline = time.monotonic() + 30
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        m = re.search(r"on 127\.0\.0\.1:(\d+)", line)
+        if m:
+            port = int(m.group(1))
+            break
+    if port is None:
+        proc.kill()
+        raise AssertionError(f"server never bound: {''.join(lines)}")
+    return proc, port
+
+
+def _request(port, query):
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1", port) as client:
+        return client.request(query)
+
+
+def test_kill9_recovers_to_committed_state(tmp_path):
+    el = random_biedgelist(seed=13, num_edges=15, num_nodes=20)
+    directory = tmp_path / "store"
+    write_mm(tmp_path / "crash.mtx", el)
+    assert main([
+        "store", "build", str(tmp_path / "crash.mtx"), str(directory),
+        "--warm-s", "1",
+    ]) == 0
+
+    proc, port = _serve(directory)
+    try:
+        # mutation burst: every acknowledged batch must survive the kill
+        acked = 0
+        for i in range(6):
+            resp = _request(port, {
+                "op": "update",
+                "dataset": "store",
+                "ops": [{"op": "add_edge", "members": [i, (i + 2) % 20]}],
+            })
+            assert resp["ok"], resp
+            acked = resp["result"]["version"]
+        assert acked == 6
+    finally:
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+
+    # cold reference: rebuild from the recovered incidence state
+    h = open_store(directory)
+    try:
+        assert h.version == acked
+        assert h.recovery.replayed_batches == acked
+        recovered = h.hypergraph()
+        warm = {
+            s: recovered.s_linegraph(s).edgelist for s in (1, 2)
+        }
+    finally:
+        h.close()
+
+    # warm restart the server and compare the served answers
+    proc2, port2 = _serve(directory)
+    try:
+        from repro.core.hypergraph import NWHypergraph
+
+        cold = NWHypergraph(
+            recovered._el.part0.copy(),
+            recovered._el.part1.copy(),
+            num_edges=recovered.number_of_edges(),
+            num_nodes=recovered.number_of_nodes(),
+        )
+        for s in (1, 2):
+            resp = _request(port2, {
+                "op": "s_connected_components", "dataset": "store", "s": s,
+            })
+            assert resp["ok"], resp
+            want = cold.s_linegraph(s).edgelist
+            assert np.array_equal(warm[s].src, want.src)
+            assert np.array_equal(warm[s].dst, want.dst)
+    finally:
+        os.kill(proc2.pid, signal.SIGKILL)
+        proc2.wait(timeout=10)

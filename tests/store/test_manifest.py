@@ -1,0 +1,94 @@
+"""Manifest round trip, store-dir sniffing, and corruption gates."""
+
+import json
+
+import pytest
+
+from repro.store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    Manifest,
+    SlabEntry,
+    StoreCorruptError,
+    StoreError,
+    is_store_dir,
+    load_manifest,
+    save_manifest,
+)
+
+
+def _manifest() -> Manifest:
+    return Manifest(
+        name="toy",
+        base_version=3,
+        num_edges=4,
+        num_nodes=9,
+        num_incidences=13,
+        arrays={
+            "incidence.part0": SlabEntry(
+                name="incidence.part0",
+                offset=0,
+                nbytes=104,
+                shape=(13,),
+                dtype="<i8",
+                crc32=123,
+            )
+        },
+        csrs={"incidence": {"part0": "incidence.part0"}},
+        hot=[{"s": 2, "over_edges": True}],
+        slab="data-3.slab",
+    )
+
+
+def test_round_trip(tmp_path):
+    save_manifest(tmp_path, _manifest())
+    loaded = load_manifest(tmp_path)
+    assert loaded == _manifest()
+    assert loaded.format_version == FORMAT_VERSION
+    assert loaded.arrays["incidence.part0"].shape == (13,)
+
+
+def test_is_store_dir(tmp_path):
+    assert not is_store_dir(tmp_path)
+    assert not is_store_dir(tmp_path / "missing")
+    save_manifest(tmp_path, _manifest())
+    assert is_store_dir(tmp_path)
+
+
+def test_missing_manifest_raises(tmp_path):
+    with pytest.raises(StoreError, match="manifest"):
+        load_manifest(tmp_path)
+
+
+def test_unparseable_manifest_is_corrupt(tmp_path):
+    (tmp_path / MANIFEST_NAME).write_text("{not json")
+    with pytest.raises(StoreCorruptError):
+        load_manifest(tmp_path)
+
+
+def test_future_format_version_refused(tmp_path):
+    save_manifest(tmp_path, _manifest())
+    doc = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    doc["format_version"] = FORMAT_VERSION + 1
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(doc))
+    with pytest.raises(StoreError, match="format"):
+        load_manifest(tmp_path)
+
+
+def test_bad_entry_is_corrupt(tmp_path):
+    save_manifest(tmp_path, _manifest())
+    doc = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    doc["arrays"]["incidence.part0"] = {"nonsense": True}
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(doc))
+    with pytest.raises(StoreCorruptError):
+        load_manifest(tmp_path)
+
+
+def test_save_replaces_atomically(tmp_path):
+    save_manifest(tmp_path, _manifest())
+    second = Manifest.from_dict({**_manifest().to_dict(), "base_version": 9})
+    save_manifest(tmp_path, second)
+    assert load_manifest(tmp_path).base_version == 9
+    # no leftover temp files from the atomic-replace protocol
+    leftovers = [p.name for p in tmp_path.iterdir() if p.name != MANIFEST_NAME]
+    assert leftovers == []

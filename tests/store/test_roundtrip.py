@@ -1,0 +1,127 @@
+"""Store round trip: mmap-adopted graphs ≡ in-memory construction.
+
+The acceptance property of the slab format: every algorithm the library
+runs over an :class:`NWHypergraph` must produce bit-identical results
+whether the underlying buffers are heap arrays (cold parse) or read-only
+mmap views adopted from a store (warm open).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import NWHypergraph
+from repro.io.loader import read_any
+from repro.store import build_store, open_store, read_store
+from tests.conftest import random_biedgelist
+
+ALGORITHMS = [
+    "naive",
+    "intersection",
+    "hashmap",
+    "queue_hashmap",
+    "queue_intersection",
+]
+
+
+@pytest.fixture(scope="module")
+def el():
+    return random_biedgelist(seed=11, num_edges=30, num_nodes=40)
+
+
+@pytest.fixture(scope="module")
+def store_dir(el, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("store")
+    build_store(directory, el, name="roundtrip", warm_s=(1, 2))
+    return directory
+
+
+def _reference(el) -> NWHypergraph:
+    return NWHypergraph(
+        el.part0,
+        el.part1,
+        el.weights,
+        num_edges=el.num_vertices(0),
+        num_nodes=el.num_vertices(1),
+    )
+
+
+def test_open_is_zero_copy_mmap(el, store_dir):
+    handle = open_store(store_dir)
+    try:
+        hg = handle.hypergraph()
+        # the incidence buffers are read-only views into the slab mapping
+        assert not hg._el.part0.flags.writeable
+        assert not hg.biadjacency.edges.indptr.flags.writeable
+        assert np.array_equal(hg._el.part0, _reference(el)._el.part0)
+        assert np.array_equal(hg._el.part1, _reference(el)._el.part1)
+    finally:
+        handle.close()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("over_edges", [True, False])
+def test_slinegraph_equivalence_all_builders(
+    el, store_dir, algorithm, over_edges
+):
+    ref = _reference(el)
+    handle = open_store(store_dir)
+    try:
+        hg = handle.hypergraph()
+        for s in (1, 2, 3):
+            want = ref.s_linegraph(
+                s, over_edges=over_edges, algorithm=algorithm
+            ).edgelist
+            got = hg.s_linegraph(
+                s, over_edges=over_edges, algorithm=algorithm
+            ).edgelist
+            assert np.array_equal(got.src, want.src), (algorithm, s)
+            assert np.array_equal(got.dst, want.dst), (algorithm, s)
+            assert np.array_equal(got.weights, want.weights), (algorithm, s)
+    finally:
+        handle.close()
+
+
+def test_adjoin_bfs_and_components_equivalence(el, store_dir):
+    from repro.algorithms.adjoinbfs import adjoinbfs
+    from repro.algorithms.adjoincc import adjoincc
+
+    ref = _reference(el)
+    handle = open_store(store_dir)
+    try:
+        hg = handle.hypergraph()
+        for got, want in zip(
+            adjoincc(hg.adjoin_graph), adjoincc(ref.adjoin_graph)
+        ):
+            assert np.array_equal(got, want)
+        for got, want in zip(
+            adjoinbfs(hg.adjoin_graph, 0), adjoinbfs(ref.adjoin_graph, 0)
+        ):
+            assert np.array_equal(got, want)
+    finally:
+        handle.close()
+
+
+def test_hot_rehydration_matches_fresh_build(el, store_dir):
+    ref = _reference(el)
+    handle = open_store(store_dir)
+    try:
+        hot = handle.hot_linegraphs()
+        assert set(hot) == {(1, True), (2, True)}
+        for (s, over_edges), lg in hot.items():
+            want = ref.s_linegraph(s, over_edges=over_edges).edgelist
+            assert np.array_equal(lg.edgelist.src, want.src)
+            assert np.array_equal(lg.edgelist.dst, want.dst)
+    finally:
+        handle.close()
+
+
+def test_read_store_and_read_any(el, store_dir):
+    for got in (read_store(store_dir), read_any(store_dir)):
+        assert np.array_equal(got.part0, _reference(el)._el.part0)
+        assert np.array_equal(got.part1, _reference(el)._el.part1)
+        assert got.part0.flags.writeable  # copies, not mapping views
+
+
+def test_read_any_rejects_non_store_directory(tmp_path):
+    with pytest.raises(ValueError, match="manifest"):
+        read_any(tmp_path)

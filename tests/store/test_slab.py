@@ -1,0 +1,139 @@
+"""Slab writer/reader: alignment, checksums, mmap handles, pickling."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.store import PAGE_SIZE, MappedArray, SlabFile, SlabWriter
+from repro.store.slab import csr_handle_of, handle_of
+from repro.structures.csr import CSR
+
+
+def _write(tmp_path, arrays):
+    path = tmp_path / "data-0.slab"
+    writer = SlabWriter(path)
+    for name, arr in arrays.items():
+        writer.add(name, arr)
+    return path, writer.finish()
+
+
+def test_round_trip_and_alignment(tmp_path):
+    arrays = {
+        "a": np.arange(7, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 3),
+        "c": np.array([], dtype=np.int64),
+        "d": np.arange(PAGE_SIZE, dtype=np.uint8),
+    }
+    path, entries = _write(tmp_path, arrays)
+    for entry in entries.values():
+        assert entry.offset % PAGE_SIZE == 0
+    slab = SlabFile(path, entries)
+    try:
+        for name, arr in arrays.items():
+            got = slab.array(name)
+            assert got.dtype == arr.dtype
+            assert np.array_equal(got, arr)
+            if got.size:  # views are read-only: the slab is immutable
+                with pytest.raises(ValueError):
+                    got[0] = 0
+        assert slab.verify() == []
+    finally:
+        slab.close()
+
+
+def test_verify_flags_corruption(tmp_path):
+    path, entries = _write(tmp_path, {"a": np.arange(16, dtype=np.int64)})
+    raw = bytearray(path.read_bytes())
+    raw[entries["a"].offset] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    slab = SlabFile(path, entries)
+    try:
+        assert slab.verify() == ["a"]
+    finally:
+        slab.close()
+
+
+def test_truncated_slab_is_corrupt(tmp_path):
+    from repro.store import StoreCorruptError
+
+    path, entries = _write(tmp_path, {"a": np.arange(16, dtype=np.int64)})
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(StoreCorruptError):
+        SlabFile(path, entries)
+
+
+def test_handle_of_registered_views(tmp_path):
+    path, entries = _write(
+        tmp_path,
+        {
+            "x": np.arange(32, dtype=np.int64),
+            "y": np.arange(5, dtype=np.float64),
+        },
+    )
+    slab = SlabFile(path, entries)
+    try:
+        x = slab.array("x")
+        handle = handle_of(x)
+        assert isinstance(handle, MappedArray)
+        # the handle reopens the same bytes through its own mapping
+        reopened = handle.open()
+        assert np.array_equal(reopened, x)
+        handle.close()
+        # a sliced view inside the mapping still resolves
+        assert handle_of(x[4:20]) is not None
+        # plain heap arrays don't
+        assert handle_of(np.arange(32, dtype=np.int64)) is None
+    finally:
+        slab.close()
+    # after close the registry forgets the range
+    assert handle_of(np.arange(3)) is None
+
+
+def test_mapped_array_pickles(tmp_path):
+    path, entries = _write(tmp_path, {"x": np.arange(1000, dtype=np.int64)})
+    slab = SlabFile(path, entries)
+    try:
+        handle = handle_of(slab.array("x"))
+        clone = pickle.loads(pickle.dumps(handle))
+        arr = clone.open()
+        assert np.array_equal(arr, np.arange(1000))
+        assert not arr.flags.writeable
+        clone.close()
+    finally:
+        slab.close()
+
+
+def test_csr_handle_round_trip(tmp_path):
+    csr = CSR.from_coo(
+        [0, 0, 1, 2],
+        [1, 2, 0, 2],
+        weights=np.array([1.0, 2.0, 3.0, 4.0]),
+        num_sources=3,
+    )
+    path, entries = _write(
+        tmp_path, {"p": csr.indptr, "i": csr.indices, "w": csr.weights}
+    )
+    slab = SlabFile(path, entries)
+    try:
+        mapped = CSR.adopt(
+            slab.array("p"),
+            slab.array("i"),
+            slab.array("w"),
+            num_targets=csr.num_targets(),
+        )
+        handle = csr_handle_of(mapped)
+        assert handle is not None
+        clone = pickle.loads(pickle.dumps(handle))
+        reopened = clone.open()
+        assert np.array_equal(reopened.indptr, csr.indptr)
+        assert np.array_equal(reopened.indices, csr.indices)
+        assert np.array_equal(reopened.weights, csr.weights)
+        assert reopened.num_targets() == csr.num_targets()
+        clone.release()
+        # a CSR with any heap-resident buffer is not fully mapped
+        heap = CSR.from_coo([0], [0], num_sources=1)
+        assert csr_handle_of(heap) is None
+    finally:
+        slab.close()

@@ -1,0 +1,110 @@
+"""WAL framing: append/read round trip and every torn-tail class."""
+
+import pytest
+
+from repro.store import (
+    StoreCorruptError,
+    WAL_MAGIC,
+    WriteAheadLog,
+    read_wal,
+)
+from repro.dynamic.log import parse_batch
+
+BATCHES = [
+    [{"op": "add_edge", "members": [0, 1, 2]}],
+    [{"op": "remove_edge", "edge": 0}, {"op": "add_edge", "members": [3]}],
+    [{"op": "add_incidence", "edge": 1, "node": 5}],
+]
+
+
+def _fill(path):
+    wal = WriteAheadLog(path)
+    for i, batch in enumerate(BATCHES):
+        wal.append(i + 1, parse_batch(batch))
+    wal.close()
+    return path
+
+
+def test_append_read_round_trip(tmp_path):
+    path = _fill(tmp_path / "wal.log")
+    records, tail = read_wal(path)
+    assert not tail.torn
+    assert [r.version for r in records] == [1, 2, 3]
+    assert [len(r.mutations) for r in records] == [1, 2, 1]
+    got = [m.to_dict() for m in records[1].mutations]
+    assert got == BATCHES[1]
+
+
+def test_missing_file(tmp_path):
+    records, tail = read_wal(tmp_path / "absent.log")
+    assert records == [] and not tail.torn
+    assert tail.reason == "missing"
+
+
+def test_wrong_magic_is_corrupt(tmp_path):
+    path = tmp_path / "wal.log"
+    path.write_bytes(b"NOTAWAL!" + b"\x00" * 32)
+    with pytest.raises(StoreCorruptError):
+        read_wal(path)
+
+
+@pytest.mark.parametrize("keep", [0, 4])  # empty file, partial magic
+def test_short_magic_is_torn(tmp_path, keep):
+    path = _fill(tmp_path / "wal.log")
+    path.write_bytes(path.read_bytes()[:keep])
+    records, tail = read_wal(path)
+    assert records == []
+    assert tail.torn and tail.committed_bytes == 0
+
+
+def test_truncation_at_every_byte_keeps_committed_prefix(tmp_path):
+    path = _fill(tmp_path / "wal.log")
+    raw = path.read_bytes()
+    # committed byte boundaries after each full record
+    clean, _ = read_wal(path)
+    assert len(clean) == len(BATCHES)
+    for cut in range(len(WAL_MAGIC), len(raw)):
+        path.write_bytes(raw[:cut])
+        records, tail = read_wal(path)
+        # recovery yields exactly the records wholly contained in the cut
+        assert [r.version for r in records] == [
+            r.version for r in clean[: len(records)]
+        ]
+        if cut == tail.committed_bytes:
+            assert not tail.torn
+        else:
+            assert tail.torn
+            assert tail.torn_bytes == cut - tail.committed_bytes
+
+
+def test_crc_mismatch_is_torn_tail(tmp_path):
+    path = _fill(tmp_path / "wal.log")
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF  # flip a payload byte of the final record
+    path.write_bytes(bytes(raw))
+    records, tail = read_wal(path)
+    assert [r.version for r in records] == [1, 2]
+    assert tail.torn and tail.reason == "crc mismatch"
+
+
+def test_writer_truncates_torn_tail_on_open(tmp_path):
+    path = _fill(tmp_path / "wal.log")
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-3])
+    wal = WriteAheadLog(path)  # opening repairs the tail
+    assert wal.recovered_tail.torn
+    wal.append(4, parse_batch([{"op": "add_edge", "members": [9]}]))
+    wal.close()
+    records, tail = read_wal(path)
+    assert not tail.torn
+    assert [r.version for r in records] == [1, 2, 4]
+
+
+def test_reset_empties_the_log(tmp_path):
+    path = _fill(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.reset()
+    wal.close()
+    assert path.read_bytes() == WAL_MAGIC
+    records, tail = read_wal(path)
+    assert records == [] and not tail.torn
