@@ -6,17 +6,18 @@ graphs live in a byte-budgeted LRU cache.  The cache is *s-monotone*:
 because every construction stores overlap counts as edge weights,
 ``L_s`` can be derived from a cached ``L_{s'}`` (s' < s) by filtering —
 no second construction pass.  The same engine serves sockets via
-``AnalyticsServer``; here we drive it in process.
+``AnalyticsServer`` or the asyncio front door; here we drive it
+in process through an ``InProcessSession``.
 
 Run:  python examples/service_session.py
 """
 
-from repro.service import InProcessClient, QueryEngine, SLineGraphCache
+from repro.service import InProcessSession, QueryEngine, SLineGraphCache
 
 
 def main() -> None:
     engine = QueryEngine(cache=SLineGraphCache(budget_bytes=64 * 1024 * 1024))
-    client = InProcessClient(engine)
+    client = InProcessSession(engine)
 
     # 1. register a resident dataset (Table I stand-in by name)
     card = client.query("register", name="orkut", source="orkut-group")["result"]

@@ -17,7 +17,7 @@ cache/engine/store) get checked locks without code changes.  Caveat:
 ``threading.Condition`` objects created *inside* the block will wrap a
 checked lock; their ``_acquire_restore``/``_release_save`` paths go
 through the wrapper's ``__getattr__`` passthrough, which is correct but
-unmonitored — prefer :class:`~repro.service.InProcessClient` (no
+unmonitored — prefer :class:`~repro.service.InProcessSession` (no
 conditions) for smoke runs under the monitor.
 """
 

@@ -315,10 +315,16 @@ _GENERATORS = {
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the analytics server until interrupted (Ctrl-C to stop)."""
     from repro.obs import MetricsRegistry
-    from repro.service import AnalyticsServer, QueryEngine, SLineGraphCache
+    from repro.service import (
+        AnalyticsServer,
+        AsyncAnalyticsServer,
+        QueryEngine,
+        ShardedEngine,
+        SLineGraphCache,
+    )
 
     registry = MetricsRegistry()
-    engine = QueryEngine(
+    engine_kwargs = dict(
         cache=SLineGraphCache(
             budget_bytes=None
             if args.budget_mb is None
@@ -330,6 +336,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
     )
+    if args.shards > 1:
+        engine = ShardedEngine(num_shards=args.shards, **engine_kwargs)
+    else:
+        engine = QueryEngine(**engine_kwargs)
     for spec in args.dataset:
         name, _, source = spec.partition("=")
         engine.store.register(name, source or name)
@@ -344,24 +354,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"{rec['replayed_batches']} batch(es) replayed, "
               f"{len(info['hydrated'])} hot line graph(s) rehydrated)",
               flush=True)
-    server = AnalyticsServer(engine, host=args.host, port=args.port)
+    if args.frontend == "async":
+        server = AsyncAnalyticsServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+        )
+        server.start()
+    else:
+        server = AnalyticsServer(engine, host=args.host, port=args.port)
+        server.start()
     host, port = server.address
+    shard_note = (
+        f", shards={args.shards}" if args.shards > 1 else ""
+    )
     print(f"serving {len(engine.store)} dataset(s) "
           f"{engine.store.names()} on {host}:{port} "
-          f"(backend={engine.backend.name})", flush=True)
+          f"(frontend={args.frontend}, backend={engine.backend.name}"
+          f"{shard_note})", flush=True)
     try:
-        server.serve_forever()
+        server.wait()
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
+        server.stop()
         engine.close()
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
     """Send JSON queries to a running server; one response line each."""
-    from repro.service import ServiceClient
+    from repro.service import SocketSession
 
     host, _, port = args.connect.rpartition(":")
     if not host or not port.isdigit():
@@ -382,13 +406,13 @@ def cmd_query(args: argparse.Namespace) -> int:
             "add --batch"
         )
     failed = 0
-    with ServiceClient(host, int(port)) as client:
+    with SocketSession(host, int(port), strict=False) as session:
         if args.batch:
-            responses = client.batch(
+            responses = session.batch(
                 queries, backend=args.backend, workers=args.workers
             )
         else:
-            responses = [client.request(q) for q in queries]
+            responses = [session.request(q) for q in queries]
     for resp in responses:
         if isinstance(resp, dict) and not resp.get("ok", False):
             failed += 1
@@ -718,6 +742,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="real worker pool size (default: $REPRO_WORKERS "
                         "or bounded cpu count)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition each dataset's line-graph build across "
+                        "N hyperedge-range shards (>1 enables the sharded "
+                        "engine; answers stay bit-identical)")
+    p.add_argument("--frontend", default="threaded",
+                   choices=["threaded", "async"],
+                   help="connection front door: thread-per-connection "
+                        "(threaded) or the asyncio server with pipelining "
+                        "and admission control (async)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   dest="max_inflight",
+                   help="async frontend: concurrent engine executions "
+                        "(ignored for --frontend threaded)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("query",

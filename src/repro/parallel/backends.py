@@ -41,8 +41,19 @@ __all__ = [
     "make_backend",
 ]
 
-#: the backend specs `make_backend` accepts
-BACKEND_NAMES = ("simulated", "threaded", "process")
+def _registry() -> dict:
+    """Name → backend class; the single source of backend-name truth.
+
+    Resolved lazily (the classes are defined below); consumers that need
+    the valid names — ``make_backend``, the wire protocol's batch
+    envelope validation — read :data:`BACKEND_NAMES` or call
+    ``make_backend`` instead of hard-coding the tuple.
+    """
+    return {
+        "simulated": SimulatedBackend,
+        "threaded": ThreadedBackend,
+        "process": ProcessBackend,
+    }
 
 
 def default_workers(bound: int = 32) -> int:
@@ -340,12 +351,13 @@ def make_backend(
                 "workers cannot override an already-constructed backend"
             )
         return spec
-    if spec == "simulated":
-        return SimulatedBackend(workers)
-    if spec == "threaded":
-        return ThreadedBackend(workers)
-    if spec == "process":
-        return ProcessBackend(workers)
-    raise ValueError(
-        f"unknown backend {spec!r}; choose from {list(BACKEND_NAMES)}"
-    )
+    cls = _registry().get(spec)
+    if cls is None:
+        raise ValueError(
+            f"unknown backend {spec!r}; choose from {list(BACKEND_NAMES)}"
+        )
+    return cls(workers)
+
+
+#: the backend specs `make_backend` accepts (derived from the registry)
+BACKEND_NAMES = tuple(_registry())

@@ -1,5 +1,5 @@
 """``repro.service`` — the serving layer: resident hypergraphs, cached
-s-line graphs, a concurrent query engine, and a JSON-lines TCP server.
+s-line graphs, a concurrent query engine, and JSON-lines TCP servers.
 
 The paper's workflow (Listing 5) is *build once, query many times*: the
 expensive lower-order approximation ``L_s(H)`` is materialized and then
@@ -12,37 +12,67 @@ that missing layer:
   resident :class:`~repro.core.hypergraph.NWHypergraph` instances;
 * :mod:`~repro.service.cache` — a byte-budgeted LRU of materialized
   :class:`~repro.core.slinegraph.SLineGraph` objects with **s-monotone
-  reuse** (``L_s`` derived from a cached ``L_{s'}``, ``s' < s``, by
-  thresholding overlap weights — no counting pass);
+  reuse** and a pluggable cold-build hook;
 * :mod:`~repro.service.engine` — JSON query dicts in, JSON-safe results
   out, batches dispatched on the :mod:`repro.parallel` runtime, with
   lazy s-traversal fallbacks under memory pressure;
-* :mod:`~repro.service.server` — a threaded JSON-lines TCP server
-  (stdlib ``socketserver``) plus socket and in-process clients.
+* :mod:`~repro.service.shard` — the sharded engine: hyperedge-range
+  partitions, scatter-gather fast paths, bit-identical answers;
+* :mod:`~repro.service.protocol` — transport-agnostic wire framing
+  (protocol v2) shared by both servers;
+* :mod:`~repro.service.server` — the threaded JSON-lines TCP server
+  (stdlib ``socketserver``);
+* :mod:`~repro.service.aserver` — the asyncio front door: pipelined
+  connections, bounded in-flight work, admission control, graceful
+  drain;
+* :mod:`~repro.service.session` — the one client surface
+  (:class:`Session` / :class:`SocketSession` / :class:`InProcessSession`
+  with typed :class:`ServiceError`); the old ``ServiceClient`` /
+  ``InProcessClient`` names are deprecated aliases.
 
 CLI: ``python -m repro serve`` / ``python -m repro query``.
 """
 
+from .aserver import AsyncAnalyticsServer
 from .cache import CacheStats, SLineGraphCache, estimate_linegraph_bytes
 from .engine import (
+    LEGACY_VERSIONS,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
     QueryEngine,
     QueryError,
 )
-from .server import AnalyticsServer, InProcessClient, ServiceClient
+from .server import AnalyticsServer
+from .session import (
+    InProcessClient,
+    InProcessSession,
+    ServiceClient,
+    ServiceError,
+    Session,
+    SocketSession,
+)
+from .shard import ShardedEngine, ShardPlan, plan_shards
 from .store import HypergraphStore
 
 __all__ = [
     "AnalyticsServer",
+    "AsyncAnalyticsServer",
     "CacheStats",
     "HypergraphStore",
     "InProcessClient",
+    "InProcessSession",
+    "LEGACY_VERSIONS",
     "PROTOCOL_VERSION",
     "QueryEngine",
     "QueryError",
     "SLineGraphCache",
     "SUPPORTED_VERSIONS",
     "ServiceClient",
+    "ServiceError",
+    "Session",
+    "ShardPlan",
+    "ShardedEngine",
+    "SocketSession",
     "estimate_linegraph_bytes",
+    "plan_shards",
 ]

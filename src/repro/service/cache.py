@@ -96,6 +96,15 @@ class SLineGraphCache:
     algorithm:
         Construction algorithm for cold builds (must be one that records
         overlap counts as weights — all the unweighted constructions do).
+    builder:
+        Optional construction hook ``builder(dataset, s, hypergraph,
+        over_edges) -> EdgeList`` replacing the default
+        :func:`~repro.linegraph.to_two_graph` cold-build path.  The
+        returned edge list must be canonical and carry overlap counts as
+        weights (so the s-monotone derive path stays valid).  This is
+        how the sharded engine routes *every* cache build through its
+        scatter-gather assembly (:mod:`repro.service.shard`) — hit,
+        derive, and eviction behavior are untouched.
     metrics, tracer:
         Optional :mod:`repro.obs` instruments (no-op when ``None``).
         Instrument objects are resolved once here; without a live
@@ -108,6 +117,7 @@ class SLineGraphCache:
         algorithm: str = "hashmap",
         metrics=None,
         tracer=None,
+        builder=None,
     ) -> None:
         from repro.obs.metrics import as_metrics
         from repro.obs.tracer import as_tracer
@@ -115,6 +125,7 @@ class SLineGraphCache:
         if budget_bytes is not None and budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0 or None")
         self.algorithm = algorithm
+        self.builder = builder
         self._lock = threading.RLock()
         self._entries: OrderedDict[tuple[str, int, bool], SLineGraph] = (
             OrderedDict()
@@ -262,6 +273,12 @@ class SLineGraphCache:
         self, hypergraph: NWHypergraph, s: int, over_edges: bool,
         dataset: str = "?",
     ) -> SLineGraph:
+        if self.builder is not None:
+            with self._tracer.span(
+                "cache.build", dataset=dataset, s=s, algorithm="builder"
+            ):
+                el = self.builder(dataset, s, hypergraph, over_edges)
+            return SLineGraph(el, s=s, over_edges=over_edges)
         from repro.linegraph import to_two_graph
 
         h = (

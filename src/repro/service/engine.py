@@ -28,17 +28,19 @@ Batches are dispatched on the :mod:`repro.parallel` runtime
 ``cache:bypass`` / ``lazy`` / ``direct``) plus wall-clock ``"ms"`` so
 clients can see how they were served.
 
-**Wire protocol v1.1** (``docs/API.md`` has the full schema): queries may
-pin the protocol version with ``"version": 1`` or ``1.1`` (or ``"v"`` on
-ops where ``v`` does not already name a vertex); every response carries
-``"ok"`` and ``"v"`` (the protocol version served).  Failures carry a
-structured ``"error": {"code", "message"}`` plus the pre-v1 free-form
-string as the ``"error_str"`` compat field (one release).  v1.1 adds the
-``update`` op (batched mutations against a resident dataset, with live
-cache entries delta-patched under version-aware keys —
-:mod:`repro.dynamic`) and the ``version`` op (protocol negotiation);
-clients pinned to v1 see those two as ``unknown_op`` — a structured
-error, never a crash — and everything else behaves exactly as v1 did.
+**Wire protocol v2** (``docs/API.md`` has the full schema and the v1→v2
+migration table): queries may pin the protocol version with
+``"version": 1`` or ``2`` (or ``"v"`` on ops where ``v`` does not already
+name a vertex); every response carries ``"ok"`` and ``"v"`` (the protocol
+version served).  Failures carry a structured ``"error": {"code",
+"message"}`` — the pre-v1 free-form ``"error_str"`` compat field is gone
+as of v2.  The v1.1 surface (the ``update`` op — batched mutations with
+live cache entries delta-patched under version-aware keys,
+:mod:`repro.dynamic` — and the ``version`` negotiation op) is part of v2;
+clients still pinning ``1.1`` are accepted as a legacy alias and served
+the v2 surface with their pinned version echoed.  Clients pinned to v1
+see the post-v1 ops as ``unknown_op`` — a structured error, never a
+crash — and everything else behaves exactly as v1 did.
 """
 
 from __future__ import annotations
@@ -49,7 +51,7 @@ import time
 import numpy as np
 
 from repro.io.json_io import jsonify
-from repro.obs.metrics import MetricsRegistry, as_metrics
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import as_tracer
 from repro.parallel.runtime import ParallelRuntime, TaskResult
 
@@ -60,18 +62,23 @@ __all__ = [
     "QueryEngine",
     "QueryError",
     "LAZY_OPS",
+    "LEGACY_VERSIONS",
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
 ]
 
 #: wire-protocol version this engine speaks by default
-PROTOCOL_VERSION = 1.1
+PROTOCOL_VERSION = 2
 
-#: versions a client may pin; pinning v1 hides the v1.1-only ops
-SUPPORTED_VERSIONS = frozenset({1, 1.1})
+#: versions a client may pin; pinning v1 hides the post-v1 ops
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
-#: ops that exist only from protocol v1.1 on
-_V11_OPS = frozenset({"update", "version"})
+#: deprecated pins still accepted for one release (served the v2
+#: surface, pinned version echoed back) — v1.1 clients keep working
+LEGACY_VERSIONS = frozenset({1.1})
+
+#: ops that exist only after protocol v1 (v1.1 and later)
+_POST_V1_OPS = frozenset({"update", "version", "shards"})
 
 
 class QueryError(ValueError):
@@ -238,26 +245,19 @@ class QueryEngine:
             return query["v"]
         return None
 
-    def _fail(
-        self, op, code: str, message: str, compat: str, served=None
-    ) -> dict:
+    def _fail(self, op, code: str, message: str, served=None) -> dict:
         return {
             "ok": False,
             "op": op,
             "v": PROTOCOL_VERSION if served is None else served,
             "error": {"code": code, "message": message},
-            # pre-v1 free-form string; kept for one release
-            "error_str": compat,
         }
 
     def execute(self, query: dict) -> dict:
         """Run one query; never raises — errors come back as responses."""
         if not isinstance(query, dict):
             return self._fail(
-                None,
-                "bad_request",
-                "query must be a JSON object",
-                "query must be a JSON object",
+                None, "bad_request", "query must be a JSON object"
             )
         op = query.get("op")
         t0 = time.perf_counter()
@@ -265,7 +265,10 @@ class QueryEngine:
         try:
             version = self._version_of(query, op)
             if version is not None:
-                if version not in SUPPORTED_VERSIONS:
+                if (
+                    version not in SUPPORTED_VERSIONS
+                    and version not in LEGACY_VERSIONS
+                ):
                     raise QueryError(
                         f"unsupported protocol version {version!r}; "
                         f"this engine speaks "
@@ -275,9 +278,9 @@ class QueryEngine:
                 served = version
             if not isinstance(op, str):
                 raise QueryError("query must carry a string 'op' field")
-            if served == 1 and op in _V11_OPS:
-                # a v1 client cannot see the v1.1 surface: same failure
-                # shape an actual v1 engine would have produced
+            if served == 1 and op in _POST_V1_OPS:
+                # a v1 client cannot see the post-v1 surface: same
+                # failure shape an actual v1 engine would have produced
                 raise QueryError(
                     f"unknown op {op!r} (requires protocol >= 1.1)",
                     code="unknown_op",
@@ -298,10 +301,7 @@ class QueryEngine:
                 code = "invalid_argument"
             self._record(op_label, elapsed, ok=False, code=code)
             message = str(exc.args[0]) if exc.args else str(exc)
-            return self._fail(
-                op, code, message, f"{type(exc).__name__}: {exc}",
-                served=served,
-            )
+            return self._fail(op, code, message, served=served)
         elapsed = time.perf_counter() - t0
         self._record(op, elapsed, ok=True)
         out = {"ok": True, "op": op, "v": served}
@@ -705,7 +705,8 @@ class QueryEngine:
             "result": {
                 "protocol": PROTOCOL_VERSION,
                 "supported": sorted(SUPPORTED_VERSIONS),
-                "v11_ops": sorted(_V11_OPS),
+                "legacy": sorted(LEGACY_VERSIONS),
+                "gated_ops": sorted(_POST_V1_OPS),
             },
             "via": "direct",
         }

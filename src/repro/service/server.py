@@ -12,83 +12,58 @@ lines.  Malformed JSON gets an ``{"ok": false, "error": {"code":
 "bad_json", ...}}`` response rather than a dropped connection.  A batch
 envelope may pin the protocol version (``{"batch": [...], "v": 1}``)
 and/or select the execution backend for its dispatch (``{"batch": [...],
-"backend": "threaded", "workers": 8}`` — see docs/PARALLEL.md);
-see ``docs/API.md`` for the full v1 schema.  The engine (and therefore the store, the
-cache, and all counters) is shared across client threads; passing
-``port=0`` binds an ephemeral port, readable back from ``address``.
+"backend": "threaded", "workers": 8}`` — see docs/PARALLEL.md); framing
+and routing live in :mod:`repro.service.protocol`, shared with the
+asyncio front door (:mod:`repro.service.aserver`).  The engine (and
+therefore the store, the cache, and all counters) is shared across
+client threads; passing ``port=0`` binds an ephemeral port, readable
+back from ``address``.
 
-:class:`ServiceClient` is the matching socket client;
-:class:`InProcessClient` offers the same surface directly over an
-engine, so library code and tests can script a session without sockets.
+:meth:`AnalyticsServer.stop` drains: it stops accepting, then waits
+(bounded) for requests already executing in handler threads to finish
+writing their responses before releasing the socket — a client never
+sees a connection die mid-response because of an orderly shutdown.
+
+Clients live in :mod:`repro.service.session`
+(:class:`~repro.service.session.SocketSession` /
+:class:`~repro.service.session.InProcessSession`); the deprecated
+``ServiceClient`` / ``InProcessClient`` names are re-exported here for
+the deprecation window.
 """
 
 from __future__ import annotations
 
-import json
-import socket
 import socketserver
 import threading
+import time
 
-from .engine import PROTOCOL_VERSION, SUPPORTED_VERSIONS, QueryEngine
+from .engine import QueryEngine
+from .protocol import dispatch as _dispatch  # noqa: F401  (compat export)
+from .protocol import dispatch_line
+from .protocol import protocol_error as _protocol_error  # noqa: F401
+from .session import InProcessClient, ServiceClient  # noqa: F401
 
 __all__ = ["AnalyticsServer", "InProcessClient", "ServiceClient"]
-
-
-def _protocol_error(code: str, message: str) -> dict:
-    return {
-        "ok": False,
-        "v": PROTOCOL_VERSION,
-        "error": {"code": code, "message": message},
-        # pre-v1 free-form string; kept for one release
-        "error_str": message,
-    }
-
-
-def _dispatch(engine: QueryEngine, payload: object) -> object:
-    """Route one decoded request line (single query or batch envelope)."""
-    if isinstance(payload, dict) and "batch" in payload:
-        v = payload.get("v", payload.get("version"))
-        if v is not None and v not in SUPPORTED_VERSIONS:
-            return _protocol_error(
-                "unsupported_version",
-                f"unsupported protocol version {v!r}; "
-                f"this server speaks {sorted(SUPPORTED_VERSIONS)}",
-            )
-        backend = payload.get("backend")
-        if backend is not None and backend not in ("simulated", "threaded", "process"):
-            return _protocol_error(
-                "invalid_argument",
-                f"unknown backend {backend!r}; choose simulated, "
-                f"threaded, or process",
-            )
-        workers = payload.get("workers")
-        return engine.execute_batch(
-            payload["batch"],
-            backend=backend,
-            workers=None if workers is None else int(workers),
-        )
-    return engine.execute(payload)
 
 
 class _QueryHandler(socketserver.StreamRequestHandler):
     """One client connection: drain request lines until EOF."""
 
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server = self.server
         for raw in self.rfile:
             raw = raw.strip()
             if not raw:
                 continue
+            server._begin_request()  # type: ignore[attr-defined]
             try:
-                payload = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                response: object = _protocol_error(
-                    "bad_json", f"bad request line: {exc}"
+                line = dispatch_line(
+                    server.engine, raw  # type: ignore[attr-defined]
                 )
-            else:
-                engine = self.server.engine  # type: ignore[attr-defined]
-                response = _dispatch(engine, payload)
-            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
-            self.wfile.flush()
+                self.wfile.write(line + b"\n")
+                self.wfile.flush()
+            finally:
+                server._end_request()  # type: ignore[attr-defined]
 
 
 class AnalyticsServer(socketserver.ThreadingTCPServer):
@@ -105,6 +80,8 @@ class AnalyticsServer(socketserver.ThreadingTCPServer):
     ) -> None:
         self.engine = engine if engine is not None else QueryEngine()
         self._thread: threading.Thread | None = None
+        self._inflight = 0
+        self._inflight_lock = threading.Condition()
         super().__init__((host, port), _QueryHandler)
 
     @property
@@ -122,12 +99,53 @@ class AnalyticsServer(socketserver.ThreadingTCPServer):
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
+    def wait(self) -> None:
+        """Block until the server stops (foreground serving)."""
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+
+    # -- in-flight accounting (handler threads) ------------------------------
+    def _begin_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def _end_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            self._inflight_lock.notify_all()
+
+    def inflight(self) -> int:
+        """Requests currently executing in handler threads."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._inflight_lock:
+            while self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._inflight_lock.wait(remaining)
+            return True
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight requests, release the socket.
+
+        Handler threads that are mid-request get up to ``drain_timeout``
+        seconds to finish writing their responses before the listening
+        socket is closed (they are daemon threads, so a straggler past
+        the deadline cannot hang interpreter exit).  Idempotent.
+        """
         if self._thread is not None:
             self.shutdown()
             self._thread.join(timeout=5)
             self._thread = None
+        self.wait_idle(drain_timeout)
         self.server_close()
 
     def __enter__(self) -> "AnalyticsServer":
@@ -135,107 +153,3 @@ class AnalyticsServer(socketserver.ThreadingTCPServer):
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
-
-
-class ServiceClient:
-    """Socket client speaking the JSON-lines protocol (pipelinable)."""
-
-    def __init__(
-        self, host: str, port: int, timeout: float | None = 30.0
-    ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
-
-    # -- protocol ------------------------------------------------------------
-    def request(self, payload: dict) -> object:
-        """Send one request line, block for its response line."""
-        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
-        line = self._rfile.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return json.loads(line.decode("utf-8"))
-
-    # -- conveniences ---------------------------------------------------------
-    def query(self, op: str, **fields) -> dict:
-        """``client.query("s_distance", dataset="lj", s=2, src=0, dst=9)``"""
-        return self.request({"op": op, **fields})
-
-    def batch(
-        self,
-        queries: list[dict],
-        backend: str | None = None,
-        workers: int | None = None,
-    ) -> list[dict]:
-        envelope: dict = {"batch": list(queries)}
-        if backend is not None:
-            envelope["backend"] = backend
-        if workers is not None:
-            envelope["workers"] = int(workers)
-        out = self.request(envelope)
-        if not isinstance(out, list):
-            raise ConnectionError(f"expected batch response, got {out!r}")
-        return out
-
-    def metrics(self) -> dict:
-        return self.query("metrics")
-
-    def prometheus(self) -> str:
-        """The server's registry in Prometheus text exposition format."""
-        resp = self.query("prometheus")
-        return resp.get("result", "")
-
-    def close(self) -> None:
-        try:
-            self._rfile.close()
-        finally:
-            self._sock.close()
-
-    def __enter__(self) -> "ServiceClient":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-
-class InProcessClient:
-    """The :class:`ServiceClient` surface, minus the socket.
-
-    Wraps an engine directly — for embedding a serving session inside a
-    notebook/script (the HyperNetX-style long-lived analysis session)
-    and for tests that don't need wire transport.
-    """
-
-    def __init__(self, engine: QueryEngine | None = None) -> None:
-        self.engine = engine if engine is not None else QueryEngine()
-
-    def request(self, payload: dict) -> object:
-        return _dispatch(self.engine, payload)
-
-    def query(self, op: str, **fields) -> dict:
-        return self.engine.execute({"op": op, **fields})
-
-    def batch(
-        self,
-        queries: list[dict],
-        backend: str | None = None,
-        workers: int | None = None,
-    ) -> list[dict]:
-        return self.engine.execute_batch(
-            list(queries), backend=backend, workers=workers
-        )
-
-    def metrics(self) -> dict:
-        return self.query("metrics")
-
-    def prometheus(self) -> str:
-        """The engine's registry in Prometheus text exposition format."""
-        return self.engine.prometheus()
-
-    def close(self) -> None:  # symmetry with ServiceClient
-        pass
-
-    def __enter__(self) -> "InProcessClient":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # runtime import stays local to relabel_hyperedges
     from .biadjacency import BiAdjacency
 
 __all__ = [
+    "balanced_ranges",
     "degree_permutation",
     "relabel_by_degree",
     "relabel_hyperedges",
@@ -120,6 +121,49 @@ def is_permutation(perm: np.ndarray) -> bool:
         return False
     seen[perm] = True
     return bool(np.all(seen))
+
+
+def balanced_ranges(
+    loads: np.ndarray, num_parts: int, order: str = "descending"
+) -> list[np.ndarray]:
+    """Split an ID space into ``num_parts`` load-balanced contiguous ranges.
+
+    IDs are first ordered by :func:`degree_permutation` (so IDs of similar
+    load — hyperedge size, node degree — are adjacent in the relabeled
+    space: the paper's locality argument for relabel-by-degree), then the
+    relabeled axis is cut at the cumulative-load quantiles, giving each
+    part a contiguous *relabeled* range of roughly ``total_load /
+    num_parts`` mass.  Returns one sorted array of **original** IDs per
+    part; parts are disjoint, cover ``[0, len(loads))``, and may be empty
+    when there are fewer IDs than parts.
+
+    This is the placement rule of the sharded serving engine
+    (:mod:`repro.service.shard`): each shard owns one range, so two-hop
+    work per shard tracks incidence mass, not raw ID counts.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    n = loads.size
+    if num_parts == 1 or n == 0:
+        return [np.arange(n, dtype=np.int64)] + [
+            np.empty(0, dtype=np.int64) for _ in range(num_parts - 1)
+        ]
+    perm = degree_permutation(loads, order)
+    ranked = inverse_permutation(perm)  # ranked[new] = old
+    # each ID contributes at least unit mass so empty-load prefixes still
+    # spread across parts instead of collapsing into the first range
+    cum = np.cumsum(loads[ranked] + 1.0)
+    total = float(cum[-1])
+    targets = total * np.arange(1, num_parts, dtype=np.float64) / num_parts
+    bounds = np.concatenate(
+        ([0], np.searchsorted(cum, targets, side="left") + 1, [n])
+    )
+    bounds = np.minimum(bounds, n)
+    return [
+        np.sort(ranked[int(lo):int(hi)])
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
 
 
 def adjoin_safe_permutation(

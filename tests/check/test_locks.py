@@ -118,10 +118,10 @@ class TestPatchThreading:
     def test_service_engine_under_monitor_is_inversion_free(self):
         mon = LockOrderMonitor()
         with patch_threading(mon):
-            from repro.service import InProcessClient, QueryEngine
+            from repro.service import InProcessSession, QueryEngine
 
             engine = QueryEngine()
-            client = InProcessClient(engine)
+            client = InProcessSession(engine, strict=False)
             out = client.query("version")
             assert out["ok"]
         assert mon.inversions() == []

@@ -4,8 +4,7 @@ import json
 
 import pytest
 
-from repro.service import QueryEngine
-from repro.service.server import InProcessClient
+from repro.service import InProcessSession, QueryEngine
 
 from ..conftest import PAPER_MEMBERS, make_biedgelist
 
@@ -95,14 +94,14 @@ class TestEngineBackend:
 
 class TestWireEnvelope:
     def test_batch_backend_selection(self):
-        with InProcessClient(make_engine()) as client:
-            out = client.batch(QUERIES, backend="threaded", workers=2)
+        with InProcessSession(make_engine()) as session:
+            out = session.batch(QUERIES, backend="threaded", workers=2)
             assert all(r["ok"] for r in out)
-            client.engine.close()
+            session.engine.close()
 
     def test_unknown_backend_rejected(self):
-        with InProcessClient(make_engine()) as client:
-            resp = client.request({"batch": QUERIES, "backend": "gpu"})
+        with InProcessSession(make_engine()) as session:
+            resp = session.request({"batch": QUERIES, "backend": "gpu"})
             assert not resp["ok"]
             assert resp["error"]["code"] == "invalid_argument"
-            client.engine.close()
+            session.engine.close()

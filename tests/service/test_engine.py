@@ -138,8 +138,8 @@ class TestErrors:
         resp = engine.execute({"op": "frobnicate"})
         assert not resp["ok"] and "unknown op" in resp["error"]["message"]
         assert resp["error"]["code"] == "unknown_op"
-        # pre-v1 compat field carries the old free-form string
-        assert "unknown op" in resp["error_str"]
+        # the pre-v1 free-form compat string is gone in v2
+        assert "error_str" not in resp
 
     def test_missing_field(self, engine):
         resp = engine.execute({"op": "s_distance", "dataset": "paper", "src": 0})

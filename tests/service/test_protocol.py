@@ -1,10 +1,16 @@
-"""Wire protocol: version pinning, response envelope, structured errors."""
+"""Wire protocol v2: version pinning, response envelope, structured errors."""
 
 import pytest
 
 from repro.obs.prometheus import parse_prometheus_text
-from repro.service import PROTOCOL_VERSION, SUPPORTED_VERSIONS, QueryEngine
-from repro.service.server import InProcessClient, _dispatch
+from repro.service import (
+    LEGACY_VERSIONS,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    InProcessSession,
+    QueryEngine,
+)
+from repro.service.protocol import dispatch
 
 from ..conftest import PAPER_MEMBERS, make_biedgelist
 
@@ -20,16 +26,16 @@ class TestEnvelope:
     def test_success_carries_ok_and_version(self, engine):
         resp = engine.execute({"op": "datasets"})
         assert resp["ok"] is True
-        assert resp["v"] == PROTOCOL_VERSION == 1.1
+        assert resp["v"] == PROTOCOL_VERSION == 2
 
-    def test_failure_carries_structured_error_and_compat_string(self, engine):
+    def test_failure_carries_structured_error_only(self, engine):
         resp = engine.execute({"op": "no_such_op"})
         assert resp["ok"] is False
         assert resp["v"] == PROTOCOL_VERSION
         assert resp["error"]["code"] == "unknown_op"
         assert "no_such_op" in resp["error"]["message"]
-        # pre-v1 clients read a free-form string
-        assert isinstance(resp["error_str"], str) and resp["error_str"]
+        # the pre-v1 free-form string is gone in v2
+        assert "error_str" not in resp
 
 
 class TestVersionPinning:
@@ -46,18 +52,27 @@ class TestVersionPinning:
         assert resp["ok"] is False
         assert resp["error"]["code"] == "unsupported_version"
 
-    def test_both_supported_versions_accepted(self, engine):
-        assert SUPPORTED_VERSIONS == frozenset({1, 1.1})
+    def test_supported_versions_accepted_and_echoed(self, engine):
+        assert SUPPORTED_VERSIONS == frozenset({1, 2})
         for v in sorted(SUPPORTED_VERSIONS):
             resp = engine.execute({"op": "datasets", "version": v})
             assert resp["ok"] is True
             # the response echoes the version it was served at
             assert resp["v"] == v
 
-    def test_v1_client_sees_v11_ops_as_unknown(self, engine):
+    def test_legacy_v11_accepted_and_echoed(self, engine):
+        assert LEGACY_VERSIONS == frozenset({1.1})
+        resp = engine.execute({"op": "update", "version": 1.1,
+                               "dataset": "paper", "ops": []})
+        # 1.1 clients get the full post-v1 surface, echoed at 1.1
+        assert resp["v"] == 1.1
+        if not resp["ok"]:
+            assert resp["error"]["code"] != "unknown_op"
+
+    def test_v1_client_sees_post_v1_ops_as_unknown(self, engine):
         # a v1-pinned client must get the same failure shape a real v1
         # engine would have produced — never a crash
-        for op in ("update", "version"):
+        for op in ("update", "version", "shards"):
             resp = engine.execute({"op": op, "version": 1, "dataset": "paper"})
             assert resp["ok"] is False
             assert resp["v"] == 1
@@ -68,7 +83,8 @@ class TestVersionPinning:
         assert resp["ok"] is True
         assert resp["result"]["protocol"] == PROTOCOL_VERSION
         assert resp["result"]["supported"] == sorted(SUPPORTED_VERSIONS)
-        assert "update" in resp["result"]["v11_ops"]
+        assert resp["result"]["legacy"] == sorted(LEGACY_VERSIONS)
+        assert "update" in resp["result"]["gated_ops"]
 
     def test_error_echoes_pinned_version(self, engine):
         resp = engine.execute({"op": "no_such_op", "version": 1})
@@ -114,7 +130,7 @@ class TestErrorCodes:
 
 class TestBatchEnvelope:
     def test_batch_with_version(self, engine):
-        out = _dispatch(
+        out = dispatch(
             engine,
             {"batch": [{"op": "datasets"}] * 2, "v": 1},
         )
@@ -122,23 +138,40 @@ class TestBatchEnvelope:
         assert all(r["ok"] for r in out)
 
     def test_batch_with_bad_version(self, engine):
-        out = _dispatch(engine, {"batch": [{"op": "datasets"}], "v": 5})
+        out = dispatch(engine, {"batch": [{"op": "datasets"}], "v": 5})
         assert out["ok"] is False
         assert out["error"]["code"] == "unsupported_version"
 
-    def test_batch_accepts_v11(self, engine):
-        out = _dispatch(engine, {"batch": [{"op": "version"}], "v": 1.1})
+    def test_batch_version_alias_removed(self, engine):
+        # v2 cleanup: the envelope takes "v" only; a stray "version" key
+        # is no longer read as a pin (queries still pin individually)
+        out = dispatch(
+            engine, {"batch": [{"op": "datasets"}], "version": 99}
+        )
         assert isinstance(out, list) and out[0]["ok"] is True
+
+    def test_batch_accepts_legacy_v11(self, engine):
+        out = dispatch(engine, {"batch": [{"op": "version"}], "v": 1.1})
+        assert isinstance(out, list) and out[0]["ok"] is True
+
+    def test_batch_backend_validated_against_registry(self, engine):
+        out = dispatch(
+            engine, {"batch": [{"op": "datasets"}], "backend": "quantum"}
+        )
+        assert out["ok"] is False
+        assert out["error"]["code"] == "invalid_argument"
+        # the message names the real registry so the caller can fix it
+        assert "simulated" in out["error"]["message"]
 
 
 class TestPrometheusOp:
     def test_exposition_reflects_served_traffic(self, engine):
-        client = InProcessClient(engine)
-        client.query("datasets")
-        client.query(
+        session = InProcessSession(engine)
+        session.query("datasets")
+        session.query(
             "s_distance", dataset="paper", s=2, src=0, dst=2
         )
-        text = client.prometheus()
+        text = session.prometheus()
         parsed = parse_prometheus_text(text)
         assert parsed[
             ("service_requests_total", (("op", "s_distance"),))

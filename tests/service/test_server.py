@@ -1,16 +1,17 @@
-"""AnalyticsServer + ServiceClient: live socket round-trips."""
+"""AnalyticsServer + SocketSession: live socket round-trips."""
 
 import json
 import socket
 import threading
+import time
 
 import pytest
 
 from repro.service import (
     AnalyticsServer,
-    InProcessClient,
+    InProcessSession,
     QueryEngine,
-    ServiceClient,
+    SocketSession,
 )
 
 from ..conftest import PAPER_MEMBERS, make_biedgelist
@@ -33,8 +34,8 @@ class TestSocketRoundTrip:
     def test_single_query(self, server):
         host, port = server.address
         assert port != 0
-        with ServiceClient(host, port) as client:
-            resp = client.query(
+        with SocketSession(host, port) as session:
+            resp = session.query(
                 "s_distance", dataset="paper", s=2, src=0, dst=2
             )
         assert resp["ok"] and resp["result"] == 2
@@ -43,13 +44,13 @@ class TestSocketRoundTrip:
 
     def test_pipelined_queries_one_connection(self, server):
         host, port = server.address
-        with ServiceClient(host, port) as client:
-            warm = client.query("warm", dataset="paper", s_values=[1, 2, 3])
+        with SocketSession(host, port) as session:
+            warm = session.query("warm", dataset="paper", s_values=[1, 2, 3])
             assert warm["result"] == {"1": "miss", "2": "derive", "3": "derive"}
             for s in (1, 2, 3):
-                resp = client.query("s_info", dataset="paper", s=s)
+                resp = session.query("s_info", dataset="paper", s=s)
                 assert resp["ok"] and resp["via"] == "cache:hit"
-            metrics = client.metrics()["result"]
+            metrics = session.metrics()["result"]
         assert metrics["cache"]["derives"] == 2
         assert metrics["cache"]["hits"] >= 3
 
@@ -59,8 +60,8 @@ class TestSocketRoundTrip:
             {"op": "s_degree", "dataset": "paper", "s": 1, "v": v}
             for v in range(4)
         ]
-        with ServiceClient(host, port) as client:
-            out = client.batch(queries)
+        with SocketSession(host, port) as session:
+            out = session.batch(queries)
         assert [r["result"] for r in out] == [3, 3, 3, 3]
 
     def test_malformed_line_gets_error_response(self, server):
@@ -85,9 +86,9 @@ class TestSocketRoundTrip:
 
         def worker():
             try:
-                with ServiceClient(host, port) as client:
+                with SocketSession(host, port) as session:
                     for s in (1, 2, 3):
-                        resp = client.query("s_info", dataset="paper", s=s)
+                        resp = session.query("s_info", dataset="paper", s=s)
                         assert resp["ok"], resp
             except Exception as exc:  # pragma: no cover - diagnostic
                 errors.append(exc)
@@ -106,10 +107,10 @@ class TestSocketRoundTrip:
 
     def test_register_over_the_wire(self, server):
         host, port = server.address
-        with ServiceClient(host, port) as client:
-            resp = client.query("register", name="r", source="rand1")
+        with SocketSession(host, port) as session:
+            resp = session.query("register", name="r", source="rand1")
             assert resp["ok"] and resp["result"]["num_edges"] == 5000
-            assert "r" in client.query("datasets")["result"]
+            assert "r" in session.query("datasets")["result"]
 
 
 class TestServerLifecycle:
@@ -127,22 +128,64 @@ class TestServerLifecycle:
         finally:
             srv.stop()
 
+    def test_stop_drains_inflight_request(self, engine):
+        """A request mid-execution finishes its response during stop()."""
+        release = threading.Event()
+        entered = threading.Event()
+        real_execute = engine.execute
 
-class TestInProcessClient:
+        def slow_execute(query):
+            entered.set()
+            release.wait(timeout=10)
+            return real_execute(query)
+
+        engine.execute = slow_execute
+        srv = AnalyticsServer(engine).start()
+        host, port = srv.address
+        session = SocketSession(host, port)
+        try:
+            session.send({"op": "datasets"})
+            assert entered.wait(timeout=10)
+            assert srv.inflight() == 1
+            stopper = threading.Thread(target=srv.stop)
+            stopper.start()
+            time.sleep(0.1)  # let stop() reach the drain wait
+            release.set()
+            stopper.join(timeout=10)
+            assert not stopper.is_alive()
+            resp = session.recv()
+            assert resp["ok"] and resp["result"] == ["paper"]
+            assert srv.inflight() == 0
+        finally:
+            release.set()
+            session.close()
+
+    def test_wait_idle_times_out(self, engine):
+        srv = AnalyticsServer(engine)
+        try:
+            srv._begin_request()
+            assert srv.wait_idle(timeout=0.05) is False
+            srv._end_request()
+            assert srv.wait_idle(timeout=1) is True
+        finally:
+            srv.server_close()
+
+
+class TestInProcessSession:
     def test_same_surface_without_sockets(self, engine):
-        with InProcessClient(engine) as client:
-            resp = client.query("s_distance", dataset="paper", s=2, src=0, dst=2)
+        with InProcessSession(engine) as session:
+            resp = session.query("s_distance", dataset="paper", s=2, src=0, dst=2)
             assert resp["ok"] and resp["result"] == 2
-            out = client.batch([{"op": "datasets"}])
+            out = session.batch([{"op": "datasets"}])
             assert out[0]["result"] == ["paper"]
-            assert client.metrics()["ok"]
+            assert session.metrics()["ok"]
 
     def test_request_dispatches_batch_payloads(self, engine):
-        client = InProcessClient(engine)
-        out = client.request({"batch": [{"op": "datasets"}]})
+        session = InProcessSession(engine)
+        out = session.request({"batch": [{"op": "datasets"}]})
         assert isinstance(out, list) and out[0]["ok"]
 
     def test_default_engine(self):
-        client = InProcessClient()
-        resp = client.query("datasets")
-        assert resp["ok"] and resp["result"] == []
+        with InProcessSession() as session:
+            resp = session.query("datasets")
+            assert resp["ok"] and resp["result"] == []

@@ -111,9 +111,9 @@ def _serve(directory, *extra):
 
 
 def _request(port, query):
-    from repro.service import ServiceClient
+    from repro.service import SocketSession
 
-    with ServiceClient("127.0.0.1", port) as client:
+    with SocketSession("127.0.0.1", port, strict=False) as client:
         return client.request(query)
 
 
