@@ -1,0 +1,202 @@
+"""Service load benchmark: traffic-shaped runs + the noisy-neighbor proof.
+
+Two scenarios against a real :class:`AsyncAnalyticsServer` over sockets
+(the engine, cache, admission control, and quota paths all exercised
+end to end), written to ``BENCH_service_load.json`` at the repo root —
+the artifact CI's load-smoke job uploads:
+
+* ``mixed`` — an open-loop run of two tenants with different op mixes
+  (one read-mostly mix with heavy analytics and mutation bursts, one
+  pure point-lookup tenant).  Latencies are coordinated-omission
+  correct (measured from the workload's intended timestamps), and the
+  declarative SLO gates — p99 bound, zero error rate, minimum
+  throughput — must pass.
+* ``noisy_neighbor`` — the per-tenant-quota isolation claim, measured:
+  first a baseline run of a quiet point-lookup tenant alone, then the
+  same quiet tenant next to a bursty tenant offering ~10x its quota.
+  The gates assert the quota does its job: the bursty tenant is shed
+  heavily, the quiet tenant is never shed, and the quiet tenant's p99
+  stays within a noise envelope of its baseline.
+
+Durations are deliberately short (a few seconds total) so the benchmark
+doubles as a CI smoke; ``REPRO_LOAD_DURATION`` scales the per-run
+duration for longer local investigations.
+
+Run directly (``python benchmarks/bench_service_load.py``) or through
+pytest (``pytest benchmarks/bench_service_load.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.load import (
+    LoadReport,
+    SLOGate,
+    TenantSpec,
+    WorkloadSpec,
+    run_workload,
+)
+from repro.io.generators import uniform_random_hypergraph
+from repro.service import AsyncAnalyticsServer, QueryEngine
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_service_load.json"
+
+DURATION_S = float(os.environ.get("REPRO_LOAD_DURATION", "1.5"))
+NUM_KEYS = 64
+#: the quiet tenant's p99 may grow this much next to a quota'd neighbor
+#: before we call the isolation broken (absolute floor below guards the
+#: sub-millisecond regime where ratios are all noise)
+NEIGHBOR_P99_RATIO = 5.0
+NEIGHBOR_P99_FLOOR_MS = 50.0
+
+
+def _engine() -> QueryEngine:
+    engine = QueryEngine()
+    hypergraph = uniform_random_hypergraph(300, 200, 4, seed=11)
+    engine.store.register("load", hypergraph)
+    # warm the s=1 line graph so the first heavy op isn't a cold build
+    engine.execute({"op": "s_connected_components", "dataset": "load", "s": 1})
+    return engine
+
+
+def _scenario_mixed() -> dict:
+    spec = WorkloadSpec(
+        tenants=(
+            TenantSpec("analytics", rps=120.0, connections=2),
+            TenantSpec(
+                "lookups",
+                rps=200.0,
+                connections=2,
+                mix={"s_degree": 0.7, "s_neighbors": 0.3},
+            ),
+        ),
+        duration_s=DURATION_S,
+        seed=2026,
+        num_keys=NUM_KEYS,
+    )
+    gates = [
+        SLOGate("error_rate", max=0.0),
+        SLOGate("shed_rate", max=0.0),
+        SLOGate("p99_ms", max=1500.0),
+        SLOGate("rps", min=0.5 * (120.0 + 200.0)),
+        SLOGate("p99_ms", max=1500.0, tenant="lookups"),
+    ]
+    engine = _engine()
+    try:
+        with AsyncAnalyticsServer(engine, max_inflight=8) as server:
+            run = run_workload(server.address, spec, mode="open")
+    finally:
+        engine.close()
+    report = LoadReport(run)
+    print(report.format_text())
+    doc = report.as_dict(gates)
+    doc["workload"] = spec.as_dict()
+    for gate in report.evaluate(gates):
+        print(gate.describe())
+        assert gate.ok, gate.describe()
+    assert not run.transport_errors, run.transport_errors
+    return doc
+
+
+def _scenario_noisy_neighbor() -> dict:
+    quiet = TenantSpec(
+        "quiet",
+        rps=100.0,
+        connections=2,
+        mix={"s_degree": 0.7, "s_neighbors": 0.3},
+    )
+    bursty = TenantSpec(
+        "bursty",
+        rps=400.0,
+        connections=2,
+        mix={"s_degree": 1.0},
+    )
+    quota = {"bursty": {"rate": 40.0, "burst": 40.0}}
+
+    def _run(tenants: tuple) -> LoadReport:
+        spec = WorkloadSpec(
+            tenants=tenants,
+            duration_s=DURATION_S,
+            seed=7,
+            num_keys=NUM_KEYS,
+        )
+        engine = _engine()
+        try:
+            with AsyncAnalyticsServer(
+                engine, max_inflight=8, quotas=quota
+            ) as server:
+                return LoadReport(
+                    run_workload(server.address, spec, mode="open")
+                )
+        finally:
+            engine.close()
+
+    baseline = _run((quiet,))
+    contended = _run((quiet, bursty))
+    base_panel = baseline.panel("quiet")
+    quiet_panel = contended.panel("quiet")
+    bursty_panel = contended.panel("bursty")
+    p99_limit = max(
+        NEIGHBOR_P99_RATIO * base_panel["p99_ms"], NEIGHBOR_P99_FLOOR_MS
+    )
+    gates = [
+        # the quota-protected promise, as declarative gates
+        SLOGate("shed_rate", max=0.0, tenant="quiet"),
+        SLOGate("error_rate", max=0.0, tenant="quiet"),
+        SLOGate("p99_ms", max=p99_limit, tenant="quiet"),
+        SLOGate("shed_rate", min=0.5, tenant="bursty"),
+    ]
+    print("noisy neighbor: baseline (quiet alone)")
+    print(baseline.format_text())
+    print("noisy neighbor: contended (quiet + bursty over quota)")
+    print(contended.format_text())
+    for gate in contended.evaluate(gates):
+        print(gate.describe())
+        assert gate.ok, gate.describe()
+    assert bursty_panel["shed"] > 0, "bursty tenant was never shed"
+    assert quiet_panel["shed"] == 0, "quiet tenant lost requests to sheds"
+    doc = contended.as_dict(gates)
+    doc["baseline_quiet"] = base_panel
+    doc["p99_limit_ms"] = p99_limit
+    return doc
+
+
+def run() -> dict:
+    return {
+        "generated_by": "benchmarks/bench_service_load.py",
+        "duration_s": DURATION_S,
+        "num_keys": NUM_KEYS,
+        "scenarios": {
+            "mixed": _scenario_mixed(),
+            "noisy_neighbor": _scenario_noisy_neighbor(),
+        },
+    }
+
+
+def main() -> None:
+    doc = run()
+    OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {OUT}")
+
+
+def test_service_load_gates(record):
+    doc = run()
+    OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    mixed = doc["scenarios"]["mixed"]["overall"]
+    noisy = doc["scenarios"]["noisy_neighbor"]
+    record(
+        "Service load: SLO gates + noisy-neighbor isolation",
+        f"mixed: {mixed['ops']} ops @ {mixed['rps']:.0f} rps, "
+        f"p99 {mixed['p99_ms']:.2f} ms; "
+        f"quiet p99 {noisy['tenants']['quiet']['p99_ms']:.2f} ms "
+        f"(limit {noisy['p99_limit_ms']:.1f}) beside bursty shed_rate "
+        f"{noisy['tenants']['bursty']['shed_rate']:.2f}",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,11 @@
-"""Benchmark harness: drivers + reporting for the paper's tables/figures."""
+"""Benchmark harness: drivers + reporting for the paper's tables/figures.
+
+Algorithm micro-benchmarks live here; the *service* load harness —
+multi-tenant traffic shaping, open/closed-loop socket runners,
+coordinated-omission-correct latency, SLO gates — is the
+:mod:`repro.bench.load` subpackage (imported explicitly, not re-exported,
+so importing :mod:`repro.bench` never drags in the serving stack).
+"""
 
 from .harness import (
     DEFAULT_THREADS,

@@ -1,0 +1,367 @@
+"""Traffic-shaped workload generation: tenants, mixes, Zipf keys, traces.
+
+A serving benchmark is only as honest as its traffic.  This module
+models the request stream the paper's "build once, query many times"
+service actually sees: a few **tenants**, each with its own request
+rate, its own mix of cheap point lookups (``s_degree`` /
+``s_neighbors``), heavy analytics (``s_connected_components`` /
+``s_distance``), and mutation bursts (``update``), hitting keys with
+**Zipf-distributed popularity** (a handful of hot vertices absorb most
+lookups, exactly like real graph workloads).
+
+Everything is seeded: the same :class:`WorkloadSpec` always produces
+the same operations at the same intended timestamps, so a benchmark
+run — or a CI regression — is reproducible bit for bit.  Traces
+round-trip through JSON-lines files (:func:`write_trace` /
+:func:`read_trace`, also ``repro generate trace``) so a recorded
+workload can be replayed against any server build.
+
+Open-loop arrivals are Poisson: per tenant, inter-arrival gaps are
+drawn i.i.d. exponential at ``rps``, which is what makes the
+coordinated-omission correction in :mod:`repro.bench.load.runner`
+meaningful — the *intended* start times exist independently of how
+slowly the server answers.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MIX",
+    "HEAVY_OPS",
+    "MUTATION_OPS",
+    "OP_KINDS",
+    "POINT_OPS",
+    "TenantSpec",
+    "TraceOp",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "ZipfKeys",
+    "read_trace",
+    "write_trace",
+]
+
+#: cheap per-vertex lookups — the high-rps bread and butter
+POINT_OPS = ("s_degree", "s_neighbors")
+#: whole-graph / traversal analytics — the tail-latency makers
+HEAVY_OPS = ("s_connected_components", "s_distance")
+#: mutation bursts against dynamic datasets
+MUTATION_OPS = ("update",)
+OP_KINDS = POINT_OPS + HEAVY_OPS + MUTATION_OPS
+
+#: read-mostly default: 80% point lookups, 15% heavy, 5% mutations
+DEFAULT_MIX: Mapping[str, float] = {
+    "s_degree": 0.55,
+    "s_neighbors": 0.25,
+    "s_connected_components": 0.08,
+    "s_distance": 0.07,
+    "update": 0.05,
+}
+
+_TRACE_FORMAT = "repro.bench.load/trace"
+_TRACE_VERSION = 1
+
+
+class ZipfKeys:
+    """Zipf(``theta``) sampler over ``num_keys`` ranked keys.
+
+    Key ``0`` is the hottest; P(key = k) ∝ 1 / (k + 1)**theta.  The CDF
+    is precomputed once so each draw is a binary search, and draws are
+    pure functions of the caller's ``Generator`` state — determinism
+    stays with the seed.
+    """
+
+    def __init__(self, num_keys: int, theta: float = 1.1) -> None:
+        if num_keys < 1:
+            raise ValueError("num_keys must be >= 1")
+        if theta < 0:
+            raise ValueError("zipf theta must be >= 0")
+        self.num_keys = int(num_keys)
+        self.theta = float(theta)
+        weights = (np.arange(1, self.num_keys + 1, dtype=np.float64)
+                   ** -self.theta)
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    def draw(self, rng: np.random.Generator) -> int:
+        """One key id in ``[0, num_keys)``."""
+        return int(np.searchsorted(self._cdf, rng.random(), side="right"))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic shape.
+
+    Parameters
+    ----------
+    name:
+        Tenant id stamped into every request envelope (``"tenant": name``)
+        — the same id the server's quota buckets key on.
+    rps:
+        Intended request rate (open loop: Poisson arrivals at this rate;
+        closed loop: an upper bound set by ``connections`` instead).
+    connections:
+        Concurrent persistent connections this tenant drives.
+    mix:
+        Operation mix, op name -> weight (normalized; defaults to
+        :data:`DEFAULT_MIX`).  Ops: ``s_degree``, ``s_neighbors``,
+        ``s_connected_components``, ``s_distance``, ``update``.
+    datasets:
+        Resident dataset names the tenant queries (popularity is Zipf
+        across them too when there are several).
+    s:
+        The s parameter for s-metric queries.
+    zipf_theta:
+        Key-popularity skew; ``0`` is uniform, ``~1`` classic Zipf.
+    burst:
+        ``add_edge`` records per ``update`` mutation burst.
+    """
+
+    name: str
+    rps: float = 50.0
+    connections: int = 1
+    mix: Mapping[str, float] | None = None
+    datasets: tuple[str, ...] = ("load",)
+    s: int = 1
+    zipf_theta: float = 1.1
+    burst: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.rps <= 0:
+            raise ValueError("tenant rps must be > 0")
+        if self.connections < 1:
+            raise ValueError("tenant connections must be >= 1")
+        if not self.datasets:
+            raise ValueError("tenant needs at least one dataset")
+        for op in (self.mix or {}):
+            if op not in OP_KINDS:
+                raise ValueError(
+                    f"unknown op {op!r} in mix (one of {sorted(OP_KINDS)})"
+                )
+
+    def resolved_mix(self) -> dict[str, float]:
+        """Normalized op -> probability (drops zero-weight ops)."""
+        raw = dict(DEFAULT_MIX if self.mix is None else self.mix)
+        total = sum(raw.values())
+        if total <= 0:
+            raise ValueError("tenant mix weights must sum > 0")
+        return {op: w / total for op, w in raw.items() if w > 0}
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "rps": self.rps,
+            "connections": self.connections,
+            "mix": self.resolved_mix(),
+            "datasets": list(self.datasets),
+            "s": self.s,
+            "zipf_theta": self.zipf_theta,
+            "burst": self.burst,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A full workload: tenants + duration + keyspace + seed."""
+
+    tenants: tuple[TenantSpec, ...]
+    duration_s: float = 2.0
+    seed: int = 0
+    num_keys: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        if not self.tenants:
+            raise ValueError("workload needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.num_keys < 2:
+            raise ValueError("num_keys must be >= 2")
+
+    def as_dict(self) -> dict:
+        return {
+            "tenants": [t.as_dict() for t in self.tenants],
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "num_keys": self.num_keys,
+        }
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One scheduled operation: intended start offset, tenant, payload."""
+
+    t: float
+    tenant: str
+    payload: dict = field(compare=False)
+
+    def as_dict(self) -> dict:
+        return {"t": self.t, "tenant": self.tenant, "payload": self.payload}
+
+
+class WorkloadGenerator:
+    """Seeded operation streams and open-loop schedules for one spec."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self._zipf: dict[float, ZipfKeys] = {}
+
+    # -- seeding -------------------------------------------------------------
+    def _rng(self, tenant: TenantSpec, salt: int) -> np.random.Generator:
+        # crc32, not hash(): PYTHONHASHSEED must not leak into traces
+        name_key = zlib.crc32(tenant.name.encode("utf-8"))
+        return np.random.default_rng(
+            [int(self.spec.seed) & 0xFFFFFFFF, name_key, int(salt)]
+        )
+
+    def _keys(self, theta: float) -> ZipfKeys:
+        sampler = self._zipf.get(theta)
+        if sampler is None:
+            sampler = ZipfKeys(self.spec.num_keys, theta)
+            self._zipf[theta] = sampler
+        return sampler
+
+    # -- payload synthesis ---------------------------------------------------
+    def _payload(
+        self, tenant: TenantSpec, rng: np.random.Generator
+    ) -> dict:
+        mix = tenant.resolved_mix()
+        ops = sorted(mix)  # sorted: dict order must not affect the draw
+        probs = np.array([mix[op] for op in ops])
+        kind = ops[int(rng.choice(len(ops), p=probs))]
+        keys = self._keys(tenant.zipf_theta)
+        if len(tenant.datasets) == 1:
+            dataset = tenant.datasets[0]
+        else:
+            dataset = tenant.datasets[
+                self._keys(tenant.zipf_theta).draw(rng)
+                % len(tenant.datasets)
+            ]
+        payload: dict = {"op": kind, "dataset": dataset,
+                         "tenant": tenant.name}
+        if kind in ("s_degree", "s_neighbors"):
+            payload["s"] = tenant.s
+            payload["v"] = keys.draw(rng)
+        elif kind == "s_distance":
+            payload["s"] = tenant.s
+            payload["src"] = keys.draw(rng)
+            dst = keys.draw(rng)
+            if dst == payload["src"]:
+                dst = (dst + 1) % self.spec.num_keys
+            payload["dst"] = dst
+        elif kind == "s_connected_components":
+            payload["s"] = tenant.s
+        elif kind == "update":
+            records = []
+            for _ in range(max(1, tenant.burst)):
+                members = {keys.draw(rng) for _ in range(3)}
+                while len(members) < 2:
+                    members.add(int(rng.integers(self.spec.num_keys)))
+                records.append(
+                    {"op": "add_edge", "members": sorted(members)}
+                )
+            payload["ops"] = records
+        return payload
+
+    # -- closed loop: infinite per-tenant stream -----------------------------
+    def stream(self, tenant: TenantSpec, salt: int = 0) -> Iterator[dict]:
+        """Infinite seeded payload stream for one tenant (+ connection salt).
+
+        Closed-loop workers pull from this as fast as the server answers;
+        distinct ``salt`` values (one per connection) give independent
+        but reproducible streams.
+        """
+        rng = self._rng(tenant, salt)
+        while True:
+            yield self._payload(tenant, rng)
+
+    # -- open loop: merged Poisson schedule ----------------------------------
+    def schedule(self) -> list[TraceOp]:
+        """All tenants' Poisson arrivals over ``duration_s``, time-sorted.
+
+        Each tenant draws exponential inter-arrival gaps at its ``rps``
+        from its own seeded stream, so adding a tenant never perturbs
+        another tenant's arrivals or payloads.
+        """
+        ops: list[TraceOp] = []
+        for tenant in self.spec.tenants:
+            rng = self._rng(tenant, salt=0x5EED)
+            t = 0.0
+            while True:
+                t += float(rng.exponential(1.0 / tenant.rps))
+                if t >= self.spec.duration_s:
+                    break
+                ops.append(
+                    TraceOp(
+                        t=round(t, 6),
+                        tenant=tenant.name,
+                        payload=self._payload(tenant, rng),
+                    )
+                )
+        ops.sort(key=lambda op: (op.t, op.tenant))
+        return ops
+
+
+# -- trace files (JSON-lines) ------------------------------------------------
+
+def write_trace(
+    path, ops: list[TraceOp], spec: WorkloadSpec | None = None
+) -> int:
+    """Write a schedule as a JSON-lines trace file; returns op count.
+
+    Line 1 is a header (format tag, version, and the generating spec
+    when known); every following line is one :class:`TraceOp`.  The
+    encoding is canonical (sorted keys) so identical workloads produce
+    byte-identical files — ``diff`` is a regression test.
+    """
+    header = {
+        "format": _TRACE_FORMAT,
+        "version": _TRACE_VERSION,
+        "ops": len(ops),
+    }
+    if spec is not None:
+        header["spec"] = spec.as_dict()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for op in ops:
+            fh.write(json.dumps(op.as_dict(), sort_keys=True) + "\n")
+    return len(ops)
+
+
+def read_trace(path) -> tuple[dict, list[TraceOp]]:
+    """Read a trace file back: ``(header, ops)``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ValueError(f"empty trace file: {path}")
+        header = json.loads(first)
+        if header.get("format") != _TRACE_FORMAT:
+            raise ValueError(
+                f"{path} is not a {_TRACE_FORMAT} file "
+                f"(format={header.get('format')!r})"
+            )
+        ops = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            ops.append(
+                TraceOp(
+                    t=float(rec["t"]),
+                    tenant=str(rec["tenant"]),
+                    payload=dict(rec["payload"]),
+                )
+            )
+    ops.sort(key=lambda op: (op.t, op.tenant))
+    return header, ops

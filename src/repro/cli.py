@@ -354,16 +354,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"{rec['replayed_batches']} batch(es) replayed, "
               f"{len(info['hydrated'])} hot line graph(s) rehydrated)",
               flush=True)
+    quotas = None
+    if args.quota:
+        quotas = {}
+        for spec in args.quota:
+            tenant, _, shape = spec.partition("=")
+            rate, _, burst = shape.partition(":")
+            try:
+                quotas[tenant] = {
+                    "rate": float(rate),
+                    "burst": float(burst) if burst else None,
+                }
+            except ValueError:
+                raise SystemExit(
+                    f"--quota must be TENANT=RATE[:BURST], got {spec!r}"
+                )
     if args.frontend == "async":
         server = AsyncAnalyticsServer(
             engine,
             host=args.host,
             port=args.port,
             max_inflight=args.max_inflight,
+            quotas=quotas,
         )
         server.start()
     else:
-        server = AnalyticsServer(engine, host=args.host, port=args.port)
+        server = AnalyticsServer(
+            engine, host=args.host, port=args.port, quotas=quotas
+        )
         server.start()
     host, port = server.address
     shard_note = (
@@ -579,7 +597,52 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_tenants(specs: list[str], dataset: str) -> list:
+    """``NAME[=RPS[:CONNECTIONS]]`` CLI specs -> TenantSpec list."""
+    from repro.bench.load import TenantSpec
+
+    tenants = []
+    for spec in specs or ["default=50"]:
+        name, _, shape = spec.partition("=")
+        rps, _, conns = shape.partition(":")
+        try:
+            tenants.append(
+                TenantSpec(
+                    name,
+                    rps=float(rps) if rps else 50.0,
+                    connections=int(conns) if conns else 1,
+                    datasets=(dataset,),
+                )
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad --tenant {spec!r}: {exc}")
+    return tenants
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "trace":
+        # a workload trace, not a hypergraph: seeded timestamped ops
+        # replayable by repro.bench.load (see docs/LOAD.md)
+        from repro.bench.load import (
+            WorkloadGenerator,
+            WorkloadSpec,
+            write_trace,
+        )
+
+        spec = WorkloadSpec(
+            tenants=tuple(_parse_tenants(args.tenant, args.trace_dataset)),
+            duration_s=args.duration,
+            seed=args.seed,
+            num_keys=args.num_keys,
+        )
+        ops = WorkloadGenerator(spec).schedule()
+        write_trace(args.output, ops, spec)
+        tenants = ", ".join(
+            f"{t.name}@{t.rps:g}rps" for t in spec.tenants
+        )
+        print(f"wrote {args.output} ({len(ops)} ops over "
+              f"{spec.duration_s:g}s: {tenants}; seed={spec.seed})")
+        return 0
     if args.kind in _GENERATORS:
         el = _GENERATORS[args.kind](args)
     else:  # a Table I stand-in by name
@@ -755,6 +818,14 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="max_inflight",
                    help="async frontend: concurrent engine executions "
                         "(ignored for --frontend threaded)")
+    p.add_argument("--quota", action="append", default=[],
+                   metavar="TENANT=RATE[:BURST]",
+                   help="per-tenant token-bucket admission: requests "
+                        "carrying this tenant id past RATE req/s (burst "
+                        "up to BURST, default RATE) get a structured "
+                        "quota_exceeded response; TENANT '*' sets a "
+                        "default bucket shape for unlisted tenants "
+                        "(repeatable; works with both frontends)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("query",
@@ -839,14 +910,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print findings silenced by noqa comments")
     p.set_defaults(func=cmd_check)
 
-    p = sub.add_parser("generate", help="generate a hypergraph file")
+    p = sub.add_parser("generate",
+                       help="generate a hypergraph file or a workload trace")
     p.add_argument("kind",
-                   help="uniform | powerlaw | community | <Table I name>")
+                   help="uniform | powerlaw | community | trace | "
+                        "<Table I name>")
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--edges", type=int, default=1000)
     p.add_argument("--nodes", type=int, default=1000)
     p.add_argument("--mean-size", type=float, default=8.0, dest="mean_size")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tenant", action="append", default=[],
+                   metavar="NAME[=RPS[:CONNECTIONS]]",
+                   help="trace only: one tenant's traffic shape "
+                        "(repeatable; default: one tenant at 50 rps)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="trace only: workload length in seconds")
+    p.add_argument("--num-keys", type=int, default=64, dest="num_keys",
+                   help="trace only: Zipf keyspace size (vertex ids)")
+    p.add_argument("--trace-dataset", default="load", dest="trace_dataset",
+                   help="trace only: resident dataset name the ops target")
     p.set_defaults(func=cmd_generate)
 
     return parser

@@ -23,6 +23,7 @@ from .metrics import (
     DEFAULT_BUCKETS,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS,
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
@@ -37,6 +38,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_TRACER",

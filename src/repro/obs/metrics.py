@@ -30,6 +30,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetrics",
@@ -39,6 +40,21 @@ __all__ = [
 #: Prometheus' default latency buckets (seconds) — upper bounds, +Inf implied
 DEFAULT_BUCKETS = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+#: Log-spaced latency bounds (seconds): four buckets per decade from
+#: 100 µs to 10 s.  The Prometheus defaults put every sub-5ms
+#: observation in one bucket, which makes interpolated p99/p999
+#: estimates of a fast service meaningless; these bounds keep the
+#: relative quantile error bounded (~78% bucket width) across five
+#: decades.  Used by the service latency histograms and the load
+#: harness (:mod:`repro.bench.load`).
+LATENCY_BUCKETS = (
+    0.0001, 0.000178, 0.000316, 0.000562,
+    0.001, 0.00178, 0.00316, 0.00562,
+    0.01, 0.0178, 0.0316, 0.0562,
+    0.1, 0.178, 0.316, 0.562,
+    1.0, 1.78, 3.16, 5.62, 10.0,
 )
 
 LabelSet = tuple[tuple[str, str], ...]
@@ -155,6 +171,34 @@ class Histogram:
         with self._lock:
             return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile estimate from the cumulative buckets.
+
+        Prometheus ``histogram_quantile`` semantics: find the bucket the
+        ``q``-th observation falls in and interpolate linearly between
+        its bounds (the first bucket interpolates from 0).  Observations
+        beyond the last finite bound cannot be interpolated, so the last
+        finite bound is returned — choose bounds that cover the signal
+        (:data:`LATENCY_BUCKETS` for service latencies).  Returns 0.0
+        for an empty histogram.
+        """
+        q = min(max(float(q), 0.0), 1.0)
+        with self._lock:
+            count = self._count
+            counts = list(self._counts)
+        if count == 0:
+            return 0.0
+        target = q * count
+        cumulative = 0
+        for i, n in enumerate(counts):
+            if cumulative + n >= target and n > 0:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                frac = (target - cumulative) / n
+                return lower + (upper - lower) * frac
+            cumulative += n
+        return self.bounds[-1]  # the +Inf bucket: clamp to the last bound
+
     def sample(self) -> dict:
         """Cumulative bucket counts keyed by bound, plus sum/count/mean."""
         with self._lock:
@@ -265,6 +309,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
     def sample(self) -> dict:
         return {"value": 0.0}

@@ -25,6 +25,9 @@ that missing layer:
 * :mod:`~repro.service.aserver` — the asyncio front door: pipelined
   connections, bounded in-flight work, admission control, graceful
   drain;
+* :mod:`~repro.service.quota` — per-tenant token-bucket admission
+  (``quotas=`` on either server) with one counter-tagged shed path
+  (:class:`ShedLedger`) shared by both front doors;
 * :mod:`~repro.service.session` — the one client surface
   (:class:`Session` / :class:`SocketSession` / :class:`InProcessSession`
   with typed :class:`ServiceError`); the old ``ServiceClient`` /
@@ -35,6 +38,7 @@ CLI: ``python -m repro serve`` / ``python -m repro query``.
 
 from .aserver import AsyncAnalyticsServer
 from .cache import CacheStats, SLineGraphCache, estimate_linegraph_bytes
+from .quota import ShedLedger, TenantQuotas, TokenBucket, extract_tenant
 from .engine import (
     LEGACY_VERSIONS,
     PROTOCOL_VERSION,
@@ -72,7 +76,11 @@ __all__ = [
     "Session",
     "ShardPlan",
     "ShardedEngine",
+    "ShedLedger",
     "SocketSession",
+    "TenantQuotas",
+    "TokenBucket",
     "estimate_linegraph_bytes",
+    "extract_tenant",
     "plan_shards",
 ]

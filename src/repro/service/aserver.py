@@ -19,6 +19,13 @@ admits:
   (clients can back off) rather than a stall, and the bounded
   per-connection write queue throttles the reader (TCP backpressure) so
   memory stays bounded under any pipelining depth;
+* **per-tenant quotas** — with ``quotas=`` configured, requests carrying
+  a ``"tenant"`` id in the envelope pass token-bucket admission
+  (:mod:`repro.service.quota`) *before* the global pending check: a
+  tenant past its rate gets an immediate structured ``quota_exceeded``
+  response from a pre-encoded cached line, so one tenant's burst can
+  neither consume the global budget nor blow another tenant's p99 (the
+  noisy-neighbor scenario in :mod:`repro.bench.load` proves this);
 * **graceful drain** — :meth:`stop` closes the listener, lets every
   accepted request finish and flush its response (bounded by
   ``drain_timeout``), then tears the loop down.
@@ -43,6 +50,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from .engine import QueryEngine
 from .protocol import dispatch_line, protocol_error
+from .quota import ShedLedger, TenantQuotas, extract_tenant
 
 __all__ = ["AsyncAnalyticsServer"]
 
@@ -69,6 +77,13 @@ class AsyncAnalyticsServer:
         the client's TCP window.
     drain_timeout:
         Seconds :meth:`stop` waits for in-flight connections to flush.
+    quotas:
+        Optional per-tenant admission quotas: a
+        :class:`~repro.service.quota.TenantQuotas` or its spec dict
+        (``{"bursty": {"rate": 50, "burst": 100}}``).  Checked before
+        the global ``max_pending`` budget; sheds answer with a cached
+        ``quota_exceeded`` line and count
+        ``service_async_tenant_shed_total{tenant=...}``.
     """
 
     def __init__(
@@ -80,6 +95,7 @@ class AsyncAnalyticsServer:
         max_pending: int = 256,
         max_queue: int = 128,
         drain_timeout: float = 5.0,
+        quotas: "TenantQuotas | dict | None" = None,
     ) -> None:
         if max_inflight < 1 or max_pending < 1 or max_queue < 1:
             raise ValueError("bounds must be >= 1")
@@ -101,18 +117,24 @@ class AsyncAnalyticsServer:
         self._pool: ThreadPoolExecutor | None = None
         self._conns: set = set()
         self._pending = 0
+        self.quotas = TenantQuotas.coerce(quotas)
         m = self.engine.obs_metrics
         self._g_conns = m.gauge("service_async_connections")
         self._g_pending = m.gauge("service_async_pending")
         self._c_requests = m.counter("service_async_requests_total")
         self._c_overloaded = m.counter("service_async_overloaded_total")
-        self._overloaded_line = json.dumps(
-            protocol_error(
-                "overloaded",
-                f"server at capacity ({self.max_pending} requests "
-                "pending); back off and retry",
-            )
-        ).encode("utf-8")
+        self._ledger = ShedLedger(m, "service_async")
+        self._overloaded_line = self._ledger.prepare(
+            "overloaded",
+            f"server at capacity ({self.max_pending} requests "
+            "pending); back off and retry",
+        )
+        if self.quotas is not None:
+            # per-tenant quota_exceeded lines are precomputed the same
+            # way the overloaded line is; tenants born from the "*"
+            # default spec cache theirs on first shed
+            for tenant in self.quotas.tenants:
+                self._ledger.quota_line(tenant)
 
     # -- lifecycle (control thread) ------------------------------------------
     @property
@@ -214,6 +236,10 @@ class AsyncAnalyticsServer:
             await self._serve_connection(reader, writer)
         except asyncio.CancelledError:
             pass  # drain deadline hit: close without flushing the rest
+        except (ConnectionError, OSError):
+            # client vanished mid-conversation (reset, broken pipe):
+            # routine under load-generator churn, not a server error
+            pass
         finally:
             self._conns.discard(task)
             self._g_conns.dec()
@@ -257,17 +283,34 @@ class AsyncAnalyticsServer:
             await writer_task
 
     def _admit(self, raw: bytes) -> "asyncio.Future[bytes]":
-        """Accept one request line, or shed it with ``overloaded``."""
+        """Accept one request line, or shed it.
+
+        Shed order: the tenant's token bucket first (a quota'd burst
+        must not consume the global budget), then the global
+        ``max_pending`` cap.  Both paths answer from pre-encoded cached
+        lines through the shared :class:`ShedLedger`.
+        """
         assert self._loop is not None
+        tenant = (
+            extract_tenant(raw) if self.quotas is not None else None
+        )
+        if self.quotas is not None and not self.quotas.admit(tenant):
+            self._ledger.shed("quota", tenant)
+            return self._shed_response(self._ledger.quota_line(tenant))
         if self._pending >= self.max_pending:
             self._c_overloaded.inc()
-            fut: asyncio.Future = self._loop.create_future()
-            fut.set_result(self._overloaded_line)
-            return fut
+            self._ledger.shed("overloaded", tenant)
+            return self._shed_response(self._overloaded_line)
         self._pending += 1
         self._g_pending.set(self._pending)
         self._c_requests.inc()
+        self._ledger.admitted(tenant)
         return asyncio.create_task(self._execute(raw))
+
+    def _shed_response(self, line: bytes) -> "asyncio.Future[bytes]":
+        fut: asyncio.Future = self._loop.create_future()
+        fut.set_result(line)
+        return fut
 
     async def _execute(self, raw: bytes) -> bytes:
         assert self._sem is not None and self._loop is not None

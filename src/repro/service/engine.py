@@ -51,7 +51,7 @@ import time
 import numpy as np
 
 from repro.io.json_io import jsonify
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.obs.tracer import as_tracer
 from repro.parallel.runtime import ParallelRuntime, TaskResult
 
@@ -423,7 +423,9 @@ class QueryEngine:
             st["max_s"] = max(st["max_s"], seconds)
         m = self.obs_metrics
         m.counter("service_requests_total", op=op).inc()
-        m.histogram("service_request_seconds", op=op).observe(seconds)
+        m.histogram(
+            "service_request_seconds", bounds=LATENCY_BUCKETS, op=op
+        ).observe(seconds)
         if not ok:
             m.counter(
                 "service_errors_total", op=op, code=code or "error"

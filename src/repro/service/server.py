@@ -19,6 +19,13 @@ therefore the store, the cache, and all counters) is shared across
 client threads; passing ``port=0`` binds an ephemeral port, readable
 back from ``address``.
 
+Per-tenant admission quotas (``quotas=``, :mod:`repro.service.quota`)
+shed requests from tenants past their token-bucket rate with a cached
+structured ``quota_exceeded`` response before any engine work happens,
+through the same counter-tagged :class:`~repro.service.quota.ShedLedger`
+path the asyncio front door uses (``service_*`` prefix here,
+``service_async_*`` there).
+
 :meth:`AnalyticsServer.stop` drains: it stops accepting, then waits
 (bounded) for requests already executing in handler threads to finish
 writing their responses before releasing the socket — a client never
@@ -41,6 +48,7 @@ from .engine import QueryEngine
 from .protocol import dispatch as _dispatch  # noqa: F401  (compat export)
 from .protocol import dispatch_line
 from .protocol import protocol_error as _protocol_error  # noqa: F401
+from .quota import ShedLedger, TenantQuotas, extract_tenant
 from .session import InProcessClient, ServiceClient  # noqa: F401
 
 __all__ = ["AnalyticsServer", "InProcessClient", "ServiceClient"]
@@ -54,6 +62,13 @@ class _QueryHandler(socketserver.StreamRequestHandler):
         for raw in self.rfile:
             raw = raw.strip()
             if not raw:
+                continue
+            shed = server._quota_shed(raw)  # type: ignore[attr-defined]
+            if shed is not None:
+                # quota'd tenant: answer from the cached line without
+                # touching the engine or the in-flight accounting
+                self.wfile.write(shed + b"\n")
+                self.wfile.flush()
                 continue
             server._begin_request()  # type: ignore[attr-defined]
             try:
@@ -77,12 +92,34 @@ class AnalyticsServer(socketserver.ThreadingTCPServer):
         engine: QueryEngine | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        quotas: "TenantQuotas | dict | None" = None,
     ) -> None:
         self.engine = engine if engine is not None else QueryEngine()
         self._thread: threading.Thread | None = None
         self._inflight = 0
         self._inflight_lock = threading.Condition()
+        self.quotas = TenantQuotas.coerce(quotas)
+        self._ledger = ShedLedger(self.engine.obs_metrics, "service")
+        if self.quotas is not None:
+            for tenant in self.quotas.tenants:
+                self._ledger.quota_line(tenant)
         super().__init__((host, port), _QueryHandler)
+
+    def _quota_shed(self, raw: bytes) -> bytes | None:
+        """Cached ``quota_exceeded`` line if ``raw`` must shed, else None.
+
+        The same counter-tagged path the async front door uses
+        (:class:`~repro.service.quota.ShedLedger`), under the
+        ``service_*`` prefix.
+        """
+        if self.quotas is None:
+            return None
+        tenant = extract_tenant(raw)
+        if self.quotas.admit(tenant):
+            self._ledger.admitted(tenant)
+            return None
+        self._ledger.shed("quota", tenant)
+        return self._ledger.quota_line(tenant)
 
     @property
     def address(self) -> tuple[str, int]:

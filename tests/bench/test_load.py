@@ -1,0 +1,374 @@
+"""Load harness: determinism, traces, CO-correct loops, SLO gates."""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+
+import pytest
+
+from repro.bench.load import (
+    DEFAULT_MIX,
+    OP_KINDS,
+    LoadReport,
+    OpResult,
+    SLOGate,
+    TenantSpec,
+    WorkloadGenerator,
+    WorkloadSpec,
+    ZipfKeys,
+    read_trace,
+    run_workload,
+    write_trace,
+)
+from repro.bench.load.runner import RunResult
+from repro.service import AsyncAnalyticsServer, QueryEngine
+
+
+def _spec(**overrides) -> WorkloadSpec:
+    defaults = dict(
+        tenants=(
+            TenantSpec("alpha", rps=120.0),
+            TenantSpec("beta", rps=60.0, mix={"s_degree": 1.0}),
+        ),
+        duration_s=1.0,
+        seed=42,
+        num_keys=32,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestWorkloadGenerator:
+    def test_schedule_is_deterministic(self):
+        ops1 = WorkloadGenerator(_spec()).schedule()
+        ops2 = WorkloadGenerator(_spec()).schedule()
+        assert [(o.t, o.tenant, o.payload) for o in ops1] == [
+            (o.t, o.tenant, o.payload) for o in ops2
+        ]
+        assert len(ops1) > 50  # ~180 rps over 1s
+
+    def test_different_seeds_differ(self):
+        ops1 = WorkloadGenerator(_spec(seed=1)).schedule()
+        ops2 = WorkloadGenerator(_spec(seed=2)).schedule()
+        assert [o.payload for o in ops1] != [o.payload for o in ops2]
+
+    def test_adding_a_tenant_never_perturbs_another(self):
+        solo = WorkloadGenerator(
+            _spec(tenants=(TenantSpec("alpha", rps=120.0),))
+        ).schedule()
+        both = WorkloadGenerator(_spec()).schedule()
+        alpha_solo = [(o.t, o.payload) for o in solo]
+        alpha_both = [
+            (o.t, o.payload) for o in both if o.tenant == "alpha"
+        ]
+        assert alpha_solo == alpha_both
+
+    def test_schedule_is_time_sorted_within_duration(self):
+        ops = WorkloadGenerator(_spec()).schedule()
+        times = [o.t for o in ops]
+        assert times == sorted(times)
+        assert 0.0 < times[0] and times[-1] < 1.0
+
+    def test_payloads_are_well_formed(self):
+        spec = _spec()
+        ops = WorkloadGenerator(spec).schedule()
+        kinds = Counter()
+        for op in ops:
+            payload = op.payload
+            kinds[payload["op"]] += 1
+            assert payload["op"] in OP_KINDS
+            assert payload["tenant"] == op.tenant
+            assert payload["dataset"] == "load"
+            if payload["op"] in ("s_degree", "s_neighbors"):
+                assert 0 <= payload["v"] < spec.num_keys
+            elif payload["op"] == "s_distance":
+                assert payload["src"] != payload["dst"]
+            elif payload["op"] == "update":
+                for rec in payload["ops"]:
+                    assert rec["op"] == "add_edge"
+                    assert len(rec["members"]) >= 2
+        # the default mix actually emits the read-mostly spread
+        assert kinds["s_degree"] > kinds["s_connected_components"]
+
+    def test_stream_is_infinite_and_salted(self):
+        spec = _spec()
+        gen = WorkloadGenerator(spec)
+        tenant = spec.tenants[0]
+        first = [next(gen.stream(tenant, salt=0)) for _ in range(20)]
+        again = [next(gen.stream(tenant, salt=0)) for _ in range(20)]
+        other = [next(gen.stream(tenant, salt=1)) for _ in range(20)]
+        assert first == again
+        assert first != other
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(tenants=())
+        with pytest.raises(ValueError):
+            _spec(tenants=(TenantSpec("a"), TenantSpec("a")))
+        with pytest.raises(ValueError):
+            TenantSpec("a", rps=0)
+        with pytest.raises(ValueError):
+            TenantSpec("a", mix={"not_an_op": 1.0})
+        with pytest.raises(ValueError):
+            _spec(duration_s=0)
+
+    def test_default_mix_is_normalized(self):
+        assert sum(DEFAULT_MIX.values()) == pytest.approx(1.0)
+
+
+class TestZipfKeys:
+    def test_skew_concentrates_on_low_ranks(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        keys = ZipfKeys(100, theta=1.2)
+        draws = Counter(keys.draw(rng) for _ in range(5000))
+        # rank 0 must dominate and the tail must still be reachable
+        assert draws[0] > draws.get(50, 0) * 5
+        assert max(draws) < 100
+
+    def test_theta_zero_is_uniform(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        keys = ZipfKeys(10, theta=0.0)
+        draws = Counter(keys.draw(rng) for _ in range(10000))
+        assert min(draws.values()) > 700  # ~1000 each, generous margin
+
+
+class TestTraceFiles:
+    def test_roundtrip_and_byte_determinism(self, tmp_path):
+        spec = _spec()
+        ops = WorkloadGenerator(spec).schedule()
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert write_trace(p1, ops, spec) == len(ops)
+        write_trace(p2, WorkloadGenerator(spec).schedule(), spec)
+        assert p1.read_bytes() == p2.read_bytes()
+        header, back = read_trace(p1)
+        assert header["ops"] == len(ops)
+        assert header["spec"]["seed"] == spec.seed
+        assert [(o.t, o.tenant, o.payload) for o in back] == [
+            (o.t, o.tenant, o.payload) for o in ops
+        ]
+
+    def test_read_rejects_non_trace(self, tmp_path):
+        bogus = tmp_path / "x.jsonl"
+        bogus.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a"):
+            read_trace(bogus)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(empty)
+
+
+def _result(tenant="t", kind="s_degree", ok=True, code=None,
+            latency_s=0.001) -> OpResult:
+    return OpResult(
+        tenant=tenant, kind=kind, ok=ok, code=code,
+        latency_s=latency_s, service_s=latency_s, intended_t=0.0,
+    )
+
+
+def _run_result(rows, duration_s=1.0) -> RunResult:
+    return RunResult(mode="open", duration_s=duration_s, results=rows)
+
+
+class TestSLOGates:
+    def test_max_and_min_bounds(self):
+        rows = [_result(latency_s=0.005) for _ in range(100)]
+        report = LoadReport(_run_result(rows))
+        assert report.passes([SLOGate("p99_ms", max=50.0)])
+        assert not report.passes([SLOGate("p99_ms", max=0.001)])
+        assert report.passes([SLOGate("rps", min=50.0)])
+        assert not report.passes([SLOGate("rps", min=1000.0)])
+
+    def test_tenant_scoped_gate(self):
+        rows = [_result(tenant="quiet", latency_s=0.001)] * 10 + [
+            _result(tenant="noisy", latency_s=0.5)
+        ] * 10
+        report = LoadReport(_run_result(rows))
+        gates = [SLOGate("p99_ms", max=10.0, tenant="quiet")]
+        results = report.evaluate(gates)
+        assert results[0].ok
+        assert not report.passes([SLOGate("p99_ms", max=10.0)])
+        assert "quiet.p99_ms" in results[0].describe()
+
+    def test_shed_separate_from_errors(self):
+        rows = (
+            [_result()] * 6
+            + [_result(ok=False, code="quota_exceeded")] * 3
+            + [_result(ok=False, code="invalid_argument")]
+        )
+        panel = LoadReport(_run_result(rows)).panel()
+        assert panel["shed"] == 3
+        assert panel["errors"] == 1
+        assert panel["shed_rate"] == pytest.approx(0.3)
+        assert panel["error_rate"] == pytest.approx(0.1)
+        assert panel["goodput_rps"] == pytest.approx(6.0)
+
+    def test_gate_validation_and_dict_roundtrip(self):
+        with pytest.raises(ValueError):
+            SLOGate("not_a_metric", max=1)
+        with pytest.raises(ValueError):
+            SLOGate("p99_ms")  # no bound at all
+        gate = SLOGate.from_dict(
+            {"metric": "error_rate", "max": 0, "tenant": "a"}
+        )
+        assert gate.as_dict() == {
+            "metric": "error_rate", "max": 0, "tenant": "a"
+        }
+
+    def test_report_as_dict_is_json_safe(self):
+        rows = [_result(), _result(tenant="u", ok=False, code="overloaded")]
+        doc = LoadReport(_run_result(rows)).as_dict(
+            [{"metric": "p50_ms", "max": 100}]
+        )
+        json.dumps(doc)
+        assert set(doc["tenants"]) == {"t", "u"}
+        assert doc["gates"][0]["ok"] is True
+        assert doc["gates_ok"] is True
+
+
+@pytest.fixture()
+def load_engine():
+    # s-metric keys are hyperedge ids, so the resident graph needs at
+    # least num_keys hyperedges (the paper fixture has only 4)
+    from repro.io.generators import uniform_random_hypergraph
+
+    engine = QueryEngine()
+    engine.store.register(
+        "load", uniform_random_hypergraph(64, 48, 3, seed=1)
+    )
+    yield engine
+    engine.close()
+
+
+def _slow_engine(engine: QueryEngine, delay_s: float) -> QueryEngine:
+    real_execute = engine.execute
+
+    def slow_execute(payload):
+        time.sleep(delay_s)
+        return real_execute(payload)
+
+    engine.execute = slow_execute  # type: ignore[method-assign]
+    return engine
+
+
+class TestLoopModes:
+    """Open loop counts stalls against the server; closed loop cannot."""
+
+    DELAY_S = 0.03
+
+    def _spec(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            tenants=(
+                TenantSpec(
+                    "t", rps=60.0, connections=1, mix={"s_degree": 1.0},
+                    datasets=("load",),
+                ),
+            ),
+            duration_s=0.8,
+            seed=3,
+            num_keys=8,
+        )
+
+    def test_open_loop_sees_coordinated_omission(self, load_engine):
+        # one worker, 30ms service, 60 rps offered: the queue grows, and
+        # intended-start latencies must absorb the backlog the server
+        # actually caused
+        engine = _slow_engine(load_engine, self.DELAY_S)
+        with AsyncAnalyticsServer(engine, max_inflight=1) as server:
+            run = run_workload(server.address, self._spec(), mode="open")
+        assert not run.transport_errors
+        assert len(run.results) > 10
+        tail = max(r.latency_s for r in run.results)
+        # the last intended arrival waited for most of the backlog;
+        # service time alone never explains it
+        assert tail > 4 * self.DELAY_S
+        mean_gap = sum(
+            r.latency_s - r.service_s for r in run.results
+        ) / len(run.results)
+        assert mean_gap > 0.0
+
+    def test_closed_loop_latency_stays_near_service_time(self, load_engine):
+        engine = _slow_engine(load_engine, self.DELAY_S)
+        with AsyncAnalyticsServer(engine, max_inflight=1) as server:
+            run = run_workload(server.address, self._spec(), mode="closed")
+        assert not run.transport_errors
+        assert len(run.results) > 5
+        # send-wait-send: the one worker never queues behind itself, so
+        # every latency is about one service time
+        assert max(r.latency_s for r in run.results) < 4 * self.DELAY_S
+        for r in run.results:
+            assert r.latency_s == r.service_s
+
+    def test_unknown_mode_rejected(self, load_engine):
+        with AsyncAnalyticsServer(load_engine) as server:
+            with pytest.raises(ValueError, match="unknown mode"):
+                run_workload(server.address, self._spec(), mode="sideways")
+
+
+class TestNoisyNeighbor:
+    def test_quiet_tenant_never_shed_beside_bursty(self, load_engine):
+        # quiet offers well under its means; bursty offers ~10x its
+        # quota: isolation means every quiet op is admitted while the
+        # bursty overflow is shed at the door
+        spec = WorkloadSpec(
+            tenants=(
+                TenantSpec("quiet", rps=40.0, mix={"s_degree": 1.0},
+                           datasets=("load",)),
+                TenantSpec("bursty", rps=300.0, connections=2,
+                           mix={"s_degree": 1.0}, datasets=("load",)),
+            ),
+            duration_s=0.8,
+            seed=13,
+            num_keys=16,
+        )
+        quotas = {"bursty": {"rate": 25.0, "burst": 25.0}}
+        with AsyncAnalyticsServer(load_engine, quotas=quotas) as server:
+            run = run_workload(server.address, spec, mode="open")
+        report = LoadReport(run)
+        quiet, bursty = report.panel("quiet"), report.panel("bursty")
+        assert quiet["shed"] == 0 and quiet["errors"] == 0
+        assert bursty["shed"] > 0
+        gates = [
+            SLOGate("shed_rate", max=0.0, tenant="quiet"),
+            SLOGate("shed_rate", min=0.3, tenant="bursty"),
+        ]
+        assert report.passes(gates)
+        counters = report.server_panel()["counters"]
+        assert "service_async_tenant_shed_total{tenant=quiet}" not in counters
+        assert counters[
+            "service_async_tenant_shed_total{tenant=bursty}"
+        ] == bursty["shed"]
+
+
+class TestEndToEndPanels:
+    def test_server_panel_reports_quota_sheds(self, load_engine):
+        spec = WorkloadSpec(
+            tenants=(
+                TenantSpec("bursty", rps=150.0, mix={"s_degree": 1.0},
+                           datasets=("load",)),
+            ),
+            duration_s=0.6,
+            seed=5,
+            num_keys=8,
+        )
+        quotas = {"bursty": {"rate": 10.0, "burst": 5.0}}
+        with AsyncAnalyticsServer(load_engine, quotas=quotas) as server:
+            run = run_workload(server.address, spec, mode="open")
+        report = LoadReport(run)
+        panel = report.panel("bursty")
+        assert panel["shed"] > 0
+        assert panel["errors"] == 0
+        server_panel = report.server_panel()
+        sheds = server_panel["counters"].get(
+            "service_async_tenant_shed_total{tenant=bursty}"
+        )
+        assert sheds == panel["shed"]  # client and server books agree
+        assert "cache" in server_panel
+        text = report.format_text()
+        assert "bursty" in text and "p99_ms" in text

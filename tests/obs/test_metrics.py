@@ -83,6 +83,64 @@ class TestHistogram:
         assert DEFAULT_BUCKETS[0] == 0.005 and DEFAULT_BUCKETS[-1] == 10.0
 
 
+class TestHistogramQuantile:
+    def test_empty_histogram_is_zero(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.quantile(0.5) == 0.0
+
+    def test_single_bucket_interpolates_from_zero(self):
+        h = MetricsRegistry().histogram("lat", bounds=(1.0, 2.0))
+        h.observe(0.5)
+        # one observation in (0, 1]: the median interpolates inside it
+        assert 0.0 < h.quantile(0.5) <= 1.0
+
+    def test_interpolation_between_bounds(self):
+        h = MetricsRegistry().histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for _ in range(50):
+            h.observe(1.5)  # all 50 land in (1, 2]
+        # every quantile lives inside the (1, 2] bucket, linearly
+        assert 1.0 < h.quantile(0.01) < h.quantile(0.99) <= 2.0
+        assert h.quantile(0.5) == pytest.approx(1.5, abs=0.51)
+
+    def test_overflow_clamps_to_last_bound(self):
+        h = MetricsRegistry().histogram("lat", bounds=(1.0, 2.0))
+        h.observe(99.0)  # +Inf bucket only
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantiles_are_monotone_in_q(self):
+        from repro.obs.metrics import LATENCY_BUCKETS
+
+        h = MetricsRegistry().histogram("lat", bounds=LATENCY_BUCKETS)
+        for i in range(1, 1001):
+            h.observe(i / 1000.0)  # uniform on (0, 1]
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 0.999)]
+        assert qs == sorted(qs)
+        # uniform data: the estimator must land near the true quantile
+        assert h.quantile(0.5) == pytest.approx(0.5, rel=0.35)
+        assert h.quantile(0.99) == pytest.approx(0.99, rel=0.35)
+
+    def test_out_of_range_q_clamps(self):
+        h = MetricsRegistry().histogram("lat", bounds=(1.0,))
+        h.observe(0.5)
+        assert h.quantile(-3) <= h.quantile(0.0) <= h.quantile(2.0)
+
+    def test_latency_buckets_resolve_millisecond_tails(self):
+        from repro.obs.metrics import LATENCY_BUCKETS
+
+        # log-spaced from 100us to 10s: a 1ms p99 and a 100ms p99 must
+        # be distinguishable (the old linear defaults collapsed both
+        # into the first bucket)
+        h_fast = MetricsRegistry().histogram("f", bounds=LATENCY_BUCKETS)
+        h_slow = MetricsRegistry().histogram("s", bounds=LATENCY_BUCKETS)
+        for _ in range(100):
+            h_fast.observe(0.001)
+            h_slow.observe(0.1)
+        assert h_fast.quantile(0.99) < 0.01 < h_slow.quantile(0.99)
+
+    def test_null_instrument_quantile(self):
+        assert NULL_METRICS.histogram("x").quantile(0.99) == 0.0
+
+
 class TestRegistry:
     def test_snapshot_is_json_safe(self):
         import json

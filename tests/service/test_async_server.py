@@ -206,3 +206,37 @@ class TestLifecycle:
                 return
             time.sleep(0.05)
         pytest.fail("connection gauge never returned to 0")
+
+    def test_abrupt_disconnect_is_not_a_server_error(self, server, caplog):
+        """A client slamming the door (RST) mid-pipeline is routine.
+
+        Load generators and flaky clients vanish with responses still in
+        flight; the reader's ConnectionResetError must be swallowed by
+        the connection teardown, not logged by asyncio as an unhandled
+        client_connected_cb exception.
+        """
+        import logging
+        import struct
+
+        host, port = server.address
+        line = json.dumps(
+            {"op": "s_degree", "dataset": "paper", "s": 1, "v": 0}
+        ).encode() + b"\n"
+        with caplog.at_level(logging.ERROR, logger="asyncio"):
+            for _ in range(3):
+                sock = socket.create_connection((host, port), timeout=10)
+                # SO_LINGER(onoff=1, linger=0) turns close() into a RST
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                sock.sendall(line * 100)
+                sock.close()
+            time.sleep(0.3)  # let the teardown (and any logging) happen
+        assert not [
+            r for r in caplog.records if "client_connected_cb" in r.message
+        ]
+        # and the server still serves
+        with SocketSession(host, port) as session:
+            resp = session.query("s_degree", dataset="paper", s=1, v=0)
+        assert resp["ok"]
