@@ -124,6 +124,30 @@ def _split_by_connection(
     return per_conn
 
 
+def _open_sessions(
+    keys, address: tuple[str, int], timeout: float
+) -> dict:
+    """One connected :class:`SocketSession` per key.
+
+    When the Nth connect fails, the N-1 sessions already opened are
+    closed before the error propagates — a half-built connection pool
+    must not leak sockets.
+    """
+    sessions: dict = {}
+    ok = False
+    try:
+        for key in keys:
+            sessions[key] = SocketSession(
+                *address, timeout=timeout, strict=False
+            )
+        ok = True
+    finally:
+        if not ok:
+            for session in sessions.values():
+                session.close()
+    return sessions
+
+
 def run_open_loop(
     address: tuple[str, int],
     trace: list[TraceOp],
@@ -143,10 +167,7 @@ def run_open_loop(
     if not trace:
         raise ValueError("empty trace")
     per_conn = _split_by_connection(trace, connections)
-    sessions = {
-        key: SocketSession(*address, timeout=timeout, strict=False)
-        for key in per_conn
-    }
+    sessions = _open_sessions(per_conn, address, timeout)
     results: list[OpResult] = []
     errors: list[str] = []
     lock = threading.Lock()
@@ -203,24 +224,30 @@ def run_open_loop(
             with lock:
                 results.append(row)
 
-    threads = []
-    for key in per_conn:
-        sent: deque = deque()
-        threads.append(
-            threading.Thread(target=sender, args=(key, sent), daemon=True)
-        )
-        threads.append(
-            threading.Thread(target=receiver, args=(key, sent), daemon=True)
-        )
-    for t in threads:
-        t.start()
-    t0_box.append(time.perf_counter())
-    start_barrier.wait()  # releases every sender/receiver at once
-    for t in threads:
-        t.join(timeout=timeout + max(op.t for op in trace) + 5.0)
-    wall = time.perf_counter() - t0_box[0]
-    for session in sessions.values():
-        session.close()
+    try:
+        threads = []
+        for key in per_conn:
+            sent: deque = deque()
+            threads.append(
+                threading.Thread(target=sender, args=(key, sent), daemon=True)
+            )
+            threads.append(
+                threading.Thread(
+                    target=receiver, args=(key, sent), daemon=True
+                )
+            )
+        for t in threads:
+            t.start()
+        t0_box.append(time.perf_counter())
+        start_barrier.wait()  # releases every sender/receiver at once
+        for t in threads:
+            t.join(timeout=timeout + max(op.t for op in trace) + 5.0)
+        wall = time.perf_counter() - t0_box[0]
+    finally:
+        # every exit path — including a broken barrier or an interrupt
+        # while joining — must release the connection pool
+        for session in sessions.values():
+            session.close()
     metrics_after = (
         _metrics_snapshot(address, timeout) if collect_metrics else None
     )
@@ -269,10 +296,12 @@ def run_closed_loop(
                 errors.append(f"connect {tenant.name}/{conn}: {exc}")
             start_barrier.wait()
             return
-        start_barrier.wait()
-        t0 = t0_box[0]
-        deadline = t0 + spec.duration_s
         try:
+            # inside try/finally from the moment the socket exists: a
+            # broken barrier must not leak the connection
+            start_barrier.wait()
+            t0 = t0_box[0]
+            deadline = t0 + spec.duration_s
             while time.perf_counter() < deadline:
                 payload = next(stream)
                 sent = time.perf_counter()

@@ -1,34 +1,101 @@
 """Driver for the static invariant lint pass.
 
-Parses Python sources, runs every :class:`~repro.check.rules.LintRule`
-over the AST, and applies ``# repro: noqa`` suppressions:
+Parses Python sources, runs every per-module
+:class:`~repro.check.rules.LintRule` over each AST, then every
+cross-file :class:`~repro.check.rules.TreeRule` over the whole parsed
+tree, and applies ``# repro: noqa`` suppressions:
 
 * ``# repro: noqa`` on a line suppresses every rule on that line;
 * ``# repro: noqa-R002`` (or ``noqa-R002,R005``) suppresses only the
   listed rules;
 * a suppression on a ``def``/``class`` line covers the whole body —
-  the idiom for helpers whose caller holds the lock.
+  the idiom for helpers whose caller holds the lock;
+* text after the code (``noqa-R002 — every caller holds the lock``) is
+  the suppression's justification, surfaced by
+  ``repro check --list-suppressions``.
 
 Suppressed findings are kept (flagged ``suppressed=True``) so CI can
-audit the suppression inventory, but they never fail a run.
+audit the suppression inventory, but they never fail a run.  Every
+noqa comment is additionally tracked as a :class:`Suppression` with a
+``used`` flag — a comment that suppresses nothing is stale and shows
+up as such in the listing.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import os
+import tokenize
 import re
 from dataclasses import dataclass, field
 
 from .findings import Finding
-from .rules import ALL_RULES, LintRule, ModuleContext
+from .registry import ALL_RULES, split_rules
+from .rules import ModuleContext, TreeContext
 
-__all__ = ["LintReport", "lint_source", "lint_paths", "select_rules"]
+__all__ = [
+    "LintReport",
+    "Suppression",
+    "lint_source",
+    "lint_paths",
+    "parse_tree",
+    "select_rules",
+]
 
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:-(?P<codes>R\d{3}(?:\s*,\s*R?\d{3})*))?",
+    r"#\s*repro:\s*noqa"
+    r"(?:-(?P<codes>R\d{3}(?:\s*,\s*R?\d{3})*))?"
+    r"(?:\s*(?:—|–|--|-|:)\s*(?P<why>.*))?",
     re.IGNORECASE,
 )
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: noqa`` comment and whether it fired."""
+
+    path: str
+    line: int
+    codes: tuple[str, ...] | None  # None means 'all rules'
+    justification: str
+    used: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "codes": None if self.codes is None else list(self.codes),
+            "justification": self.justification,
+            "used": self.used,
+        }
+
+
+class _Noqa:
+    """Mutable per-comment state shared by line and block spans."""
+
+    __slots__ = ("codes", "justification", "used", "line")
+
+    def __init__(
+        self,
+        line: int,
+        codes: frozenset[str] | None,
+        justification: str,
+    ) -> None:
+        self.line = line
+        self.codes = codes
+        self.justification = justification
+        self.used = False
+
+    def matches(self, rule: str) -> bool:
+        return self.codes is None or rule in self.codes
+
+
+@dataclass
+class _ModuleInfo:
+    ctx: ModuleContext
+    noqa: dict[int, _Noqa]
+    spans: list[tuple[int, int, _Noqa]]
 
 
 @dataclass
@@ -38,6 +105,7 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     paths: list[str] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
 
     @property
     def active(self) -> list[Finding]:
@@ -48,6 +116,10 @@ class LintReport:
         return [f for f in self.findings if f.suppressed]
 
     @property
+    def stale_suppressions(self) -> list[Suppression]:
+        return [s for s in self.suppressions if not s.used]
+
+    @property
     def ok(self) -> bool:
         return not self.active and not self.errors
 
@@ -55,9 +127,10 @@ class LintReport:
         self.findings.extend(other.findings)
         self.paths.extend(other.paths)
         self.errors.extend(other.errors)
+        self.suppressions.extend(other.suppressions)
 
 
-def select_rules(codes: list[str] | None) -> list[LintRule]:
+def select_rules(codes: list[str] | None) -> list:
     """Resolve ``--rules`` codes to rule objects (all rules when None)."""
     if not codes:
         return list(ALL_RULES)
@@ -72,30 +145,43 @@ def select_rules(codes: list[str] | None) -> list[LintRule]:
     return [by_code[c] for c in sorted(wanted)]
 
 
-def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
-    """Line -> suppressed codes (None means 'all rules')."""
-    out: dict[int, frozenset[str] | None] = {}
-    for i, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
+def _noqa_map(source: str) -> dict[int, _Noqa]:
+    """Line -> noqa comment state, from real COMMENT tokens only.
+
+    Tokenizing (rather than regex over raw lines) keeps ``repro:
+    noqa`` *mentions* inside docstrings and string literals — this
+    file has several — from registering as suppressions.
+    """
+    out: dict[int, _Noqa] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _NOQA_RE.search(tok.string)
         if not m:
             continue
+        line = tok.start[0]
         codes = m.group("codes")
+        why = (m.group("why") or "").strip()
         if codes is None:
-            out[i] = None
+            out[line] = _Noqa(line, None, why)
         else:
             normalized = frozenset(
                 c if c.upper().startswith("R") else f"R{c}"
                 for c in (p.strip().upper() for p in codes.split(","))
             )
-            out[i] = normalized
+            out[line] = _Noqa(line, normalized, why)
     return out
 
 
 def _block_ranges(
-    tree: ast.Module, noqa: dict[int, frozenset[str] | None]
-) -> list[tuple[int, int, frozenset[str] | None]]:
-    """(start, end, codes) spans for noqa comments on def/class lines."""
-    spans: list[tuple[int, int, frozenset[str] | None]] = []
+    tree: ast.Module, noqa: dict[int, _Noqa]
+) -> list[tuple[int, int, _Noqa]]:
+    """(start, end, noqa) spans for comments on def/class lines."""
+    spans: list[tuple[int, int, _Noqa]] = []
     for node in ast.walk(tree):
         if not isinstance(
             node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
@@ -112,43 +198,85 @@ def _block_ranges(
     return spans
 
 
-def _is_suppressed(
-    finding: Finding,
-    noqa: dict[int, frozenset[str] | None],
-    spans: list[tuple[int, int, frozenset[str] | None]],
-) -> bool:
-    codes = noqa.get(finding.line, "missing")
-    if codes != "missing" and (codes is None or finding.rule in codes):
-        return True
-    for start, end, span_codes in spans:
-        if start <= finding.line <= end and (
-            span_codes is None or finding.rule in span_codes
-        ):
-            return True
-    return False
+def _suppressing_noqa(finding: Finding, info: _ModuleInfo) -> _Noqa | None:
+    entry = info.noqa.get(finding.line)
+    if entry is not None and entry.matches(finding.rule):
+        return entry
+    for start, end, span_entry in info.spans:
+        if start <= finding.line <= end and span_entry.matches(finding.rule):
+            return span_entry
+    return None
+
+
+def _apply_suppression(finding: Finding, info: _ModuleInfo | None) -> None:
+    if info is None:
+        finding.suppressed = False
+        return
+    entry = _suppressing_noqa(finding, info)
+    if entry is None:
+        finding.suppressed = False
+        return
+    finding.suppressed = True
+    entry.used = True
+    if entry.justification:
+        finding.extra.setdefault("justification", entry.justification)
+
+
+def _parse_module(
+    source: str, path: str, relpath: str | None
+) -> _ModuleInfo | str:
+    """Parse one module; an error message string on syntax errors."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return f"{path}: syntax error: {exc.msg} (line {exc.lineno})"
+    ctx = ModuleContext(tree, path, relpath if relpath is not None else path)
+    noqa = _noqa_map(source)
+    spans = _block_ranges(tree, noqa) if noqa else []
+    return _ModuleInfo(ctx, noqa, spans)
+
+
+def _suppressions_of(info: _ModuleInfo) -> list[Suppression]:
+    return [
+        Suppression(
+            path=info.ctx.path,
+            line=entry.line,
+            codes=None if entry.codes is None else tuple(sorted(entry.codes)),
+            justification=entry.justification,
+            used=entry.used,
+        )
+        for line, entry in sorted(info.noqa.items())
+    ]
 
 
 def lint_source(
     source: str,
     path: str,
     relpath: str | None = None,
-    rules: list[LintRule] | None = None,
+    rules: list | None = None,
 ) -> LintReport:
-    """Lint one module's source text."""
+    """Lint one module's source text (tree rules see a one-file tree)."""
     report = LintReport(paths=[path])
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        report.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+    parsed = _parse_module(source, path, relpath)
+    if isinstance(parsed, str):
+        report.errors.append(parsed)
         return report
-    ctx = ModuleContext(tree, path, relpath if relpath is not None else path)
-    noqa = _noqa_map(source)
-    spans = _block_ranges(tree, noqa) if noqa else []
-    for rule in rules if rules is not None else ALL_RULES:
-        for finding in rule.check(ctx):
-            finding.suppressed = _is_suppressed(finding, noqa, spans)
+    module_rules, tree_rules = split_rules(rules)
+    for rule in module_rules:
+        for finding in rule.check(parsed.ctx):
+            _apply_suppression(finding, parsed)
             report.findings.append(finding)
+    if tree_rules:
+        tree = TreeContext([parsed.ctx])
+        for rule in tree_rules:
+            for finding in rule.check(tree):
+                _apply_suppression(
+                    finding,
+                    parsed if finding.path == parsed.ctx.path else None,
+                )
+                report.findings.append(finding)
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.suppressions.extend(_suppressions_of(parsed))
     return report
 
 
@@ -171,36 +299,78 @@ def _iter_py_files(paths: list[str]) -> list[str]:
     return files
 
 
+def _load_modules(
+    paths: list[str],
+) -> tuple[list[_ModuleInfo], list[str], int]:
+    infos: list[_ModuleInfo] = []
+    errors: list[str] = []
+    files = 0
+    for filename in _iter_py_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            errors.append(f"{filename}: {exc}")
+            continue
+        files += 1
+        parsed = _parse_module(source, filename, os.path.relpath(filename))
+        if isinstance(parsed, str):
+            errors.append(parsed)
+        else:
+            infos.append(parsed)
+    return infos, errors, files
+
+
+def parse_tree(paths: list[str]) -> tuple[TreeContext, list[str]]:
+    """Parse every module under ``paths`` into a :class:`TreeContext`.
+
+    The entry point for read-only tree consumers (the CI conformance
+    summary); lint rules are not run.
+    """
+    infos, errors, _ = _load_modules(paths)
+    return TreeContext([info.ctx for info in infos]), errors
+
+
 def lint_paths(
     paths: list[str],
-    rules: list[LintRule] | None = None,
+    rules: list | None = None,
     metrics=None,
     tracer=None,
 ) -> LintReport:
     """Lint every ``.py`` file under ``paths`` (files or directories).
 
-    Emits ``check.lint.files`` / ``check.lint.findings`` counters and a
-    ``check.lint`` span through :mod:`repro.obs` when instrumentation is
-    supplied.
+    Per-module rules run file by file; tree rules run once over the
+    whole parsed tree, and their findings inherit the noqa map of the
+    file each finding lands on.  Emits ``check.lint.files`` /
+    ``check.lint.findings`` counters and a ``check.lint`` span through
+    :mod:`repro.obs` when instrumentation is supplied.
     """
     from ..obs import as_metrics, as_tracer
 
     metrics = as_metrics(metrics)
     tracer = as_tracer(tracer)
+    module_rules, tree_rules = split_rules(rules)
     report = LintReport()
     with tracer.span("check.lint", paths=len(paths)):
-        for filename in _iter_py_files(paths):
-            try:
-                with open(filename, "r", encoding="utf-8") as fh:
-                    source = fh.read()
-            except OSError as exc:
-                report.errors.append(f"{filename}: {exc}")
-                continue
-            relpath = os.path.relpath(filename)
-            report.extend(
-                lint_source(source, filename, relpath=relpath, rules=rules)
-            )
+        infos, errors, files = _load_modules(paths)
+        report.errors.extend(errors)
+        for info in infos:
+            report.paths.append(info.ctx.path)
+            for rule in module_rules:
+                for finding in rule.check(info.ctx):
+                    _apply_suppression(finding, info)
+                    report.findings.append(finding)
             metrics.counter("check.lint.files").inc()
+        if tree_rules and infos:
+            by_path = {info.ctx.path: info for info in infos}
+            tree = TreeContext([info.ctx for info in infos])
+            for rule in tree_rules:
+                for finding in rule.check(tree):
+                    _apply_suppression(finding, by_path.get(finding.path))
+                    report.findings.append(finding)
+        for info in infos:
+            report.suppressions.extend(_suppressions_of(info))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     metrics.counter("check.lint.findings").inc(len(report.active))
     metrics.counter("check.lint.suppressed").inc(len(report.suppressed))
     return report

@@ -1,0 +1,43 @@
+"""The rule registry: every lint rule the driver knows about.
+
+Split by how a rule runs:
+
+* :data:`MODULE_RULES` — per-module rules; each sees one parsed file
+  (:class:`~repro.check.rules.ModuleContext`).  R001–R005 are the
+  first-generation invariants, R101–R102 the async-safety family,
+  R201 the resource-lifecycle family.
+* :data:`TREE_RULES` — cross-file rules; each sees every parsed module
+  of the run at once (:class:`~repro.check.rules.TreeContext`).
+  R301–R304 are the protocol-conformance family.
+
+:data:`ALL_RULES` is the flat registry ``repro check --rules`` resolves
+against.
+"""
+
+from __future__ import annotations
+
+from .asyncrules import ASYNC_RULES
+from .lifecycle import LIFECYCLE_RULES
+from .protocol_conformance import CONFORMANCE_RULES
+from .rules import CORE_RULES, LintRule, TreeRule
+
+__all__ = ["ALL_RULES", "MODULE_RULES", "TREE_RULES", "split_rules"]
+
+MODULE_RULES: tuple[LintRule, ...] = (
+    CORE_RULES + ASYNC_RULES + LIFECYCLE_RULES
+)
+
+TREE_RULES: tuple[TreeRule, ...] = CONFORMANCE_RULES
+
+ALL_RULES: tuple[object, ...] = MODULE_RULES + TREE_RULES
+
+
+def split_rules(
+    rules: list | tuple | None,
+) -> tuple[list[LintRule], list[TreeRule]]:
+    """Partition a mixed rule selection into (module, tree) rules."""
+    if rules is None:
+        return list(MODULE_RULES), list(TREE_RULES)
+    module_rules = [r for r in rules if not isinstance(r, TreeRule)]
+    tree_rules = [r for r in rules if isinstance(r, TreeRule)]
+    return module_rules, tree_rules

@@ -11,9 +11,15 @@ import json
 
 from .findings import Finding
 from .lint import LintReport
-from .rules import ALL_RULES
+from .registry import ALL_RULES
 
-__all__ = ["render_text", "render_json", "summary_line"]
+__all__ = [
+    "render_conformance_table",
+    "render_suppressions",
+    "render_text",
+    "render_json",
+    "summary_line",
+]
 
 
 def summary_line(report: LintReport) -> str:
@@ -62,7 +68,45 @@ def render_json(report: LintReport, extra_findings: list[Finding] | None = None)
         "counts": {
             "active": len(report.active),
             "suppressed": len(report.suppressed),
+            "stale_suppressions": len(report.stale_suppressions),
             "by_rule": _by_rule(report.active),
         },
+        "suppressions": [s.as_dict() for s in report.suppressions],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_suppressions(report: LintReport) -> str:
+    """The ``--list-suppressions`` listing: file/line/rules/justification.
+
+    Stale entries (comments that suppressed nothing this run) are
+    tagged ``[stale]`` so the audit can drop them.
+    """
+    lines: list[str] = []
+    for s in sorted(report.suppressions, key=lambda s: (s.path, s.line)):
+        codes = "all" if s.codes is None else ",".join(s.codes)
+        why = s.justification or "(no justification)"
+        tag = "" if s.used else "  [stale]"
+        lines.append(f"{s.path}:{s.line}: {codes} — {why}{tag}")
+    stale = len(report.stale_suppressions)
+    lines.append(
+        f"{len(report.suppressions)} suppression(s), {stale} stale"
+    )
+    return "\n".join(lines)
+
+
+def render_conformance_table(rows: list[dict]) -> str:
+    """The protocol-conformance diff as a GitHub-flavored table."""
+    if not rows:
+        return "no protocol spec found — nothing to conform to"
+    out = [
+        "| surface | spec | implemented | status |",
+        "| --- | --- | --- | --- |",
+    ]
+    for row in rows:
+        mark = "✅ ok" if row["status"] == "ok" else "❌ drift"
+        out.append(
+            f"| {row['surface']} | {row['spec']} | "
+            f"{row['implemented']} | {mark} |"
+        )
+    return "\n".join(out)

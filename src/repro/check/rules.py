@@ -34,7 +34,14 @@ from typing import Iterator
 
 from .findings import Finding
 
-__all__ = ["ALL_RULES", "LintRule", "ModuleContext"]
+__all__ = [
+    "ALL_RULES",
+    "CORE_RULES",
+    "LintRule",
+    "ModuleContext",
+    "TreeContext",
+    "TreeRule",
+]
 
 #: attribute names holding frozen CSR index buffers (R001)
 _CSR_BUFFERS = frozenset({"indptr", "indices"})
@@ -88,6 +95,55 @@ class LintRule:
             path=ctx.path,
             line=getattr(node, "lineno", 0),
             col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+            extra=extra,
+        )
+
+
+class TreeContext:
+    """Every parsed module of one lint run, for cross-file rules."""
+
+    def __init__(self, modules: list[ModuleContext]) -> None:
+        self.modules = list(modules)
+
+    def find(self, suffix: str) -> ModuleContext | None:
+        """The module whose relpath ends with ``suffix`` (or ``None``)."""
+        for mod in self.modules:
+            rel = mod.relpath
+            if rel == suffix or rel.endswith("/" + suffix):
+                return mod
+        return None
+
+
+class TreeRule:
+    """A rule that inspects the whole tree at once (cross-file diffs).
+
+    Tree rules run after every module has been parsed; their findings
+    land on whatever file carries the offending declaration, and the
+    usual ``# repro: noqa-RXXX`` suppressions of that file apply.
+    """
+
+    code = "R300"
+    summary = ""
+    hint = ""
+
+    def check(self, tree: TreeContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        col: int = 0,
+        **extra,
+    ) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=path,
+            line=line,
+            col=col,
             message=message,
             hint=self.hint,
             extra=extra,
@@ -595,10 +651,15 @@ class EntryPointSignatureRule(LintRule):
                     )
 
 
-ALL_RULES: tuple[LintRule, ...] = (
+#: the first-generation per-module rules (R001–R005); the full registry
+#: including the v2 families lives in :mod:`repro.check.registry`
+CORE_RULES: tuple[LintRule, ...] = (
     FrozenCSRRule(),
     LockDisciplineRule(),
     ParallelBodyMutationRule(),
     BlanketExceptRule(),
     EntryPointSignatureRule(),
 )
+
+#: backward-compatible alias — prefer ``registry.MODULE_RULES``
+ALL_RULES = CORE_RULES

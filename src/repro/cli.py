@@ -576,8 +576,27 @@ def cmd_check(args: argparse.Namespace) -> int:
     """Static invariant lint pass over the given paths (repro.check)."""
     import time
 
-    from repro.check import lint_paths, render_json, render_text, select_rules
+    from repro.check import (
+        conformance_summary,
+        lint_paths,
+        parse_tree,
+        render_conformance_table,
+        render_json,
+        render_suppressions,
+        render_text,
+        select_rules,
+    )
 
+    if getattr(args, "conformance", False):
+        # protocol-conformance diff only: SPEC vs the implemented wire
+        # surface, as a markdown table (for CI job summaries)
+        tree, errors = parse_tree(args.paths)
+        for err in errors:
+            print(f"error: {err}", file=sys.stderr)
+        rows = conformance_summary(tree)
+        print(render_conformance_table(rows))
+        drifted = [r for r in rows if r["status"] != "ok"]
+        return 1 if drifted or errors else 0
     try:
         rules = select_rules(args.rules)
     except ValueError as exc:
@@ -586,6 +605,11 @@ def cmd_check(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     report = lint_paths(args.paths, rules=rules)
     elapsed = time.perf_counter() - start
+    if getattr(args, "list_suppressions", False):
+        # suppression inventory audit: every noqa comment with its
+        # justification, stale ones flagged
+        print(render_suppressions(report))
+        return 1 if report.stale_suppressions else 0
     if args.format == "json":
         print(render_json(report))
     else:
@@ -898,16 +922,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "check",
-        help="invariant lint pass (R001-R005) over Python sources",
+        help="invariant lint pass (R001-R304) over Python sources",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
     p.add_argument("--rules", nargs="*", default=None, metavar="RXXX",
-                   help="run only these rule codes (default: all five)")
+                   help="run only these rule codes (default: all)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--show-suppressed", action="store_true",
                    dest="show_suppressed",
                    help="also print findings silenced by noqa comments")
+    p.add_argument("--list-suppressions", action="store_true",
+                   dest="list_suppressions",
+                   help="print the noqa inventory with justifications "
+                        "(exit 1 if any suppression is stale)")
+    p.add_argument("--conformance", action="store_true",
+                   help="print the protocol-conformance diff (SPEC vs "
+                        "implementation) as a markdown table and exit")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("generate",

@@ -56,6 +56,7 @@ from .session import (
     SocketSession,
 )
 from .shard import ShardedEngine, ShardPlan, plan_shards
+from .spec import SPEC, ProtocolSpec
 from .store import HypergraphStore
 
 __all__ = [
@@ -67,8 +68,10 @@ __all__ = [
     "InProcessSession",
     "LEGACY_VERSIONS",
     "PROTOCOL_VERSION",
+    "ProtocolSpec",
     "QueryEngine",
     "QueryError",
+    "SPEC",
     "SLineGraphCache",
     "SUPPORTED_VERSIONS",
     "ServiceClient",

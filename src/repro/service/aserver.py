@@ -180,7 +180,7 @@ class AsyncAnalyticsServer:
     def __enter__(self) -> "AsyncAnalyticsServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     # -- loop thread ---------------------------------------------------------
@@ -190,6 +190,12 @@ class AsyncAnalyticsServer:
         except BaseException as exc:  # repro: noqa-R004 — the loop thread's last line of defense: surface startup/teardown failures to start() instead of dying silently on a daemon thread
             self._startup_error = exc
         finally:
+            # joining the executor's worker threads blocks — it must
+            # happen here, on the loop thread after asyncio.run has
+            # torn the loop down, never inside a coroutine (R101)
+            pool = self._pool
+            if pool is not None:
+                pool.shutdown(wait=True)
             self._started.set()
 
     async def _main(self) -> None:
@@ -199,20 +205,17 @@ class AsyncAnalyticsServer:
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_inflight, thread_name_prefix="repro-aserve"
         )
-        try:
-            server = await asyncio.start_server(
-                self._on_connection, self.host, self.port
-            )
-            sock = server.sockets[0].getsockname()
-            self._address = (sock[0], sock[1])
-            self._started.set()
-            async with server:
-                await self._stop_event.wait()
-                server.close()
-                await server.wait_closed()
-                await self._drain()
-        finally:
-            self._pool.shutdown(wait=True)
+        server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        sock = server.sockets[0].getsockname()
+        self._address = (sock[0], sock[1])
+        self._started.set()
+        async with server:
+            await self._stop_event.wait()
+            server.close()
+            await server.wait_closed()
+            await self._drain()
 
     async def _drain(self) -> None:
         """Give live connections ``drain_timeout`` to flush, then cancel."""
@@ -228,7 +231,11 @@ class AsyncAnalyticsServer:
             await asyncio.wait(pending, timeout=1.0)
 
     # -- per-connection protocol ---------------------------------------------
-    async def _on_connection(self, reader, writer) -> None:
+    async def _on_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
         task = asyncio.current_task()
         self._conns.add(task)
         self._g_conns.inc()
@@ -249,7 +256,11 @@ class AsyncAnalyticsServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _serve_connection(self, reader, writer) -> None:
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
         assert self._stop_event is not None
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_queue)
         writer_task = asyncio.create_task(self._write_loop(queue, writer))
@@ -330,7 +341,9 @@ class AsyncAnalyticsServer:
             self._g_pending.set(self._pending)
 
     @staticmethod
-    async def _write_loop(queue: asyncio.Queue, writer) -> None:
+    async def _write_loop(
+        queue: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
         """Pop response futures FIFO, write each as it resolves.
 
         Always consumes to the ``None`` sentinel — even after the client

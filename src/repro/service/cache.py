@@ -115,9 +115,9 @@ class SLineGraphCache:
         self,
         budget_bytes: int | None = 64 * 1024 * 1024,
         algorithm: str = "hashmap",
-        metrics=None,
-        tracer=None,
-        builder=None,
+        metrics: object = None,
+        tracer: object = None,
+        builder: object = None,
     ) -> None:
         from repro.obs.metrics import as_metrics
         from repro.obs.tracer import as_tracer

@@ -56,6 +56,7 @@ from repro.obs.tracer import as_tracer
 from repro.parallel.runtime import ParallelRuntime, TaskResult
 
 from .cache import SLineGraphCache, estimate_linegraph_bytes
+from .spec import SPEC
 from .store import HypergraphStore
 
 __all__ = [
@@ -67,18 +68,22 @@ __all__ = [
     "SUPPORTED_VERSIONS",
 ]
 
+# The protocol surface is declared once, in repro.service.spec; the
+# engine derives its tables from it so the spec cannot drift from what
+# is served (the conformance rules R301-R304 prove the rest).
+
 #: wire-protocol version this engine speaks by default
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = SPEC.version
 
 #: versions a client may pin; pinning v1 hides the post-v1 ops
-SUPPORTED_VERSIONS = frozenset({1, 2})
+SUPPORTED_VERSIONS = frozenset(SPEC.supported)
 
 #: deprecated pins still accepted for one release (served the v2
 #: surface, pinned version echoed back) — v1.1 clients keep working
-LEGACY_VERSIONS = frozenset({1.1})
+LEGACY_VERSIONS = frozenset(SPEC.legacy)
 
 #: ops that exist only after protocol v1 (v1.1 and later)
-_POST_V1_OPS = frozenset({"update", "version", "shards"})
+_POST_V1_OPS = SPEC.post_v1_ops()
 
 
 class QueryError(ValueError):
@@ -107,18 +112,10 @@ LAZY_OPS = frozenset(
 
 #: ops where the ``"v"`` field names a vertex, not the protocol version
 #: (those ops pin the version via ``"version"`` instead)
-_VERTEX_OPS = frozenset(
-    {
-        "s_neighbors",
-        "s_degree",
-        "s_eccentricity",
-        "s_closeness_centrality",
-        "s_harmonic_closeness_centrality",
-    }
-)
+_VERTEX_OPS = frozenset(SPEC.vertex_ops)
 
 
-def _require(query: dict, field: str):
+def _require(query: dict, field: str) -> object:
     if field not in query:
         raise QueryError(
             f"op {query.get('op')!r} requires field {field!r}",
@@ -165,7 +162,7 @@ class QueryEngine:
         cache: SLineGraphCache | None = None,
         num_threads: int = 4,
         metrics: MetricsRegistry | None = None,
-        tracer=None,
+        tracer: object = None,
         backend: str | None = None,
         workers: int | None = None,
     ) -> None:
@@ -199,7 +196,11 @@ class QueryEngine:
         self.store.close()
 
     def register_store(
-        self, name: str, directory, replace: bool = False, hydrate: bool = True
+        self,
+        name: str,
+        directory: object,
+        replace: bool = False,
+        hydrate: bool = True,
     ) -> dict:
         """Register a durable store directory and rehydrate its hot cache.
 
@@ -237,7 +238,7 @@ class QueryEngine:
 
     # -- public API ----------------------------------------------------------
     @staticmethod
-    def _version_of(query: dict, op) -> object:
+    def _version_of(query: dict, op: str) -> object:
         """The protocol version a query pins, or ``None`` (= current)."""
         if "version" in query:
             return query["version"]
@@ -245,7 +246,13 @@ class QueryEngine:
             return query["v"]
         return None
 
-    def _fail(self, op, code: str, message: str, served=None) -> dict:
+    def _fail(
+        self,
+        op: object,
+        code: str,
+        message: str,
+        served: object = None,
+    ) -> dict:
         return {
             "ok": False,
             "op": op,
@@ -431,7 +438,7 @@ class QueryEngine:
                 "service_errors_total", op=op, code=code or "error"
             ).inc()
 
-    def _dataset(self, query: dict):
+    def _dataset(self, query: dict) -> tuple:
         name = _require(query, "dataset")
         return name, self.store.get(name)
 
@@ -446,7 +453,7 @@ class QueryEngine:
     def _side(query: dict) -> bool:
         return bool(query.get("over_edges", True))
 
-    def _linegraph(self, query: dict):
+    def _linegraph(self, query: dict) -> tuple:
         """Materialize (or fetch) the query's s-line graph via the cache.
 
         Cache keys are version-aware (``name@vN`` for updated dynamic
@@ -477,7 +484,7 @@ class QueryEngine:
         est = estimate_linegraph_bytes(hg, self._s(query), self._side(query))
         return est > remaining
 
-    def _lazy_side(self, query: dict):
+    def _lazy_side(self, query: dict) -> dict:
         _, hg = self._dataset(query)
         bi = hg.biadjacency
         return bi if self._side(query) else bi.dual()

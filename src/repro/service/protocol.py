@@ -32,8 +32,9 @@ from .engine import (
     SUPPORTED_VERSIONS,
     QueryEngine,
 )
+from .spec import SPEC
 
-__all__ = ["dispatch", "dispatch_line", "protocol_error"]
+__all__ = ["SPEC", "dispatch", "dispatch_line", "protocol_error"]
 
 
 def protocol_error(code: str, message: str) -> dict:

@@ -35,6 +35,7 @@ import json
 import re
 import threading
 import time
+from typing import Callable
 
 __all__ = [
     "ShedLedger",
@@ -63,7 +64,7 @@ class TokenBucket:
         self,
         rate: float,
         burst: float | None = None,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         rate = float(rate)
         if rate <= 0:
@@ -115,7 +116,9 @@ class TenantQuotas:
     global admission control (``max_pending`` is).
     """
 
-    def __init__(self, spec: dict, clock=time.monotonic) -> None:
+    def __init__(
+        self, spec: dict, clock: Callable[[], float] = time.monotonic
+    ) -> None:
         self._clock = clock
         self._lock = threading.Lock()
         self._default = spec.get(DEFAULT_TENANT)
@@ -125,7 +128,7 @@ class TenantQuotas:
             if name != DEFAULT_TENANT
         }
 
-    def _bucket(self, cfg) -> TokenBucket:
+    def _bucket(self, cfg: "TokenBucket | dict") -> TokenBucket:
         if isinstance(cfg, TokenBucket):
             return cfg
         return TokenBucket(
@@ -133,7 +136,9 @@ class TenantQuotas:
         )
 
     @classmethod
-    def coerce(cls, quotas: "TenantQuotas | dict | None"):
+    def coerce(
+        cls, quotas: "TenantQuotas | dict | None"
+    ) -> "TenantQuotas | None":
         """Resolve a ``quotas=`` ctor parameter (spec dicts accepted)."""
         if quotas is None or isinstance(quotas, TenantQuotas):
             return quotas
@@ -221,7 +226,7 @@ class ShedLedger:
     #: reason tag -> structured error code on the wire
     CODES = {"overloaded": "overloaded", "quota": "quota_exceeded"}
 
-    def __init__(self, metrics, prefix: str) -> None:
+    def __init__(self, metrics: object, prefix: str) -> None:
         self._metrics = metrics
         self.prefix = prefix
         self._lines: dict[tuple[str, str | None], bytes] = {}

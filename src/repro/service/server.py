@@ -188,5 +188,5 @@ class AnalyticsServer(socketserver.ThreadingTCPServer):
     def __enter__(self) -> "AnalyticsServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

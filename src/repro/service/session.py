@@ -110,7 +110,7 @@ class Session:
             raise ServiceError.from_response(response)
         return response
 
-    def query(self, op: str, **fields) -> dict:
+    def query(self, op: str, **fields: object) -> dict:
         """``session.query("s_distance", dataset="lj", s=2, src=0, dst=9)``"""
         payload = {"op": op, **fields}
         if self.version is not None and "version" not in payload:
@@ -170,7 +170,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

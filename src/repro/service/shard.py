@@ -71,7 +71,7 @@ class ShardPairsKernel:
 
     __slots__ = ("edges", "nodes", "s")
 
-    def __init__(self, edges, nodes, s: int) -> None:
+    def __init__(self, edges: object, nodes: object, s: int) -> None:
         self.edges = edges
         self.nodes = nodes
         self.s = int(s)
@@ -122,7 +122,9 @@ class ShardPlan:
         ]
 
 
-def plan_shards(hypergraph, num_shards: int, over_edges: bool = True) -> ShardPlan:
+def plan_shards(
+    hypergraph: object, num_shards: int, over_edges: bool = True
+) -> ShardPlan:
     """Partition one side's ID space into load-balanced shard ranges.
 
     ``over_edges=True`` shards hyperedge IDs by hyperedge size;
@@ -217,7 +219,7 @@ class ShardedEngine(QueryEngine):
     #: ops served by owner-shard routing on cache miss
     _ROUTED_OPS = frozenset({"s_neighbors", "s_degree"})
 
-    def __init__(self, num_shards: int = 2, **kwargs) -> None:
+    def __init__(self, num_shards: int = 2, **kwargs: object) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         super().__init__(**kwargs)
@@ -229,7 +231,9 @@ class ShardedEngine(QueryEngine):
         self.obs_metrics.gauge("service_shards").set(self.num_shards)
 
     # -- planning ------------------------------------------------------------
-    def _plan(self, key: str, hypergraph, over_edges: bool) -> ShardPlan:
+    def _plan(
+        self, key: str, hypergraph: object, over_edges: bool
+    ) -> ShardPlan:
         """The (memoized) placement for one dataset version and side."""
         plan_key = (key, bool(over_edges))
         with self._shard_lock:
@@ -248,7 +252,9 @@ class ShardedEngine(QueryEngine):
         return plan
 
     # -- scatter-gather ------------------------------------------------------
-    def _scatter(self, key: str, s: int, hypergraph, over_edges: bool) -> list:
+    def _scatter(
+        self, key: str, s: int, hypergraph: object, over_edges: bool
+    ) -> list:
         """Compute every shard's pair partial on the execution backend."""
         plan = self._plan(key, hypergraph, over_edges)
         bi = (
@@ -287,7 +293,9 @@ class ShardedEngine(QueryEngine):
         ).inc()
         return out
 
-    def _partials(self, key: str, s: int, hypergraph, over_edges: bool) -> list:
+    def _partials(
+        self, key: str, s: int, hypergraph: object, over_edges: bool
+    ) -> list:
         """Per-shard partials, memoized for the most recent (key, s, side).
 
         One entry bounds memory; the common pattern — a merge fast path
@@ -325,7 +333,7 @@ class ShardedEngine(QueryEngine):
             return finalize_edges(src, dst, cnt, n)
 
     # -- fast-path plumbing --------------------------------------------------
-    def _side_size(self, hypergraph, over_edges: bool) -> int:
+    def _side_size(self, hypergraph: object, over_edges: bool) -> int:
         return int(
             hypergraph.number_of_edges()
             if over_edges
@@ -350,7 +358,7 @@ class ShardedEngine(QueryEngine):
         n = self._side_size(hg, self._side(query))
         return all(0 <= v < n for v in vertices)
 
-    def _route_pairs(self, query: dict, v: int):
+    def _route_pairs(self, query: dict, v: int) -> np.ndarray:
         """One vertex's pair row, computed by its owning shard."""
         name, hg = self._dataset(query)
         key = self.store.versioned_name(name)

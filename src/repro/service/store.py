@@ -63,11 +63,11 @@ class HypergraphStore:
     def register(
         self,
         name: str,
-        source,
+        source: object,
         replace: bool = False,
         dynamic: bool = False,
-        tracer=None,
-        metrics=None,
+        tracer: object = None,
+        metrics: object = None,
     ) -> NWHypergraph:
         """Load (if needed) and pin a hypergraph under ``name``.
 
@@ -120,7 +120,7 @@ class HypergraphStore:
         return hg
 
     @staticmethod
-    def _is_store_dir(source) -> bool:
+    def _is_store_dir(source: object) -> bool:
         if not isinstance(source, (str, os.PathLike)):
             return False
         from repro.store.manifest import is_store_dir
@@ -170,7 +170,7 @@ class HypergraphStore:
         return dyn.snapshot()
 
     def get_dynamic(
-        self, name: str, tracer=None, metrics=None
+        self, name: str, tracer: object = None, metrics: object = None
     ) -> "DynamicHypergraph":
         """The mutable handle of a dataset, promoting static entries.
 
@@ -233,7 +233,7 @@ class HypergraphStore:
         version = dyn.version
         return name if version == 0 else f"{name}@v{version}"
 
-    def store_handle(self, name: str):
+    def store_handle(self, name: str) -> object:
         """The :class:`~repro.store.recover.StoreHandle` backing a dataset
         (``None`` for purely in-memory datasets)."""
         with self._lock:

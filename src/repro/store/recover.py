@@ -102,15 +102,15 @@ class DurableDynamicHypergraph(DynamicHypergraph):
         base: NWHypergraph,
         wal: WriteAheadLog,
         version: int = 0,
-        tracer=None,
-        metrics=None,
+        tracer: object = None,
+        metrics: object = None,
     ) -> None:
         super().__init__(base, tracer=tracer, metrics=metrics, version=version)
         self._wal = wal
         self._wal_failed = False
         self._checkpoint_cb = None
 
-    def apply(self, batch) -> ApplyResult:
+    def apply(self, batch: object) -> ApplyResult:
         mutations = parse_batch(batch)
         with self._lock:
             if self._wal_failed:
@@ -128,7 +128,7 @@ class DurableDynamicHypergraph(DynamicHypergraph):
                 ) from exc
             return result
 
-    def replay(self, version: int, mutations) -> ApplyResult:
+    def replay(self, version: int, mutations: object) -> ApplyResult:
         """Apply an already-durable batch without re-logging it."""
         with self._lock:
             result = super().apply(mutations)
@@ -159,8 +159,8 @@ class StoreHandle:
         dynamic: DurableDynamicHypergraph,
         recovery: RecoveryReport,
         include_adjoin: bool,
-        metrics=None,
-        tracer=None,
+        metrics: object = None,
+        tracer: object = None,
     ) -> None:
         from repro.obs.metrics import as_metrics
         from repro.obs.tracer import as_tracer
@@ -302,8 +302,8 @@ def _adopt_csr(slab: SlabFile, spec: dict) -> CSR:
 
 def open_store(
     directory: str | os.PathLike,
-    metrics=None,
-    tracer=None,
+    metrics: object = None,
+    tracer: object = None,
 ) -> StoreHandle:
     """Open a store for serving: O(1) mmap adoption + WAL tail replay."""
     from repro.obs.metrics import as_metrics
@@ -314,88 +314,100 @@ def open_store(
     with as_tracer(tracer).span("store.open", directory=str(directory)) as span:
         manifest = load_manifest(directory)
         slab = SlabFile(directory / manifest.slab, manifest.arrays)
-        metrics.counter("store.mmap_bytes").inc(slab.nbytes())
-        inc = manifest.csrs["incidence"]
-        el = BiEdgeList.frozen(
-            slab.array(inc["part0"]),
-            slab.array(inc["part1"]),
-            slab.array(inc["weights"]) if inc.get("weights") else None,
-            n0=manifest.num_edges,
-            n1=manifest.num_nodes,
-        )
-        bi = BiAdjacency(
-            _adopt_csr(slab, manifest.csrs["bi.edges"]),
-            _adopt_csr(slab, manifest.csrs["bi.nodes"]),
-        )
-        include_adjoin = "adjoin.graph" in manifest.csrs
-        adjoin = None
-        if include_adjoin:
-            adjoin = AdjoinGraph(
-                _adopt_csr(slab, manifest.csrs["adjoin.graph"]),
-                manifest.num_edges,
-                manifest.num_nodes,
+        wal: WriteAheadLog | None = None
+        handle: StoreHandle | None = None
+        try:
+            metrics.counter("store.mmap_bytes").inc(slab.nbytes())
+            inc = manifest.csrs["incidence"]
+            el = BiEdgeList.frozen(
+                slab.array(inc["part0"]),
+                slab.array(inc["part1"]),
+                slab.array(inc["weights"]) if inc.get("weights") else None,
+                n0=manifest.num_edges,
+                n1=manifest.num_nodes,
             )
-        base = NWHypergraph.from_frozen(el, biadjacency=bi, adjoin=adjoin)
+            bi = BiAdjacency(
+                _adopt_csr(slab, manifest.csrs["bi.edges"]),
+                _adopt_csr(slab, manifest.csrs["bi.nodes"]),
+            )
+            include_adjoin = "adjoin.graph" in manifest.csrs
+            adjoin = None
+            if include_adjoin:
+                adjoin = AdjoinGraph(
+                    _adopt_csr(slab, manifest.csrs["adjoin.graph"]),
+                    manifest.num_edges,
+                    manifest.num_nodes,
+                )
+            base = NWHypergraph.from_frozen(el, biadjacency=bi, adjoin=adjoin)
 
-        # opening the writer truncates any torn tail; the re-scan after
-        # that is guaranteed clean
-        wal = WriteAheadLog(directory / manifest.wal, metrics=metrics)
-        tail = wal.recovered_tail
-        records, _ = read_wal(directory / manifest.wal)
-        dynamic = DurableDynamicHypergraph(
-            base,
-            wal,
-            version=manifest.base_version,
-            tracer=tracer,
-            metrics=metrics,
-        )
-        skipped = 0
-        replayed_ops = 0
-        expected = manifest.base_version + 1
-        with as_tracer(tracer).span(
-            "store.replay", records=len(records)
-        ) as replay_span:
-            for record in records:
-                if record.version <= manifest.base_version:
-                    skipped += 1
-                    continue
-                if record.version != expected:
-                    raise StoreCorruptError(
-                        f"WAL gap: expected version {expected}, found "
-                        f"{record.version}"
-                    )
-                dynamic.replay(record.version, list(record.mutations))
-                replayed_ops += len(record.mutations)
-                expected += 1
-            replay_span.set(skipped=skipped, ops=replayed_ops)
-        replayed = expected - manifest.base_version - 1
-        metrics.counter("store.replayed_batches").inc(replayed)
-        metrics.counter("store.replayed_ops").inc(replayed_ops)
-        recovery = RecoveryReport(
-            base_version=manifest.base_version,
-            version=dynamic.version,
-            replayed_batches=replayed,
-            replayed_ops=replayed_ops,
-            skipped_records=skipped,
-            torn_tail=tail.torn,
-            truncated_bytes=tail.torn_bytes,
-            reason=tail.reason,
-        )
-        span.set(
-            version=dynamic.version,
-            replayed=replayed,
-            torn=tail.torn,
-        )
-    handle = StoreHandle(
-        directory,
-        manifest,
-        slab,
-        dynamic,
-        recovery,
-        include_adjoin,
-        metrics=metrics,
-        tracer=tracer,
-    )
+            # opening the writer truncates any torn tail; the re-scan after
+            # that is guaranteed clean
+            wal = WriteAheadLog(directory / manifest.wal, metrics=metrics)
+            tail = wal.recovered_tail
+            records, _ = read_wal(directory / manifest.wal)
+            dynamic = DurableDynamicHypergraph(
+                base,
+                wal,
+                version=manifest.base_version,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            skipped = 0
+            replayed_ops = 0
+            expected = manifest.base_version + 1
+            with as_tracer(tracer).span(
+                "store.replay", records=len(records)
+            ) as replay_span:
+                for record in records:
+                    if record.version <= manifest.base_version:
+                        skipped += 1
+                        continue
+                    if record.version != expected:
+                        raise StoreCorruptError(
+                            f"WAL gap: expected version {expected}, found "
+                            f"{record.version}"
+                        )
+                    dynamic.replay(record.version, list(record.mutations))
+                    replayed_ops += len(record.mutations)
+                    expected += 1
+                replay_span.set(skipped=skipped, ops=replayed_ops)
+            replayed = expected - manifest.base_version - 1
+            metrics.counter("store.replayed_batches").inc(replayed)
+            metrics.counter("store.replayed_ops").inc(replayed_ops)
+            recovery = RecoveryReport(
+                base_version=manifest.base_version,
+                version=dynamic.version,
+                replayed_batches=replayed,
+                replayed_ops=replayed_ops,
+                skipped_records=skipped,
+                torn_tail=tail.torn,
+                truncated_bytes=tail.torn_bytes,
+                reason=tail.reason,
+            )
+            span.set(
+                version=dynamic.version,
+                replayed=replayed,
+                torn=tail.torn,
+            )
+            handle = StoreHandle(
+                directory,
+                manifest,
+                slab,
+                dynamic,
+                recovery,
+                include_adjoin,
+                metrics=metrics,
+                tracer=tracer,
+            )
+        finally:
+            if handle is None:
+                # adoption or replay failed (corrupt manifest, WAL gap):
+                # the mmap and the WAL append handle must not outlive
+                # the error — a leaked mapping pins the slab file and a
+                # leaked WAL handle blocks a clean re-open
+                if wal is not None:
+                    wal.close()
+                slab.close()
     cleanup_orphan_slabs(directory, manifest)
     return handle
 

@@ -312,7 +312,7 @@ def handle_of(array: np.ndarray) -> MappedArray | None:
     return None
 
 
-def csr_handle_of(csr) -> MappedCSR | None:
+def csr_handle_of(csr: object) -> MappedCSR | None:
     """The :class:`MappedCSR` for a CSR whose buffers all live in slabs.
 
     Mixed CSRs (some buffers mapped, some heap-allocated) return ``None``

@@ -37,7 +37,7 @@ from .wal import WriteAheadLog
 __all__ = ["build_store", "write_snapshot"]
 
 
-def _csr_section(writer: SlabWriter, prefix: str, csr) -> dict:
+def _csr_section(writer: SlabWriter, prefix: str, csr: object) -> dict:
     """Write one CSR's buffers; return its manifest composition record."""
     writer.add(f"{prefix}.indptr", csr.indptr)
     writer.add(f"{prefix}.indices", csr.indices)
@@ -61,8 +61,8 @@ def write_snapshot(
     base_version: int = 0,
     hot: dict[tuple[int, bool], SLineGraph] | None = None,
     include_adjoin: bool = True,
-    metrics=None,
-    tracer=None,
+    metrics: object = None,
+    tracer: object = None,
 ) -> Manifest:
     """Persist ``hypergraph`` as the store snapshot at ``base_version``.
 
@@ -174,13 +174,13 @@ def cleanup_orphan_slabs(
 
 def build_store(
     directory: str | os.PathLike,
-    source,
+    source: object,
     name: str | None = None,
     warm_s: tuple[int, ...] = (),
     warm_over_edges: bool = True,
     include_adjoin: bool = True,
-    metrics=None,
-    tracer=None,
+    metrics: object = None,
+    tracer: object = None,
 ) -> Manifest:
     """Create a fresh store at version 0 from ``source``.
 
@@ -229,6 +229,5 @@ def build_store(
         tracer=tracer,
     )
     # materialize an empty WAL so the store is complete on disk
-    wal = WriteAheadLog(directory / manifest.wal, metrics=metrics)
-    wal.close()
+    WriteAheadLog(directory / manifest.wal, metrics=metrics).close()
     return manifest

@@ -122,7 +122,7 @@ class WriteAheadLog:
     durability point: the record is fsync'd before returning.
     """
 
-    def __init__(self, path: str | os.PathLike, metrics=None) -> None:
+    def __init__(self, path: str | os.PathLike, metrics: object = None) -> None:
         from repro.obs.metrics import as_metrics
 
         self.path = Path(path)

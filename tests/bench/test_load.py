@@ -372,3 +372,81 @@ class TestEndToEndPanels:
         assert "cache" in server_panel
         text = report.format_text()
         assert "bursty" in text and "p99_ms" in text
+
+
+class TestSessionLifecycle:
+    """Regression: every exit path of the runners releases its sockets."""
+
+    @staticmethod
+    def _fake_session(created, closed, fail_on=None):
+        class FakeSession:
+            def __init__(self, *args, **kwargs):
+                if fail_on is not None and len(created) == fail_on:
+                    raise OSError("connection refused")
+                created.append(self)
+
+            def send(self, payload):
+                raise OSError("broken pipe")
+
+            def recv(self):
+                raise OSError("broken pipe")
+
+            def request(self, payload):
+                raise OSError("broken pipe")
+
+            def close(self):
+                closed.append(self)
+
+        return FakeSession
+
+    def test_partial_pool_construction_closes_on_failure(self, monkeypatch):
+        from repro.bench.load import runner
+
+        created, closed = [], []
+        monkeypatch.setattr(
+            runner,
+            "SocketSession",
+            self._fake_session(created, closed, fail_on=2),
+        )
+        with pytest.raises(OSError):
+            runner._open_sessions(["a", "b", "c"], ("host", 1), 1.0)
+        assert len(created) == 2
+        assert set(map(id, closed)) == set(map(id, created))
+
+    def test_open_loop_closes_sessions_on_transport_failure(
+        self, monkeypatch
+    ):
+        from repro.bench.load import runner
+        from repro.bench.load.workload import TraceOp
+
+        created, closed = [], []
+        monkeypatch.setattr(
+            runner, "SocketSession", self._fake_session(created, closed)
+        )
+        trace = [TraceOp(t=0.0, tenant="t", payload={"op": "stats"})]
+        result = runner.run_open_loop(
+            ("host", 1), trace, collect_metrics=False, timeout=1.0
+        )
+        assert result.transport_errors
+        assert created
+        assert set(map(id, created)) <= set(map(id, closed))
+
+    def test_closed_loop_closes_sessions_on_transport_failure(
+        self, monkeypatch
+    ):
+        from repro.bench.load import runner
+
+        created, closed = [], []
+        monkeypatch.setattr(
+            runner, "SocketSession", self._fake_session(created, closed)
+        )
+        spec = _spec(
+            tenants=(TenantSpec("alpha", rps=5.0, connections=2),),
+            duration_s=0.2,
+        )
+        result = runner.run_closed_loop(
+            ("host", 1), spec, collect_metrics=False, timeout=1.0
+        )
+        assert result.transport_errors
+        assert len(created) == 2
+        assert set(map(id, created)) == set(map(id, closed))

@@ -1,0 +1,265 @@
+"""R101/R102 async-safety rules: each fires on a fixture and suppresses."""
+
+import textwrap
+
+from repro.check import lint_source
+
+
+def lint(src: str, relpath: str = "src/repro/service/fake.py"):
+    report = lint_source(textwrap.dedent(src), relpath, relpath=relpath)
+    assert not report.errors, report.errors
+    return report
+
+
+def codes(report, active_only: bool = True):
+    pool = report.active if active_only else report.findings
+    return [f.rule for f in pool]
+
+
+class TestR101BlockingCalls:
+    def test_sleep_in_async_def_fires(self):
+        report = lint(
+            """\
+            import time
+
+            async def handle(reader):
+                time.sleep(0.1)
+            """
+        )
+        assert codes(report) == ["R101"]
+        (f,) = report.active
+        assert "time.sleep" in f.message
+        assert "in async 'handle'" in f.message
+
+    def test_sleep_reachable_through_sync_helper_fires(self):
+        # the call-graph walk: the helper itself is sync, but it runs
+        # on the loop because a coroutine calls it directly
+        report = lint(
+            """\
+            import time
+
+            def _backoff():
+                time.sleep(0.1)
+
+            async def handle(reader):
+                _backoff()
+            """
+        )
+        assert codes(report) == ["R101"]
+        (f,) = report.active
+        assert "reachable from async 'handle'" in f.message
+
+    def test_method_call_graph_through_self(self):
+        report = lint(
+            """\
+            import time
+
+            class Server:
+                def _drain(self):
+                    time.sleep(0.5)
+
+                async def stop(self):
+                    self._drain()
+            """
+        )
+        assert codes(report) == ["R101"]
+        assert "reachable from async 'Server.stop'" in report.active[0].message
+
+    def test_import_alias_is_resolved(self):
+        report = lint(
+            """\
+            from time import sleep as nap
+
+            async def handle():
+                nap(1)
+            """
+        )
+        assert codes(report) == ["R101"]
+        assert "time.sleep" in report.active[0].message
+
+    def test_function_passed_to_run_in_executor_is_exempt(self):
+        # passing a function to the executor creates no call edge —
+        # this is exactly the offloading pattern the rule demands
+        report = lint(
+            """\
+            import time
+
+            def _work():
+                time.sleep(0.1)
+
+            async def handle(loop):
+                await loop.run_in_executor(None, _work)
+            """
+        )
+        assert codes(report) == []
+
+    def test_sync_only_module_is_clean(self):
+        report = lint(
+            """\
+            import time
+
+            def retry():
+                time.sleep(0.1)
+            """
+        )
+        assert codes(report) == []
+
+    def test_threaded_session_construction_and_request_fire(self):
+        report = lint(
+            """\
+            from repro.service.session import SocketSession
+
+            async def proxy(addr, payload):
+                s = SocketSession(*addr)
+                return s.request(payload)
+            """
+        )
+        assert codes(report) == ["R101", "R101"]
+        messages = " / ".join(f.message for f in report.active)
+        assert "connects synchronously" in messages
+        assert ".request(...)" in messages
+
+    def test_pool_shutdown_wait_true_fires(self):
+        report = lint(
+            """\
+            async def drain(pool):
+                pool.shutdown(wait=True)
+            """
+        )
+        assert codes(report) == ["R101"]
+        assert "joins worker threads" in report.active[0].message
+
+    def test_pool_shutdown_wait_false_is_fine(self):
+        report = lint(
+            """\
+            async def drain(pool):
+                pool.shutdown(wait=False)
+            """
+        )
+        assert codes(report) == []
+
+    def test_unbounded_lock_acquire_fires(self):
+        report = lint(
+            """\
+            async def guard(lock):
+                lock.acquire()
+            """
+        )
+        assert codes(report) == ["R101"]
+        assert "no timeout" in report.active[0].message
+
+    def test_lock_acquire_with_timeout_is_fine(self):
+        report = lint(
+            """\
+            async def guard(lock):
+                lock.acquire(timeout=0.5)
+            """
+        )
+        assert codes(report) == []
+
+    def test_subprocess_and_open_fire(self):
+        report = lint(
+            """\
+            import subprocess
+
+            async def snapshot(path):
+                subprocess.run(["sync"])
+                fh = open(path)
+                return fh
+            """
+        )
+        assert sorted(codes(report)) == ["R101", "R101"]
+
+    def test_noqa_suppresses_but_is_recorded(self):
+        report = lint(
+            """\
+            import time
+
+            async def handle():
+                time.sleep(0.1)  # repro: noqa-R101 — test fixture delay
+            """
+        )
+        assert report.active == []
+        assert [f.rule for f in report.findings] == ["R101"]
+        assert report.suppressions and report.suppressions[0].used
+
+
+class TestR102AwaitUnderLock:
+    def test_await_under_self_lock_fires(self):
+        report = lint(
+            """\
+            import asyncio
+
+            class Cache:
+                async def get(self, key):
+                    with self._lock:
+                        await asyncio.sleep(0)
+            """
+        )
+        assert codes(report) == ["R102"]
+        assert "holding threading lock" in report.active[0].message
+
+    def test_await_under_bare_lock_name_fires(self):
+        report = lint(
+            """\
+            async def f(lock, coro):
+                with lock:
+                    await coro
+            """
+        )
+        assert codes(report) == ["R102"]
+
+    def test_async_with_is_the_asyncio_idiom_and_fine(self):
+        report = lint(
+            """\
+            import asyncio
+
+            class Cache:
+                async def get(self, key):
+                    async with self._lock:
+                        await asyncio.sleep(0)
+            """
+        )
+        assert codes(report) == []
+
+    def test_await_after_lock_released_is_fine(self):
+        report = lint(
+            """\
+            import asyncio
+
+            class Cache:
+                async def get(self, key):
+                    with self._lock:
+                        value = key
+                    await asyncio.sleep(0)
+                    return value
+            """
+        )
+        assert codes(report) == []
+
+    def test_nested_def_inside_lock_is_its_own_context(self):
+        report = lint(
+            """\
+            class Cache:
+                async def get(self, key):
+                    with self._lock:
+                        async def inner():
+                            await something()
+                    return inner
+            """
+        )
+        assert codes(report) == []
+
+    def test_noqa_suppresses(self):
+        report = lint(
+            """\
+            import asyncio
+
+            class Cache:
+                async def get(self, key):
+                    with self._lock:
+                        await asyncio.sleep(0)  # repro: noqa-R102 — test-only
+            """
+        )
+        assert report.active == []
+        assert [f.rule for f in report.findings] == ["R102"]

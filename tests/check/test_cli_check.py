@@ -84,3 +84,35 @@ class TestSuppression:
         assert main(["check", str(p)]) == 0
         assert main(["check", str(p), "--show-suppressed"]) == 0
         assert "suppressed" in capsys.readouterr().out
+
+
+class TestListSuppressions:
+    def test_inventory_with_justification(self, tmp_path, capsys):
+        p = tmp_path / "silenced.py"
+        p.write_text(
+            "def f():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except:  # repro: noqa-R004 — fixture reason\n"
+            "        pass\n"
+        )
+        assert main(["check", str(p), "--list-suppressions"]) == 0
+        out = capsys.readouterr().out
+        assert "R004" in out and "fixture reason" in out
+        assert "[stale]" not in out
+        assert "1 suppression(s), 0 stale" in out
+
+    def test_stale_suppression_exits_one(self, tmp_path, capsys):
+        p = tmp_path / "stale.py"
+        p.write_text("x = 1  # repro: noqa-R004 — nothing here fires\n")
+        assert main(["check", str(p), "--list-suppressions"]) == 1
+        out = capsys.readouterr().out
+        assert "[stale]" in out and "1 stale" in out
+
+
+class TestConformanceFlag:
+    def test_conformance_table_on_tree_without_spec(self, clean_file, capsys):
+        # no service/spec.py in the fixture tree: nothing to diff, ok
+        assert main(["check", clean_file, "--conformance"]) == 0
+        out = capsys.readouterr().out
+        assert "no protocol spec" in out

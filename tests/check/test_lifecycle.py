@@ -1,0 +1,175 @@
+"""R201 resource-lifecycle rule: leaks fire, owners and finally are fine."""
+
+import textwrap
+
+from repro.check import lint_source
+
+
+def lint(src: str, relpath: str = "src/repro/store/fake.py"):
+    report = lint_source(textwrap.dedent(src), relpath, relpath=relpath)
+    assert not report.errors, report.errors
+    return report
+
+
+def codes(report, active_only: bool = True):
+    pool = report.active if active_only else report.findings
+    return [f.rule for f in pool]
+
+
+class TestR201Leaks:
+    def test_unclosed_local_acquisition_fires(self):
+        report = lint(
+            """\
+            def inspect(path):
+                slab = SlabFile(path)
+                slab.array("indptr")
+            """
+        )
+        assert codes(report) == ["R201"]
+        (f,) = report.active
+        assert "never closed" in f.message and "SlabFile" in f.message
+
+    def test_happy_path_close_fires(self):
+        # close() exists but nothing guards the statements before it
+        report = lint(
+            """\
+            def inspect(path):
+                slab = SlabFile(path)
+                slab.array("indptr")
+                slab.close()
+            """
+        )
+        assert codes(report) == ["R201"]
+        assert "happy path" in report.active[0].message
+
+    def test_unclosed_session_container_fires(self):
+        report = lint(
+            """\
+            def fanout(addresses, payload):
+                pool = [SocketSession(*a) for a in addresses]
+                for s in pool:
+                    s.request(payload)
+            """
+        )
+        assert codes(report) == ["R201"]
+
+
+class TestR201SafePatterns:
+    def test_with_statement_manages_the_lifetime(self):
+        report = lint(
+            """\
+            def inspect(path):
+                slab = SlabFile(path)
+                with slab:
+                    slab.array("indptr")
+            """
+        )
+        assert codes(report) == []
+
+    def test_try_finally_close_is_fine(self):
+        report = lint(
+            """\
+            def inspect(path):
+                slab = SlabFile(path)
+                try:
+                    slab.array("indptr")
+                finally:
+                    slab.close()
+            """
+        )
+        assert codes(report) == []
+
+    def test_close_in_except_handler_counts_as_error_path(self):
+        report = lint(
+            """\
+            def open_or_raise(path):
+                wal = WriteAheadLog(path)
+                try:
+                    return wal
+                except OSError:
+                    wal.close()
+                    raise
+            """
+        )
+        assert codes(report) == []
+
+    def test_return_escape_transfers_ownership(self):
+        report = lint(
+            """\
+            def open_slab(path):
+                slab = SlabFile(path)
+                return slab
+            """
+        )
+        assert codes(report) == []
+
+    def test_self_attribute_store_transfers_ownership(self):
+        report = lint(
+            """\
+            class Store:
+                def open(self, path):
+                    slab = SlabFile(path)
+                    self._slab = slab
+            """
+        )
+        assert codes(report) == []
+
+    def test_constructor_argument_transfers_ownership(self):
+        report = lint(
+            """\
+            def open_handle(path, manifest):
+                slab = SlabFile(path)
+                return StoreHandle(manifest, slab)
+            """
+        )
+        assert codes(report) == []
+
+    def test_registry_store_transfers_ownership(self):
+        report = lint(
+            """\
+            _OPEN = {}
+
+            def track(path, key):
+                slab = SlabFile(path)
+                _OPEN[key] = slab
+            """
+        )
+        assert codes(report) == []
+
+    def test_container_closed_in_finally_loop_is_fine(self):
+        report = lint(
+            """\
+            def fanout(addresses, payload):
+                pool = [SocketSession(*a) for a in addresses]
+                try:
+                    for s in pool:
+                        s.request(payload)
+                finally:
+                    for s in pool:
+                        s.close()
+            """
+        )
+        assert codes(report) == []
+
+    def test_untracked_constructors_are_ignored(self):
+        report = lint(
+            """\
+            def build(n):
+                items = Counter(n)
+                items.update([1, 2])
+            """
+        )
+        assert codes(report) == []
+
+    def test_noqa_suppresses_with_justification(self):
+        report = lint(
+            """\
+            def singleton(path):
+                slab = SlabFile(path)  # repro: noqa-R201 — process-lifetime
+                slab.array("indptr")
+            """
+        )
+        assert report.active == []
+        assert [f.rule for f in report.findings] == ["R201"]
+        (supp,) = report.suppressions
+        assert supp.used and "process-lifetime" in supp.justification

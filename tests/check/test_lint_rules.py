@@ -318,7 +318,7 @@ class TestDriver:
         from repro.check import select_rules
 
         assert [r.code for r in select_rules(["R004"])] == ["R004"]
-        assert len(select_rules(None)) == 5
+        assert len(select_rules(None)) == 12
 
     def test_unknown_rule_raises(self):
         import pytest

@@ -240,3 +240,22 @@ class TestLifecycle:
         with SocketSession(host, port) as session:
             resp = session.query("s_degree", dataset="paper", s=1, v=0)
         assert resp["ok"]
+
+
+class TestExecutorTeardown:
+    def test_stop_joins_executor_off_the_loop(self, engine):
+        """Regression: the dispatch executor used to be shut down with
+        ``wait=True`` inside the teardown coroutine, joining worker
+        threads *on* the event loop.  It now happens on the loop thread
+        after ``asyncio.run`` returns — ``stop()`` must come back with
+        the executor fully shut down and every worker joined."""
+        srv = AsyncAnalyticsServer(engine).start()
+        host, port = srv.address
+        with SocketSession(host, port) as session:
+            assert session.query("datasets")["ok"]
+        srv.stop()
+        assert srv._pool is not None and srv._pool._shutdown
+        assert not any(
+            t.name.startswith("repro-aserve") and t.is_alive()
+            for t in threading.enumerate()
+        )

@@ -191,3 +191,32 @@ def test_any_truncation_recovers_committed_prefix(
     manifest = write_snapshot(ref_dir, want, "rec", base_version=committed)
     slab_b = (ref_dir / manifest.slab).read_bytes()
     assert slab_a == slab_b
+
+
+def test_failed_open_releases_slab_and_wal(tmp_path):
+    """A WAL gap aborts open_store without leaking the mmap or the WAL
+    append handle (regression: both used to stay open until GC)."""
+    from repro.dynamic.log import Mutation
+    from repro.store import StoreCorruptError
+    from repro.store.slab import _OPEN_SLABS
+    from repro.store.wal import WriteAheadLog
+
+    _build(tmp_path)
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    # gap: base_version is 0, so replay expects version 1, not 5
+    wal.append(5, [Mutation.from_dict(m) for m in _burst(0)])
+    wal.close()
+
+    before = set(_OPEN_SLABS)
+    with pytest.raises(StoreCorruptError, match="WAL gap"):
+        open_store(tmp_path)
+    assert set(_OPEN_SLABS) == before  # the mmap was released
+
+    # the failed open truncated nothing and closed its WAL handle: once
+    # the gap is cleared the store opens normally
+    (tmp_path / "wal.log").write_bytes(WAL_MAGIC)
+    handle = open_store(tmp_path)
+    try:
+        assert handle.version == 0
+    finally:
+        handle.close()
