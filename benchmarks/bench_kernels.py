@@ -79,3 +79,31 @@ def test_write_min_atomic(benchmark):
 def test_transpose(benchmark, h):
     t = benchmark(h.edges.transpose)
     assert t.num_edges() == h.num_incidences()
+
+
+@pytest.mark.parametrize("kernel", ["auto", "hashmap"])
+def test_slinegraph_kernel(benchmark, h, kernel):
+    """Builder-level kernel surface (auto = the bucketed dispatcher)."""
+    from repro.linegraph import to_two_graph
+
+    g = benchmark(to_two_graph, h, 2, algorithm="hashmap", kernel=kernel)
+    assert g.src.size > 0
+
+
+def test_bucketize_full_frontier(benchmark, h):
+    """Dispatch overhead: one vectorized pass over the whole frontier."""
+    from repro.linegraph.dispatch import bucketize
+
+    frontier = np.arange(h.num_hyperedges(), dtype=np.int64)
+    buckets = benchmark(bucketize, h.edges, h.nodes, frontier, 2)
+    assert sum(ids.size for _, ids in buckets) > 0
+
+
+def test_bitset_hub_rows(benchmark, h):
+    """Dense AND+popcount sweep over the highest-degree rows only."""
+    from repro.linegraph.bitset import bitset_rows
+
+    sizes = h.edge_sizes()
+    ids = np.sort(np.argsort(sizes)[-64:].astype(np.int64))
+    src, dst, cnt, stats, work = benchmark(bitset_rows, h.edges, ids, 2)
+    assert work > 0

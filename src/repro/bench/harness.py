@@ -264,12 +264,17 @@ def fig9_slinegraph(
     relabels: tuple[str, ...] = ("none", "ascending", "descending"),
     backend: str | None = None,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> list[Fig9Row]:
     """Figure 9 driver: best-config s-line construction, Hashmap-normalized.
 
     Per the paper: every algorithm is run under every partitioning strategy
     and relabel-by-degree order, and only the fastest configuration is
     reported; results are normalized to Hashmap's best time.
+
+    ``kernel`` forces one counting kernel (``auto`` is the dispatcher)
+    on every builder that accepts it; queue-intersection keeps its
+    definitional two-phase kernel when the forced one doesn't apply.
     """
     h, _ = _reps(dataset)
     variants: dict[str, BiAdjacency] = {"none": h}
@@ -278,6 +283,13 @@ def fig9_slinegraph(
             variants[order], _perm = relabel_hyperedges(h, order)
     rows: list[tuple[str, float, str]] = []
     for alg_name, fn in _FIG9_ALGOS.items():
+        kw: dict = {}
+        if kernel is not None:
+            kw = {"kernel": kernel}
+            if fn is slinegraph_queue_intersection and kernel not in (
+                "auto", "intersection"
+            ):
+                kw = {}  # its pair queue *is* the intersection strategy
         best = float("inf")
         best_cfg = ""
         for part in partitioners:
@@ -290,7 +302,7 @@ def fig9_slinegraph(
                     workers=workers,
                 ) as rt:
                     rt.new_run()
-                    fn(variants[rel], s, runtime=rt)
+                    fn(variants[rel], s, runtime=rt, **kw)
                     if rt.makespan < best:
                         best = rt.makespan
                         best_cfg = f"{part}/{rel}"

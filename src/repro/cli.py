@@ -281,7 +281,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         text = format_scaling(results)
     elif args.figure == 9:
         results = fig9_slinegraph(
-            args.dataset, s=args.s, threads=max(threads), **be
+            args.dataset, s=args.s, threads=max(threads),
+            kernel=args.kernel, **be,
         )
         text = format_fig9(results)
     else:
@@ -292,6 +293,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "dataset": args.dataset,
             "backend": args.backend or "simulated",
             "workers": args.workers,
+            "kernel": args.kernel,
             "results": [asdict(r) for r in results],
         }, indent=2))
     else:
@@ -515,6 +517,7 @@ def cmd_store(args: argparse.Namespace) -> int:
                 name=args.name,
                 warm_s=tuple(args.warm_s),
                 include_adjoin=not args.no_adjoin,
+                compress=args.compress,
             )
             print(
                 f"built store {args.directory!r} "
@@ -799,6 +802,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "simulated; figures are identical either way)")
     p.add_argument("--workers", type=int, default=None,
                    help="real worker pool size (default: bounded cpu count)")
+    p.add_argument("--kernel", default=None,
+                   choices=["auto", "naive", "hashmap", "intersection",
+                            "bitset"],
+                   help="counting kernel for figure 9 builders (auto = "
+                        "degree-bucketed dispatcher; default: builder's "
+                        "own choice)")
     p.add_argument("--json", action="store_true",
                    help="results as one JSON document")
     p.set_defaults(func=cmd_bench)
@@ -904,6 +913,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "for warm restarts")
     sp.add_argument("--no-adjoin", action="store_true", dest="no_adjoin",
                     help="skip persisting the adjoin CSR")
+    sp.add_argument("--compress", action="store_true",
+                    help="persist CSR adjacency columns delta+varint "
+                         "encoded (smaller slab; open decodes once)")
     sp.set_defaults(func=cmd_store)
     sp = store_sub.add_parser(
         "inspect", help="print a store's manifest/WAL/recovery state"

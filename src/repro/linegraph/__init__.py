@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.parallel.runtime import ParallelRuntime
 
+from .bitset import BitsetOverlapKernel
 from .clique import clique_expansion, scliquegraph
 from .common import (
     filter_overlaps,
@@ -23,6 +24,12 @@ from .common import (
     linegraph_csr,
     resolve_incidence,
     two_hop_pair_counts,
+)
+from .dispatch import (
+    KERNEL_NAMES,
+    AdaptiveKernel,
+    DispatchPolicy,
+    make_count_kernel,
 )
 from .ensemble import slinegraph_ensemble
 from .hashmap import slinegraph_hashmap
@@ -54,6 +61,7 @@ def to_two_graph(
     metrics=None,
     backend=None,
     workers: int | None = None,
+    kernel: str | None = None,
 ):
     """Construct the s-line ("two-graph") edge list of a hypergraph.
 
@@ -69,6 +77,12 @@ def to_two_graph(
     and ignores them.  ``backend``/``workers`` select a real execution
     backend (``'threaded'``/``'process'``) when no ``runtime`` is passed —
     results are bit-identical either way (see docs/PARALLEL.md).
+
+    ``kernel`` selects the counting body (one of
+    :data:`~repro.linegraph.dispatch.KERNEL_NAMES`; ``None`` → each
+    builder's default, which for the hashmap-family builders is the
+    degree-bucketed adaptive dispatcher — see docs/KERNELS.md).  The
+    ``naive`` and ``matrix`` oracles ignore it.
     """
     if algorithm == "auto":
         from repro.structures.adjoin import AdjoinGraph
@@ -86,6 +100,12 @@ def to_two_graph(
     be_kwargs = {}
     if backend is not None or workers is not None:
         be_kwargs = {"backend": backend, "workers": workers}
+    if kernel is not None:
+        if algorithm in ("matrix", "naive"):
+            raise ValueError(
+                f"algorithm {algorithm!r} is an oracle; kernel= does not apply"
+            )
+        be_kwargs["kernel"] = kernel
     if algorithm in ("queue_hashmap", "queue_intersection"):
         return fn(
             h, s, runtime=runtime, queue_ids=queue_ids,
@@ -99,6 +119,7 @@ def to_two_graph(
         return fn(
             h, s, runtime=runtime, num_workers=workers,
             tracer=tracer, metrics=metrics,
+            **({"kernel": kernel} if kernel is not None else {}),
         )
     return fn(
         h, s, runtime=runtime, tracer=tracer, metrics=metrics, **be_kwargs
@@ -151,6 +172,11 @@ def to_two_graph_hashmap_blocked(
 
 __all__ = [
     "ALGORITHMS",
+    "AdaptiveKernel",
+    "BitsetOverlapKernel",
+    "DispatchPolicy",
+    "KERNEL_NAMES",
+    "make_count_kernel",
     "to_two_graph_hashmap_blocked",
     "to_two_graph_hashmap_cyclic",
     "clique_expansion",

@@ -1,0 +1,184 @@
+"""Bitset-adjacency s-overlap kernel — the dense complement (ROADMAP 3).
+
+The hashmap and intersection families pay per *incidence*: the two-hop
+expansion of a hyperedge ``e`` touches ``Σ_{v∈e} deg(v)`` keys, then
+sorts them (``np.unique``).  On skewed inputs — a few huge hyperedges
+over well-connected hypernodes — that expansion explodes quadratically
+while the vertex universe stays small.  That regime is where the classic
+dense representation wins (the heuristic-kernel-selection argument of
+the high-order line-graph paper, PAPERS.md): pack each incidence row
+into a bit vector of ``⌈n_v/64⌉`` uint64 words, and ``|e ∩ f|`` becomes
+a bitwise AND plus a popcount — ``n_v/64`` word operations per pair,
+branchless, no sorting, no hashing.
+
+Packing uses ``np.packbits`` over a boolean row matrix; popcount is a
+256-entry byte lookup table (numpy has no vectorized popcount on
+integers, but ``POPCOUNT8[bytes].sum(axis=1)`` is one gather + one
+reduction).  The AND itself runs on the uint64 view of the packed rows
+so the inner loop moves 8 bytes per operation.
+
+:class:`BitsetOverlapKernel` is shaped exactly like the other kernel
+bodies (:mod:`repro.linegraph.kernels`): picklable, pure, opens its
+inputs via :func:`~repro.parallel.shared.open_handles`, returns
+``TaskResult((src, dst, overlap, stats), work)`` — so it runs unchanged
+on the simulated, threaded, and process backends and plugs into the
+degree-bucketed dispatcher (:mod:`repro.linegraph.dispatch`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.runtime import TaskResult
+from repro.parallel.shared import open_handles
+
+from .common import kernel_stats
+
+__all__ = [
+    "BitsetOverlapKernel",
+    "bitset_overlap_counts",
+    "pack_rows",
+    "popcount_bytes",
+]
+
+#: bits set in each possible byte value — the vectorized popcount table
+POPCOUNT8 = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1).astype(np.int64)
+
+#: pad packed rows to whole uint64 words so the AND runs 8 bytes at a time
+_WORD_BYTES = 8
+
+
+def pack_rows(csr, ids: np.ndarray, num_targets: int) -> np.ndarray:
+    """Pack the incidence rows ``ids`` into a bitset matrix.
+
+    Returns ``uint8[len(ids), W8]`` with ``W8 = ⌈num_targets/8⌉`` rounded
+    up to a multiple of 8 (so the matrix reinterprets as uint64 words).
+    Bit ``v`` of row ``k`` is set iff target ``v`` is a member of row
+    ``ids[k]``.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    width = ((int(num_targets) + 63) // 64) * _WORD_BYTES
+    if ids.size == 0:
+        return np.zeros((0, width), dtype=np.uint8)
+    starts = csr.indptr[ids]
+    counts = csr.indptr[ids + 1] - starts
+    from repro.graph.traversal import multi_slice
+
+    members = multi_slice(csr.indices, starts, counts)
+    rows = np.repeat(np.arange(ids.size, dtype=np.int64), counts)
+    dense = np.zeros((ids.size, int(num_targets)), dtype=np.uint8)
+    dense[rows, members] = 1
+    packed = np.packbits(dense, axis=1, bitorder="little")
+    if packed.shape[1] < width:
+        pad = np.zeros((ids.size, width - packed.shape[1]), dtype=np.uint8)
+        packed = np.concatenate([packed, pad], axis=1)
+    return np.ascontiguousarray(packed)
+
+
+def popcount_bytes(packed: np.ndarray) -> np.ndarray:
+    """Row-wise popcount of a packed uint8 matrix."""
+    if packed.size == 0:
+        return np.zeros(packed.shape[0], dtype=np.int64)
+    return POPCOUNT8[packed].sum(axis=1)
+
+
+def bitset_overlap_counts(
+    row: np.ndarray, others: np.ndarray
+) -> np.ndarray:
+    """``|row ∩ others[k]|`` for every packed row ``k``.
+
+    ``row`` is one packed bitset (uint8), ``others`` a packed matrix of
+    the same width.  The AND runs on the uint64 reinterpretation; the
+    popcount on the byte view of the result.
+    """
+    if others.size == 0:
+        return np.zeros(others.shape[0], dtype=np.int64)
+    a = row.view(np.uint64)
+    b = others.reshape(others.shape[0], -1).view(np.uint64)
+    common = (b & a[None, :]).view(np.uint8)
+    return POPCOUNT8[common].sum(axis=1)
+
+
+class BitsetOverlapKernel:
+    """Dense s-overlap body: packed-bitset AND + popcount per pair.
+
+    For each row ``e`` of its chunk the kernel compares against *every*
+    eligible row (size ≥ s) — the dense all-candidates sweep, chosen by
+    the dispatcher only where the two-hop expansion would cost more than
+    ``n_eligible · n_v/64`` word operations.  ``upper_only`` keeps
+    ``f > e`` partners (the builders' triangle convention); ``False``
+    keeps every ``f ≠ e`` (the shard kernels' row-ownership convention).
+
+    Same result tuple as :class:`~repro.linegraph.kernels.
+    HashmapCountKernel` — ``(src, dst, overlap, stats)`` — and exact
+    overlap counts, so outputs are bit-identical after
+    :func:`~repro.linegraph.common.finalize_edges`.
+    """
+
+    __slots__ = ("edges", "s", "upper_only")
+
+    def __init__(self, edges, s: int, upper_only: bool = True) -> None:
+        self.edges = edges
+        self.s = int(s)
+        self.upper_only = bool(upper_only)
+
+    def __call__(self, chunk: np.ndarray) -> TaskResult:
+        with open_handles(self.edges) as (edges,):
+            src, dst, cnt, stats, work = bitset_rows(
+                edges, chunk, self.s, upper_only=self.upper_only
+            )
+            return TaskResult((src, dst, cnt, stats), work)
+
+
+def bitset_rows(
+    edges, chunk: np.ndarray, s: int, upper_only: bool = True
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict, float]:
+    """The dense sweep body, reusable by the dispatcher's bucket runner.
+
+    Returns ``(src, dst, overlap, stats, work)`` with ``work`` counted
+    in examined pairs (the ledger currency the other kernels use).
+    """
+    chunk = np.asarray(chunk, dtype=np.int64)
+    sizes = np.diff(edges.indptr)
+    live = chunk[sizes[chunk] >= s]
+    eligible = np.flatnonzero(sizes >= s).astype(np.int64)
+    n_v = edges.num_targets()
+    empty = np.empty(0, dtype=np.int64)
+    if live.size == 0 or eligible.size == 0:
+        stats = kernel_stats("bitset", rows=int(chunk.size))
+        return empty, empty, empty, stats, float(chunk.size)
+    packed_all = pack_rows(edges, eligible, n_v)
+    # chunk rows are a subset of the eligible rows: reuse their packing
+    pos = np.searchsorted(eligible, live)
+    out_src: list[np.ndarray] = []
+    out_dst: list[np.ndarray] = []
+    out_cnt: list[np.ndarray] = []
+    examined = 0
+    for k, e in zip(pos.tolist(), live.tolist()):
+        counts = bitset_overlap_counts(packed_all[k], packed_all)
+        if upper_only:
+            keep = (counts >= s) & (eligible > e)
+            examined += int((eligible > e).sum())
+        else:
+            keep = (counts >= s) & (eligible != e)
+            examined += int(eligible.size - 1)
+        hits = np.flatnonzero(keep)
+        if hits.size:
+            out_src.append(np.full(hits.size, e, dtype=np.int64))
+            out_dst.append(eligible[hits])
+            out_cnt.append(counts[hits])
+    if out_src:
+        src = np.concatenate(out_src)
+        dst = np.concatenate(out_dst)
+        cnt = np.concatenate(out_cnt)
+    else:
+        src, dst, cnt = empty, empty, empty
+    stats = kernel_stats(
+        "bitset",
+        rows=int(chunk.size),
+        candidates=examined,
+        emitted=int(src.size),
+    )
+    return src, dst, cnt, stats, float(examined + chunk.size)

@@ -17,10 +17,14 @@ from repro.structures.edgelist import EdgeList
 __all__ = [
     "batch_intersect_counts",
     "empty_linegraph",
+    "emit_kernel_counters",
     "filter_overlaps",
     "finalize_edges",
     "intersect_count_sorted",
+    "kernel_stats",
+    "merge_kernel_stats",
     "pair_counters",
+    "total_candidates",
     "two_hop_pair_counts",
     "two_hop_pair_weighted",
     "linegraph_csr",
@@ -78,6 +82,87 @@ def pair_counters(metrics, algorithm: str):
         m.counter("slinegraph_pruned_pairs_total", algorithm=algorithm),
         m.counter("slinegraph_emitted_pairs_total", algorithm=algorithm),
     )
+
+
+def kernel_stats(
+    kernel: str,
+    rows: int = 0,
+    candidates: int = 0,
+    emitted: int = 0,
+    tasks: int = 1,
+) -> dict:
+    """Per-kernel-family statistics for one task's work.
+
+    Every construction kernel returns one of these (keyed by family
+    name) as the final element of its result tuple, so the numbers
+    travel *inside* the task result — the only channel that survives a
+    process boundary — instead of being mutated into shared counters.
+    The builders merge them (:func:`merge_kernel_stats`) and emit the
+    uniform ``linegraph_kernel_*_total{kernel=...}`` counters
+    (:func:`emit_kernel_counters`) once per build.
+    """
+    return {
+        kernel: {
+            "tasks": int(tasks),
+            "rows": int(rows),
+            "candidates": int(candidates),
+            "emitted": int(emitted),
+        }
+    }
+
+
+def merge_kernel_stats(parts) -> dict:
+    """Sum a sequence of :func:`kernel_stats` dicts per kernel family."""
+    out: dict = {}
+    for part in parts:
+        for name, counts in part.items():
+            slot = out.setdefault(
+                name, {"tasks": 0, "rows": 0, "candidates": 0, "emitted": 0}
+            )
+            for k, v in counts.items():
+                slot[k] = slot.get(k, 0) + int(v)
+    return out
+
+
+def total_candidates(stats: dict) -> int:
+    """Candidate pairs examined, summed across kernel families."""
+    return sum(c.get("candidates", 0) for c in stats.values())
+
+
+def emit_kernel_counters(metrics, stats: dict) -> None:
+    """Emit the uniform per-kernel counter trio from merged stats.
+
+    ``linegraph_kernel_{tasks,candidates,emitted}_total`` labeled by
+    kernel family — the same three numbers for every family (hashmap,
+    intersection, bitset, naive, pair_gather, pair_intersect, shard),
+    whether the work ran inline, on a builder, or under shards.
+    """
+    from repro.obs.metrics import as_metrics
+
+    m = as_metrics(metrics)
+    for name, counts in stats.items():
+        m.counter("linegraph_kernel_tasks_total", kernel=name).inc(
+            counts.get("tasks", 0)
+        )
+        m.counter("linegraph_kernel_candidates_total", kernel=name).inc(
+            counts.get("candidates", 0)
+        )
+        m.counter("linegraph_kernel_emitted_total", kernel=name).inc(
+            counts.get("emitted", 0)
+        )
+    if "dispatch" in stats:
+        # bucket-table counters: how many rows each family was chosen for
+        # and how many buckets ran in total (the "dispatch" pseudo-family
+        # records chunk totals in rows/tasks)
+        for name, counts in stats.items():
+            if name == "dispatch":
+                continue
+            m.counter("dispatch_rows_total", kernel=name).inc(
+                counts.get("rows", 0)
+            )
+            m.counter("dispatch_buckets_total", kernel=name).inc(
+                counts.get("tasks", 0)
+            )
 
 
 def resolve_incidence(h) -> tuple[CSR, CSR, int, np.ndarray]:
@@ -231,6 +316,16 @@ def two_hop_pair_counts(
     Returns ``(src, dst, overlap, work)`` where ``work`` is the number of
     two-hop traversals performed (the cost the paper's kernels are bound
     by).  ``upper_only`` keeps only ``f > e`` pairs (line 10's ``i < j``).
+
+    Under ``upper_only`` a member hypernode of degree 1 can only
+    produce the self-candidate ``e`` itself, which the ``f > e`` filter
+    always discards — so those members are pruned *before* the hop-2
+    gather/repeat rather than materializing pairs destined for the
+    filter.  (Micro-bench, rand1 full frontier: 1.06x; degree-1-heavy
+    powerlaw tails: 1.3–1.6x — the saved work is exactly the count of
+    degree-1 incidences.)  ``upper_only=False`` callers keep the full
+    expansion: the diagonal self-pairs they rely on (`s_traversal`,
+    toplex) come from precisely those members.
     """
     hyperedge_ids = np.asarray(hyperedge_ids, dtype=np.int64)
     if hyperedge_ids.size == 0:
@@ -245,6 +340,9 @@ def two_hop_pair_counts(
     # hop 2: member -> all hyperedges incident on it
     m_starts = nodes.indptr[members]
     m_sizes = nodes.indptr[members + 1] - m_starts
+    if upper_only:
+        # degree-1 members only yield the self-candidate: skip them
+        m_sizes = np.where(m_sizes > 1, m_sizes, 0)
     cand = multi_slice(nodes.indices, m_starts, m_sizes)
     # source-edge labels for each candidate, fused into ONE repeat: the
     # member-level intermediate (repeat ids by sizes, then again by
@@ -300,6 +398,9 @@ def two_hop_pair_weighted(
     e_for_member = np.repeat(hyperedge_ids, sizes)
     m_starts = nodes.indptr[members]
     m_sizes = nodes.indptr[members + 1] - m_starts
+    if upper_only:
+        # as in two_hop_pair_counts: degree-1 members only self-pair
+        m_sizes = np.where(m_sizes > 1, m_sizes, 0)
     cand = multi_slice(nodes.indices, m_starts, m_sizes)
     w_second = multi_slice(nodes.weights, m_starts, m_sizes)
     e_for_cand = np.repeat(e_for_member, m_sizes)

@@ -16,12 +16,14 @@ from repro.structures.edgelist import EdgeList
 from repro.obs.tracer import as_tracer
 
 from .common import (
+    emit_kernel_counters,
     finalize_edges,
+    merge_kernel_stats,
     pair_counters,
     resolve_incidence,
     resolve_runtime,
+    total_candidates,
 )
-from .kernels import HashmapCountKernel
 
 __all__ = ["slinegraph_ensemble"]
 
@@ -34,6 +36,7 @@ def slinegraph_ensemble(
     metrics=None,
     backend=None,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> dict[int, EdgeList]:
     """Build ``{s: L_s(H)}`` for every ``s`` in ``s_values`` in one pass.
 
@@ -41,12 +44,16 @@ def slinegraph_ensemble(
     threshold can never appear in any requested line graph).  The
     candidate/pruned/emitted counters are stated at the ``min(s_values)``
     threshold — the one counting pass the ensemble actually runs.
+    ``kernel`` picks the counting body (default ``"auto"``: the adaptive
+    dispatcher); every choice yields the same ensemble bit for bit.
     """
     s_values = sorted(set(int(s) for s in s_values))
     if not s_values:
         return {}
     if s_values[0] < 1:
         raise ValueError("every s must be >= 1")
+    from .dispatch import make_count_kernel
+
     tr = as_tracer(tracer)
     c_cand, c_pruned, c_emit = pair_counters(metrics, "ensemble")
     s_min = s_values[0]
@@ -60,15 +67,15 @@ def slinegraph_ensemble(
         ) as span:
             with tr.span("ensemble.count"):
                 if runtime is None:
-                    kernel = HashmapCountKernel(edges, nodes, s_min)
-                    parts = [kernel(eligible).value]
+                    body = make_count_kernel(kernel, edges, nodes, s_min)
+                    parts = [body(eligible).value]
                 else:
                     runtime.new_run()
                     with runtime.share(edges, nodes) as (se, sn):
-                        kernel = HashmapCountKernel(se, sn, s_min)
+                        body = make_count_kernel(kernel, se, sn, s_min)
                         parts = runtime.parallel_for(
                             runtime.partition(eligible),
-                            kernel,
+                            body,
                             phase="ensemble_count",
                             pure=True,
                         )
@@ -76,13 +83,15 @@ def slinegraph_ensemble(
                 src = np.concatenate([p[0] for p in parts])
                 dst = np.concatenate([p[1] for p in parts])
                 cnt = np.concatenate([p[2] for p in parts])
-                candidates = sum(p[3] for p in parts)
+                stats = merge_kernel_stats([p[3] for p in parts])
+                candidates = total_candidates(stats)
             else:
                 src = dst = cnt = np.empty(0, dtype=np.int64)
-                candidates = 0
+                stats, candidates = {}, 0
             c_cand.inc(candidates)
             c_pruned.inc(candidates - src.size)
             c_emit.inc(src.size)
+            emit_kernel_counters(metrics, stats)
             span.set(candidates=candidates, emitted=int(src.size))
             with tr.span("ensemble.filter"):
                 out: dict[int, EdgeList] = {}

@@ -25,13 +25,15 @@ from repro.structures.edgelist import EdgeList
 from repro.obs.tracer import as_tracer
 
 from .common import (
+    emit_kernel_counters,
     empty_linegraph,
     finalize_edges,
+    merge_kernel_stats,
     pair_counters,
     resolve_incidence,
     resolve_runtime,
+    total_candidates,
 )
-from .kernels import HashmapCountKernel
 
 __all__ = ["slinegraph_hashmap"]
 
@@ -45,6 +47,7 @@ def slinegraph_hashmap(
     metrics=None,
     backend=None,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> EdgeList:
     """Hashmap-based counting construction over the full hyperedge range.
 
@@ -59,9 +62,16 @@ def slinegraph_hashmap(
     ``backend``/``workers`` build a throwaway runtime on that execution
     backend (see :mod:`repro.parallel.backends`); alternatively pass a
     ``runtime`` already configured with one.
+
+    ``kernel`` selects the counting body (one of
+    :data:`~repro.linegraph.dispatch.KERNEL_NAMES`); the default
+    ``"auto"`` is the degree-bucketed adaptive dispatcher — every choice
+    yields bit-identical graphs.
     """
     if s < 1:
         raise ValueError("s must be >= 1")
+    from .dispatch import make_count_kernel
+
     tr = as_tracer(tracer)
     c_cand, c_pruned, c_emit = pair_counters(metrics, "hashmap")
     edges, nodes, n, sizes = resolve_incidence(h)
@@ -72,19 +82,19 @@ def slinegraph_hashmap(
         with tr.span("slinegraph.hashmap", s=s, weighted=weighted) as span:
             with tr.span("hashmap.count"):
                 if runtime is None:
-                    kernel = HashmapCountKernel(
-                        edges, nodes, s, weighted=weighted
+                    body = make_count_kernel(
+                        kernel, edges, nodes, s, weighted=weighted
                     )
-                    parts = [kernel(eligible).value]
+                    parts = [body(eligible).value]
                 else:
                     runtime.new_run()
                     with runtime.share(edges, nodes) as (se, sn):
-                        kernel = HashmapCountKernel(
-                            se, sn, s, weighted=weighted
+                        body = make_count_kernel(
+                            kernel, se, sn, s, weighted=weighted
                         )
                         parts = runtime.parallel_for(
                             runtime.partition(eligible),
-                            kernel,
+                            body,
                             phase="hashmap_count",
                             pure=True,
                         )
@@ -93,11 +103,17 @@ def slinegraph_hashmap(
             src = np.concatenate([p[0] for p in parts])
             dst = np.concatenate([p[1] for p in parts])
             cnt = np.concatenate([p[2] for p in parts])
-            candidates = sum(p[3] for p in parts)
+            stats = merge_kernel_stats([p[3] for p in parts])
+            candidates = total_candidates(stats)
             c_cand.inc(candidates)
             c_pruned.inc(candidates - src.size)
             c_emit.inc(src.size)
-            span.set(candidates=candidates, emitted=int(src.size))
+            emit_kernel_counters(metrics, stats)
+            span.set(
+                candidates=candidates,
+                emitted=int(src.size),
+                kernels=",".join(sorted(k for k in stats if k != "dispatch")),
+            )
             with tr.span("hashmap.finalize"):
                 return finalize_edges(src, dst, cnt, n)
     finally:

@@ -23,11 +23,14 @@ from repro.structures.edgelist import EdgeList
 from repro.obs.tracer import as_tracer
 
 from .common import (
+    emit_kernel_counters,
     empty_linegraph,
     finalize_edges,
+    merge_kernel_stats,
     pair_counters,
     resolve_incidence,
     resolve_runtime,
+    total_candidates,
 )
 from .kernels import IntersectionKernel
 
@@ -42,8 +45,15 @@ def slinegraph_intersection(
     metrics=None,
     backend=None,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> EdgeList:
-    """Candidate-gathering + per-pair set intersection construction."""
+    """Candidate-gathering + per-pair set intersection construction.
+
+    ``kernel=None`` keeps the algorithm's defining set-intersection body;
+    any :data:`~repro.linegraph.dispatch.KERNEL_NAMES` value (notably
+    ``"auto"``, the adaptive dispatcher) swaps the counting strategy
+    while producing the identical graph.
+    """
     if s < 1:
         raise ValueError("s must be >= 1")
     tr = as_tracer(tracer)
@@ -52,19 +62,24 @@ def slinegraph_intersection(
     eligible = np.flatnonzero(sizes >= s).astype(np.int64)
     runtime, owned = resolve_runtime(runtime, backend, workers)
 
+    def make_body(e, nd):
+        if kernel is None or kernel == "intersection":
+            return IntersectionKernel(e, nd, s)
+        from .dispatch import make_count_kernel
+
+        return make_count_kernel(kernel, e, nd, s)
+
     try:
         with tr.span("slinegraph.intersection", s=s) as span:
             with tr.span("intersection.candidates"):
                 if runtime is None:
-                    kernel = IntersectionKernel(edges, nodes, s)
-                    parts = [kernel(eligible).value]
+                    parts = [make_body(edges, nodes)(eligible).value]
                 else:
                     runtime.new_run()
                     with runtime.share(edges, nodes) as (se, sn):
-                        kernel = IntersectionKernel(se, sn, s)
                         parts = runtime.parallel_for(
                             runtime.partition(eligible),
-                            kernel,
+                            make_body(se, sn),
                             phase="intersection",
                             pure=True,
                         )
@@ -73,10 +88,12 @@ def slinegraph_intersection(
             src = np.concatenate([p[0] for p in parts])
             dst = np.concatenate([p[1] for p in parts])
             cnt = np.concatenate([p[2] for p in parts])
-            candidates = sum(p[3] for p in parts)
+            stats = merge_kernel_stats([p[3] for p in parts])
+            candidates = total_candidates(stats)
             c_cand.inc(candidates)
             c_pruned.inc(candidates - src.size)
             c_emit.inc(src.size)
+            emit_kernel_counters(metrics, stats)
             span.set(candidates=candidates, emitted=int(src.size))
             with tr.span("intersection.finalize"):
                 return finalize_edges(src, dst, cnt, n)

@@ -31,6 +31,7 @@ from repro.parallel.shared import open_handles
 from .common import (
     batch_intersect_counts,
     intersect_count_sorted,
+    kernel_stats,
     two_hop_pair_counts,
     two_hop_pair_weighted,
 )
@@ -52,9 +53,10 @@ def _row_sizes(csr, ids: np.ndarray) -> np.ndarray:
 class HashmapCountKernel:
     """Hashmap-counting body (hashmap, queue_hashmap, ensemble, threaded).
 
-    Returns ``TaskResult((src, dst, weight, candidates), work)`` where
-    ``candidates`` is the number of co-incident pairs examined before the
-    ``s`` threshold — the statistic the builders' counters report.
+    Returns ``TaskResult((src, dst, weight, stats), work)`` where
+    ``stats`` is a :func:`~repro.linegraph.common.kernel_stats` dict —
+    candidates are the co-incident pairs examined before the ``s``
+    threshold, the statistic the builders' counters report.
     """
 
     __slots__ = ("edges", "nodes", "s", "weighted", "degree_filter")
@@ -78,14 +80,25 @@ class HashmapCountKernel:
                 src, dst, cnt, wgt = two_hop_pair_weighted(edges, nodes, live)
                 keep = cnt >= self.s
                 work = int(cnt.sum()) + chunk.size
+                stats = kernel_stats(
+                    "hashmap",
+                    rows=int(live.size),
+                    candidates=int(cnt.size),
+                    emitted=int(keep.sum()),
+                )
                 return TaskResult(
-                    (src[keep], dst[keep], wgt[keep], int(cnt.size)),
-                    float(work),
+                    (src[keep], dst[keep], wgt[keep], stats), float(work)
                 )
             src, dst, cnt, work = two_hop_pair_counts(edges, nodes, live)
             keep = cnt >= self.s
+            stats = kernel_stats(
+                "hashmap",
+                rows=int(live.size),
+                candidates=int(cnt.size),
+                emitted=int(keep.sum()),
+            )
             return TaskResult(
-                (src[keep], dst[keep], cnt[keep], int(cnt.size)),
+                (src[keep], dst[keep], cnt[keep], stats),
                 float(work + chunk.size),
             )
 
@@ -123,8 +136,14 @@ class IntersectionKernel:
                 else 0
             )
             hit = counts >= self.s
+            stats = kernel_stats(
+                "intersection",
+                rows=int(chunk.size),
+                candidates=candidates,
+                emitted=int(hit.sum()),
+            )
             return TaskResult(
-                (src_c[hit], dst_c[hit], counts[hit], candidates),
+                (src_c[hit], dst_c[hit], counts[hit], stats),
                 float(work + chunk.size),
             )
 
@@ -144,9 +163,14 @@ class PairGatherKernel:
             src, dst, _, work = two_hop_pair_counts(edges, nodes, chunk)
             keep = _row_sizes(edges, dst) >= self.s  # candidate-side pruning
             pairs = np.stack([src[keep], dst[keep]], axis=1)
-            return TaskResult(
-                (pairs, int(src.size)), float(work + chunk.size)
+            # phase 1 examines candidates; emission happens in phase 2 —
+            # merging both phases' stats reproduces the builder totals
+            stats = kernel_stats(
+                "intersection",
+                rows=int(chunk.size),
+                candidates=int(src.size),
             )
+            return TaskResult((pairs, stats), float(work + chunk.size))
 
 
 class PairIntersectKernel:
@@ -177,8 +201,11 @@ class PairIntersectKernel:
                 else 0
             )
             keep = counts >= self.s
+            stats = kernel_stats(
+                "intersection", emitted=int(keep.sum())
+            )
             return TaskResult(
-                (pairs[keep, 0], pairs[keep, 1], counts[keep]),
+                (pairs[keep, 0], pairs[keep, 1], counts[keep], stats),
                 float(work + pairs.shape[0]),
             )
 
@@ -215,7 +242,13 @@ class NaivePairsKernel:
                         src.append(e)
                         dst.append(f)
                         cnt.append(c)
+            stats = kernel_stats(
+                "naive",
+                rows=int(block.size),
+                candidates=examined,
+                emitted=len(src),
+            )
             return TaskResult(
-                (np.array(src), np.array(dst), np.array(cnt), examined),
+                (np.array(src), np.array(dst), np.array(cnt), stats),
                 float(work + block.size),
             )

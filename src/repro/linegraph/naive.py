@@ -16,10 +16,13 @@ from repro.structures.edgelist import EdgeList
 from repro.obs.tracer import as_tracer
 
 from .common import (
+    emit_kernel_counters,
     finalize_edges,
+    merge_kernel_stats,
     pair_counters,
     resolve_incidence,
     resolve_runtime,
+    total_candidates,
 )
 from .kernels import NaivePairsKernel
 
@@ -38,6 +41,8 @@ def slinegraph_naive(
     """All-pairs set-intersection s-line construction.
 
     O(n_e² + total intersection work); only sensible for small inputs.
+    Deliberately *not* dispatched: this is the oracle the adaptive
+    kernels are validated against.
     """
     if s < 1:
         raise ValueError("s must be >= 1")
@@ -66,10 +71,12 @@ def slinegraph_naive(
             src = np.concatenate([p[0] for p in parts]) if parts else np.empty(0)
             dst = np.concatenate([p[1] for p in parts]) if parts else np.empty(0)
             cnt = np.concatenate([p[2] for p in parts]) if parts else np.empty(0)
-            examined = sum(p[3] for p in parts)
+            stats = merge_kernel_stats([p[3] for p in parts])
+            examined = total_candidates(stats)
             c_cand.inc(examined)
             c_pruned.inc(examined - src.size)
             c_emit.inc(src.size)
+            emit_kernel_counters(metrics, stats)
             span.set(candidates=examined, emitted=int(src.size))
             with tr.span("naive.finalize"):
                 return finalize_edges(src, dst, cnt, n)

@@ -24,13 +24,15 @@ from repro.structures.edgelist import EdgeList
 from repro.obs.tracer import as_tracer
 
 from .common import (
+    emit_kernel_counters,
     empty_linegraph,
     finalize_edges,
+    merge_kernel_stats,
     pair_counters,
     resolve_incidence,
     resolve_runtime,
+    total_candidates,
 )
-from .kernels import HashmapCountKernel
 
 __all__ = ["slinegraph_queue_hashmap"]
 
@@ -44,6 +46,7 @@ def slinegraph_queue_hashmap(
     metrics=None,
     backend=None,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> EdgeList:
     """Single-phase queue-based construction (paper Algorithm 1).
 
@@ -65,9 +68,15 @@ def slinegraph_queue_hashmap(
     backend, workers:
         Alternative to ``runtime``: build one on the named execution
         backend (the counting phase then runs on a real pool).
+    kernel:
+        Counting body for the drained queue (default ``"auto"``: the
+        adaptive dispatcher of :mod:`repro.linegraph.dispatch`); results
+        are bit-identical across choices.
     """
     if s < 1:
         raise ValueError("s must be >= 1")
+    from .dispatch import make_count_kernel
+
     tr = as_tracer(tracer)
     c_cand, c_pruned, c_emit = pair_counters(metrics, "queue_hashmap")
     edges, nodes, n_e, sizes = resolve_incidence(h)
@@ -109,31 +118,33 @@ def slinegraph_queue_hashmap(
             out_src: list[np.ndarray] = []
             out_dst: list[np.ndarray] = []
             out_cnt: list[np.ndarray] = []
-            candidates = 0
+            stats_parts: list[dict] = []
 
             with tr.span("queue_hashmap.count"):
                 if runtime is None:
-                    kernel = HashmapCountKernel(
-                        edges, nodes, s, degree_filter=True
+                    body = make_count_kernel(
+                        kernel, edges, nodes, s, degree_filter=True
                     )
-                    parts = [kernel(queue.drain()).value]
+                    parts = [body(queue.drain()).value]
                 else:
                     drained = queue.drain()
                     with runtime.share(edges, nodes) as (se, sn):
-                        kernel = HashmapCountKernel(
-                            se, sn, s, degree_filter=True
+                        body = make_count_kernel(
+                            kernel, se, sn, s, degree_filter=True
                         )
                         parts = runtime.parallel_for(
                             runtime.partition(drained),
-                            kernel,
+                            body,
                             phase="queue_hashmap",
                             pure=True,
                         )
-            for src, dst, cnt, cand in parts:
+            for src, dst, cnt, part_stats in parts:
                 out_src.append(src)
                 out_dst.append(dst)
                 out_cnt.append(cnt)
-                candidates += cand
+                stats_parts.append(part_stats)
+            stats = merge_kernel_stats(stats_parts)
+            candidates = total_candidates(stats)
 
             # line 15: concatenate per-thread edge lists (prefix sum + parallel
             # copy)
@@ -153,6 +164,7 @@ def slinegraph_queue_hashmap(
             c_cand.inc(candidates)
             c_pruned.inc(candidates - emitted)
             c_emit.inc(emitted)
+            emit_kernel_counters(metrics, stats)
             span.set(candidates=candidates, emitted=emitted)
             with tr.span("queue_hashmap.finalize"):
                 return finalize_edges(

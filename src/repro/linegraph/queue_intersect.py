@@ -29,11 +29,14 @@ from repro.structures.edgelist import EdgeList
 from repro.obs.tracer import as_tracer
 
 from .common import (
+    emit_kernel_counters,
     empty_linegraph,
     finalize_edges,
+    merge_kernel_stats,
     pair_counters,
     resolve_incidence,
     resolve_runtime,
+    total_candidates,
 )
 from .kernels import PairGatherKernel, PairIntersectKernel
 
@@ -49,15 +52,24 @@ def slinegraph_queue_intersection(
     metrics=None,
     backend=None,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> EdgeList:
     """Two-phase queue-based construction (paper Algorithm 2).
 
     ``tracer``/``metrics`` are optional :mod:`repro.obs` instruments
     (no-op when ``None``); ``backend``/``workers`` build a runtime on the
-    named execution backend when no ``runtime`` is passed.
+    named execution backend when no ``runtime`` is passed.  ``kernel``
+    exists for builder-API uniformity; the pair queue *is* this
+    algorithm's strategy, so only the intersection family (``None`` /
+    ``"auto"`` / ``"intersection"``) is accepted.
     """
     if s < 1:
         raise ValueError("s must be >= 1")
+    if kernel not in (None, "auto", "intersection"):
+        raise ValueError(
+            "queue_intersection is definitionally two-phase intersection; "
+            f"kernel={kernel!r} is not applicable"
+        )
     tr = as_tracer(tracer)
     c_cand, c_pruned, c_emit = pair_counters(metrics, "queue_intersection")
     edges, nodes, n_e, sizes = resolve_incidence(h)
@@ -75,26 +87,26 @@ def slinegraph_queue_intersection(
             # ---- Phase 1: enqueue eligible candidate pairs ----------------
             eligible = queue_ids[sizes[queue_ids] >= s]
             local = ThreadLocalQueues(nt, width=2)
-            candidates = 0
+            stats_parts: list[dict] = []
 
             with tr.span("queue_intersection.enqueue_pairs"):
                 if runtime is None:
-                    kernel = PairGatherKernel(edges, nodes, s)
-                    pairs, cand = kernel(eligible).value
-                    candidates += cand
+                    body = PairGatherKernel(edges, nodes, s)
+                    pairs, part_stats = body(eligible).value
+                    stats_parts.append(part_stats)
                     local.push(0, pairs)
                 else:
                     runtime.new_run()
                     with runtime.share(edges, nodes) as (se, sn):
-                        kernel = PairGatherKernel(se, sn, s)
+                        body = PairGatherKernel(se, sn, s)
                         parts = runtime.parallel_for(
                             runtime.partition(eligible),
-                            kernel,
+                            body,
                             phase="enqueue_pairs",
                             pure=True,
                         )
-                    for i, (pairs, cand) in enumerate(parts):
-                        candidates += cand
+                    for i, (pairs, part_stats) in enumerate(parts):
+                        stats_parts.append(part_stats)
                         local.push(i % nt, pairs)
                 merged = local.merge()
                 if runtime is not None:
@@ -119,8 +131,8 @@ def slinegraph_queue_intersection(
                 if all_pairs.ndim == 1:
                     all_pairs = all_pairs.reshape(-1, 2)
                 if runtime is None:
-                    kernel = PairIntersectKernel(edges, s)
-                    results = [kernel(all_pairs).value]
+                    body = PairIntersectKernel(edges, s)
+                    results = [body(all_pairs).value]
                 else:
                     # the pair queue has one-row granularity; chunk by pair
                     # index and ship each task its own pair rows
@@ -129,18 +141,22 @@ def slinegraph_queue_intersection(
                         for idx in runtime.partition(all_pairs.shape[0])
                     ]
                     with runtime.share(edges) as (se,):
-                        kernel = PairIntersectKernel(se, s)
+                        body = PairIntersectKernel(se, s)
                         results = runtime.parallel_for(
                             pair_chunks,
-                            kernel,
+                            body,
                             phase="intersect_pairs",
                             pure=True,
                         )
 
+            stats_parts.extend(r[3] for r in results)
+            stats = merge_kernel_stats(stats_parts)
+            candidates = total_candidates(stats)
             emitted = sum(int(r[0].size) for r in results)
             c_cand.inc(candidates)
             c_pruned.inc(candidates - emitted)
             c_emit.inc(emitted)
+            emit_kernel_counters(metrics, stats)
             span.set(candidates=candidates, emitted=emitted)
             srcs = [r[0] for r in results if r[0].size]
             if not srcs:

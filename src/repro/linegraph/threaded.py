@@ -32,6 +32,7 @@ def slinegraph_threaded(
     runtime: ParallelRuntime | None = None,
     tracer=None,
     metrics=None,
+    kernel: str | None = None,
 ) -> EdgeList:
     """Hashmap-counting construction over a real thread pool.
 
@@ -45,7 +46,8 @@ def slinegraph_threaded(
         raise ValueError("s must be >= 1")
     if runtime is not None:
         return slinegraph_hashmap(
-            h, s, runtime=runtime, tracer=tracer, metrics=metrics
+            h, s, runtime=runtime, tracer=tracer, metrics=metrics,
+            kernel=kernel,
         )
     workers = default_workers() if num_workers is None else int(num_workers)
     if workers <= 0:
@@ -58,5 +60,5 @@ def slinegraph_threaded(
         workers=workers,
     ) as rt:
         return slinegraph_hashmap(
-            h, s, runtime=rt, tracer=tracer, metrics=metrics
+            h, s, runtime=rt, tracer=tracer, metrics=metrics, kernel=kernel
         )

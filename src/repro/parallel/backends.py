@@ -275,7 +275,7 @@ class ProcessBackend(ExecutionBackend):
         """
         import numpy as np
 
-        from .shared import SharedArray, SharedCSR
+        from .shared import SharedArray, SharedCSR, SharedCompressedCSR
 
         shared = []
         out = []
@@ -290,12 +290,19 @@ class ProcessBackend(ExecutionBackend):
                     continue
                 if isinstance(obj, np.ndarray):
                     handle = self._mapped_handle(obj) or SharedArray.create(obj)
+                elif hasattr(obj, "offsets") and hasattr(obj, "decode_rows"):
+                    # CompressedCSR: has indptr but no indices column, so
+                    # test before the generic CSR duck-type — the shm
+                    # blocks carry the compressed bytes, workers decode
+                    handle = SharedCompressedCSR.create(obj)
                 elif hasattr(obj, "indptr") and hasattr(obj, "indices"):
                     handle = self._mapped_handle(obj) or SharedCSR.create(obj)
                 else:  # scalars and small picklables travel by value
                     out.append(obj)
                     continue
-                if isinstance(handle, (SharedArray, SharedCSR)):
+                if isinstance(
+                    handle, (SharedArray, SharedCSR, SharedCompressedCSR)
+                ):
                     shared.append(handle)  # owner must release shm blocks
                 seen[id(obj)] = handle
                 out.append(handle)

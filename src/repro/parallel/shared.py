@@ -49,8 +49,10 @@ import numpy as np
 __all__ = [
     "BufferHandle",
     "CSRHandle",
+    "CompressedCSRHandle",
     "SharedArray",
     "SharedCSR",
+    "SharedCompressedCSR",
     "debug_verify",
     "open_handles",
     "shared_stats",
@@ -215,6 +217,94 @@ class CSRHandle:
             self.weights.release()
 
 
+class CompressedCSRHandle:
+    """A :class:`~repro.structures.compressed.CompressedCSR` behind handles.
+
+    Mirrors :class:`CSRHandle` for the four compressed buffers
+    (``indptr``/``offsets``/``data``/optional ``weights``).  What crosses
+    the process boundary (or persists in a store slab) is the delta+varint
+    byte stream — typically several times smaller than the raw ``int64``
+    ``indices`` column — and the **worker** pays the decode:
+    :meth:`open` adopts the views and decodes to an ordinary CSR per
+    task; :meth:`open_compressed` skips the decode for callers that want
+    targeted :meth:`~repro.structures.compressed.CompressedCSR.decode_rows`
+    access instead.
+    """
+
+    __slots__ = (
+        "indptr", "offsets", "data", "weights", "num_targets", "sorted_rows",
+    )
+
+    def __init__(
+        self,
+        indptr: BufferHandle,
+        offsets: BufferHandle,
+        data: BufferHandle,
+        weights: BufferHandle | None,
+        num_targets: int,
+        sorted_rows: bool,
+    ) -> None:
+        self.indptr = indptr  # repro: noqa-R001 — BufferHandle, not a CSR buffer
+        self.offsets = offsets
+        self.data = data
+        self.weights = weights
+        self.num_targets = int(num_targets)
+        self.sorted_rows = bool(sorted_rows)
+
+    @property
+    def nbytes(self) -> int:
+        total = self.indptr.nbytes + self.offsets.nbytes + self.data.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return total
+
+    def __getstate__(self) -> tuple:
+        return (
+            self.indptr, self.offsets, self.data, self.weights,
+            self.num_targets, self.sorted_rows,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.indptr, self.offsets, self.data, self.weights,  # repro: noqa-R001 — handle fields
+         self.num_targets, self.sorted_rows) = state
+
+    def open_compressed(self):
+        """Attach and adopt the :class:`CompressedCSR` (no decode)."""
+        from repro.structures.compressed import CompressedCSR
+
+        return CompressedCSR.adopt(
+            self.indptr.open(),
+            self.offsets.open(),
+            self.data.open(),
+            None if self.weights is None else self.weights.open(),
+            num_targets=self.num_targets,
+            sorted_rows=self.sorted_rows,
+        )
+
+    def open(self):
+        """Attach and decode to an ordinary CSR (worker side, per task).
+
+        The decode output is freshly allocated, so kernels built on this
+        satisfy the "no shared views escape the task" contract for free.
+        """
+        return self.open_compressed().to_csr()
+
+    def close(self) -> None:
+        self.indptr.close()
+        self.offsets.close()
+        self.data.close()
+        if self.weights is not None:
+            self.weights.close()
+
+    def release(self) -> None:
+        """Owner teardown of all four buffers (idempotent)."""
+        self.indptr.release()
+        self.offsets.release()
+        self.data.release()
+        if self.weights is not None:
+            self.weights.release()
+
+
 class SharedArray(BufferHandle):
     """A picklable handle to one ndarray stored in shared memory.
 
@@ -337,22 +427,65 @@ class SharedCSR(CSRHandle):
         )
 
 
+class SharedCompressedCSR(CompressedCSRHandle):
+    """A :class:`~repro.structures.compressed.CompressedCSR` in shm.
+
+    The shm sibling of :class:`SharedCSR`: the blocks hold the compressed
+    byte stream plus offsets, so the transport footprint is the
+    compressed size; workers decode on attach (see
+    :class:`CompressedCSRHandle`).
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def create(cls, ccsr) -> "SharedCompressedCSR":
+        """Export a CompressedCSR's buffers into shared memory."""
+        return cls(
+            SharedArray.create(ccsr.indptr),
+            SharedArray.create(ccsr.offsets),
+            SharedArray.create(ccsr.data),
+            None if ccsr.weights is None else SharedArray.create(ccsr.weights),
+            ccsr.num_targets(),
+            ccsr.has_sorted_rows,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedCompressedCSR(data={self.data.name}, "
+            f"nbytes={self.nbytes})"
+        )
+
+
 def _is_shared(obj) -> bool:
-    return isinstance(obj, (BufferHandle, CSRHandle))
+    return isinstance(obj, (BufferHandle, CSRHandle, CompressedCSRHandle))
+
+
+def _is_compressed_csr(obj) -> bool:
+    # duck-typed to avoid importing repro.structures here
+    return hasattr(obj, "decode_rows") and hasattr(obj, "to_csr")
 
 
 @contextmanager
 def open_handles(*objs):
     """Materialize a mixed tuple of handles and plain objects for one task.
 
-    :class:`BufferHandle`/:class:`CSRHandle` entries (any provider — shm
-    or mmap) are attached and yielded as ndarray/CSR; plain ndarrays,
-    CSRs, and ``None`` pass through
+    :class:`BufferHandle`/:class:`CSRHandle`/:class:`CompressedCSRHandle`
+    entries (any provider — shm or mmap) are attached and yielded as
+    ndarray/CSR; a plain
+    :class:`~repro.structures.compressed.CompressedCSR` is decoded to its
+    CSR (the simulated/threaded mirror of the worker-side decode); plain
+    ndarrays, CSRs, and ``None`` pass through
     untouched — so kernels written against this helper run identically
     under the simulated, threaded, and process backends.  Attachments are
     closed on exit (worker tasks must copy anything they return).
     """
-    opened = [obj.open() if _is_shared(obj) else obj for obj in objs]
+    opened = [
+        obj.open()
+        if _is_shared(obj)
+        else (obj.to_csr() if _is_compressed_csr(obj) else obj)
+        for obj in objs
+    ]
     try:
         yield opened
     finally:

@@ -118,6 +118,7 @@ class SLineGraphCache:
         metrics: object = None,
         tracer: object = None,
         builder: object = None,
+        kernel: str | None = None,
     ) -> None:
         from repro.obs.metrics import as_metrics
         from repro.obs.tracer import as_tracer
@@ -126,6 +127,11 @@ class SLineGraphCache:
             raise ValueError("budget_bytes must be >= 0 or None")
         self.algorithm = algorithm
         self.builder = builder
+        # counting-kernel selection for cold builds (None = the builder's
+        # default, i.e. the adaptive dispatcher for hashmap-family
+        # algorithms); forwarded to to_two_graph and irrelevant when a
+        # custom builder hook is installed
+        self.kernel = kernel
         self._lock = threading.RLock()
         self._entries: OrderedDict[tuple[str, int, bool], SLineGraph] = (
             OrderedDict()
@@ -137,6 +143,9 @@ class SLineGraphCache:
         self._owners: dict[str, weakref.ReferenceType[NWHypergraph]] = {}
         self.stats = CacheStats(budget_bytes=budget_bytes)
         m = as_metrics(metrics)
+        # kept raw for cold builds: to_two_graph surfaces the per-kernel
+        # linegraph_kernel_* / dispatch_* counters in the same registry
+        self._metrics = metrics
         self._tracer = as_tracer(tracer)
         self._c_outcome = {
             how: m.counter("slinegraph_cache_requests_total", outcome=how)
@@ -289,7 +298,13 @@ class SLineGraphCache:
         with self._tracer.span(
             "cache.build", dataset=dataset, s=s, algorithm=self.algorithm
         ):
-            el = to_two_graph(h, s, algorithm=self.algorithm)
+            el = to_two_graph(
+                h,
+                s,
+                algorithm=self.algorithm,
+                kernel=self.kernel,
+                metrics=self._metrics,
+            )
         return SLineGraph(el, s=s, over_edges=over_edges)
 
     # -- admission / eviction (call with lock held) --------------------------

@@ -45,10 +45,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.linegraph.common import (
+    emit_kernel_counters,
     empty_linegraph,
     finalize_edges,
-    two_hop_pair_counts,
+    total_candidates,
 )
+from repro.linegraph.dispatch import KERNEL_NAMES, adaptive_rows
 from repro.parallel.runtime import ParallelRuntime, TaskResult
 from repro.parallel.shared import open_handles
 from repro.structures.relabel import balanced_ranges
@@ -59,36 +61,45 @@ __all__ = ["ShardPairsKernel", "ShardPlan", "ShardedEngine", "plan_shards"]
 
 
 class ShardPairsKernel:
-    """Per-shard two-hop counting body (picklable, pure, zero-copy).
+    """Per-shard counting body (picklable, pure, zero-copy).
 
     ``chunk`` is one shard's array of row IDs.  Unlike the builders'
     :class:`~repro.linegraph.kernels.HashmapCountKernel` this walks with
     ``upper_only=False``: the shard owns its rows, not the upper
     triangle, so it must emit *every* partner ``f`` of each owned ``e``
-    (self-pairs dropped).  Returns ``TaskResult((src, dst, overlap,
-    candidates), work)``.
+    (self-pairs dropped).  ``kernel`` picks the counting strategy per
+    :data:`~repro.linegraph.dispatch.KERNEL_NAMES` — default ``"auto"``,
+    the degree-bucketed dispatcher, every choice bit-identical.  Returns
+    ``TaskResult((src, dst, overlap, stats), work)``.
     """
 
-    __slots__ = ("edges", "nodes", "s")
+    __slots__ = ("edges", "nodes", "s", "kernel")
 
-    def __init__(self, edges: object, nodes: object, s: int) -> None:
+    def __init__(
+        self, edges: object, nodes: object, s: int,
+        kernel: str | None = None,
+    ) -> None:
         self.edges = edges
         self.nodes = nodes
         self.s = int(s)
+        name = kernel or "auto"
+        if name not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {name!r}; choose from {sorted(KERNEL_NAMES)}"
+            )
+        self.kernel = name
 
     def __call__(self, chunk: np.ndarray) -> TaskResult:
         with open_handles(self.edges, self.nodes) as (edges, nodes):
-            # rows smaller than s cannot reach the overlap threshold
-            sizes = edges.indptr[chunk + 1] - edges.indptr[chunk]
-            live = chunk[sizes >= self.s]
-            src, dst, cnt, work = two_hop_pair_counts(
-                edges, nodes, live, upper_only=False
+            src, dst, cnt, stats, work = adaptive_rows(
+                edges,
+                nodes,
+                chunk,
+                self.s,
+                upper_only=False,
+                force=None if self.kernel == "auto" else self.kernel,
             )
-            keep = (cnt >= self.s) & (src != dst)
-            return TaskResult(
-                (src[keep], dst[keep], cnt[keep], int(cnt.size)),
-                float(work + chunk.size),
-            )
+            return TaskResult((src, dst, cnt, stats), work)
 
 
 @dataclass
@@ -219,11 +230,17 @@ class ShardedEngine(QueryEngine):
     #: ops served by owner-shard routing on cache miss
     _ROUTED_OPS = frozenset({"s_neighbors", "s_degree"})
 
-    def __init__(self, num_shards: int = 2, **kwargs: object) -> None:
+    def __init__(
+        self, num_shards: int = 2, kernel: str | None = None,
+        **kwargs: object,
+    ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         super().__init__(**kwargs)
         self.num_shards = int(num_shards)
+        # counting-kernel selection for every shard scatter/route (one of
+        # KERNEL_NAMES; None = "auto", the adaptive dispatcher)
+        self.kernel = kernel
         self._shard_lock = threading.Lock()
         self._plans: dict[tuple[str, bool], ShardPlan] = {}
         self._partial_memo: tuple | None = None
@@ -274,18 +291,19 @@ class ShardedEngine(QueryEngine):
             "shard.scatter", dataset=key, s=s, shards=plan.num_shards
         ):
             with rt.share(bi.edges, bi.nodes) as (se, sn):
-                kernel = ShardPairsKernel(se, sn, s)
+                kernel = ShardPairsKernel(se, sn, s, kernel=self.kernel)
                 parts = rt.parallel_for(
                     plan.parts, kernel, phase="shard_pairs", pure=True
                 )
         out = []
-        for i, (src, dst, cnt, candidates) in enumerate(parts):
+        for i, (src, dst, cnt, stats) in enumerate(parts):
             self.obs_metrics.counter(
                 "service_shard_pairs_total", shard=str(i)
             ).inc(int(src.size))
             self.obs_metrics.counter(
                 "service_shard_candidates_total", shard=str(i)
-            ).inc(int(candidates))
+            ).inc(total_candidates(stats))
+            emit_kernel_counters(self.obs_metrics, stats)
             out.append((src, dst, cnt))
         self.obs_metrics.counter(
             "service_shard_scatters_total",
@@ -377,7 +395,7 @@ class ShardedEngine(QueryEngine):
         rt.new_run()
         with self.tracer.span("shard.route", dataset=key, s=s, shard=shard):
             with rt.share(bi.edges, bi.nodes) as (se, sn):
-                kernel = ShardPairsKernel(se, sn, s)
+                kernel = ShardPairsKernel(se, sn, s, kernel=self.kernel)
                 parts = rt.parallel_for(
                     [np.array([v], dtype=np.int64)],
                     kernel,

@@ -238,6 +238,12 @@ class StoreHandle:
                     hot[(s, over_edges)] = base.s_linegraph(
                         s, over_edges=over_edges
                     )
+            # checkpoints inherit the encoding the store was built with
+            compress = any(
+                spec.get("encoding") == "varint"
+                for key, spec in self.manifest.csrs.items()
+                if key != "incidence"
+            )
             manifest = write_snapshot(
                 self.directory,
                 base,
@@ -245,6 +251,7 @@ class StoreHandle:
                 base_version=dyn.version,
                 hot=hot,
                 include_adjoin=self._include_adjoin,
+                compress=compress,
                 metrics=self._metrics,
                 tracer=self._tracer,
             )
@@ -290,7 +297,24 @@ class StoreHandle:
 
 
 def _adopt_csr(slab: SlabFile, spec: dict) -> CSR:
-    """O(1) CSR over slab views, per one manifest composition record."""
+    """CSR over slab views, per one manifest composition record.
+
+    Plain sections adopt the mmap pages in O(1).  Varint sections
+    (``"encoding": "varint"``, written by ``build_store(compress=True)``)
+    decode once here — the slab stays compressed on disk and in the page
+    cache; only the decoded indices are freshly allocated.
+    """
+    if spec.get("encoding") == "varint":
+        from repro.structures.compressed import CompressedCSR
+
+        return CompressedCSR.adopt(
+            slab.array(spec["indptr"]),
+            slab.array(spec["offsets"]),
+            slab.array(spec["data"]),
+            slab.array(spec["weights"]) if spec.get("weights") else None,
+            num_targets=int(spec["num_targets"]),
+            sorted_rows=bool(spec.get("sorted", True)),
+        ).to_csr()
     return CSR.adopt(
         slab.array(spec["indptr"]),
         slab.array(spec["indices"]),

@@ -37,8 +37,36 @@ from .wal import WriteAheadLog
 __all__ = ["build_store", "write_snapshot"]
 
 
-def _csr_section(writer: SlabWriter, prefix: str, csr: object) -> dict:
-    """Write one CSR's buffers; return its manifest composition record."""
+def _csr_section(
+    writer: SlabWriter, prefix: str, csr: object, compress: bool = False
+) -> dict:
+    """Write one CSR's buffers; return its manifest composition record.
+
+    With ``compress`` the adjacency column is persisted delta+varint
+    encoded (``{prefix}.offsets`` + ``{prefix}.data``; format in
+    :class:`repro.structures.compressed.CompressedCSR`) and the record
+    carries ``"encoding": "varint"`` so recovery knows to decode.
+    Unsorted rows cannot be delta-encoded; such a CSR silently falls
+    back to the plain layout rather than failing the snapshot.
+    """
+    if compress and csr.has_sorted_rows:
+        ccsr = csr.compress()
+        writer.add(f"{prefix}.indptr", ccsr.indptr)
+        writer.add(f"{prefix}.offsets", ccsr.offsets)
+        writer.add(f"{prefix}.data", ccsr.data)
+        spec = {
+            "encoding": "varint",
+            "indptr": f"{prefix}.indptr",
+            "offsets": f"{prefix}.offsets",
+            "data": f"{prefix}.data",
+            "weights": None,
+            "num_targets": csr.num_targets(),
+            "sorted": True,
+        }
+        if ccsr.weights is not None:
+            writer.add(f"{prefix}.weights", ccsr.weights)
+            spec["weights"] = f"{prefix}.weights"
+        return spec
     writer.add(f"{prefix}.indptr", csr.indptr)
     writer.add(f"{prefix}.indices", csr.indices)
     spec = {
@@ -61,13 +89,16 @@ def write_snapshot(
     base_version: int = 0,
     hot: dict[tuple[int, bool], SLineGraph] | None = None,
     include_adjoin: bool = True,
+    compress: bool = False,
     metrics: object = None,
     tracer: object = None,
 ) -> Manifest:
     """Persist ``hypergraph`` as the store snapshot at ``base_version``.
 
     ``hot`` maps ``(s, over_edges)`` to the line graphs to record for
-    warm-restart cache rehydration.  Returns the committed manifest.
+    warm-restart cache rehydration.  ``compress`` stores the CSR
+    adjacency columns delta+varint encoded (smaller slab; open pays a
+    one-time decode).  Returns the committed manifest.
     """
     from repro.obs.metrics import as_metrics
     from repro.obs.tracer import as_tracer
@@ -90,13 +121,17 @@ def write_snapshot(
             writer.add("incidence.weights", el.weights)
             incidence_weights = "incidence.weights"
         csrs = {
-            "bi.edges": _csr_section(writer, "bi.edges", bi.edges),
-            "bi.nodes": _csr_section(writer, "bi.nodes", bi.nodes),
+            "bi.edges": _csr_section(
+                writer, "bi.edges", bi.edges, compress=compress
+            ),
+            "bi.nodes": _csr_section(
+                writer, "bi.nodes", bi.nodes, compress=compress
+            ),
         }
         if include_adjoin:
             adjoin = hypergraph.adjoin_graph
             csrs["adjoin.graph"] = _csr_section(
-                writer, "adjoin.graph", adjoin.graph
+                writer, "adjoin.graph", adjoin.graph, compress=compress
             )
         hot_specs: list[dict] = []
         for i, ((s, over_edges), lg) in enumerate(sorted((hot or {}).items())):
@@ -179,6 +214,7 @@ def build_store(
     warm_s: tuple[int, ...] = (),
     warm_over_edges: bool = True,
     include_adjoin: bool = True,
+    compress: bool = False,
     metrics: object = None,
     tracer: object = None,
 ) -> Manifest:
@@ -189,6 +225,8 @@ def build_store(
     ``NWHypergraph``, a ``BiEdgeList``, a dataset file path, or a Table I
     stand-in name.  ``warm_s`` lists s-values whose line graphs (built
     over ``warm_over_edges``) are persisted as hot cache entries.
+    ``compress`` persists CSR adjacency columns varint-encoded; later
+    checkpoints keep whichever encoding the store was built with.
     """
     from repro.core.hypergraph import NWHypergraph as NWH
     from repro.structures.edgelist import BiEdgeList
@@ -225,6 +263,7 @@ def build_store(
         base_version=0,
         hot=hot,
         include_adjoin=include_adjoin,
+        compress=compress,
         metrics=metrics,
         tracer=tracer,
     )

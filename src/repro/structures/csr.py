@@ -325,6 +325,18 @@ class CSR:
             shape=(self.num_vertices(), self._num_targets),
         )
 
+    def compress(self):
+        """Delta+varint-pack the ``indices`` column.
+
+        Returns a :class:`~repro.structures.compressed.CompressedCSR`
+        whose :meth:`~repro.structures.compressed.CompressedCSR.to_csr`
+        round-trips bit-exactly.  Requires sorted rows (every
+        construction path in this library produces them).
+        """
+        from .compressed import CompressedCSR
+
+        return CompressedCSR.from_csr(self)
+
     def to_edgelist(self) -> EdgeList:
         """Flatten back to an edge list over max(num_vertices, num_targets)."""
         src = np.repeat(

@@ -77,6 +77,68 @@ def test_slinegraph_and_cc_bit_identical(pools, el, s):
         assert makespans[name] == makespans["simulated"], name
 
 
+@settings(max_examples=15, deadline=None)
+@given(
+    el=hypergraphs(),
+    s=st.integers(1, 3),
+    kernel=st.sampled_from(("auto", "naive", "hashmap", "intersection",
+                            "bitset")),
+)
+def test_forced_kernels_bit_identical_across_backends(pools, el, s, kernel):
+    """Any kernel family, any backend: same graph, same simulated ledger."""
+    h = BiAdjacency.from_biedgelist(el)
+    base = to_two_graph(h, s, "hashmap")
+    makespans = {}
+    for name, be in pools.items():
+        with ParallelRuntime(
+            num_threads=4, partitioner="cyclic", grain=2, backend=be
+        ) as rt:
+            got = to_two_graph(h, s, "hashmap", runtime=rt, kernel=kernel)
+            makespans[name] = rt.makespan
+        assert got == base, (kernel, name)
+    assert makespans["threaded"] == makespans["simulated"]
+    assert makespans["process"] == makespans["simulated"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(el=hypergraphs(), s=st.integers(1, 3))
+def test_compressed_csr_transport_bit_identical(pools, el, s):
+    """Kernels fed CompressedCSR inputs decode to the exact same graph.
+
+    The compressed column crosses each backend differently (inline
+    decode on simulated/threaded, shm bytes + worker-side decode on
+    process); the results must not care.
+    """
+    from repro.linegraph.common import finalize_edges
+    from repro.linegraph.kernels import HashmapCountKernel
+
+    h = BiAdjacency.from_biedgelist(el)
+    base = to_two_graph(h, s, "hashmap")
+    ce, cn = h.edges.compress(), h.nodes.compress()
+    eligible = np.flatnonzero(h.edge_sizes() >= s).astype(np.int64)
+    n = h.num_hyperedges()
+    for name, be in pools.items():
+        with ParallelRuntime(
+            num_threads=4, partitioner="cyclic", grain=2, backend=be
+        ) as rt:
+            rt.new_run()
+            with rt.share(ce, cn) as (se, sn):
+                body = HashmapCountKernel(se, sn, s)
+                parts = rt.parallel_for(
+                    rt.partition(eligible), body, pure=True
+                )
+        if parts:
+            src = np.concatenate([p[0] for p in parts])
+            dst = np.concatenate([p[1] for p in parts])
+            cnt = np.concatenate([p[2] for p in parts])
+            got = finalize_edges(src, dst, cnt, n)
+        else:
+            from repro.linegraph.common import empty_linegraph
+
+            got = empty_linegraph(n)
+        assert got == base, name
+
+
 @settings(max_examples=10, deadline=None)
 @given(el=hypergraphs())
 def test_queue_algorithms_bit_identical(pools, el):

@@ -1,0 +1,225 @@
+"""Degree-bucketed kernel dispatch: policy is deterministic, outputs exact.
+
+The dispatcher may pick any kernel family per bucket; the contract is
+that the choice is a pure function of incidence structure + s + policy
+(never backend or timing) and that every choice produces the identical
+line graph.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linegraph import ALGORITHMS, to_two_graph
+from repro.linegraph.dispatch import (
+    KERNEL_NAMES,
+    AdaptiveKernel,
+    DispatchPolicy,
+    adaptive_rows,
+    bucketize,
+    make_count_kernel,
+)
+from repro.obs import MetricsRegistry
+from repro.structures.biadjacency import BiAdjacency
+from repro.structures.edgelist import BiEdgeList
+from repro.testing import random_hypergraph
+
+DISPATCHED = sorted(
+    set(ALGORITHMS) - {"matrix", "naive", "threaded", "queue_intersection"}
+)
+
+
+def make_h(seed: int = 7, num_edges: int = 24, num_nodes: int = 32):
+    return BiAdjacency.from_biedgelist(
+        random_hypergraph(
+            seed=seed, num_edges=num_edges, num_nodes=num_nodes
+        )
+    )
+
+
+def edge_tuple(g) -> tuple:
+    return (
+        g.src.tolist(),
+        g.dst.tolist(),
+        None if g.weights is None else g.weights.tolist(),
+    )
+
+
+@st.composite
+def hypergraphs(draw, max_edges=14, max_nodes=12):
+    n_e = draw(st.integers(1, max_edges))
+    n_v = draw(st.integers(1, max_nodes))
+    members = draw(
+        st.lists(
+            st.sets(st.integers(0, n_v - 1), max_size=n_v),
+            min_size=n_e,
+            max_size=n_e,
+        )
+    )
+    rows = [e for e, mem in enumerate(members) for _ in mem]
+    cols = [v for mem in members for v in mem]
+    return BiEdgeList(rows, cols, n0=n_e, n1=n_v)
+
+
+class TestBucketize:
+    def test_partitions_live_rows_exactly_once(self):
+        h = make_h()
+        chunk = np.arange(h.num_hyperedges(), dtype=np.int64)
+        s = 2
+        buckets = bucketize(h.edges, h.nodes, chunk, s)
+        got = np.sort(np.concatenate([ids for _, ids in buckets]))
+        live = chunk[h.edge_sizes() >= s]
+        np.testing.assert_array_equal(got, np.sort(live))
+
+    def test_small_graph_goes_naive(self):
+        h = make_h(num_edges=6, num_nodes=8)
+        chunk = np.arange(6, dtype=np.int64)
+        buckets = bucketize(h.edges, h.nodes, chunk, 1)
+        assert [name for name, _ in buckets] == ["naive"]
+
+    def test_drops_sub_s_rows(self):
+        el = BiEdgeList(
+            [0, 1, 1, 2, 2, 2] + list(range(3, 12)),
+            [0, 0, 1, 0, 1, 2] + [0] * 9,
+            n0=12, n1=3,
+        )
+        h = BiAdjacency.from_biedgelist(el)
+        buckets = bucketize(
+            h.edges, h.nodes, np.arange(12, dtype=np.int64), 2
+        )
+        kept = np.concatenate([ids for _, ids in buckets])
+        assert set(kept.tolist()) == {1, 2}
+
+    def test_deterministic(self):
+        h = make_h(seed=3)
+        chunk = np.arange(h.num_hyperedges(), dtype=np.int64)
+        a = bucketize(h.edges, h.nodes, chunk, 2)
+        b = bucketize(h.edges, h.nodes, chunk, 2)
+        assert [n for n, _ in a] == [n for n, _ in b]
+        for (_, x), (_, y) in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_intersect_min_s_knob(self):
+        h = make_h(seed=4, num_edges=30)
+        chunk = np.arange(30, dtype=np.int64)
+        policy = DispatchPolicy(intersect_min_s=2)
+        names = {
+            n for n, _ in bucketize(h.edges, h.nodes, chunk, 3, policy)
+        }
+        assert "intersection" in names and "hashmap" not in names
+
+
+class TestForcedKernels:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        el=hypergraphs(),
+        s=st.integers(1, 3),
+        kernel=st.sampled_from(KERNEL_NAMES),
+    )
+    def test_every_kernel_bit_identical(self, el, s, kernel):
+        h = BiAdjacency.from_biedgelist(el)
+        base = to_two_graph(h, s, algorithm="hashmap")
+        got = to_two_graph(h, s, algorithm="hashmap", kernel=kernel)
+        assert edge_tuple(got) == edge_tuple(base), kernel
+
+    @pytest.mark.parametrize("algorithm", DISPATCHED)
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_NAMES))
+    def test_builders_accept_kernel(self, algorithm, kernel):
+        h = make_h()
+        base = to_two_graph(h, 2, algorithm=algorithm)
+        got = to_two_graph(h, 2, algorithm=algorithm, kernel=kernel)
+        assert edge_tuple(got) == edge_tuple(base), (algorithm, kernel)
+
+    def test_queue_intersection_rejects_foreign_kernels(self):
+        h = make_h()
+        with pytest.raises(ValueError, match="queue_intersection"):
+            to_two_graph(
+                h, 2, algorithm="queue_intersection", kernel="bitset"
+            )
+        got = to_two_graph(
+            h, 2, algorithm="queue_intersection", kernel="intersection"
+        )
+        base = to_two_graph(h, 2, algorithm="queue_intersection")
+        assert edge_tuple(got) == edge_tuple(base)
+
+    def test_undispatched_algorithms_reject_kernel(self):
+        h = make_h()
+        for algorithm in ("matrix", "naive"):
+            with pytest.raises(ValueError, match="kernel"):
+                to_two_graph(h, 2, algorithm=algorithm, kernel="auto")
+
+    def test_unknown_kernel_rejected(self):
+        h = make_h()
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_count_kernel("turbo", h.edges, h.nodes, 2)
+
+    def test_weighted_requires_hashmap(self):
+        h = make_h()
+        with pytest.raises(ValueError, match="weighted"):
+            make_count_kernel(
+                "bitset", h.edges, h.nodes, 2, weighted=True
+            )
+
+
+class TestAdaptiveRows:
+    @settings(max_examples=20, deadline=None)
+    @given(el=hypergraphs(), s=st.integers(1, 3),
+           upper_only=st.booleans())
+    def test_matches_forced_hashmap(self, el, s, upper_only):
+        h = BiAdjacency.from_biedgelist(el)
+        chunk = np.arange(h.num_hyperedges(), dtype=np.int64)
+        auto = adaptive_rows(
+            h.edges, h.nodes, chunk, s, upper_only=upper_only
+        )
+        forced = adaptive_rows(
+            h.edges, h.nodes, chunk, s, upper_only=upper_only,
+            force="hashmap",
+        )
+        key = lambda r: sorted(  # noqa: E731
+            zip(r[0].tolist(), r[1].tolist(), r[2].tolist())
+        )
+        assert key(auto) == key(forced)
+
+    def test_stats_carry_dispatch_entry(self):
+        h = make_h()
+        chunk = np.arange(h.num_hyperedges(), dtype=np.int64)
+        *_, stats, work = adaptive_rows(h.edges, h.nodes, chunk, 2)
+        assert "dispatch" in stats
+        assert stats["dispatch"]["rows"] == chunk.size
+        assert stats["dispatch"]["tasks"] >= 1
+        assert work > 0
+
+    def test_kernel_pickles(self):
+        h = make_h()
+        k = AdaptiveKernel(h.edges, h.nodes, 2)
+        k2 = pickle.loads(pickle.dumps(k))
+        chunk = np.arange(h.num_hyperedges(), dtype=np.int64)
+        a, b = k(chunk), k2(chunk)
+        np.testing.assert_array_equal(a.value[0], b.value[0])
+        assert a.work == b.work
+
+
+class TestDispatchCounters:
+    def test_builder_emits_dispatch_tables(self):
+        h = make_h()
+        metrics = MetricsRegistry()
+        to_two_graph(h, 2, algorithm="hashmap", kernel="auto",
+                     metrics=metrics)
+        names = {
+            (inst["name"], dict(inst["labels"]).get("kernel"))
+            for inst in metrics.snapshot()
+        }
+        kernels_used = {k for n, k in names if n == "dispatch_rows_total"}
+        assert kernels_used  # at least one per-bucket family recorded
+        assert all(
+            (n, k) in names or n != "dispatch_rows_total"
+            for n, k in names
+        )
+        assert {
+            n for n, _ in names
+        } >= {"dispatch_rows_total", "dispatch_buckets_total"}

@@ -82,12 +82,35 @@ class TestBuilderNeutrality:
         values = {
             (inst["name"], dict(inst["labels"])["algorithm"]): inst["value"]
             for inst in metrics.snapshot()
+            if "algorithm" in dict(inst["labels"])
         }
         cand = values[("slinegraph_candidate_pairs_total", "hashmap")]
         pruned = values[("slinegraph_pruned_pairs_total", "hashmap")]
         emitted = values[("slinegraph_emitted_pairs_total", "hashmap")]
         assert cand == pruned + emitted
         assert emitted > 0
+
+    def test_uniform_kernel_counters(self):
+        """Every build emits the linegraph_kernel_* trio per family used."""
+        h = make_h(seed=5)
+        metrics = MetricsRegistry()
+        to_two_graph(h, s=2, algorithm="hashmap", metrics=metrics)
+        by_kernel = {}
+        for inst in metrics.snapshot():
+            labels = dict(inst["labels"])
+            if "kernel" in labels:
+                by_kernel.setdefault(labels["kernel"], {})[inst["name"]] = (
+                    inst["value"]
+                )
+        families = set(by_kernel) - {"dispatch"}
+        assert families, by_kernel
+        for fam in families:
+            trio = by_kernel[fam]
+            assert trio["linegraph_kernel_tasks_total"] > 0
+            assert (
+                trio["linegraph_kernel_candidates_total"]
+                >= trio["linegraph_kernel_emitted_total"]
+            )
 
 
 class TestTraversalNeutrality:

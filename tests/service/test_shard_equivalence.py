@@ -82,6 +82,30 @@ def test_every_op_bit_identical(el, s, shards):
 
 
 @settings(max_examples=15, deadline=None)
+@given(
+    el=hypergraphs(),
+    s=st.integers(1, 3),
+    shards=st.integers(1, 4),
+    kernel=st.sampled_from(("auto", "naive", "hashmap", "intersection",
+                            "bitset")),
+)
+def test_forced_kernels_bit_identical_across_shards(el, s, shards, kernel):
+    """Kernel choice × shard count never changes a response envelope."""
+    single = QueryEngine()
+    sharded = ShardedEngine(num_shards=shards, kernel=kernel)
+    try:
+        for eng in (single, sharded):
+            eng.store.register("d", el)
+        for q in queries_for(el, s)[:4]:
+            a = single.execute(dict(q))
+            b = sharded.execute(dict(q))
+            assert canon(a) == canon(b), (kernel, q)
+    finally:
+        single.close()
+        sharded.close()
+
+
+@settings(max_examples=15, deadline=None)
 @given(el=hypergraphs(), s=st.integers(1, 3), shards=st.integers(2, 4))
 def test_cache_built_linegraphs_bit_identical(el, s, shards):
     """The assembled L_s arrays — not just query answers — are identical."""
